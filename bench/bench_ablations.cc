@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out, beyond the
+ * paper's own experiments:
+ *
+ *  1. Death-throttle window and threshold (around the paper's
+ *     N = 128 cycles, contexts/2 deaths) on the throttle-sensitive
+ *     LZW workload.
+ *  2. Context-stack configuration (off, paper 16 entries @ 200 cy,
+ *     cheap swaps) on Dijkstra.
+ *  3. Fetch-policy pressure: threads fetched per cycle (Icount.4.4's
+ *     "4" against 1, 2 and 8) on QuickSort.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "workloads/dijkstra.hh"
+#include "workloads/lzw.hh"
+#include "workloads/quicksort.hh"
+
+using namespace capsule;
+
+int
+main(int argc, char **argv)
+{
+    auto scale = bench::parseScale(argc, argv);
+    bench::banner("design-choice ablations", scale);
+
+    // ---- 1. throttle window / threshold ---------------------------
+    {
+        std::printf("[1] death-throttle parameters (LZW, tiny "
+                    "workers)\n");
+        TextTable t({"window", "threshold", "cycles", "granted",
+                     "throttled"});
+        wl::LzwParams p;
+        p.length = scale.pick(1024, 2048, 4096);
+        p.minSplit = 16;
+        p.seed = scale.seed;
+        for (Cycle window : {32u, 128u, 512u}) {
+            for (int threshold : {2, 4, 8}) {
+                auto cfg = sim::MachineConfig::somt();
+                cfg.division.deathWindow = window;
+                cfg.division.deathThreshold = threshold;
+                auto r = wl::runLzw(cfg, p);
+                t.addRow({std::to_string(window),
+                          std::to_string(threshold),
+                          TextTable::count(r.stats.cycles),
+                          TextTable::count(r.stats.divisionsGranted),
+                          TextTable::count(
+                              r.stats.divisionsThrottled)});
+            }
+        }
+        t.render(std::cout);
+        std::printf("paper setting: window 128, threshold "
+                    "contexts/2 = 4\n\n");
+    }
+
+    // ---- 2. context stack -------------------------------------------
+    {
+        std::printf("[2] inactive-context stack (Dijkstra)\n");
+        TextTable t({"configuration", "cycles", "swaps out",
+                     "swaps in"});
+        wl::DijkstraParams p;
+        p.nodes = scale.pick(200, 500, 1000);
+        p.seed = scale.seed;
+        struct Variant
+        {
+            const char *name;
+            bool enabled;
+            Cycle swapLatency;
+        };
+        for (auto v : {Variant{"off", false, 200},
+                       Variant{"paper (200 cy)", true, 200},
+                       Variant{"fast swap (15 cy)", true, 15},
+                       Variant{"slow swap (800 cy)", true, 800}}) {
+            auto cfg = sim::MachineConfig::somt();
+            cfg.enableContextStack = v.enabled;
+            cfg.ctxStack.swapLatency = v.swapLatency;
+            auto r = wl::runDijkstra(cfg, p);
+            t.addRow({v.name, TextTable::count(r.stats.cycles),
+                      TextTable::count(r.stats.swapsOut),
+                      TextTable::count(r.stats.swapsIn)});
+        }
+        t.render(std::cout);
+        std::printf("\n");
+    }
+
+    // ---- 3. fetch-policy pressure ------------------------------------
+    {
+        std::printf("[3] threads fetched per cycle (QuickSort)\n");
+        TextTable t({"threads/cycle", "insts/thread", "cycles",
+                     "ipc"});
+        wl::QuickSortParams p;
+        p.length = scale.pick(1000, 2500, 8192);
+        p.seed = scale.seed;
+        struct F
+        {
+            int threads;
+            int perThread;
+        };
+        for (auto f : {F{1, 16}, F{2, 8}, F{4, 4}, F{8, 2}}) {
+            auto cfg = sim::MachineConfig::somt();
+            cfg.fetchThreadsPerCycle = f.threads;
+            cfg.fetchInstsPerThread = f.perThread;
+            auto r = wl::runQuickSort(cfg, p);
+            t.addRow({std::to_string(f.threads),
+                      std::to_string(f.perThread),
+                      TextTable::count(r.stats.cycles),
+                      TextTable::num(r.stats.ipc)});
+        }
+        t.render(std::cout);
+        std::printf("paper setting: Icount.4.4 (4 threads x 4 "
+                    "instructions)\n");
+    }
+    return 0;
+}

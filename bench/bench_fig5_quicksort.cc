@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Figure 5 — distribution of execution time for QuickSort over many
+ * lists of varied distributions. The paper runs 500 lists and
+ * reports component speedups of 2.51x over the static version and
+ * 2.93x over the superscalar.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "base/histogram.hh"
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "workloads/quicksort.hh"
+
+using namespace capsule;
+
+int
+main(int argc, char **argv)
+{
+    auto scale = bench::parseScale(argc, argv);
+    bench::banner("Figure 5 (QuickSort execution-time distribution)",
+                  scale);
+
+    int lists = scale.pick(10, 40, 500);
+    int length = scale.pick(1024, 4096, 16384);
+    std::printf("%d lists of %d elements, five distributions\n\n",
+                lists, length);
+
+    const wl::ListDistribution dists[] = {
+        wl::ListDistribution::Uniform,
+        wl::ListDistribution::Gaussian,
+        wl::ListDistribution::Exponential,
+        wl::ListDistribution::NearlySorted,
+        wl::ListDistribution::FewValues,
+    };
+
+    struct Arch
+    {
+        const char *name;
+        sim::MachineConfig cfg;
+        std::vector<double> cycles;
+        int wrong = 0;
+    };
+    std::vector<Arch> archs{
+        {"superscalar", sim::MachineConfig::superscalar(), {}, 0},
+        {"smt-static", sim::MachineConfig::smtStatic(), {}, 0},
+        {"somt-component", sim::MachineConfig::somt(), {}, 0},
+    };
+
+    for (int i = 0; i < lists; ++i) {
+        wl::QuickSortParams p;
+        p.length = length;
+        p.distribution = dists[i % 5];
+        p.seed = scale.seed + std::uint64_t(i);
+        for (auto &arch : archs) {
+            auto res = wl::runQuickSort(arch.cfg, p);
+            arch.cycles.push_back(double(res.stats.cycles));
+            arch.wrong += !res.correct;
+        }
+    }
+
+    double lo = 1e300, hi = 0;
+    for (const auto &arch : archs) {
+        for (double c : arch.cycles) {
+            lo = std::min(lo, c);
+            hi = std::max(hi, c);
+        }
+    }
+    for (auto &arch : archs) {
+        Histogram h(lo, hi * 1.0001, 18);
+        for (double c : arch.cycles)
+            h.add(c);
+        h.render(std::cout, arch.name);
+        std::printf("\n");
+    }
+
+    auto mean = [](const std::vector<double> &v) {
+        double s = 0;
+        for (double x : v)
+            s += x;
+        return s / double(v.size());
+    };
+    TextTable t({"comparison", "measured", "paper"});
+    t.addRow({"component vs superscalar",
+              TextTable::num(mean(archs[0].cycles) /
+                             mean(archs[2].cycles)) +
+                  "x",
+              "2.93x"});
+    t.addRow({"component vs static SMT",
+              TextTable::num(mean(archs[1].cycles) /
+                             mean(archs[2].cycles)) +
+                  "x",
+              "2.51x"});
+    t.render(std::cout);
+    for (const auto &arch : archs) {
+        if (arch.wrong)
+            std::printf("WARNING: %d incorrect results on %s\n",
+                        arch.wrong, arch.name);
+    }
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrates:
+ * cache access throughput, branch-predictor lookups, lock-table
+ * operations, and end-to-end simulated-cycles-per-second on the
+ * quickstart workload. These guard the simulator's own performance
+ * (host-side), not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "casm/assembler.hh"
+#include "front/asm_program.hh"
+#include "sim/bpred.hh"
+#include "sim/cache.hh"
+#include "sim/lock_table.hh"
+#include "sim/machine.hh"
+#include "workloads/dijkstra.hh"
+
+using namespace capsule;
+
+namespace
+{
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    sim::MemoryHierarchy mem({});
+    mem.dataAccess(0x1000, false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mem.dataAccess(0x1000, false));
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_CacheMissStream(benchmark::State &state)
+{
+    sim::MemoryHierarchy mem({});
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.dataAccess(a, false));
+        a += 64;
+    }
+}
+BENCHMARK(BM_CacheMissStream);
+
+void
+BM_BpredLookup(benchmark::State &state)
+{
+    sim::CombinedPredictor p;
+    Addr pc = 0x1000;
+    bool taken = false;
+    for (auto _ : state) {
+        taken = !taken;
+        benchmark::DoNotOptimize(p.predict(pc));
+        p.update(pc, taken);
+        pc += 4;
+    }
+}
+BENCHMARK(BM_BpredLookup);
+
+void
+BM_LockAcquireRelease(benchmark::State &state)
+{
+    sim::LockTable lt(1024);
+    Addr a = 0x100;
+    for (auto _ : state) {
+        lt.acquire(a, 1);
+        lt.release(a, 1);
+        a = (a + 64) & 0xffff;
+    }
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void
+BM_MachineCyclesPerSecond(benchmark::State &state)
+{
+    // End-to-end simulation speed on a warm loop.
+    std::string src = "  addi r9, r0, 1000\n"
+                      "top:\n"
+                      "  addi r1, r1, 1\n  addi r2, r2, 1\n"
+                      "  addi r3, r3, 1\n  addi r4, r4, 1\n"
+                      "  addi r9, r9, -1\n"
+                      "  bne r9, r0, top\n"
+                      "  halt\n";
+    auto img = casm::Assembler::assembleOrDie(src);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        front::AsmProcess proc(img);
+        sim::Machine m(sim::MachineConfig::superscalar());
+        m.addThread(std::make_unique<front::AsmProgram>(proc));
+        cycles += m.run().cycles;
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineCyclesPerSecond);
+
+void
+BM_DijkstraSomtEndToEnd(benchmark::State &state)
+{
+    wl::DijkstraParams p;
+    p.nodes = 100;
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        auto r = wl::runDijkstra(sim::MachineConfig::somt(), p);
+        cycles += r.stats.cycles;
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DijkstraSomtEndToEnd);
+
+} // namespace
+
+BENCHMARK_MAIN();

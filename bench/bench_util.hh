@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses that regenerate the
+ * paper's tables and figures: scale selection (--paper runs the full
+ * published data-set sizes; the default is minutes-scale), and the
+ * serial-section calibration used by the SPEC-analogue harnesses to
+ * reproduce Table 2's componentised-section fractions.
+ */
+
+#ifndef CAPSULE_BENCH_UTIL_HH
+#define CAPSULE_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/machine.hh"
+
+namespace capsule::bench
+{
+
+/** Command-line scale flags common to all harnesses. */
+struct Scale
+{
+    bool paper = false;   ///< full published data-set sizes
+    bool quick = false;   ///< CI-fast sizes
+    std::uint64_t seed = 1;
+
+    /** Pick by scale: quick / default / paper. */
+    template <typename T>
+    T
+    pick(T q, T d, T p) const
+    {
+        return paper ? p : quick ? q : d;
+    }
+};
+
+/** Parse --paper / --quick / --seed N; exits on unknown flags. */
+Scale parseScale(int argc, char **argv);
+
+/**
+ * Compute the serial-section instruction budget whose simulated time
+ * on `cfg` is approximately `target_cycles` (used to reproduce the
+ * paper's section fractions).
+ */
+std::uint64_t calibrateSerialOps(const sim::MachineConfig &cfg,
+                                 Cycle target_cycles);
+
+/** Standard banner naming the paper artifact being regenerated. */
+void banner(const std::string &what, const Scale &scale);
+
+} // namespace capsule::bench
+
+#endif // CAPSULE_BENCH_UTIL_HH

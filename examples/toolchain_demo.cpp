@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 2 end-to-end: the paper's Dijkstra worker source runs
+ * through the CAPSULE pre-processor (source -> three versions + the
+ * probe switch) and the assembly post-processor (probe call site ->
+ * nthr form), and the rewritten assembly is then executed on the
+ * SOMT machine.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "casm/assembler.hh"
+#include "front/asm_program.hh"
+#include "sim/machine.hh"
+#include "toolchain/postprocessor.hh"
+#include "toolchain/preprocessor.hh"
+
+using namespace capsule;
+
+int
+main()
+{
+    std::printf("CAPSULE example: the Figure-2 toolchain pipeline\n");
+
+    // ---- (a) the worker source -------------------------------------
+    const char *source =
+        "worker void explore(node_t *node, int from, int len) {\n"
+        "  if (len < node->dist) {\n"
+        "    node->dist = len;\n"
+        "    for (int i = 0; i < node->nchildren; i++) {\n"
+        "      coworker explore(node->child[i], node->id,\n"
+        "                       len + node->w[i]);\n"
+        "    }\n"
+        "  }\n"
+        "}\n";
+    std::printf("\n--- (a) source ---------------------------------\n"
+                "%s",
+                source);
+
+    // ---- (b) pre-processed -----------------------------------------
+    tc::Preprocessor pp;
+    auto pre = pp.process(source);
+    if (!pre.ok) {
+        std::printf("pre-processing failed: %s\n",
+                    pre.diagnostics[0].c_str());
+        return 1;
+    }
+    std::printf("\n--- (b) pre-processed --------------------------\n"
+                "%s",
+                pre.output.c_str());
+    std::printf("\n(%d coworker call(s) rewritten, %d locks "
+                "inserted)\n",
+                pre.coworkerCallsRewritten, pre.locksInserted);
+
+    // ---- (c) assembly before / after the post-processor ------------
+    const char *asmBefore =
+        "  lui r10, 8\n"
+        "entry:\n"
+        "  jal r31, __capsule_probe\n"
+        "  addi r2, r0, -1\n"
+        "  beq r1, r2, Lseq\n"
+        "  beq r1, r0, Lleft\n"
+        "  jmp Lright\n"
+        "Lseq:\n"
+        "  addi r3, r0, 1\n"
+        "  sd r3, 0(r10)\n"
+        "  sd r3, 8(r10)\n"
+        "  halt\n"
+        "Lleft:\n"
+        "  addi r4, r0, 2\n"
+        "  sd r4, 0(r10)\n"
+        "  halt\n"
+        "Lright:\n"
+        "  addi r5, r0, 3\n"
+        "  sd r5, 8(r10)\n"
+        "  kthr\n";
+    std::printf("\n--- assembly with the software probe -----------\n"
+                "%s",
+                asmBefore);
+
+    auto post = tc::postprocess(asmBefore);
+    std::printf("\n--- (c) post-processed (nthr form) -------------\n"
+                "%s",
+                post.output.c_str());
+
+    // ---- run the rewritten assembly on the machine ------------------
+    auto img = casm::Assembler::assembleOrDie(post.output);
+    front::AsmProcess proc(img);
+    sim::Machine machine(sim::MachineConfig::somt());
+    machine.addThread(std::make_unique<front::AsmProgram>(proc));
+    auto stats = machine.run();
+
+    std::printf("\nexecuted on the SOMT: %llu cycles, division %s, "
+                "left tag=%llu right tag=%llu\n",
+                (unsigned long long)stats.cycles,
+                stats.divisionsGranted ? "granted" : "denied",
+                (unsigned long long)proc.memory.read(0x8000, 8),
+                (unsigned long long)proc.memory.read(0x8008, 8));
+    bool ok = stats.divisionsGranted == 1 &&
+              proc.memory.read(0x8000, 8) == 2 &&
+              proc.memory.read(0x8008, 8) == 3;
+    std::printf("%s\n", ok ? "division executed both halves "
+                             "concurrently — Figure 2 reproduced"
+                           : "UNEXPECTED RESULT");
+    return ok ? 0 : 1;
+}

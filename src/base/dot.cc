@@ -1,0 +1,21 @@
+#include "base/dot.hh"
+
+namespace capsule
+{
+
+void
+DotGraph::render(std::ostream &os) const
+{
+    os << "digraph " << name << " {\n";
+    for (const auto &[id, label] : nodes) {
+        os << "  \"" << id << "\"";
+        if (!label.empty())
+            os << " [label=\"" << label << "\"]";
+        os << ";\n";
+    }
+    for (const auto &[from, to] : edges)
+        os << "  \"" << from << "\" -> \"" << to << "\";\n";
+    os << "}\n";
+}
+
+} // namespace capsule

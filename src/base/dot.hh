@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal GraphViz DOT emitter, used to regenerate Figure 6 (the
+ * irregular QuickSort division tree).
+ */
+
+#ifndef CAPSULE_BASE_DOT_HH
+#define CAPSULE_BASE_DOT_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace capsule
+{
+
+/** Builds a directed graph and renders it in DOT syntax. */
+class DotGraph
+{
+  public:
+    explicit DotGraph(std::string graph_name)
+        : name(std::move(graph_name))
+    {}
+
+    /** Add a node with an optional label. Ids are arbitrary strings. */
+    void
+    addNode(const std::string &id, const std::string &label = "")
+    {
+        nodes.emplace_back(id, label);
+    }
+
+    void
+    addEdge(const std::string &from, const std::string &to)
+    {
+        edges.emplace_back(from, to);
+    }
+
+    std::size_t nodeCount() const { return nodes.size(); }
+    std::size_t edgeCount() const { return edges.size(); }
+
+    void render(std::ostream &os) const;
+
+  private:
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> nodes;
+    std::vector<std::pair<std::string, std::string>> edges;
+};
+
+} // namespace capsule
+
+#endif // CAPSULE_BASE_DOT_HH

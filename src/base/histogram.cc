@@ -1,0 +1,87 @@
+#include "base/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "base/logging.hh"
+
+namespace capsule
+{
+
+Histogram::Histogram(double lo_, double hi_, std::size_t num_bins)
+    : lo(lo_), hi(hi_), counts(num_bins, 0)
+{
+    CAPSULE_ASSERT(num_bins > 0, "histogram needs at least one bin");
+    CAPSULE_ASSERT(hi > lo, "histogram range must be non-empty");
+}
+
+void
+Histogram::add(double sample)
+{
+    double frac = (sample - lo) / (hi - lo);
+    auto bin = static_cast<std::int64_t>(frac * double(counts.size()));
+    bin = std::clamp<std::int64_t>(bin, 0,
+                                   std::int64_t(counts.size()) - 1);
+    ++counts[std::size_t(bin)];
+
+    if (total == 0) {
+        minSeen = maxSeen = sample;
+    } else {
+        minSeen = std::min(minSeen, sample);
+        maxSeen = std::max(maxSeen, sample);
+    }
+    ++total;
+    sum += sample;
+    sumSq += sample * sample;
+}
+
+double
+Histogram::binLow(std::size_t bin) const
+{
+    return lo + (hi - lo) * double(bin) / double(counts.size());
+}
+
+double
+Histogram::binHigh(std::size_t bin) const
+{
+    return binLow(bin + 1);
+}
+
+double
+Histogram::mean() const
+{
+    return total ? sum / double(total) : 0.0;
+}
+
+double
+Histogram::stddev() const
+{
+    if (!total)
+        return 0.0;
+    double m = mean();
+    double var = sumSq / double(total) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Histogram::render(std::ostream &os, const std::string &label,
+                  int width) const
+{
+    std::size_t peak = 1;
+    for (auto c : counts)
+        peak = std::max(peak, c);
+
+    os << label << " (n=" << total << ", mean=" << std::fixed
+       << std::setprecision(0) << mean() << ", sd=" << stddev() << ")\n";
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        int bar = int(double(counts[b]) / double(peak) * width + 0.5);
+        os << std::setw(12) << std::setprecision(0) << binLow(b) << "-"
+           << std::setw(12) << binHigh(b) << " |";
+        for (int i = 0; i < bar; ++i)
+            os << '#';
+        os << ' ' << counts[b] << '\n';
+    }
+}
+
+} // namespace capsule

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fixed-bin histogram used to regenerate the paper's execution-time
+ * distribution figures (Figures 3 and 5): x-axis execution time, y-axis
+ * number of data sets falling in the bin.
+ */
+
+#ifndef CAPSULE_BASE_HISTOGRAM_HH
+#define CAPSULE_BASE_HISTOGRAM_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace capsule
+{
+
+/** Histogram over double samples with uniform bins. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower bound of the first bin
+     * @param hi upper bound of the last bin
+     * @param bins number of uniform bins; samples outside [lo,hi) are
+     *        clamped into the first / last bin so no data is dropped.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double sample);
+
+    std::size_t count(std::size_t bin) const { return counts.at(bin); }
+    std::size_t bins() const { return counts.size(); }
+    std::size_t samples() const { return total; }
+    double binLow(std::size_t bin) const;
+    double binHigh(std::size_t bin) const;
+
+    double mean() const;
+    double min() const { return minSeen; }
+    double max() const { return maxSeen; }
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /**
+     * Render an ASCII bar chart, one row per bin, labelled with the bin
+     * range; `width` is the width of the widest bar in characters.
+     */
+    void render(std::ostream &os, const std::string &label,
+                int width = 50) const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::size_t> counts;
+    std::size_t total = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    double minSeen = 0.0;
+    double maxSeen = 0.0;
+};
+
+} // namespace capsule
+
+#endif // CAPSULE_BASE_HISTOGRAM_HH

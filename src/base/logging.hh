@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit: panic() for internal
+ * invariant violations (aborts), fatal() for user-caused conditions
+ * (clean exit), warn()/inform() for status messages.
+ */
+
+#ifndef CAPSULE_BASE_LOGGING_HH
+#define CAPSULE_BASE_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace capsule
+{
+
+/** Print "panic: <msg>" with location and abort(). Internal bugs only. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print "fatal: <msg>" and exit(1). User-correctable conditions. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print "warn: <msg>" to stderr; simulation continues. */
+void warnImpl(const std::string &msg);
+
+/** Print "info: <msg>" to stderr; simulation continues. */
+void informImpl(const std::string &msg);
+
+namespace detail
+{
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatAll(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+} // namespace capsule
+
+#define CAPSULE_PANIC(...) \
+    ::capsule::panicImpl(__FILE__, __LINE__, \
+                         ::capsule::detail::formatAll(__VA_ARGS__))
+
+#define CAPSULE_FATAL(...) \
+    ::capsule::fatalImpl(__FILE__, __LINE__, \
+                         ::capsule::detail::formatAll(__VA_ARGS__))
+
+#define CAPSULE_WARN(...) \
+    ::capsule::warnImpl(::capsule::detail::formatAll(__VA_ARGS__))
+
+#define CAPSULE_INFORM(...) \
+    ::capsule::informImpl(::capsule::detail::formatAll(__VA_ARGS__))
+
+/** Assert an internal invariant; compiled in all build types. */
+#define CAPSULE_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            CAPSULE_PANIC("assertion '" #cond "' failed. ", \
+                          ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // CAPSULE_BASE_LOGGING_HH

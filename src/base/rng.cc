@@ -1,0 +1,3 @@
+#include "base/rng.hh"
+
+// Rng is header-only; this translation unit pins the library archive.

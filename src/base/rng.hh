@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic random number generation. All stochastic behaviour in
+ * the simulator and the workload generators flows through Rng so that a
+ * given seed always reproduces the same experiment.
+ */
+
+#ifndef CAPSULE_BASE_RNG_HH
+#define CAPSULE_BASE_RNG_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace capsule
+{
+
+/**
+ * Seeded pseudo-random source wrapping std::mt19937_64 with the handful
+ * of draw shapes the workloads need.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : engine(seed) {}
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    uniform(std::uint64_t lo, std::uint64_t hi)
+    {
+        std::uniform_int_distribution<std::uint64_t> d(lo, hi);
+        return d(engine);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform01()
+    {
+        std::uniform_real_distribution<double> d(0.0, 1.0);
+        return d(engine);
+    }
+
+    /** Gaussian with given mean and standard deviation. */
+    double
+    gaussian(double mean, double sigma)
+    {
+        std::normal_distribution<double> d(mean, sigma);
+        return d(engine);
+    }
+
+    /** Exponential with given rate parameter lambda. */
+    double
+    exponential(double lambda)
+    {
+        std::exponential_distribution<double> d(lambda);
+        return d(engine);
+    }
+
+    /** True with probability p. */
+    bool
+    bernoulli(double p)
+    {
+        std::bernoulli_distribution d(p);
+        return d(engine);
+    }
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = uniform(0, i - 1);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Derive an independent child generator (for parallel structure). */
+    Rng
+    fork()
+    {
+        return Rng(engine());
+    }
+
+  private:
+    std::mt19937_64 engine;
+};
+
+} // namespace capsule
+
+#endif // CAPSULE_BASE_RNG_HH

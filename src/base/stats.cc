@@ -1,0 +1,40 @@
+#include "base/stats.hh"
+
+#include <iomanip>
+
+namespace capsule
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &e : entries) {
+        os << std::left << std::setw(40) << (name + "." + e.name)
+           << std::right << std::setw(16) << e.value();
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << '\n';
+    }
+}
+
+double
+StatGroup::get(const std::string &stat_name) const
+{
+    for (const auto &e : entries) {
+        if (e.name == stat_name)
+            return e.value();
+    }
+    CAPSULE_PANIC("unknown stat '", name, ".", stat_name, "'");
+}
+
+bool
+StatGroup::has(const std::string &stat_name) const
+{
+    for (const auto &e : entries) {
+        if (e.name == stat_name)
+            return true;
+    }
+    return false;
+}
+
+} // namespace capsule

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Lightweight named-counter statistics registry, in the spirit of the
+ * SimpleScalar / gem5 stats packages but deliberately small. Every
+ * simulator structure owns Scalar counters registered against a
+ * StatGroup; dump() renders them in registration order.
+ */
+
+#ifndef CAPSULE_BASE_STATS_HH
+#define CAPSULE_BASE_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace capsule
+{
+
+/** A single named 64-bit counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++val; return *this; }
+    Scalar &operator+=(std::uint64_t d) { val += d; return *this; }
+    void reset() { val = 0; }
+    std::uint64_t value() const { return val; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/**
+ * A group of statistics with hierarchical names. Groups do not own the
+ * counters; counters are members of the simulator objects and register
+ * themselves here for dumping.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string group_name)
+        : name(std::move(group_name))
+    {}
+
+    /** Register a scalar counter under this group. */
+    void
+    add(const std::string &stat_name, const Scalar &s,
+        const std::string &desc = "")
+    {
+        entries.push_back(Entry{stat_name, desc,
+                                [&s] { return double(s.value()); }});
+    }
+
+    /** Register a derived (formula) statistic evaluated at dump time. */
+    void
+    addFormula(const std::string &stat_name, std::function<double()> fn,
+               const std::string &desc = "")
+    {
+        entries.push_back(Entry{stat_name, desc, std::move(fn)});
+    }
+
+    /** Render all statistics, one per line: group.name  value  # desc. */
+    void dump(std::ostream &os) const;
+
+    /** Fetch a value by name (for tests); panics if absent. */
+    double get(const std::string &stat_name) const;
+
+    /** True if a statistic with this name is registered. */
+    bool has(const std::string &stat_name) const;
+
+    const std::string &groupName() const { return name; }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string desc;
+        std::function<double()> value;
+    };
+
+    std::string name;
+    std::vector<Entry> entries;
+};
+
+} // namespace capsule
+
+#endif // CAPSULE_BASE_STATS_HH

@@ -1,0 +1,88 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace capsule
+{
+
+TextTable::TextTable(std::vector<std::string> hdr)
+    : header(std::move(hdr))
+{
+    CAPSULE_ASSERT(!header.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    CAPSULE_ASSERT(row.size() == header.size(),
+                   "row arity ", row.size(), " != header arity ",
+                   header.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::count(std::uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int since = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (since == 3) {
+            out.push_back(',');
+            since = 0;
+        }
+        out.push_back(*it);
+        ++since;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+TextTable::pct(double fraction)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1) << fraction * 100.0 << '%';
+    return os.str();
+}
+
+void
+TextTable::render(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(int(width[c]) + 2) << row[c];
+        }
+        os << '\n';
+    };
+
+    emit(header);
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit(row);
+}
+
+} // namespace capsule

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fixed-width text table printer used by the benchmark harnesses to
+ * print rows in the same shape as the paper's tables.
+ */
+
+#ifndef CAPSULE_BASE_TABLE_HH
+#define CAPSULE_BASE_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace capsule
+{
+
+/** Accumulates rows of strings and renders them column-aligned. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+    /** Convenience: format an integer with thousands separators. */
+    static std::string count(std::uint64_t v);
+    /** Convenience: percentage string with one decimal, e.g. "40.2%". */
+    static std::string pct(double fraction);
+
+    void render(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace capsule
+
+#endif // CAPSULE_BASE_TABLE_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the CAPSULE code base.
+ */
+
+#ifndef CAPSULE_BASE_TYPES_HH
+#define CAPSULE_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace capsule
+{
+
+/** Simulated byte address. The simulated address space is 64-bit. */
+using Addr = std::uint64_t;
+
+/** Simulation time in processor cycles. */
+using Cycle = std::uint64_t;
+
+/** Dynamic-instruction sequence number (global, monotonically rising). */
+using InstSeq = std::uint64_t;
+
+/** Hardware context / thread slot identifier. */
+using ThreadId = std::int32_t;
+
+/** Sentinel for "no thread". */
+inline constexpr ThreadId invalidThread = -1;
+
+} // namespace capsule
+
+#endif // CAPSULE_BASE_TYPES_HH

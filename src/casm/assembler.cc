@@ -1,0 +1,463 @@
+#include "casm/assembler.hh"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+#include "base/logging.hh"
+
+namespace capsule::casm
+{
+namespace
+{
+
+using isa::Opcode;
+
+const std::unordered_map<std::string, Opcode> &
+mnemonicTable()
+{
+    static const std::unordered_map<std::string, Opcode> table = [] {
+        std::unordered_map<std::string, Opcode> t;
+        for (int i = 0; i < int(Opcode::NumOpcodes); ++i) {
+            auto op = Opcode(i);
+            t.emplace(isa::mnemonic(op), op);
+        }
+        return t;
+    }();
+    return table;
+}
+
+/** Parse "r5" / "f12" / "-"; returns nullopt on bad syntax. */
+std::optional<std::uint8_t>
+parseReg(const std::string &tok)
+{
+    if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'f'))
+        return std::nullopt;
+    int v = 0;
+    for (std::size_t i = 1; i < tok.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            return std::nullopt;
+        v = v * 10 + (tok[i] - '0');
+    }
+    int lim = tok[0] == 'r' ? isa::numIntRegs : isa::numFpRegs;
+    if (v >= lim)
+        return std::nullopt;
+    return std::uint8_t(v);
+}
+
+std::optional<std::int64_t>
+parseInt(const std::string &tok)
+{
+    if (tok.empty())
+        return std::nullopt;
+    std::size_t i = 0;
+    bool neg = false;
+    if (tok[0] == '-' || tok[0] == '+') {
+        neg = tok[0] == '-';
+        i = 1;
+    }
+    if (i >= tok.size())
+        return std::nullopt;
+    int radix = 10;
+    if (tok.size() > i + 2 && tok[i] == '0' &&
+        (tok[i + 1] == 'x' || tok[i + 1] == 'X')) {
+        radix = 16;
+        i += 2;
+    }
+    std::int64_t v = 0;
+    for (; i < tok.size(); ++i) {
+        char c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(tok[i])));
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (radix == 16 && c >= 'a' && c <= 'f')
+            digit = 10 + (c - 'a');
+        else
+            return std::nullopt;
+        v = v * radix + digit;
+    }
+    return neg ? -v : v;
+}
+
+bool
+isIdentifier(const std::string &tok)
+{
+    if (tok.empty())
+        return false;
+    if (!std::isalpha(static_cast<unsigned char>(tok[0])) &&
+        tok[0] != '_' && tok[0] != '.')
+        return false;
+    for (char c : tok) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+            c != '.')
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Addr
+Image::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        CAPSULE_FATAL("undefined symbol '", name, "'");
+    return it->second;
+}
+
+void
+Assembler::error(int line, const std::string &msg)
+{
+    diags.push_back(Diagnostic{line, msg});
+}
+
+bool
+Assembler::tokenize(const std::string &source, std::vector<Line> &lines)
+{
+    std::istringstream in(source);
+    std::string raw;
+    int number = 0;
+    while (std::getline(in, raw)) {
+        ++number;
+        // Strip comments.
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            if (raw[i] == '#' || raw[i] == ';') {
+                raw.resize(i);
+                break;
+            }
+        }
+        // Split off a leading "label:" if present.
+        Line line;
+        line.number = number;
+        std::size_t colon = raw.find(':');
+        std::string body = raw;
+        if (colon != std::string::npos) {
+            std::string label = raw.substr(0, colon);
+            // Trim whitespace.
+            while (!label.empty() && std::isspace(
+                       static_cast<unsigned char>(label.front())))
+                label.erase(label.begin());
+            while (!label.empty() && std::isspace(
+                       static_cast<unsigned char>(label.back())))
+                label.pop_back();
+            if (!isIdentifier(label)) {
+                error(number, "bad label '" + label + "'");
+                continue;
+            }
+            line.label = label;
+            body = raw.substr(colon + 1);
+        }
+        // Tokenize the body: mnemonic then comma-separated operands.
+        std::istringstream bs(body);
+        std::string mnem;
+        bs >> mnem;
+        line.mnemonic = mnem;
+        std::string rest;
+        std::getline(bs, rest);
+        std::string tok;
+        for (char c : rest) {
+            if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+                if (!tok.empty()) {
+                    line.operands.push_back(tok);
+                    tok.clear();
+                }
+            } else {
+                tok.push_back(c);
+            }
+        }
+        if (!tok.empty())
+            line.operands.push_back(tok);
+        if (!line.label.empty() || !line.mnemonic.empty())
+            lines.push_back(std::move(line));
+    }
+    return diags.empty();
+}
+
+bool
+Assembler::assemble(const std::string &source)
+{
+    result = Image{};
+    result.base = base;
+    diags.clear();
+
+    std::vector<Line> lines;
+    tokenize(source, lines);
+
+    // Pass 1: assign addresses to labels, handling .org.
+    Addr pc = base;
+    for (const auto &line : lines) {
+        if (!line.label.empty()) {
+            if (result.symbols.count(line.label))
+                error(line.number,
+                      "duplicate label '" + line.label + "'");
+            result.symbols[line.label] = pc;
+        }
+        if (line.mnemonic.empty())
+            continue;
+        if (line.mnemonic == ".org") {
+            auto v = line.operands.size() == 1
+                         ? parseInt(line.operands[0])
+                         : std::nullopt;
+            if (!v || Addr(*v) < pc) {
+                error(line.number, "bad .org operand");
+                continue;
+            }
+            pc = Addr(*v);
+        } else {
+            pc += 4;
+        }
+    }
+
+    // Pass 2: encode.
+    pc = base;
+    auto emit = [&](std::uint32_t word) {
+        Addr index = (pc - base) / 4;
+        if (result.words.size() <= index)
+            result.words.resize(index + 1, 0);
+        result.words[index] = word;
+        pc += 4;
+    };
+    auto resolve = [&](const Line &line, const std::string &tok)
+        -> std::optional<std::int64_t> {
+        if (auto v = parseInt(tok))
+            return v;
+        auto it = result.symbols.find(tok);
+        if (it != result.symbols.end())
+            return std::int64_t(it->second);
+        error(line.number, "undefined symbol '" + tok + "'");
+        return std::nullopt;
+    };
+
+    for (const auto &line : lines) {
+        if (line.mnemonic.empty())
+            continue;
+        if (line.mnemonic == ".org") {
+            if (auto v = parseInt(line.operands[0]))
+                pc = Addr(*v);
+            continue;
+        }
+        if (line.mnemonic == ".word") {
+            auto v = line.operands.size() == 1
+                         ? resolve(line, line.operands[0])
+                         : std::nullopt;
+            if (!v) {
+                error(line.number, ".word needs one value");
+                continue;
+            }
+            emit(std::uint32_t(*v));
+            continue;
+        }
+
+        auto it = mnemonicTable().find(line.mnemonic);
+        if (it == mnemonicTable().end()) {
+            error(line.number,
+                  "unknown mnemonic '" + line.mnemonic + "'");
+            continue;
+        }
+        Opcode op = it->second;
+        isa::StaticInst inst;
+        inst.op = op;
+        const auto &ops = line.operands;
+        auto needOps = [&](std::size_t n) {
+            if (ops.size() != n) {
+                error(line.number, "expected " + std::to_string(n) +
+                                       " operands for '" +
+                                       line.mnemonic + "'");
+                return false;
+            }
+            return true;
+        };
+        auto reg = [&](const std::string &tok) -> std::uint8_t {
+            auto r = parseReg(tok);
+            if (!r) {
+                error(line.number, "bad register '" + tok + "'");
+                return isa::noReg;
+            }
+            return *r;
+        };
+
+        bool ok = true;
+        switch (isa::opClassOf(op)) {
+          case isa::OpClass::Nop:
+          case isa::OpClass::Kthr:
+          case isa::OpClass::Halt:
+            ok = needOps(0);
+            break;
+          case isa::OpClass::IntAlu:
+          case isa::OpClass::IntMult:
+          case isa::OpClass::FpAlu:
+          case isa::OpClass::FpMult:
+            if (op == Opcode::Lui) {
+                ok = needOps(2);
+                if (ok) {
+                    inst.rd = reg(ops[0]);
+                    if (auto v = resolve(line, ops[1]))
+                        inst.imm = std::int32_t(*v);
+                    else
+                        ok = false;
+                }
+            } else if (op == Opcode::Fcvt) {
+                // fcvt fD, rS: int-to-fp conversion, two operands.
+                ok = needOps(2);
+                if (ok) {
+                    inst.rd = reg(ops[0]);
+                    inst.rs1 = reg(ops[1]);
+                }
+            } else if (op >= Opcode::Addi && op <= Opcode::Slti) {
+                ok = needOps(3);
+                if (ok) {
+                    inst.rd = reg(ops[0]);
+                    inst.rs1 = reg(ops[1]);
+                    if (auto v = resolve(line, ops[2]))
+                        inst.imm = std::int32_t(*v);
+                    else
+                        ok = false;
+                }
+            } else {
+                ok = needOps(3);
+                if (ok) {
+                    inst.rd = reg(ops[0]);
+                    inst.rs1 = reg(ops[1]);
+                    inst.rs2 = reg(ops[2]);
+                }
+            }
+            break;
+          case isa::OpClass::Load: {
+            ok = needOps(2);
+            if (!ok)
+                break;
+            inst.rd = reg(ops[0]);
+            // Parse "disp(base)".
+            const std::string &m = ops[1];
+            auto open = m.find('(');
+            auto close = m.find(')');
+            if (open == std::string::npos || close == std::string::npos ||
+                close < open) {
+                error(line.number, "bad memory operand '" + m + "'");
+                ok = false;
+                break;
+            }
+            std::string disp = m.substr(0, open);
+            std::string baseReg = m.substr(open + 1, close - open - 1);
+            inst.rs1 = reg(baseReg);
+            if (disp.empty()) {
+                inst.imm = 0;
+            } else if (auto v = parseInt(disp)) {
+                inst.imm = std::int32_t(*v);
+            } else {
+                error(line.number, "bad displacement '" + disp + "'");
+                ok = false;
+            }
+            break;
+          }
+          case isa::OpClass::Store: {
+            ok = needOps(2);
+            if (!ok)
+                break;
+            inst.rs2 = reg(ops[0]);
+            const std::string &m = ops[1];
+            auto open = m.find('(');
+            auto close = m.find(')');
+            if (open == std::string::npos || close == std::string::npos ||
+                close < open) {
+                error(line.number, "bad memory operand '" + m + "'");
+                ok = false;
+                break;
+            }
+            std::string disp = m.substr(0, open);
+            std::string baseReg = m.substr(open + 1, close - open - 1);
+            inst.rs1 = reg(baseReg);
+            if (disp.empty()) {
+                inst.imm = 0;
+            } else if (auto v = parseInt(disp)) {
+                inst.imm = std::int32_t(*v);
+            } else {
+                error(line.number, "bad displacement '" + disp + "'");
+                ok = false;
+            }
+            break;
+          }
+          case isa::OpClass::Branch: {
+            ok = needOps(3);
+            if (!ok)
+                break;
+            inst.rs1 = reg(ops[0]);
+            inst.rs2 = reg(ops[1]);
+            if (auto v = resolve(line, ops[2])) {
+                // PC-relative in instruction units.
+                std::int64_t delta = (*v - std::int64_t(pc)) / 4;
+                inst.imm = std::int32_t(delta);
+            } else {
+                ok = false;
+            }
+            break;
+          }
+          case isa::OpClass::Jump: {
+            if (op == Opcode::Jr) {
+                ok = needOps(1);
+                if (ok)
+                    inst.rs1 = reg(ops[0]);
+            } else {
+                ok = needOps(op == Opcode::Jal ? 2 : 1);
+                if (ok) {
+                    std::size_t ti = 0;
+                    if (op == Opcode::Jal) {
+                        inst.rd = reg(ops[0]);
+                        ti = 1;
+                    }
+                    if (auto v = resolve(line, ops[ti])) {
+                        std::int64_t delta = (*v - std::int64_t(pc)) / 4;
+                        inst.imm = std::int32_t(delta);
+                    } else {
+                        ok = false;
+                    }
+                }
+            }
+            break;
+          }
+          case isa::OpClass::Nthr: {
+            ok = needOps(2);
+            if (!ok)
+                break;
+            inst.rd = reg(ops[0]);
+            if (auto v = resolve(line, ops[1])) {
+                std::int64_t delta = (*v - std::int64_t(pc)) / 4;
+                inst.imm = std::int32_t(delta);
+            } else {
+                ok = false;
+            }
+            break;
+          }
+          case isa::OpClass::Mlock:
+          case isa::OpClass::Munlock:
+            ok = needOps(1);
+            if (ok)
+                inst.rs1 = reg(ops[0]);
+            break;
+        }
+
+        if (ok)
+            emit(isa::encode(inst));
+        else
+            emit(isa::encode(isa::StaticInst{}));
+    }
+
+    return diags.empty();
+}
+
+Image
+Assembler::assembleOrDie(const std::string &source, Addr base_addr)
+{
+    Assembler as(base_addr);
+    if (!as.assemble(source)) {
+        const auto &d = as.diagnostics().front();
+        CAPSULE_FATAL("assembly failed at line ", d.line, ": ",
+                      d.message);
+    }
+    return as.image();
+}
+
+} // namespace capsule::casm

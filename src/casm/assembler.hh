@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Two-pass text assembler for CapISA.
+ *
+ * Syntax (one statement per line, '#' or ';' starts a comment):
+ *
+ *   label:                 ; define a label at the current PC
+ *   add  r1, r2, r3        ; three-register form
+ *   addi r1, r2, 42        ; immediate form (rs1 folded: addi rd, rs1, imm)
+ *   lw   r1, 8(r2)         ; load: rd, disp(base)
+ *   sw   r1, 8(r2)         ; store: data, disp(base)
+ *   beq  r1, r2, label     ; branch to label (PC-relative encoded)
+ *   jmp  label             ; unconditional jump
+ *   nthr r1, label         ; CAPSULE division probe; child starts at label
+ *   kthr                   ; CAPSULE thread kill
+ *   mlock r1 / munlock r1  ; CAPSULE lock on address in register
+ *   halt
+ *   .org  ADDR             ; set the location counter
+ *   .word VALUE            ; emit a raw 32-bit data word
+ *
+ * Immediates accept decimal and 0x-hex. The assembler reports errors
+ * with line numbers and returns a Program image (base address + words
+ * + symbol table).
+ */
+
+#ifndef CAPSULE_CASM_ASSEMBLER_HH
+#define CAPSULE_CASM_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/isa.hh"
+
+namespace capsule::casm
+{
+
+/** Result of assembling a source string. */
+struct Image
+{
+    Addr base = 0;                       ///< load address of words[0]
+    std::vector<std::uint32_t> words;    ///< instruction/data words
+    std::map<std::string, Addr> symbols; ///< label -> address
+
+    /** Address of a label; fatal if undefined. */
+    Addr symbol(const std::string &name) const;
+    /** Size of the image in bytes. */
+    std::uint64_t bytes() const { return words.size() * 4; }
+};
+
+/** One assembly diagnostic. */
+struct Diagnostic
+{
+    int line = 0;
+    std::string message;
+};
+
+/**
+ * Two-pass assembler. assemble() either returns a complete image or
+ * reports every diagnostic it found (tests rely on multiple errors
+ * being collected in one run).
+ */
+class Assembler
+{
+  public:
+    explicit Assembler(Addr base_addr = 0x1000) : base(base_addr) {}
+
+    /** Assemble source text; returns true on success. */
+    bool assemble(const std::string &source);
+
+    const Image &image() const { return result; }
+    const std::vector<Diagnostic> &diagnostics() const { return diags; }
+
+    /** Convenience: assemble or die with the first diagnostic. */
+    static Image assembleOrDie(const std::string &source,
+                               Addr base_addr = 0x1000);
+
+  private:
+    struct Line
+    {
+        int number;
+        std::string label;
+        std::string mnemonic;
+        std::vector<std::string> operands;
+    };
+
+    bool tokenize(const std::string &source, std::vector<Line> &lines);
+    void error(int line, const std::string &msg);
+
+    Addr base;
+    Image result;
+    std::vector<Diagnostic> diags;
+};
+
+} // namespace capsule::casm
+
+#endif // CAPSULE_CASM_ASSEMBLER_HH

@@ -1,0 +1,37 @@
+#include "core/exec.hh"
+
+namespace capsule::rt
+{
+
+StackPool::StackPool(mem::Arena &arena_ref, std::uint64_t stack_bytes,
+                     std::size_t reserve_stacks)
+    : arena(arena_ref), stackBytes(stack_bytes),
+      head(arena_ref.alloc(64, 64))
+{
+    freeList.reserve(reserve_stacks);
+}
+
+Addr
+StackPool::take()
+{
+    if (!freeList.empty()) {
+        Addr a = freeList.back();
+        freeList.pop_back();
+        return a;
+    }
+    ++total;
+    return arena.alloc(stackBytes, 64);
+}
+
+void
+StackPool::give(Addr stack)
+{
+    freeList.push_back(stack);
+}
+
+Exec::Exec(std::uint64_t heap_bytes)
+    : heap(0x1000000, heap_bytes), stackPool(heap)
+{
+}
+
+} // namespace capsule::rt

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared execution context for one componentised benchmark run: the
+ * simulated address space (arena), the pre-allocated worker stack
+ * pool of Section 3.2, and the synthetic code layout that gives every
+ * emission site a stable PC (shared across worker instances running
+ * the same code, so the branch predictor and the I-cache see one code
+ * image, not one per worker).
+ */
+
+#ifndef CAPSULE_CORE_EXEC_HH
+#define CAPSULE_CORE_EXEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "mem/arena.hh"
+
+namespace capsule::rt
+{
+
+/** Layout constants of the synthetic code image. */
+struct CodeLayout
+{
+    Addr base = 0x10000;
+    /** Branch/nthr sites live at base + site*4; below this count. */
+    std::uint32_t maxSites = 4096;
+    /** Straight-line code occupies a rolling window after the sites. */
+    Addr straightBase() const { return base + Addr(maxSites) * 4; }
+    std::uint32_t straightWindowBytes = 2048;
+};
+
+/**
+ * Pool of pre-allocated worker stacks (Section 3.2: "a new stack is
+ * allocated from a pre-allocated pool" on division). Returns recycled
+ * simulated addresses; the division prologue touches the stack head.
+ */
+class StackPool
+{
+  public:
+    StackPool(mem::Arena &arena, std::uint64_t stack_bytes = 1024,
+              std::size_t reserve_stacks = 64);
+
+    /** Take a stack (grows the pool from the arena when empty). */
+    Addr take();
+
+    /** Return a stack for reuse. */
+    void give(Addr stack);
+
+    std::size_t allocated() const { return total; }
+
+    /**
+     * Simulated address of the pool's free-list head. Allocation
+     * from the shared pool is a critical section: the division
+     * prologue locks this address, which is what makes storms of
+     * tiny divisions expensive (and the death throttle worthwhile).
+     */
+    Addr headAddr() const { return head; }
+
+  private:
+    mem::Arena &arena;
+    std::uint64_t stackBytes;
+    Addr head;
+    std::vector<Addr> freeList;
+    std::size_t total = 0;
+};
+
+/** Per-benchmark shared context for all workers of one run. */
+class Exec
+{
+  public:
+    /**
+     * @param heap_bytes size of the simulated heap served by arena()
+     */
+    explicit Exec(std::uint64_t heap_bytes = 64ULL << 20);
+
+    mem::Arena &arena() { return heap; }
+    StackPool &stacks() { return stackPool; }
+    const CodeLayout &code() const { return layout; }
+
+    /** Division-prologue lengths (measured ~15 cycles per division). */
+    int parentPrologueOps() const { return 3; }
+    int childPrologueOps() const { return 12; }
+
+  private:
+    mem::Arena heap;
+    StackPool stackPool;
+    CodeLayout layout;
+};
+
+} // namespace capsule::rt
+
+#endif // CAPSULE_CORE_EXEC_HH

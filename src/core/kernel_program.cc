@@ -1,0 +1,147 @@
+#include "core/kernel_program.hh"
+
+#include "base/logging.hh"
+
+namespace capsule::rt
+{
+
+using isa::DynInst;
+using isa::OpClass;
+
+KernelProgram::KernelProgram(Exec &exec, WorkerFn body_fn,
+                             bool is_ancestor)
+    : ex(exec), w(exec, chan), body(std::move(body_fn)),
+      ancestor(is_ancestor)
+{
+    stackAddr = ex.stacks().take();
+    if (!ancestor) {
+        // Child side of a division: stack setup from the pool.
+        stagePrologue(ex.childPrologueOps());
+    }
+}
+
+KernelProgram::~KernelProgram()
+{
+    // The stack returns to the pool even if the simulation aborted
+    // mid-run; double-give is avoided via the death flag.
+    if (!deathStaged && stackAddr)
+        ex.stacks().give(stackAddr);
+}
+
+void
+KernelProgram::stagePrologue(int ops)
+{
+    // Stack-management work of Section 3.2. The child side takes a
+    // stack from the shared pre-allocated pool, which is a critical
+    // section on the pool's free-list head; the parent side only
+    // adjusts its own bookkeeping. Filler ALU ops bring the total to
+    // the measured ~15-cycle division overhead.
+    CAPSULE_ASSERT(ops >= 0, "negative prologue length");
+    Addr poolHead = ex.stacks().headAddr();
+    Val v;
+    int emittedOps = 0;
+    if (ops >= 7) {
+        auto emitSimple = [&](OpClass cls, Addr addr,
+                              std::uint8_t rd, std::uint8_t rs1) {
+            DynInst d;
+            d.cls = cls;
+            d.pc = w.nextStraightPc();
+            d.rd = rd;
+            d.rs1 = rs1;
+            d.effAddr = addr;
+            d.accessBytes = addr ? 8 : 0;
+            w.push(d);
+        };
+        v = w.allocInt();
+        // Pop a stack from the pool under the hardware lock.
+        emitSimple(OpClass::Mlock, poolHead, isa::noReg, isa::noReg);
+        emitSimple(OpClass::Load, poolHead, v.reg, isa::noReg);
+        Val next = w.allocInt();
+        emitSimple(OpClass::IntAlu, 0, next.reg, v.reg);
+        emitSimple(OpClass::Store, poolHead, isa::noReg, next.reg);
+        emitSimple(OpClass::Munlock, poolHead, isa::noReg,
+                   isa::noReg);
+        // Touch the stack base (frame setup).
+        emitSimple(OpClass::Store, stackAddr, isa::noReg, v.reg);
+        emitSimple(OpClass::Load, stackAddr, v.reg, isa::noReg);
+        emittedOps = 7;
+    }
+    Val cur = v;
+    for (; emittedOps < ops; ++emittedOps) {
+        Val dst = w.allocInt();
+        DynInst d;
+        d.cls = OpClass::IntAlu;
+        d.pc = w.nextStraightPc();
+        d.rd = dst.reg;
+        d.rs1 = cur.reg;
+        w.push(d);
+        cur = dst;
+    }
+}
+
+bool
+KernelProgram::next(isa::DynInst &out)
+{
+    CAPSULE_ASSERT(!awaitingNthr,
+                   "next() called with an unresolved probe");
+
+    while (chan.pending.empty()) {
+        if (!started) {
+            started = true;
+            root = body(w);
+            CAPSULE_ASSERT(root.valid(), "worker body is not a Task "
+                                         "coroutine");
+            root.handle().resume();
+            continue;
+        }
+        if (root.done()) {
+            if (deathStaged)
+                return false;
+            deathStaged = true;
+            ex.stacks().give(stackAddr);
+            DynInst d;
+            d.cls = ancestor ? OpClass::Halt : OpClass::Kthr;
+            d.pc = w.nextStraightPc();
+            chan.pending.push_back(d);
+            continue;
+        }
+        CAPSULE_ASSERT(chan.resumePoint,
+                       "no staged work and no resume point");
+        chan.resumePoint.resume();
+    }
+
+    out = chan.pending.front();
+    chan.pending.pop_front();
+    if (out.cls == OpClass::Nthr)
+        awaitingNthr = true;
+    return true;
+}
+
+std::unique_ptr<front::Program>
+KernelProgram::resolveNthr(bool granted)
+{
+    CAPSULE_ASSERT(awaitingNthr, "resolveNthr without a pending nthr");
+    CAPSULE_ASSERT(chan.probePending, "channel has no probe state");
+    awaitingNthr = false;
+    chan.probePending = false;
+    chan.probeGranted = granted;
+
+    if (!granted) {
+        chan.probeChild = nullptr;
+        return nullptr;
+    }
+    // Parent-side stack bookkeeping for the division.
+    stagePrologue(ex.parentPrologueOps());
+    auto child = std::make_unique<KernelProgram>(
+        ex, std::move(chan.probeChild), false);
+    chan.probeChild = nullptr;
+    return child;
+}
+
+std::unique_ptr<KernelProgram>
+makeAncestor(Exec &exec, WorkerFn body)
+{
+    return std::make_unique<KernelProgram>(exec, std::move(body), true);
+}
+
+} // namespace capsule::rt

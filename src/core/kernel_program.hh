@@ -1,0 +1,69 @@
+/**
+ * @file
+ * KernelProgram: the front::Program implementation driving one worker
+ * coroutine stack. It drains the worker's channel one instruction per
+ * fetch pull, resumes the coroutine when the channel runs dry, and
+ * implements the division protocol: on a granted nthr it constructs
+ * the child KernelProgram (with its stack from the pre-allocated
+ * pool and the child-side division prologue) and charges the
+ * parent-side prologue; on completion it emits the worker's kthr
+ * (halt for the ancestor) and recycles the stack.
+ */
+
+#ifndef CAPSULE_CORE_KERNEL_PROGRAM_HH
+#define CAPSULE_CORE_KERNEL_PROGRAM_HH
+
+#include <memory>
+
+#include "core/exec.hh"
+#include "core/task.hh"
+#include "core/worker.hh"
+#include "front/program.hh"
+
+namespace capsule::rt
+{
+
+/** Drives one worker coroutine as a simulated thread. */
+class KernelProgram : public front::Program
+{
+  public:
+    /**
+     * @param exec shared per-benchmark context
+     * @param body the worker's code
+     * @param ancestor true for the group ancestor (ends with halt,
+     *        never kthr, per Section 3.1)
+     */
+    KernelProgram(Exec &exec, WorkerFn body, bool ancestor);
+    ~KernelProgram() override;
+
+    bool next(isa::DynInst &out) override;
+    std::unique_ptr<front::Program> resolveNthr(bool granted) override;
+
+    const Worker &worker() const { return w; }
+
+  private:
+    /**
+     * Stage the division-prologue instructions (stack management of
+     * Section 3.2, ~15 cycles per division in total across parent and
+     * child).
+     */
+    void stagePrologue(int ops);
+
+    Exec &ex;
+    Channel chan;
+    Worker w;
+    WorkerFn body;
+    Task root;
+    bool ancestor;
+    bool started = false;
+    bool awaitingNthr = false;
+    bool deathStaged = false;
+    Addr stackAddr = 0;
+};
+
+/** Convenience: make an ancestor program for `body`. */
+std::unique_ptr<KernelProgram> makeAncestor(Exec &exec, WorkerFn body);
+
+} // namespace capsule::rt
+
+#endif // CAPSULE_CORE_KERNEL_PROGRAM_HH

@@ -1,0 +1,3 @@
+#include "core/task.hh"
+
+// Task is header-only; this translation unit pins the library archive.

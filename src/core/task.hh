@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The coroutine task type for CAPSULE workers.
+ *
+ * A worker body is a C++20 coroutine returning Task. Each co_await of
+ * a Worker operation emits one or more dynamic instructions into the
+ * thread's Channel and suspends the whole coroutine stack; the
+ * KernelProgram driver drains the channel one instruction per
+ * Machine fetch-pull and resumes the innermost coroutine when the
+ * channel runs dry. Tasks nest: a worker may co_await helper tasks,
+ * with completion resuming the parent through symmetric transfer.
+ */
+
+#ifndef CAPSULE_CORE_TASK_HH
+#define CAPSULE_CORE_TASK_HH
+
+#include <coroutine>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <utility>
+
+#include "isa/isa.hh"
+
+namespace capsule::rt
+{
+
+class Worker;
+
+/**
+ * The communication channel between one worker coroutine stack and
+ * its KernelProgram driver.
+ */
+struct Channel
+{
+    /** Instructions staged for the pipeline, oldest first. */
+    std::deque<isa::DynInst> pending;
+    /** The innermost suspended coroutine, resumed when pending dries. */
+    std::coroutine_handle<> resumePoint;
+    /** Set between emitting an Nthr record and its resolution. */
+    bool probePending = false;
+    bool probeGranted = false;
+    /** Child worker body captured by the probe. */
+    std::function<class Task(Worker &)> probeChild;
+};
+
+/** Coroutine task; see file comment. */
+class Task
+{
+  public:
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation;
+
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(
+                    *this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(
+                std::coroutine_handle<promise_type> h) noexcept
+            {
+                auto cont = h.promise().continuation;
+                return cont ? cont : std::noop_coroutine();
+            }
+
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    Task() = default;
+
+    explicit Task(std::coroutine_handle<promise_type> handle)
+        : h(handle)
+    {}
+
+    Task(Task &&other) noexcept : h(std::exchange(other.h, {})) {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            h = std::exchange(other.h, {});
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return bool(h); }
+    bool done() const { return !h || h.done(); }
+    std::coroutine_handle<promise_type> handle() const { return h; }
+
+    // Awaitable interface for nesting: co_await subtask(...).
+    bool await_ready() const noexcept { return done(); }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> parent) noexcept
+    {
+        h.promise().continuation = parent;
+        return h;  // symmetric transfer into the child task
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    void
+    destroy()
+    {
+        if (h) {
+            h.destroy();
+            h = {};
+        }
+    }
+
+    std::coroutine_handle<promise_type> h;
+};
+
+/** A worker body: the code a divided component runs. */
+using WorkerFn = std::function<Task(Worker &)>;
+
+} // namespace capsule::rt
+
+#endif // CAPSULE_CORE_TASK_HH

@@ -1,0 +1,260 @@
+#include "core/worker.hh"
+
+#include "base/logging.hh"
+
+namespace capsule::rt
+{
+
+using isa::DynInst;
+using isa::OpClass;
+
+Worker::Worker(Exec &exec, Channel &chan) : ex(exec), ch(chan)
+{
+}
+
+Val
+Worker::allocInt()
+{
+    Val v{intCursor, false};
+    intCursor = std::uint8_t(intCursor == 30 ? 1 : intCursor + 1);
+    return v;
+}
+
+Val
+Worker::allocFp()
+{
+    Val v{fpCursor, true};
+    fpCursor = std::uint8_t(fpCursor == 29 ? 0 : fpCursor + 1);
+    return v;
+}
+
+Addr
+Worker::nextStraightPc()
+{
+    const CodeLayout &cl = ex.code();
+    Addr pc = cl.straightBase() + (pcCursor % cl.straightWindowBytes);
+    pcCursor += 4;
+    return pc;
+}
+
+Addr
+Worker::sitePc(std::uint32_t site) const
+{
+    const CodeLayout &cl = ex.code();
+    CAPSULE_ASSERT(site < cl.maxSites, "branch site ", site,
+                   " exceeds code layout capacity");
+    return cl.base + Addr(site) * 4;
+}
+
+void
+Worker::push(DynInst inst)
+{
+    ch.pending.push_back(inst);
+    ++nEmitted;
+}
+
+Worker::Op
+Worker::load(Addr a)
+{
+    Val dst = allocInt();
+    DynInst d;
+    d.cls = OpClass::Load;
+    d.pc = nextStraightPc();
+    d.rd = dst.reg;
+    d.effAddr = a;
+    d.accessBytes = 8;
+    push(d);
+    return Op(ch, dst);
+}
+
+Worker::Op
+Worker::loadf(Addr a)
+{
+    Val dst = allocFp();
+    DynInst d;
+    d.cls = OpClass::Load;
+    d.pc = nextStraightPc();
+    d.rd = dst.reg;
+    d.fpRegs = true;
+    d.effAddr = a;
+    d.accessBytes = 8;
+    push(d);
+    return Op(ch, dst);
+}
+
+Worker::Op
+Worker::store(Addr a, Val v)
+{
+    DynInst d;
+    d.cls = OpClass::Store;
+    d.pc = nextStraightPc();
+    d.rs1 = v.reg;
+    d.fpRegs = v.fp;
+    d.effAddr = a;
+    d.accessBytes = 8;
+    push(d);
+    return Op(ch, Val{});
+}
+
+Worker::Op
+Worker::storef(Addr a, Val v)
+{
+    Val src = v;
+    src.fp = true;
+    return store(a, src);
+}
+
+Worker::Op
+Worker::alu(Val a, Val b)
+{
+    Val dst = allocInt();
+    DynInst d;
+    d.cls = OpClass::IntAlu;
+    d.pc = nextStraightPc();
+    d.rd = dst.reg;
+    d.rs1 = a.reg;
+    d.rs2 = b.reg;
+    push(d);
+    return Op(ch, dst);
+}
+
+Worker::Op
+Worker::mul(Val a, Val b)
+{
+    Val dst = allocInt();
+    DynInst d;
+    d.cls = OpClass::IntMult;
+    d.pc = nextStraightPc();
+    d.rd = dst.reg;
+    d.rs1 = a.reg;
+    d.rs2 = b.reg;
+    push(d);
+    return Op(ch, dst);
+}
+
+Worker::Op
+Worker::fadd(Val a, Val b)
+{
+    Val dst = allocFp();
+    DynInst d;
+    d.cls = OpClass::FpAlu;
+    d.pc = nextStraightPc();
+    d.rd = dst.reg;
+    d.rs1 = a.reg;
+    d.rs2 = b.reg;
+    d.fpRegs = true;
+    push(d);
+    return Op(ch, dst);
+}
+
+Worker::Op
+Worker::fmul(Val a, Val b)
+{
+    Val dst = allocFp();
+    DynInst d;
+    d.cls = OpClass::FpMult;
+    d.pc = nextStraightPc();
+    d.rd = dst.reg;
+    d.rs1 = a.reg;
+    d.rs2 = b.reg;
+    d.fpRegs = true;
+    push(d);
+    return Op(ch, dst);
+}
+
+Worker::Op
+Worker::compute(int n)
+{
+    CAPSULE_ASSERT(n >= 0, "negative op count");
+    for (int i = 0; i < n; ++i) {
+        DynInst d;
+        d.cls = OpClass::IntAlu;
+        d.pc = nextStraightPc();
+        d.rd = allocInt().reg;
+        push(d);
+    }
+    return Op(ch, Val{});
+}
+
+Worker::Op
+Worker::chain(Val src, int n)
+{
+    CAPSULE_ASSERT(n >= 0, "negative chain length");
+    Val cur = src;
+    for (int i = 0; i < n; ++i) {
+        Val dst = allocInt();
+        DynInst d;
+        d.cls = OpClass::IntAlu;
+        d.pc = nextStraightPc();
+        d.rd = dst.reg;
+        d.rs1 = cur.reg;
+        push(d);
+        cur = dst;
+    }
+    return Op(ch, cur);
+}
+
+Worker::Op
+Worker::branch(std::uint32_t site, bool taken, Val dep)
+{
+    DynInst d;
+    d.cls = OpClass::Branch;
+    d.pc = sitePc(site);
+    d.rs1 = dep.reg;
+    d.taken = taken;
+    d.target = taken ? sitePc(site) + 4 : 0;
+    push(d);
+    return Op(ch, Val{});
+}
+
+Worker::Op
+Worker::jump(std::uint32_t site)
+{
+    DynInst d;
+    d.cls = OpClass::Jump;
+    d.pc = sitePc(site);
+    d.taken = true;
+    d.target = sitePc(site) + 4;
+    push(d);
+    return Op(ch, Val{});
+}
+
+Worker::Op
+Worker::lock(Addr a)
+{
+    DynInst d;
+    d.cls = OpClass::Mlock;
+    d.pc = nextStraightPc();
+    d.effAddr = a;
+    d.accessBytes = 8;
+    push(d);
+    return Op(ch, Val{});
+}
+
+Worker::Op
+Worker::unlock(Addr a)
+{
+    DynInst d;
+    d.cls = OpClass::Munlock;
+    d.pc = nextStraightPc();
+    d.effAddr = a;
+    d.accessBytes = 8;
+    push(d);
+    return Op(ch, Val{});
+}
+
+Worker::Probe
+Worker::probe(WorkerFn child, std::uint32_t site)
+{
+    DynInst d;
+    d.cls = OpClass::Nthr;
+    d.pc = sitePc(site);
+    d.target = sitePc(site) + 4;
+    push(d);
+    ch.probePending = true;
+    ch.probeGranted = false;
+    ch.probeChild = std::move(child);
+    return Probe(ch);
+}
+
+} // namespace capsule::rt

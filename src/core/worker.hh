@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The CAPSULE worker API: the capability handed to component bodies.
+ *
+ * A worker body is a coroutine `Task body(Worker &w)`. Every
+ * architectural event is expressed by co_awaiting a Worker operation,
+ * which emits dynamic instructions into the thread's channel:
+ *
+ *   Val v = co_await w.load(addr);         // LOAD (cache-modelled)
+ *   Val s = co_await w.alu(v);             // dependent IALU
+ *   co_await w.store(addr, s);             // STORE
+ *   co_await w.branch(SITE, taken, s);     // predicted BRANCH
+ *   co_await w.lock(node); ... w.unlock(node);  // mlock/munlock
+ *   bool got = co_await w.probe(childFn);  // nthr: conditional division
+ *
+ * Value handles (Val) carry synthetic register names so the pipeline
+ * observes true data dependences; sites give branches and probes
+ * stable PCs shared by all workers running the same code.
+ */
+
+#ifndef CAPSULE_CORE_WORKER_HH
+#define CAPSULE_CORE_WORKER_HH
+
+#include <cstdint>
+
+#include "core/exec.hh"
+#include "core/task.hh"
+#include "isa/isa.hh"
+
+namespace capsule::rt
+{
+
+/** A value handle: names the synthetic register holding a result. */
+struct Val
+{
+    std::uint8_t reg = isa::noReg;
+    bool fp = false;
+};
+
+/** The per-thread capability used by worker bodies. */
+class Worker
+{
+  public:
+    Worker(Exec &exec, Channel &chan);
+
+    // ---- awaitables ------------------------------------------------
+    /** Emits `count` staged instructions then suspends to the driver;
+     *  await_resume yields the result value handle (if any). */
+    class [[nodiscard]] Op
+    {
+      public:
+        Op(Channel &chan, Val result) : ch(chan), res(result) {}
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) noexcept
+        {
+            ch.resumePoint = h;
+        }
+
+        Val await_resume() const noexcept { return res; }
+
+      private:
+        Channel &ch;
+        Val res;
+    };
+
+    /** The conditional-division awaitable; resumes with the grant. */
+    class [[nodiscard]] Probe
+    {
+      public:
+        explicit Probe(Channel &chan) : ch(chan) {}
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) noexcept
+        {
+            ch.resumePoint = h;
+        }
+
+        bool await_resume() const noexcept { return ch.probeGranted; }
+
+      private:
+        Channel &ch;
+    };
+
+    // ---- integer / fp data-flow ops ---------------------------------
+    /** Integer load from a simulated address. */
+    Op load(Addr a);
+    /** Floating-point load. */
+    Op loadf(Addr a);
+    /** Store (optionally dependent on a produced value). */
+    Op store(Addr a, Val v = {});
+    Op storef(Addr a, Val v = {});
+    /** One integer ALU op, result depends on the given sources. */
+    Op alu(Val a = {}, Val b = {});
+    /** Integer multiply. */
+    Op mul(Val a = {}, Val b = {});
+    /** FP add / multiply. */
+    Op fadd(Val a = {}, Val b = {});
+    Op fmul(Val a = {}, Val b = {});
+    /** `n` independent integer ALU ops (bulk parallel work). */
+    Op compute(int n);
+    /** `n` serially dependent ALU ops starting from `src`. */
+    Op chain(Val src, int n);
+
+    // ---- control flow ----------------------------------------------
+    /**
+     * Conditional branch at a stable site PC. Taken backedges end the
+     * fetch packet exactly as in the hardware; mispredictions stall
+     * fetch until resolution.
+     */
+    Op branch(std::uint32_t site, bool taken, Val dep = {});
+    /** Unconditional jump (ends the fetch packet). */
+    Op jump(std::uint32_t site);
+
+    // ---- CAPSULE extensions ------------------------------------------
+    /** mlock on the base address of a shared object. */
+    Op lock(Addr a);
+    /** munlock; the oldest waiter becomes the owner. */
+    Op unlock(Addr a);
+    /**
+     * Conditional division (the `coworker` call after preprocessing):
+     * emits nthr at the site PC; the architecture decides. On grant
+     * the child body runs in a new thread with its own stack from the
+     * pool; the parent continues as the "left" half.
+     */
+    Probe probe(WorkerFn child, std::uint32_t site = 0);
+
+    // ---- introspection -----------------------------------------------
+    std::uint64_t emitted() const { return nEmitted; }
+    Exec &exec() { return ex; }
+
+  private:
+    friend class KernelProgram;
+
+    Val allocInt();
+    Val allocFp();
+    Addr nextStraightPc();
+    Addr sitePc(std::uint32_t site) const;
+    void push(isa::DynInst inst);
+
+    Exec &ex;
+    Channel &ch;
+    std::uint8_t intCursor = 1;   ///< r1..r30 round robin
+    std::uint8_t fpCursor = 0;    ///< f0..f29 round robin
+    std::uint32_t pcCursor = 0;   ///< rolling straight-line code PC
+    std::uint64_t nEmitted = 0;
+};
+
+} // namespace capsule::rt
+
+#endif // CAPSULE_CORE_WORKER_HH

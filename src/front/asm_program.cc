@@ -1,0 +1,327 @@
+#include "front/asm_program.hh"
+
+#include "base/logging.hh"
+
+namespace capsule::front
+{
+
+using isa::Opcode;
+using isa::OpClass;
+
+AsmProcess::AsmProcess(const casm::Image &img)
+    : entry(img.base), codeBase(img.base)
+{
+    decoded.reserve(img.words.size());
+    for (std::size_t i = 0; i < img.words.size(); ++i) {
+        decoded.push_back(isa::decode(img.words[i]));
+        memory.write(img.base + Addr(i) * 4, img.words[i], 4);
+    }
+}
+
+isa::StaticInst
+AsmProcess::fetch(Addr pc) const
+{
+    CAPSULE_ASSERT(pc >= codeBase && (pc - codeBase) / 4 < decoded.size(),
+                   "instruction fetch outside code image at pc=", pc);
+    CAPSULE_ASSERT(pc % 4 == 0, "misaligned pc ", pc);
+    return decoded[(pc - codeBase) / 4];
+}
+
+AsmProgram::AsmProgram(AsmProcess &process)
+    : proc(process), curPc(process.entry)
+{
+}
+
+AsmProgram::AsmProgram(AsmProcess &process, const RegFile &regs,
+                       Addr start_pc, std::int64_t nthr_result,
+                       std::uint8_t nthr_rd)
+    : proc(process), rf(regs), curPc(start_pc)
+{
+    if (nthr_rd != isa::noReg)
+        writeInt(nthr_rd, nthr_result);
+}
+
+std::int64_t
+AsmProgram::readInt(std::uint8_t r) const
+{
+    CAPSULE_ASSERT(r < isa::numIntRegs, "bad int reg ", int(r));
+    return r == 0 ? 0 : rf.intRegs[r];
+}
+
+void
+AsmProgram::writeInt(std::uint8_t r, std::int64_t v)
+{
+    CAPSULE_ASSERT(r < isa::numIntRegs, "bad int reg ", int(r));
+    if (r != 0)
+        rf.intRegs[r] = v;
+}
+
+bool
+AsmProgram::next(isa::DynInst &out)
+{
+    CAPSULE_ASSERT(!pendingNthr,
+                   "next() called with an unresolved nthr decision");
+    if (done)
+        return false;
+
+    isa::StaticInst si = proc.fetch(curPc);
+    out = isa::DynInst{};
+    out.cls = isa::opClassOf(si.op);
+    out.pc = curPc;
+    out.rd = si.rd;
+    out.rs1 = si.rs1;
+    out.rs2 = si.rs2;
+    out.fpRegs = isa::writesFpReg(si.op) || si.op == Opcode::Fsd ||
+                 si.op == Opcode::Fcmp;
+
+    Addr nextPc = curPc + 4;
+    ++executed;
+
+    switch (si.op) {
+      case Opcode::Nop:
+        break;
+
+      case Opcode::Add:
+        writeInt(si.rd, readInt(si.rs1) + readInt(si.rs2));
+        break;
+      case Opcode::Sub:
+        writeInt(si.rd, readInt(si.rs1) - readInt(si.rs2));
+        break;
+      case Opcode::And:
+        writeInt(si.rd, readInt(si.rs1) & readInt(si.rs2));
+        break;
+      case Opcode::Or:
+        writeInt(si.rd, readInt(si.rs1) | readInt(si.rs2));
+        break;
+      case Opcode::Xor:
+        writeInt(si.rd, readInt(si.rs1) ^ readInt(si.rs2));
+        break;
+      case Opcode::Sll:
+        writeInt(si.rd, readInt(si.rs1)
+                            << (readInt(si.rs2) & 63));
+        break;
+      case Opcode::Srl:
+        writeInt(si.rd,
+                 std::int64_t(std::uint64_t(readInt(si.rs1)) >>
+                              (readInt(si.rs2) & 63)));
+        break;
+      case Opcode::Sra:
+        writeInt(si.rd, readInt(si.rs1) >> (readInt(si.rs2) & 63));
+        break;
+      case Opcode::Slt:
+        writeInt(si.rd, readInt(si.rs1) < readInt(si.rs2) ? 1 : 0);
+        break;
+      case Opcode::Sltu:
+        writeInt(si.rd, std::uint64_t(readInt(si.rs1)) <
+                                std::uint64_t(readInt(si.rs2))
+                            ? 1
+                            : 0);
+        break;
+      case Opcode::Addi:
+        writeInt(si.rd, readInt(si.rs1) + si.imm);
+        break;
+      case Opcode::Andi:
+        writeInt(si.rd, readInt(si.rs1) & si.imm);
+        break;
+      case Opcode::Ori:
+        writeInt(si.rd, readInt(si.rs1) | si.imm);
+        break;
+      case Opcode::Xori:
+        writeInt(si.rd, readInt(si.rs1) ^ si.imm);
+        break;
+      case Opcode::Slli:
+        writeInt(si.rd, readInt(si.rs1) << (si.imm & 63));
+        break;
+      case Opcode::Srli:
+        writeInt(si.rd, std::int64_t(std::uint64_t(readInt(si.rs1)) >>
+                                     (si.imm & 63)));
+        break;
+      case Opcode::Slti:
+        writeInt(si.rd, readInt(si.rs1) < si.imm ? 1 : 0);
+        break;
+      case Opcode::Lui:
+        writeInt(si.rd, std::int64_t(si.imm) << 12);
+        break;
+
+      case Opcode::Mul:
+        writeInt(si.rd, readInt(si.rs1) * readInt(si.rs2));
+        break;
+      case Opcode::Div: {
+        std::int64_t d = readInt(si.rs2);
+        writeInt(si.rd, d == 0 ? -1 : readInt(si.rs1) / d);
+        break;
+      }
+      case Opcode::Rem: {
+        std::int64_t d = readInt(si.rs2);
+        writeInt(si.rd, d == 0 ? readInt(si.rs1) : readInt(si.rs1) % d);
+        break;
+      }
+
+      case Opcode::Fadd:
+        rf.fpRegs[si.rd] = rf.fpRegs[si.rs1] + rf.fpRegs[si.rs2];
+        break;
+      case Opcode::Fsub:
+        rf.fpRegs[si.rd] = rf.fpRegs[si.rs1] - rf.fpRegs[si.rs2];
+        break;
+      case Opcode::Fmul:
+        rf.fpRegs[si.rd] = rf.fpRegs[si.rs1] * rf.fpRegs[si.rs2];
+        break;
+      case Opcode::Fdiv:
+        rf.fpRegs[si.rd] = rf.fpRegs[si.rs1] / rf.fpRegs[si.rs2];
+        break;
+      case Opcode::Fcmp:
+        // Result to an integer register: -1 / 0 / 1.
+        writeInt(si.rd, rf.fpRegs[si.rs1] < rf.fpRegs[si.rs2]   ? -1
+                        : rf.fpRegs[si.rs1] > rf.fpRegs[si.rs2] ? 1
+                                                                : 0);
+        out.fpRegs = false;
+        break;
+      case Opcode::Fcvt:
+        rf.fpRegs[si.rd] = double(readInt(si.rs1));
+        break;
+
+      case Opcode::Lb:
+        out.effAddr = Addr(readInt(si.rs1) + si.imm);
+        out.accessBytes = 1;
+        writeInt(si.rd, std::int8_t(proc.memory.read(out.effAddr, 1)));
+        break;
+      case Opcode::Lh:
+        out.effAddr = Addr(readInt(si.rs1) + si.imm);
+        out.accessBytes = 2;
+        writeInt(si.rd, std::int16_t(proc.memory.read(out.effAddr, 2)));
+        break;
+      case Opcode::Lw:
+        out.effAddr = Addr(readInt(si.rs1) + si.imm);
+        out.accessBytes = 4;
+        writeInt(si.rd, std::int32_t(proc.memory.read(out.effAddr, 4)));
+        break;
+      case Opcode::Ld:
+        out.effAddr = Addr(readInt(si.rs1) + si.imm);
+        out.accessBytes = 8;
+        writeInt(si.rd, std::int64_t(proc.memory.read(out.effAddr, 8)));
+        break;
+      case Opcode::Fld:
+        out.effAddr = Addr(readInt(si.rs1) + si.imm);
+        out.accessBytes = 8;
+        rf.fpRegs[si.rd] = proc.memory.readDouble(out.effAddr);
+        break;
+      case Opcode::Sb:
+        out.effAddr = Addr(readInt(si.rs1) + si.imm);
+        out.accessBytes = 1;
+        proc.memory.write(out.effAddr,
+                          std::uint64_t(readInt(si.rs2)), 1);
+        break;
+      case Opcode::Sh:
+        out.effAddr = Addr(readInt(si.rs1) + si.imm);
+        out.accessBytes = 2;
+        proc.memory.write(out.effAddr,
+                          std::uint64_t(readInt(si.rs2)), 2);
+        break;
+      case Opcode::Sw:
+        out.effAddr = Addr(readInt(si.rs1) + si.imm);
+        out.accessBytes = 4;
+        proc.memory.write(out.effAddr,
+                          std::uint64_t(readInt(si.rs2)), 4);
+        break;
+      case Opcode::Sd:
+        out.effAddr = Addr(readInt(si.rs1) + si.imm);
+        out.accessBytes = 8;
+        proc.memory.write(out.effAddr,
+                          std::uint64_t(readInt(si.rs2)), 8);
+        break;
+      case Opcode::Fsd:
+        out.effAddr = Addr(readInt(si.rs1) + si.imm);
+        out.accessBytes = 8;
+        proc.memory.writeDouble(out.effAddr, rf.fpRegs[si.rs2]);
+        break;
+
+      case Opcode::Beq:
+        out.taken = readInt(si.rs1) == readInt(si.rs2);
+        out.target = curPc + Addr(std::int64_t(si.imm) * 4);
+        if (out.taken)
+            nextPc = out.target;
+        break;
+      case Opcode::Bne:
+        out.taken = readInt(si.rs1) != readInt(si.rs2);
+        out.target = curPc + Addr(std::int64_t(si.imm) * 4);
+        if (out.taken)
+            nextPc = out.target;
+        break;
+      case Opcode::Blt:
+        out.taken = readInt(si.rs1) < readInt(si.rs2);
+        out.target = curPc + Addr(std::int64_t(si.imm) * 4);
+        if (out.taken)
+            nextPc = out.target;
+        break;
+      case Opcode::Bge:
+        out.taken = readInt(si.rs1) >= readInt(si.rs2);
+        out.target = curPc + Addr(std::int64_t(si.imm) * 4);
+        if (out.taken)
+            nextPc = out.target;
+        break;
+
+      case Opcode::Jmp:
+        out.taken = true;
+        out.target = curPc + Addr(std::int64_t(si.imm) * 4);
+        nextPc = out.target;
+        break;
+      case Opcode::Jal:
+        out.taken = true;
+        out.target = curPc + Addr(std::int64_t(si.imm) * 4);
+        writeInt(si.rd, std::int64_t(curPc + 4));
+        nextPc = out.target;
+        break;
+      case Opcode::Jr:
+        out.taken = true;
+        out.target = Addr(readInt(si.rs1));
+        nextPc = out.target;
+        break;
+
+      case Opcode::NthrOp:
+        out.target = curPc + Addr(std::int64_t(si.imm) * 4);
+        pendingNthr = true;
+        pendingNthrTarget = out.target;
+        pendingNthrRd = si.rd;
+        // nextPc (fall-through) is taken by the parent regardless of
+        // the decision; the register result distinguishes the cases.
+        break;
+
+      case Opcode::KthrOp:
+        done = true;
+        break;
+      case Opcode::HaltOp:
+        done = true;
+        break;
+
+      case Opcode::MlockOp:
+      case Opcode::MunlockOp:
+        out.effAddr = Addr(readInt(si.rs1));
+        out.accessBytes = 8;
+        break;
+
+      default:
+        CAPSULE_PANIC("unhandled opcode in AsmProgram: ",
+                      isa::mnemonic(si.op));
+    }
+
+    curPc = nextPc;
+    return true;
+}
+
+std::unique_ptr<Program>
+AsmProgram::resolveNthr(bool granted)
+{
+    CAPSULE_ASSERT(pendingNthr, "resolveNthr without a pending nthr");
+    pendingNthr = false;
+    if (!granted) {
+        writeInt(pendingNthrRd, -1);
+        return nullptr;
+    }
+    // Parent: rd = 0 and fall through. Child: copy of registers as of
+    // the division point, rd = 1, starts at the nthr target.
+    writeInt(pendingNthrRd, 0);
+    return std::make_unique<AsmProgram>(proc, rf, pendingNthrTarget,
+                                        1, pendingNthrRd);
+}
+
+} // namespace capsule::front

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Functional interpreter for assembled CapISA images. Each AsmProgram
+ * is one simulated thread; nthr forks a child AsmProgram with a copy
+ * of the architectural registers, sharing Memory.
+ */
+
+#ifndef CAPSULE_FRONT_ASM_PROGRAM_HH
+#define CAPSULE_FRONT_ASM_PROGRAM_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "casm/assembler.hh"
+#include "front/program.hh"
+#include "mem/memory.hh"
+
+namespace capsule::front
+{
+
+/** Architectural register state of one CapISA thread. */
+struct RegFile
+{
+    std::array<std::int64_t, isa::numIntRegs> intRegs{};
+    std::array<double, isa::numFpRegs> fpRegs{};
+};
+
+/**
+ * Shared process image: code plus data memory. Created once per
+ * simulation from an assembled Image; threads reference it.
+ */
+class AsmProcess
+{
+  public:
+    explicit AsmProcess(const casm::Image &img);
+
+    /** Fetch and decode the static instruction at `pc`. */
+    isa::StaticInst fetch(Addr pc) const;
+
+    mem::Memory memory;
+    Addr entry;
+
+  private:
+    Addr codeBase;
+    std::vector<isa::StaticInst> decoded;
+};
+
+/**
+ * One thread of an AsmProcess. Implements the Program front-end
+ * contract; functional semantics follow isa.hh.
+ */
+class AsmProgram : public Program
+{
+  public:
+    /** Ancestor thread starting at the image entry point. */
+    explicit AsmProgram(AsmProcess &process);
+    /** Child thread: copied registers, explicit start PC. */
+    AsmProgram(AsmProcess &process, const RegFile &regs, Addr start_pc,
+               std::int64_t nthr_result, std::uint8_t nthr_rd);
+
+    bool next(isa::DynInst &out) override;
+    std::unique_ptr<Program> resolveNthr(bool granted) override;
+
+    /** Registers are inspectable for tests. */
+    const RegFile &regs() const { return rf; }
+    Addr pc() const { return curPc; }
+    bool finished() const { return done; }
+
+    /** Instructions functionally executed so far. */
+    std::uint64_t retiredCount() const { return executed; }
+
+  private:
+    std::int64_t readInt(std::uint8_t r) const;
+    void writeInt(std::uint8_t r, std::int64_t v);
+
+    AsmProcess &proc;
+    RegFile rf;
+    Addr curPc;
+    bool done = false;
+    std::uint64_t executed = 0;
+
+    /** Set between an Nthr emission and its resolveNthr() call. */
+    bool pendingNthr = false;
+    Addr pendingNthrTarget = 0;
+    std::uint8_t pendingNthrRd = isa::noReg;
+};
+
+} // namespace capsule::front
+
+#endif // CAPSULE_FRONT_ASM_PROGRAM_HH

@@ -1,0 +1,3 @@
+#include "front/program.hh"
+
+// Program is an interface; this translation unit pins the library.

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The functional front-end contract between a simulated thread and the
+ * timing pipeline.
+ *
+ * CAPSULE uses execute-at-fetch functional simulation: when the fetch
+ * stage pulls the next dynamic instruction of a thread, the front end
+ * has already computed its functional effects (register values, memory
+ * updates, branch outcome). The pipeline models *time* only. Two front
+ * ends implement this interface: AsmProgram (CapISA interpreter) and
+ * the coroutine-based worker runtime in src/core.
+ *
+ * Ordering guarantees the pipeline relies on:
+ *  - next() emits instructions of one thread in program order;
+ *  - after an Nthr record is returned, next() must not be called again
+ *    until resolveNthr() delivers the architecture's decision;
+ *  - the pipeline gates fetch across Mlock grants, so the functional
+ *    mutual exclusion of lock-protected sections matches timing.
+ */
+
+#ifndef CAPSULE_FRONT_PROGRAM_HH
+#define CAPSULE_FRONT_PROGRAM_HH
+
+#include <memory>
+
+#include "isa/isa.hh"
+
+namespace capsule::front
+{
+
+/** One simulated thread's instruction source. */
+class Program
+{
+  public:
+    virtual ~Program() = default;
+
+    /**
+     * Produce the next dynamic instruction in program order.
+     * @return false when the thread has no more instructions (after a
+     *         Kthr/Halt record has been emitted).
+     */
+    virtual bool next(isa::DynInst &out) = 0;
+
+    /**
+     * Deliver the division decision for the Nthr record previously
+     * returned by next(). When granted, the front end must return the
+     * child thread's Program (sharing this thread's functional state
+     * as the ISA prescribes: full register copy, same address space).
+     */
+    virtual std::unique_ptr<Program> resolveNthr(bool granted) = 0;
+};
+
+} // namespace capsule::front
+
+#endif // CAPSULE_FRONT_PROGRAM_HH

@@ -1,0 +1,154 @@
+#include "isa/isa.hh"
+
+#include "base/logging.hh"
+
+namespace capsule::isa
+{
+namespace
+{
+
+/** Opcodes whose bits [17:0] hold a signed 18-bit immediate. */
+bool
+usesWideImm(Opcode op)
+{
+    switch (op) {
+      case Opcode::Lui:
+      case Opcode::Jmp: case Opcode::Jal:
+      case Opcode::NthrOp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Opcodes encoding rs1 + a signed 12-bit immediate in [11:0]. */
+bool
+usesDisp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+      case Opcode::Xori: case Opcode::Slli: case Opcode::Srli:
+      case Opcode::Slti:
+      case Opcode::Lb: case Opcode::Lh: case Opcode::Lw:
+      case Opcode::Ld: case Opcode::Fld:
+      case Opcode::Sb: case Opcode::Sh: case Opcode::Sw:
+      case Opcode::Sd: case Opcode::Fsd:
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::uint32_t
+signedField(std::int32_t v, int bits)
+{
+    auto u = static_cast<std::uint32_t>(v);
+    std::uint32_t mask = (1u << bits) - 1;
+    std::int32_t lo = -(1 << (bits - 1));
+    std::int32_t hi = (1 << (bits - 1)) - 1;
+    CAPSULE_ASSERT(v >= lo && v <= hi,
+                   "immediate ", v, " out of ", bits, "-bit range");
+    return u & mask;
+}
+
+std::int32_t
+signExtend(std::uint32_t field, int bits)
+{
+    std::uint32_t sign = 1u << (bits - 1);
+    std::uint32_t mask = (1u << bits) - 1;
+    field &= mask;
+    if (field & sign)
+        return std::int32_t(field | ~mask);
+    return std::int32_t(field);
+}
+
+std::uint8_t
+regField(std::uint8_t r)
+{
+    // noReg is stored as 0x3f (6-bit all-ones); real registers 0..62.
+    return r == noReg ? 0x3f : r;
+}
+
+std::uint8_t
+regUnfield(std::uint32_t f)
+{
+    return f == 0x3f ? noReg : std::uint8_t(f);
+}
+
+/**
+ * True for disp-format opcodes whose bits [23:18] hold a second source
+ * register (store data register, branch comparand) instead of rd.
+ */
+bool
+dispSlotIsSource(Opcode op)
+{
+    switch (op) {
+      case Opcode::Sb: case Opcode::Sh: case Opcode::Sw:
+      case Opcode::Sd: case Opcode::Fsd:
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+std::uint32_t
+encode(const StaticInst &inst)
+{
+    auto opbyte = std::uint32_t(inst.op);
+    CAPSULE_ASSERT(inst.op < Opcode::NumOpcodes, "bad opcode");
+    std::uint32_t word = opbyte << 24;
+
+    if (usesWideImm(inst.op)) {
+        word |= std::uint32_t(regField(inst.rd)) << 18;
+        word |= signedField(inst.imm, 18);
+    } else if (usesDisp(inst.op)) {
+        std::uint8_t slot =
+            dispSlotIsSource(inst.op) ? inst.rs2 : inst.rd;
+        word |= std::uint32_t(regField(slot)) << 18;
+        word |= std::uint32_t(regField(inst.rs1)) << 12;
+        word |= signedField(inst.imm, 12);
+    } else {
+        word |= std::uint32_t(regField(inst.rd)) << 18;
+        word |= std::uint32_t(regField(inst.rs1)) << 12;
+        word |= std::uint32_t(regField(inst.rs2)) << 6;
+        word |= signedField(inst.imm, 6);
+    }
+    return word;
+}
+
+StaticInst
+decode(std::uint32_t word)
+{
+    StaticInst inst;
+    std::uint32_t opbyte = word >> 24;
+    CAPSULE_ASSERT(opbyte < std::uint32_t(Opcode::NumOpcodes),
+                   "decode: bad opcode byte ", opbyte);
+    inst.op = Opcode(opbyte);
+    std::uint8_t slot = regUnfield((word >> 18) & 0x3f);
+
+    if (usesWideImm(inst.op)) {
+        inst.rd = slot;
+        inst.imm = signExtend(word & 0x3ffff, 18);
+    } else if (usesDisp(inst.op)) {
+        if (dispSlotIsSource(inst.op))
+            inst.rs2 = slot;
+        else
+            inst.rd = slot;
+        inst.rs1 = regUnfield((word >> 12) & 0x3f);
+        inst.imm = signExtend(word & 0xfff, 12);
+    } else {
+        inst.rd = slot;
+        inst.rs1 = regUnfield((word >> 12) & 0x3f);
+        inst.rs2 = regUnfield((word >> 6) & 0x3f);
+        inst.imm = signExtend(word & 0x3f, 6);
+    }
+    return inst;
+}
+
+} // namespace capsule::isa

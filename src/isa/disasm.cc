@@ -1,0 +1,76 @@
+#include "isa/isa.hh"
+
+#include <sstream>
+
+namespace capsule::isa
+{
+namespace
+{
+
+std::string
+regName(std::uint8_t r, bool fp)
+{
+    if (r == noReg)
+        return "-";
+    std::ostringstream os;
+    os << (fp ? 'f' : 'r') << int(r);
+    return os.str();
+}
+
+} // namespace
+
+std::string
+disassemble(const StaticInst &inst)
+{
+    std::ostringstream os;
+    os << mnemonic(inst.op);
+    bool fp = writesFpReg(inst.op) || inst.op == Opcode::Fsd ||
+              inst.op == Opcode::Fcmp;
+
+    switch (opClassOf(inst.op)) {
+      case OpClass::Nop:
+      case OpClass::Kthr:
+      case OpClass::Halt:
+        break;
+      case OpClass::IntAlu:
+      case OpClass::IntMult:
+      case OpClass::FpAlu:
+      case OpClass::FpMult:
+        os << ' ' << regName(inst.rd, fp);
+        if (inst.rs1 != noReg)
+            os << ", " << regName(inst.rs1, fp);
+        if (inst.rs2 != noReg)
+            os << ", " << regName(inst.rs2, fp);
+        else if (inst.op >= Opcode::Addi && inst.op <= Opcode::Lui)
+            os << ", " << inst.imm;
+        break;
+      case OpClass::Load:
+        os << ' ' << regName(inst.rd, fp) << ", " << inst.imm << "("
+           << regName(inst.rs1, false) << ")";
+        break;
+      case OpClass::Store:
+        os << ' ' << regName(inst.rs2, fp) << ", " << inst.imm << "("
+           << regName(inst.rs1, false) << ")";
+        break;
+      case OpClass::Branch:
+        os << ' ' << regName(inst.rs1, false) << ", "
+           << regName(inst.rs2, false) << ", " << inst.imm;
+        break;
+      case OpClass::Jump:
+        if (inst.op == Opcode::Jr)
+            os << ' ' << regName(inst.rs1, false);
+        else
+            os << ' ' << inst.imm;
+        break;
+      case OpClass::Nthr:
+        os << ' ' << regName(inst.rd, false) << ", " << inst.imm;
+        break;
+      case OpClass::Mlock:
+      case OpClass::Munlock:
+        os << ' ' << regName(inst.rs1, false);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace capsule::isa

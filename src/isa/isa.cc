@@ -1,0 +1,138 @@
+#include "isa/isa.hh"
+
+#include "base/logging.hh"
+
+namespace capsule::isa
+{
+
+OpClass
+opClassOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+        return OpClass::Nop;
+      case Opcode::Add: case Opcode::Sub: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
+      case Opcode::Srl: case Opcode::Sra: case Opcode::Slt:
+      case Opcode::Sltu: case Opcode::Addi: case Opcode::Andi:
+      case Opcode::Ori: case Opcode::Xori: case Opcode::Slli:
+      case Opcode::Srli: case Opcode::Slti: case Opcode::Lui:
+        return OpClass::IntAlu;
+      case Opcode::Mul: case Opcode::Div: case Opcode::Rem:
+        return OpClass::IntMult;
+      case Opcode::Fadd: case Opcode::Fsub: case Opcode::Fcmp:
+      case Opcode::Fcvt:
+        return OpClass::FpAlu;
+      case Opcode::Fmul: case Opcode::Fdiv:
+        return OpClass::FpMult;
+      case Opcode::Lb: case Opcode::Lh: case Opcode::Lw:
+      case Opcode::Ld: case Opcode::Fld:
+        return OpClass::Load;
+      case Opcode::Sb: case Opcode::Sh: case Opcode::Sw:
+      case Opcode::Sd: case Opcode::Fsd:
+        return OpClass::Store;
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge:
+        return OpClass::Branch;
+      case Opcode::Jmp: case Opcode::Jal: case Opcode::Jr:
+        return OpClass::Jump;
+      case Opcode::NthrOp:
+        return OpClass::Nthr;
+      case Opcode::KthrOp:
+        return OpClass::Kthr;
+      case Opcode::MlockOp:
+        return OpClass::Mlock;
+      case Opcode::MunlockOp:
+        return OpClass::Munlock;
+      case Opcode::HaltOp:
+        return OpClass::Halt;
+      default:
+        CAPSULE_PANIC("opClassOf: bad opcode ", int(op));
+    }
+}
+
+const char *
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Sra: return "sra";
+      case Opcode::Slt: return "slt";
+      case Opcode::Sltu: return "sltu";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Slli: return "slli";
+      case Opcode::Srli: return "srli";
+      case Opcode::Slti: return "slti";
+      case Opcode::Lui: return "lui";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::Fadd: return "fadd";
+      case Opcode::Fsub: return "fsub";
+      case Opcode::Fcmp: return "fcmp";
+      case Opcode::Fcvt: return "fcvt";
+      case Opcode::Fmul: return "fmul";
+      case Opcode::Fdiv: return "fdiv";
+      case Opcode::Lb: return "lb";
+      case Opcode::Lh: return "lh";
+      case Opcode::Lw: return "lw";
+      case Opcode::Ld: return "ld";
+      case Opcode::Sb: return "sb";
+      case Opcode::Sh: return "sh";
+      case Opcode::Sw: return "sw";
+      case Opcode::Sd: return "sd";
+      case Opcode::Fld: return "fld";
+      case Opcode::Fsd: return "fsd";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Jal: return "jal";
+      case Opcode::Jr: return "jr";
+      case Opcode::NthrOp: return "nthr";
+      case Opcode::KthrOp: return "kthr";
+      case Opcode::MlockOp: return "mlock";
+      case Opcode::MunlockOp: return "munlock";
+      case Opcode::HaltOp: return "halt";
+      default:
+        CAPSULE_PANIC("mnemonic: bad opcode ", int(op));
+    }
+}
+
+bool
+writesFpReg(Opcode op)
+{
+    switch (op) {
+      case Opcode::Fadd: case Opcode::Fsub: case Opcode::Fcvt:
+      case Opcode::Fmul: case Opcode::Fdiv: case Opcode::Fld:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+accessSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::Lb: case Opcode::Sb: return 1;
+      case Opcode::Lh: case Opcode::Sh: return 2;
+      case Opcode::Lw: case Opcode::Sw: return 4;
+      case Opcode::Ld: case Opcode::Sd:
+      case Opcode::Fld: case Opcode::Fsd: return 8;
+      default: return 0;
+    }
+}
+
+} // namespace capsule::isa

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * CapISA: the RISC instruction set understood by the CAPSULE simulator.
+ *
+ * CapISA is a small fixed-width (32-bit) ISA with 32 integer registers
+ * (r0 hard-wired to zero), 31 floating-point registers, and the four
+ * CAPSULE extension instructions from the paper:
+ *
+ *  - nthr rd, label  : conditional thread division. If the architecture
+ *    grants the division, the parent continues at the fall-through with
+ *    rd = 0 and a new thread starts at `label` with a copy of the
+ *    registers and rd = 1. If the architecture denies it, execution
+ *    falls through with rd = -1. This matches the three-way switch the
+ *    toolchain generates (case -1 sequential / 0 left / 1 right).
+ *  - kthr           : kill the executing thread; its context is freed.
+ *  - mlock rs       : acquire the hardware lock on the base address in
+ *    rs; stalls the thread while another thread owns the lock.
+ *  - munlock rs     : release the lock on the base address in rs; the
+ *    oldest waiter becomes the new owner.
+ */
+
+#ifndef CAPSULE_ISA_ISA_HH
+#define CAPSULE_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace capsule::isa
+{
+
+/** Number of integer architectural registers (r0 reads as zero). */
+inline constexpr int numIntRegs = 32;
+/** Number of floating-point architectural registers. */
+inline constexpr int numFpRegs = 31;
+/** Register id meaning "no register operand". */
+inline constexpr std::uint8_t noReg = 0xff;
+
+/**
+ * Functional-unit class of an instruction; the timing model schedules
+ * on these (Table 1: 8 IALU, 4 IMULT, 4 FPALU, 4 FPMULT).
+ */
+enum class OpClass : std::uint8_t
+{
+    Nop,
+    IntAlu,    ///< 1-cycle integer ops (add, sub, logic, compare, shift)
+    IntMult,   ///< integer multiply / divide
+    FpAlu,     ///< fp add/sub/compare/convert
+    FpMult,    ///< fp multiply / divide
+    Load,
+    Store,
+    Branch,    ///< conditional branch
+    Jump,      ///< unconditional jump / call / return
+    Nthr,      ///< CAPSULE thread division probe+spawn
+    Kthr,      ///< CAPSULE thread kill
+    Mlock,     ///< CAPSULE lock acquire
+    Munlock,   ///< CAPSULE lock release
+    Halt,      ///< stop the whole program (ancestor only)
+};
+
+/** Concrete opcode (superset; each maps to one OpClass). */
+enum class Opcode : std::uint8_t
+{
+    Nop = 0,
+    // Integer ALU.
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu,
+    Addi, Andi, Ori, Xori, Slli, Srli, Slti, Lui,
+    // Integer multiply / divide.
+    Mul, Div, Rem,
+    // Floating point.
+    Fadd, Fsub, Fcmp, Fcvt, Fmul, Fdiv,
+    // Memory.
+    Lb, Lh, Lw, Ld, Sb, Sh, Sw, Sd, Fld, Fsd,
+    // Control.
+    Beq, Bne, Blt, Bge, Jmp, Jal, Jr,
+    // CAPSULE extensions.
+    NthrOp, KthrOp, MlockOp, MunlockOp,
+    HaltOp,
+    NumOpcodes,
+};
+
+/** Map opcode to its scheduling class. */
+OpClass opClassOf(Opcode op);
+
+/** Mnemonic text for an opcode (as accepted by the assembler). */
+const char *mnemonic(Opcode op);
+
+/** True for opcodes whose destination is a floating-point register. */
+bool writesFpReg(Opcode op);
+
+/** Memory access size in bytes for load/store opcodes (0 otherwise). */
+int accessSize(Opcode op);
+
+/**
+ * A decoded static instruction: opcode plus register / immediate
+ * fields. This is the output of decode() and the assembler.
+ */
+struct StaticInst
+{
+    Opcode op = Opcode::Nop;
+    std::uint8_t rd = noReg;    ///< destination register
+    std::uint8_t rs1 = noReg;   ///< first source
+    std::uint8_t rs2 = noReg;   ///< second source
+    std::int32_t imm = 0;       ///< immediate / branch displacement
+
+    bool operator==(const StaticInst &) const = default;
+};
+
+/**
+ * Binary instruction layout (little-endian 32-bit word):
+ *   [31:24] opcode  [23:18] rd  [17:12] rs1  [11:6] rs2  [5:0] immLo
+ * For immediate-bearing forms, rs2/immLo are replaced by a 18-bit
+ * signed immediate in [17:0] with rs2 unused, selected by opcode.
+ */
+std::uint32_t encode(const StaticInst &inst);
+
+/** Inverse of encode(); panics on an invalid opcode byte. */
+StaticInst decode(std::uint32_t word);
+
+/** Render "op rd, rs1, rs2/imm" for logs and the disassembler. */
+std::string disassemble(const StaticInst &inst);
+
+/**
+ * A dynamic instruction record: what the timing pipeline consumes from
+ * a functional front end. PC and branch outcome are known functionally
+ * (execute-at-fetch front ends), the pipeline models all timing.
+ */
+struct DynInst
+{
+    OpClass cls = OpClass::Nop;
+    Addr pc = 0;
+    std::uint8_t rd = noReg;
+    std::uint8_t rs1 = noReg;
+    std::uint8_t rs2 = noReg;
+    bool fpRegs = false;      ///< dest/source are FP registers
+    Addr effAddr = 0;         ///< LOAD/STORE/MLOCK/MUNLOCK address
+    int accessBytes = 0;      ///< memory access size
+    Addr target = 0;          ///< taken-branch / nthr-child target PC
+    bool taken = false;       ///< actual branch outcome
+};
+
+} // namespace capsule::isa
+
+#endif // CAPSULE_ISA_ISA_HH

@@ -1,0 +1,3 @@
+#include "mem/arena.hh"
+
+// Arena is header-only; this translation unit pins the library archive.

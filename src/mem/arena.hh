@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Simulated-address arena allocator. Runtime workloads keep their data
+ * host-side but pair every node with a simulated address so that the
+ * cache hierarchy and the locking table observe a realistic, stable
+ * footprint. A bump allocator is the right model for the paper's
+ * pre-allocated pools (worker stacks, graph nodes).
+ */
+
+#ifndef CAPSULE_MEM_ARENA_HH
+#define CAPSULE_MEM_ARENA_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace capsule::mem
+{
+
+/** Bump allocator over a region of the simulated address space. */
+class Arena
+{
+  public:
+    /**
+     * @param base first simulated address served by this arena
+     * @param bytes capacity; exceeding it is a fatal user error
+     */
+    Arena(Addr base, std::uint64_t bytes)
+        : start(base), limit(base + bytes), next(base)
+    {}
+
+    /** Allocate `bytes` with the given power-of-two alignment. */
+    Addr
+    alloc(std::uint64_t bytes, std::uint64_t align = 8)
+    {
+        CAPSULE_ASSERT((align & (align - 1)) == 0,
+                       "alignment must be a power of two");
+        Addr a = (next + (align - 1)) & ~(align - 1);
+        if (a + bytes > limit)
+            CAPSULE_FATAL("arena exhausted: need ", bytes, " at ", a,
+                          ", limit ", limit);
+        next = a + bytes;
+        return a;
+    }
+
+    /** Release everything (pool reuse between data sets). */
+    void reset() { next = start; }
+
+    Addr base() const { return start; }
+    std::uint64_t used() const { return next - start; }
+    std::uint64_t capacity() const { return limit - start; }
+
+  private:
+    Addr start;
+    Addr limit;
+    Addr next;
+};
+
+} // namespace capsule::mem
+
+#endif // CAPSULE_MEM_ARENA_HH

@@ -1,0 +1,94 @@
+#include "mem/memory.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace capsule::mem
+{
+
+Memory::Page *
+Memory::findPage(Addr a)
+{
+    Addr key = a / pageBytes;
+    auto it = pages.find(key);
+    if (it == pages.end())
+        it = pages.emplace(key, Page(pageBytes, 0)).first;
+    return &it->second;
+}
+
+const Memory::Page *
+Memory::findPageConst(Addr a) const
+{
+    Addr key = a / pageBytes;
+    auto it = pages.find(key);
+    return it == pages.end() ? nullptr : &it->second;
+}
+
+std::uint8_t
+Memory::readByte(Addr a) const
+{
+    const Page *p = findPageConst(a);
+    return p ? (*p)[a % pageBytes] : 0;
+}
+
+void
+Memory::writeByte(Addr a, std::uint8_t v)
+{
+    (*findPage(a))[a % pageBytes] = v;
+}
+
+std::uint64_t
+Memory::read(Addr a, int size) const
+{
+    CAPSULE_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+                   "bad access size ", size);
+    std::uint64_t v = 0;
+    for (int i = 0; i < size; ++i)
+        v |= std::uint64_t(readByte(a + Addr(i))) << (8 * i);
+    return v;
+}
+
+void
+Memory::write(Addr a, std::uint64_t v, int size)
+{
+    CAPSULE_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+                   "bad access size ", size);
+    for (int i = 0; i < size; ++i)
+        writeByte(a + Addr(i), std::uint8_t(v >> (8 * i)));
+}
+
+double
+Memory::readDouble(Addr a) const
+{
+    std::uint64_t bits = read(a, 8);
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+void
+Memory::writeDouble(Addr a, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    write(a, bits, 8);
+}
+
+void
+Memory::writeBlock(Addr a, const void *src, std::size_t len)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(src);
+    for (std::size_t i = 0; i < len; ++i)
+        writeByte(a + Addr(i), bytes[i]);
+}
+
+void
+Memory::readBlock(Addr a, void *dst, std::size_t len) const
+{
+    auto *bytes = static_cast<std::uint8_t *>(dst);
+    for (std::size_t i = 0; i < len; ++i)
+        bytes[i] = readByte(a + Addr(i));
+}
+
+} // namespace capsule::mem

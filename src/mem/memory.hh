@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sparse byte-addressable simulated memory. Pages are allocated on
+ * first touch; untouched memory reads as zero. Used by the functional
+ * CapISA interpreter; the timing model only sees addresses.
+ */
+
+#ifndef CAPSULE_MEM_MEMORY_HH
+#define CAPSULE_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace capsule::mem
+{
+
+/** Sparse 64-bit simulated memory with on-demand 4 KiB pages. */
+class Memory
+{
+  public:
+    static constexpr Addr pageBytes = 4096;
+
+    std::uint8_t readByte(Addr a) const;
+    void writeByte(Addr a, std::uint8_t v);
+
+    /** Little-endian multi-byte access, size in {1,2,4,8}. */
+    std::uint64_t read(Addr a, int size) const;
+    void write(Addr a, std::uint64_t v, int size);
+
+    double readDouble(Addr a) const;
+    void writeDouble(Addr a, double v);
+
+    /** Bulk copy into simulated memory. */
+    void writeBlock(Addr a, const void *src, std::size_t len);
+    /** Bulk copy out of simulated memory. */
+    void readBlock(Addr a, void *dst, std::size_t len) const;
+
+    /** Number of pages materialised so far. */
+    std::size_t pageCount() const { return pages.size(); }
+
+  private:
+    using Page = std::vector<std::uint8_t>;
+
+    Page *findPage(Addr a);
+    const Page *findPageConst(Addr a) const;
+
+    mutable std::unordered_map<Addr, Page> pages;
+};
+
+} // namespace capsule::mem
+
+#endif // CAPSULE_MEM_MEMORY_HH

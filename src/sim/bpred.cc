@@ -1,0 +1,134 @@
+#include "sim/bpred.hh"
+
+#include "base/logging.hh"
+
+namespace capsule::sim
+{
+namespace
+{
+
+/** 2-bit saturating counter helpers; >=2 predicts taken. */
+inline bool
+counterTaken(std::uint8_t c)
+{
+    return c >= 2;
+}
+
+inline std::uint8_t
+counterTrain(std::uint8_t c, bool taken)
+{
+    if (taken)
+        return c < 3 ? c + 1 : 3;
+    return c > 0 ? c - 1 : 0;
+}
+
+} // namespace
+
+BimodalPredictor::BimodalPredictor(std::size_t entries)
+    : table(entries, 2)  // weakly taken
+{
+    CAPSULE_ASSERT((entries & (entries - 1)) == 0,
+                   "bimodal entries must be a power of two");
+}
+
+std::size_t
+BimodalPredictor::index(Addr pc) const
+{
+    return (pc >> 2) & (table.size() - 1);
+}
+
+bool
+BimodalPredictor::predict(Addr pc)
+{
+    return counterTaken(table[index(pc)]);
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    auto &c = table[index(pc)];
+    c = counterTrain(c, taken);
+}
+
+GApPredictor::GApPredictor(std::size_t second_level_entries,
+                           int history_bits)
+    : table(second_level_entries, 2), histBits(history_bits)
+{
+    CAPSULE_ASSERT(
+        (second_level_entries & (second_level_entries - 1)) == 0,
+        "GAp entries must be a power of two");
+    CAPSULE_ASSERT(history_bits > 0 && history_bits <= 16,
+                   "bad history length");
+}
+
+std::size_t
+GApPredictor::index(Addr pc) const
+{
+    // Per-address second level: concatenate low PC bits with the
+    // global history (GAp structure).
+    std::uint64_t h = history & ((1u << histBits) - 1);
+    return ((pc >> 2) * (1u << histBits) + h) & (table.size() - 1);
+}
+
+bool
+GApPredictor::predict(Addr pc)
+{
+    return counterTaken(table[index(pc)]);
+}
+
+void
+GApPredictor::update(Addr pc, bool taken)
+{
+    auto &c = table[index(pc)];
+    c = counterTrain(c, taken);
+    history = ((history << 1) | (taken ? 1 : 0)) &
+              ((1u << histBits) - 1);
+}
+
+CombinedPredictor::CombinedPredictor(std::size_t bimodal_entries,
+                                     std::size_t gap_entries,
+                                     std::size_t meta_entries)
+    : bimodal(bimodal_entries), gap(gap_entries), meta(meta_entries, 2)
+{
+    CAPSULE_ASSERT((meta_entries & (meta_entries - 1)) == 0,
+                   "meta entries must be a power of two");
+}
+
+bool
+CombinedPredictor::predict(Addr pc)
+{
+    bool useGap = counterTaken(meta[(pc >> 2) & (meta.size() - 1)]);
+    return useGap ? gap.predict(pc) : bimodal.predict(pc);
+}
+
+void
+CombinedPredictor::update(Addr pc, bool taken)
+{
+    bool bimodalHit = bimodal.predict(pc) == taken;
+    bool gapHit = gap.predict(pc) == taken;
+    bool useGap = counterTaken(meta[(pc >> 2) & (meta.size() - 1)]);
+    bool predicted = useGap ? gap.predict(pc) : bimodal.predict(pc);
+
+    ++nLookups;
+    if (predicted == taken)
+        ++nCorrect;
+
+    // Meta trains toward the component that was right.
+    if (bimodalHit != gapHit) {
+        auto &m = meta[(pc >> 2) & (meta.size() - 1)];
+        m = counterTrain(m, gapHit);
+    }
+    bimodal.update(pc, taken);
+    gap.update(pc, taken);
+}
+
+void
+CombinedPredictor::registerStats(StatGroup &g) const
+{
+    g.add("bpred.lookups", nLookups, "branch predictions made");
+    g.add("bpred.correct", nCorrect, "correct predictions");
+    g.addFormula("bpred.accuracy", [this] { return accuracy(); },
+                 "prediction accuracy");
+}
+
+} // namespace capsule::sim

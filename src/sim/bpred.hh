@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Branch direction predictors per Table 1: a 4K-entry bimodal table,
+ * an 8K-second-level GAp two-level predictor, and a combining
+ * predictor with a 1K-entry meta chooser. Targets are assumed perfect
+ * (see DESIGN.md); only direction is predicted.
+ */
+
+#ifndef CAPSULE_SIM_BPRED_HH
+#define CAPSULE_SIM_BPRED_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace capsule::sim
+{
+
+/** Direction predictor interface. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at `pc`. */
+    virtual bool predict(Addr pc) = 0;
+
+    /** Train with the resolved outcome. */
+    virtual void update(Addr pc, bool taken) = 0;
+};
+
+/** Classic 2-bit saturating-counter bimodal predictor. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(std::size_t entries = 4096);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+  private:
+    std::size_t index(Addr pc) const;
+    std::vector<std::uint8_t> table;  ///< 2-bit counters
+};
+
+/**
+ * GAp two-level predictor: one global history register indexing
+ * per-address pattern history tables; second-level table of 8K 2-bit
+ * counters as in Table 1.
+ */
+class GApPredictor : public BranchPredictor
+{
+  public:
+    GApPredictor(std::size_t second_level_entries = 8192,
+                 int history_bits = 8);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+  private:
+    std::size_t index(Addr pc) const;
+    std::vector<std::uint8_t> table;
+    std::uint32_t history = 0;
+    int histBits;
+};
+
+/**
+ * Combined predictor (McFarling): bimodal + GAp with a meta table of
+ * 2-bit choosers (1K entries per Table 1).
+ */
+class CombinedPredictor : public BranchPredictor
+{
+  public:
+    CombinedPredictor(std::size_t bimodal_entries = 4096,
+                      std::size_t gap_entries = 8192,
+                      std::size_t meta_entries = 1024);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+    std::uint64_t lookups() const { return nLookups.value(); }
+    std::uint64_t correct() const { return nCorrect.value(); }
+    double
+    accuracy() const
+    {
+        return lookups() ? double(correct()) / double(lookups()) : 0.0;
+    }
+
+    void registerStats(StatGroup &g) const;
+
+  private:
+    BimodalPredictor bimodal;
+    GApPredictor gap;
+    std::vector<std::uint8_t> meta;
+
+    Scalar nLookups;
+    Scalar nCorrect;
+};
+
+} // namespace capsule::sim
+
+#endif // CAPSULE_SIM_BPRED_HH

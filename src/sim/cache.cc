@@ -1,0 +1,137 @@
+#include "sim/cache.hh"
+
+#include "base/logging.hh"
+
+namespace capsule::sim
+{
+
+Cache::Cache(const CacheParams &params, Cache *next_level,
+             Cycle mem_latency)
+    : p(params), next(next_level), memLatency(mem_latency)
+{
+    CAPSULE_ASSERT(p.assoc > 0 && p.lineBytes > 0, "bad cache params");
+    std::uint64_t numLines = p.sizeBytes / std::uint64_t(p.lineBytes);
+    CAPSULE_ASSERT(numLines % std::uint64_t(p.assoc) == 0,
+                   "cache size not divisible by assoc*line");
+    numSets = numLines / std::uint64_t(p.assoc);
+    CAPSULE_ASSERT((numSets & (numSets - 1)) == 0,
+                   "number of sets must be a power of two");
+    lines.resize(numLines);
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / std::uint64_t(p.lineBytes)) & (numSets - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr / std::uint64_t(p.lineBytes) / numSets;
+}
+
+Cycle
+Cache::access(Addr addr, bool write)
+{
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *base = &lines[set * std::uint64_t(p.assoc)];
+    ++stamp;
+
+    // Hit path.
+    for (int w = 0; w < p.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = stamp;
+            line.dirty |= write;
+            ++nHits;
+            return p.hitLatency;
+        }
+    }
+
+    // Miss: fill from the next level (or memory).
+    ++nMisses;
+    Cycle fill = next ? next->access(addr, false) : memLatency;
+
+    // Choose the LRU victim.
+    Line *victim = base;
+    for (int w = 1; w < p.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+    if (victim->valid && victim->dirty) {
+        ++nWritebacks;
+        // Write-back traffic: charge the next level's hit latency; a
+        // write buffer hides the rest (standard sim-outorder model).
+        if (next) {
+            Addr victimAddr = (victim->tag * numSets + set) *
+                              std::uint64_t(p.lineBytes);
+            next->access(victimAddr, true);
+        }
+    }
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lruStamp = stamp;
+    return p.hitLatency + fill;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    const Line *base = &lines[set * std::uint64_t(p.assoc)];
+    for (int w = 0; w < p.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines)
+        line = Line{};
+    stamp = 0;
+}
+
+void
+Cache::registerStats(StatGroup &g) const
+{
+    g.add(p.name + ".hits", nHits, "cache hits");
+    g.add(p.name + ".misses", nMisses, "cache misses");
+    g.addFormula(p.name + ".miss_rate", [this] { return missRate(); },
+                 "miss rate");
+}
+
+MemoryHierarchy::MemoryHierarchy(const Params &params)
+    : l2Cache(params.l2, nullptr, params.memLatency),
+      l1iCache(params.l1i, &l2Cache, params.memLatency),
+      l1dCache(params.l1d, &l2Cache, params.memLatency)
+{
+}
+
+void
+MemoryHierarchy::flush()
+{
+    l1iCache.flush();
+    l1dCache.flush();
+    l2Cache.flush();
+}
+
+void
+MemoryHierarchy::registerStats(StatGroup &g) const
+{
+    l1iCache.registerStats(g);
+    l1dCache.registerStats(g);
+    l2Cache.registerStats(g);
+}
+
+} // namespace capsule::sim

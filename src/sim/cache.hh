@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement and write-back /
+ * write-allocate policy, plus the two-level hierarchy of Table 1
+ * (L1I 16 kB / 1 cy, L1D 8 kB / 1 cy, unified L2 1 MB / 12 cy, memory
+ * 200 cy). Accesses return a completion latency; the pipeline overlaps
+ * them freely (port contention is modelled at issue).
+ */
+
+#ifndef CAPSULE_SIM_CACHE_HH
+#define CAPSULE_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace capsule::sim
+{
+
+/** Geometry and latency of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 8 * 1024;
+    int assoc = 4;
+    int lineBytes = 32;
+    Cycle hitLatency = 1;
+};
+
+/**
+ * One level of set-associative cache. The next level is another Cache
+ * or nullptr, in which case misses cost `memLatency`.
+ */
+class Cache
+{
+  public:
+    Cache(const CacheParams &params, Cache *next_level,
+          Cycle mem_latency);
+
+    /**
+     * Access a line.
+     * @param addr byte address (the whole access is assumed to fit in
+     *        one line; the workloads align node records)
+     * @param write true for stores (sets dirty; write-allocate)
+     * @return total latency in cycles to completion
+     */
+    Cycle access(Addr addr, bool write);
+
+    /** True if the address currently hits (no state change). */
+    bool probe(Addr addr) const;
+
+    /** Invalidate everything (between benchmark data sets). */
+    void flush();
+
+    std::uint64_t hits() const { return nHits.value(); }
+    std::uint64_t misses() const { return nMisses.value(); }
+    double
+    missRate() const
+    {
+        std::uint64_t total = hits() + misses();
+        return total ? double(misses()) / double(total) : 0.0;
+    }
+
+    void registerStats(StatGroup &g) const;
+    const CacheParams &params() const { return p; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheParams p;
+    Cache *next;
+    Cycle memLatency;
+    std::uint64_t numSets;
+    std::vector<Line> lines;   ///< numSets * assoc, set-major
+    std::uint64_t stamp = 0;
+
+    mutable Scalar nHits;
+    mutable Scalar nMisses;
+    Scalar nWritebacks;
+};
+
+/** The full Table-1 memory hierarchy. */
+class MemoryHierarchy
+{
+  public:
+    struct Params
+    {
+        CacheParams l1i{"l1i", 16 * 1024, 4, 32, 1};
+        CacheParams l1d{"l1d", 8 * 1024, 4, 32, 1};
+        CacheParams l2{"l2", 1024 * 1024, 8, 64, 12};
+        Cycle memLatency = 200;
+    };
+
+    explicit MemoryHierarchy(const Params &params);
+
+    /** Instruction fetch; returns latency. */
+    Cycle fetchAccess(Addr pc) { return l1iCache.access(pc, false); }
+    /** Data access; returns latency. */
+    Cycle
+    dataAccess(Addr addr, bool write)
+    {
+        return l1dCache.access(addr, write);
+    }
+
+    Cache &l1i() { return l1iCache; }
+    Cache &l1d() { return l1dCache; }
+    Cache &l2() { return l2Cache; }
+    const Cache &l1iConst() const { return l1iCache; }
+    const Cache &l1dConst() const { return l1dCache; }
+    const Cache &l2Const() const { return l2Cache; }
+
+    void flush();
+    void registerStats(StatGroup &g) const;
+
+  private:
+    Cache l2Cache;
+    Cache l1iCache;
+    Cache l1dCache;
+};
+
+} // namespace capsule::sim
+
+#endif // CAPSULE_SIM_CACHE_HH

@@ -1,0 +1,47 @@
+#include "sim/config.hh"
+
+namespace capsule::sim
+{
+
+MachineConfig
+MachineConfig::superscalar()
+{
+    MachineConfig c;
+    c.name = "superscalar";
+    c.numContexts = 1;
+    // A single thread may use the full fetch bandwidth (Table 1's
+    // fetch width of 16 with the same core resources).
+    c.fetchThreadsPerCycle = 1;
+    c.fetchInstsPerThread = 16;
+    c.division.policy = DivisionPolicy::DenyAll;
+    c.enableContextStack = false;
+    return c;
+}
+
+MachineConfig
+MachineConfig::smtStatic(int contexts)
+{
+    MachineConfig c;
+    c.name = "smt-static";
+    c.numContexts = contexts;
+    c.division.policy = DivisionPolicy::StaticFirstK;
+    c.division.staticContexts = contexts;
+    // A standard SMT has no division hardware; the static baseline
+    // keeps the context stack off as well.
+    c.enableContextStack = false;
+    return c;
+}
+
+MachineConfig
+MachineConfig::somt(int contexts)
+{
+    MachineConfig c;
+    c.name = "somt";
+    c.numContexts = contexts;
+    c.division.policy = DivisionPolicy::Greedy;
+    c.division.deathThreshold = contexts / 2;
+    c.enableContextStack = true;
+    return c;
+}
+
+} // namespace capsule::sim

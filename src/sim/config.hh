@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Machine configuration mirroring Table 1 of the paper, with presets
+ * for the three evaluated processors: the aggressive superscalar, the
+ * statically parallelised SMT, and the self-organised SMT (SOMT).
+ */
+
+#ifndef CAPSULE_SIM_CONFIG_HH
+#define CAPSULE_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/cache.hh"
+#include "sim/context_stack.hh"
+#include "sim/division_ctrl.hh"
+
+namespace capsule::sim
+{
+
+/** Full machine configuration (Table 1 defaults). */
+struct MachineConfig
+{
+    std::string name = "somt";
+
+    // Thread resources.
+    int numContexts = 8;
+
+    // Front end.
+    int fetchWidth = 16;          ///< total instructions per cycle
+    int fetchThreadsPerCycle = 4; ///< Icount.4.4: 4 threads ...
+    int fetchInstsPerThread = 4;  ///< ... with 4 instructions each
+    int branchPredPerCycle = 2;   ///< two predictions per cycle
+    int ifqSize = 16;             ///< per-thread fetch queue
+
+    // Core widths and windows.
+    int decodeWidth = 8;
+    int issueWidth = 8;
+    int commitWidth = 8;
+    int ruuSize = 256;
+    int lsqSize = 128;
+
+    // Functional units (count and latency).
+    int numIalu = 8;
+    int numImult = 4;
+    int numFpalu = 4;
+    int numFpmult = 4;
+    Cycle ialuLatency = 1;
+    Cycle imultLatency = 3;
+    Cycle fpaluLatency = 2;
+    Cycle fpmultLatency = 4;
+
+    /** D-cache ports: loads+stores issued per cycle (the paper's
+     *  aggressive core; SimpleScalar's default is 2, but an 8-wide
+     *  issue core needs more to feed its pointer-chasing suite). */
+    int dcachePorts = 4;
+
+    // Memory hierarchy (Table 1 geometry).
+    MemoryHierarchy::Params mem;
+
+    // CAPSULE hardware support.
+    DivisionParams division;
+    ContextStackParams ctxStack;
+    bool enableContextStack = true;
+    std::size_t lockTableCapacity = 256;
+
+    /** Cycles to copy the 62 registers + PC into a child context. */
+    Cycle registerCopyCycles = 8;
+    /** Extra division latency (CMP extrapolation sweep, Section 5). */
+    Cycle divisionExtraLatency = 0;
+
+    /** Safety net for runaway simulations. */
+    Cycle maxCycles = 2'000'000'000ULL;
+
+    /** The paper's three evaluated processors. */
+    static MachineConfig superscalar();
+    static MachineConfig smtStatic(int contexts = 8);
+    static MachineConfig somt(int contexts = 8);
+};
+
+} // namespace capsule::sim
+
+#endif // CAPSULE_SIM_CONFIG_HH

@@ -1,0 +1,86 @@
+#include "sim/context_stack.hh"
+
+#include "base/logging.hh"
+
+namespace capsule::sim
+{
+
+ContextStack::ContextStack(const ContextStackParams &params)
+    : p(params)
+{
+    CAPSULE_ASSERT(p.entries > 0, "context stack needs entries");
+    stack.reserve(std::size_t(p.entries));
+}
+
+void
+ContextStack::observeLoad(ThreadId tid, Cycle latency)
+{
+    // Exponential moving average with alpha = 1/loadWindow models the
+    // "average of the last N loads" with O(1) state.
+    ++loadsSeen;
+    double alpha = 1.0 / double(p.loadWindow);
+    if (loadsSeen == 1)
+        avgLoadLatency = double(latency);
+    else
+        avgLoadLatency += alpha * (double(latency) - avgLoadLatency);
+
+    auto idx = std::size_t(tid);
+    if (idx >= counters.size())
+        counters.resize(idx + 1, 0);
+    if (double(latency) > avgLoadLatency) {
+        ++counters[idx];
+    } else if (counters[idx] > 0) {
+        --counters[idx];
+    }
+}
+
+bool
+ContextStack::swapCandidate(ThreadId tid) const
+{
+    auto idx = std::size_t(tid);
+    if (idx >= counters.size())
+        return false;
+    return counters[idx] >= p.swapThreshold;
+}
+
+void
+ContextStack::clearCandidate(ThreadId tid)
+{
+    auto idx = std::size_t(tid);
+    if (idx < counters.size())
+        counters[idx] = 0;
+}
+
+void
+ContextStack::push(ThreadId tid)
+{
+    if (full())
+        CAPSULE_FATAL("context stack overflow (", p.entries,
+                      " entries); a full design would trap to memory");
+    stack.push_back(tid);
+    ++nSwapsOut;
+    if (stack.size() > nPeakDepth.value()) {
+        nPeakDepth.reset();
+        nPeakDepth += stack.size();
+    }
+}
+
+ThreadId
+ContextStack::pop()
+{
+    CAPSULE_ASSERT(!stack.empty(), "pop from empty context stack");
+    ThreadId tid = stack.back();
+    stack.pop_back();
+    ++nSwapsIn;
+    return tid;
+}
+
+void
+ContextStack::registerStats(StatGroup &g) const
+{
+    g.add("ctxstack.swaps_out", nSwapsOut, "threads swapped out");
+    g.add("ctxstack.swaps_in", nSwapsIn, "threads swapped in");
+    g.add("ctxstack.peak_depth", nPeakDepth, "max stack occupancy");
+}
+
+} // namespace capsule::sim

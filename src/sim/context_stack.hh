@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The LIFO inactive-context stack of Section 3.1 (after Tune et al.'s
+ * Balanced Multithreading): a 16-entry stack of swapped-out thread
+ * contexts attached to the register bank. Swapping a context in or out
+ * costs ~200 cycles for 62 registers plus a PC (the paper's estimate
+ * without register masks); the 16-entry stack is 4 kB.
+ *
+ * The swap-out policy is driven by cache behaviour: each completed
+ * load's latency is compared with the running average of the last 1000
+ * loads; a per-thread counter is incremented when slower, decremented
+ * when faster, and crossing a threshold of 256 marks the thread as a
+ * swap candidate (it is evicted only when no hardware context is
+ * free).
+ */
+
+#ifndef CAPSULE_SIM_CONTEXT_STACK_HH
+#define CAPSULE_SIM_CONTEXT_STACK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace capsule::sim
+{
+
+/** Parameters of the context stack and its swap policy. */
+struct ContextStackParams
+{
+    int entries = 16;
+    Cycle swapLatency = 200;
+    /** Number of loads in the running-average window. */
+    int loadWindow = 1000;
+    /** Counter threshold that marks a thread as a swap candidate. */
+    int swapThreshold = 256;
+};
+
+/**
+ * Tracks the swapped-out thread LIFO and the per-thread load-latency
+ * counters of the swap policy. The Machine owns thread state; this
+ * class owns only stack membership and policy counters.
+ */
+class ContextStack
+{
+  public:
+    explicit ContextStack(const ContextStackParams &params);
+
+    /** Record a completed load for the policy. */
+    void observeLoad(ThreadId tid, Cycle latency);
+
+    /** True if the policy currently wants `tid` swapped out. */
+    bool swapCandidate(ThreadId tid) const;
+
+    /** Reset the candidate counter (after a swap decision). */
+    void clearCandidate(ThreadId tid);
+
+    /** Push a thread onto the LIFO. Fatal on overflow (the paper notes
+     *  a full design would trap to memory; our experiments, like the
+     *  paper's, must not overflow). */
+    void push(ThreadId tid);
+
+    /** Pop the most recently pushed thread. */
+    ThreadId pop();
+
+    bool empty() const { return stack.empty(); }
+    bool full() const { return int(stack.size()) >= p.entries; }
+    std::size_t depth() const { return stack.size(); }
+
+    Cycle swapLatency() const { return p.swapLatency; }
+
+    std::uint64_t swapsOut() const { return nSwapsOut.value(); }
+    std::uint64_t swapsIn() const { return nSwapsIn.value(); }
+
+    void registerStats(StatGroup &g) const;
+
+  private:
+    ContextStackParams p;
+    std::vector<ThreadId> stack;
+
+    /** Running mean of recent load latencies (exponential window that
+     *  approximates "the average latency of the last N loads"). */
+    double avgLoadLatency = 0.0;
+    std::uint64_t loadsSeen = 0;
+
+    /** Per-thread swap-policy counters, grown on demand. */
+    mutable std::vector<int> counters;
+
+    Scalar nSwapsOut;
+    Scalar nSwapsIn;
+    mutable Scalar nPeakDepth;
+};
+
+} // namespace capsule::sim
+
+#endif // CAPSULE_SIM_CONTEXT_STACK_HH

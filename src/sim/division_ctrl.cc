@@ -1,0 +1,92 @@
+#include "sim/division_ctrl.hh"
+
+#include "base/logging.hh"
+
+namespace capsule::sim
+{
+
+DivisionController::DivisionController(const DivisionParams &params)
+    : p(params)
+{
+    CAPSULE_ASSERT(p.deathWindow > 0, "bad death window");
+}
+
+void
+DivisionController::expire(Cycle now) const
+{
+    Cycle horizon = now >= p.deathWindow ? now - p.deathWindow : 0;
+    while (!deaths.empty() && deaths.front() < horizon)
+        deaths.pop_front();
+}
+
+bool
+DivisionController::request(Cycle now, bool free_context)
+{
+    ++nRequested;
+
+    switch (p.policy) {
+      case DivisionPolicy::DenyAll:
+        return false;
+
+      case DivisionPolicy::StaticFirstK:
+        if (grantsSoFar >= p.staticContexts - 1 || !free_context)
+            return false;
+        ++grantsSoFar;
+        ++nGranted;
+        return true;
+
+      case DivisionPolicy::GreedyNoThrottle:
+        if (!free_context) {
+            ++nDeniedNoContext;
+            return false;
+        }
+        ++nGranted;
+        return true;
+
+      case DivisionPolicy::Greedy: {
+        if (!free_context) {
+            ++nDeniedNoContext;
+            return false;
+        }
+        expire(now);
+        if (int(deaths.size()) > p.deathThreshold) {
+            ++nThrottled;
+            return false;
+        }
+        ++nGranted;
+        return true;
+      }
+    }
+    CAPSULE_PANIC("unreachable division policy");
+}
+
+void
+DivisionController::recordDeath(Cycle now)
+{
+    deaths.push_back(now);
+}
+
+int
+DivisionController::recentDeaths(Cycle now) const
+{
+    expire(now);
+    return int(deaths.size());
+}
+
+void
+DivisionController::registerStats(StatGroup &g) const
+{
+    g.add("div.requested", nRequested, "nthr requests seen");
+    g.add("div.granted", nGranted, "divisions granted");
+    g.add("div.throttled", nThrottled, "denied by death throttle");
+    g.add("div.denied_no_context", nDeniedNoContext,
+          "denied for lack of a free context");
+    g.addFormula("div.grant_rate",
+                 [this] {
+                     auto r = requested();
+                     return r ? double(granted()) / double(r) : 0.0;
+                 },
+                 "fraction of requests granted");
+}
+
+} // namespace capsule::sim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The division (spawning) steering logic of Section 3.1. The hardware
+ * is free to treat an nthr as a nop; the strategy is *greedy with a
+ * death-rate throttle*: grant when a hardware context is free, unless
+ * the number of threads that died in the last N = 128 cycles exceeds
+ * half the number of hardware contexts (parallel sections too short to
+ * amortise thread-creation overhead).
+ *
+ * The same interface also expresses the paper's two baselines:
+ *  - DenyAll      : superscalar execution of the component program;
+ *  - StaticFirstK : the profile-derived statically parallelised
+ *    version of Section 4 — grant exactly the first K-1 divisions
+ *    (reproducing the recorded data distribution when the worker count
+ *    first reaches the hardware context count) and deny everything
+ *    after, which is how the paper derives its static-parallel SMT
+ *    comparison point.
+ */
+
+#ifndef CAPSULE_SIM_DIVISION_CTRL_HH
+#define CAPSULE_SIM_DIVISION_CTRL_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace capsule::sim
+{
+
+/** Division steering policy selector. */
+enum class DivisionPolicy
+{
+    Greedy,        ///< SOMT: grant if free context, death throttle
+    GreedyNoThrottle, ///< ablation: greedy without the death throttle
+    StaticFirstK,  ///< static parallelisation baseline (Section 4)
+    DenyAll,       ///< superscalar baseline
+};
+
+/** Parameters of the division controller. */
+struct DivisionParams
+{
+    DivisionPolicy policy = DivisionPolicy::Greedy;
+    /** Death-rate observation window (cycles). */
+    Cycle deathWindow = 128;
+    /** Deny when deaths in window exceed contexts/2 (set from the
+     *  machine's context count). */
+    int deathThreshold = 4;
+    /** K for StaticFirstK (grants K-1 divisions). */
+    int staticContexts = 8;
+};
+
+/** Tracks death history and decides nthr grants. */
+class DivisionController
+{
+  public:
+    explicit DivisionController(const DivisionParams &params);
+
+    /**
+     * Decide an nthr request observed at `now`.
+     * @param free_context true if a hardware context is available
+     * @return true to grant the division
+     */
+    bool request(Cycle now, bool free_context);
+
+    /** Record a thread death (kthr commit) at `now`. */
+    void recordDeath(Cycle now);
+
+    /** Deaths inside the current window ending at `now`. */
+    int recentDeaths(Cycle now) const;
+
+    std::uint64_t requested() const { return nRequested.value(); }
+    std::uint64_t granted() const { return nGranted.value(); }
+    std::uint64_t throttled() const { return nThrottled.value(); }
+
+    void registerStats(StatGroup &g) const;
+
+  private:
+    void expire(Cycle now) const;
+
+    DivisionParams p;
+    int grantsSoFar = 0;
+    mutable std::deque<Cycle> deaths;  ///< death timestamps in window
+
+    Scalar nRequested;
+    Scalar nGranted;
+    Scalar nThrottled;
+    Scalar nDeniedNoContext;
+};
+
+} // namespace capsule::sim
+
+#endif // CAPSULE_SIM_DIVISION_CTRL_HH

@@ -1,0 +1,101 @@
+#include "sim/lock_table.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace capsule::sim
+{
+
+LockTable::LockTable(std::size_t cap) : capacity(cap)
+{
+    CAPSULE_ASSERT(capacity > 0, "lock table needs capacity");
+}
+
+bool
+LockTable::acquire(Addr addr, ThreadId tid)
+{
+    ++nAcquires;
+    auto it = entries.find(addr);
+    if (it == entries.end()) {
+        if (entries.size() >= capacity)
+            CAPSULE_FATAL("locking table overflow (capacity ", capacity,
+                          "); raise LockTable capacity");
+        Entry e;
+        e.owner = tid;
+        entries.emplace(addr, std::move(e));
+        if (entries.size() > nPeakOccupancy.value()) {
+            nPeakOccupancy.reset();
+            nPeakOccupancy += entries.size();
+        }
+        return true;
+    }
+    if (it->second.owner == tid)
+        return true;  // recursive acquisition holds
+    ++nConflicts;
+    // Queue unless already queued (re-issue after squash).
+    auto &w = it->second.waiters;
+    if (std::find(w.begin(), w.end(), tid) == w.end())
+        w.push_back(tid);
+    return false;
+}
+
+ThreadId
+LockTable::release(Addr addr, ThreadId tid)
+{
+    ++nReleases;
+    auto it = entries.find(addr);
+    CAPSULE_ASSERT(it != entries.end(),
+                   "munlock on unlocked address ", addr);
+    CAPSULE_ASSERT(it->second.owner == tid, "munlock by non-owner: ",
+                   tid, " vs owner ", it->second.owner);
+    if (it->second.waiters.empty()) {
+        entries.erase(it);
+        return invalidThread;
+    }
+    ThreadId next = it->second.waiters.front();
+    it->second.waiters.pop_front();
+    it->second.owner = next;
+    return next;
+}
+
+void
+LockTable::cancelWait(Addr addr, ThreadId tid)
+{
+    auto it = entries.find(addr);
+    if (it == entries.end())
+        return;
+    auto &w = it->second.waiters;
+    w.erase(std::remove(w.begin(), w.end(), tid), w.end());
+}
+
+ThreadId
+LockTable::owner(Addr addr) const
+{
+    auto it = entries.find(addr);
+    return it == entries.end() ? invalidThread : it->second.owner;
+}
+
+bool
+LockTable::threadQuiescent(ThreadId tid) const
+{
+    for (const auto &[addr, e] : entries) {
+        if (e.owner == tid)
+            return false;
+        for (auto w : e.waiters) {
+            if (w == tid)
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+LockTable::registerStats(StatGroup &g) const
+{
+    g.add("locks.acquires", nAcquires, "mlock attempts");
+    g.add("locks.conflicts", nConflicts, "mlock stalls");
+    g.add("locks.releases", nReleases, "munlock operations");
+}
+
+} // namespace capsule::sim

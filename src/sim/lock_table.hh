@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The fast hardware locking table of Section 3.1 (after Tullsen et
+ * al.'s fine-grained SMT synchronisation). A lock is held on the base
+ * address of a shared object, independently of object size. When a
+ * thread issues mlock on an address owned by another thread, it stalls
+ * and queues; on munlock the *oldest* waiter becomes the new owner.
+ */
+
+#ifndef CAPSULE_SIM_LOCK_TABLE_HH
+#define CAPSULE_SIM_LOCK_TABLE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace capsule::sim
+{
+
+/** Hardware locking table. */
+class LockTable
+{
+  public:
+    /**
+     * @param capacity maximum simultaneously locked addresses; the
+     *        paper's table is small and spill is a fatal condition in
+     *        this model (no software fallback is described).
+     */
+    explicit LockTable(std::size_t capacity = 64);
+
+    /**
+     * Try to acquire the lock on `addr` for `tid`.
+     * @return true if the lock was granted (free, or already owned by
+     *         this thread — recursive acquisition is idempotent);
+     *         false if the thread must stall (it is queued).
+     */
+    bool acquire(Addr addr, ThreadId tid);
+
+    /**
+     * Release the lock held by `tid` on `addr`.
+     * @return the thread that becomes the new owner (oldest waiter),
+     *         or invalidThread if the entry emptied.
+     */
+    ThreadId release(Addr addr, ThreadId tid);
+
+    /** Drop a queued waiter (thread died while waiting). */
+    void cancelWait(Addr addr, ThreadId tid);
+
+    /** Current owner of `addr`, or invalidThread. */
+    ThreadId owner(Addr addr) const;
+
+    /** Number of addresses currently locked. */
+    std::size_t occupancy() const { return entries.size(); }
+
+    /** True if `tid` holds no locks and waits on none (for kthr). */
+    bool threadQuiescent(ThreadId tid) const;
+
+    void registerStats(StatGroup &g) const;
+
+    std::uint64_t acquires() const { return nAcquires.value(); }
+    std::uint64_t conflicts() const { return nConflicts.value(); }
+
+  private:
+    struct Entry
+    {
+        ThreadId owner = invalidThread;
+        std::deque<ThreadId> waiters;  ///< oldest first
+    };
+
+    std::size_t capacity;
+    std::unordered_map<Addr, Entry> entries;
+
+    Scalar nAcquires;
+    Scalar nConflicts;
+    Scalar nReleases;
+    mutable Scalar nPeakOccupancy;
+};
+
+} // namespace capsule::sim
+
+#endif // CAPSULE_SIM_LOCK_TABLE_HH

@@ -1,0 +1,845 @@
+#include "sim/machine.hh"
+
+#include <algorithm>
+#include <iostream>
+
+#include "base/logging.hh"
+
+namespace capsule::sim
+{
+
+using isa::OpClass;
+
+namespace
+{
+
+/** Cycles with no commit before the machine declares a hang. */
+constexpr Cycle progressTimeout = 5'000'000;
+
+bool
+isMemOp(OpClass cls)
+{
+    return cls == OpClass::Load || cls == OpClass::Store;
+}
+
+} // namespace
+
+Machine::Machine(const MachineConfig &config)
+    : cfg(config),
+      slotOwner(std::size_t(config.numContexts), invalidThread),
+      ruu(std::size_t(config.ruuSize)),
+      mem(config.mem),
+      bpred(),
+      locks(config.lockTableCapacity),
+      ctxStack(config.ctxStack),
+      divCtrl(config.division)
+{
+    ruuFreeList.reserve(ruu.size());
+    for (int i = int(ruu.size()) - 1; i >= 0; --i)
+        ruuFreeList.push_back(i);
+}
+
+Machine::~Machine() = default;
+
+Machine::Thread &
+Machine::thread(ThreadId tid)
+{
+    CAPSULE_ASSERT(tid >= 0 && std::size_t(tid) < threads.size(),
+                   "bad tid ", tid);
+    return *threads[std::size_t(tid)];
+}
+
+const Machine::Thread &
+Machine::threadConst(ThreadId tid) const
+{
+    CAPSULE_ASSERT(tid >= 0 && std::size_t(tid) < threads.size(),
+                   "bad tid ", tid);
+    return *threads[std::size_t(tid)];
+}
+
+int
+Machine::freeSlots() const
+{
+    return cfg.numContexts - slotsInUse;
+}
+
+int
+Machine::takeSlot(ThreadId tid)
+{
+    for (int s = 0; s < cfg.numContexts; ++s) {
+        if (slotOwner[std::size_t(s)] == invalidThread) {
+            slotOwner[std::size_t(s)] = tid;
+            ++slotsInUse;
+            return s;
+        }
+    }
+    CAPSULE_PANIC("takeSlot with no free context");
+}
+
+void
+Machine::releaseSlot(Thread &t)
+{
+    CAPSULE_ASSERT(t.slot >= 0, "thread ", t.tid, " has no slot");
+    slotOwner[std::size_t(t.slot)] = invalidThread;
+    t.slot = -1;
+    --slotsInUse;
+}
+
+ThreadId
+Machine::addThread(std::unique_ptr<front::Program> program)
+{
+    CAPSULE_ASSERT(freeSlots() > 0,
+                   "no free hardware context for a new thread");
+    ThreadId tid = nextTid++;
+    auto t = std::make_unique<Thread>();
+    t->tid = tid;
+    t->program = std::move(program);
+    t->state = ThreadState::Active;
+    t->slot = -1;
+    threads.push_back(std::move(t));
+    renameMaps.emplace_back();
+    threads.back()->slot = takeSlot(tid);
+
+    int live = liveThreads();
+    if (std::uint64_t(live) > nPeakThreads.value()) {
+        nPeakThreads.reset();
+        nPeakThreads += std::uint64_t(live);
+    }
+    return tid;
+}
+
+int
+Machine::liveThreads() const
+{
+    int n = 0;
+    for (const auto &t : threads)
+        if (t->state != ThreadState::Finished)
+            ++n;
+    return n;
+}
+
+int
+Machine::allocRuu()
+{
+    CAPSULE_ASSERT(!ruuFreeList.empty(), "RUU overflow");
+    int idx = ruuFreeList.back();
+    ruuFreeList.pop_back();
+    ++ruuUsed;
+    ruu[std::size_t(idx)] = RuuEntry{};
+    ruu[std::size_t(idx)].valid = true;
+    return idx;
+}
+
+void
+Machine::freeRuu(int idx)
+{
+    ruu[std::size_t(idx)].valid = false;
+    ruuFreeList.push_back(idx);
+    --ruuUsed;
+}
+
+Cycle
+Machine::fuLatency(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntMult:
+        return cfg.imultLatency;
+      case OpClass::FpAlu:
+        return cfg.fpaluLatency;
+      case OpClass::FpMult:
+        return cfg.fpmultLatency;
+      default:
+        return cfg.ialuLatency;
+    }
+}
+
+bool
+Machine::fuAvailable(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntMult:
+        return imultLeft > 0;
+      case OpClass::FpAlu:
+        return fpaluLeft > 0;
+      case OpClass::FpMult:
+        return fpmultLeft > 0;
+      case OpClass::Load:
+      case OpClass::Store:
+        return dportsLeft > 0;
+      default:
+        return ialuLeft > 0;
+    }
+}
+
+void
+Machine::consumeFu(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntMult:
+        --imultLeft;
+        break;
+      case OpClass::FpAlu:
+        --fpaluLeft;
+        break;
+      case OpClass::FpMult:
+        --fpmultLeft;
+        break;
+      case OpClass::Load:
+      case OpClass::Store:
+        --dportsLeft;
+        break;
+      default:
+        --ialuLeft;
+        break;
+    }
+}
+
+bool
+Machine::peek(Thread &t)
+{
+    if (t.staged)
+        return true;
+    if (t.programDone || t.stagedIsUnresolvedNthr)
+        return false;
+    isa::DynInst inst;
+    if (!t.program || !t.program->next(inst)) {
+        t.programDone = true;
+        return false;
+    }
+    t.staged = inst;
+    if (inst.cls == OpClass::Nthr)
+        t.stagedIsUnresolvedNthr = true;
+    return true;
+}
+
+// --------------------------------------------------------------------
+// fetch
+// --------------------------------------------------------------------
+void
+Machine::fetchStage()
+{
+    // Rank active threads by in-flight count (Icount policy).
+    std::vector<ThreadId> candidates;
+    for (const auto &tp : threads) {
+        const Thread &t = *tp;
+        if (t.state != ThreadState::Active)
+            continue;
+        if (t.fetchReadyCycle > curCycle || t.blockedOnBranch != 0)
+            continue;
+        candidates.push_back(t.tid);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [this](ThreadId a, ThreadId b) {
+                  const Thread &ta = threadConst(a);
+                  const Thread &tb = threadConst(b);
+                  if (ta.inFlight != tb.inFlight)
+                      return ta.inFlight < tb.inFlight;
+                  return a < b;
+              });
+
+    int totalLeft = cfg.fetchWidth;
+    int predsLeft = cfg.branchPredPerCycle;
+    int threadsLeft = cfg.fetchThreadsPerCycle;
+
+    for (ThreadId tid : candidates) {
+        if (totalLeft <= 0 || threadsLeft <= 0)
+            break;
+        Thread &t = thread(tid);
+        if (!peek(t))
+            continue;
+        --threadsLeft;
+
+        // Instruction-cache access for this thread's fetch group.
+        Cycle ilat = mem.fetchAccess(t.staged->pc);
+        if (ilat > cfg.mem.l1i.hitLatency) {
+            t.fetchReadyCycle = curCycle + ilat;
+            continue;
+        }
+
+        int mine = std::min(cfg.fetchInstsPerThread, totalLeft);
+        while (mine > 0 && totalLeft > 0) {
+            if (!peek(t))
+                break;
+            if (int(t.ifq.size()) >= cfg.ifqSize)
+                break;
+
+            isa::DynInst inst = *t.staged;
+            bool stopAfter = false;
+            FetchedInst fi;
+            fi.inst = inst;
+
+            switch (inst.cls) {
+              case OpClass::Branch: {
+                if (predsLeft <= 0)
+                    goto threadDone;  // budget: stop this thread
+                --predsLeft;
+                bool predTaken = bpred.predict(inst.pc);
+                bpred.update(inst.pc, inst.taken);
+                if (predTaken != inst.taken) {
+                    fi.mispredicted = true;
+                    ++nMispredicts;
+                    stopAfter = true;
+                } else if (inst.taken) {
+                    stopAfter = true;  // redirect to target next cycle
+                }
+                break;
+              }
+              case OpClass::Jump:
+                // Perfect target prediction; taken ends the packet.
+                stopAfter = true;
+                break;
+              case OpClass::Nthr: {
+                bool granted =
+                    divCtrl.request(curCycle, freeSlots() > 0);
+                fi.granted = granted;
+                auto child = t.program->resolveNthr(granted);
+                t.stagedIsUnresolvedNthr = false;
+                if (granted) {
+                    CAPSULE_ASSERT(child, "granted nthr returned no "
+                                          "child program");
+                    ThreadId ctid = nextTid++;
+                    auto ct = std::make_unique<Thread>();
+                    ct->tid = ctid;
+                    ct->program = std::move(child);
+                    ct->state = ThreadState::Starting;
+                    // Activation is scheduled when the nthr commits.
+                    ct->activationCycle = ~Cycle(0);
+                    threads.push_back(std::move(ct));
+                    renameMaps.emplace_back();
+                    threads.back()->slot = takeSlot(ctid);
+                    fi.childTid = ctid;
+                    if (divObserver)
+                        divObserver(t.tid, ctid);
+                    int live = liveThreads();
+                    if (std::uint64_t(live) > nPeakThreads.value()) {
+                        nPeakThreads.reset();
+                        nPeakThreads += std::uint64_t(live);
+                    }
+                    // Parent redirects into its 'left' code version.
+                    stopAfter = true;
+                } else {
+                    CAPSULE_ASSERT(!child, "denied nthr returned a "
+                                           "child program");
+                }
+                break;
+              }
+              case OpClass::Mlock: {
+                if (!locks.acquire(inst.effAddr, t.tid)) {
+                    // Queued as a waiter; stall without consuming.
+                    t.state = ThreadState::LockWait;
+                    t.lockWaitAddr = inst.effAddr;
+                    goto threadDone;
+                }
+                break;
+              }
+              case OpClass::Munlock: {
+                // Release at fetch, symmetric with the fetch-time
+                // acquire: the functional critical section is the
+                // fetch-order window (see DESIGN.md).
+                ThreadId next = locks.release(inst.effAddr, t.tid);
+                if (next != invalidThread) {
+                    Thread &waiter = thread(next);
+                    CAPSULE_ASSERT(waiter.state ==
+                                       ThreadState::LockWait,
+                                   "lock granted to a thread that "
+                                   "is not waiting");
+                    waiter.state = ThreadState::Active;
+                    waiter.lockWaitAddr = 0;
+                    waiter.fetchReadyCycle =
+                        std::max(waiter.fetchReadyCycle,
+                                 curCycle + 1);
+                }
+                break;
+              }
+              case OpClass::Kthr:
+              case OpClass::Halt:
+                t.state = ThreadState::Draining;
+                stopAfter = true;
+                break;
+              default:
+                break;
+            }
+
+            // Consume the staged instruction.
+            t.staged.reset();
+            fi.seq = nextSeq++;
+            t.ifq.push_back(fi);
+            ++t.inFlight;
+            ++nFetched;
+            --mine;
+            --totalLeft;
+
+            if (fi.mispredicted)
+                t.blockedOnBranch = fi.seq;
+            if (stopAfter)
+                break;
+        }
+      threadDone:;
+    }
+}
+
+// --------------------------------------------------------------------
+// dispatch (decode/rename into RUU + LSQ)
+// --------------------------------------------------------------------
+void
+Machine::dispatchStage()
+{
+    int budget = cfg.decodeWidth;
+    if (threads.empty())
+        return;
+    std::size_t n = threads.size();
+    std::size_t start = rrDispatch++ % n;
+
+    // One instruction per thread per pass keeps rename bandwidth
+    // fairly shared even when a long dependence chain fills the RUU.
+    bool progress = true;
+    while (budget > 0 && progress && ruuUsed < cfg.ruuSize) {
+        progress = false;
+        for (std::size_t k = 0; k < n && budget > 0; ++k) {
+            Thread &t = *threads[(start + k) % n];
+            if (t.ifq.empty())
+                continue;
+            if (ruuUsed >= cfg.ruuSize)
+                break;
+            const FetchedInst &fi = t.ifq.front();
+            bool memOp = isMemOp(fi.inst.cls);
+            if (memOp && lsqUsed >= cfg.lsqSize)
+                continue;
+
+            int idx = allocRuu();
+            RuuEntry &e = ruu[std::size_t(idx)];
+            e.inst = fi.inst;
+            e.tid = t.tid;
+            e.seq = fi.seq;
+            e.granted = fi.granted;
+            e.mispredicted = fi.mispredicted;
+            e.childTid = fi.childTid;
+            e.st = RuuEntry::St::Waiting;
+            e.pendingSrcs = 0;
+
+            // Rename: source dependences.
+            RenameMap &rm = renameMaps[std::size_t(t.tid)];
+            auto addDep = [&](std::uint8_t reg, bool fp) {
+                if (reg == isa::noReg || (!fp && reg == 0))
+                    return;
+                int prod = fp ? rm.fpMap[reg] : rm.intMap[reg];
+                if (prod < 0)
+                    return;
+                RuuEntry &p = ruu[std::size_t(prod)];
+                if (!p.valid || p.st == RuuEntry::St::Done)
+                    return;
+                p.dependents.push_back(idx);
+                ++e.pendingSrcs;
+            };
+            addDep(fi.inst.rs1, fi.inst.fpRegs);
+            addDep(fi.inst.rs2, fi.inst.fpRegs);
+
+            // Rename: destination mapping.
+            if (fi.inst.rd != isa::noReg) {
+                if (fi.inst.fpRegs)
+                    rm.fpMap[fi.inst.rd] = idx;
+                else if (fi.inst.rd != 0)
+                    rm.intMap[fi.inst.rd] = idx;
+            }
+
+            t.rob.push_back(idx);
+            if (memOp) {
+                t.lsq.push_back(idx);
+                ++lsqUsed;
+            }
+            t.ifq.pop_front();
+
+            if (e.pendingSrcs == 0) {
+                e.st = RuuEntry::St::Ready;
+                readySet.emplace(e.seq, idx);
+            }
+            --budget;
+            progress = true;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// issue
+// --------------------------------------------------------------------
+bool
+Machine::loadBlockedByStore(const Thread &t, const RuuEntry &load,
+                            bool &forwarded) const
+{
+    forwarded = false;
+    Addr lo = load.inst.effAddr;
+    Addr hi = lo + Addr(load.inst.accessBytes);
+    // Scan older memory ops; the youngest older matching store wins.
+    const RuuEntry *match = nullptr;
+    for (int idx : t.lsq) {
+        const RuuEntry &e = ruu[std::size_t(idx)];
+        if (e.seq >= load.seq)
+            break;
+        if (e.inst.cls != OpClass::Store)
+            continue;
+        Addr slo = e.inst.effAddr;
+        Addr shi = slo + Addr(e.inst.accessBytes);
+        if (slo < hi && lo < shi)
+            match = &e;
+    }
+    if (!match)
+        return false;
+    if (match->st == RuuEntry::St::Done) {
+        forwarded = true;
+        return false;
+    }
+    return true;  // wait for the store's data
+}
+
+void
+Machine::issueStage()
+{
+    ialuLeft = cfg.numIalu;
+    imultLeft = cfg.numImult;
+    fpaluLeft = cfg.numFpalu;
+    fpmultLeft = cfg.numFpmult;
+    dportsLeft = cfg.dcachePorts;
+
+    int budget = cfg.issueWidth;
+    auto it = readySet.begin();
+    while (it != readySet.end() && budget > 0) {
+        int idx = it->second;
+        RuuEntry &e = ruu[std::size_t(idx)];
+        CAPSULE_ASSERT(e.valid && e.st == RuuEntry::St::Ready,
+                       "corrupt ready set");
+        if (!fuAvailable(e.inst.cls)) {
+            ++it;
+            continue;
+        }
+
+        Cycle lat;
+        if (e.inst.cls == OpClass::Load) {
+            bool forwarded = false;
+            const Thread &t = threadConst(e.tid);
+            if (loadBlockedByStore(t, e, forwarded)) {
+                ++it;  // retry next cycle
+                continue;
+            }
+            if (forwarded) {
+                lat = 1;
+            } else {
+                lat = mem.dataAccess(e.inst.effAddr, false);
+            }
+            consumeFu(e.inst.cls);
+        } else if (e.inst.cls == OpClass::Store) {
+            // Write-buffer semantics: the access charges the memory
+            // system now but the store completes in one cycle.
+            mem.dataAccess(e.inst.effAddr, true);
+            consumeFu(e.inst.cls);
+            lat = 1;
+        } else {
+            consumeFu(e.inst.cls);
+            lat = fuLatency(e.inst.cls);
+        }
+
+        e.st = RuuEntry::St::Issued;
+        e.issueCycle = curCycle;
+        e.completeCycle = curCycle + lat;
+        completions.emplace(e.completeCycle, idx);
+        it = readySet.erase(it);
+        --budget;
+    }
+}
+
+// --------------------------------------------------------------------
+// writeback
+// --------------------------------------------------------------------
+void
+Machine::wakeDependents(int ruu_idx)
+{
+    RuuEntry &e = ruu[std::size_t(ruu_idx)];
+    for (int dep : e.dependents) {
+        RuuEntry &d = ruu[std::size_t(dep)];
+        if (!d.valid)
+            continue;
+        CAPSULE_ASSERT(d.pendingSrcs > 0, "dependence underflow");
+        if (--d.pendingSrcs == 0 && d.st == RuuEntry::St::Waiting) {
+            d.st = RuuEntry::St::Ready;
+            readySet.emplace(d.seq, dep);
+        }
+    }
+    e.dependents.clear();
+}
+
+void
+Machine::writebackStage()
+{
+    while (!completions.empty() && completions.top().first <= curCycle) {
+        auto [when, idx] = completions.top();
+        completions.pop();
+        RuuEntry &e = ruu[std::size_t(idx)];
+        if (!e.valid || e.st != RuuEntry::St::Issued ||
+            e.completeCycle != when)
+            continue;
+        e.st = RuuEntry::St::Done;
+        wakeDependents(idx);
+
+        Thread &t = thread(e.tid);
+        if (e.inst.cls == OpClass::Load && cfg.enableContextStack)
+            ctxStack.observeLoad(e.tid, e.completeCycle - e.issueCycle);
+
+        if (e.mispredicted && t.blockedOnBranch == e.seq) {
+            t.blockedOnBranch = 0;
+            t.fetchReadyCycle =
+                std::max(t.fetchReadyCycle, curCycle + 1);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// commit
+// --------------------------------------------------------------------
+void
+Machine::commitOne(Thread &t, RuuEntry &e, int idx)
+{
+    switch (e.inst.cls) {
+      case OpClass::Nthr:
+        if (e.granted) {
+            Thread &child = thread(e.childTid);
+            CAPSULE_ASSERT(child.state == ThreadState::Starting,
+                           "child not in Starting state");
+            child.activationCycle = curCycle + cfg.registerCopyCycles +
+                                    cfg.divisionExtraLatency;
+            // The parent stalls one cycle for the register copy.
+            t.fetchReadyCycle =
+                std::max(t.fetchReadyCycle, curCycle + 1);
+        }
+        break;
+      case OpClass::Kthr:
+      case OpClass::Halt: {
+        CAPSULE_ASSERT(t.state == ThreadState::Draining,
+                       "retiring kthr of non-draining thread");
+        CAPSULE_ASSERT(locks.threadQuiescent(t.tid),
+                       "thread ", t.tid, " died holding locks");
+        t.state = ThreadState::Finished;
+        releaseSlot(t);
+        t.program.reset();
+        if (e.inst.cls == OpClass::Kthr) {
+            divCtrl.recordDeath(curCycle);
+            ++nDeaths;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+
+    // Clear the rename map if this entry is still the youngest writer.
+    RenameMap &rm = renameMaps[std::size_t(t.tid)];
+    if (e.inst.rd != isa::noReg) {
+        if (e.inst.fpRegs) {
+            if (rm.fpMap[e.inst.rd] == idx)
+                rm.fpMap[e.inst.rd] = -1;
+        } else if (e.inst.rd != 0) {
+            if (rm.intMap[e.inst.rd] == idx)
+                rm.intMap[e.inst.rd] = -1;
+        }
+    }
+
+    if (isMemOp(e.inst.cls)) {
+        CAPSULE_ASSERT(!t.lsq.empty() && t.lsq.front() == idx,
+                       "LSQ commit order violation");
+        t.lsq.pop_front();
+        --lsqUsed;
+    }
+
+    --t.inFlight;
+    ++t.committed;
+    ++nCommitted;
+    lastProgressCycle = curCycle;
+}
+
+void
+Machine::commitStage()
+{
+    int budget = cfg.commitWidth;
+    if (threads.empty())
+        return;
+    std::size_t n = threads.size();
+    std::size_t start = rrCommit++ % n;
+
+    // One instruction per thread per pass (fair shared retirement).
+    bool progress = true;
+    while (budget > 0 && progress) {
+        progress = false;
+        for (std::size_t k = 0; k < n && budget > 0; ++k) {
+            Thread &t = *threads[(start + k) % n];
+            if (t.rob.empty())
+                continue;
+            int idx = t.rob.front();
+            RuuEntry &e = ruu[std::size_t(idx)];
+            if (e.st != RuuEntry::St::Done)
+                continue;
+            t.rob.pop_front();
+            commitOne(t, e, idx);
+            freeRuu(idx);
+            --budget;
+            progress = true;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// housekeeping: activations and the context stack
+// --------------------------------------------------------------------
+void
+Machine::housekeepStage()
+{
+    // Thread activations (nthr children, swap-ins) and swap-out
+    // completion.
+    for (auto &tp : threads) {
+        Thread &t = *tp;
+        switch (t.state) {
+          case ThreadState::Starting:
+          case ThreadState::SwappingIn:
+            if (t.activationCycle <= curCycle) {
+                t.state = ThreadState::Active;
+                t.fetchReadyCycle =
+                    std::max(t.fetchReadyCycle, curCycle);
+            }
+            break;
+          case ThreadState::SwappingOut:
+            if (t.inFlight == 0) {
+                if (t.activationCycle == ~Cycle(0)) {
+                    t.activationCycle =
+                        curCycle + ctxStack.swapLatency();
+                } else if (t.activationCycle <= curCycle) {
+                    releaseSlot(t);
+                    ctxStack.push(t.tid);
+                    t.state = ThreadState::Swapped;
+                }
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    if (!cfg.enableContextStack)
+        return;
+
+    // Swap-out initiation: evict memory-bound threads when every
+    // context is busy (Section 3.1 policy).
+    if (freeSlots() == 0) {
+        for (auto &tp : threads) {
+            Thread &t = *tp;
+            if (t.state != ThreadState::Active)
+                continue;
+            if (!ctxStack.swapCandidate(t.tid) || ctxStack.full())
+                continue;
+            t.state = ThreadState::SwappingOut;
+            t.activationCycle = ~Cycle(0);
+            ctxStack.clearCandidate(t.tid);
+            break;  // at most one eviction per cycle
+        }
+    }
+
+    // Swap-in: the LIFO head returns as soon as a context frees.
+    while (freeSlots() > 0 && !ctxStack.empty()) {
+        ThreadId tid = ctxStack.pop();
+        Thread &t = thread(tid);
+        CAPSULE_ASSERT(t.state == ThreadState::Swapped,
+                       "stack thread not swapped");
+        t.slot = takeSlot(tid);
+        t.state = ThreadState::SwappingIn;
+        t.activationCycle = curCycle + ctxStack.swapLatency();
+    }
+}
+
+// --------------------------------------------------------------------
+// top level
+// --------------------------------------------------------------------
+bool
+Machine::step()
+{
+    if (liveThreads() == 0)
+        return false;
+
+    commitStage();
+    writebackStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+    housekeepStage();
+
+    int active = 0;
+    for (const auto &t : threads)
+        active += t->state == ThreadState::Active;
+    nActiveCycleSum += std::uint64_t(active);
+
+    ++curCycle;
+
+    if (curCycle - lastProgressCycle > progressTimeout) {
+        dumpStats(std::cerr);
+        CAPSULE_PANIC("no commit for ", progressTimeout,
+                      " cycles at cycle ", curCycle,
+                      "; machine is deadlocked");
+    }
+    if (curCycle >= cfg.maxCycles)
+        CAPSULE_FATAL("simulation exceeded maxCycles=", cfg.maxCycles);
+    return true;
+}
+
+RunStats
+Machine::run()
+{
+    while (step()) {
+    }
+    return stats();
+}
+
+RunStats
+Machine::stats() const
+{
+    RunStats s;
+    s.cycles = curCycle;
+    s.instructions = nCommitted.value();
+    s.ipc = curCycle ? double(s.instructions) / double(curCycle) : 0.0;
+    s.divisionsRequested = divCtrl.requested();
+    s.divisionsGranted = divCtrl.granted();
+    s.divisionsThrottled = divCtrl.throttled();
+    s.threadDeaths = nDeaths.value();
+    s.lockConflicts = locks.conflicts();
+    s.swapsOut = ctxStack.swapsOut();
+    s.swapsIn = ctxStack.swapsIn();
+    s.bpredAccuracy = bpred.accuracy();
+    s.l1dMissRate = mem.l1dConst().missRate();
+    s.peakLiveThreads = int(nPeakThreads.value());
+    s.avgActiveThreads =
+        curCycle ? double(nActiveCycleSum.value()) / double(curCycle)
+                 : 0.0;
+    return s;
+}
+
+void
+Machine::dumpStats(std::ostream &os) const
+{
+    StatGroup g(cfg.name);
+    g.addFormula("cycles", [this] { return double(curCycle); },
+                 "simulated cycles");
+    g.add("instructions", nCommitted, "committed instructions");
+    g.addFormula("ipc",
+                 [this] {
+                     return curCycle ? double(nCommitted.value()) /
+                                           double(curCycle)
+                                     : 0.0;
+                 },
+                 "instructions per cycle");
+    g.add("fetched", nFetched, "fetched instructions");
+    g.add("deaths", nDeaths, "thread deaths (kthr)");
+    g.add("mispredicts", nMispredicts, "branch mispredictions");
+    g.add("peak_threads", nPeakThreads, "peak live threads");
+    divCtrl.registerStats(g);
+    locks.registerStats(g);
+    ctxStack.registerStats(g);
+    bpred.registerStats(g);
+    mem.registerStats(g);
+    g.dump(os);
+}
+
+} // namespace capsule::sim

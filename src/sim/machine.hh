@@ -1,0 +1,283 @@
+/**
+ * @file
+ * The SOMT machine: a cycle-level out-of-order SMT pipeline with the
+ * CAPSULE hardware extensions (thread division, the inactive-context
+ * stack, and the fast locking table).
+ *
+ * Pipeline organisation (per cycle, evaluated commit-first so each
+ * stage sees last cycle's downstream state):
+ *
+ *   commit    - per-thread in-order retirement, 8 wide total; nthr
+ *               children activate here (+ register-copy latency),
+ *               kthr frees the context and feeds the death throttle,
+ *               munlock hands the lock to the oldest waiter.
+ *   writeback - completion events wake dependents and resolve
+ *               mispredicted branches (fetch redirects next cycle).
+ *   issue     - dependence-driven wakeup from a 256-entry RUU, oldest
+ *               first, 8 wide, constrained by FU counts and D-cache
+ *               ports; loads check the LSQ for older conflicting
+ *               stores and forward when possible.
+ *   dispatch  - moves fetched instructions into RUU/LSQ, 8 wide.
+ *   fetch     - Icount.4.4: up to 4 threads, 4 instructions each, 16
+ *               total, 2 branch predictions per cycle; nthr and mlock
+ *               are steered here (see DESIGN.md on the fetch-time
+ *               decision approximation).
+ *   housekeep - thread activations, context-stack swaps.
+ *
+ * Functional execution happens in the front end at fetch pull
+ * (execute-at-fetch); the pipeline models timing only.
+ */
+
+#ifndef CAPSULE_SIM_MACHINE_HH
+#define CAPSULE_SIM_MACHINE_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "base/stats.hh"
+#include "front/program.hh"
+#include "sim/bpred.hh"
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/context_stack.hh"
+#include "sim/division_ctrl.hh"
+#include "sim/lock_table.hh"
+
+namespace capsule::sim
+{
+
+/** Lifecycle of a simulated thread (worker). */
+enum class ThreadState
+{
+    Starting,    ///< context seized by nthr; waiting activation
+    Active,      ///< fetching instructions
+    LockWait,    ///< stalled on a busy mlock
+    Draining,    ///< kthr/halt fetched; in-flight work retiring
+    SwappingOut, ///< selected for eviction; draining then copying out
+    Swapped,     ///< resident on the inactive-context stack
+    SwappingIn,  ///< copying registers back in
+    Finished,    ///< retired its kthr/halt
+};
+
+/** Aggregate results of one simulation run. */
+struct RunStats
+{
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;
+    std::uint64_t divisionsRequested = 0;
+    std::uint64_t divisionsGranted = 0;
+    std::uint64_t divisionsThrottled = 0;
+    std::uint64_t threadDeaths = 0;
+    std::uint64_t lockConflicts = 0;
+    std::uint64_t swapsOut = 0;
+    std::uint64_t swapsIn = 0;
+    double bpredAccuracy = 0.0;
+    double l1dMissRate = 0.0;
+    int peakLiveThreads = 0;
+    /** Mean number of threads in the Active state per cycle. */
+    double avgActiveThreads = 0.0;
+};
+
+/** The SOMT / SMT / superscalar machine. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /**
+     * Add a thread running `program`. Threads added before run() are
+     * the ancestors; nthr-spawned children are added internally.
+     * @return the new thread's id
+     */
+    ThreadId addThread(std::unique_ptr<front::Program> program);
+
+    /** Run to completion (all threads finished) or cfg.maxCycles. */
+    RunStats run();
+
+    /** Advance one cycle. @return false once all threads finished. */
+    bool step();
+
+    Cycle now() const { return curCycle; }
+    const MachineConfig &config() const { return cfg; }
+
+    int liveThreads() const;
+    std::uint64_t
+    committedInstructions() const
+    {
+        return nCommitted.value();
+    }
+
+    const DivisionController &
+    divisionController() const
+    {
+        return divCtrl;
+    }
+    const LockTable &lockTable() const { return locks; }
+    const ContextStack &contextStack() const { return ctxStack; }
+    MemoryHierarchy &memory() { return mem; }
+    const CombinedPredictor &predictor() const { return bpred; }
+    std::uint64_t threadDeaths() const { return nDeaths.value(); }
+
+    /** Snapshot the aggregate run statistics. */
+    RunStats stats() const;
+
+    /** Dump the full named-counter statistics. */
+    void dumpStats(std::ostream &os) const;
+
+    /**
+     * Observer invoked on every granted division with (parent, child)
+     * thread ids; used to reconstruct division genealogy (Figure 6).
+     */
+    using DivisionObserver = std::function<void(ThreadId, ThreadId)>;
+    void
+    setDivisionObserver(DivisionObserver obs)
+    {
+        divObserver = std::move(obs);
+    }
+
+  private:
+    /** An instruction fetched but not yet dispatched. */
+    struct FetchedInst
+    {
+        isa::DynInst inst;
+        InstSeq seq = 0;
+        bool mispredicted = false;
+        bool granted = false;           ///< nthr decision
+        ThreadId childTid = invalidThread;
+    };
+
+    struct Thread
+    {
+        ThreadId tid = invalidThread;
+        std::unique_ptr<front::Program> program;
+        ThreadState state = ThreadState::Active;
+        int slot = -1;
+        bool programDone = false;
+        std::optional<isa::DynInst> staged;  ///< one-instruction peek
+        bool stagedIsUnresolvedNthr = false;
+        Cycle fetchReadyCycle = 0;
+        InstSeq blockedOnBranch = 0;  ///< seq of unresolved mispredict
+        int inFlight = 0;             ///< fetched, not yet committed
+        std::uint64_t committed = 0;
+        Addr lockWaitAddr = 0;
+        std::deque<FetchedInst> ifq;  ///< fetched, waiting dispatch
+        std::deque<int> rob;          ///< dispatched RUU ids, in order
+        std::deque<int> lsq;          ///< memory-op RUU ids, in order
+        Cycle activationCycle = 0;    ///< Starting / swap completion
+    };
+
+    struct RuuEntry
+    {
+        bool valid = false;
+        isa::DynInst inst;
+        ThreadId tid = invalidThread;
+        InstSeq seq = 0;
+        enum class St { Waiting, Ready, Issued, Done } st = St::Waiting;
+        int pendingSrcs = 0;
+        std::vector<int> dependents;
+        Cycle issueCycle = 0;
+        Cycle completeCycle = 0;
+        bool granted = false;       ///< nthr decision
+        bool mispredicted = false;
+        ThreadId childTid = invalidThread;
+    };
+
+    // ---- pipeline stages -------------------------------------------
+    void commitStage();
+    void writebackStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+    void housekeepStage();
+
+    // ---- helpers ----------------------------------------------------
+    Thread &thread(ThreadId tid);
+    const Thread &threadConst(ThreadId tid) const;
+    bool peek(Thread &t);
+    int allocRuu();
+    void freeRuu(int idx);
+    int freeSlots() const;
+    int takeSlot(ThreadId tid);
+    void releaseSlot(Thread &t);
+    void commitOne(Thread &t, RuuEntry &e, int idx);
+    Cycle fuLatency(isa::OpClass cls) const;
+    bool fuAvailable(isa::OpClass cls) const;
+    void consumeFu(isa::OpClass cls);
+    void wakeDependents(int ruu_idx);
+    bool loadBlockedByStore(const Thread &t, const RuuEntry &load,
+                            bool &forwarded) const;
+
+    // ---- state --------------------------------------------------------
+    MachineConfig cfg;
+    Cycle curCycle = 0;
+    InstSeq nextSeq = 1;
+    ThreadId nextTid = 0;
+    std::size_t rrCommit = 0;    ///< round-robin pointers
+    std::size_t rrDispatch = 0;
+    Cycle lastProgressCycle = 0;
+
+    std::vector<std::unique_ptr<Thread>> threads;  ///< by tid
+    std::vector<ThreadId> slotOwner;               ///< slot -> tid
+    int slotsInUse = 0;
+
+    std::vector<RuuEntry> ruu;
+    std::vector<int> ruuFreeList;
+    int ruuUsed = 0;
+    int lsqUsed = 0;
+
+    /** Entries ready to issue, ordered oldest first. */
+    std::set<std::pair<InstSeq, int>> readySet;
+    /** Completion events: (cycle, ruu index). */
+    std::priority_queue<std::pair<Cycle, int>,
+                        std::vector<std::pair<Cycle, int>>,
+                        std::greater<>>
+        completions;
+
+    /** Per-thread rename maps: architectural reg -> producing RUU. */
+    struct RenameMap
+    {
+        std::array<int, isa::numIntRegs> intMap;
+        std::array<int, isa::numFpRegs + 1> fpMap;
+
+        RenameMap()
+        {
+            intMap.fill(-1);
+            fpMap.fill(-1);
+        }
+    };
+    std::vector<RenameMap> renameMaps;  ///< by tid
+
+    MemoryHierarchy mem;
+    CombinedPredictor bpred;
+    LockTable locks;
+    ContextStack ctxStack;
+    DivisionController divCtrl;
+    DivisionObserver divObserver;
+
+    // Per-cycle resource budgets (reset in issueStage).
+    int ialuLeft = 0, imultLeft = 0, fpaluLeft = 0, fpmultLeft = 0;
+    int dportsLeft = 0;
+
+    Scalar nCommitted;
+    Scalar nFetched;
+    Scalar nDeaths;
+    Scalar nMispredicts;
+    Scalar nActiveCycleSum;  ///< sum over cycles of Active threads
+    mutable Scalar nPeakThreads;
+};
+
+} // namespace capsule::sim
+
+#endif // CAPSULE_SIM_MACHINE_HH

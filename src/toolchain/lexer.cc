@@ -1,0 +1,118 @@
+#include "toolchain/lexer.hh"
+
+#include <cctype>
+
+namespace capsule::tc
+{
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    std::vector<Token> out;
+    std::size_t i = 0;
+    int line = 1;
+    auto push = [&](Token::Kind k, std::string text) {
+        out.push_back(Token{k, std::move(text), line});
+    };
+
+    while (i < src.size()) {
+        char c = src[i];
+        if (c == '\n') {
+            push(Token::Kind::Newline, "\n");
+            ++line;
+            ++i;
+        } else if (c == ' ' || c == '\t' || c == '\r') {
+            std::size_t j = i;
+            while (j < src.size() &&
+                   (src[j] == ' ' || src[j] == '\t' || src[j] == '\r'))
+                ++j;
+            push(Token::Kind::Space, src.substr(i, j - i));
+            i = j;
+        } else if (c == '/' && i + 1 < src.size() &&
+                   src[i + 1] == '/') {
+            std::size_t j = src.find('\n', i);
+            if (j == std::string::npos)
+                j = src.size();
+            push(Token::Kind::Comment, src.substr(i, j - i));
+            i = j;
+        } else if (c == '/' && i + 1 < src.size() &&
+                   src[i + 1] == '*') {
+            std::size_t j = src.find("*/", i + 2);
+            j = j == std::string::npos ? src.size() : j + 2;
+            std::string text = src.substr(i, j - i);
+            for (char ch : text)
+                line += ch == '\n';
+            out.push_back(Token{Token::Kind::Comment, text,
+                                out.empty() ? 1 : out.back().line});
+            i = j;
+        } else if (c == '"' || c == '\'') {
+            char quote = c;
+            std::size_t j = i + 1;
+            while (j < src.size() && src[j] != quote) {
+                if (src[j] == '\\')
+                    ++j;
+                ++j;
+            }
+            j = j < src.size() ? j + 1 : j;
+            push(quote == '"' ? Token::Kind::String
+                              : Token::Kind::CharLit,
+                 src.substr(i, j - i));
+            i = j;
+        } else if (identStart(c)) {
+            std::size_t j = i + 1;
+            while (j < src.size() && identCont(src[j]))
+                ++j;
+            push(Token::Kind::Ident, src.substr(i, j - i));
+            i = j;
+        } else if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i + 1;
+            while (j < src.size() &&
+                   (identCont(src[j]) || src[j] == '.'))
+                ++j;
+            push(Token::Kind::Number, src.substr(i, j - i));
+            i = j;
+        } else {
+            push(Token::Kind::Punct, std::string(1, c));
+            ++i;
+        }
+    }
+    return out;
+}
+
+std::string
+emit(const std::vector<Token> &tokens)
+{
+    std::string out;
+    for (const auto &t : tokens)
+        out += t.text;
+    return out;
+}
+
+std::size_t
+skipBlanks(const std::vector<Token> &toks, std::size_t i)
+{
+    while (i < toks.size() &&
+           (toks[i].kind == Token::Kind::Space ||
+            toks[i].kind == Token::Kind::Newline ||
+            toks[i].kind == Token::Kind::Comment))
+        ++i;
+    return i;
+}
+
+} // namespace capsule::tc

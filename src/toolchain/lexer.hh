@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tokenizer for the CapC worker-syntax subset (C/C++ with the
+ * `worker` and `coworker` extensions of Section 3.2). The lexer
+ * preserves every character — comments and whitespace are tokens —
+ * so the pre-processor can re-emit untouched code verbatim.
+ */
+
+#ifndef CAPSULE_TC_LEXER_HH
+#define CAPSULE_TC_LEXER_HH
+
+#include <string>
+#include <vector>
+
+namespace capsule::tc
+{
+
+/** One source token. */
+struct Token
+{
+    enum class Kind
+    {
+        Ident,     ///< identifiers and keywords
+        Number,
+        String,    ///< "..." including quotes
+        CharLit,   ///< '...'
+        Punct,     ///< single punctuation character
+        Comment,   ///< // ... or /* ... */
+        Space,     ///< spaces and tabs
+        Newline,   ///< one '\n'
+    };
+
+    Kind kind;
+    std::string text;
+    int line;
+
+    bool is(Kind k, const std::string &t) const
+    {
+        return kind == k && text == t;
+    }
+    bool isIdent(const std::string &t) const
+    {
+        return is(Kind::Ident, t);
+    }
+    bool isPunct(char c) const
+    {
+        return kind == Kind::Punct && text.size() == 1 && text[0] == c;
+    }
+};
+
+/** Tokenize CapC source; never fails (unknown bytes become Punct). */
+std::vector<Token> lex(const std::string &source);
+
+/** Re-emit a token stream verbatim. */
+std::string emit(const std::vector<Token> &tokens);
+
+/** Next index at or after `i` that is not whitespace or comment. */
+std::size_t skipBlanks(const std::vector<Token> &toks, std::size_t i);
+
+} // namespace capsule::tc
+
+#endif // CAPSULE_TC_LEXER_HH

@@ -1,0 +1,108 @@
+#include "toolchain/postprocessor.hh"
+
+#include <sstream>
+#include <vector>
+
+namespace capsule::tc
+{
+namespace
+{
+
+/** Split into lines (without the trailing newline). */
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/** Tokenize one assembly line on whitespace and commas. */
+std::vector<std::string>
+fields(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : line) {
+        if (c == '#' || c == ';')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/** Leading whitespace of a line (kept on rewritten lines). */
+std::string
+indentOf(const std::string &line)
+{
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+    return line.substr(0, i);
+}
+
+} // namespace
+
+PostprocessResult
+postprocess(const std::string &asm_text)
+{
+    PostprocessResult res;
+    std::vector<std::string> lines = splitLines(asm_text);
+    std::string out;
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        auto f0 = fields(lines[i]);
+        bool isProbeCall = f0.size() == 3 && f0[0] == "jal" &&
+                           f0[2] == "__capsule_probe";
+        if (isProbeCall && i + 4 < lines.size()) {
+            auto f1 = fields(lines[i + 1]);  // addi rT, r0, -1
+            auto f2 = fields(lines[i + 2]);  // beq rV, rT, Lseq
+            auto f3 = fields(lines[i + 3]);  // beq rV, r0, Lleft
+            auto f4 = fields(lines[i + 4]);  // jmp Lright
+            bool shape =
+                f1.size() == 4 && f1[0] == "addi" && f1[2] == "r0" &&
+                f1[3] == "-1" && f2.size() == 4 && f2[0] == "beq" &&
+                f2[2] == f1[1] && f3.size() == 4 && f3[0] == "beq" &&
+                f3[1] == f2[1] && f3[2] == "r0" && f4.size() == 2 &&
+                f4[0] == "jmp";
+            if (shape) {
+                const std::string &rv = f2[1];
+                const std::string &rt = f1[1];
+                const std::string &lseq = f2[3];
+                const std::string &lleft = f3[3];
+                const std::string &lright = f4[1];
+                std::string ind = indentOf(lines[i]);
+                out += ind + "nthr " + rv + ", " + lright +
+                       "    # capsule: hardware division\n";
+                out += ind + "addi " + rt + ", r0, -1\n";
+                out += ind + "beq " + rv + ", " + rt + ", " + lseq +
+                       "    # division denied\n";
+                out += ind + "jmp " + lleft +
+                       "    # division granted: parent half\n";
+                i += 4;
+                ++res.callSitesRewritten;
+                continue;
+            }
+        }
+        out += lines[i];
+        out += '\n';
+    }
+
+    res.output = out;
+    return res;
+}
+
+} // namespace capsule::tc

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The CAPSULE assembly post-processor of Section 3.2: it replaces
+ * the compiled form of the probe switch (a run-time call followed by
+ * the three-way dispatch) with the nthr instruction the architecture
+ * understands (Figure 2(b) -> 2(c)).
+ *
+ * Recognised input pattern (CapISA assembly, one call site):
+ *
+ *     jal  rL, __capsule_probe     ; software probe call
+ *     addi rT, r0, -1
+ *     beq  rV, rT, Lseq            ; case -1: sequential version
+ *     beq  rV, r0, Lleft           ; case 0:  left (parent) version
+ *     jmp  Lright                  ; case 1:  right (child) version
+ *
+ * Emitted replacement:
+ *
+ *     nthr rV, Lright              ; hardware conditional division
+ *     addi rT, r0, -1
+ *     beq  rV, rT, Lseq            ; division denied
+ *     jmp  Lleft                   ; division granted: parent half
+ *
+ * The child half starts at Lright with rV = 1 in its copied register
+ * file, exactly the three-way contract of the switch.
+ */
+
+#ifndef CAPSULE_TC_POSTPROCESSOR_HH
+#define CAPSULE_TC_POSTPROCESSOR_HH
+
+#include <string>
+
+namespace capsule::tc
+{
+
+/** Result of a post-processing run. */
+struct PostprocessResult
+{
+    std::string output;
+    int callSitesRewritten = 0;
+};
+
+/** Rewrite every probe call site in `asm_text`. */
+PostprocessResult postprocess(const std::string &asm_text);
+
+} // namespace capsule::tc
+
+#endif // CAPSULE_TC_POSTPROCESSOR_HH

@@ -1,0 +1,303 @@
+#include "toolchain/preprocessor.hh"
+
+#include <set>
+
+#include "base/logging.hh"
+
+namespace capsule::tc
+{
+namespace
+{
+
+using Toks = std::vector<Token>;
+
+/** A recognised worker definition inside the token stream. */
+struct Definition
+{
+    WorkerInfo info;
+    std::size_t headerBegin;  ///< index of the `worker` keyword
+    std::size_t nameIndex;    ///< index of the function name
+    std::size_t parenOpen;
+    std::size_t parenClose;
+    std::size_t braceOpen;
+    std::size_t braceClose;   ///< index of the matching '}'
+};
+
+/** Find the matching closer for the opener at `open`. */
+std::size_t
+matchDelim(const Toks &toks, std::size_t open, char oc, char cc)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].isPunct(oc))
+            ++depth;
+        else if (toks[i].isPunct(cc)) {
+            if (--depth == 0)
+                return i;
+        }
+    }
+    return toks.size();
+}
+
+/** Parse the formal parameters between parenOpen and parenClose. */
+std::vector<WorkerParam>
+parseParams(const Toks &toks, std::size_t open, std::size_t close)
+{
+    std::vector<WorkerParam> params;
+    std::size_t begin = open + 1;
+    int depth = 0;
+    auto flush = [&](std::size_t end) {
+        WorkerParam p;
+        std::string lastIdent;
+        for (std::size_t i = begin; i < end; ++i) {
+            const Token &t = toks[i];
+            if (t.isPunct('*') || t.isPunct('&'))
+                p.byAddress = true;
+            if (t.kind == Token::Kind::Ident)
+                lastIdent = t.text;
+        }
+        if (lastIdent.empty())
+            return;  // e.g. (void) or ()
+        p.name = lastIdent;
+        for (std::size_t i = begin; i < end; ++i) {
+            if (toks[i].kind == Token::Kind::Ident &&
+                toks[i].text == lastIdent &&
+                skipBlanks(toks, i + 1) >= end)
+                break;
+            if (toks[i].kind != Token::Kind::Newline)
+                p.type += toks[i].text;
+        }
+        params.push_back(std::move(p));
+    };
+    for (std::size_t i = open + 1; i < close; ++i) {
+        if (toks[i].isPunct('(') || toks[i].isPunct('<'))
+            ++depth;
+        else if (toks[i].isPunct(')') || toks[i].isPunct('>'))
+            --depth;
+        else if (toks[i].isPunct(',') && depth == 0) {
+            flush(i);
+            begin = i + 1;
+        }
+    }
+    if (close > begin)
+        flush(close);
+    return params;
+}
+
+/** Emit tokens [b, e) verbatim. */
+std::string
+slice(const Toks &toks, std::size_t b, std::size_t e)
+{
+    std::string out;
+    for (std::size_t i = b; i < e && i < toks.size(); ++i)
+        out += toks[i].text;
+    return out;
+}
+
+/** The three generated version suffixes. */
+enum class Version
+{
+    Seq,
+    Left,
+    Right,
+};
+
+const char *
+suffix(Version v)
+{
+    switch (v) {
+      case Version::Seq:
+        return "__seq";
+      case Version::Left:
+        return "__left";
+      case Version::Right:
+        return "__right";
+    }
+    return "";
+}
+
+} // namespace
+
+PreprocessResult
+Preprocessor::process(const std::string &source)
+{
+    PreprocessResult res;
+    Toks toks = lex(source);
+
+    // ---- pass 1: find worker definitions at top level -------------
+    std::vector<Definition> defs;
+    std::set<std::string> workerNames;
+    {
+        int depth = 0;
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            if (toks[i].isPunct('{'))
+                ++depth;
+            else if (toks[i].isPunct('}'))
+                --depth;
+            if (depth != 0 || !toks[i].isIdent("worker"))
+                continue;
+
+            Definition d;
+            d.headerBegin = i;
+            // Scan forward: ... name ( params ) { body }
+            std::size_t j = i + 1;
+            std::size_t lastIdent = 0;
+            while (j < toks.size() && !toks[j].isPunct('(')) {
+                if (toks[j].kind == Token::Kind::Ident)
+                    lastIdent = j;
+                ++j;
+            }
+            if (j >= toks.size() || lastIdent == 0) {
+                res.diagnostics.push_back(
+                    "line " + std::to_string(toks[i].line) +
+                    ": malformed worker definition");
+                continue;
+            }
+            d.nameIndex = lastIdent;
+            d.parenOpen = j;
+            d.parenClose = matchDelim(toks, j, '(', ')');
+            std::size_t k = skipBlanks(toks, d.parenClose + 1);
+            if (k >= toks.size() || !toks[k].isPunct('{')) {
+                res.diagnostics.push_back(
+                    "line " + std::to_string(toks[i].line) +
+                    ": worker '" + toks[lastIdent].text +
+                    "' has no body");
+                continue;
+            }
+            d.braceOpen = k;
+            d.braceClose = matchDelim(toks, k, '{', '}');
+            d.info.name = toks[lastIdent].text;
+            d.info.line = toks[i].line;
+            d.info.params =
+                parseParams(toks, d.parenOpen, d.parenClose);
+            workerNames.insert(d.info.name);
+            defs.push_back(d);
+        }
+    }
+
+    // ---- helpers for call rewriting --------------------------------
+    /**
+     * Rewrite the body tokens [b, e), replacing coworker statements
+     * and worker calls; returns the rewritten text.
+     */
+    auto rewriteBody = [&](std::size_t b, std::size_t e, Version v) {
+        std::string out;
+        std::size_t i = b;
+        while (i < e) {
+            const Token &t = toks[i];
+            bool isCoworker = t.isIdent("coworker");
+            std::size_t callName = i;
+            if (isCoworker)
+                callName = skipBlanks(toks, i + 1);
+            bool isWorkerCall =
+                toks[callName].kind == Token::Kind::Ident &&
+                workerNames.count(toks[callName].text);
+            if (isCoworker && !isWorkerCall) {
+                res.diagnostics.push_back(
+                    "line " + std::to_string(t.line) +
+                    ": coworker call to unknown worker '" +
+                    toks[callName].text + "'");
+            }
+            std::size_t paren =
+                isWorkerCall ? skipBlanks(toks, callName + 1)
+                             : std::size_t(0);
+            if (isWorkerCall && paren < e && toks[paren].isPunct('(')) {
+                std::size_t close = matchDelim(toks, paren, '(', ')');
+                std::size_t semi = skipBlanks(toks, close + 1);
+                if (semi < e && toks[semi].isPunct(';')) {
+                    const std::string &callee = toks[callName].text;
+                    std::string args =
+                        slice(toks, paren + 1, close);
+                    if (v == Version::Seq) {
+                        // The sequential version never probes.
+                        out += callee + "__seq(" + args + ");";
+                    } else {
+                        out += "switch (__capsule_probe()) {";
+                        out += " case -1: " + callee + "__seq(" +
+                               args + "); break;";
+                        out += " case 0: " + callee + "__left(" +
+                               args + "); break;";
+                        out += " case 1: " + callee + "__right(" +
+                               args + "); break;";
+                        out += " }";
+                    }
+                    ++res.coworkerCallsRewritten;
+                    i = semi + 1;
+                    continue;
+                }
+            }
+            out += t.text;
+            ++i;
+        }
+        return out;
+    };
+
+    /** Locate the first spawning statement inside a body. */
+    auto firstSpawnIndex = [&](std::size_t b,
+                               std::size_t e) -> std::size_t {
+        for (std::size_t i = b; i < e; ++i) {
+            if (toks[i].isIdent("coworker"))
+                return i;
+            if (toks[i].kind == Token::Kind::Ident &&
+                workerNames.count(toks[i].text) &&
+                i > b) {
+                std::size_t paren = skipBlanks(toks, i + 1);
+                if (paren < e && toks[paren].isPunct('('))
+                    return i;
+            }
+        }
+        return e;
+    };
+
+    // ---- pass 2: emit ----------------------------------------------
+    std::string &out = res.output;
+    std::size_t cursor = 0;
+    for (const auto &d : defs) {
+        // Copy everything before the definition, rewriting calls.
+        out += rewriteBody(cursor, d.headerBegin, Version::Left);
+
+        std::string header =
+            slice(toks, d.headerBegin + 1, d.nameIndex);
+        std::string paramText =
+            slice(toks, d.parenOpen, d.parenClose + 1);
+
+        out += "/* CAPSULE: expanded '" + d.info.name +
+               "' into seq/left/right versions */\n";
+        for (Version v :
+             {Version::Seq, Version::Left, Version::Right}) {
+            out += header + d.info.name + suffix(v) + paramText;
+            out += "{";
+            std::string prologue;
+            std::string release;
+            if (insertLocks) {
+                for (const auto &p : d.info.params) {
+                    if (!p.byAddress)
+                        continue;
+                    prologue += " __mlock(" + p.name + ");";
+                    release += " __munlock(" + p.name + ");";
+                    res.locksInserted += 2;
+                }
+            }
+            out += prologue;
+            std::size_t spawn =
+                firstSpawnIndex(d.braceOpen + 1, d.braceClose);
+            if (spawn < d.braceClose) {
+                out += rewriteBody(d.braceOpen + 1, spawn, v);
+                out += release + " ";
+                out += rewriteBody(spawn, d.braceClose, v);
+            } else {
+                out += rewriteBody(d.braceOpen + 1, d.braceClose, v);
+                out += release;
+            }
+            out += "}\n";
+        }
+        res.workers.push_back(d.info);
+        cursor = d.braceClose + 1;
+    }
+    out += rewriteBody(cursor, toks.size(), Version::Left);
+
+    res.ok = res.diagnostics.empty();
+    return res;
+}
+
+} // namespace capsule::tc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The CAPSULE source-to-source pre-processor of Section 3.2: it
+ * turns the C/C++ worker-syntax extensions into standard C/C++
+ * (Figure 2(a) -> 2(b)).
+ *
+ * Transformations:
+ *  1. Every `worker` function definition `worker T f(params) {...}`
+ *     is expanded into three versions — `f__seq` (the sequential
+ *     fallback), `f__left` and `f__right` (the two halves of a
+ *     division) — plus a dispatch macro under the original name.
+ *  2. Every `coworker f(args);` statement (and every plain call to a
+ *     function known to be a worker, per the paper) becomes the
+ *     conditional-division switch:
+ *
+ *         switch (__capsule_probe()) {
+ *           case -1: f__seq(args); break;   // division denied
+ *           case 0:  f__left(args); break;  // parent half
+ *           case 1:  f__right(args); break; // child half
+ *         }
+ *
+ *     Inside `f__seq` the call lowers to a direct `f__seq(args);`
+ *     (the sequential version never probes).
+ *  3. Lock insertion: every worker parameter passed by address gets
+ *     `__mlock(p);` at body entry and `__munlock(p);` before the
+ *     first spawning section (or at body exit when none) — the
+ *     default placement the paper describes, which users may adjust.
+ */
+
+#ifndef CAPSULE_TC_PREPROCESSOR_HH
+#define CAPSULE_TC_PREPROCESSOR_HH
+
+#include <string>
+#include <vector>
+
+#include "toolchain/lexer.hh"
+
+namespace capsule::tc
+{
+
+/** One formal parameter of a worker. */
+struct WorkerParam
+{
+    std::string type;       ///< textual type spelling
+    std::string name;
+    bool byAddress = false; ///< pointer or reference parameter
+};
+
+/** Metadata of one recognised worker definition. */
+struct WorkerInfo
+{
+    std::string name;
+    std::vector<WorkerParam> params;
+    int line = 0;
+};
+
+/** Result of a pre-processing run. */
+struct PreprocessResult
+{
+    bool ok = false;
+    std::string output;
+    std::vector<WorkerInfo> workers;
+    std::vector<std::string> diagnostics;
+    int coworkerCallsRewritten = 0;
+    int locksInserted = 0;
+};
+
+/** The Figure-2(a) -> 2(b) source transformation. */
+class Preprocessor
+{
+  public:
+    /** When false, skip the automatic lock insertion pass. */
+    explicit Preprocessor(bool insert_locks = true)
+        : insertLocks(insert_locks)
+    {}
+
+    PreprocessResult process(const std::string &source);
+
+  private:
+    bool insertLocks;
+};
+
+} // namespace capsule::tc
+
+#endif // CAPSULE_TC_PREPROCESSOR_HH

@@ -1,0 +1,199 @@
+#include "workloads/bzip_sort.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "workloads/lzw.hh"  // makeText
+
+namespace capsule::wl
+{
+namespace
+{
+
+using rt::Task;
+using rt::Val;
+using rt::Worker;
+
+enum Site : std::uint32_t
+{
+    siteCmpLoop = 70,
+    sitePartition = 71,
+    siteProbe = 72,
+    siteInsert = 73,
+};
+
+struct Run
+{
+    const std::vector<std::uint8_t> &block;
+    std::vector<int> &order;
+    int maxCompare;
+    Addr blockAddr;
+    Addr orderAddr;
+
+    Addr chr(int i) const
+    {
+        return blockAddr + Addr(i % int(block.size()));
+    }
+    Addr slot(int i) const { return orderAddr + Addr(i) * 4; }
+
+    /** Host-side comparator identical to the golden order. */
+    bool
+    less(int a, int b) const
+    {
+        int n = int(block.size());
+        for (int k = 0; k < maxCompare; ++k) {
+            std::uint8_t ca = block[std::size_t((a + k) % n)];
+            std::uint8_t cb = block[std::size_t((b + k) % n)];
+            if (ca != cb)
+                return ca < cb;
+        }
+        return a < b;
+    }
+};
+
+/** Emit the per-character work of one suffix comparison. */
+Task
+emitCompare(Worker &w, Run &run, int a, int b)
+{
+    int n = int(run.block.size());
+    for (int k = 0; k < run.maxCompare; ++k) {
+        std::uint8_t ca = run.block[std::size_t((a + k) % n)];
+        std::uint8_t cb = run.block[std::size_t((b + k) % n)];
+        Val va = co_await w.load(run.chr(a + k));
+        Val vb = co_await w.load(run.chr(b + k));
+        bool differ = ca != cb;
+        co_await w.branch(siteCmpLoop, !differ, va);
+        if (differ) {
+            co_await w.alu(va, vb);
+            co_return;
+        }
+    }
+}
+
+/** Componentised quicksort over suffix indices. */
+Task
+sortSuffixes(Worker &w, Run &run, int lo, int hi, int cutoff)
+{
+    if (hi - lo + 1 <= cutoff) {
+        // Insertion sort with full comparison emission.
+        for (int i = lo + 1; i <= hi; ++i) {
+            int key = run.order[std::size_t(i)];
+            int j = i - 1;
+            while (j >= lo && run.less(key, run.order[std::size_t(j)])) {
+                co_await emitCompare(w, run, key,
+                                     run.order[std::size_t(j)]);
+                co_await w.branch(siteInsert, true, Val{});
+                run.order[std::size_t(j + 1)] =
+                    run.order[std::size_t(j)];
+                co_await w.store(run.slot(j + 1));
+                --j;
+            }
+            co_await w.branch(siteInsert, false, Val{});
+            run.order[std::size_t(j + 1)] = key;
+            co_await w.store(run.slot(j + 1));
+        }
+        co_return;
+    }
+
+    int pivot = run.order[std::size_t((lo + hi) / 2)];
+    co_await w.load(run.slot((lo + hi) / 2));
+    int i = lo;
+    int j = hi;
+    while (true) {
+        while (run.less(run.order[std::size_t(i)], pivot)) {
+            co_await emitCompare(w, run, run.order[std::size_t(i)],
+                                 pivot);
+            co_await w.branch(sitePartition, true, Val{});
+            ++i;
+        }
+        co_await w.branch(sitePartition, false, Val{});
+        while (run.less(pivot, run.order[std::size_t(j)])) {
+            co_await emitCompare(w, run, pivot,
+                                 run.order[std::size_t(j)]);
+            co_await w.branch(sitePartition, true, Val{});
+            --j;
+        }
+        co_await w.branch(sitePartition, false, Val{});
+        if (i >= j)
+            break;
+        std::swap(run.order[std::size_t(i)], run.order[std::size_t(j)]);
+        Val a = co_await w.load(run.slot(i));
+        Val b = co_await w.load(run.slot(j));
+        co_await w.store(run.slot(i), b);
+        co_await w.store(run.slot(j), a);
+        ++i;
+        --j;
+    }
+    int mid = j;
+
+    int rlo = mid + 1;
+    bool granted = co_await w.probe(
+        [&run, rlo, hi, cutoff](Worker &cw) -> Task {
+            return sortSuffixes(cw, run, rlo, hi, cutoff);
+        },
+        siteProbe);
+    co_await sortSuffixes(w, run, lo, mid, cutoff);
+    if (!granted)
+        co_await sortSuffixes(w, run, rlo, hi, cutoff);
+}
+
+} // namespace
+
+std::vector<int>
+suffixOrder(const std::vector<std::uint8_t> &block, int max_compare)
+{
+    std::vector<int> order(block.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = int(i);
+    int n = int(block.size());
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        for (int k = 0; k < max_compare; ++k) {
+            std::uint8_t ca = block[std::size_t((a + k) % n)];
+            std::uint8_t cb = block[std::size_t((b + k) % n)];
+            if (ca != cb)
+                return ca < cb;
+        }
+        return a < b;
+    });
+    return order;
+}
+
+BzipResult
+runBzip(const sim::MachineConfig &cfg, const BzipParams &params)
+{
+    Rng rng(params.seed);
+    std::vector<std::uint8_t> block =
+        makeText(params.blockBytes, 64, rng);
+
+    std::vector<int> order(block.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = int(i);
+
+    rt::Exec exec;
+    Run run{block, order, params.maxCompare,
+            exec.arena().alloc(block.size(), 64),
+            exec.arena().alloc(order.size() * 4, 64)};
+
+    int hi = int(order.size()) - 1;
+    int cutoff = params.serialCutoff;
+    auto outcome =
+        simulate(cfg, exec, [&run, hi, cutoff](Worker &w) -> Task {
+            return sortSuffixes(w, run, 0, hi, cutoff);
+        });
+
+    BzipResult res;
+    res.sectionStats = outcome.stats;
+    res.order = order;
+    res.correct = order == suffixOrder(block, params.maxCompare);
+
+    if (params.serialSectionOps > 0) {
+        rt::Exec serialExec;
+        auto serial = simulate(
+            cfg, serialExec,
+            serialSection(serialExec, params.serialSectionOps));
+        res.serialCycles = serial.stats.cycles;
+    }
+    return res;
+}
+
+} // namespace capsule::wl

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The 256.bzip2 analogue (Section 5): the componentised section
+ * targets the string-sorting process of the block-sorting (BWT)
+ * compressor. Suffix indices of a text block are sorted with a
+ * componentised quicksort whose comparisons walk the strings
+ * character by character — heavy per-comparison work, so divisions
+ * are rare relative to instructions (Table 3's large
+ * instructions-per-division for bzip2).
+ */
+
+#ifndef CAPSULE_WL_BZIP_SORT_HH
+#define CAPSULE_WL_BZIP_SORT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+#include "sim/machine.hh"
+#include "workloads/harness.hh"
+
+namespace capsule::wl
+{
+
+/** Parameters of one bzip2-analogue experiment. */
+struct BzipParams
+{
+    int blockBytes = 2048;     ///< text block length
+    int maxCompare = 24;       ///< compared prefix length bound
+    int serialCutoff = 12;     ///< insertion sort below this size
+    std::uint64_t seed = 1;
+    /** Serial section ops; Table 2 puts bzip2's componentised
+     *  section at ~20% of execution. */
+    std::uint64_t serialSectionOps = 0;
+};
+
+/** Result of one bzip2-analogue simulation. */
+struct BzipResult
+{
+    sim::RunStats sectionStats;
+    Cycle serialCycles = 0;
+    bool correct = false;
+    std::vector<int> order;  ///< sorted suffix indices
+};
+
+/**
+ * Golden suffix order: prefix-bounded lexicographic comparison with
+ * index tie-break (a strict total order, so any correct sort agrees).
+ */
+std::vector<int> suffixOrder(const std::vector<std::uint8_t> &block,
+                             int max_compare);
+
+/** Simulate the bzip2 analogue under `cfg`'s division policy. */
+BzipResult runBzip(const sim::MachineConfig &cfg,
+                   const BzipParams &params);
+
+} // namespace capsule::wl
+
+#endif // CAPSULE_WL_BZIP_SORT_HH

@@ -1,0 +1,287 @@
+#include "workloads/crafty_search.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/logging.hh"
+
+namespace capsule::wl
+{
+namespace
+{
+
+using rt::Task;
+using rt::Val;
+using rt::Worker;
+
+enum Site : std::uint32_t
+{
+    siteQueueEmpty = 80,
+    siteDoneFlag = 81,
+    siteSpin = 82,
+    siteNodeLoop = 83,
+    sitePoolSpawn = 84,
+};
+
+/** One work item: a subtree handed to the pool. */
+struct Item
+{
+    int node;        ///< subtree root
+    bool maximising; ///< side to move at that node
+    std::int64_t value = 0;
+};
+
+struct Run
+{
+    const GameTree &tree;
+    Addr nodeBase;
+    Addr queueAddr;
+    Addr doneAddr;
+    std::deque<int> queue;     ///< indices into items
+    std::vector<Item> items;
+    bool allDone = false;
+    std::uint64_t spins = 0;
+    JoinCounter *joins = nullptr;
+
+    Addr node(int i) const { return nodeBase + Addr(i) * 32; }
+};
+
+/** Host-side minimax (also the golden reference). */
+std::int64_t
+minimaxNode(const GameTree &t, int node, bool maximising)
+{
+    const auto &n = t.nodes[std::size_t(node)];
+    if (n.children.empty())
+        return n.score;
+    std::int64_t best = maximising ? std::numeric_limits<std::int64_t>::min()
+                                   : std::numeric_limits<std::int64_t>::max();
+    for (int c : n.children) {
+        std::int64_t v = minimaxNode(t, c, !maximising);
+        best = maximising ? std::max(best, v) : std::min(best, v);
+    }
+    return best;
+}
+
+/** Emit the serial search of one subtree (division inhibited). */
+Task
+searchSubtree(Worker &w, Run &run, int node, bool maximising,
+              std::int64_t *out)
+{
+    const auto &n = run.tree.nodes[std::size_t(node)];
+    Val rec = co_await w.load(run.node(node));
+    co_await w.alu(rec);
+    if (n.children.empty()) {
+        *out = n.score;
+        co_return;
+    }
+    std::int64_t best = maximising
+                            ? std::numeric_limits<std::int64_t>::min()
+                            : std::numeric_limits<std::int64_t>::max();
+    for (std::size_t i = 0; i < n.children.size(); ++i) {
+        std::int64_t v = 0;
+        co_await searchSubtree(w, run, n.children[i], !maximising, &v);
+        best = maximising ? std::max(best, v) : std::min(best, v);
+        co_await w.alu(rec);
+        co_await w.branch(siteNodeLoop, i + 1 < n.children.size(), rec);
+    }
+    *out = best;
+}
+
+/** The pool-thread body: lock-protected queue plus active wait. */
+Task
+poolWorker(Worker &w, Run &run)
+{
+    for (;;) {
+        co_await w.lock(run.queueAddr);
+        Val head = co_await w.load(run.queueAddr);
+        bool empty = run.queue.empty();
+        co_await w.branch(siteQueueEmpty, empty, head);
+        if (!empty) {
+            int item = run.queue.front();
+            run.queue.pop_front();
+            Val nh = co_await w.alu(head);
+            co_await w.store(run.queueAddr, nh);
+            // Crafty's Split(): the position state is copied into
+            // the split block while the lock is held, serialising
+            // work handoffs across the pool.
+            for (int blk = 0; blk < 8; ++blk) {
+                Val v = co_await w.load(run.queueAddr + 64 +
+                                        Addr(blk) * 8);
+                co_await w.store(run.queueAddr + 192 + Addr(blk) * 8,
+                                 v);
+                co_await w.compute(4);
+            }
+            co_await w.unlock(run.queueAddr);
+
+            Item &it = run.items[std::size_t(item)];
+            co_await searchSubtree(w, run, it.node, it.maximising,
+                                   &it.value);
+            co_await run.joins->done(w);
+            continue;
+        }
+        co_await w.unlock(run.queueAddr);
+
+        Val done = co_await w.load(run.doneAddr);
+        co_await w.branch(siteDoneFlag, run.allDone, done);
+        if (run.allDone)
+            co_return;
+        // Active wait: burn issue slots, exactly what a software
+        // thread pool does between work items.
+        ++run.spins;
+        co_await w.compute(8);
+        co_await w.jump(siteSpin);
+    }
+}
+
+/** The ancestor: spawn the pool, generate work while searching the
+ *  upper tree (crafty's owner thread), then help drain the queue. */
+Task
+craftyMain(Worker &w, Run &run, int pool_threads,
+           std::int64_t *value_out)
+{
+    run.joins->reset(std::int64_t(run.items.size()));
+
+    // Spawn the pool: the pthread_create calls of the original,
+    // expressed as divisions that the architecture grants while
+    // contexts are free.
+    for (int p = 0; p < pool_threads; ++p) {
+        co_await w.probe(
+            [&run](Worker &cw) -> Task { return poolWorker(cw, run); },
+            sitePoolSpawn);
+    }
+
+    // Split points are discovered incrementally as the owner walks
+    // the upper tree; the pool spins (and churns the queue lock)
+    // between arrivals — the software-managed-context overhead the
+    // paper observes.
+    for (std::size_t i = 0; i < run.items.size(); ++i) {
+        // Upper-tree search work between split points.
+        Val v = co_await w.load(run.node(run.items[i].node));
+        co_await w.chain(v, 24);
+        co_await w.compute(24);
+        co_await w.lock(run.queueAddr);
+        run.queue.push_back(int(i));
+        Val h = co_await w.load(run.queueAddr);
+        co_await w.store(run.queueAddr, h);
+        co_await w.unlock(run.queueAddr);
+    }
+
+    // The ancestor works the queue too.
+    for (;;) {
+        co_await w.lock(run.queueAddr);
+        Val head = co_await w.load(run.queueAddr);
+        bool empty = run.queue.empty();
+        co_await w.branch(siteQueueEmpty, empty, head);
+        if (empty) {
+            co_await w.unlock(run.queueAddr);
+            break;
+        }
+        int item = run.queue.front();
+        run.queue.pop_front();
+        Val nh = co_await w.alu(head);
+        co_await w.store(run.queueAddr, nh);
+        // Split-block copy under the lock (see poolWorker).
+        for (int blk = 0; blk < 8; ++blk) {
+            Val v = co_await w.load(run.queueAddr + 64 +
+                                    Addr(blk) * 8);
+            co_await w.store(run.queueAddr + 192 + Addr(blk) * 8, v);
+            co_await w.compute(4);
+        }
+        co_await w.unlock(run.queueAddr);
+        Item &it = run.items[std::size_t(item)];
+        co_await searchSubtree(w, run, it.node, it.maximising,
+                               &it.value);
+        co_await run.joins->done(w);
+    }
+
+    // Tell the spinners the game is over, then wait for stragglers.
+    run.allDone = true;
+    co_await w.store(run.doneAddr);
+    co_await run.joins->wait(w);
+
+    // Combine: the root maximises over its children's minimax values.
+    std::int64_t rootBest = std::numeric_limits<std::int64_t>::min();
+    for (const Item &it : run.items) {
+        rootBest = std::max(rootBest, it.value);
+        Val v = co_await w.load(run.node(it.node));
+        co_await w.alu(v);
+    }
+    *value_out = rootBest;
+}
+
+} // namespace
+
+GameTree
+GameTree::random(int branching, int depth, int max_score, Rng &rng)
+{
+    CAPSULE_ASSERT(branching > 0 && depth >= 0, "bad tree shape");
+    GameTree t;
+    t.nodes.emplace_back();
+    // Breadth-first construction of the complete tree.
+    std::vector<int> frontier{0};
+    for (int d = 0; d < depth; ++d) {
+        std::vector<int> next;
+        for (int node : frontier) {
+            for (int b = 0; b < branching; ++b) {
+                int id = int(t.nodes.size());
+                t.nodes.emplace_back();
+                t.nodes[std::size_t(node)].children.push_back(id);
+                next.push_back(id);
+            }
+        }
+        frontier = std::move(next);
+    }
+    for (int leaf : frontier)
+        t.nodes[std::size_t(leaf)].score =
+            std::int64_t(rng.uniform(0, std::uint64_t(max_score)));
+    return t;
+}
+
+std::int64_t
+minimaxValue(const GameTree &t)
+{
+    return minimaxNode(t, 0, true);
+}
+
+CraftyResult
+runCrafty(const sim::MachineConfig &cfg, const CraftyParams &params)
+{
+    Rng rng(params.seed);
+    GameTree tree = GameTree::random(params.branching, params.depth,
+                                     params.maxScore, rng);
+
+    rt::Exec exec;
+    Run run{tree,
+            exec.arena().alloc(tree.nodes.size() * 32, 64),
+            exec.arena().alloc(64, 64),
+            exec.arena().alloc(8, 8),
+            {},
+            {},
+            false,
+            0,
+            nullptr};
+    JoinCounter joins(exec);
+    run.joins = &joins;
+
+    // Work items: the root's children (the original splits the
+    // search tree near the root, so work is scarce relative to a big
+    // pool — the reason extra pool threads degrade performance).
+    for (int d1 : tree.nodes[0].children)
+        run.items.push_back(Item{d1, false, 0});
+
+    std::int64_t value = 0;
+    int pool = params.poolThreads;
+    auto outcome =
+        simulate(cfg, exec, [&run, pool, &value](Worker &w) -> Task {
+            return craftyMain(w, run, pool, &value);
+        });
+
+    CraftyResult res;
+    res.stats = outcome.stats;
+    res.value = value;
+    res.correct = value == minimaxValue(tree);
+    res.spinIterations = run.spins;
+    return res;
+}
+
+} // namespace capsule::wl

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The 186.crafty analogue (Section 5): a game-tree search derived
+ * from an existing parallel implementation that maintains a software
+ * pool of pthreads in active wait. The pool manages hardware contexts
+ * in software, which (1) shows component programming is compatible
+ * with existing parallel code, and (2) mostly inhibits dynamic
+ * division — so static pool management underperforms SOMT's dynamic
+ * management, and adding pool threads can *degrade* performance
+ * (the paper's 4-context 2.3x vs 8-context 1.7x observation).
+ */
+
+#ifndef CAPSULE_WL_CRAFTY_SEARCH_HH
+#define CAPSULE_WL_CRAFTY_SEARCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+#include "sim/machine.hh"
+#include "workloads/harness.hh"
+
+namespace capsule::wl
+{
+
+/** A minimax game tree. */
+struct GameTree
+{
+    struct Node
+    {
+        std::int64_t score = 0;   ///< static evaluation (leaves)
+        std::vector<int> children;
+    };
+
+    std::vector<Node> nodes;  ///< node 0 is the root (maximising)
+
+    static GameTree random(int branching, int depth, int max_score,
+                           Rng &rng);
+};
+
+/** Golden minimax value of the root. */
+std::int64_t minimaxValue(const GameTree &t);
+
+/** Parameters of one crafty-analogue experiment. */
+struct CraftyParams
+{
+    int branching = 4;
+    int depth = 6;
+    int maxScore = 1000;
+    /** Pool threads to create (besides the ancestor). */
+    int poolThreads = 7;
+    std::uint64_t seed = 1;
+};
+
+/** Result of one crafty-analogue simulation. */
+struct CraftyResult
+{
+    sim::RunStats stats;
+    bool correct = false;
+    std::int64_t value = 0;
+    std::uint64_t spinIterations = 0;  ///< active-wait loop trips
+};
+
+/** Simulate the pthread-pool search under `cfg`. */
+CraftyResult runCrafty(const sim::MachineConfig &cfg,
+                       const CraftyParams &params);
+
+} // namespace capsule::wl
+
+#endif // CAPSULE_WL_CRAFTY_SEARCH_HH

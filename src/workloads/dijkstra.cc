@@ -1,0 +1,252 @@
+#include "workloads/dijkstra.hh"
+
+#include "base/logging.hh"
+
+namespace capsule::wl
+{
+namespace
+{
+
+using rt::Task;
+using rt::Val;
+using rt::Worker;
+
+/** Branch/probe site ids (stable PCs shared by all workers). */
+enum Site : std::uint32_t
+{
+    siteCompare = 10,
+    siteEdgeLoop = 11,
+    siteProbe = 12,
+};
+
+/** Shared state of one Dijkstra run. */
+struct Run
+{
+    const Graph &g;
+    GraphLayout layout;
+    std::vector<std::int64_t> dist;
+
+    Run(const Graph &graph, mem::Arena &arena)
+        : g(graph), layout(graph, arena),
+          dist(std::size_t(graph.nodes()), unreachable)
+    {}
+};
+
+/**
+ * Shared node-examination step: lock the record, compare the carried
+ * path with the recorded shortest path, update or die. Returns (via
+ * out-param) whether the worker should continue to the children.
+ */
+Task
+examineNode(Worker &w, Run &run, int node, std::int64_t plen,
+            bool *continue_out)
+{
+    Addr naddr = run.layout.node(node);
+    co_await w.lock(naddr);
+    Val d = co_await w.load(naddr);
+    bool shorter = plen < run.dist[std::size_t(node)];
+    co_await w.branch(siteCompare, shorter, d);
+    if (!shorter) {
+        co_await w.unlock(naddr);
+        *continue_out = false;
+        co_return;
+    }
+    run.dist[std::size_t(node)] = plen;
+    Val nv = co_await w.alu(d);
+    co_await w.store(naddr, nv);
+    co_await w.unlock(naddr);
+    *continue_out = true;
+}
+
+/**
+ * Visit `node` with traversed path length `plen`; the component
+ * version of Figure 2(a). A denied division means the worker simply
+ * carries on serially — and, since every node visit re-executes this
+ * code, it keeps probing as it walks (the constant probing that lets
+ * the machine adapt the moment a context frees).
+ */
+Task
+visit(Worker &w, Run &run, int node, std::int64_t plen)
+{
+    bool go = false;
+    co_await examineNode(w, run, node, plen, &go);
+    if (!go) {
+        // Sub-optimal path: the worker dies (kthr emitted by the
+        // runtime when this coroutine finishes).
+        co_return;
+    }
+
+    const auto &edges = run.g.out[std::size_t(node)];
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        bool more = i + 1 < edges.size();
+        int child = edges[i].to;
+        std::int64_t nplen = plen + edges[i].weight;
+
+        // Touch the edge record and compute the tagged distance.
+        Val e = co_await w.load(run.layout.edge(node, i));
+        co_await w.alu(e);
+        co_await w.branch(siteEdgeLoop, more, e);
+
+        if (more) {
+            bool granted = co_await w.probe(
+                [&run, child, nplen](Worker &cw) -> Task {
+                    return visit(cw, run, child, nplen);
+                },
+                siteProbe);
+            if (granted)
+                continue;  // the child component explores that path
+        }
+        // Denied (or last edge): the worker itself moves to the
+        // child node and carries on, probing again at future nodes.
+        co_await visit(w, run, child, nplen);
+    }
+}
+
+/**
+ * The standard imperative Dijkstra: a central binary heap of tagged
+ * nodes. Heap sift operations emit the pointer-chasing loads and
+ * compare branches of the real data structure.
+ */
+Task
+dijkstraNormal(Worker &w, Run &run, int root, Addr heap_base)
+{
+    using Item = std::pair<std::int64_t, int>;
+    std::vector<Item> heap;
+
+    auto heapAt = [&](std::size_t i) {
+        return heap_base + Addr(i) * 16;
+    };
+    auto siftUp = [&](std::size_t i) -> Task {
+        while (i > 0) {
+            std::size_t up = (i - 1) / 2;
+            Val a = co_await w.load(heapAt(i));
+            Val b = co_await w.load(heapAt(up));
+            bool swapUp = heap[i] < heap[up];
+            co_await w.branch(siteCompare, swapUp, a);
+            if (!swapUp)
+                break;
+            std::swap(heap[i], heap[up]);
+            co_await w.store(heapAt(i), b);
+            co_await w.store(heapAt(up), a);
+            i = up;
+        }
+    };
+    auto siftDown = [&]() -> Task {
+        std::size_t i = 0;
+        for (;;) {
+            std::size_t l = 2 * i + 1;
+            std::size_t r = l + 1;
+            std::size_t best = i;
+            if (l < heap.size()) {
+                Val a = co_await w.load(heapAt(l));
+                co_await w.branch(siteEdgeLoop,
+                                  heap[l] < heap[best], a);
+                if (heap[l] < heap[best])
+                    best = l;
+            }
+            if (r < heap.size()) {
+                Val a = co_await w.load(heapAt(r));
+                co_await w.branch(siteEdgeLoop,
+                                  heap[r] < heap[best], a);
+                if (heap[r] < heap[best])
+                    best = r;
+            }
+            if (best == i)
+                break;
+            std::swap(heap[i], heap[best]);
+            Val v = co_await w.load(heapAt(best));
+            co_await w.store(heapAt(i), v);
+            i = best;
+        }
+    };
+
+    run.dist[std::size_t(root)] = 0;
+    heap.emplace_back(0, root);
+    co_await w.store(heapAt(0));
+
+    while (!heap.empty()) {
+        auto [d, n] = heap.front();
+        Val top = co_await w.load(heapAt(0));
+        heap.front() = heap.back();
+        heap.pop_back();
+        co_await w.store(heapAt(0), top);
+        co_await siftDown();
+
+        bool stale = d > run.dist[std::size_t(n)];
+        co_await w.branch(siteCompare, stale, top);
+        if (stale)
+            continue;
+        const auto &edges = run.g.out[std::size_t(n)];
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+            Val e = co_await w.load(run.layout.edge(n, i));
+            Val dv = co_await w.load(run.layout.node(edges[i].to));
+            std::int64_t nd = d + edges[i].weight;
+            bool relax = nd < run.dist[std::size_t(edges[i].to)];
+            co_await w.branch(siteProbe, relax, dv);
+            co_await w.branch(siteEdgeLoop, i + 1 < edges.size(), e);
+            if (!relax)
+                continue;
+            run.dist[std::size_t(edges[i].to)] = nd;
+            co_await w.store(run.layout.node(edges[i].to), dv);
+            heap.emplace_back(nd, edges[i].to);
+            co_await w.store(heapAt(heap.size() - 1), dv);
+            co_await siftUp(heap.size() - 1);
+        }
+    }
+}
+
+} // namespace
+
+DijkstraResult
+runDijkstraNormal(const sim::MachineConfig &cfg,
+                  const DijkstraParams &params)
+{
+    Rng rng(params.seed);
+    Graph g = Graph::random(params.nodes, params.avgDegree,
+                            params.maxWeight, rng);
+
+    rt::Exec exec;
+    Run run(g, exec.arena());
+    Addr heapBase =
+        exec.arena().alloc(std::uint64_t(params.nodes) * 4 * 16, 64);
+
+    int root = params.root;
+    auto outcome =
+        simulate(cfg, exec, [&run, root, heapBase](Worker &w) -> Task {
+            return dijkstraNormal(w, run, root, heapBase);
+        });
+
+    DijkstraResult res;
+    res.stats = outcome.stats;
+    res.dist = run.dist;
+    res.correct = run.dist == shortestPaths(g, root);
+    return res;
+}
+
+DijkstraResult
+runDijkstra(const sim::MachineConfig &cfg, const DijkstraParams &params,
+            sim::Machine::DivisionObserver obs)
+{
+    Rng rng(params.seed);
+    Graph g = Graph::random(params.nodes, params.avgDegree,
+                            params.maxWeight, rng);
+
+    rt::Exec exec;
+    Run run(g, exec.arena());
+
+    int root = params.root;
+    auto outcome = simulate(
+        cfg, exec,
+        [&run, root](Worker &w) -> Task {
+            return visit(w, run, root, 0);
+        },
+        std::move(obs));
+
+    DijkstraResult res;
+    res.stats = outcome.stats;
+    res.dist = run.dist;
+    res.correct = run.dist == shortestPaths(g, root);
+    return res;
+}
+
+} // namespace capsule::wl

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The componentised Dijkstra of Section 2: workers walk the graph
+ * carrying the traversed path length; at each node a worker locks the
+ * node, compares its path with the recorded shortest path, either
+ * updates it or dies (sub-optimal path), and explores child nodes
+ * concurrently by dividing itself (one probe per extra child).
+ */
+
+#ifndef CAPSULE_WL_DIJKSTRA_HH
+#define CAPSULE_WL_DIJKSTRA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "workloads/graph.hh"
+#include "workloads/harness.hh"
+
+namespace capsule::wl
+{
+
+/** Parameters of one Dijkstra experiment. */
+struct DijkstraParams
+{
+    int nodes = 1000;
+    double avgDegree = 3.0;
+    int maxWeight = 100;
+    std::uint64_t seed = 1;
+    int root = 0;
+};
+
+/** Result of one componentised Dijkstra simulation. */
+struct DijkstraResult
+{
+    sim::RunStats stats;
+    bool correct = false;             ///< distances match the golden run
+    std::vector<std::int64_t> dist;   ///< computed distances
+};
+
+/**
+ * Simulate the component Dijkstra on the machine described by `cfg`
+ * (the division policy inside `cfg` selects SOMT / static / serial
+ * execution as in the paper's three-way comparison).
+ */
+DijkstraResult runDijkstra(const sim::MachineConfig &cfg,
+                           const DijkstraParams &params,
+                           sim::Machine::DivisionObserver obs = nullptr);
+
+/**
+ * Simulate the *normal* (imperative) Dijkstra — the standard
+ * central-list algorithm with a binary heap — which is the paper's
+ * superscalar baseline in Figure 3. The central list is exactly the
+ * artifact of imperative programming Section 2 calls out as
+ * hindering parallelisation.
+ */
+DijkstraResult runDijkstraNormal(const sim::MachineConfig &cfg,
+                                 const DijkstraParams &params);
+
+} // namespace capsule::wl
+
+#endif // CAPSULE_WL_DIJKSTRA_HH

@@ -1,0 +1,86 @@
+#include "workloads/graph.hh"
+
+#include <queue>
+
+#include "base/logging.hh"
+
+namespace capsule::wl
+{
+
+std::size_t
+Graph::edges() const
+{
+    std::size_t n = 0;
+    for (const auto &adj : out)
+        n += adj.size();
+    return n;
+}
+
+Graph
+Graph::random(int nodes, double avg_degree, int max_weight, Rng &rng)
+{
+    CAPSULE_ASSERT(nodes > 0, "graph needs nodes");
+    Graph g;
+    g.out.resize(std::size_t(nodes));
+
+    // Spanning structure: every node i>0 is reachable from a random
+    // earlier node, guaranteeing one connected component from node 0.
+    for (int i = 1; i < nodes; ++i) {
+        int from = int(rng.uniform(0, std::uint64_t(i - 1)));
+        g.out[std::size_t(from)].push_back(
+            Edge{i, std::int64_t(rng.uniform(1,
+                                  std::uint64_t(max_weight)))});
+    }
+    // Extra edges up to the requested average degree.
+    auto target = std::size_t(avg_degree * nodes);
+    while (g.edges() < target) {
+        int from = int(rng.uniform(0, std::uint64_t(nodes - 1)));
+        int to = int(rng.uniform(0, std::uint64_t(nodes - 1)));
+        if (from == to)
+            continue;
+        g.out[std::size_t(from)].push_back(
+            Edge{to, std::int64_t(rng.uniform(1,
+                                   std::uint64_t(max_weight)))});
+    }
+    return g;
+}
+
+std::vector<std::int64_t>
+shortestPaths(const Graph &g, int root)
+{
+    std::vector<std::int64_t> dist(std::size_t(g.nodes()), unreachable);
+    using Item = std::pair<std::int64_t, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[std::size_t(root)] = 0;
+    pq.emplace(0, root);
+    while (!pq.empty()) {
+        auto [d, n] = pq.top();
+        pq.pop();
+        if (d > dist[std::size_t(n)])
+            continue;
+        for (const Edge &e : g.out[std::size_t(n)]) {
+            std::int64_t nd = d + e.weight;
+            if (nd < dist[std::size_t(e.to)]) {
+                dist[std::size_t(e.to)] = nd;
+                pq.emplace(nd, e.to);
+            }
+        }
+    }
+    return dist;
+}
+
+GraphLayout::GraphLayout(const Graph &g, mem::Arena &arena)
+{
+    nodeAddr.reserve(std::size_t(g.nodes()));
+    edgeAddr.resize(std::size_t(g.nodes()));
+    for (int i = 0; i < g.nodes(); ++i) {
+        // Node record: distance + bookkeeping, one 32-byte slot.
+        nodeAddr.push_back(arena.alloc(32, 32));
+        auto &ev = edgeAddr[std::size_t(i)];
+        ev.reserve(g.out[std::size_t(i)].size());
+        for (std::size_t e = 0; e < g.out[std::size_t(i)].size(); ++e)
+            ev.push_back(arena.alloc(16, 16));
+    }
+}
+
+} // namespace capsule::wl

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Directed weighted graphs for the Dijkstra workload (and the graph
+ * shaped SPEC analogues): generation, simulated-address layout, and a
+ * golden shortest-path reference.
+ */
+
+#ifndef CAPSULE_WL_GRAPH_HH
+#define CAPSULE_WL_GRAPH_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+#include "mem/arena.hh"
+
+namespace capsule::wl
+{
+
+/** Distance value for unreached nodes. */
+inline constexpr std::int64_t unreachable =
+    std::numeric_limits<std::int64_t>::max() / 4;
+
+/** One directed edge. */
+struct Edge
+{
+    int to = 0;
+    std::int64_t weight = 1;
+};
+
+/** Directed weighted graph in adjacency-list form. */
+struct Graph
+{
+    std::vector<std::vector<Edge>> out;
+
+    int nodes() const { return int(out.size()); }
+    std::size_t edges() const;
+
+    /**
+     * Random connected-ish graph: a random spanning structure from
+     * node 0 plus extra random edges up to the average out-degree.
+     */
+    static Graph random(int nodes, double avg_degree, int max_weight,
+                        Rng &rng);
+};
+
+/** Golden Dijkstra from `root`; returns the distance vector. */
+std::vector<std::int64_t> shortestPaths(const Graph &g, int root);
+
+/**
+ * Simulated-address layout for a graph: one record per node (the lock
+ * base and the distance word) plus one record per edge, so cache
+ * behaviour tracks the real footprint.
+ */
+class GraphLayout
+{
+  public:
+    GraphLayout(const Graph &g, mem::Arena &arena);
+
+    Addr node(int i) const { return nodeAddr[std::size_t(i)]; }
+    Addr edge(int i, std::size_t e) const
+    {
+        return edgeAddr[std::size_t(i)][e];
+    }
+
+  private:
+    std::vector<Addr> nodeAddr;
+    std::vector<std::vector<Addr>> edgeAddr;
+};
+
+} // namespace capsule::wl
+
+#endif // CAPSULE_WL_GRAPH_HH

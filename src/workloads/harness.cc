@@ -1,0 +1,81 @@
+#include "workloads/harness.hh"
+
+#include "base/logging.hh"
+
+namespace capsule::wl
+{
+namespace
+{
+
+/** Serial-section worker: stream, compute, branch; never divides. */
+rt::Task
+serialBody(rt::Worker &w, Addr base, std::uint64_t ops,
+           std::uint64_t footprint)
+{
+    // Per iteration: 2 loads + 4 dependent ALU + 1 store + 1 branch.
+    constexpr std::uint64_t opsPerIter = 8;
+    std::uint64_t iters = ops / opsPerIter + 1;
+    Addr cursor = 0;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        rt::Val a = co_await w.load(base + cursor);
+        rt::Val b = co_await w.load(base + (cursor + 64) % footprint);
+        rt::Val c = co_await w.alu(a, b);
+        rt::Val d = co_await w.chain(c, 3);
+        co_await w.store(base + cursor, d);
+        co_await w.branch(1, i + 1 < iters, d);
+        cursor = (cursor + 24) % footprint;
+    }
+}
+
+} // namespace
+
+SimOutcome
+simulate(const sim::MachineConfig &cfg, rt::Exec &exec,
+         rt::WorkerFn body, sim::Machine::DivisionObserver observer)
+{
+    sim::Machine machine(cfg);
+    if (observer)
+        machine.setDivisionObserver(std::move(observer));
+    machine.addThread(rt::makeAncestor(exec, std::move(body)));
+    SimOutcome out;
+    out.stats = machine.run();
+    return out;
+}
+
+rt::Task
+JoinCounter::done(rt::Worker &w)
+{
+    co_await w.lock(addr);
+    rt::Val v = co_await w.load(addr);
+    CAPSULE_ASSERT(count > 0, "join counter underflow");
+    --count;
+    rt::Val d = co_await w.alu(v);
+    co_await w.store(addr, d);
+    co_await w.unlock(addr);
+}
+
+rt::Task
+JoinCounter::wait(rt::Worker &w)
+{
+    // Site 2 is reserved for the join spin loop across workloads.
+    while (count != 0) {
+        rt::Val v = co_await w.load(addr);
+        co_await w.branch(2, count != 0, v);
+        if (count == 0)
+            break;
+        co_await w.compute(4);
+    }
+    co_await w.branch(2, false, rt::Val{});
+}
+
+rt::WorkerFn
+serialSection(rt::Exec &exec, std::uint64_t ops,
+              std::uint64_t footprint_bytes)
+{
+    Addr base = exec.arena().alloc(footprint_bytes, 64);
+    return [base, ops, footprint_bytes](rt::Worker &w) -> rt::Task {
+        return serialBody(w, base, ops, footprint_bytes);
+    };
+}
+
+} // namespace capsule::wl

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared helpers for running componentised workloads on a Machine:
+ * one-call simulation of a worker body, the synthetic serial sections
+ * used by the re-engineered SPEC analogues (Section 4), and speedup
+ * arithmetic for the evaluation harnesses.
+ */
+
+#ifndef CAPSULE_WL_HARNESS_HH
+#define CAPSULE_WL_HARNESS_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "core/exec.hh"
+#include "core/kernel_program.hh"
+#include "core/task.hh"
+#include "sim/machine.hh"
+
+namespace capsule::wl
+{
+
+/** Result of simulating one worker body to completion. */
+struct SimOutcome
+{
+    sim::RunStats stats;
+};
+
+/**
+ * Run `body` as the ancestor worker on a machine built from `cfg`.
+ * @param observer optional division-genealogy callback
+ */
+SimOutcome simulate(const sim::MachineConfig &cfg, rt::Exec &exec,
+                    rt::WorkerFn body,
+                    sim::Machine::DivisionObserver observer = nullptr);
+
+/**
+ * A non-componentised (serial) section: a loop streaming over
+ * `footprintBytes` of data performing `ops` total instructions with a
+ * realistic mix (loads, dependent ALU work, a backedge branch). Used
+ * to reproduce the paper's Table-2 "% of total execution time spent
+ * in componentised sections" for the SPEC analogues.
+ */
+rt::WorkerFn serialSection(rt::Exec &exec, std::uint64_t ops,
+                           std::uint64_t footprint_bytes = 256 * 1024);
+
+/** speedup = baseline_cycles / improved_cycles. */
+inline double
+speedup(Cycle baseline, Cycle improved)
+{
+    return improved ? double(baseline) / double(improved) : 0.0;
+}
+
+/**
+ * A software join for phase-structured component programs: workers
+ * decrement a lock-protected counter when their piece completes and
+ * the phase owner spins (active wait, as component programs do) until
+ * it reaches zero. This is the "merge with co-workers" pattern of
+ * Section 3.2 expressed with the mlock/munlock primitives.
+ */
+class JoinCounter
+{
+  public:
+    explicit JoinCounter(rt::Exec &exec)
+        : addr(exec.arena().alloc(8, 8))
+    {}
+
+    /** Arm the counter before spawning a phase. */
+    void reset(std::int64_t n) { count = n; }
+
+    std::int64_t value() const { return count; }
+
+    /** Worker-side completion: decrement under the hardware lock. */
+    rt::Task done(rt::Worker &w);
+
+    /** Owner-side barrier: spin until the counter reaches zero. */
+    rt::Task wait(rt::Worker &w);
+
+  private:
+    Addr addr;
+    std::int64_t count = 0;
+};
+
+} // namespace capsule::wl
+
+#endif // CAPSULE_WL_HARNESS_HH

@@ -1,0 +1,238 @@
+#include "workloads/lzw.hh"
+
+#include <map>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace capsule::wl
+{
+namespace
+{
+
+using rt::Task;
+using rt::Val;
+using rt::Worker;
+
+enum Site : std::uint32_t
+{
+    siteSplit = 30,
+    siteMatchLoop = 31,
+    siteDictHit = 32,
+};
+
+/** Shared state of one componentised compression run. */
+struct Run
+{
+    const std::vector<std::uint8_t> &text;
+    int alphabet;
+    Addr textBase;
+    Addr dictBase;
+    /** Per-chunk output streams keyed by start offset. */
+    std::map<int, std::vector<int>> chunkCodes;
+};
+
+/**
+ * LZW-compress text[lo, hi) with a private dictionary, probing the
+ * architecture as the compression loop advances ("a component
+ * containing a loop would probe hardware resources at each iteration
+ * and split the loop in half whenever a resource is available",
+ * Section 1). A granted division hands the upper half of the
+ * *remaining* sequence to a child worker; a denied probe simply
+ * carries on serially and probes again later. Each worker/chunk pays
+ * a fixed dictionary-initialisation cost, which is what makes storms
+ * of tiny divisions unprofitable and the death-rate throttle
+ * worthwhile (Figure 7).
+ */
+Task
+compressRange(Worker &w, Run &run, int lo, int hi, int min_split)
+{
+    std::map<std::pair<int, int>, int> dict;  // (code, symbol) -> code
+    int nextCode = run.alphabet;
+    std::vector<int> out;
+
+    // Per-chunk fixed cost: dictionary initialisation and output
+    // stream setup.
+    co_await w.compute(24);
+    co_await w.store(run.dictBase + Addr(lo % 512) * 8);
+
+    int i = lo;
+    int curHi = hi;
+    int cur = -1;
+    int sinceProbe = 0;
+    constexpr int probeInterval = 4;
+
+    while (i < curHi) {
+        // Conditional division of the remaining sequence in half.
+        if (curHi - i > min_split && ++sinceProbe >= probeInterval) {
+            sinceProbe = 0;
+            int mid = i + (curHi - i) / 2;
+            int childHi = curHi;
+            bool granted = co_await w.probe(
+                [&run, mid, childHi, min_split](Worker &cw) -> Task {
+                    return compressRange(cw, run, mid, childHi,
+                                         min_split);
+                },
+                siteSplit);
+            if (granted)
+                curHi = mid;
+        }
+
+        int sym = run.text[std::size_t(i)];
+        Val c = co_await w.load(run.textBase + Addr(i));
+        if (cur < 0) {
+            cur = sym;
+            ++i;
+            co_await w.branch(siteMatchLoop, i < curHi, c);
+            continue;
+        }
+        auto it = dict.find({cur, sym});
+        bool inDict = it != dict.end();
+        // Dictionary probe: hash + bucket load + compare.
+        Val h = co_await w.alu(c);
+        co_await w.load(run.dictBase +
+                        Addr((std::uint64_t(cur) * 31 +
+                              std::uint64_t(sym)) %
+                             4096) * 8);
+        co_await w.branch(siteDictHit, inDict, h);
+        if (inDict) {
+            cur = it->second;
+            ++i;
+        } else {
+            out.push_back(cur);
+            co_await w.store(run.dictBase +
+                                 Addr(4096 + out.size()) * 8,
+                             h);
+            dict[{cur, sym}] = nextCode++;
+            cur = sym;
+            ++i;
+        }
+        co_await w.branch(siteMatchLoop, i < curHi, c);
+    }
+    if (cur >= 0)
+        out.push_back(cur);
+    run.chunkCodes[lo] = std::move(out);
+}
+
+} // namespace
+
+std::vector<int>
+lzwCompress(const std::vector<std::uint8_t> &in, int alphabet)
+{
+    std::map<std::pair<int, int>, int> dict;
+    int nextCode = alphabet;
+    std::vector<int> out;
+    int cur = -1;
+    for (std::uint8_t ch : in) {
+        int sym = ch;
+        CAPSULE_ASSERT(sym < alphabet, "symbol outside alphabet");
+        if (cur < 0) {
+            cur = sym;
+            continue;
+        }
+        auto it = dict.find({cur, sym});
+        if (it != dict.end()) {
+            cur = it->second;
+        } else {
+            out.push_back(cur);
+            dict[{cur, sym}] = nextCode++;
+            cur = sym;
+        }
+    }
+    if (cur >= 0)
+        out.push_back(cur);
+    return out;
+}
+
+std::vector<std::uint8_t>
+lzwDecompress(const std::vector<int> &codes, int alphabet)
+{
+    // Standard LZW decoder reconstructing the dictionary.
+    std::vector<std::vector<std::uint8_t>> dict;
+    dict.reserve(std::size_t(alphabet) + codes.size());
+    for (int s = 0; s < alphabet; ++s)
+        dict.push_back({std::uint8_t(s)});
+
+    std::vector<std::uint8_t> out;
+    std::vector<std::uint8_t> prev;
+    for (int code : codes) {
+        std::vector<std::uint8_t> entry;
+        if (code < int(dict.size())) {
+            entry = dict[std::size_t(code)];
+        } else {
+            CAPSULE_ASSERT(!prev.empty() && code == int(dict.size()),
+                           "corrupt LZW stream");
+            entry = prev;
+            entry.push_back(prev.front());
+        }
+        out.insert(out.end(), entry.begin(), entry.end());
+        if (!prev.empty()) {
+            auto fresh = prev;
+            fresh.push_back(entry.front());
+            dict.push_back(std::move(fresh));
+        }
+        prev = std::move(entry);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+makeText(int length, int alphabet, Rng &rng)
+{
+    // Markov-ish source: repeat recent substrings to be compressible.
+    std::vector<std::uint8_t> text;
+    text.reserve(std::size_t(length));
+    while (int(text.size()) < length) {
+        if (!text.empty() && rng.bernoulli(0.5)) {
+            auto start =
+                std::size_t(rng.uniform(0, text.size() - 1));
+            auto len = std::size_t(rng.uniform(2, 12));
+            for (std::size_t k = 0;
+                 k < len && int(text.size()) < length; ++k)
+                text.push_back(text[(start + k) % text.size()]);
+        } else {
+            text.push_back(std::uint8_t(
+                rng.uniform(0, std::uint64_t(alphabet - 1))));
+        }
+    }
+    return text;
+}
+
+LzwResult
+runLzw(const sim::MachineConfig &cfg, const LzwParams &params)
+{
+    Rng rng(params.seed);
+    std::vector<std::uint8_t> text =
+        makeText(params.length, params.alphabet, rng);
+
+    rt::Exec exec;
+    Run run{text, params.alphabet,
+            exec.arena().alloc(std::uint64_t(params.length), 64),
+            exec.arena().alloc(64 * 1024, 64),
+            {}};
+
+    int n = params.length;
+    int minSplit = params.minSplit;
+    auto outcome = simulate(cfg, exec,
+                            [&run, n, minSplit](Worker &w) -> Task {
+                                return compressRange(w, run, 0, n,
+                                                     minSplit);
+                            });
+
+    // Round trip: decompress every chunk in offset order.
+    std::vector<std::uint8_t> recovered;
+    for (const auto &[lo, codes] : run.chunkCodes) {
+        auto part = lzwDecompress(codes, params.alphabet);
+        recovered.insert(recovered.end(), part.begin(), part.end());
+    }
+
+    LzwResult res;
+    res.stats = outcome.stats;
+    res.correct = recovered == text;
+    res.chunks = int(run.chunkCodes.size());
+    for (const auto &[lo, codes] : run.chunkCodes)
+        res.codes += codes.size();
+    return res;
+}
+
+} // namespace capsule::wl

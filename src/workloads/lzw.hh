@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Componentised LZW compression (Section 5, Figure 7). The component
+ * version recursively splits the input sequence of N characters into
+ * two sequences of N/2 characters to parallelise the match search;
+ * because each worker performs little processing per character and
+ * has frequent opportunities to split, the workload exercises the
+ * division throttle (small parallel sections).
+ *
+ * Each worker compresses its subrange with a private dictionary and
+ * the streams are concatenated with range markers, so decompression
+ * reproduces the input exactly (round-trip verified).
+ */
+
+#ifndef CAPSULE_WL_LZW_HH
+#define CAPSULE_WL_LZW_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "sim/machine.hh"
+#include "workloads/harness.hh"
+
+namespace capsule::wl
+{
+
+/** Parameters of one LZW experiment. */
+struct LzwParams
+{
+    int length = 4096;          ///< N characters (paper: 4096)
+    int alphabet = 16;          ///< symbol alphabet size
+    int minSplit = 64;          ///< stop splitting below this length
+    std::uint64_t seed = 1;
+};
+
+/** Result of one componentised LZW simulation. */
+struct LzwResult
+{
+    sim::RunStats stats;
+    bool correct = false;       ///< round-trip matches the input
+    std::size_t codes = 0;      ///< emitted code count (all chunks)
+    int chunks = 0;             ///< subranges compressed
+};
+
+/** Reference single-dictionary LZW (for unit tests). */
+std::vector<int> lzwCompress(const std::vector<std::uint8_t> &in,
+                             int alphabet);
+std::vector<std::uint8_t> lzwDecompress(const std::vector<int> &codes,
+                                        int alphabet);
+
+/** Generate a compressible pseudo-text. */
+std::vector<std::uint8_t> makeText(int length, int alphabet, Rng &rng);
+
+/** Simulate componentised LZW under `cfg`'s division policy. */
+LzwResult runLzw(const sim::MachineConfig &cfg, const LzwParams &params);
+
+} // namespace capsule::wl
+
+#endif // CAPSULE_WL_LZW_HH

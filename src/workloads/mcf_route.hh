@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The 181.mcf analogue (Section 5): the componentised section replaces
+ * a sequential tree traversal for route planning with a parallel tree
+ * search. Division is tested at every tree node and the per-node task
+ * is elementary, giving the highest division rate of the three SPEC
+ * statistics rows (Table 3) — one division every few thousand
+ * instructions.
+ */
+
+#ifndef CAPSULE_WL_MCF_ROUTE_HH
+#define CAPSULE_WL_MCF_ROUTE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+#include "sim/machine.hh"
+#include "workloads/harness.hh"
+
+namespace capsule::wl
+{
+
+/** A route-planning tree: first-child / next-sibling layout. */
+struct RouteTree
+{
+    struct Node
+    {
+        std::int64_t cost = 0;
+        std::vector<int> children;
+    };
+
+    std::vector<Node> nodes;  ///< node 0 is the root
+
+    static RouteTree random(int node_count, int max_children,
+                            int max_cost, Rng &rng);
+};
+
+/** Golden search: minimum root-to-leaf cost. */
+std::int64_t cheapestRoute(const RouteTree &t);
+
+/** Parameters of one mcf-analogue experiment. */
+struct McfParams
+{
+    int nodes = 20000;
+    int maxChildren = 3;
+    int maxCost = 50;
+    std::uint64_t seed = 1;
+    /** Serial (non-componentised) section length in instructions;
+     *  calibrated so the componentised section is ~45 % of execution
+     *  (Table 2). Zero skips the serial phase. */
+    std::uint64_t serialSectionOps = 0;
+};
+
+/** Result of one mcf-analogue simulation. */
+struct McfResult
+{
+    sim::RunStats sectionStats;   ///< componentised tree search
+    Cycle serialCycles = 0;       ///< the rest of the program
+    bool correct = false;
+    std::int64_t best = 0;
+};
+
+/** Simulate the mcf analogue under `cfg`'s division policy. */
+McfResult runMcf(const sim::MachineConfig &cfg, const McfParams &params);
+
+} // namespace capsule::wl
+
+#endif // CAPSULE_WL_MCF_ROUTE_HH

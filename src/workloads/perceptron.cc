@@ -1,0 +1,138 @@
+#include "workloads/perceptron.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace capsule::wl
+{
+namespace
+{
+
+using rt::Task;
+using rt::Val;
+using rt::Worker;
+
+enum Site : std::uint32_t
+{
+    siteGroupSplit = 40,
+    siteNeuronLoop = 41,
+    siteSynapseLoop = 42,
+};
+
+struct Run
+{
+    const std::vector<double> &x;
+    const std::vector<double> &wts;
+    std::vector<double> &out;
+    int inputs;
+    Addr xBase;
+    Addr wBase;
+    Addr outBase;
+};
+
+/**
+ * Evaluate neurons [lo, hi), probing the architecture as the neuron
+ * loop advances and halving the *remaining* group whenever a
+ * division is granted (the paper's constantly-splitting Perceptron
+ * component). Each worker pays a fixed group-setup cost, so storms
+ * of tiny divisions are unprofitable — the Figure-7 throttle case.
+ */
+Task
+perceptronWorker(Worker &w, Run &run, int lo, int hi, int min_group)
+{
+    // Per-group fixed cost: group descriptor and bias setup.
+    co_await w.compute(12);
+
+    int curHi = hi;
+    for (int n = lo; n < curHi; ++n) {
+        // Conditional division of the remaining neurons in half.
+        if (curHi - n > min_group) {
+            int mid = n + (curHi - n) / 2;
+            int childHi = curHi;
+            bool granted = co_await w.probe(
+                [&run, mid, childHi, min_group](Worker &cw) -> Task {
+                    return perceptronWorker(cw, run, mid, childHi,
+                                            min_group);
+                },
+                siteGroupSplit);
+            if (granted)
+                curHi = mid;
+        }
+
+        double acc = 0.0;
+        Val accv = co_await w.fmul();  // zero the accumulator
+        for (int i = 0; i < run.inputs; ++i) {
+            std::size_t wi = std::size_t(n) * std::size_t(run.inputs) +
+                             std::size_t(i);
+            acc += run.x[std::size_t(i)] * run.wts[wi];
+            Val xv = co_await w.loadf(run.xBase + Addr(i) * 8);
+            Val wv = co_await w.loadf(run.wBase + Addr(wi) * 8);
+            Val p = co_await w.fmul(xv, wv);
+            accv = co_await w.fadd(accv, p);
+            co_await w.branch(siteSynapseLoop, i + 1 < run.inputs, p);
+        }
+        run.out[std::size_t(n)] = acc > 0.0 ? acc : 0.0;  // ReLU-style
+        co_await w.storef(run.outBase + Addr(n) * 8, accv);
+        co_await w.branch(siteNeuronLoop, n + 1 < curHi, accv);
+    }
+}
+
+} // namespace
+
+std::vector<double>
+perceptronForward(const std::vector<double> &x,
+                  const std::vector<double> &wts, int neurons,
+                  int inputs)
+{
+    std::vector<double> out(std::size_t(neurons), 0.0);
+    for (int n = 0; n < neurons; ++n) {
+        double acc = 0.0;
+        for (int i = 0; i < inputs; ++i)
+            acc += x[std::size_t(i)] *
+                   wts[std::size_t(n) * std::size_t(inputs) +
+                       std::size_t(i)];
+        out[std::size_t(n)] = acc > 0.0 ? acc : 0.0;
+    }
+    return out;
+}
+
+PerceptronResult
+runPerceptron(const sim::MachineConfig &cfg,
+              const PerceptronParams &params)
+{
+    Rng rng(params.seed);
+    std::vector<double> x(std::size_t(params.inputs));
+    for (auto &v : x)
+        v = rng.gaussian(0.0, 1.0);
+    std::vector<double> wts(std::size_t(params.neurons) *
+                            std::size_t(params.inputs));
+    for (auto &v : wts)
+        v = rng.gaussian(0.0, 1.0);
+    std::vector<double> out(std::size_t(params.neurons), 0.0);
+
+    rt::Exec exec;
+    Run run{x,
+            wts,
+            out,
+            params.inputs,
+            exec.arena().alloc(std::uint64_t(params.inputs) * 8, 64),
+            exec.arena().alloc(wts.size() * 8, 64),
+            exec.arena().alloc(out.size() * 8, 64)};
+
+    int n = params.neurons;
+    int minGroup = params.minGroup;
+    auto outcome =
+        simulate(cfg, exec, [&run, n, minGroup](Worker &w) -> Task {
+            return perceptronWorker(w, run, 0, n, minGroup);
+        });
+
+    PerceptronResult res;
+    res.stats = outcome.stats;
+    res.outputs = out;
+    res.correct =
+        out == perceptronForward(x, wts, params.neurons, params.inputs);
+    return res;
+}
+
+} // namespace capsule::wl

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Componentised Perceptron (Section 5, Figure 7): a single-layer
+ * perceptron forward pass whose component version constantly attempts
+ * to split its group of neurons into two child components with half
+ * the neurons each. Per-neuron work is a short dot product, so the
+ * workload has frequent split opportunities with little processing —
+ * the second division-throttling witness.
+ */
+
+#ifndef CAPSULE_WL_PERCEPTRON_HH
+#define CAPSULE_WL_PERCEPTRON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+#include "sim/machine.hh"
+#include "workloads/harness.hh"
+
+namespace capsule::wl
+{
+
+/** Parameters of one Perceptron experiment. */
+struct PerceptronParams
+{
+    int neurons = 10000;   ///< paper: 10000
+    int inputs = 8;        ///< synapses per neuron
+    int minGroup = 16;     ///< stop splitting below this group size
+    std::uint64_t seed = 1;
+};
+
+/** Result of one componentised Perceptron simulation. */
+struct PerceptronResult
+{
+    sim::RunStats stats;
+    bool correct = false;
+    std::vector<double> outputs;
+};
+
+/** Golden forward pass. */
+std::vector<double> perceptronForward(const std::vector<double> &x,
+                                      const std::vector<double> &wts,
+                                      int neurons, int inputs);
+
+/** Simulate the componentised forward pass under `cfg`. */
+PerceptronResult runPerceptron(const sim::MachineConfig &cfg,
+                               const PerceptronParams &params);
+
+} // namespace capsule::wl
+
+#endif // CAPSULE_WL_PERCEPTRON_HH

@@ -1,0 +1,209 @@
+#include "workloads/quicksort.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace capsule::wl
+{
+namespace
+{
+
+using rt::Task;
+using rt::Val;
+using rt::Worker;
+
+enum Site : std::uint32_t
+{
+    sitePartitionLoop = 20,
+    siteSwap = 21,
+    siteProbe = 22,
+    siteInsertOuter = 23,
+    siteInsertInner = 24,
+};
+
+/** Shared state of one sort run. */
+struct Run
+{
+    std::vector<std::int64_t> &data;
+    Addr base;  ///< simulated address of data[0] (8 bytes per slot)
+
+    Addr at(int i) const { return base + Addr(i) * 8; }
+};
+
+/** Serial insertion sort for small segments. */
+Task
+insertionSort(Worker &w, Run &run, int lo, int hi)
+{
+    for (int i = lo + 1; i <= hi; ++i) {
+        std::int64_t key = run.data[std::size_t(i)];
+        Val kv = co_await w.load(run.at(i));
+        int j = i - 1;
+        while (j >= lo && run.data[std::size_t(j)] > key) {
+            Val e = co_await w.load(run.at(j));
+            co_await w.alu(e, kv);  // the comparison itself
+            co_await w.branch(siteInsertInner, true, kv);
+            run.data[std::size_t(j + 1)] = run.data[std::size_t(j)];
+            co_await w.store(run.at(j + 1), kv);
+            co_await w.alu();  // index arithmetic
+            --j;
+        }
+        co_await w.branch(siteInsertInner, false, kv);
+        run.data[std::size_t(j + 1)] = key;
+        co_await w.store(run.at(j + 1), kv);
+        co_await w.branch(siteInsertOuter, i < hi, kv);
+    }
+}
+
+/** Hoare-style partition emitting per-element work. */
+Task
+partition(Worker &w, Run &run, int lo, int hi, int &pivot_out)
+{
+    std::int64_t pivot = run.data[std::size_t((lo + hi) / 2)];
+    co_await w.load(run.at((lo + hi) / 2));
+    int i = lo;
+    int j = hi;
+    while (true) {
+        while (run.data[std::size_t(i)] < pivot) {
+            Val v = co_await w.load(run.at(i));
+            Val c = co_await w.alu(v);   // compare against the pivot
+            co_await w.alu(c);           // pointer increment
+            co_await w.branch(sitePartitionLoop, true, v);
+            ++i;
+        }
+        co_await w.branch(sitePartitionLoop, false, Val{});
+        while (run.data[std::size_t(j)] > pivot) {
+            Val v = co_await w.load(run.at(j));
+            Val c = co_await w.alu(v);
+            co_await w.alu(c);
+            co_await w.branch(sitePartitionLoop, true, v);
+            --j;
+        }
+        co_await w.branch(sitePartitionLoop, false, Val{});
+        if (i >= j)
+            break;
+        std::swap(run.data[std::size_t(i)], run.data[std::size_t(j)]);
+        Val a = co_await w.load(run.at(i));
+        Val b = co_await w.load(run.at(j));
+        co_await w.store(run.at(i), b);
+        co_await w.store(run.at(j), a);
+        co_await w.branch(siteSwap, true, a);
+        ++i;
+        --j;
+    }
+    pivot_out = j;
+}
+
+/** The componentised sort of one segment. */
+Task
+sortSegment(Worker &w, Run &run, int lo, int hi, int cutoff)
+{
+    if (hi - lo + 1 <= cutoff) {
+        co_await insertionSort(w, run, lo, hi);
+        co_return;
+    }
+    int mid = lo;
+    co_await partition(w, run, lo, hi, mid);
+
+    // Divide: the child takes the right half, the parent keeps the
+    // left half (mitosis into two smaller workers). A denied probe
+    // means the worker carries on serially — it will probe again at
+    // every deeper partition point.
+    int rlo = mid + 1;
+    bool granted = co_await w.probe(
+        [&run, rlo, hi, cutoff](Worker &cw) -> Task {
+            return sortSegment(cw, run, rlo, hi, cutoff);
+        },
+        siteProbe);
+    co_await sortSegment(w, run, lo, mid, cutoff);
+    if (!granted)
+        co_await sortSegment(w, run, rlo, hi, cutoff);
+}
+
+} // namespace
+
+const char *
+listDistributionName(ListDistribution d)
+{
+    switch (d) {
+      case ListDistribution::Uniform:
+        return "uniform";
+      case ListDistribution::Gaussian:
+        return "gaussian";
+      case ListDistribution::Exponential:
+        return "exponential";
+      case ListDistribution::NearlySorted:
+        return "nearly-sorted";
+      case ListDistribution::FewValues:
+        return "few-values";
+    }
+    return "?";
+}
+
+std::vector<std::int64_t>
+makeList(ListDistribution d, int length, Rng &rng)
+{
+    std::vector<std::int64_t> v(static_cast<std::size_t>(length));
+    switch (d) {
+      case ListDistribution::Uniform:
+        for (auto &x : v)
+            x = std::int64_t(rng.uniform(0, 1'000'000));
+        break;
+      case ListDistribution::Gaussian:
+        for (auto &x : v)
+            x = std::int64_t(rng.gaussian(500'000, 100'000));
+        break;
+      case ListDistribution::Exponential:
+        for (auto &x : v)
+            x = std::int64_t(rng.exponential(1.0 / 50'000.0));
+        break;
+      case ListDistribution::NearlySorted:
+        for (std::size_t i = 0; i < v.size(); ++i)
+            v[i] = std::int64_t(i) * 10;
+        for (int s = 0; s < length / 20; ++s) {
+            auto a = std::size_t(rng.uniform(0, std::uint64_t(length - 1)));
+            auto b = std::size_t(rng.uniform(0, std::uint64_t(length - 1)));
+            std::swap(v[a], v[b]);
+        }
+        break;
+      case ListDistribution::FewValues:
+        for (auto &x : v)
+            x = std::int64_t(rng.uniform(0, 7));
+        break;
+    }
+    return v;
+}
+
+QuickSortResult
+runQuickSort(const sim::MachineConfig &cfg,
+             const QuickSortParams &params,
+             sim::Machine::DivisionObserver obs)
+{
+    Rng rng(params.seed);
+    std::vector<std::int64_t> data =
+        makeList(params.distribution, params.length, rng);
+    std::vector<std::int64_t> golden = data;
+    std::sort(golden.begin(), golden.end());
+
+    rt::Exec exec;
+    Addr base = exec.arena().alloc(std::uint64_t(params.length) * 8, 64);
+    Run run{data, base};
+
+    int n = params.length;
+    int cutoff = params.serialCutoff;
+    auto outcome = simulate(
+        cfg, exec,
+        [&run, n, cutoff](Worker &w) -> Task {
+            return sortSegment(w, run, 0, n - 1, cutoff);
+        },
+        std::move(obs));
+
+    QuickSortResult res;
+    res.stats = outcome.stats;
+    res.sorted = data;
+    res.correct = data == golden;
+    return res;
+}
+
+} // namespace capsule::wl

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Componentised QuickSort (Section 5, Figures 5 and 6): a worker
+ * partitions its list segment around a pivot, then probes to divide
+ * itself — the child sorts one half while the parent keeps the other;
+ * denied divisions fall back to serial recursion. Pivot-dependent
+ * segment sizes make the division tree irregular (Figure 6).
+ */
+
+#ifndef CAPSULE_WL_QUICKSORT_HH
+#define CAPSULE_WL_QUICKSORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "sim/machine.hh"
+#include "workloads/harness.hh"
+
+namespace capsule::wl
+{
+
+/** Input-list distributions ("500 lists of various distributions"). */
+enum class ListDistribution
+{
+    Uniform,
+    Gaussian,
+    Exponential,
+    NearlySorted,
+    FewValues,
+};
+
+const char *listDistributionName(ListDistribution d);
+
+/** Generate one input list. */
+std::vector<std::int64_t> makeList(ListDistribution d, int length,
+                                   Rng &rng);
+
+/** Parameters of one QuickSort experiment. */
+struct QuickSortParams
+{
+    int length = 4096;
+    ListDistribution distribution = ListDistribution::Uniform;
+    std::uint64_t seed = 1;
+    /** Segments at or below this size sort serially (insertion). */
+    int serialCutoff = 16;
+};
+
+/** Result of one componentised QuickSort simulation. */
+struct QuickSortResult
+{
+    sim::RunStats stats;
+    bool correct = false;
+    std::vector<std::int64_t> sorted;
+};
+
+/** Simulate componentised QuickSort under `cfg`'s division policy. */
+QuickSortResult runQuickSort(const sim::MachineConfig &cfg,
+                             const QuickSortParams &params,
+                             sim::Machine::DivisionObserver obs =
+                                 nullptr);
+
+} // namespace capsule::wl
+
+#endif // CAPSULE_WL_QUICKSORT_HH

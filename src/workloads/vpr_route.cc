@@ -1,0 +1,279 @@
+#include "workloads/vpr_route.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace capsule::wl
+{
+namespace
+{
+
+using rt::Task;
+using rt::Val;
+using rt::Worker;
+
+enum Site : std::uint32_t
+{
+    siteNetSplit = 60,
+    siteStepLoop = 61,
+    siteNeighborPick = 62,
+    siteIterLoop = 63,
+    siteRipup = 64,
+};
+
+struct Net
+{
+    int srcX, srcY, dstX, dstY;
+    std::vector<int> path;  ///< node indices of the current route
+};
+
+struct Run
+{
+    int grid;
+    int capacity;
+    std::vector<std::int64_t> baseCost;
+    std::vector<std::int64_t> occupancy;
+    std::vector<std::int64_t> history;
+    std::vector<Net> nets;
+    Addr baseCostAddr;
+    Addr occAddr;
+    Addr histAddr;
+    JoinCounter *joins = nullptr;
+    /** Present-congestion factor, grown each iteration (Pathfinder's
+     *  negotiation schedule); needed for convergence of both the
+     *  sequential and the concurrent router. */
+    std::int64_t presFactor = 10;
+
+    int idx(int x, int y) const { return y * grid + x; }
+    Addr baseAt(int i) const { return baseCostAddr + Addr(i) * 8; }
+    Addr occAt(int i) const { return occAddr + Addr(i) * 8; }
+    Addr histAt(int i) const { return histAddr + Addr(i) * 8; }
+
+    std::int64_t
+    nodeCost(int i) const
+    {
+        std::int64_t over =
+            std::max<std::int64_t>(0,
+                                   occupancy[std::size_t(i)] + 1 -
+                                       capacity);
+        return baseCost[std::size_t(i)] + presFactor * over +
+               history[std::size_t(i)];
+    }
+};
+
+Task routeRange(Worker &w, Run &run, int lo, int hi);
+
+/**
+ * Route one net with a greedy congestion-aware walk from source to
+ * sink, claiming occupancy along the way (lock per grid node). The
+ * walk probes the architecture every few expansion steps, offering
+ * the upper half of the not-yet-routed nets [next, *cur_hi) to a
+ * child worker — the constant probing that makes the router explore
+ * many circuit-graph paths simultaneously.
+ */
+Task
+routeNet(Worker &w, Run &run, int net_id, int next_net, int *cur_hi)
+{
+    Net &net = run.nets[std::size_t(net_id)];
+    net.path.clear();
+    int x = net.srcX;
+    int y = net.srcY;
+    int steps = 0;
+
+    while (x != net.dstX || y != net.dstY) {
+        // Conditional division of the remaining nets.
+        if (cur_hi && ++steps % 4 == 0 &&
+            *cur_hi - next_net > 1) {
+            int mid = next_net + (*cur_hi - next_net) / 2;
+            int childHi = *cur_hi;
+            bool granted = co_await w.probe(
+                [&run, mid, childHi](Worker &cw) -> Task {
+                    return routeRange(cw, run, mid, childHi);
+                },
+                siteNetSplit);
+            if (granted)
+                *cur_hi = mid;
+        }
+        // Candidate steps toward the sink in x and in y.
+        int cx = x + (net.dstX > x ? 1 : net.dstX < x ? -1 : 0);
+        int cy = y + (net.dstY > y ? 1 : net.dstY < y ? -1 : 0);
+        bool haveX = cx != x;
+        bool haveY = cy != y;
+
+        int candA = haveX ? run.idx(cx, y) : run.idx(x, cy);
+        int candB = haveY ? run.idx(x, cy) : candA;
+
+        // Read both candidates' cost components (the memory-bound
+        // inner loop: three big-array loads per candidate).
+        Val a1 = co_await w.load(run.baseAt(candA));
+        Val a2 = co_await w.load(run.occAt(candA));
+        Val a3 = co_await w.load(run.histAt(candA));
+        Val ac = co_await w.alu(a1, a2);
+        ac = co_await w.alu(ac, a3);
+
+        Val b1 = co_await w.load(run.baseAt(candB));
+        Val b2 = co_await w.load(run.occAt(candB));
+        Val b3 = co_await w.load(run.histAt(candB));
+        Val bc = co_await w.alu(b1, b2);
+        bc = co_await w.alu(bc, b3);
+
+        bool pickA = !haveY ||
+                     (haveX &&
+                      run.nodeCost(candA) <= run.nodeCost(candB));
+        co_await w.branch(siteNeighborPick, pickA, ac);
+        int chosen = pickA ? candA : candB;
+        if (pickA) {
+            if (haveX)
+                x = cx;
+            else
+                y = cy;
+        } else {
+            y = cy;
+        }
+
+        // Claim the routing resource (data-centric synchronisation).
+        co_await w.lock(run.occAt(chosen));
+        Val occ = co_await w.load(run.occAt(chosen));
+        run.occupancy[std::size_t(chosen)] += 1;
+        Val inc = co_await w.alu(occ);
+        co_await w.store(run.occAt(chosen), inc);
+        co_await w.unlock(run.occAt(chosen));
+        net.path.push_back(chosen);
+
+        co_await w.branch(siteStepLoop, x != net.dstX || y != net.dstY,
+                          bc);
+    }
+    co_await run.joins->done(w);
+}
+
+/**
+ * Route the nets in [lo, hi): the worker walks the net list, probing
+ * from inside the expansion loop (see routeNet); granted divisions
+ * hand the upper half of the remaining nets to child workers.
+ */
+Task
+routeRange(Worker &w, Run &run, int lo, int hi)
+{
+    int curHi = hi;
+    for (int n = lo; n < curHi; ++n)
+        co_await routeNet(w, run, n, n + 1, &curHi);
+}
+
+/** Rip up every net's path and update history costs (serial phase). */
+Task
+ripupAndUpdate(Worker &w, Run &run, std::uint64_t &overused)
+{
+    overused = 0;
+    for (std::size_t i = 0; i < run.occupancy.size(); ++i) {
+        if (run.occupancy[i] > run.capacity) {
+            ++overused;
+            run.history[i] += run.occupancy[i] - run.capacity;
+            Val h = co_await w.load(run.histAt(int(i)));
+            co_await w.store(run.histAt(int(i)), h);
+        }
+    }
+    // Rip-up: release all claimed resources.
+    for (auto &net : run.nets) {
+        for (int node : net.path) {
+            run.occupancy[std::size_t(node)] -= 1;
+            Val o = co_await w.load(run.occAt(node));
+            co_await w.store(run.occAt(node), o);
+        }
+    }
+    co_await w.branch(siteRipup, overused != 0, Val{});
+}
+
+/** The full negotiated-congestion routing loop. */
+Task
+vprMain(Worker &w, Run &run, int max_iters, int *iters_out,
+        std::uint64_t *overused_out)
+{
+    int netCount = int(run.nets.size());
+    std::uint64_t overused = 0;
+    int iter = 0;
+    for (; iter < max_iters; ++iter) {
+        run.presFactor = 10 + 6 * iter;  // negotiation schedule
+        run.joins->reset(netCount);
+        co_await routeRange(w, run, 0, netCount);
+        co_await run.joins->wait(w);
+        co_await ripupAndUpdate(w, run, overused);
+        co_await w.branch(siteIterLoop, overused != 0, Val{});
+        if (overused == 0) {
+            ++iter;
+            break;
+        }
+    }
+    *iters_out = iter;
+    *overused_out = overused;
+}
+
+} // namespace
+
+VprResult
+runVpr(const sim::MachineConfig &cfg, const VprParams &params)
+{
+    Rng rng(params.seed);
+    rt::Exec exec;
+
+    Run run;
+    run.grid = params.grid;
+    run.capacity = params.capacity;
+    auto cells = std::size_t(params.grid) * std::size_t(params.grid);
+    run.baseCost.resize(cells);
+    for (auto &c : run.baseCost)
+        c = std::int64_t(rng.uniform(1, 8));
+    run.occupancy.assign(cells, 0);
+    run.history.assign(cells, 0);
+    run.baseCostAddr = exec.arena().alloc(cells * 8, 64);
+    run.occAddr = exec.arena().alloc(cells * 8, 64);
+    run.histAddr = exec.arena().alloc(cells * 8, 64);
+    JoinCounter joins(exec);
+    run.joins = &joins;
+
+    // Nets with sources/sinks biased into a congested centre band so
+    // negotiation is actually needed.
+    for (int n = 0; n < params.nets; ++n) {
+        Net net;
+        int mid = params.grid / 2;
+        int band = std::max(2, params.grid / 8);
+        net.srcX = int(rng.uniform(0, std::uint64_t(params.grid - 1)));
+        net.srcY = mid - band + int(rng.uniform(0,
+                                     std::uint64_t(2 * band)));
+        net.dstX = int(rng.uniform(0, std::uint64_t(params.grid - 1)));
+        net.dstY = mid - band + int(rng.uniform(0,
+                                     std::uint64_t(2 * band)));
+        net.srcY = std::clamp(net.srcY, 0, params.grid - 1);
+        net.dstY = std::clamp(net.dstY, 0, params.grid - 1);
+        if (net.srcX == net.dstX && net.srcY == net.dstY)
+            net.dstX = (net.dstX + 1) % params.grid;
+        run.nets.push_back(net);
+    }
+
+    int iterations = 0;
+    std::uint64_t overused = 0;
+    int maxIters = params.maxIterations;
+    auto outcome = simulate(
+        cfg, exec,
+        [&run, maxIters, &iterations, &overused](Worker &w) -> Task {
+            return vprMain(w, run, maxIters, &iterations, &overused);
+        });
+
+    VprResult res;
+    res.sectionStats = outcome.stats;
+    res.iterations = iterations;
+    res.overusedFinal = overused;
+    res.converged = overused == 0;
+
+    if (params.serialSectionOps > 0) {
+        rt::Exec serialExec;
+        auto serial = simulate(
+            cfg, serialExec,
+            serialSection(serialExec, params.serialSectionOps));
+        res.serialCycles = serial.stats.cycles;
+    }
+    return res;
+}
+
+} // namespace capsule::wl

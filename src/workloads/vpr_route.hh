@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The 175.vpr analogue (Section 5): Pathfinder-style FPGA routing and
+ * placement exploring many circuit-graph paths concurrently. Nets are
+ * routed over a grid with negotiated congestion (base + occupancy +
+ * history costs); iterations rip up and reroute until no routing
+ * resource is over-used. The componentised version divides the net
+ * range, so concurrent workers observe congestion in a different
+ * order than the sequential router and may need an extra iteration to
+ * converge (the paper's 9-versus-8 iterations effect). The big cost
+ * arrays make the workload memory-bandwidth bound, which the cache
+ * size/port sweep (bench_vpr_cache) exploits.
+ */
+
+#ifndef CAPSULE_WL_VPR_ROUTE_HH
+#define CAPSULE_WL_VPR_ROUTE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+#include "sim/machine.hh"
+#include "workloads/harness.hh"
+
+namespace capsule::wl
+{
+
+/** Parameters of one vpr-analogue experiment. */
+struct VprParams
+{
+    int grid = 32;            ///< grid side (grid*grid nodes)
+    int nets = 16;            ///< nets to route
+    int capacity = 2;         ///< per-node routing capacity
+    int maxIterations = 40;
+    std::uint64_t seed = 1;
+    /** Serial section (placement bookkeeping etc.); Table 2 puts
+     *  ~93% of vpr inside componentised sections. */
+    std::uint64_t serialSectionOps = 0;
+};
+
+/** Result of one vpr-analogue simulation. */
+struct VprResult
+{
+    sim::RunStats sectionStats;
+    Cycle serialCycles = 0;
+    bool converged = false;
+    int iterations = 0;
+    std::uint64_t overusedFinal = 0;
+};
+
+/** Simulate the vpr analogue under `cfg`'s division policy. */
+VprResult runVpr(const sim::MachineConfig &cfg, const VprParams &params);
+
+} // namespace capsule::wl
+
+#endif // CAPSULE_WL_VPR_ROUTE_HH

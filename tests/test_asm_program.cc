@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Functional tests of the CapISA interpreter (AsmProgram): arithmetic,
+ * control flow, memory, and the nthr fork protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "casm/assembler.hh"
+#include "front/asm_program.hh"
+
+namespace capsule::front
+{
+namespace
+{
+
+/** Run a single thread to completion; returns instruction count. */
+std::uint64_t
+runToEnd(AsmProgram &prog, bool grant_divisions = false,
+         std::vector<std::unique_ptr<Program>> *children = nullptr)
+{
+    isa::DynInst inst;
+    std::uint64_t n = 0;
+    while (prog.next(inst)) {
+        ++n;
+        if (inst.cls == isa::OpClass::Nthr) {
+            auto child = prog.resolveNthr(grant_divisions);
+            if (children && child)
+                children->push_back(std::move(child));
+        }
+        if (n > 100000) {
+            ADD_FAILURE() << "runaway program";
+            break;
+        }
+    }
+    return n;
+}
+
+TEST(AsmProgram, ArithmeticChain)
+{
+    auto img = casm::Assembler::assembleOrDie(
+        "  addi r1, r0, 6\n"
+        "  addi r2, r0, 7\n"
+        "  mul r3, r1, r2\n"
+        "  sub r4, r3, r1\n"
+        "  halt\n");
+    AsmProcess proc(img);
+    AsmProgram t(proc);
+    runToEnd(t);
+    EXPECT_EQ(t.regs().intRegs[3], 42);
+    EXPECT_EQ(t.regs().intRegs[4], 36);
+    EXPECT_TRUE(t.finished());
+}
+
+TEST(AsmProgram, RegisterZeroIsHardwired)
+{
+    auto img = casm::Assembler::assembleOrDie(
+        "  addi r0, r0, 99\n"
+        "  add r1, r0, r0\n"
+        "  halt\n");
+    AsmProcess proc(img);
+    AsmProgram t(proc);
+    runToEnd(t);
+    EXPECT_EQ(t.regs().intRegs[1], 0);
+}
+
+TEST(AsmProgram, LoopSum)
+{
+    // Sum 1..10 into r3.
+    auto img = casm::Assembler::assembleOrDie(
+        "  addi r1, r0, 10\n"
+        "  addi r3, r0, 0\n"
+        "top:\n"
+        "  add r3, r3, r1\n"
+        "  addi r1, r1, -1\n"
+        "  bne r1, r0, top\n"
+        "  halt\n");
+    AsmProcess proc(img);
+    AsmProgram t(proc);
+    runToEnd(t);
+    EXPECT_EQ(t.regs().intRegs[3], 55);
+}
+
+TEST(AsmProgram, MemoryRoundTrip)
+{
+    auto img = casm::Assembler::assembleOrDie(
+        "  addi r1, r0, 0x200\n"
+        "  addi r2, r0, 1234\n"
+        "  sd r2, 0(r1)\n"
+        "  ld r3, 0(r1)\n"
+        "  lw r4, 0(r1)\n"
+        "  lb r5, 0(r1)\n"
+        "  halt\n");
+    AsmProcess proc(img);
+    AsmProgram t(proc);
+    runToEnd(t);
+    EXPECT_EQ(t.regs().intRegs[3], 1234);
+    EXPECT_EQ(t.regs().intRegs[4], 1234);
+    // lb sign-extends the low byte: 1234 & 0xff = 0xd2 = -46.
+    EXPECT_EQ(t.regs().intRegs[5], std::int8_t(1234 & 0xff));
+    EXPECT_EQ(proc.memory.read(0x200, 8), 1234u);
+}
+
+TEST(AsmProgram, SignExtensionOnLoads)
+{
+    auto img = casm::Assembler::assembleOrDie(
+        "  addi r1, r0, 0x300\n"
+        "  addi r2, r0, -1\n"
+        "  sb r2, 0(r1)\n"
+        "  lb r3, 0(r1)\n"
+        "  halt\n");
+    AsmProcess proc(img);
+    AsmProgram t(proc);
+    runToEnd(t);
+    EXPECT_EQ(t.regs().intRegs[3], -1);
+}
+
+TEST(AsmProgram, JalAndJr)
+{
+    auto img = casm::Assembler::assembleOrDie(
+        "  jal r1, sub\n"
+        "after:\n"
+        "  addi r3, r0, 5\n"
+        "  halt\n"
+        "sub:\n"
+        "  addi r2, r0, 9\n"
+        "  jr r1\n");
+    AsmProcess proc(img);
+    AsmProgram t(proc);
+    runToEnd(t);
+    EXPECT_EQ(t.regs().intRegs[2], 9);
+    EXPECT_EQ(t.regs().intRegs[3], 5);
+}
+
+TEST(AsmProgram, FpOps)
+{
+    auto img = casm::Assembler::assembleOrDie(
+        "  addi r1, r0, 3\n"
+        "  fcvt f1, r1\n"
+        "  fadd f2, f1, f1\n"
+        "  fmul f3, f2, f1\n"
+        "  fcmp r2, f3, f1\n"
+        "  halt\n");
+    AsmProcess proc(img);
+    AsmProgram t(proc);
+    runToEnd(t);
+    EXPECT_DOUBLE_EQ(t.regs().fpRegs[1], 3.0);
+    EXPECT_DOUBLE_EQ(t.regs().fpRegs[2], 6.0);
+    EXPECT_DOUBLE_EQ(t.regs().fpRegs[3], 18.0);
+    EXPECT_EQ(t.regs().intRegs[2], 1);  // 18 > 3
+}
+
+TEST(AsmProgram, NthrDenied)
+{
+    auto img = casm::Assembler::assembleOrDie(
+        "  nthr r1, child\n"
+        "  halt\n"
+        "child:\n"
+        "  kthr\n");
+    AsmProcess proc(img);
+    AsmProgram t(proc);
+    std::vector<std::unique_ptr<Program>> kids;
+    runToEnd(t, /*grant=*/false, &kids);
+    EXPECT_EQ(t.regs().intRegs[1], -1);  // switch case -1: sequential
+    EXPECT_TRUE(kids.empty());
+}
+
+TEST(AsmProgram, NthrGrantedForksChild)
+{
+    auto img = casm::Assembler::assembleOrDie(
+        "  addi r2, r0, 77\n"
+        "  nthr r1, child\n"
+        "  halt\n"
+        "child:\n"
+        "  addi r3, r2, 1\n"
+        "  kthr\n");
+    AsmProcess proc(img);
+    AsmProgram t(proc);
+    std::vector<std::unique_ptr<Program>> kids;
+    runToEnd(t, /*grant=*/true, &kids);
+    EXPECT_EQ(t.regs().intRegs[1], 0);  // parent: left version
+    ASSERT_EQ(kids.size(), 1u);
+
+    auto *child = dynamic_cast<AsmProgram *>(kids[0].get());
+    ASSERT_NE(child, nullptr);
+    // Child starts with a copy of the registers, rd = 1.
+    EXPECT_EQ(child->regs().intRegs[1], 1);
+    EXPECT_EQ(child->regs().intRegs[2], 77);
+    runToEnd(*child);
+    EXPECT_EQ(child->regs().intRegs[3], 78);
+    EXPECT_TRUE(child->finished());
+}
+
+TEST(AsmProgram, MlockEmitsAddress)
+{
+    auto img = casm::Assembler::assembleOrDie(
+        "  addi r1, r0, 0x500\n"
+        "  mlock r1\n"
+        "  munlock r1\n"
+        "  halt\n");
+    AsmProcess proc(img);
+    AsmProgram t(proc);
+    isa::DynInst inst;
+    ASSERT_TRUE(t.next(inst));  // addi
+    ASSERT_TRUE(t.next(inst));  // mlock
+    EXPECT_EQ(inst.cls, isa::OpClass::Mlock);
+    EXPECT_EQ(inst.effAddr, 0x500u);
+    ASSERT_TRUE(t.next(inst));  // munlock
+    EXPECT_EQ(inst.cls, isa::OpClass::Munlock);
+    EXPECT_EQ(inst.effAddr, 0x500u);
+}
+
+TEST(AsmProgram, BranchRecordsOutcomeAndTarget)
+{
+    auto img = casm::Assembler::assembleOrDie(
+        "  addi r1, r0, 1\n"
+        "  beq r1, r0, skip\n"
+        "  addi r2, r0, 2\n"
+        "skip:\n"
+        "  halt\n");
+    AsmProcess proc(img);
+    AsmProgram t(proc);
+    isa::DynInst inst;
+    ASSERT_TRUE(t.next(inst));
+    ASSERT_TRUE(t.next(inst));
+    EXPECT_EQ(inst.cls, isa::OpClass::Branch);
+    EXPECT_FALSE(inst.taken);
+    EXPECT_EQ(inst.target, img.symbol("skip"));
+    runToEnd(t);
+    EXPECT_EQ(t.regs().intRegs[2], 2);
+}
+
+} // namespace
+} // namespace capsule::front

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the CapISA assembler: syntax forms, label
+ * resolution (including forward references), directives, and error
+ * collection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "casm/assembler.hh"
+
+namespace capsule::casm
+{
+namespace
+{
+
+using isa::Opcode;
+
+TEST(Assembler, ThreeRegForm)
+{
+    auto img = Assembler::assembleOrDie("add r1, r2, r3\n");
+    ASSERT_EQ(img.words.size(), 1u);
+    auto inst = isa::decode(img.words[0]);
+    EXPECT_EQ(inst.op, Opcode::Add);
+    EXPECT_EQ(inst.rd, 1);
+    EXPECT_EQ(inst.rs1, 2);
+    EXPECT_EQ(inst.rs2, 3);
+}
+
+TEST(Assembler, ImmediateForm)
+{
+    auto img = Assembler::assembleOrDie("addi r1, r2, -42\n");
+    auto inst = isa::decode(img.words[0]);
+    EXPECT_EQ(inst.op, Opcode::Addi);
+    EXPECT_EQ(inst.rd, 1);
+    EXPECT_EQ(inst.rs1, 2);
+    EXPECT_EQ(inst.imm, -42);
+}
+
+TEST(Assembler, HexImmediate)
+{
+    auto img = Assembler::assembleOrDie("addi r1, r0, 0xff\n");
+    EXPECT_EQ(isa::decode(img.words[0]).imm, 255);
+}
+
+TEST(Assembler, LoadStoreForm)
+{
+    auto img = Assembler::assembleOrDie("lw r5, 16(r6)\n"
+                                        "sw r5, -8(r7)\n");
+    auto lw = isa::decode(img.words[0]);
+    EXPECT_EQ(lw.op, Opcode::Lw);
+    EXPECT_EQ(lw.rd, 5);
+    EXPECT_EQ(lw.rs1, 6);
+    EXPECT_EQ(lw.imm, 16);
+    auto sw = isa::decode(img.words[1]);
+    EXPECT_EQ(sw.op, Opcode::Sw);
+    EXPECT_EQ(sw.rs2, 5);
+    EXPECT_EQ(sw.rs1, 7);
+    EXPECT_EQ(sw.imm, -8);
+}
+
+TEST(Assembler, BranchBackwardDisplacement)
+{
+    auto img = Assembler::assembleOrDie("top:\n"
+                                        "  addi r1, r1, 1\n"
+                                        "  bne r1, r2, top\n");
+    auto bne = isa::decode(img.words[1]);
+    EXPECT_EQ(bne.op, Opcode::Bne);
+    // The branch sits one instruction after `top`.
+    EXPECT_EQ(bne.imm, -1);
+}
+
+TEST(Assembler, ForwardReference)
+{
+    auto img = Assembler::assembleOrDie("  jmp end\n"
+                                        "  nop\n"
+                                        "end:\n"
+                                        "  halt\n");
+    auto jmp = isa::decode(img.words[0]);
+    EXPECT_EQ(jmp.op, Opcode::Jmp);
+    EXPECT_EQ(jmp.imm, 2);
+}
+
+TEST(Assembler, NthrTargetsLabel)
+{
+    auto img = Assembler::assembleOrDie("  nthr r4, right\n"
+                                        "  halt\n"
+                                        "right:\n"
+                                        "  kthr\n");
+    auto nthr = isa::decode(img.words[0]);
+    EXPECT_EQ(nthr.op, Opcode::NthrOp);
+    EXPECT_EQ(nthr.rd, 4);
+    EXPECT_EQ(nthr.imm, 2);
+    EXPECT_EQ(img.symbol("right"), img.base + 8);
+}
+
+TEST(Assembler, LockForms)
+{
+    auto img = Assembler::assembleOrDie("mlock r3\nmunlock r3\n");
+    EXPECT_EQ(isa::decode(img.words[0]).op, Opcode::MlockOp);
+    EXPECT_EQ(isa::decode(img.words[0]).rs1, 3);
+    EXPECT_EQ(isa::decode(img.words[1]).op, Opcode::MunlockOp);
+}
+
+TEST(Assembler, OrgAndWordDirectives)
+{
+    auto img = Assembler::assembleOrDie("  nop\n"
+                                        "  .org 0x1010\n"
+                                        "data:\n"
+                                        "  .word 0xdeadbeef\n",
+                                        0x1000);
+    EXPECT_EQ(img.symbol("data"), 0x1010u);
+    ASSERT_EQ(img.words.size(), 5u);  // 0x1000..0x1010 inclusive
+    EXPECT_EQ(img.words[4], 0xdeadbeefu);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    auto img = Assembler::assembleOrDie(
+        "# full line comment\n"
+        "\n"
+        "  add r1, r2, r3  ; trailing comment\n");
+    EXPECT_EQ(img.words.size(), 1u);
+}
+
+TEST(Assembler, CollectsMultipleErrors)
+{
+    Assembler as;
+    EXPECT_FALSE(as.assemble("  bogus r1\n"
+                             "  add r1, r2\n"
+                             "  lw r1, nonsense\n"));
+    EXPECT_GE(as.diagnostics().size(), 3u);
+    EXPECT_EQ(as.diagnostics()[0].line, 1);
+}
+
+TEST(Assembler, DuplicateLabelRejected)
+{
+    Assembler as;
+    EXPECT_FALSE(as.assemble("x:\n  nop\nx:\n  nop\n"));
+    EXPECT_FALSE(as.diagnostics().empty());
+}
+
+TEST(Assembler, UndefinedSymbolRejected)
+{
+    Assembler as;
+    EXPECT_FALSE(as.assemble("  jmp nowhere\n"));
+    ASSERT_FALSE(as.diagnostics().empty());
+    EXPECT_NE(as.diagnostics()[0].message.find("undefined"),
+              std::string::npos);
+}
+
+TEST(Assembler, BadRegisterRejected)
+{
+    Assembler as;
+    EXPECT_FALSE(as.assemble("  add r32, r1, r2\n"));
+    EXPECT_FALSE(as.diagnostics().empty());
+}
+
+TEST(Assembler, FpRegistersParse)
+{
+    auto img = Assembler::assembleOrDie("fadd f1, f2, f3\n"
+                                        "fld f4, 0(r5)\n");
+    auto fadd = isa::decode(img.words[0]);
+    EXPECT_EQ(fadd.op, Opcode::Fadd);
+    EXPECT_EQ(fadd.rd, 1);
+    auto fld = isa::decode(img.words[1]);
+    EXPECT_EQ(fld.op, Opcode::Fld);
+    EXPECT_EQ(fld.rd, 4);
+    EXPECT_EQ(fld.rs1, 5);
+}
+
+} // namespace
+} // namespace capsule::casm

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the base utilities: RNG determinism, histogram
+ * binning and statistics, the table printer, the DOT emitter, and the
+ * stats registry.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "base/dot.hh"
+#include "base/histogram.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/table.hh"
+
+namespace capsule
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniform(0, 1'000'000), b.uniform(0, 1'000'000));
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.uniform(0, 1'000'000) == b.uniform(0, 1'000'000);
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniform(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng r(7);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, ForkIndependent)
+{
+    Rng a(5);
+    Rng child = a.fork();
+    // The child stream should not mirror the parent stream.
+    int same = 0;
+    for (int i = 0; i < 50; ++i)
+        same += a.uniform(0, 1 << 30) == child.uniform(0, 1 << 30);
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng r(9);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    r.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 100.0, 10);
+    h.add(5.0);    // bin 0
+    h.add(95.0);   // bin 9
+    h.add(-50.0);  // clamped into bin 0
+    h.add(500.0);  // clamped into bin 9
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(9), 2u);
+    EXPECT_EQ(h.samples(), 4u);
+}
+
+TEST(Histogram, MeanAndStddev)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(2.0);
+    h.add(4.0);
+    h.add(6.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+    EXPECT_NEAR(h.stddev(), 1.632993, 1e-5);
+    EXPECT_DOUBLE_EQ(h.min(), 2.0);
+    EXPECT_DOUBLE_EQ(h.max(), 6.0);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(0.0, 100.0, 10);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binLow(9), 90.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(9), 100.0);
+}
+
+TEST(Histogram, RenderContainsCounts)
+{
+    Histogram h(0.0, 10.0, 2);
+    h.add(1.0);
+    h.add(8.0);
+    h.add(9.0);
+    std::ostringstream os;
+    h.render(os, "test");
+    EXPECT_NE(os.str().find("test"), std::string::npos);
+    EXPECT_NE(os.str().find("(n=3"), std::string::npos);
+}
+
+TEST(TextTable, AlignedRender)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "12345"});
+    std::ostringstream os;
+    t.render(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("12345"), std::string::npos);
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::count(1234567), "1,234,567");
+    EXPECT_EQ(TextTable::count(7), "7");
+    EXPECT_EQ(TextTable::pct(0.403), "40.3%");
+}
+
+TEST(DotGraph, RenderShape)
+{
+    DotGraph g("t");
+    g.addNode("a", "root");
+    g.addNode("b");
+    g.addEdge("a", "b");
+    std::ostringstream os;
+    g.render(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("digraph t"), std::string::npos);
+    EXPECT_NE(s.find("\"a\" -> \"b\""), std::string::npos);
+    EXPECT_NE(s.find("label=\"root\""), std::string::npos);
+    EXPECT_EQ(g.nodeCount(), 2u);
+    EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+TEST(Stats, ScalarAndFormula)
+{
+    Scalar s;
+    ++s;
+    s += 4;
+    EXPECT_EQ(s.value(), 5u);
+
+    StatGroup g("grp");
+    g.add("count", s, "a counter");
+    g.addFormula("double", [&s] { return double(s.value()) * 2; });
+    EXPECT_DOUBLE_EQ(g.get("count"), 5.0);
+    EXPECT_DOUBLE_EQ(g.get("double"), 10.0);
+    EXPECT_TRUE(g.has("count"));
+    EXPECT_FALSE(g.has("missing"));
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("grp.count"), std::string::npos);
+    EXPECT_NE(os.str().find("a counter"), std::string::npos);
+}
+
+TEST(Stats, Reset)
+{
+    Scalar s;
+    s += 10;
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+} // namespace
+} // namespace capsule

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the branch predictors of Table 1: bimodal learning,
+ * GAp pattern capture, and the combining meta-predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/bpred.hh"
+
+namespace capsule::sim
+{
+namespace
+{
+
+TEST(Bimodal, LearnsStronglyBiasedBranch)
+{
+    BimodalPredictor p(1024);
+    Addr pc = 0x1000;
+    for (int i = 0; i < 10; ++i)
+        p.update(pc, true);
+    EXPECT_TRUE(p.predict(pc));
+    // One not-taken shouldn't flip a saturated counter.
+    p.update(pc, false);
+    EXPECT_TRUE(p.predict(pc));
+}
+
+TEST(Bimodal, LearnsNotTaken)
+{
+    BimodalPredictor p(1024);
+    Addr pc = 0x2000;
+    for (int i = 0; i < 10; ++i)
+        p.update(pc, false);
+    EXPECT_FALSE(p.predict(pc));
+}
+
+TEST(Bimodal, DistinctPcsIndependent)
+{
+    BimodalPredictor p(1024);
+    for (int i = 0; i < 10; ++i) {
+        p.update(0x1000, true);
+        p.update(0x1004, false);
+    }
+    EXPECT_TRUE(p.predict(0x1000));
+    EXPECT_FALSE(p.predict(0x1004));
+}
+
+TEST(GAp, LearnsAlternatingPattern)
+{
+    // T,N,T,N... defeats bimodal but is trivial for history-indexed
+    // tables.
+    GApPredictor p(8192, 8);
+    Addr pc = 0x3000;
+    bool taken = false;
+    for (int i = 0; i < 200; ++i) {
+        taken = !taken;
+        p.update(pc, taken);
+    }
+    // After training, verify the next 20 predictions.
+    int correct = 0;
+    for (int i = 0; i < 20; ++i) {
+        taken = !taken;
+        if (p.predict(pc) == taken)
+            ++correct;
+        p.update(pc, taken);
+    }
+    EXPECT_GE(correct, 18);
+}
+
+TEST(GAp, LearnsLoopExitPattern)
+{
+    // Taken 7x then not-taken once (8-iteration loop).
+    GApPredictor p(8192, 8);
+    Addr pc = 0x4000;
+    for (int round = 0; round < 60; ++round) {
+        for (int i = 0; i < 7; ++i)
+            p.update(pc, true);
+        p.update(pc, false);
+    }
+    int correct = 0;
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 7; ++i) {
+            correct += p.predict(pc) == true;
+            p.update(pc, true);
+        }
+        correct += p.predict(pc) == false;
+        p.update(pc, false);
+    }
+    EXPECT_GE(correct, 36);  // >90 % on 40 predictions
+}
+
+TEST(Combined, TracksAccuracy)
+{
+    CombinedPredictor p;
+    Addr pc = 0x5000;
+    for (int i = 0; i < 100; ++i)
+        p.update(pc, true);
+    EXPECT_EQ(p.lookups(), 100u);
+    EXPECT_GT(p.accuracy(), 0.9);
+}
+
+TEST(Combined, BeatsBimodalOnPatterns)
+{
+    // Alternating branch: bimodal hovers around 50 %, the combined
+    // predictor should route it to GAp and do far better.
+    CombinedPredictor comb;
+    BimodalPredictor bim(4096);
+    Addr pc = 0x6000;
+    int bimCorrect = 0;
+    int combCorrect = 0;
+    bool taken = false;
+    for (int i = 0; i < 600; ++i) {
+        taken = !taken;
+        if (i >= 100) {  // skip warmup
+            bimCorrect += bim.predict(pc) == taken;
+            combCorrect += comb.predict(pc) == taken;
+        }
+        bim.update(pc, taken);
+        comb.update(pc, taken);
+    }
+    EXPECT_GT(combCorrect, bimCorrect + 100);
+}
+
+TEST(Combined, StatsRegistration)
+{
+    CombinedPredictor p;
+    p.update(0x100, true);
+    StatGroup g("cpu");
+    p.registerStats(g);
+    EXPECT_EQ(g.get("bpred.lookups"), 1.0);
+}
+
+} // namespace
+} // namespace capsule::sim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the inactive-context stack: LIFO order, the
+ * load-latency swap policy counters, and capacity limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/context_stack.hh"
+
+namespace capsule::sim
+{
+namespace
+{
+
+ContextStackParams
+params(int entries = 16, Cycle lat = 200, int window = 1000,
+       int threshold = 256)
+{
+    ContextStackParams p;
+    p.entries = entries;
+    p.swapLatency = lat;
+    p.loadWindow = window;
+    p.swapThreshold = threshold;
+    return p;
+}
+
+TEST(ContextStack, LifoOrder)
+{
+    ContextStack cs(params());
+    cs.push(1);
+    cs.push(2);
+    cs.push(3);
+    EXPECT_EQ(cs.depth(), 3u);
+    EXPECT_EQ(cs.pop(), 3);
+    EXPECT_EQ(cs.pop(), 2);
+    EXPECT_EQ(cs.pop(), 1);
+    EXPECT_TRUE(cs.empty());
+}
+
+TEST(ContextStack, SwapCounters)
+{
+    ContextStack cs(params());
+    cs.push(1);
+    cs.pop();
+    EXPECT_EQ(cs.swapsOut(), 1u);
+    EXPECT_EQ(cs.swapsIn(), 1u);
+}
+
+TEST(ContextStack, FullDetection)
+{
+    ContextStack cs(params(2));
+    cs.push(1);
+    EXPECT_FALSE(cs.full());
+    cs.push(2);
+    EXPECT_TRUE(cs.full());
+}
+
+TEST(ContextStackDeath, OverflowIsFatal)
+{
+    ContextStack cs(params(1));
+    cs.push(1);
+    EXPECT_EXIT(cs.push(2), ::testing::ExitedWithCode(1), "overflow");
+}
+
+TEST(SwapPolicy, SlowLoadsMarkCandidate)
+{
+    // Low threshold to keep the test fast.
+    ContextStack cs(params(16, 200, 10, 5));
+    // Establish a low average with fast loads from thread 0.
+    for (int i = 0; i < 50; ++i)
+        cs.observeLoad(0, 1);
+    EXPECT_FALSE(cs.swapCandidate(0));
+    // Thread 1 suffers memory-latency loads: counter rises.
+    for (int i = 0; i < 8; ++i)
+        cs.observeLoad(1, 200);
+    EXPECT_TRUE(cs.swapCandidate(1));
+    EXPECT_FALSE(cs.swapCandidate(0));
+}
+
+TEST(SwapPolicy, FastLoadsDecrementCounter)
+{
+    ContextStack cs(params(16, 200, 10, 5));
+    for (int i = 0; i < 50; ++i)
+        cs.observeLoad(0, 10);
+    // Push thread 1 toward candidacy, then give it fast loads.
+    for (int i = 0; i < 4; ++i)
+        cs.observeLoad(1, 500);
+    EXPECT_FALSE(cs.swapCandidate(1));
+    for (int i = 0; i < 10; ++i)
+        cs.observeLoad(1, 1);
+    for (int i = 0; i < 3; ++i)
+        cs.observeLoad(1, 500);
+    EXPECT_FALSE(cs.swapCandidate(1));
+}
+
+TEST(SwapPolicy, ClearCandidateResets)
+{
+    ContextStack cs(params(16, 200, 10, 3));
+    for (int i = 0; i < 20; ++i)
+        cs.observeLoad(0, 1);
+    for (int i = 0; i < 5; ++i)
+        cs.observeLoad(1, 300);
+    EXPECT_TRUE(cs.swapCandidate(1));
+    cs.clearCandidate(1);
+    EXPECT_FALSE(cs.swapCandidate(1));
+}
+
+TEST(SwapPolicy, UnknownThreadIsNotCandidate)
+{
+    ContextStack cs(params());
+    EXPECT_FALSE(cs.swapCandidate(99));
+}
+
+TEST(ContextStack, SwapLatencyExposed)
+{
+    ContextStack cs(params(16, 123));
+    EXPECT_EQ(cs.swapLatency(), 123u);
+}
+
+} // namespace
+} // namespace capsule::sim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the division controller: the greedy strategy, the
+ * death-rate throttle of Section 3.1 (window N = 128 cycles,
+ * threshold contexts/2), and the StaticFirstK / DenyAll baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/division_ctrl.hh"
+
+namespace capsule::sim
+{
+namespace
+{
+
+DivisionParams
+greedy(int threshold = 4, Cycle window = 128)
+{
+    DivisionParams p;
+    p.policy = DivisionPolicy::Greedy;
+    p.deathThreshold = threshold;
+    p.deathWindow = window;
+    return p;
+}
+
+TEST(Greedy, GrantsWithFreeContext)
+{
+    DivisionController dc(greedy());
+    EXPECT_TRUE(dc.request(100, true));
+    EXPECT_EQ(dc.granted(), 1u);
+}
+
+TEST(Greedy, DeniesWithoutFreeContext)
+{
+    DivisionController dc(greedy());
+    EXPECT_FALSE(dc.request(100, false));
+    EXPECT_EQ(dc.granted(), 0u);
+    EXPECT_EQ(dc.requested(), 1u);
+}
+
+TEST(Greedy, ThrottlesWhenThreadsDieQuickly)
+{
+    DivisionController dc(greedy(/*threshold=*/4));
+    // Five deaths within the window exceed contexts/2 = 4.
+    for (Cycle t = 0; t < 5; ++t)
+        dc.recordDeath(100 + t);
+    EXPECT_FALSE(dc.request(110, true));
+    EXPECT_EQ(dc.throttled(), 1u);
+}
+
+TEST(Greedy, ThresholdIsExclusive)
+{
+    DivisionController dc(greedy(/*threshold=*/4));
+    // Exactly four deaths: not *more* than threshold, so granted.
+    for (Cycle t = 0; t < 4; ++t)
+        dc.recordDeath(100 + t);
+    EXPECT_TRUE(dc.request(110, true));
+}
+
+TEST(Greedy, WindowExpires)
+{
+    DivisionController dc(greedy(4, 128));
+    for (Cycle t = 0; t < 10; ++t)
+        dc.recordDeath(t);
+    EXPECT_FALSE(dc.request(50, true));   // deaths still in window
+    EXPECT_TRUE(dc.request(300, true));   // window slid past them
+    EXPECT_EQ(dc.recentDeaths(300), 0);
+}
+
+TEST(Greedy, RecentDeathsCountsWindowOnly)
+{
+    DivisionController dc(greedy(4, 128));
+    dc.recordDeath(0);
+    dc.recordDeath(100);
+    dc.recordDeath(200);
+    EXPECT_EQ(dc.recentDeaths(200), 2);  // 100 and 200
+}
+
+TEST(NoThrottle, IgnoresDeaths)
+{
+    DivisionParams p;
+    p.policy = DivisionPolicy::GreedyNoThrottle;
+    DivisionController dc(p);
+    for (Cycle t = 0; t < 50; ++t)
+        dc.recordDeath(t);
+    EXPECT_TRUE(dc.request(10, true));
+    EXPECT_FALSE(dc.request(10, false));
+}
+
+TEST(StaticFirstK, GrantsExactlyKMinusOne)
+{
+    DivisionParams p;
+    p.policy = DivisionPolicy::StaticFirstK;
+    p.staticContexts = 8;
+    DivisionController dc(p);
+    int granted = 0;
+    for (int i = 0; i < 100; ++i)
+        granted += dc.request(Cycle(i), true);
+    EXPECT_EQ(granted, 7);
+    EXPECT_EQ(dc.granted(), 7u);
+    EXPECT_EQ(dc.requested(), 100u);
+}
+
+TEST(StaticFirstK, RespectsFreeContexts)
+{
+    DivisionParams p;
+    p.policy = DivisionPolicy::StaticFirstK;
+    p.staticContexts = 8;
+    DivisionController dc(p);
+    EXPECT_FALSE(dc.request(0, false));
+    EXPECT_TRUE(dc.request(1, true));
+}
+
+TEST(DenyAll, NeverGrants)
+{
+    DivisionParams p;
+    p.policy = DivisionPolicy::DenyAll;
+    DivisionController dc(p);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(dc.request(Cycle(i), true));
+    EXPECT_EQ(dc.requested(), 10u);
+    EXPECT_EQ(dc.granted(), 0u);
+}
+
+TEST(DivisionStats, GrantRateFormula)
+{
+    DivisionController dc(greedy());
+    dc.request(0, true);
+    dc.request(1, false);
+    dc.request(2, false);
+    dc.request(3, false);
+    StatGroup g("m");
+    dc.registerStats(g);
+    EXPECT_DOUBLE_EQ(g.get("div.grant_rate"), 0.25);
+    EXPECT_EQ(g.get("div.denied_no_context"), 3.0);
+}
+
+} // namespace
+} // namespace capsule::sim

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for CapISA: opcode classification, encode/decode
+ * round-trips across all instruction formats (parameterised over the
+ * full opcode space), immediate range checking, and disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hh"
+
+namespace capsule::isa
+{
+namespace
+{
+
+TEST(OpClassMap, CapsuleExtensions)
+{
+    EXPECT_EQ(opClassOf(Opcode::NthrOp), OpClass::Nthr);
+    EXPECT_EQ(opClassOf(Opcode::KthrOp), OpClass::Kthr);
+    EXPECT_EQ(opClassOf(Opcode::MlockOp), OpClass::Mlock);
+    EXPECT_EQ(opClassOf(Opcode::MunlockOp), OpClass::Munlock);
+}
+
+TEST(OpClassMap, FunctionalUnits)
+{
+    EXPECT_EQ(opClassOf(Opcode::Add), OpClass::IntAlu);
+    EXPECT_EQ(opClassOf(Opcode::Mul), OpClass::IntMult);
+    EXPECT_EQ(opClassOf(Opcode::Fadd), OpClass::FpAlu);
+    EXPECT_EQ(opClassOf(Opcode::Fmul), OpClass::FpMult);
+    EXPECT_EQ(opClassOf(Opcode::Lw), OpClass::Load);
+    EXPECT_EQ(opClassOf(Opcode::Sd), OpClass::Store);
+    EXPECT_EQ(opClassOf(Opcode::Beq), OpClass::Branch);
+    EXPECT_EQ(opClassOf(Opcode::Jmp), OpClass::Jump);
+}
+
+TEST(AccessSize, LoadsAndStores)
+{
+    EXPECT_EQ(accessSize(Opcode::Lb), 1);
+    EXPECT_EQ(accessSize(Opcode::Lh), 2);
+    EXPECT_EQ(accessSize(Opcode::Lw), 4);
+    EXPECT_EQ(accessSize(Opcode::Ld), 8);
+    EXPECT_EQ(accessSize(Opcode::Fld), 8);
+    EXPECT_EQ(accessSize(Opcode::Add), 0);
+}
+
+TEST(FpRegs, Classification)
+{
+    EXPECT_TRUE(writesFpReg(Opcode::Fadd));
+    EXPECT_TRUE(writesFpReg(Opcode::Fld));
+    EXPECT_FALSE(writesFpReg(Opcode::Fcmp));  // writes an int reg
+    EXPECT_FALSE(writesFpReg(Opcode::Add));
+}
+
+/** Build a representative StaticInst for an opcode. */
+StaticInst
+sampleInst(Opcode op)
+{
+    StaticInst inst;
+    inst.op = op;
+    switch (opClassOf(op)) {
+      case OpClass::Nop:
+      case OpClass::Kthr:
+      case OpClass::Halt:
+        break;
+      case OpClass::IntAlu:
+      case OpClass::IntMult:
+      case OpClass::FpAlu:
+      case OpClass::FpMult:
+        inst.rd = 3;
+        if (op == Opcode::Lui) {
+            inst.imm = 123;
+        } else if (op >= Opcode::Addi && op <= Opcode::Slti) {
+            inst.rs1 = 4;
+            inst.imm = -7;
+        } else {
+            inst.rs1 = 4;
+            inst.rs2 = 5;
+        }
+        break;
+      case OpClass::Load:
+        inst.rd = 6;
+        inst.rs1 = 7;
+        inst.imm = 16;
+        break;
+      case OpClass::Store:
+        inst.rs2 = 8;
+        inst.rs1 = 9;
+        inst.imm = -24;
+        break;
+      case OpClass::Branch:
+        inst.rs1 = 10;
+        inst.rs2 = 11;
+        inst.imm = -100;
+        break;
+      case OpClass::Jump:
+        if (op == Opcode::Jr) {
+            inst.rs1 = 12;
+        } else {
+            if (op == Opcode::Jal)
+                inst.rd = 1;
+            inst.imm = 2000;
+        }
+        break;
+      case OpClass::Nthr:
+        inst.rd = 13;
+        inst.imm = 50;
+        break;
+      case OpClass::Mlock:
+      case OpClass::Munlock:
+        inst.rs1 = 14;
+        break;
+    }
+    return inst;
+}
+
+class EncodeRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EncodeRoundTrip, AllOpcodes)
+{
+    auto op = Opcode(GetParam());
+    StaticInst inst = sampleInst(op);
+    StaticInst back = decode(encode(inst));
+    EXPECT_EQ(inst, back) << "opcode " << mnemonic(op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, EncodeRoundTrip,
+    ::testing::Range(0, int(Opcode::NumOpcodes)),
+    [](const ::testing::TestParamInfo<int> &info) {
+        return std::string(mnemonic(Opcode(info.param)));
+    });
+
+TEST(Encode, ImmediateExtremes)
+{
+    StaticInst inst;
+    inst.op = Opcode::Jmp;
+    inst.imm = (1 << 17) - 1;  // max 18-bit signed
+    EXPECT_EQ(decode(encode(inst)).imm, inst.imm);
+    inst.imm = -(1 << 17);
+    EXPECT_EQ(decode(encode(inst)).imm, inst.imm);
+
+    StaticInst disp;
+    disp.op = Opcode::Lw;
+    disp.rd = 1;
+    disp.rs1 = 2;
+    disp.imm = 2047;  // max 12-bit signed
+    EXPECT_EQ(decode(encode(disp)).imm, 2047);
+    disp.imm = -2048;
+    EXPECT_EQ(decode(encode(disp)).imm, -2048);
+}
+
+TEST(Encode, NoRegSentinelSurvives)
+{
+    StaticInst inst;
+    inst.op = Opcode::Add;
+    inst.rd = 3;
+    inst.rs1 = noReg;
+    inst.rs2 = noReg;
+    StaticInst back = decode(encode(inst));
+    EXPECT_EQ(back.rs1, noReg);
+    EXPECT_EQ(back.rs2, noReg);
+}
+
+TEST(Disasm, RepresentativeForms)
+{
+    StaticInst add = sampleInst(Opcode::Add);
+    EXPECT_EQ(disassemble(add), "add r3, r4, r5");
+
+    StaticInst lw = sampleInst(Opcode::Lw);
+    EXPECT_EQ(disassemble(lw), "lw r6, 16(r7)");
+
+    StaticInst sw = sampleInst(Opcode::Sw);
+    EXPECT_EQ(disassemble(sw), "sw r8, -24(r9)");
+
+    StaticInst beq = sampleInst(Opcode::Beq);
+    EXPECT_EQ(disassemble(beq), "beq r10, r11, -100");
+
+    StaticInst nthr = sampleInst(Opcode::NthrOp);
+    EXPECT_EQ(disassemble(nthr), "nthr r13, 50");
+
+    StaticInst kthr = sampleInst(Opcode::KthrOp);
+    EXPECT_EQ(disassemble(kthr), "kthr");
+
+    StaticInst mlock = sampleInst(Opcode::MlockOp);
+    EXPECT_EQ(disassemble(mlock), "mlock r14");
+}
+
+TEST(Disasm, FpForms)
+{
+    StaticInst fadd = sampleInst(Opcode::Fadd);
+    EXPECT_EQ(disassemble(fadd), "fadd f3, f4, f5");
+}
+
+} // namespace
+} // namespace capsule::isa

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the hardware locking table: grant/conflict
+ * semantics, oldest-waiter handoff, recursion, and quiescence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/lock_table.hh"
+
+namespace capsule::sim
+{
+namespace
+{
+
+TEST(LockTable, GrantOnFreeAddress)
+{
+    LockTable lt;
+    EXPECT_TRUE(lt.acquire(0x100, 1));
+    EXPECT_EQ(lt.owner(0x100), 1);
+    EXPECT_EQ(lt.occupancy(), 1u);
+}
+
+TEST(LockTable, RecursiveAcquireIsIdempotent)
+{
+    LockTable lt;
+    EXPECT_TRUE(lt.acquire(0x100, 1));
+    EXPECT_TRUE(lt.acquire(0x100, 1));
+    EXPECT_EQ(lt.conflicts(), 0u);
+}
+
+TEST(LockTable, ConflictQueuesWaiter)
+{
+    LockTable lt;
+    EXPECT_TRUE(lt.acquire(0x100, 1));
+    EXPECT_FALSE(lt.acquire(0x100, 2));
+    EXPECT_EQ(lt.conflicts(), 1u);
+    EXPECT_EQ(lt.owner(0x100), 1);
+}
+
+TEST(LockTable, OldestWaiterBecomesOwner)
+{
+    LockTable lt;
+    EXPECT_TRUE(lt.acquire(0x100, 1));
+    EXPECT_FALSE(lt.acquire(0x100, 2));
+    EXPECT_FALSE(lt.acquire(0x100, 3));
+    EXPECT_FALSE(lt.acquire(0x100, 4));
+    // Release hands the lock to the *oldest* waiter (thread 2).
+    EXPECT_EQ(lt.release(0x100, 1), 2);
+    EXPECT_EQ(lt.owner(0x100), 2);
+    EXPECT_EQ(lt.release(0x100, 2), 3);
+    EXPECT_EQ(lt.release(0x100, 3), 4);
+    EXPECT_EQ(lt.release(0x100, 4), invalidThread);
+    EXPECT_EQ(lt.occupancy(), 0u);
+}
+
+TEST(LockTable, ReacquireAfterQueueDoesNotDuplicate)
+{
+    LockTable lt;
+    EXPECT_TRUE(lt.acquire(0x100, 1));
+    EXPECT_FALSE(lt.acquire(0x100, 2));
+    EXPECT_FALSE(lt.acquire(0x100, 2));  // re-issued mlock
+    EXPECT_EQ(lt.release(0x100, 1), 2);
+    EXPECT_EQ(lt.release(0x100, 2), invalidThread);
+}
+
+TEST(LockTable, IndependentAddresses)
+{
+    LockTable lt;
+    EXPECT_TRUE(lt.acquire(0x100, 1));
+    EXPECT_TRUE(lt.acquire(0x200, 2));
+    EXPECT_EQ(lt.owner(0x100), 1);
+    EXPECT_EQ(lt.owner(0x200), 2);
+}
+
+TEST(LockTable, CancelWaitRemovesThread)
+{
+    LockTable lt;
+    EXPECT_TRUE(lt.acquire(0x100, 1));
+    EXPECT_FALSE(lt.acquire(0x100, 2));
+    EXPECT_FALSE(lt.acquire(0x100, 3));
+    lt.cancelWait(0x100, 2);
+    EXPECT_EQ(lt.release(0x100, 1), 3);
+}
+
+TEST(LockTable, QuiescenceChecks)
+{
+    LockTable lt;
+    EXPECT_TRUE(lt.threadQuiescent(1));
+    lt.acquire(0x100, 1);
+    EXPECT_FALSE(lt.threadQuiescent(1));
+    lt.acquire(0x100, 2);
+    EXPECT_FALSE(lt.threadQuiescent(2));
+    lt.release(0x100, 1);
+    EXPECT_TRUE(lt.threadQuiescent(1));
+    EXPECT_FALSE(lt.threadQuiescent(2));  // now owner
+    lt.release(0x100, 2);
+    EXPECT_TRUE(lt.threadQuiescent(2));
+}
+
+TEST(LockTable, OwnerOfUnlockedAddress)
+{
+    LockTable lt;
+    EXPECT_EQ(lt.owner(0xdead), invalidThread);
+}
+
+TEST(LockTableDeath, OverflowIsFatal)
+{
+    LockTable lt(2);
+    lt.acquire(0x100, 1);
+    lt.acquire(0x200, 2);
+    EXPECT_EXIT(lt.acquire(0x300, 3),
+                ::testing::ExitedWithCode(1), "overflow");
+}
+
+TEST(LockTableDeath, ReleaseByNonOwnerPanics)
+{
+    LockTable lt;
+    lt.acquire(0x100, 1);
+    EXPECT_DEATH(lt.release(0x100, 2), "non-owner");
+}
+
+TEST(LockTable, StatsRegistration)
+{
+    LockTable lt;
+    lt.acquire(0x100, 1);
+    lt.acquire(0x100, 2);
+    lt.release(0x100, 1);
+    StatGroup g("m");
+    lt.registerStats(g);
+    EXPECT_EQ(g.get("locks.acquires"), 2.0);
+    EXPECT_EQ(g.get("locks.conflicts"), 1.0);
+    EXPECT_EQ(g.get("locks.releases"), 1.0);
+}
+
+} // namespace
+} // namespace capsule::sim

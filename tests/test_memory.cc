@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the sparse simulated memory and the arena allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/arena.hh"
+#include "mem/memory.hh"
+
+namespace capsule::mem
+{
+namespace
+{
+
+TEST(Memory, ZeroInitialised)
+{
+    Memory m;
+    EXPECT_EQ(m.read(0x1234, 8), 0u);
+    EXPECT_EQ(m.pageCount(), 0u);
+}
+
+TEST(Memory, ByteRoundTrip)
+{
+    Memory m;
+    m.writeByte(10, 0xab);
+    EXPECT_EQ(m.readByte(10), 0xab);
+    EXPECT_EQ(m.readByte(11), 0);
+}
+
+TEST(Memory, MultiByteLittleEndian)
+{
+    Memory m;
+    m.write(100, 0x0102030405060708ULL, 8);
+    EXPECT_EQ(m.readByte(100), 0x08);
+    EXPECT_EQ(m.readByte(107), 0x01);
+    EXPECT_EQ(m.read(100, 4), 0x05060708u);
+    EXPECT_EQ(m.read(104, 4), 0x01020304u);
+}
+
+TEST(Memory, CrossPageAccess)
+{
+    Memory m;
+    Addr boundary = Memory::pageBytes - 4;
+    m.write(boundary, 0x1122334455667788ULL, 8);
+    EXPECT_EQ(m.read(boundary, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(m.pageCount(), 2u);
+}
+
+TEST(Memory, DoubleRoundTrip)
+{
+    Memory m;
+    m.writeDouble(64, 3.14159);
+    EXPECT_DOUBLE_EQ(m.readDouble(64), 3.14159);
+}
+
+TEST(Memory, BlockCopy)
+{
+    Memory m;
+    const char text[] = "capsule";
+    m.writeBlock(2000, text, sizeof(text));
+    char out[sizeof(text)] = {};
+    m.readBlock(2000, out, sizeof(text));
+    EXPECT_STREQ(out, "capsule");
+}
+
+TEST(Arena, BumpAndAlign)
+{
+    Arena a(0x1000, 4096);
+    Addr p1 = a.alloc(10, 8);
+    Addr p2 = a.alloc(10, 8);
+    EXPECT_EQ(p1 % 8, 0u);
+    EXPECT_EQ(p2 % 8, 0u);
+    EXPECT_GT(p2, p1);
+    EXPECT_GE(p2 - p1, 10u);
+
+    Addr p3 = a.alloc(1, 64);
+    EXPECT_EQ(p3 % 64, 0u);
+}
+
+TEST(Arena, UsedAndCapacity)
+{
+    Arena a(0, 1024);
+    EXPECT_EQ(a.capacity(), 1024u);
+    a.alloc(100, 1);
+    EXPECT_EQ(a.used(), 100u);
+    a.reset();
+    EXPECT_EQ(a.used(), 0u);
+}
+
+TEST(Arena, ResetReusesAddresses)
+{
+    Arena a(0x2000, 256);
+    Addr p1 = a.alloc(64, 8);
+    a.reset();
+    Addr p2 = a.alloc(64, 8);
+    EXPECT_EQ(p1, p2);
+}
+
+} // namespace
+} // namespace capsule::mem

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Cross-cutting property tests: invariants that must hold across
+ * seeds, configurations and workloads — conservation of committed
+ * instructions, determinism, cache-geometry laws, predictor aliasing
+ * behaviour, encode/decode fuzzing, and division-accounting
+ * consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "casm/assembler.hh"
+#include "front/asm_program.hh"
+#include "isa/isa.hh"
+#include "sim/cache.hh"
+#include "sim/machine.hh"
+#include "workloads/dijkstra.hh"
+#include "workloads/lzw.hh"
+#include "workloads/mcf_route.hh"
+#include "workloads/quicksort.hh"
+
+namespace capsule
+{
+namespace
+{
+
+// ------------------------------------------------------------------
+// ISA: decode(encode(x)) == x under fuzzed fields
+// ------------------------------------------------------------------
+class IsaFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IsaFuzz, EncodeDecodeRoundTripsRandomFields)
+{
+    Rng rng{std::uint64_t(GetParam())};
+    for (int trial = 0; trial < 200; ++trial) {
+        isa::StaticInst inst;
+        inst.op = isa::Opcode(
+            rng.uniform(0, std::uint64_t(isa::Opcode::NumOpcodes) - 1));
+        // Respect the per-format field constraints.
+        switch (isa::opClassOf(inst.op)) {
+          case isa::OpClass::Nop:
+          case isa::OpClass::Kthr:
+          case isa::OpClass::Halt:
+            break;
+          case isa::OpClass::Mlock:
+          case isa::OpClass::Munlock:
+            inst.rs1 = std::uint8_t(rng.uniform(0, 31));
+            break;
+          case isa::OpClass::Jump:
+            if (inst.op == isa::Opcode::Jr) {
+                inst.rs1 = std::uint8_t(rng.uniform(0, 31));
+            } else {
+                if (inst.op == isa::Opcode::Jal)
+                    inst.rd = std::uint8_t(rng.uniform(0, 31));
+                inst.imm =
+                    std::int32_t(rng.uniform(0, (1u << 17) - 1)) -
+                    (1 << 16);
+            }
+            break;
+          case isa::OpClass::Nthr:
+            inst.rd = std::uint8_t(rng.uniform(0, 31));
+            inst.imm = std::int32_t(rng.uniform(0, (1u << 17) - 1)) -
+                       (1 << 16);
+            break;
+          case isa::OpClass::Load:
+            inst.rd = std::uint8_t(rng.uniform(0, 31));
+            inst.rs1 = std::uint8_t(rng.uniform(0, 31));
+            inst.imm = std::int32_t(rng.uniform(0, 4095)) - 2048;
+            break;
+          case isa::OpClass::Store:
+          case isa::OpClass::Branch:
+            inst.rs2 = std::uint8_t(rng.uniform(0, 31));
+            inst.rs1 = std::uint8_t(rng.uniform(0, 31));
+            inst.imm = std::int32_t(rng.uniform(0, 4095)) - 2048;
+            break;
+          default:
+            if (inst.op == isa::Opcode::Lui) {
+                inst.rd = std::uint8_t(rng.uniform(0, 31));
+                inst.imm =
+                    std::int32_t(rng.uniform(0, (1u << 17) - 1)) -
+                    (1 << 16);
+            } else if (inst.op >= isa::Opcode::Addi &&
+                       inst.op <= isa::Opcode::Slti) {
+                inst.rd = std::uint8_t(rng.uniform(0, 31));
+                inst.rs1 = std::uint8_t(rng.uniform(0, 31));
+                inst.imm = std::int32_t(rng.uniform(0, 4095)) - 2048;
+            } else {
+                inst.rd = std::uint8_t(rng.uniform(0, 31));
+                inst.rs1 = std::uint8_t(rng.uniform(0, 31));
+                inst.rs2 = std::uint8_t(rng.uniform(0, 31));
+            }
+            break;
+        }
+        EXPECT_EQ(isa::decode(isa::encode(inst)), inst)
+            << isa::disassemble(inst);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsaFuzz, ::testing::Values(1, 2, 3));
+
+// ------------------------------------------------------------------
+// cache: geometry laws
+// ------------------------------------------------------------------
+TEST(CacheProperty, FullyAssociativeNeverConflictMisses)
+{
+    // 8 lines fully associative: 8 distinct lines fit exactly.
+    sim::CacheParams p{"fa", 256, 8, 32, 1};
+    sim::Cache c(p, nullptr, 100);
+    for (Addr a = 0; a < 8 * 32; a += 32)
+        c.access(a, false);
+    for (Addr a = 0; a < 8 * 32; a += 32)
+        EXPECT_TRUE(c.probe(a));
+}
+
+TEST(CacheProperty, WorkingSetLargerThanCacheThrashes)
+{
+    sim::CacheParams p{"small", 256, 2, 32, 1};
+    sim::Cache c(p, nullptr, 100);
+    // Cycle through 2x the capacity twice: second pass still misses.
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr a = 0; a < 512; a += 32)
+            c.access(a, false);
+    EXPECT_GT(c.missRate(), 0.9);
+}
+
+TEST(CacheProperty, HitRateMonotoneInSize)
+{
+    auto missesFor = [](std::uint64_t bytes) {
+        sim::CacheParams p{"c", bytes, 4, 32, 1};
+        sim::Cache c(p, nullptr, 100);
+        Rng rng(7);
+        for (int i = 0; i < 4000; ++i)
+            c.access(rng.uniform(0, 8 * 1024) & ~31ull, false);
+        return c.misses();
+    };
+    EXPECT_GE(missesFor(1024), missesFor(4096));
+    EXPECT_GE(missesFor(4096), missesFor(16384));
+}
+
+// ------------------------------------------------------------------
+// machine: conservation and determinism under config sweeps
+// ------------------------------------------------------------------
+std::string
+loopProgram(int iters)
+{
+    return "  addi r9, r0, " + std::to_string(iters) +
+           "\n"
+           "top:\n"
+           "  addi r1, r1, 1\n"
+           "  lui r10, 4\n"
+           "  ld r2, 0(r10)\n"
+           "  add r3, r2, r1\n"
+           "  addi r9, r9, -1\n"
+           "  bne r9, r0, top\n"
+           "  halt\n";
+}
+
+class WidthSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WidthSweep, CommittedCountIndependentOfWidths)
+{
+    auto img = casm::Assembler::assembleOrDie(loopProgram(64));
+    auto run = [&](int width) {
+        front::AsmProcess proc(img);
+        auto cfg = sim::MachineConfig::superscalar();
+        cfg.issueWidth = width;
+        cfg.decodeWidth = width;
+        cfg.commitWidth = width;
+        sim::Machine m(cfg);
+        m.addThread(std::make_unique<front::AsmProgram>(proc));
+        return m.run();
+    };
+    auto r = run(GetParam());
+    // The committed count is architectural: the r9 initialiser, 64
+    // iterations of 6 instructions, and the halt.
+    EXPECT_EQ(r.instructions, 2u + 64u * 6u);
+    EXPECT_GT(r.ipc, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(MachineProperty, NarrowerMachineIsNeverFaster)
+{
+    auto img = casm::Assembler::assembleOrDie(loopProgram(128));
+    auto cyclesFor = [&](int width) {
+        front::AsmProcess proc(img);
+        auto cfg = sim::MachineConfig::superscalar();
+        cfg.issueWidth = width;
+        cfg.decodeWidth = width;
+        cfg.commitWidth = width;
+        sim::Machine m(cfg);
+        m.addThread(std::make_unique<front::AsmProgram>(proc));
+        return m.run().cycles;
+    };
+    EXPECT_GE(cyclesFor(1), cyclesFor(2));
+    EXPECT_GE(cyclesFor(2), cyclesFor(4));
+    EXPECT_GE(cyclesFor(4), cyclesFor(8));
+}
+
+TEST(MachineProperty, SlowerMemoryNeverHelps)
+{
+    auto img = casm::Assembler::assembleOrDie(loopProgram(64));
+    auto cyclesFor = [&](Cycle memLat) {
+        front::AsmProcess proc(img);
+        auto cfg = sim::MachineConfig::superscalar();
+        cfg.mem.memLatency = memLat;
+        sim::Machine m(cfg);
+        m.addThread(std::make_unique<front::AsmProgram>(proc));
+        return m.run().cycles;
+    };
+    EXPECT_LE(cyclesFor(50), cyclesFor(200));
+    EXPECT_LE(cyclesFor(200), cyclesFor(800));
+}
+
+// ------------------------------------------------------------------
+// workloads: result invariance across machine configuration
+// ------------------------------------------------------------------
+class ConfigInvariance : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ConfigInvariance, DijkstraDistancesIdenticalOnAllMachines)
+{
+    wl::DijkstraParams p;
+    p.nodes = 100;
+    p.seed = std::uint64_t(GetParam());
+    auto a = wl::runDijkstra(sim::MachineConfig::superscalar(), p);
+    auto b = wl::runDijkstra(sim::MachineConfig::smtStatic(), p);
+    auto c = wl::runDijkstra(sim::MachineConfig::somt(), p);
+    auto d = wl::runDijkstra(sim::MachineConfig::somt(4), p);
+    EXPECT_EQ(a.dist, b.dist);
+    EXPECT_EQ(b.dist, c.dist);
+    EXPECT_EQ(c.dist, d.dist);
+    EXPECT_TRUE(a.correct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigInvariance,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(DivisionAccounting, GrantsNeverExceedRequests)
+{
+    for (int seed = 1; seed <= 4; ++seed) {
+        wl::QuickSortParams p;
+        p.length = 800;
+        p.seed = std::uint64_t(seed);
+        auto r = wl::runQuickSort(sim::MachineConfig::somt(), p);
+        EXPECT_LE(r.stats.divisionsGranted,
+                  r.stats.divisionsRequested);
+        EXPECT_LE(r.stats.divisionsThrottled,
+                  r.stats.divisionsRequested);
+        // Every granted division eventually dies (children only).
+        EXPECT_EQ(r.stats.threadDeaths, r.stats.divisionsGranted);
+    }
+}
+
+TEST(DivisionAccounting, PeakThreadsBoundedByContexts)
+{
+    // Without the context stack, live threads can never exceed the
+    // context count.
+    auto cfg = sim::MachineConfig::somt();
+    cfg.enableContextStack = false;
+    wl::QuickSortParams p;
+    p.length = 1500;
+    auto r = wl::runQuickSort(cfg, p);
+    EXPECT_LE(r.stats.peakLiveThreads, cfg.numContexts);
+    EXPECT_TRUE(r.correct);
+}
+
+TEST(DivisionAccounting, FewerContextsFewerGrantsHigherCycles)
+{
+    wl::McfParams p;
+    p.nodes = 3000;
+    auto c2 = wl::runMcf(sim::MachineConfig::somt(2), p);
+    auto c8 = wl::runMcf(sim::MachineConfig::somt(8), p);
+    EXPECT_TRUE(c2.correct);
+    EXPECT_TRUE(c8.correct);
+    EXPECT_LE(c2.sectionStats.divisionsGranted,
+              c8.sectionStats.divisionsGranted);
+    EXPECT_GE(c2.sectionStats.cycles, c8.sectionStats.cycles);
+}
+
+TEST(LzwProperty, ChunkCountMatchesGrantsPlusOne)
+{
+    // Every granted division creates exactly one more chunk.
+    wl::LzwParams p;
+    p.length = 2048;
+    p.minSplit = 32;
+    auto r = wl::runLzw(sim::MachineConfig::somt(), p);
+    ASSERT_TRUE(r.correct);
+    EXPECT_EQ(std::uint64_t(r.chunks),
+              r.stats.divisionsGranted + 1);
+}
+
+TEST(Determinism, AcrossAllCoreWorkloads)
+{
+    for (int trial = 0; trial < 2; ++trial) {
+        wl::QuickSortParams q;
+        q.length = 600;
+        q.seed = 5;
+        static Cycle qsCycles = 0;
+        auto r = wl::runQuickSort(sim::MachineConfig::somt(), q);
+        if (trial == 0)
+            qsCycles = r.stats.cycles;
+        else
+            EXPECT_EQ(qsCycles, r.stats.cycles);
+    }
+}
+
+} // namespace
+} // namespace capsule

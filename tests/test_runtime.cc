@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests of the coroutine worker runtime: instruction emission order,
+ * value-handle dependences, stable site PCs, the probe protocol
+ * (grant and deny), division prologues, the stack pool, and nested
+ * task composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/exec.hh"
+#include "core/kernel_program.hh"
+#include "core/worker.hh"
+
+namespace capsule::rt
+{
+namespace
+{
+
+using isa::DynInst;
+using isa::OpClass;
+
+/** Drain a program, answering every probe with `grant`. */
+std::vector<DynInst>
+drain(KernelProgram &prog, bool grant,
+      std::vector<std::unique_ptr<front::Program>> *children = nullptr)
+{
+    std::vector<DynInst> out;
+    DynInst inst;
+    while (prog.next(inst)) {
+        out.push_back(inst);
+        if (inst.cls == OpClass::Nthr) {
+            auto child = prog.resolveNthr(grant);
+            if (children && child)
+                children->push_back(std::move(child));
+        }
+        if (out.size() > 100000)
+            ADD_FAILURE() << "runaway emission";
+    }
+    return out;
+}
+
+int
+countClass(const std::vector<DynInst> &v, OpClass cls)
+{
+    int n = 0;
+    for (const auto &inst : v)
+        n += inst.cls == cls;
+    return n;
+}
+
+TEST(Runtime, EmitsProgramOrderAndDeath)
+{
+    Exec exec;
+    KernelProgram prog(
+        exec,
+        [](Worker &w) -> Task {
+            Val a = co_await w.load(0x100);
+            Val b = co_await w.alu(a);
+            co_await w.store(0x108, b);
+        },
+        /*ancestor=*/true);
+    auto insts = drain(prog, false);
+    ASSERT_EQ(insts.size(), 4u);
+    EXPECT_EQ(insts[0].cls, OpClass::Load);
+    EXPECT_EQ(insts[1].cls, OpClass::IntAlu);
+    EXPECT_EQ(insts[2].cls, OpClass::Store);
+    EXPECT_EQ(insts[3].cls, OpClass::Halt);  // ancestor ends in halt
+}
+
+TEST(Runtime, ChildEndsWithKthr)
+{
+    Exec exec;
+    KernelProgram prog(
+        exec, [](Worker &w) -> Task { co_await w.alu(); },
+        /*ancestor=*/false);
+    auto insts = drain(prog, false);
+    ASSERT_FALSE(insts.empty());
+    EXPECT_EQ(insts.back().cls, OpClass::Kthr);
+}
+
+TEST(Runtime, ValueHandlesCarryDependences)
+{
+    Exec exec;
+    KernelProgram prog(
+        exec,
+        [](Worker &w) -> Task {
+            Val a = co_await w.load(0x100);
+            Val b = co_await w.alu(a);
+            co_await w.store(0x200, b);
+        },
+        true);
+    auto insts = drain(prog, false);
+    // alu depends on the load's destination register.
+    EXPECT_EQ(insts[1].rs1, insts[0].rd);
+    // store's source is the alu's destination.
+    EXPECT_EQ(insts[2].rs1, insts[1].rd);
+}
+
+TEST(Runtime, BranchSitesHaveStablePcs)
+{
+    Exec exec;
+    KernelProgram prog(
+        exec,
+        [](Worker &w) -> Task {
+            for (int i = 0; i < 5; ++i)
+                co_await w.branch(7, i < 4);
+            co_await w.branch(9, false);
+        },
+        true);
+    auto insts = drain(prog, false);
+    Addr firstPc = insts[0].pc;
+    for (int i = 1; i < 5; ++i)
+        EXPECT_EQ(insts[std::size_t(i)].pc, firstPc);
+    EXPECT_NE(insts[5].pc, firstPc);  // different site
+}
+
+TEST(Runtime, ComputeEmitsBulk)
+{
+    Exec exec;
+    KernelProgram prog(
+        exec, [](Worker &w) -> Task { co_await w.compute(10); }, true);
+    auto insts = drain(prog, false);
+    EXPECT_EQ(countClass(insts, OpClass::IntAlu), 10);
+}
+
+TEST(Runtime, ChainIsSeriallyDependent)
+{
+    Exec exec;
+    KernelProgram prog(
+        exec,
+        [](Worker &w) -> Task {
+            Val s = co_await w.alu();
+            co_await w.chain(s, 4);
+        },
+        true);
+    auto insts = drain(prog, false);
+    ASSERT_EQ(countClass(insts, OpClass::IntAlu), 5);
+    for (int i = 2; i <= 4; ++i)
+        EXPECT_EQ(insts[std::size_t(i)].rs1,
+                  insts[std::size_t(i - 1)].rd);
+}
+
+TEST(Runtime, ProbeDeniedFallsThrough)
+{
+    Exec exec;
+    bool childRan = false;
+    KernelProgram prog(
+        exec,
+        [&childRan](Worker &w) -> Task {
+            bool granted = co_await w.probe(
+                [&childRan](Worker &cw) -> Task {
+                    childRan = true;
+                    co_await cw.alu();
+                });
+            EXPECT_FALSE(granted);
+            co_await w.alu();
+        },
+        true);
+    std::vector<std::unique_ptr<front::Program>> kids;
+    auto insts = drain(prog, false, &kids);
+    EXPECT_TRUE(kids.empty());
+    EXPECT_FALSE(childRan);
+    EXPECT_EQ(countClass(insts, OpClass::Nthr), 1);
+}
+
+TEST(Runtime, ProbeGrantedSpawnsChildWithPrologues)
+{
+    Exec exec;
+    KernelProgram prog(
+        exec,
+        [](Worker &w) -> Task {
+            bool granted = co_await w.probe(
+                [](Worker &cw) -> Task { co_await cw.compute(3); });
+            EXPECT_TRUE(granted);
+            co_await w.alu();
+        },
+        true);
+    std::vector<std::unique_ptr<front::Program>> kids;
+    auto parentInsts = drain(prog, true, &kids);
+    ASSERT_EQ(kids.size(), 1u);
+
+    // Parent pays its prologue after the grant.
+    int parentOps = countClass(parentInsts, OpClass::IntAlu) +
+                    countClass(parentInsts, OpClass::Load) +
+                    countClass(parentInsts, OpClass::Store);
+    EXPECT_GE(parentOps, exec.parentPrologueOps());
+
+    // Child emits its stack prologue before its body, then kthr.
+    auto *child = dynamic_cast<KernelProgram *>(kids[0].get());
+    ASSERT_NE(child, nullptr);
+    auto childInsts = drain(*child, false);
+    int childWork = int(childInsts.size());
+    EXPECT_GE(childWork, exec.childPrologueOps() + 3);
+    EXPECT_EQ(childInsts.back().cls, OpClass::Kthr);
+}
+
+TEST(Runtime, DivisionOverheadMatchesPaper)
+{
+    // The combined parent+child prologue approximates the measured
+    // ~15 cycles per division of Section 3.2.
+    Exec exec;
+    EXPECT_EQ(exec.parentPrologueOps() + exec.childPrologueOps(), 15);
+}
+
+TEST(Runtime, NestedTasksCompose)
+{
+    Exec exec;
+    KernelProgram prog(
+        exec,
+        [](Worker &w) -> Task {
+            auto inner = [](Worker &iw, int n) -> Task {
+                for (int i = 0; i < n; ++i)
+                    co_await iw.alu();
+            };
+            co_await inner(w, 2);
+            co_await w.store(0x100);
+            co_await inner(w, 3);
+        },
+        true);
+    auto insts = drain(prog, false);
+    EXPECT_EQ(countClass(insts, OpClass::IntAlu), 5);
+    EXPECT_EQ(countClass(insts, OpClass::Store), 1);
+}
+
+TEST(Runtime, StackPoolRecyclesAddresses)
+{
+    Exec exec;
+    Addr a = exec.stacks().take();
+    exec.stacks().give(a);
+    Addr b = exec.stacks().take();
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(exec.stacks().allocated(), 1u);
+    Addr c = exec.stacks().take();
+    EXPECT_NE(b, c);
+    EXPECT_EQ(exec.stacks().allocated(), 2u);
+}
+
+TEST(Runtime, LockUnlockEmission)
+{
+    Exec exec;
+    KernelProgram prog(
+        exec,
+        [](Worker &w) -> Task {
+            co_await w.lock(0x300);
+            co_await w.load(0x300);
+            co_await w.unlock(0x300);
+        },
+        true);
+    auto insts = drain(prog, false);
+    EXPECT_EQ(insts[0].cls, OpClass::Mlock);
+    EXPECT_EQ(insts[0].effAddr, 0x300u);
+    EXPECT_EQ(insts[2].cls, OpClass::Munlock);
+}
+
+TEST(Runtime, FpOpsUseFpRegisters)
+{
+    Exec exec;
+    KernelProgram prog(
+        exec,
+        [](Worker &w) -> Task {
+            Val a = co_await w.loadf(0x100);
+            Val b = co_await w.fmul(a, a);
+            Val c = co_await w.fadd(a, b);
+            co_await w.storef(0x108, c);
+        },
+        true);
+    auto insts = drain(prog, false);
+    EXPECT_TRUE(insts[0].fpRegs);
+    EXPECT_EQ(insts[1].cls, OpClass::FpMult);
+    EXPECT_EQ(insts[2].cls, OpClass::FpAlu);
+    EXPECT_TRUE(insts[3].fpRegs);
+}
+
+} // namespace
+} // namespace capsule::rt

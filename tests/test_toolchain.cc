@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Toolchain tests: the lexer, the Figure-2(a)->(b) pre-processor
+ * (worker expansion, coworker switch, lock insertion), and the
+ * Figure-2(b)->(c) assembly post-processor — including an
+ * end-to-end run where the rewritten assembly is assembled and
+ * executed on the machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "casm/assembler.hh"
+#include "front/asm_program.hh"
+#include "sim/machine.hh"
+#include "toolchain/lexer.hh"
+#include "toolchain/postprocessor.hh"
+#include "toolchain/preprocessor.hh"
+
+namespace capsule::tc
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// lexer
+// ---------------------------------------------------------------
+TEST(Lexer, RoundTripsVerbatim)
+{
+    std::string src = "worker void f(int *p) {\n"
+                      "  // comment\n"
+                      "  p->x = \"str\"; /* multi\nline */ g('c');\n"
+                      "}\n";
+    EXPECT_EQ(emit(lex(src)), src);
+}
+
+TEST(Lexer, TokenKinds)
+{
+    auto toks = lex("abc 123 \"s\" 'c' + //x\n");
+    ASSERT_GE(toks.size(), 8u);
+    EXPECT_EQ(toks[0].kind, Token::Kind::Ident);
+    EXPECT_EQ(toks[2].kind, Token::Kind::Number);
+    EXPECT_EQ(toks[4].kind, Token::Kind::String);
+    EXPECT_EQ(toks[6].kind, Token::Kind::CharLit);
+}
+
+TEST(Lexer, TracksLineNumbers)
+{
+    auto toks = lex("a\nb\nc");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[2].line, 2);
+    EXPECT_EQ(toks[4].line, 3);
+}
+
+TEST(Lexer, EscapedQuotesInStrings)
+{
+    auto toks = lex("\"a\\\"b\"");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].text, "\"a\\\"b\"");
+}
+
+// ---------------------------------------------------------------
+// pre-processor
+// ---------------------------------------------------------------
+
+/** The paper's running example, reduced. */
+const char *dijkstraWorker =
+    "worker void explore(node_t *node, int from, int len) {\n"
+    "  if (len < node->dist) {\n"
+    "    node->dist = len;\n"
+    "    for (int i = 0; i < node->nchildren; i++) {\n"
+    "      coworker explore(node->child[i], node->id,\n"
+    "                       len + node->w[i]);\n"
+    "    }\n"
+    "  }\n"
+    "}\n";
+
+TEST(Preprocessor, RecognisesWorker)
+{
+    Preprocessor pp;
+    auto res = pp.process(dijkstraWorker);
+    ASSERT_TRUE(res.ok) << (res.diagnostics.empty()
+                                ? ""
+                                : res.diagnostics[0]);
+    ASSERT_EQ(res.workers.size(), 1u);
+    EXPECT_EQ(res.workers[0].name, "explore");
+    ASSERT_EQ(res.workers[0].params.size(), 3u);
+    EXPECT_TRUE(res.workers[0].params[0].byAddress);
+    EXPECT_EQ(res.workers[0].params[0].name, "node");
+    EXPECT_FALSE(res.workers[0].params[1].byAddress);
+}
+
+TEST(Preprocessor, GeneratesThreeVersions)
+{
+    Preprocessor pp;
+    auto res = pp.process(dijkstraWorker);
+    EXPECT_NE(res.output.find("explore__seq"), std::string::npos);
+    EXPECT_NE(res.output.find("explore__left"), std::string::npos);
+    EXPECT_NE(res.output.find("explore__right"), std::string::npos);
+    // The worker keyword must not survive into standard C.
+    EXPECT_EQ(res.output.find("worker "), std::string::npos);
+    EXPECT_EQ(res.output.find("coworker"), std::string::npos);
+}
+
+TEST(Preprocessor, CoworkerBecomesProbeSwitch)
+{
+    Preprocessor pp;
+    auto res = pp.process(dijkstraWorker);
+    EXPECT_NE(res.output.find("switch (__capsule_probe())"),
+              std::string::npos);
+    EXPECT_NE(res.output.find("case -1: explore__seq("),
+              std::string::npos);
+    EXPECT_NE(res.output.find("case 0: explore__left("),
+              std::string::npos);
+    EXPECT_NE(res.output.find("case 1: explore__right("),
+              std::string::npos);
+    EXPECT_EQ(res.coworkerCallsRewritten, 3);  // one per version
+}
+
+TEST(Preprocessor, SequentialVersionNeverProbes)
+{
+    Preprocessor pp;
+    auto res = pp.process(dijkstraWorker);
+    // Inside explore__seq the call lowers to a direct call.
+    auto seqBegin = res.output.find("explore__seq(node_t");
+    auto leftBegin = res.output.find("explore__left(node_t");
+    ASSERT_NE(seqBegin, std::string::npos);
+    ASSERT_NE(leftBegin, std::string::npos);
+    std::string seqBody =
+        res.output.substr(seqBegin, leftBegin - seqBegin);
+    EXPECT_EQ(seqBody.find("__capsule_probe"), std::string::npos);
+    EXPECT_NE(seqBody.find("explore__seq(node->child[i]"),
+              std::string::npos);
+}
+
+TEST(Preprocessor, InsertsLocksOnByAddressParams)
+{
+    Preprocessor pp(/*insert_locks=*/true);
+    auto res = pp.process(dijkstraWorker);
+    EXPECT_NE(res.output.find("__mlock(node);"), std::string::npos);
+    EXPECT_NE(res.output.find("__munlock(node);"), std::string::npos);
+    // Scalars are not locked.
+    EXPECT_EQ(res.output.find("__mlock(from)"), std::string::npos);
+    EXPECT_GT(res.locksInserted, 0);
+}
+
+TEST(Preprocessor, LockInsertionCanBeDisabled)
+{
+    Preprocessor pp(/*insert_locks=*/false);
+    auto res = pp.process(dijkstraWorker);
+    EXPECT_EQ(res.output.find("__mlock"), std::string::npos);
+}
+
+TEST(Preprocessor, UnlockPrecedesSpawningSection)
+{
+    // Locks must be released before worker "movement" (the coworker
+    // call), per Section 3.2.
+    Preprocessor pp;
+    auto res = pp.process(dijkstraWorker);
+    auto leftBegin = res.output.find("explore__left(node_t");
+    auto unlockPos = res.output.find("__munlock(node);", leftBegin);
+    auto probePos = res.output.find("__capsule_probe", leftBegin);
+    ASSERT_NE(unlockPos, std::string::npos);
+    ASSERT_NE(probePos, std::string::npos);
+    EXPECT_LT(unlockPos, probePos);
+}
+
+TEST(Preprocessor, RewritesPlainCallsToWorkers)
+{
+    std::string src = std::string(dijkstraWorker) +
+                      "int main() {\n"
+                      "  explore(root, -1, 0);\n"
+                      "  return 0;\n"
+                      "}\n";
+    Preprocessor pp;
+    auto res = pp.process(src);
+    ASSERT_TRUE(res.ok);
+    // The call in main becomes the probe switch too.
+    auto mainBegin = res.output.find("int main()");
+    ASSERT_NE(mainBegin, std::string::npos);
+    EXPECT_NE(res.output.find("switch (__capsule_probe())",
+                              mainBegin),
+              std::string::npos);
+}
+
+TEST(Preprocessor, NonWorkerCodePassesThrough)
+{
+    std::string src = "int add(int a, int b) { return a + b; }\n";
+    Preprocessor pp;
+    auto res = pp.process(src);
+    EXPECT_TRUE(res.ok);
+    EXPECT_EQ(res.output, src);
+}
+
+TEST(Preprocessor, DiagnosesUnknownCoworker)
+{
+    std::string src = "worker void f(int x) { coworker g(x); }\n";
+    Preprocessor pp;
+    auto res = pp.process(src);
+    EXPECT_FALSE(res.ok);
+    ASSERT_FALSE(res.diagnostics.empty());
+    EXPECT_NE(res.diagnostics[0].find("unknown worker"),
+              std::string::npos);
+}
+
+TEST(Preprocessor, MultipleWorkers)
+{
+    std::string src =
+        "worker void a(int *p) { coworker b(p); }\n"
+        "worker void b(int *p) { coworker a(p); }\n";
+    Preprocessor pp;
+    auto res = pp.process(src);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.workers.size(), 2u);
+    EXPECT_NE(res.output.find("b__right"), std::string::npos);
+    EXPECT_NE(res.output.find("a__right"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// post-processor
+// ---------------------------------------------------------------
+
+const char *probeSite = "  jal r31, __capsule_probe\n"
+                        "  addi r2, r0, -1\n"
+                        "  beq r1, r2, Lseq\n"
+                        "  beq r1, r0, Lleft\n"
+                        "  jmp Lright\n";
+
+TEST(Postprocessor, RewritesProbeSite)
+{
+    auto res = postprocess(probeSite);
+    EXPECT_EQ(res.callSitesRewritten, 1);
+    EXPECT_NE(res.output.find("nthr r1, Lright"), std::string::npos);
+    EXPECT_EQ(res.output.find("__capsule_probe"), std::string::npos);
+    EXPECT_NE(res.output.find("beq r1, r2, Lseq"), std::string::npos);
+    EXPECT_NE(res.output.find("jmp Lleft"), std::string::npos);
+}
+
+TEST(Postprocessor, LeavesOtherCodeAlone)
+{
+    std::string src = "  add r1, r2, r3\n  jal r31, helper\n";
+    auto res = postprocess(src);
+    EXPECT_EQ(res.callSitesRewritten, 0);
+    EXPECT_EQ(res.output, src);
+}
+
+TEST(Postprocessor, RewritesMultipleSites)
+{
+    std::string two = std::string(probeSite) + "  nop\n" + probeSite;
+    auto res = postprocess(two);
+    EXPECT_EQ(res.callSitesRewritten, 2);
+}
+
+TEST(Postprocessor, OutputAssemblesAndRunsOnMachine)
+{
+    // A complete conditional-division program in the pre-processed
+    // shape: the probe pattern plus seq/left/right versions that tag
+    // memory so the test can observe which path ran.
+    std::string src = "  lui r10, 8\n"
+                      "entry:\n" +
+                      std::string(probeSite) +
+                      "Lseq:\n"
+                      "  addi r3, r0, 1\n"
+                      "  sd r3, 0(r10)\n"
+                      "  sd r3, 8(r10)\n"
+                      "  halt\n"
+                      "Lleft:\n"
+                      "  addi r4, r0, 2\n"
+                      "  sd r4, 0(r10)\n"
+                      "  halt\n"
+                      "Lright:\n"
+                      "  addi r5, r0, 3\n"
+                      "  sd r5, 8(r10)\n"
+                      "  kthr\n";
+    auto post = postprocess(src);
+    ASSERT_EQ(post.callSitesRewritten, 1);
+
+    auto img = casm::Assembler::assembleOrDie(post.output);
+    front::AsmProcess proc(img);
+
+    // On SOMT the division is granted: left runs in the parent and
+    // right in the child.
+    sim::Machine somt(sim::MachineConfig::somt());
+    somt.addThread(std::make_unique<front::AsmProgram>(proc));
+    auto stats = somt.run();
+    EXPECT_EQ(stats.divisionsGranted, 1u);
+    EXPECT_EQ(proc.memory.read(0x8000, 8), 2u);  // left tag
+    EXPECT_EQ(proc.memory.read(0x8008, 8), 3u);  // right tag
+
+    // On the superscalar the division is denied: sequential path.
+    front::AsmProcess proc2(img);
+    sim::Machine mono(sim::MachineConfig::superscalar());
+    mono.addThread(std::make_unique<front::AsmProgram>(proc2));
+    mono.run();
+    EXPECT_EQ(proc2.memory.read(0x8000, 8), 1u);
+    EXPECT_EQ(proc2.memory.read(0x8008, 8), 1u);
+}
+
+} // namespace
+} // namespace capsule::tc

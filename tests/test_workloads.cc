@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Workload correctness: every componentised algorithm must produce
+ * exactly the golden result under every division policy (superscalar
+ * deny-all, static-K, SOMT greedy), across seeds — parameterised
+ * property tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/bzip_sort.hh"
+#include "workloads/crafty_search.hh"
+#include "workloads/dijkstra.hh"
+#include "workloads/graph.hh"
+#include "workloads/lzw.hh"
+#include "workloads/mcf_route.hh"
+#include "workloads/perceptron.hh"
+#include "workloads/quicksort.hh"
+#include "workloads/vpr_route.hh"
+
+namespace capsule::wl
+{
+namespace
+{
+
+/** gtest parameter names must be alphanumeric. */
+std::string
+sanitize(std::string s)
+{
+    for (char &c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return s;
+}
+
+sim::MachineConfig
+configByName(const std::string &name)
+{
+    if (name == "superscalar")
+        return sim::MachineConfig::superscalar();
+    if (name == "smt-static")
+        return sim::MachineConfig::smtStatic();
+    return sim::MachineConfig::somt();
+}
+
+// ---------------------------------------------------------------
+// graph substrate
+// ---------------------------------------------------------------
+TEST(GraphGen, ReachableAndSized)
+{
+    Rng rng(3);
+    Graph g = Graph::random(200, 3.0, 50, rng);
+    EXPECT_EQ(g.nodes(), 200);
+    EXPECT_GE(g.edges(), 199u);
+    auto dist = shortestPaths(g, 0);
+    int reached = 0;
+    for (auto d : dist)
+        reached += d != unreachable;
+    EXPECT_EQ(reached, 200);  // spanning construction guarantees it
+}
+
+TEST(GraphGen, DeterministicForSeed)
+{
+    Rng a(11), b(11);
+    Graph ga = Graph::random(100, 2.5, 20, a);
+    Graph gb = Graph::random(100, 2.5, 20, b);
+    EXPECT_EQ(ga.edges(), gb.edges());
+    EXPECT_EQ(shortestPaths(ga, 0), shortestPaths(gb, 0));
+}
+
+// ---------------------------------------------------------------
+// Dijkstra
+// ---------------------------------------------------------------
+class DijkstraOnConfig
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(DijkstraOnConfig, MatchesGolden)
+{
+    auto [name, seed] = GetParam();
+    DijkstraParams p;
+    p.nodes = 120;
+    p.seed = std::uint64_t(seed);
+    auto res = runDijkstra(configByName(name), p);
+    EXPECT_TRUE(res.correct) << name << " seed " << seed;
+    EXPECT_GT(res.stats.instructions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSeeds, DijkstraOnConfig,
+    ::testing::Combine(::testing::Values("superscalar", "smt-static",
+                                         "somt"),
+                       ::testing::Values(1, 2, 3)),
+    [](const auto &info) {
+        return sanitize(std::get<0>(info.param)) + "_seed" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Dijkstra, SomtActuallyDivides)
+{
+    DijkstraParams p;
+    p.nodes = 150;
+    auto res = runDijkstra(sim::MachineConfig::somt(), p);
+    EXPECT_GT(res.stats.divisionsGranted, 0u);
+    EXPECT_GT(res.stats.threadDeaths, 0u);
+}
+
+TEST(Dijkstra, StaticGrantsAtMostSeven)
+{
+    DijkstraParams p;
+    p.nodes = 150;
+    auto res = runDijkstra(sim::MachineConfig::smtStatic(8), p);
+    EXPECT_LE(res.stats.divisionsGranted, 7u);
+}
+
+// ---------------------------------------------------------------
+// QuickSort
+// ---------------------------------------------------------------
+class QuickSortDistributions
+    : public ::testing::TestWithParam<ListDistribution>
+{
+};
+
+TEST_P(QuickSortDistributions, SortsCorrectlyOnSomt)
+{
+    QuickSortParams p;
+    p.length = 600;
+    p.distribution = GetParam();
+    auto res = runQuickSort(sim::MachineConfig::somt(), p);
+    EXPECT_TRUE(res.correct)
+        << listDistributionName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, QuickSortDistributions,
+    ::testing::Values(ListDistribution::Uniform,
+                      ListDistribution::Gaussian,
+                      ListDistribution::Exponential,
+                      ListDistribution::NearlySorted,
+                      ListDistribution::FewValues),
+    [](const auto &info) {
+        return sanitize(listDistributionName(info.param));
+    });
+
+TEST(QuickSort, CorrectUnderAllPolicies)
+{
+    for (const char *name : {"superscalar", "smt-static", "somt"}) {
+        QuickSortParams p;
+        p.length = 500;
+        p.seed = 7;
+        auto res = runQuickSort(configByName(name), p);
+        EXPECT_TRUE(res.correct) << name;
+    }
+}
+
+TEST(QuickSort, DivisionObserverSeesGenealogy)
+{
+    QuickSortParams p;
+    p.length = 1000;
+    int divisions = 0;
+    auto res = runQuickSort(sim::MachineConfig::somt(), p,
+                            [&divisions](ThreadId parent,
+                                         ThreadId child) {
+                                EXPECT_LT(parent, child);
+                                ++divisions;
+                            });
+    EXPECT_TRUE(res.correct);
+    EXPECT_EQ(std::uint64_t(divisions),
+              res.stats.divisionsGranted);
+    EXPECT_GT(divisions, 0);
+}
+
+// ---------------------------------------------------------------
+// LZW
+// ---------------------------------------------------------------
+TEST(Lzw, ReferenceRoundTrip)
+{
+    Rng rng(5);
+    auto text = makeText(2000, 16, rng);
+    auto codes = lzwCompress(text, 16);
+    EXPECT_LT(codes.size(), text.size());  // actually compresses
+    EXPECT_EQ(lzwDecompress(codes, 16), text);
+}
+
+TEST(Lzw, EmptyAndTinyInputs)
+{
+    std::vector<std::uint8_t> empty;
+    EXPECT_TRUE(lzwCompress(empty, 16).empty());
+    std::vector<std::uint8_t> one{3};
+    auto codes = lzwCompress(one, 16);
+    EXPECT_EQ(lzwDecompress(codes, 16), one);
+}
+
+class LzwOnConfig : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(LzwOnConfig, RoundTripsUnderPolicy)
+{
+    LzwParams p;
+    p.length = 1024;
+    p.minSplit = 64;
+    auto res = runLzw(configByName(GetParam()), p);
+    EXPECT_TRUE(res.correct) << GetParam();
+    EXPECT_GT(res.chunks, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, LzwOnConfig,
+                         ::testing::Values("superscalar", "smt-static",
+                                           "somt"),
+                         [](const auto &info) {
+                             return sanitize(info.param);
+                         });
+
+// ---------------------------------------------------------------
+// Perceptron
+// ---------------------------------------------------------------
+TEST(Perceptron, MatchesGoldenOnSomt)
+{
+    PerceptronParams p;
+    p.neurons = 400;
+    p.inputs = 4;
+    p.minGroup = 16;
+    auto res = runPerceptron(sim::MachineConfig::somt(), p);
+    EXPECT_TRUE(res.correct);
+    EXPECT_GT(res.stats.divisionsRequested, 0u);
+}
+
+TEST(Perceptron, MatchesGoldenOnSuperscalar)
+{
+    PerceptronParams p;
+    p.neurons = 300;
+    p.inputs = 4;
+    auto res = runPerceptron(sim::MachineConfig::superscalar(), p);
+    EXPECT_TRUE(res.correct);
+}
+
+// ---------------------------------------------------------------
+// SPEC analogues
+// ---------------------------------------------------------------
+TEST(Mcf, TreeSearchMatchesGolden)
+{
+    McfParams p;
+    p.nodes = 2000;
+    for (const char *name : {"superscalar", "somt"}) {
+        auto res = runMcf(configByName(name), p);
+        EXPECT_TRUE(res.correct) << name;
+    }
+}
+
+TEST(Mcf, ProbesAtEveryInternalNode)
+{
+    McfParams p;
+    p.nodes = 3000;
+    auto res = runMcf(sim::MachineConfig::somt(), p);
+    // Requests scale with the tree, not with the grant count.
+    EXPECT_GT(res.sectionStats.divisionsRequested, 500u);
+    EXPECT_GT(res.sectionStats.divisionsGranted, 0u);
+}
+
+TEST(Vpr, ConvergesUnderBothPolicies)
+{
+    VprParams p;  // defaults: 32x32 grid, 16 nets, capacity 2
+    auto seq = runVpr(sim::MachineConfig::superscalar(), p);
+    auto par = runVpr(sim::MachineConfig::somt(), p);
+    EXPECT_TRUE(seq.converged);
+    EXPECT_TRUE(par.converged);
+    EXPECT_GE(par.iterations, 1);
+    EXPECT_GE(seq.iterations, 1);
+}
+
+TEST(Vpr, ParallelNeedsAtLeastAsManyIterations)
+{
+    // The paper's 9-versus-8 observation: concurrent workers see
+    // congestion in a different order and may converge later.
+    VprParams p;
+    auto seq = runVpr(sim::MachineConfig::superscalar(), p);
+    auto par = runVpr(sim::MachineConfig::somt(), p);
+    ASSERT_TRUE(seq.converged);
+    ASSERT_TRUE(par.converged);
+    EXPECT_GE(par.iterations, seq.iterations);
+}
+
+TEST(Bzip, SuffixOrderMatchesGolden)
+{
+    BzipParams p;
+    p.blockBytes = 300;
+    for (const char *name : {"superscalar", "somt"}) {
+        auto res = runBzip(configByName(name), p);
+        EXPECT_TRUE(res.correct) << name;
+    }
+}
+
+TEST(Crafty, MinimaxMatchesGolden)
+{
+    CraftyParams p;
+    p.branching = 3;
+    p.depth = 4;
+    p.poolThreads = 3;
+    auto res = runCrafty(sim::MachineConfig::somt(4), p);
+    EXPECT_TRUE(res.correct);
+}
+
+TEST(Crafty, PoolSpinsWhileWaiting)
+{
+    CraftyParams p;
+    p.branching = 3;
+    p.depth = 5;
+    p.poolThreads = 7;
+    auto res = runCrafty(sim::MachineConfig::somt(8), p);
+    EXPECT_TRUE(res.correct);
+    EXPECT_GT(res.spinIterations, 0u);
+}
+
+// ---------------------------------------------------------------
+// determinism across the board
+// ---------------------------------------------------------------
+TEST(Determinism, SameSeedSameCycles)
+{
+    DijkstraParams p;
+    p.nodes = 100;
+    p.seed = 99;
+    auto a = runDijkstra(sim::MachineConfig::somt(), p);
+    auto b = runDijkstra(sim::MachineConfig::somt(), p);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.instructions, b.stats.instructions);
+    EXPECT_EQ(a.stats.divisionsGranted, b.stats.divisionsGranted);
+}
+
+} // namespace
+} // namespace capsule::wl
