@@ -28,6 +28,8 @@ main(int argc, char **argv)
 {
     auto scale = bench::parseScale(argc, argv);
     bench::banner("design-choice ablations", scale);
+    bench::JsonReport report("ablations", scale);
+    bool allCorrect = true;
 
     // ---- 1. throttle window / threshold ---------------------------
     {
@@ -45,12 +47,16 @@ main(int argc, char **argv)
                 cfg.division.deathWindow = window;
                 cfg.division.deathThreshold = threshold;
                 auto r = wl::runLzw(cfg, p);
+                allCorrect = allCorrect && r.correct;
                 t.addRow({std::to_string(window),
                           std::to_string(threshold),
                           TextTable::count(r.stats.cycles),
                           TextTable::count(r.stats.divisionsGranted),
                           TextTable::count(
                               r.stats.divisionsThrottled)});
+                if (window == 128 && threshold == 4)
+                    report.count("lzw_cycles_paper_throttle",
+                                 r.stats.cycles);
             }
         }
         t.render(std::cout);
@@ -80,9 +86,16 @@ main(int argc, char **argv)
             cfg.enableContextStack = v.enabled;
             cfg.ctxStack.swapLatency = v.swapLatency;
             auto r = wl::runDijkstra(cfg, p);
+            allCorrect = allCorrect && r.correct;
             t.addRow({v.name, TextTable::count(r.stats.cycles),
                       TextTable::count(r.stats.swapsOut),
                       TextTable::count(r.stats.swapsIn)});
+            if (!v.enabled)
+                report.count("dijkstra_cycles_no_ctxstack",
+                             r.stats.cycles);
+            else if (v.swapLatency == 200)
+                report.count("dijkstra_cycles_paper_ctxstack",
+                             r.stats.cycles);
         }
         t.render(std::cout);
         std::printf("\n");
@@ -106,14 +119,21 @@ main(int argc, char **argv)
             cfg.fetchThreadsPerCycle = f.threads;
             cfg.fetchInstsPerThread = f.perThread;
             auto r = wl::runQuickSort(cfg, p);
+            allCorrect = allCorrect && r.correct;
             t.addRow({std::to_string(f.threads),
                       std::to_string(f.perThread),
                       TextTable::count(r.stats.cycles),
                       TextTable::num(r.stats.ipc)});
+            if (f.threads == 4) {
+                report.count("quicksort_cycles_icount44",
+                             r.stats.cycles);
+                report.num("quicksort_ipc_icount44", r.stats.ipc);
+            }
         }
         t.render(std::cout);
         std::printf("paper setting: Icount.4.4 (4 threads x 4 "
                     "instructions)\n");
     }
-    return 0;
+    report.flag("all_correct", allCorrect);
+    return report.write() && allCorrect ? 0 : 1;
 }

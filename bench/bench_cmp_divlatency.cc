@@ -9,8 +9,11 @@
  * reports the relative slowdown.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <iterator>
 
 #include "base/table.hh"
 #include "bench_util.hh"
@@ -30,7 +33,13 @@ main(int argc, char **argv)
 
     TextTable t({"extra division latency", "mcf cycles", "mcf delta",
                  "dijkstra cycles", "dijkstra delta"});
+    bench::JsonReport report("cmp_divlatency", scale);
     Cycle mcfBase = 0, dijBase = 0;
+    double mcfWorst = 0, dijWorst = 0;
+    bool allCorrect = true;
+    auto pct = [](Cycle now, Cycle base) {
+        return (double(now) / double(base) - 1.0) * 100.0;
+    };
     for (Cycle extra : latencies) {
         auto cfg = sim::MachineConfig::somt();
         cfg.divisionExtraLatency = extra;
@@ -38,28 +47,37 @@ main(int argc, char **argv)
         wl::McfParams mp;
         mp.nodes = scale.pick(4000, 12000, 60000);
         mp.seed = scale.seed;
-        auto mcf = wl::runMcf(cfg, mp).sectionStats.cycles;
+        auto mcfRes = wl::runMcf(cfg, mp);
+        auto mcf = mcfRes.sectionStats.cycles;
 
         wl::DijkstraParams dp;
         dp.nodes = scale.pick(150, 400, 1000);
         dp.seed = scale.seed;
-        auto dij = wl::runDijkstra(cfg, dp).stats.cycles;
+        auto dijRes = wl::runDijkstra(cfg, dp);
+        auto dij = dijRes.stats.cycles;
+        allCorrect = allCorrect && mcfRes.correct && dijRes.correct;
 
         if (extra == 0) {
             mcfBase = mcf;
             dijBase = dij;
         }
-        auto delta = [](Cycle now, Cycle base) {
-            return TextTable::num(
-                       (double(now) / double(base) - 1.0) * 100.0, 2) +
-                   "%";
+        auto delta = [&pct](Cycle now, Cycle base) {
+            return TextTable::num(pct(now, base), 2) + "%";
         };
         t.addRow({std::to_string(extra) + " cy",
                   TextTable::count(mcf), delta(mcf, mcfBase),
                   TextTable::count(dij), delta(dij, dijBase)});
+        mcfWorst = std::max(mcfWorst, std::abs(pct(mcf, mcfBase)));
+        dijWorst = std::max(dijWorst, std::abs(pct(dij, dijBase)));
     }
     t.render(std::cout);
     std::printf("\npaper: < 1%% average variation up to 200 cycles "
                 "of division latency\n");
-    return 0;
+
+    report.count("max_extra_latency_cycles",
+                 latencies[std::size(latencies) - 1]);
+    report.num("mcf_worst_delta_pct", mcfWorst);
+    report.num("dijkstra_worst_delta_pct", dijWorst);
+    report.flag("all_correct", allCorrect);
+    return report.write() && allCorrect ? 0 : 1;
 }

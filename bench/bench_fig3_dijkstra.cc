@@ -75,15 +75,9 @@ main(int argc, char **argv)
         std::printf("\n");
     }
 
-    auto mean = [](const std::vector<double> &v) {
-        double s = 0;
-        for (double x : v)
-            s += x;
-        return s / double(v.size());
-    };
-    double mMono = mean(archs[0].cycles);
-    double mStat = mean(archs[1].cycles);
-    double mSomt = mean(archs[2].cycles);
+    double mMono = bench::mean(archs[0].cycles);
+    double mStat = bench::mean(archs[1].cycles);
+    double mSomt = bench::mean(archs[2].cycles);
 
     TextTable t({"comparison", "measured", "paper"});
     t.addRow({"component vs superscalar",
@@ -91,10 +85,19 @@ main(int argc, char **argv)
     t.addRow({"component vs static SMT",
               TextTable::num(mStat / mSomt) + "x", "1.23x"});
     t.render(std::cout);
+    int wrong = 0;
     for (const auto &arch : archs) {
         if (arch.wrong)
             std::printf("WARNING: %d incorrect results on %s\n",
                         arch.wrong, arch.name);
+        wrong += arch.wrong;
     }
-    return 0;
+
+    bench::JsonReport report("fig3_dijkstra", scale);
+    report.count("graphs", std::uint64_t(graphs));
+    report.count("nodes", std::uint64_t(nodes));
+    bench::reportThreeArchComparison(report, archs[0].cycles,
+                                     archs[1].cycles, archs[2].cycles,
+                                     wrong == 0);
+    return report.write() && wrong == 0 ? 0 : 1;
 }

@@ -77,28 +77,29 @@ main(int argc, char **argv)
         std::printf("\n");
     }
 
-    auto mean = [](const std::vector<double> &v) {
-        double s = 0;
-        for (double x : v)
-            s += x;
-        return s / double(v.size());
-    };
+    double mMono = bench::mean(archs[0].cycles);
+    double mStat = bench::mean(archs[1].cycles);
+    double mSomt = bench::mean(archs[2].cycles);
+
     TextTable t({"comparison", "measured", "paper"});
     t.addRow({"component vs superscalar",
-              TextTable::num(mean(archs[0].cycles) /
-                             mean(archs[2].cycles)) +
-                  "x",
-              "2.93x"});
+              TextTable::num(mMono / mSomt) + "x", "2.93x"});
     t.addRow({"component vs static SMT",
-              TextTable::num(mean(archs[1].cycles) /
-                             mean(archs[2].cycles)) +
-                  "x",
-              "2.51x"});
+              TextTable::num(mStat / mSomt) + "x", "2.51x"});
     t.render(std::cout);
+    int wrong = 0;
     for (const auto &arch : archs) {
         if (arch.wrong)
             std::printf("WARNING: %d incorrect results on %s\n",
                         arch.wrong, arch.name);
+        wrong += arch.wrong;
     }
-    return 0;
+
+    bench::JsonReport report("fig5_quicksort", scale);
+    report.count("lists", std::uint64_t(lists));
+    report.count("length", std::uint64_t(length));
+    bench::reportThreeArchComparison(report, archs[0].cycles,
+                                     archs[1].cycles, archs[2].cycles,
+                                     wrong == 0);
+    return report.write() && wrong == 0 ? 0 : 1;
 }

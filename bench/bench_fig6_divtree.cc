@@ -68,5 +68,15 @@ main(int argc, char **argv)
     dot.render(f);
     std::printf("DOT written to %s (render with: dot -Tpdf %s)\n",
                 path, path);
-    return 0;
+
+    bench::JsonReport report("fig6_divtree", scale);
+    report.str("distribution", "exponential");
+    report.count("list_length", std::uint64_t(p.length));
+    report.count("divisions_requested", res.stats.divisionsRequested);
+    report.count("divisions_granted", res.stats.divisionsGranted);
+    report.count("genealogy_nodes", dot.nodeCount());
+    report.count("genealogy_edges", dot.edgeCount());
+    report.count("max_fanout", maxFanout);
+    report.flag("all_correct", res.correct);
+    return report.write() && res.correct ? 0 : 1;
 }

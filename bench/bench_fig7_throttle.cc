@@ -30,6 +30,8 @@ main(int argc, char **argv)
 
     TextTable t({"benchmark", "throttled cycles", "greedy cycles",
                  "throttle benefit", "throttle denials", "correct"});
+    bench::JsonReport report("fig7_throttle", scale);
+    bool allCorrect = true;
 
     {
         wl::LzwParams p;
@@ -46,6 +48,13 @@ main(int argc, char **argv)
                       "x",
                   TextTable::count(with.stats.divisionsThrottled),
                   with.correct && without.correct ? "yes" : "NO"});
+        report.num("lzw_throttle_benefit",
+                   double(without.stats.cycles) /
+                       double(with.stats.cycles));
+        report.count("lzw_throttle_denials",
+                     with.stats.divisionsThrottled);
+        report.flag("lzw_correct", with.correct && without.correct);
+        allCorrect = allCorrect && with.correct && without.correct;
     }
     {
         wl::PerceptronParams p;
@@ -64,9 +73,18 @@ main(int argc, char **argv)
                       "x",
                   TextTable::count(with.stats.divisionsThrottled),
                   with.correct && without.correct ? "yes" : "NO"});
+        report.num("perceptron_throttle_benefit",
+                   double(without.stats.cycles) /
+                       double(with.stats.cycles));
+        report.count("perceptron_throttle_denials",
+                     with.stats.divisionsThrottled);
+        report.flag("perceptron_correct",
+                    with.correct && without.correct);
+        allCorrect = allCorrect && with.correct && without.correct;
     }
     t.render(std::cout);
     std::printf("\npaper: both benchmarks benefit from dynamic "
                 "division throttling (Figure 7)\n");
-    return 0;
+    report.flag("all_correct", allCorrect);
+    return report.write() && allCorrect ? 0 : 1;
 }

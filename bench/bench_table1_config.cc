@@ -85,5 +85,18 @@ main(int argc, char **argv)
     std::printf("division throttle threshold: deaths in window > "
                 "contexts/2 = %d\n",
                 somt.division.deathThreshold);
-    return 0;
+
+    bench::JsonReport report("table1_config", scale);
+    report.count("somt_contexts", std::uint64_t(somt.numContexts));
+    report.count("fetch_width", std::uint64_t(somt.fetchWidth));
+    report.count("issue_width", std::uint64_t(somt.issueWidth));
+    report.count("ruu_size", std::uint64_t(somt.ruuSize));
+    report.count("context_stack_entries",
+                 std::uint64_t(somt.ctxStack.entries));
+    report.count("context_stack_bytes", stackBytes);
+    report.count("division_death_window",
+                 std::uint64_t(somt.division.deathWindow));
+    report.count("division_death_threshold",
+                 std::uint64_t(somt.division.deathThreshold));
+    return report.write() ? 0 : 1;
 }

@@ -35,43 +35,58 @@ main(int argc, char **argv)
     struct Row
     {
         const char *name;
+        const char *key;  ///< identifier-safe name for JSON
         double paperFraction;
         const char *paperLines;
         Cycle section;
     };
     std::vector<Row> rows;
+    bool allCorrect = true;
 
     {
         wl::McfParams p;
         p.nodes = scale.pick(4000, 12000, 60000);
         p.seed = scale.seed;
-        rows.push_back({"181.mcf", 0.45, "174 lines / 2 functions",
-                        wl::runMcf(mono, p).sectionStats.cycles});
+        auto res = wl::runMcf(mono, p);
+        allCorrect = allCorrect && res.correct;
+        rows.push_back({"181.mcf", "mcf", 0.45,
+                        "174 lines / 2 functions",
+                        res.sectionStats.cycles});
     }
     {
         wl::VprParams p;
         p.seed = scale.seed;
-        rows.push_back({"175.vpr", 0.93, "624 lines / 10 functions",
-                        wl::runVpr(mono, p).sectionStats.cycles});
+        auto res = wl::runVpr(mono, p);
+        allCorrect = allCorrect && res.converged;
+        rows.push_back({"175.vpr", "vpr", 0.93,
+                        "624 lines / 10 functions",
+                        res.sectionStats.cycles});
     }
     {
         wl::BzipParams p;
         p.blockBytes = scale.pick(512, 1024, 4096);
         p.seed = scale.seed;
-        rows.push_back({"256.bzip2", 0.20, "317 lines / 3 functions",
-                        wl::runBzip(mono, p).sectionStats.cycles});
+        auto res = wl::runBzip(mono, p);
+        allCorrect = allCorrect && res.correct;
+        rows.push_back({"256.bzip2", "bzip2", 0.20,
+                        "317 lines / 3 functions",
+                        res.sectionStats.cycles});
     }
     {
         wl::CraftyParams p;
         p.branching = 3;
         p.depth = scale.pick(4, 5, 6);
         p.seed = scale.seed;
-        rows.push_back({"186.crafty", 1.00, "201 lines / 8 functions",
-                        wl::runCrafty(mono, p).stats.cycles});
+        auto res = wl::runCrafty(mono, p);
+        allCorrect = allCorrect && res.correct;
+        rows.push_back({"186.crafty", "crafty", 1.00,
+                        "201 lines / 8 functions",
+                        res.stats.cycles});
     }
 
     TextTable t({"benchmark", "paper modified", "paper % exec",
                  "measured % exec (calibrated)"});
+    bench::JsonReport report("table2_sections", scale);
     for (const auto &r : rows) {
         Cycle serial = 0;
         if (r.paperFraction < 1.0) {
@@ -89,7 +104,12 @@ main(int argc, char **argv)
         t.addRow({r.name, r.paperLines,
                   TextTable::pct(r.paperFraction),
                   TextTable::pct(measured)});
+        report.num(std::string(r.key) + "_paper_fraction",
+                   r.paperFraction);
+        report.num(std::string(r.key) + "_measured_fraction",
+                   measured);
     }
     t.render(std::cout);
-    return 0;
+    report.flag("all_correct", allCorrect);
+    return report.write() && allCorrect ? 0 : 1;
 }

@@ -1,8 +1,10 @@
 #include "bench_util.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include "workloads/harness.hh"
 
@@ -21,14 +23,47 @@ parseScale(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--seed") == 0 &&
                    i + 1 < argc) {
             s.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            s.json = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--paper|--quick] [--seed N]\n",
+                         "usage: %s [--paper|--quick] [--seed N] "
+                         "[--json FILE]\n",
                          argv[0]);
             std::exit(2);
         }
     }
     return s;
+}
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0;
+    for (double x : v)
+        s += x;
+    return s / double(v.size());
+}
+
+void
+reportThreeArchComparison(JsonReport &report,
+                          const std::vector<double> &superscalar,
+                          const std::vector<double> &smtStatic,
+                          const std::vector<double> &somt,
+                          bool allCorrect)
+{
+    double mMono = mean(superscalar);
+    double mStat = mean(smtStatic);
+    double mSomt = mean(somt);
+    report.num("mean_cycles_superscalar", mMono);
+    report.num("mean_cycles_smt_static", mStat);
+    report.num("mean_cycles_somt_component", mSomt);
+    report.num("speedup_vs_superscalar", mMono / mSomt);
+    report.num("speedup_vs_smt_static", mStat / mSomt);
+    report.flag("all_correct", allCorrect);
 }
 
 std::uint64_t
@@ -63,6 +98,106 @@ banner(const std::string &what, const Scale &scale)
                 scale.paper ? "paper" : scale.quick ? "quick"
                                                     : "default",
                 (unsigned long long)scale.seed);
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              unsigned(static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+JsonReport::JsonReport(std::string artifact, const Scale &scale)
+    : path_(scale.json), artifact_(std::move(artifact)),
+      scaleName_(scale.paper ? "paper" : scale.quick ? "quick"
+                                                     : "default"),
+      seed_(scale.seed)
+{
+}
+
+void
+JsonReport::num(const std::string &key, double value)
+{
+    // JSON has no nan/inf literals; emit null so the file stays
+    // parseable.
+    if (!std::isfinite(value)) {
+        metrics_.emplace_back(key, "null");
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    metrics_.emplace_back(key, buf);
+}
+
+void
+JsonReport::count(const std::string &key, std::uint64_t value)
+{
+    metrics_.emplace_back(key, std::to_string(value));
+}
+
+void
+JsonReport::flag(const std::string &key, bool value)
+{
+    metrics_.emplace_back(key, value ? "true" : "false");
+}
+
+void
+JsonReport::str(const std::string &key, const std::string &value)
+{
+    metrics_.emplace_back(key, '"' + jsonEscape(value) + '"');
+}
+
+bool
+JsonReport::write() const
+{
+    if (path_.empty())
+        return true;  // nothing requested, nothing to fail
+    std::ofstream f(path_);
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+        return false;
+    }
+    f << "{\n";
+    f << "  \"artifact\": \"" << jsonEscape(artifact_) << "\",\n";
+    f << "  \"scale\": \"" << scaleName_ << "\",\n";
+    f << "  \"seed\": " << seed_ << ",\n";
+    f << "  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        f << (i ? ",\n    " : "\n    ") << '"'
+          << jsonEscape(metrics_[i].first) << "\": "
+          << metrics_[i].second;
+    }
+    f << "\n  }\n}\n";
+    f.flush();
+    if (!f.good()) {
+        std::fprintf(stderr, "error writing %s\n", path_.c_str());
+        return false;
+    }
+    std::printf("JSON metrics written to %s\n", path_.c_str());
+    return true;
 }
 
 } // namespace capsule::bench

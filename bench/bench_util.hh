@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/machine.hh"
 
@@ -24,6 +26,7 @@ struct Scale
     bool paper = false;   ///< full published data-set sizes
     bool quick = false;   ///< CI-fast sizes
     std::uint64_t seed = 1;
+    std::string json;     ///< write headline metrics here (empty = off)
 
     /** Pick by scale: quick / default / paper. */
     template <typename T>
@@ -34,8 +37,60 @@ struct Scale
     }
 };
 
-/** Parse --paper / --quick / --seed N; exits on unknown flags. */
+/** Parse --paper / --quick / --seed N / --json FILE; exits on unknown
+ *  flags. */
 Scale parseScale(int argc, char **argv);
+
+/**
+ * Machine-readable record of a harness's headline metrics. Each
+ * harness fills one of these alongside its human-readable tables;
+ * write() emits it to the --json path (the bench-all target passes
+ * one per harness, producing the BENCH_*.json perf trajectory).
+ */
+class JsonReport
+{
+  public:
+    JsonReport(std::string artifact, const Scale &scale);
+
+    /** Record a floating-point metric (speedups, percentages). */
+    void num(const std::string &key, double value);
+    /** Record an integer metric (cycle/event counts). */
+    void count(const std::string &key, std::uint64_t value);
+    /** Record a boolean metric (correctness flags). */
+    void flag(const std::string &key, bool value);
+    /** Record a string metric. */
+    void str(const std::string &key, const std::string &value);
+
+    /**
+     * Write the report to the --json path. Returns false only on an
+     * open/write failure (no --json path is a successful no-op), so
+     * harnesses can use it as their exit status.
+     */
+    bool write() const;
+
+  private:
+    std::string path_;
+    std::string artifact_;
+    std::string scaleName_;
+    std::uint64_t seed_;
+    /// key -> already-serialised JSON value, in insertion order.
+    std::vector<std::pair<std::string, std::string>> metrics_;
+};
+
+/** Mean of a sample vector (0 when empty). */
+double mean(const std::vector<double> &v);
+
+/**
+ * Record the standard three-architecture comparison the figure
+ * harnesses share (superscalar vs static SMT vs component-on-SOMT):
+ * mean cycles per machine, the two component speedups, and the
+ * correctness flag.
+ */
+void reportThreeArchComparison(JsonReport &report,
+                               const std::vector<double> &superscalar,
+                               const std::vector<double> &smtStatic,
+                               const std::vector<double> &somt,
+                               bool allCorrect);
 
 /**
  * Compute the serial-section instruction budget whose simulated time

@@ -61,5 +61,19 @@ main(int argc, char **argv)
     t.render(std::cout);
     std::printf("\npaper: iteration speedup 2.47x -> 3.5x when "
                 "doubling cache size and ports (overall 3.0x)\n");
-    return 0;
+
+    bench::JsonReport report("vpr_cache", scale);
+    report.num("iter_speedup_somt", perIter(base) / perIter(small));
+    report.num("iter_speedup_somt_2xcache",
+               perIter(base) / perIter(wide));
+    report.num("run_speedup_somt",
+               double(base.sectionStats.cycles) /
+                   double(small.sectionStats.cycles));
+    report.num("run_speedup_somt_2xcache",
+               double(base.sectionStats.cycles) /
+                   double(wide.sectionStats.cycles));
+    bool allConverged =
+        base.converged && small.converged && wide.converged;
+    report.flag("all_correct", allConverged);
+    return report.write() && allConverged ? 0 : 1;
 }

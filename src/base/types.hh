@@ -6,6 +6,13 @@
 #ifndef CAPSULE_BASE_TYPES_HH
 #define CAPSULE_BASE_TYPES_HH
 
+// Fail early and legibly on a wrong -std= flag: without this, the
+// first symptoms are opaque errors deep inside the coroutine header
+// ("requires -fcoroutines") or on defaulted operator== in isa.hh.
+#if __cplusplus < 202002L
+#error "CAPSULE requires C++20 (coroutines, defaulted operator==): compile with -std=c++20 or newer"
+#endif
+
 #include <cstdint>
 
 namespace capsule
