@@ -10,6 +10,8 @@
  *     cheap swaps) on Dijkstra.
  *  3. Fetch-policy pressure: threads fetched per cycle (Icount.4.4's
  *     "4" against 1, 2 and 8) on QuickSort.
+ *
+ * Each ablation is one declarative sweep on the experiment engine.
  */
 
 #include <cstdio>
@@ -17,6 +19,7 @@
 
 #include "base/table.hh"
 #include "bench_util.hh"
+#include "harness/experiment.hh"
 #include "workloads/dijkstra.hh"
 #include "workloads/lzw.hh"
 #include "workloads/quicksort.hh"
@@ -29,6 +32,7 @@ main(int argc, char **argv)
     auto scale = bench::parseScale(argc, argv);
     bench::banner("design-choice ablations", scale);
     bench::JsonReport report("ablations", scale);
+    auto runner = scale.runner();
     bool allCorrect = true;
 
     // ---- 1. throttle window / threshold ---------------------------
@@ -41,12 +45,27 @@ main(int argc, char **argv)
         p.length = scale.pick(1024, 2048, 4096);
         p.minSplit = 16;
         p.seed = scale.seed;
-        for (Cycle window : {32u, 128u, 512u}) {
-            for (int threshold : {2, 4, 8}) {
+
+        const Cycle windows[] = {32, 128, 512};
+        const int thresholds[] = {2, 4, 8};
+        std::vector<harness::SweepPoint> points;
+        for (Cycle window : windows) {
+            for (int threshold : thresholds) {
                 auto cfg = sim::MachineConfig::somt();
                 cfg.division.deathWindow = window;
                 cfg.division.deathThreshold = threshold;
-                auto r = wl::runLzw(cfg, p);
+                harness::SweepPoint pt;
+                pt.label = "lzw/w" + std::to_string(window) + "/t" +
+                           std::to_string(threshold);
+                pt.run = [cfg, p] { return wl::runLzw(cfg, p); };
+                points.push_back(std::move(pt));
+            }
+        }
+        auto results = runner.run(points);
+        std::size_t i = 0;
+        for (Cycle window : windows) {
+            for (int threshold : thresholds) {
+                const auto &r = results[i++];
                 allCorrect = allCorrect && r.correct;
                 t.addRow({std::to_string(window),
                           std::to_string(threshold),
@@ -78,14 +97,26 @@ main(int argc, char **argv)
             bool enabled;
             Cycle swapLatency;
         };
-        for (auto v : {Variant{"off", false, 200},
-                       Variant{"paper (200 cy)", true, 200},
-                       Variant{"fast swap (15 cy)", true, 15},
-                       Variant{"slow swap (800 cy)", true, 800}}) {
+        const std::vector<Variant> variants{
+            {"off", false, 200},
+            {"paper (200 cy)", true, 200},
+            {"fast swap (15 cy)", true, 15},
+            {"slow swap (800 cy)", true, 800}};
+
+        std::vector<harness::SweepPoint> points;
+        for (const auto &v : variants) {
             auto cfg = sim::MachineConfig::somt();
             cfg.enableContextStack = v.enabled;
             cfg.ctxStack.swapLatency = v.swapLatency;
-            auto r = wl::runDijkstra(cfg, p);
+            harness::SweepPoint pt;
+            pt.label = std::string("dijkstra/") + v.name;
+            pt.run = [cfg, p] { return wl::runDijkstra(cfg, p); };
+            points.push_back(std::move(pt));
+        }
+        auto results = runner.run(points);
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            const auto &v = variants[i];
+            const auto &r = results[i];
             allCorrect = allCorrect && r.correct;
             t.addRow({v.name, TextTable::count(r.stats.cycles),
                       TextTable::count(r.stats.swapsOut),
@@ -114,11 +145,22 @@ main(int argc, char **argv)
             int threads;
             int perThread;
         };
-        for (auto f : {F{1, 16}, F{2, 8}, F{4, 4}, F{8, 2}}) {
+        const std::vector<F> fetches{{1, 16}, {2, 8}, {4, 4}, {8, 2}};
+
+        std::vector<harness::SweepPoint> points;
+        for (const auto &f : fetches) {
             auto cfg = sim::MachineConfig::somt();
             cfg.fetchThreadsPerCycle = f.threads;
             cfg.fetchInstsPerThread = f.perThread;
-            auto r = wl::runQuickSort(cfg, p);
+            harness::SweepPoint pt;
+            pt.label = "quicksort/fetch" + std::to_string(f.threads);
+            pt.run = [cfg, p] { return wl::runQuickSort(cfg, p); };
+            points.push_back(std::move(pt));
+        }
+        auto results = runner.run(points);
+        for (std::size_t i = 0; i < fetches.size(); ++i) {
+            const auto &f = fetches[i];
+            const auto &r = results[i];
             allCorrect = allCorrect && r.correct;
             t.addRow({std::to_string(f.threads),
                       std::to_string(f.perThread),

@@ -5,8 +5,9 @@
  * latencies up to 200 cycles and observed an average performance
  * variation below 1 %, because even mcf (the highest grant ratio)
  * divides only once every ~3.7K instructions. This harness sweeps
- * the extra division latency on the mcf analogue and on Dijkstra and
- * reports the relative slowdown.
+ * the extra division latency on the mcf analogue and on Dijkstra
+ * (one experiment-engine sweep over all latency points) and reports
+ * the relative slowdown.
  */
 
 #include <algorithm>
@@ -17,6 +18,7 @@
 
 #include "base/table.hh"
 #include "bench_util.hh"
+#include "harness/experiment.hh"
 #include "workloads/dijkstra.hh"
 #include "workloads/mcf_route.hh"
 
@@ -31,6 +33,29 @@ main(int argc, char **argv)
 
     const Cycle latencies[] = {0, 25, 50, 100, 200};
 
+    wl::McfParams mp;
+    mp.nodes = scale.pick(4000, 12000, 60000);
+    mp.seed = scale.seed;
+
+    wl::DijkstraParams dp;
+    dp.nodes = scale.pick(150, 400, 1000);
+    dp.seed = scale.seed;
+
+    std::vector<harness::SweepPoint> points;
+    for (Cycle extra : latencies) {
+        auto cfg = sim::MachineConfig::somt();
+        cfg.divisionExtraLatency = extra;
+        harness::SweepPoint mcfPt;
+        mcfPt.label = "mcf/lat" + std::to_string(extra);
+        mcfPt.run = [cfg, mp] { return wl::runMcf(cfg, mp); };
+        points.push_back(std::move(mcfPt));
+        harness::SweepPoint dijPt;
+        dijPt.label = "dijkstra/lat" + std::to_string(extra);
+        dijPt.run = [cfg, dp] { return wl::runDijkstra(cfg, dp); };
+        points.push_back(std::move(dijPt));
+    }
+    auto results = scale.runner().run(points);
+
     TextTable t({"extra division latency", "mcf cycles", "mcf delta",
                  "dijkstra cycles", "dijkstra delta"});
     bench::JsonReport report("cmp_divlatency", scale);
@@ -40,22 +65,12 @@ main(int argc, char **argv)
     auto pct = [](Cycle now, Cycle base) {
         return (double(now) / double(base) - 1.0) * 100.0;
     };
-    for (Cycle extra : latencies) {
-        auto cfg = sim::MachineConfig::somt();
-        cfg.divisionExtraLatency = extra;
-
-        wl::McfParams mp;
-        mp.nodes = scale.pick(4000, 12000, 60000);
-        mp.seed = scale.seed;
-        auto mcfRes = wl::runMcf(cfg, mp);
-        auto mcf = mcfRes.sectionStats.cycles;
-
-        wl::DijkstraParams dp;
-        dp.nodes = scale.pick(150, 400, 1000);
-        dp.seed = scale.seed;
-        auto dijRes = wl::runDijkstra(cfg, dp);
-        auto dij = dijRes.stats.cycles;
-        allCorrect = allCorrect && mcfRes.correct && dijRes.correct;
+    for (std::size_t i = 0; i < std::size(latencies); ++i) {
+        Cycle extra = latencies[i];
+        auto mcf = results[2 * i].stats.cycles;
+        auto dij = results[2 * i + 1].stats.cycles;
+        allCorrect = allCorrect && results[2 * i].correct &&
+                     results[2 * i + 1].correct;
 
         if (extra == 0) {
             mcfBase = mcf;

@@ -6,6 +6,11 @@
  * 1000 nodes and reports component speedups of 1.23x over the static
  * version and 2.51x over the superscalar, with visibly lower
  * variance for the component version.
+ *
+ * The sweep is declared point-by-point and executed by the
+ * experiment engine on --jobs host threads; results come back in
+ * submission order, so the rendered artifact is independent of the
+ * job count.
  */
 
 #include <cstdio>
@@ -15,7 +20,7 @@
 #include "base/histogram.hh"
 #include "base/table.hh"
 #include "bench_util.hh"
-#include "workloads/dijkstra.hh"
+#include "harness/experiment.hh"
 
 using namespace capsule;
 
@@ -27,37 +32,44 @@ main(int argc, char **argv)
                   scale);
 
     int graphs = scale.pick(10, 40, 100);
-    int nodes = scale.pick(150, 400, 1000);
+    // Must match the "dijkstra" registry factory's sizing
+    // (src/workloads/workload.cc) — the sweep runs through it.
+    int nodes = wl::pickByScale(scale.level(), 150, 400, 1000);
     std::printf("%d random graphs of %d nodes each\n\n", graphs,
                 nodes);
 
     struct Arch
     {
         const char *name;
+        const char *workload;
         sim::MachineConfig cfg;
         std::vector<double> cycles;
         int wrong = 0;
     };
+    // The superscalar row is the *normal* imperative Dijkstra
+    // (central list); the SMT rows run the component program
+    // (Section 2's three-way comparison).
     std::vector<Arch> archs{
-        {"superscalar", sim::MachineConfig::superscalar(), {}, 0},
-        {"smt-static", sim::MachineConfig::smtStatic(), {}, 0},
-        {"somt-component", sim::MachineConfig::somt(), {}, 0},
+        {"superscalar", "dijkstra-normal",
+         sim::MachineConfig::superscalar(), {}, 0},
+        {"smt-static", "dijkstra", sim::MachineConfig::smtStatic(),
+         {}, 0},
+        {"somt-component", "dijkstra", sim::MachineConfig::somt(),
+         {}, 0},
     };
 
-    for (int g = 0; g < graphs; ++g) {
-        wl::DijkstraParams p;
-        p.nodes = nodes;
-        p.seed = scale.seed + std::uint64_t(g);
-        for (auto &arch : archs) {
-            // The superscalar row is the *normal* imperative
-            // Dijkstra (central list); the SMT rows run the
-            // component program (Section 2's three-way comparison).
-            auto res = std::string(arch.name) == "superscalar"
-                           ? wl::runDijkstraNormal(arch.cfg, p)
-                           : wl::runDijkstra(arch.cfg, p);
-            arch.cycles.push_back(double(res.stats.cycles));
-            arch.wrong += !res.correct;
-        }
+    std::vector<harness::SweepPoint> points;
+    for (int g = 0; g < graphs; ++g)
+        for (const auto &arch : archs)
+            points.push_back(harness::registryPoint(
+                arch.workload, arch.cfg,
+                scale.request(scale.seed + std::uint64_t(g))));
+
+    auto results = scale.runner().run(points);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        auto &arch = archs[i % archs.size()];
+        arch.cycles.push_back(double(results[i].stats.cycles));
+        arch.wrong += !results[i].correct;
     }
 
     double lo = 1e300, hi = 0;

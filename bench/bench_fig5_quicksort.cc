@@ -3,7 +3,9 @@
  * Figure 5 — distribution of execution time for QuickSort over many
  * lists of varied distributions. The paper runs 500 lists and
  * reports component speedups of 2.51x over the static version and
- * 2.93x over the superscalar.
+ * 2.93x over the superscalar. The list x architecture sweep runs on
+ * the experiment engine (--jobs host threads, order-independent
+ * output).
  */
 
 #include <cstdio>
@@ -13,6 +15,7 @@
 #include "base/histogram.hh"
 #include "base/table.hh"
 #include "bench_util.hh"
+#include "harness/experiment.hh"
 #include "workloads/quicksort.hh"
 
 using namespace capsule;
@@ -50,16 +53,27 @@ main(int argc, char **argv)
         {"somt-component", sim::MachineConfig::somt(), {}, 0},
     };
 
+    std::vector<harness::SweepPoint> points;
     for (int i = 0; i < lists; ++i) {
         wl::QuickSortParams p;
         p.length = length;
         p.distribution = dists[i % 5];
         p.seed = scale.seed + std::uint64_t(i);
-        for (auto &arch : archs) {
-            auto res = wl::runQuickSort(arch.cfg, p);
-            arch.cycles.push_back(double(res.stats.cycles));
-            arch.wrong += !res.correct;
+        for (const auto &arch : archs) {
+            harness::SweepPoint pt;
+            pt.label = std::string(arch.name) + "/list" +
+                       std::to_string(i);
+            auto cfg = arch.cfg;
+            pt.run = [cfg, p] { return wl::runQuickSort(cfg, p); };
+            points.push_back(std::move(pt));
         }
+    }
+
+    auto results = scale.runner().run(points);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        auto &arch = archs[i % archs.size()];
+        arch.cycles.push_back(double(results[i].stats.cycles));
+        arch.wrong += !results[i].correct;
     }
 
     double lo = 1e300, hi = 0;

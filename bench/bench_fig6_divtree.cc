@@ -14,6 +14,7 @@
 
 #include "base/dot.hh"
 #include "bench_util.hh"
+#include "harness/experiment.hh"
 #include "workloads/quicksort.hh"
 
 using namespace capsule;
@@ -33,15 +34,22 @@ main(int argc, char **argv)
     DotGraph dot("quicksort_divisions");
     std::map<ThreadId, std::vector<ThreadId>> children;
     dot.addNode("t0", "worker 0 (ancestor)");
-    auto res = wl::runQuickSort(
-        sim::MachineConfig::somt(), p,
-        [&](ThreadId parent, ThreadId child) {
-            dot.addNode("t" + std::to_string(child),
-                        "worker " + std::to_string(child));
-            dot.addEdge("t" + std::to_string(parent),
-                        "t" + std::to_string(child));
-            children[parent].push_back(child);
-        });
+    // A one-point sweep: the experiment engine runs single points
+    // inline, so the genealogy observer needs no synchronisation.
+    harness::SweepPoint pt;
+    pt.label = "quicksort/divtree";
+    pt.run = [&] {
+        return wl::runQuickSort(
+            sim::MachineConfig::somt(), p,
+            [&](ThreadId parent, ThreadId child) {
+                dot.addNode("t" + std::to_string(child),
+                            "worker " + std::to_string(child));
+                dot.addEdge("t" + std::to_string(parent),
+                            "t" + std::to_string(child));
+                children[parent].push_back(child);
+            });
+    };
+    auto res = scale.runner().run({pt}).front();
 
     std::printf("list length %d -> %llu divisions granted of %llu "
                 "requested, result %s\n",

@@ -4,7 +4,8 @@
  * (N=4096-character sequence recursively halved) and Perceptron
  * (10000 neurons split in half) both perform little processing per
  * split opportunity; the death-rate throttle must win against the
- * throttle-free greedy strategy.
+ * throttle-free greedy strategy. The four (workload, policy) points
+ * run as one sweep on the experiment engine.
  */
 
 #include <cstdio>
@@ -12,6 +13,7 @@
 
 #include "base/table.hh"
 #include "bench_util.hh"
+#include "harness/experiment.hh"
 #include "workloads/lzw.hh"
 #include "workloads/perceptron.hh"
 
@@ -28,59 +30,58 @@ main(int argc, char **argv)
     noThrottle.division.policy = sim::DivisionPolicy::GreedyNoThrottle;
     noThrottle.name = "somt-nothrottle";
 
+    wl::LzwParams lp;
+    lp.length = scale.pick(1024, 4096, 4096);
+    lp.minSplit = 2;  // tiny parallel sections
+    lp.seed = scale.seed;
+
+    wl::PerceptronParams pp;
+    pp.neurons = scale.pick(1000, 4000, 10000);
+    pp.inputs = 1;
+    pp.minGroup = 1;  // tiny groups
+    pp.seed = scale.seed;
+
+    std::vector<harness::SweepPoint> points{
+        {"lzw/throttled", [&] { return wl::runLzw(somt, lp); }},
+        {"lzw/greedy", [&] { return wl::runLzw(noThrottle, lp); }},
+        {"perceptron/throttled",
+         [&] { return wl::runPerceptron(somt, pp); }},
+        {"perceptron/greedy",
+         [&] { return wl::runPerceptron(noThrottle, pp); }},
+    };
+    auto results = scale.runner().run(points);
+
     TextTable t({"benchmark", "throttled cycles", "greedy cycles",
                  "throttle benefit", "throttle denials", "correct"});
     bench::JsonReport report("fig7_throttle", scale);
     bool allCorrect = true;
 
+    struct Pair
     {
-        wl::LzwParams p;
-        p.length = scale.pick(1024, 4096, 4096);
-        p.minSplit = 2;  // tiny parallel sections
-        p.seed = scale.seed;
-        auto with = wl::runLzw(somt, p);
-        auto without = wl::runLzw(noThrottle, p);
-        t.addRow({"LZW (N=" + std::to_string(p.length) + ")",
-                  TextTable::count(with.stats.cycles),
+        std::string name;
+        const char *key;
+        const wl::WorkloadResult &with;
+        const wl::WorkloadResult &without;
+    };
+    for (const auto &[name, key, with, without] :
+         {Pair{"LZW (N=" + std::to_string(lp.length) + ")", "lzw",
+               results[0], results[1]},
+          Pair{"Perceptron (" + std::to_string(pp.neurons) +
+                   " neurons)",
+               "perceptron", results[2], results[3]}}) {
+        double benefit = double(without.stats.cycles) /
+                         double(with.stats.cycles);
+        bool correct = with.correct && without.correct;
+        t.addRow({name, TextTable::count(with.stats.cycles),
                   TextTable::count(without.stats.cycles),
-                  TextTable::num(double(without.stats.cycles) /
-                                 double(with.stats.cycles)) +
-                      "x",
+                  TextTable::num(benefit) + "x",
                   TextTable::count(with.stats.divisionsThrottled),
-                  with.correct && without.correct ? "yes" : "NO"});
-        report.num("lzw_throttle_benefit",
-                   double(without.stats.cycles) /
-                       double(with.stats.cycles));
-        report.count("lzw_throttle_denials",
+                  correct ? "yes" : "NO"});
+        report.num(std::string(key) + "_throttle_benefit", benefit);
+        report.count(std::string(key) + "_throttle_denials",
                      with.stats.divisionsThrottled);
-        report.flag("lzw_correct", with.correct && without.correct);
-        allCorrect = allCorrect && with.correct && without.correct;
-    }
-    {
-        wl::PerceptronParams p;
-        p.neurons = scale.pick(1000, 4000, 10000);
-        p.inputs = 1;
-        p.minGroup = 1;  // tiny groups
-        p.seed = scale.seed;
-        auto with = wl::runPerceptron(somt, p);
-        auto without = wl::runPerceptron(noThrottle, p);
-        t.addRow({"Perceptron (" + std::to_string(p.neurons) +
-                      " neurons)",
-                  TextTable::count(with.stats.cycles),
-                  TextTable::count(without.stats.cycles),
-                  TextTable::num(double(without.stats.cycles) /
-                                 double(with.stats.cycles)) +
-                      "x",
-                  TextTable::count(with.stats.divisionsThrottled),
-                  with.correct && without.correct ? "yes" : "NO"});
-        report.num("perceptron_throttle_benefit",
-                   double(without.stats.cycles) /
-                       double(with.stats.cycles));
-        report.count("perceptron_throttle_denials",
-                     with.stats.divisionsThrottled);
-        report.flag("perceptron_correct",
-                    with.correct && without.correct);
-        allCorrect = allCorrect && with.correct && without.correct;
+        report.flag(std::string(key) + "_correct", correct);
+        allCorrect = allCorrect && correct;
     }
     t.render(std::cout);
     std::printf("\npaper: both benchmarks benefit from dynamic "

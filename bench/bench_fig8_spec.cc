@@ -8,6 +8,10 @@
  * the paper's crafty context sweep (4-context SOMT 2.3x vs
  * 8-context 1.7x) showing software thread pools degrading with more
  * contexts.
+ *
+ * Two sweeps on the experiment engine: the componentised sections
+ * (both machines, all analogues), then — once the section baselines
+ * are known — the calibrated serial remainders.
  */
 
 #include <cstdio>
@@ -15,6 +19,7 @@
 
 #include "base/table.hh"
 #include "bench_util.hh"
+#include "harness/experiment.hh"
 #include "workloads/bzip_sort.hh"
 #include "workloads/crafty_search.hh"
 #include "workloads/mcf_route.hh"
@@ -76,123 +81,92 @@ main(int argc, char **argv)
 
     auto mono = sim::MachineConfig::superscalar();
     auto somt = sim::MachineConfig::somt();
+
+    wl::McfParams mcfP;
+    mcfP.nodes = scale.pick(4000, 20000, 60000);
+    mcfP.seed = scale.seed;
+
+    wl::VprParams vprP;
+    vprP.grid = scale.pick(32, 32, 64);
+    vprP.nets = scale.pick(12, 16, 48);
+    vprP.seed = scale.seed;
+
+    wl::BzipParams bzipP;
+    bzipP.blockBytes = scale.pick(512, 1200, 4096);
+    bzipP.seed = scale.seed;
+
+    wl::CraftyParams craftyP;
+    craftyP.branching = scale.pick(3, 4, 4);
+    craftyP.depth = scale.pick(5, 6, 7);
+    craftyP.seed = scale.seed;
+    craftyP.poolThreads = 7;
+    auto craftyP4 = craftyP;
+    craftyP4.poolThreads = 3;
+
+    // ---- sweep 1: the componentised sections ----------------------
+    std::vector<harness::SweepPoint> sections{
+        {"mcf/superscalar", [&] { return wl::runMcf(mono, mcfP); }},
+        {"mcf/somt", [&] { return wl::runMcf(somt, mcfP); }},
+        {"vpr/superscalar", [&] { return wl::runVpr(mono, vprP); }},
+        {"vpr/somt", [&] { return wl::runVpr(somt, vprP); }},
+        {"bzip2/superscalar",
+         [&] { return wl::runBzip(mono, bzipP); }},
+        {"bzip2/somt", [&] { return wl::runBzip(somt, bzipP); }},
+        // crafty's pool never spawns on the superscalar
+        {"crafty8/superscalar",
+         [&] { return wl::runCrafty(mono, craftyP); }},
+        {"crafty8/somt",
+         [&] { return wl::runCrafty(somt, craftyP); }},
+        {"crafty4/somt",
+         [&] {
+             return wl::runCrafty(sim::MachineConfig::somt(4),
+                                  craftyP4);
+         }},
+    };
+    auto runner = scale.runner();
+    auto res = runner.run(sections);
+
+    // ---- sweep 2: calibrated serial remainders (Table 2) ----------
+    auto serials = runner.run({
+        bench::serialRemainderPoint(mono, res[0].stats.cycles, 0.45,
+                                    "mcf/serial"),
+        bench::serialRemainderPoint(mono, res[2].stats.cycles, 0.93,
+                                    "vpr/serial"),
+        bench::serialRemainderPoint(mono, res[4].stats.cycles, 0.20,
+                                    "bzip2/serial"),
+    });
+
     std::vector<Row> rows;
-
-    // ---- 181.mcf: parallel route-planning tree search (45 %) ------
-    {
-        wl::McfParams p;
-        p.nodes = scale.pick(4000, 20000, 60000);
-        p.seed = scale.seed;
-        auto base = wl::runMcf(mono, p);
-        auto fast = wl::runMcf(somt, p);
+    auto addRow = [&rows](std::string name, std::string key,
+                          const wl::WorkloadResult &base,
+                          const wl::WorkloadResult &fast,
+                          Cycle serial, std::string paper) {
         Row r;
-        r.name = "181.mcf (tree search)";
-        r.key = "mcf";
-        r.sectionBase = base.sectionStats.cycles;
-        r.sectionSomt = fast.sectionStats.cycles;
-        // Table 2: componentised section is 45 % of execution.
-        Cycle target =
-            Cycle(double(r.sectionBase) * (1.0 - 0.45) / 0.45);
-        auto serialOps = bench::calibrateSerialOps(mono, target);
-        rt::Exec e2;
-        r.serial = wl::simulate(mono, e2,
-                                wl::serialSection(e2, serialOps))
-                       .stats.cycles;
-        r.paperOverall = "~1.2x (45% section)";
-        r.correct = base.correct && fast.correct;
-        rows.push_back(r);
-    }
-
-    // ---- 175.vpr: FPGA routing (93 %) -------------------------------
-    {
-        wl::VprParams p;
-        p.grid = scale.pick(32, 32, 64);
-        p.nets = scale.pick(12, 16, 48);
-        p.seed = scale.seed;
-        auto base = wl::runVpr(mono, p);
-        auto fast = wl::runVpr(somt, p);
-        Row r;
-        r.name = "175.vpr (routing)";
-        r.key = "vpr";
-        r.sectionBase = base.sectionStats.cycles;
-        r.sectionSomt = fast.sectionStats.cycles;
-        Cycle target =
-            Cycle(double(r.sectionBase) * (1.0 - 0.93) / 0.93);
-        auto serialOps = bench::calibrateSerialOps(mono, target);
-        rt::Exec e2;
-        r.serial = wl::simulate(mono, e2,
-                                wl::serialSection(e2, serialOps))
-                       .stats.cycles;
-        r.paperOverall = "2.x (93% section; 3.0 w/ 2x cache)";
-        r.correct = base.converged && fast.converged;
-        rows.push_back(r);
-        std::printf("vpr iterations: sequential %d, parallel %d "
-                    "(paper: 8 vs 9)\n",
-                    base.iterations, fast.iterations);
-    }
-
-    // ---- 256.bzip2: block-sorting string sort (20 %) ---------------
-    {
-        wl::BzipParams p;
-        p.blockBytes = scale.pick(512, 1200, 4096);
-        p.seed = scale.seed;
-        auto base = wl::runBzip(mono, p);
-        auto fast = wl::runBzip(somt, p);
-        Row r;
-        r.name = "256.bzip2 (string sort)";
-        r.key = "bzip2";
-        r.sectionBase = base.sectionStats.cycles;
-        r.sectionSomt = fast.sectionStats.cycles;
-        Cycle target =
-            Cycle(double(r.sectionBase) * (1.0 - 0.20) / 0.20);
-        auto serialOps = bench::calibrateSerialOps(mono, target);
-        rt::Exec e2;
-        r.serial = wl::simulate(mono, e2,
-                                wl::serialSection(e2, serialOps))
-                       .stats.cycles;
-        r.paperOverall = "~1.1-1.2x (20% section)";
-        r.correct = base.correct && fast.correct;
-        rows.push_back(r);
-    }
-
-    // ---- 186.crafty: pthread-pool game tree (100 %) -----------------
-    Cycle craftyBase = 0;
-    {
-        wl::CraftyParams p;
-        p.branching = scale.pick(3, 4, 4);
-        p.depth = scale.pick(5, 6, 7);
-        p.seed = scale.seed;
-        p.poolThreads = 7;
-        auto base = wl::runCrafty(mono, p);  // pool never spawns
-        craftyBase = base.stats.cycles;
-        auto fast = wl::runCrafty(somt, p);
-        Row r;
-        r.name = "186.crafty (8-ctx pool)";
-        r.key = "crafty_8ctx";
+        r.name = std::move(name);
+        r.key = std::move(key);
         r.sectionBase = base.stats.cycles;
         r.sectionSomt = fast.stats.cycles;
-        r.serial = 0;  // 100 % of execution is the search
-        r.paperOverall = "1.7x";
+        r.serial = serial;
+        r.paperOverall = std::move(paper);
         r.correct = base.correct && fast.correct;
         rows.push_back(r);
-    }
-    {
-        wl::CraftyParams p;
-        p.branching = scale.pick(3, 4, 4);
-        p.depth = scale.pick(5, 6, 7);
-        p.seed = scale.seed;
-        p.poolThreads = 3;
-        auto fast = wl::runCrafty(sim::MachineConfig::somt(4), p);
-        Row r;
-        r.name = "186.crafty (4-ctx pool)";
-        r.key = "crafty_4ctx";
-        r.sectionBase = craftyBase;
-        r.sectionSomt = fast.stats.cycles;
-        r.serial = 0;
-        r.paperOverall = "2.3x (beats 8-ctx)";
-        r.correct = fast.correct;
-        rows.push_back(r);
-    }
+    };
+    addRow("181.mcf (tree search)", "mcf", res[0], res[1],
+           serials[0].stats.cycles, "~1.2x (45% section)");
+    addRow("175.vpr (routing)", "vpr", res[2], res[3],
+           serials[1].stats.cycles,
+           "2.x (93% section; 3.0 w/ 2x cache)");
+    std::printf("vpr iterations: sequential %d, parallel %d "
+                "(paper: 8 vs 9)\n",
+                int(res[2].metric("iterations")),
+                int(res[3].metric("iterations")));
+    addRow("256.bzip2 (string sort)", "bzip2", res[4], res[5],
+           serials[2].stats.cycles, "~1.1-1.2x (20% section)");
+    addRow("186.crafty (8-ctx pool)", "crafty_8ctx", res[6], res[7],
+           0, "1.7x");
+    // The 4-context pool shares the superscalar baseline.
+    addRow("186.crafty (4-ctx pool)", "crafty_4ctx", res[6], res[8],
+           0, "2.3x (beats 8-ctx)");
 
     std::printf("\n");
     printRows(rows);

@@ -7,6 +7,10 @@
  * calibrated serial phase), so the harness reports the measured
  * section share next to the paper's numbers, plus the size of each
  * analogue's componentised kernel in this repository.
+ *
+ * The four section simulations run as one sweep on the experiment
+ * engine; the calibrated serial phases (which depend on the measured
+ * section lengths) run as a second sweep.
  */
 
 #include <cstdio>
@@ -14,6 +18,7 @@
 
 #include "base/table.hh"
 #include "bench_util.hh"
+#include "harness/experiment.hh"
 #include "workloads/bzip_sort.hh"
 #include "workloads/crafty_search.hh"
 #include "workloads/mcf_route.hh"
@@ -38,75 +43,70 @@ main(int argc, char **argv)
         const char *key;  ///< identifier-safe name for JSON
         double paperFraction;
         const char *paperLines;
-        Cycle section;
     };
-    std::vector<Row> rows;
-    bool allCorrect = true;
+    const std::vector<Row> rows{
+        {"181.mcf", "mcf", 0.45, "174 lines / 2 functions"},
+        {"175.vpr", "vpr", 0.93, "624 lines / 10 functions"},
+        {"256.bzip2", "bzip2", 0.20, "317 lines / 3 functions"},
+        {"186.crafty", "crafty", 1.00, "201 lines / 8 functions"},
+    };
 
-    {
-        wl::McfParams p;
-        p.nodes = scale.pick(4000, 12000, 60000);
-        p.seed = scale.seed;
-        auto res = wl::runMcf(mono, p);
-        allCorrect = allCorrect && res.correct;
-        rows.push_back({"181.mcf", "mcf", 0.45,
-                        "174 lines / 2 functions",
-                        res.sectionStats.cycles});
+    wl::McfParams mcfP;
+    mcfP.nodes = scale.pick(4000, 12000, 60000);
+    mcfP.seed = scale.seed;
+    wl::VprParams vprP;
+    vprP.seed = scale.seed;
+    wl::BzipParams bzipP;
+    bzipP.blockBytes = scale.pick(512, 1024, 4096);
+    bzipP.seed = scale.seed;
+    wl::CraftyParams craftyP;
+    craftyP.branching = 3;
+    craftyP.depth = scale.pick(4, 5, 6);
+    craftyP.seed = scale.seed;
+
+    std::vector<harness::SweepPoint> points{
+        {"mcf/section", [&] { return wl::runMcf(mono, mcfP); }},
+        {"vpr/section", [&] { return wl::runVpr(mono, vprP); }},
+        {"bzip2/section", [&] { return wl::runBzip(mono, bzipP); }},
+        {"crafty/section",
+         [&] { return wl::runCrafty(mono, craftyP); }},
+    };
+    auto runner = scale.runner();
+    auto sections = runner.run(points);
+
+    bool allCorrect = true;
+    for (const auto &s : sections)
+        allCorrect = allCorrect && s.correct;
+
+    // Serial phases for every row whose section share is below 100 %.
+    std::vector<harness::SweepPoint> serialPoints;
+    std::vector<int> serialIdx(rows.size(), -1);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (rows[i].paperFraction >= 1.0)
+            continue;
+        serialIdx[i] = int(serialPoints.size());
+        serialPoints.push_back(bench::serialRemainderPoint(
+            mono, sections[i].stats.cycles, rows[i].paperFraction,
+            std::string(rows[i].key) + "/serial"));
     }
-    {
-        wl::VprParams p;
-        p.seed = scale.seed;
-        auto res = wl::runVpr(mono, p);
-        allCorrect = allCorrect && res.converged;
-        rows.push_back({"175.vpr", "vpr", 0.93,
-                        "624 lines / 10 functions",
-                        res.sectionStats.cycles});
-    }
-    {
-        wl::BzipParams p;
-        p.blockBytes = scale.pick(512, 1024, 4096);
-        p.seed = scale.seed;
-        auto res = wl::runBzip(mono, p);
-        allCorrect = allCorrect && res.correct;
-        rows.push_back({"256.bzip2", "bzip2", 0.20,
-                        "317 lines / 3 functions",
-                        res.sectionStats.cycles});
-    }
-    {
-        wl::CraftyParams p;
-        p.branching = 3;
-        p.depth = scale.pick(4, 5, 6);
-        p.seed = scale.seed;
-        auto res = wl::runCrafty(mono, p);
-        allCorrect = allCorrect && res.correct;
-        rows.push_back({"186.crafty", "crafty", 1.00,
-                        "201 lines / 8 functions",
-                        res.stats.cycles});
-    }
+    auto serials = runner.run(serialPoints);
 
     TextTable t({"benchmark", "paper modified", "paper % exec",
                  "measured % exec (calibrated)"});
     bench::JsonReport report("table2_sections", scale);
-    for (const auto &r : rows) {
-        Cycle serial = 0;
-        if (r.paperFraction < 1.0) {
-            Cycle target = Cycle(double(r.section) *
-                                 (1.0 - r.paperFraction) /
-                                 r.paperFraction);
-            auto ops = bench::calibrateSerialOps(mono, target);
-            rt::Exec e;
-            serial = wl::simulate(mono, e,
-                                  wl::serialSection(e, ops))
-                         .stats.cycles;
-        }
-        double measured =
-            double(r.section) / double(r.section + serial);
-        t.addRow({r.name, r.paperLines,
-                  TextTable::pct(r.paperFraction),
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        Cycle section = sections[i].stats.cycles;
+        Cycle serial = serialIdx[i] >= 0
+                           ? serials[std::size_t(serialIdx[i])]
+                                 .stats.cycles
+                           : 0;
+        double measured = double(section) / double(section + serial);
+        t.addRow({rows[i].name, rows[i].paperLines,
+                  TextTable::pct(rows[i].paperFraction),
                   TextTable::pct(measured)});
-        report.num(std::string(r.key) + "_paper_fraction",
-                   r.paperFraction);
-        report.num(std::string(r.key) + "_measured_fraction",
+        report.num(std::string(rows[i].key) + "_paper_fraction",
+                   rows[i].paperFraction);
+        report.num(std::string(rows[i].key) + "_measured_fraction",
                    measured);
     }
     t.render(std::cout);

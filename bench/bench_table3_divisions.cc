@@ -6,6 +6,7 @@
  * reports mcf as the outlier with the highest grant ratio (40 %, one
  * division every ~3.7K instructions, testing division at every tree
  * node) with vpr and bzip2 far sparser (4 % / 4.5M and 6 % / 30M).
+ * The three analogues run as one sweep on the experiment engine.
  */
 
 #include <cstdio>
@@ -13,6 +14,7 @@
 
 #include "base/table.hh"
 #include "bench_util.hh"
+#include "harness/experiment.hh"
 #include "workloads/bzip_sort.hh"
 #include "workloads/mcf_route.hh"
 #include "workloads/vpr_route.hh"
@@ -44,73 +46,67 @@ main(int argc, char **argv)
     bench::banner("Table 3 (division statistics)", scale);
 
     auto somt = sim::MachineConfig::somt();
+
+    wl::McfParams mcfP;
+    mcfP.nodes = scale.pick(4000, 20000, 60000);
+    mcfP.seed = scale.seed;
+
+    // Denser routing problem than the Figure-8 run so the probe
+    // stream saturates the contexts (the Table-3 regime).
+    wl::VprParams vprP;
+    vprP.grid = scale.pick(32, 48, 64);
+    vprP.nets = scale.pick(16, 32, 64);
+    vprP.capacity = 3;
+    vprP.seed = scale.seed;
+
+    wl::BzipParams bzipP;
+    bzipP.blockBytes = scale.pick(1024, 4096, 8192);
+    bzipP.seed = scale.seed;
+
+    std::vector<harness::SweepPoint> points{
+        {"mcf/somt", [&] { return wl::runMcf(somt, mcfP); }},
+        {"vpr/somt", [&] { return wl::runVpr(somt, vprP); }},
+        {"bzip2/somt", [&] { return wl::runBzip(somt, bzipP); }},
+    };
+    auto results = scale.runner().run(points);
+
     TextTable t({"benchmark", "requested", "allowed", "% allowed",
                  "insts/division", "paper"});
     bench::JsonReport report("table3_divisions", scale);
-    auto record = [&report](const char *key, const auto &r) {
-        report.count(std::string(key) + "_requested",
+    bool allCorrect = true;
+
+    struct Line
+    {
+        const char *key;
+        const char *paper;
+    };
+    const Line lines[] = {
+        {"mcf", "99,598 req / 40% / 3.7K"},
+        {"vpr", "67,560 req / 4% / 4.5M"},
+        {"bzip2", "38,656 req / 6% / 30M"},
+    };
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i].stats;
+        allCorrect = allCorrect && results[i].correct;
+        t.addRow({lines[i].key,
+                  TextTable::count(r.divisionsRequested),
+                  TextTable::count(r.divisionsGranted),
+                  TextTable::pct(double(r.divisionsGranted) /
+                                 double(r.divisionsRequested)),
+                  perDivision(r.instructions, r.divisionsGranted),
+                  lines[i].paper});
+        report.count(std::string(lines[i].key) + "_requested",
                      r.divisionsRequested);
-        report.count(std::string(key) + "_granted",
+        report.count(std::string(lines[i].key) + "_granted",
                      r.divisionsGranted);
         // A zero denominator yields inf/nan, which num() serialises
         // as null — keeping the key set stable across runs.
-        report.num(std::string(key) + "_grant_fraction",
+        report.num(std::string(lines[i].key) + "_grant_fraction",
                    double(r.divisionsGranted) /
                        double(r.divisionsRequested));
-        report.num(std::string(key) + "_insts_per_division",
+        report.num(std::string(lines[i].key) + "_insts_per_division",
                    double(r.instructions) /
                        double(r.divisionsGranted));
-    };
-
-    bool allCorrect = true;
-    {
-        wl::McfParams p;
-        p.nodes = scale.pick(4000, 20000, 60000);
-        p.seed = scale.seed;
-        auto res = wl::runMcf(somt, p);
-        allCorrect = allCorrect && res.correct;
-        auto r = res.sectionStats;
-        t.addRow({"mcf", TextTable::count(r.divisionsRequested),
-                  TextTable::count(r.divisionsGranted),
-                  TextTable::pct(double(r.divisionsGranted) /
-                                 double(r.divisionsRequested)),
-                  perDivision(r.instructions, r.divisionsGranted),
-                  "99,598 req / 40% / 3.7K"});
-        record("mcf", r);
-    }
-    {
-        // Denser routing problem than the Figure-8 run so the probe
-        // stream saturates the contexts (the Table-3 regime).
-        wl::VprParams p;
-        p.grid = scale.pick(32, 48, 64);
-        p.nets = scale.pick(16, 32, 64);
-        p.capacity = 3;
-        p.seed = scale.seed;
-        auto res = wl::runVpr(somt, p);
-        allCorrect = allCorrect && res.converged;
-        auto r = res.sectionStats;
-        t.addRow({"vpr", TextTable::count(r.divisionsRequested),
-                  TextTable::count(r.divisionsGranted),
-                  TextTable::pct(double(r.divisionsGranted) /
-                                 double(r.divisionsRequested)),
-                  perDivision(r.instructions, r.divisionsGranted),
-                  "67,560 req / 4% / 4.5M"});
-        record("vpr", r);
-    }
-    {
-        wl::BzipParams p;
-        p.blockBytes = scale.pick(1024, 4096, 8192);
-        p.seed = scale.seed;
-        auto res = wl::runBzip(somt, p);
-        allCorrect = allCorrect && res.correct;
-        auto r = res.sectionStats;
-        t.addRow({"bzip2", TextTable::count(r.divisionsRequested),
-                  TextTable::count(r.divisionsGranted),
-                  TextTable::pct(double(r.divisionsGranted) /
-                                 double(r.divisionsRequested)),
-                  perDivision(r.instructions, r.divisionsGranted),
-                  "38,656 req / 6% / 30M"});
-        record("bzip2", r);
     }
     t.render(std::cout);
     std::printf("\nshape to check: mcf grants a far larger share "

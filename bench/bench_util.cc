@@ -26,10 +26,23 @@ parseScale(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--json") == 0 &&
                    i + 1 < argc) {
             s.json = argv[++i];
+        } else if (std::strcmp(argv[i], "--jobs") == 0 &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            long v = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || v < 1 ||
+                v > 4096) {  // sane cap; also guards int overflow
+                std::fprintf(stderr,
+                             "--jobs wants a positive integer, got "
+                             "'%s'\n",
+                             argv[i]);
+                std::exit(2);
+            }
+            s.jobs = int(v);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--paper|--quick] [--seed N] "
-                         "[--json FILE]\n",
+                         "[--json FILE] [--jobs N]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -76,8 +89,7 @@ calibrateSerialOps(const sim::MachineConfig &cfg, Cycle target_cycles)
     rt::Exec exec;
     auto probe =
         wl::simulate(cfg, exec, wl::serialSection(exec, probeOps));
-    double cyclesPerOp =
-        double(probe.stats.cycles) / double(probeOps);
+    double cyclesPerOp = double(probe.cycles) / double(probeOps);
     auto ops = std::uint64_t(double(target_cycles) / cyclesPerOp);
     ops = ops < 64 ? 64 : ops;
 
@@ -85,9 +97,32 @@ calibrateSerialOps(const sim::MachineConfig &cfg, Cycle target_cycles)
     auto check =
         wl::simulate(cfg, exec2, wl::serialSection(exec2, ops));
     double ratio = double(target_cycles) /
-                   double(std::max<Cycle>(1, check.stats.cycles));
+                   double(std::max<Cycle>(1, check.cycles));
     ops = std::uint64_t(double(ops) * ratio);
     return ops < 64 ? 64 : ops;
+}
+
+harness::SweepPoint
+serialRemainderPoint(const sim::MachineConfig &cfg,
+                     Cycle section_cycles, double section_fraction,
+                     std::string label)
+{
+    Cycle target = Cycle(double(section_cycles) *
+                         (1.0 - section_fraction) /
+                         section_fraction);
+    harness::SweepPoint pt;
+    pt.label = std::move(label);
+    pt.run = [cfg, target] {
+        auto ops = calibrateSerialOps(cfg, target);
+        rt::Exec exec;
+        wl::WorkloadResult res;
+        res.workload = "serial-section";
+        res.stats =
+            wl::simulate(cfg, exec, wl::serialSection(exec, ops));
+        res.correct = true;
+        return res;
+    };
+    return pt;
 }
 
 void

@@ -15,7 +15,9 @@
 #include <utility>
 #include <vector>
 
+#include "harness/experiment.hh"
 #include "sim/machine.hh"
+#include "workloads/workload.hh"
 
 namespace capsule::bench
 {
@@ -27,18 +29,43 @@ struct Scale
     bool quick = false;   ///< CI-fast sizes
     std::uint64_t seed = 1;
     std::string json;     ///< write headline metrics here (empty = off)
+    int jobs = 0;         ///< sweep host threads (0 = all hw threads)
 
-    /** Pick by scale: quick / default / paper. */
+    /** The flags as a registry scale level. */
+    wl::ScaleLevel
+    level() const
+    {
+        return paper   ? wl::ScaleLevel::Paper
+               : quick ? wl::ScaleLevel::Quick
+                       : wl::ScaleLevel::Default;
+    }
+
+    /** Pick by scale: quick / default / paper (one source of truth
+     *  with the registry factories). */
     template <typename T>
     T
     pick(T q, T d, T p) const
     {
-        return paper ? p : quick ? q : d;
+        return wl::pickByScale(level(), q, d, p);
+    }
+
+    /** Registry request for one sweep point. */
+    wl::WorkloadRequest
+    request(std::uint64_t point_seed) const
+    {
+        return {level(), point_seed};
+    }
+
+    /** The experiment runner honouring --jobs. */
+    harness::ExperimentRunner
+    runner() const
+    {
+        return harness::ExperimentRunner(jobs);
     }
 };
 
-/** Parse --paper / --quick / --seed N / --json FILE; exits on unknown
- *  flags. */
+/** Parse --paper / --quick / --seed N / --json FILE / --jobs N;
+ *  exits on unknown flags. */
 Scale parseScale(int argc, char **argv);
 
 /**
@@ -99,6 +126,18 @@ void reportThreeArchComparison(JsonReport &report,
  */
 std::uint64_t calibrateSerialOps(const sim::MachineConfig &cfg,
                                  Cycle target_cycles);
+
+/**
+ * A sweep point simulating the calibrated serial remainder of a SPEC
+ * analogue: given the measured componentised-section length and the
+ * paper's section fraction (Table 2), calibrates and runs the serial
+ * phase on `cfg`. Shared by the Figure-8 and Table-2 harnesses so
+ * their "measured fraction" numbers cannot diverge.
+ */
+harness::SweepPoint serialRemainderPoint(const sim::MachineConfig &cfg,
+                                         Cycle section_cycles,
+                                         double section_fraction,
+                                         std::string label);
 
 /** Standard banner naming the paper artifact being regenerated. */
 void banner(const std::string &what, const Scale &scale);

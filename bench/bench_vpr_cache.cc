@@ -4,8 +4,9 @@
  * limited: doubling the D-cache size and its ports raises the
  * per-iteration speedup from 2.47x to 3.5x (overall 3.0x) in the
  * paper. This harness runs the vpr analogue on the default SOMT and
- * on a doubled-cache/doubled-port SOMT and reports per-iteration and
- * per-run speedups against the superscalar baseline.
+ * on a doubled-cache/doubled-port SOMT (one three-point sweep on the
+ * experiment engine) and reports per-iteration and per-run speedups
+ * against the superscalar baseline.
  */
 
 #include <cstdio>
@@ -13,6 +14,7 @@
 
 #include "base/table.hh"
 #include "bench_util.hh"
+#include "harness/experiment.hh"
 #include "workloads/vpr_route.hh"
 
 using namespace capsule;
@@ -35,24 +37,30 @@ main(int argc, char **argv)
     big.mem.l1d.sizeBytes *= 2;
     big.dcachePorts *= 2;
 
-    auto base = wl::runVpr(mono, p);
-    auto small = wl::runVpr(somt, p);
-    auto wide = wl::runVpr(big, p);
+    std::vector<harness::SweepPoint> points{
+        {"vpr/superscalar", [&] { return wl::runVpr(mono, p); }},
+        {"vpr/somt", [&] { return wl::runVpr(somt, p); }},
+        {"vpr/somt-2xcache", [&] { return wl::runVpr(big, p); }},
+    };
+    auto results = scale.runner().run(points);
+    const auto &base = results[0];
+    const auto &small = results[1];
+    const auto &wide = results[2];
 
-    auto perIter = [](const wl::VprResult &r) {
-        return double(r.sectionStats.cycles) /
-               double(std::max(1, r.iterations));
+    auto perIter = [](const wl::WorkloadResult &r) {
+        return double(r.stats.cycles) /
+               std::max(1.0, r.metric("iterations"));
     };
 
     TextTable t({"machine", "cycles", "iterations", "cycles/iter",
                  "iter speedup", "run speedup"});
-    auto row = [&](const char *name, const wl::VprResult &r) {
-        t.addRow({name, TextTable::count(r.sectionStats.cycles),
-                  std::to_string(r.iterations),
+    auto row = [&](const char *name, const wl::WorkloadResult &r) {
+        t.addRow({name, TextTable::count(r.stats.cycles),
+                  std::to_string(int(r.metric("iterations"))),
                   TextTable::count(Cycle(perIter(r))),
                   TextTable::num(perIter(base) / perIter(r)) + "x",
-                  TextTable::num(double(base.sectionStats.cycles) /
-                                 double(r.sectionStats.cycles)) +
+                  TextTable::num(double(base.stats.cycles) /
+                                 double(r.stats.cycles)) +
                       "x"});
     };
     row("superscalar", base);
@@ -67,13 +75,13 @@ main(int argc, char **argv)
     report.num("iter_speedup_somt_2xcache",
                perIter(base) / perIter(wide));
     report.num("run_speedup_somt",
-               double(base.sectionStats.cycles) /
-                   double(small.sectionStats.cycles));
+               double(base.stats.cycles) /
+                   double(small.stats.cycles));
     report.num("run_speedup_somt_2xcache",
-               double(base.sectionStats.cycles) /
-                   double(wide.sectionStats.cycles));
+               double(base.stats.cycles) /
+                   double(wide.stats.cycles));
     bool allConverged =
-        base.converged && small.converged && wide.converged;
+        base.correct && small.correct && wide.correct;
     report.flag("all_correct", allConverged);
     return report.write() && allConverged ? 0 : 1;
 }

@@ -24,10 +24,11 @@ main()
 
     auto run = [&p](const char *name, const sim::MachineConfig &cfg) {
         auto r = wl::runLzw(cfg, p);
-        std::printf("%-18s %10llu cycles  %3d chunks  %5zu codes  "
+        std::printf("%-18s %10llu cycles  %3d chunks  %5d codes  "
                     "round-trip %s\n",
                     name, (unsigned long long)r.stats.cycles,
-                    r.chunks, r.codes, r.correct ? "ok" : "FAILED");
+                    int(r.metric("chunks")), int(r.metric("codes")),
+                    r.correct ? "ok" : "FAILED");
         return r;
     };
 
@@ -49,6 +50,7 @@ main()
                 "fragmentation at %d chunks (vs %d unthrottled)\n",
                 (unsigned long long)
                     throttled.stats.divisionsThrottled,
-                throttled.chunks, greedy.chunks);
+                int(throttled.metric("chunks")),
+                int(greedy.metric("chunks")));
     return mono.correct && somt.correct ? 0 : 1;
 }

@@ -56,7 +56,7 @@ main()
 
     std::printf("\n%-16s %12s %8s %s\n", "machine", "cycles", "ipc",
                 "sorted");
-    auto row = [](const char *name, const wl::QuickSortResult &r) {
+    auto row = [](const char *name, const wl::WorkloadResult &r) {
         std::printf("%-16s %12llu %8.2f %s\n", name,
                     (unsigned long long)r.stats.cycles, r.stats.ipc,
                     r.correct ? "yes" : "NO");

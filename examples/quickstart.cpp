@@ -71,21 +71,21 @@ runOn(const sim::MachineConfig &cfg, int n)
     st.base = exec.arena().alloc(std::uint64_t(n) * 8, 64);
     st.resultAddr = exec.arena().alloc(8, 8);
 
-    auto outcome = wl::simulate(cfg, exec,
-                                [&st, n](rt::Worker &w) -> rt::Task {
-                                    return sumRange(w, st, 0, n);
-                                });
+    auto stats = wl::simulate(cfg, exec,
+                              [&st, n](rt::Worker &w) -> rt::Task {
+                                  return sumRange(w, st, 0, n);
+                              });
 
     std::int64_t expect = std::int64_t(n) * (n - 1) / 2;
     std::printf("  %-12s %10llu cycles  ipc=%.2f  divisions=%llu/%llu"
                 "  sum %s\n",
                 cfg.name.c_str(),
-                (unsigned long long)outcome.stats.cycles,
-                outcome.stats.ipc,
-                (unsigned long long)outcome.stats.divisionsGranted,
-                (unsigned long long)outcome.stats.divisionsRequested,
+                (unsigned long long)stats.cycles,
+                stats.ipc,
+                (unsigned long long)stats.divisionsGranted,
+                (unsigned long long)stats.divisionsRequested,
                 st.result == expect ? "ok" : "WRONG");
-    return outcome.stats.cycles;
+    return stats.cycles;
 }
 
 } // namespace

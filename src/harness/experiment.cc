@@ -1,0 +1,63 @@
+#include "harness/experiment.hh"
+
+#include <exception>
+
+#include "harness/thread_pool.hh"
+
+namespace capsule::harness
+{
+
+SweepPoint
+registryPoint(const std::string &workload,
+              const sim::MachineConfig &cfg,
+              const wl::WorkloadRequest &req, std::string label)
+{
+    SweepPoint p;
+    p.label = label.empty()
+                  ? workload + "/" + cfg.name + "/seed" +
+                        std::to_string(req.seed)
+                  : std::move(label);
+    p.run = [workload, cfg, req] {
+        return wl::WorkloadRegistry::builtin().run(workload, cfg,
+                                                   req);
+    };
+    return p;
+}
+
+ExperimentRunner::ExperimentRunner(int jobs)
+    : nJobs(jobs <= 0 ? hostConcurrency() : jobs)
+{
+}
+
+std::vector<wl::WorkloadResult>
+ExperimentRunner::run(const std::vector<SweepPoint> &points) const
+{
+    std::vector<wl::WorkloadResult> results(points.size());
+    std::vector<std::exception_ptr> errors(points.size());
+
+    auto runPoint = [&](std::size_t i) {
+        try {
+            results[i] = points[i].run();
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    };
+
+    if (nJobs == 1 || points.size() <= 1) {
+        for (std::size_t i = 0; i < points.size(); ++i)
+            runPoint(i);
+    } else {
+        ThreadPool pool(int(std::min<std::size_t>(
+            std::size_t(nJobs), points.size())));
+        for (std::size_t i = 0; i < points.size(); ++i)
+            pool.submit([&runPoint, i] { runPoint(i); });
+        pool.wait();
+    }
+
+    for (auto &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+    return results;
+}
+
+} // namespace capsule::harness

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The experiment engine: every paper evaluation is a sweep of
+ * independent simulation points (MachineConfig x workload x seed).
+ * A harness declares its points, the ExperimentRunner executes them
+ * on a fixed-size host thread pool, and the results come back in
+ * submission order — so rendered tables, histograms and JSON are
+ * byte-identical at any `--jobs` count. Determinism rests on two
+ * invariants the workload layer provides: the simulator has no
+ * global mutable state, and every point derives all randomness from
+ * its own explicit seed.
+ */
+
+#ifndef CAPSULE_HARNESS_EXPERIMENT_HH
+#define CAPSULE_HARNESS_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace capsule::harness
+{
+
+/** One independent simulation point of a sweep. */
+struct SweepPoint
+{
+    /** Harness-chosen identifier (shown in errors, useful when
+     *  mapping results back to sweep axes). */
+    std::string label;
+
+    /** The simulation; must depend only on captured parameters. */
+    std::function<wl::WorkloadResult()> run;
+};
+
+/** A point running a registered workload (see WorkloadRegistry). */
+SweepPoint registryPoint(const std::string &workload,
+                         const sim::MachineConfig &cfg,
+                         const wl::WorkloadRequest &req,
+                         std::string label = "");
+
+/**
+ * Executes sweeps. `jobs` <= 0 selects host hardware concurrency;
+ * `jobs` == 1 runs points inline on the calling thread (the serial
+ * reference the determinism tests compare against).
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(int jobs = 0);
+
+    int jobs() const { return nJobs; }
+
+    /**
+     * Run every point and return the results in submission order.
+     * A point that throws re-throws here — after all other points
+     * completed — always the lowest-index failure, regardless of
+     * the host schedule.
+     */
+    std::vector<wl::WorkloadResult>
+    run(const std::vector<SweepPoint> &points) const;
+
+  private:
+    int nJobs;
+};
+
+} // namespace capsule::harness
+
+#endif // CAPSULE_HARNESS_EXPERIMENT_HH

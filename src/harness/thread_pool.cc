@@ -1,0 +1,76 @@
+#include "harness/thread_pool.hh"
+
+#include <algorithm>
+
+namespace capsule::harness
+{
+
+int
+hostConcurrency()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    int n = std::max(1, threads);
+    workers.reserve(std::size_t(n));
+    for (int i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock lock(mtx);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock lock(mtx);
+        queue.push_back(std::move(job));
+    }
+    wake.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock lock(mtx);
+    drained.wait(lock,
+                 [this] { return queue.empty() && inFlight == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock lock(mtx);
+            wake.wait(lock,
+                      [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return;  // stopping and nothing left to run
+            job = std::move(queue.front());
+            queue.pop_front();
+            ++inFlight;
+        }
+        job();
+        {
+            std::unique_lock lock(mtx);
+            --inFlight;
+            if (queue.empty() && inFlight == 0)
+                drained.notify_all();
+        }
+    }
+}
+
+} // namespace capsule::harness

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A fixed-size host thread pool for the experiment engine. Simulation
+ * points are pure functions of their parameters, so the pool needs no
+ * result plumbing of its own: jobs capture their output slot. Kept
+ * deliberately minimal — submit closures, wait for the queue to
+ * drain, destruction joins.
+ */
+
+#ifndef CAPSULE_HARNESS_THREAD_POOL_HH
+#define CAPSULE_HARNESS_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace capsule::harness
+{
+
+/** Number of host hardware threads (at least 1). */
+int hostConcurrency();
+
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers (clamped to at least 1). */
+    explicit ThreadPool(int threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a job. Jobs must not throw. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    int threads() const { return int(workers.size()); }
+
+  private:
+    void workerLoop();
+
+    std::mutex mtx;
+    std::condition_variable wake;   ///< signals workers: job / stop
+    std::condition_variable drained; ///< signals wait(): all done
+    std::deque<std::function<void()>> queue;
+    std::vector<std::thread> workers;
+    int inFlight = 0;   ///< dequeued but not yet finished
+    bool stopping = false;
+};
+
+} // namespace capsule::harness
+
+#endif // CAPSULE_HARNESS_THREAD_POOL_HH

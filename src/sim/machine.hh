@@ -84,6 +84,10 @@ struct RunStats
     int peakLiveThreads = 0;
     /** Mean number of threads in the Active state per cycle. */
     double avgActiveThreads = 0.0;
+
+    /** Field-exact equality, for parallel == serial determinism
+     *  checks in the experiment engine. */
+    bool operator==(const RunStats &) const = default;
 };
 
 /** The SOMT / SMT / superscalar machine. */

@@ -158,7 +158,7 @@ suffixOrder(const std::vector<std::uint8_t> &block, int max_compare)
     return order;
 }
 
-BzipResult
+WorkloadResult
 runBzip(const sim::MachineConfig &cfg, const BzipParams &params)
 {
     Rng rng(params.seed);
@@ -176,14 +176,12 @@ runBzip(const sim::MachineConfig &cfg, const BzipParams &params)
 
     int hi = int(order.size()) - 1;
     int cutoff = params.serialCutoff;
-    auto outcome =
+    WorkloadResult res;
+    res.workload = "bzip2";
+    res.stats =
         simulate(cfg, exec, [&run, hi, cutoff](Worker &w) -> Task {
             return sortSuffixes(w, run, 0, hi, cutoff);
         });
-
-    BzipResult res;
-    res.sectionStats = outcome.stats;
-    res.order = order;
     res.correct = order == suffixOrder(block, params.maxCompare);
 
     if (params.serialSectionOps > 0) {
@@ -191,7 +189,7 @@ runBzip(const sim::MachineConfig &cfg, const BzipParams &params)
         auto serial = simulate(
             cfg, serialExec,
             serialSection(serialExec, params.serialSectionOps));
-        res.serialCycles = serial.stats.cycles;
+        res.serialCycles = serial.cycles;
     }
     return res;
 }

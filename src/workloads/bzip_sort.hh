@@ -18,6 +18,7 @@
 #include "base/rng.hh"
 #include "sim/machine.hh"
 #include "workloads/harness.hh"
+#include "workloads/workload.hh"
 
 namespace capsule::wl
 {
@@ -34,15 +35,6 @@ struct BzipParams
     std::uint64_t serialSectionOps = 0;
 };
 
-/** Result of one bzip2-analogue simulation. */
-struct BzipResult
-{
-    sim::RunStats sectionStats;
-    Cycle serialCycles = 0;
-    bool correct = false;
-    std::vector<int> order;  ///< sorted suffix indices
-};
-
 /**
  * Golden suffix order: prefix-bounded lexicographic comparison with
  * index tie-break (a strict total order, so any correct sort agrees).
@@ -51,8 +43,8 @@ std::vector<int> suffixOrder(const std::vector<std::uint8_t> &block,
                              int max_compare);
 
 /** Simulate the bzip2 analogue under `cfg`'s division policy. */
-BzipResult runBzip(const sim::MachineConfig &cfg,
-                   const BzipParams &params);
+WorkloadResult runBzip(const sim::MachineConfig &cfg,
+                       const BzipParams &params);
 
 } // namespace capsule::wl
 

@@ -243,7 +243,7 @@ minimaxValue(const GameTree &t)
     return minimaxNode(t, 0, true);
 }
 
-CraftyResult
+WorkloadResult
 runCrafty(const sim::MachineConfig &cfg, const CraftyParams &params)
 {
     Rng rng(params.seed);
@@ -271,16 +271,15 @@ runCrafty(const sim::MachineConfig &cfg, const CraftyParams &params)
 
     std::int64_t value = 0;
     int pool = params.poolThreads;
-    auto outcome =
+    WorkloadResult res;
+    res.workload = "crafty";
+    res.stats =
         simulate(cfg, exec, [&run, pool, &value](Worker &w) -> Task {
             return craftyMain(w, run, pool, &value);
         });
-
-    CraftyResult res;
-    res.stats = outcome.stats;
-    res.value = value;
+    res.setMetric("value", double(value));
+    res.setMetric("spin_iterations", double(run.spins));
     res.correct = value == minimaxValue(tree);
-    res.spinIterations = run.spins;
     return res;
 }
 

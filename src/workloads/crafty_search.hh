@@ -19,6 +19,7 @@
 #include "base/rng.hh"
 #include "sim/machine.hh"
 #include "workloads/harness.hh"
+#include "workloads/workload.hh"
 
 namespace capsule::wl
 {
@@ -52,18 +53,13 @@ struct CraftyParams
     std::uint64_t seed = 1;
 };
 
-/** Result of one crafty-analogue simulation. */
-struct CraftyResult
-{
-    sim::RunStats stats;
-    bool correct = false;
-    std::int64_t value = 0;
-    std::uint64_t spinIterations = 0;  ///< active-wait loop trips
-};
-
-/** Simulate the pthread-pool search under `cfg`. */
-CraftyResult runCrafty(const sim::MachineConfig &cfg,
-                       const CraftyParams &params);
+/**
+ * Simulate the pthread-pool search under `cfg`.
+ * Metrics: "value" (minimax root value) and "spin_iterations"
+ * (active-wait loop trips of the pool threads).
+ */
+WorkloadResult runCrafty(const sim::MachineConfig &cfg,
+                         const CraftyParams &params);
 
 } // namespace capsule::wl
 

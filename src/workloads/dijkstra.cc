@@ -211,13 +211,12 @@ runDijkstraNormal(const sim::MachineConfig &cfg,
         exec.arena().alloc(std::uint64_t(params.nodes) * 4 * 16, 64);
 
     int root = params.root;
-    auto outcome =
+    DijkstraResult res;
+    res.workload = "dijkstra-normal";
+    res.stats =
         simulate(cfg, exec, [&run, root, heapBase](Worker &w) -> Task {
             return dijkstraNormal(w, run, root, heapBase);
         });
-
-    DijkstraResult res;
-    res.stats = outcome.stats;
     res.dist = run.dist;
     res.correct = run.dist == shortestPaths(g, root);
     return res;
@@ -235,15 +234,14 @@ runDijkstra(const sim::MachineConfig &cfg, const DijkstraParams &params,
     Run run(g, exec.arena());
 
     int root = params.root;
-    auto outcome = simulate(
+    DijkstraResult res;
+    res.workload = "dijkstra";
+    res.stats = simulate(
         cfg, exec,
         [&run, root](Worker &w) -> Task {
             return visit(w, run, root, 0);
         },
         std::move(obs));
-
-    DijkstraResult res;
-    res.stats = outcome.stats;
     res.dist = run.dist;
     res.correct = run.dist == shortestPaths(g, root);
     return res;

@@ -16,6 +16,7 @@
 #include "sim/machine.hh"
 #include "workloads/graph.hh"
 #include "workloads/harness.hh"
+#include "workloads/workload.hh"
 
 namespace capsule::wl
 {
@@ -30,11 +31,9 @@ struct DijkstraParams
     int root = 0;
 };
 
-/** Result of one componentised Dijkstra simulation. */
-struct DijkstraResult
+/** Dijkstra result: the common shape plus the distance vector. */
+struct DijkstraResult : WorkloadResult
 {
-    sim::RunStats stats;
-    bool correct = false;             ///< distances match the golden run
     std::vector<std::int64_t> dist;   ///< computed distances
 };
 

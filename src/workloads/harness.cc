@@ -29,7 +29,7 @@ serialBody(rt::Worker &w, Addr base, std::uint64_t ops,
 
 } // namespace
 
-SimOutcome
+sim::RunStats
 simulate(const sim::MachineConfig &cfg, rt::Exec &exec,
          rt::WorkerFn body, sim::Machine::DivisionObserver observer)
 {
@@ -37,9 +37,7 @@ simulate(const sim::MachineConfig &cfg, rt::Exec &exec,
     if (observer)
         machine.setDivisionObserver(std::move(observer));
     machine.addThread(rt::makeAncestor(exec, std::move(body)));
-    SimOutcome out;
-    out.stats = machine.run();
-    return out;
+    return machine.run();
 }
 
 rt::Task

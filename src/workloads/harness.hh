@@ -20,19 +20,15 @@
 namespace capsule::wl
 {
 
-/** Result of simulating one worker body to completion. */
-struct SimOutcome
-{
-    sim::RunStats stats;
-};
-
 /**
- * Run `body` as the ancestor worker on a machine built from `cfg`.
+ * Run `body` as the ancestor worker on a machine built from `cfg`
+ * and return the run statistics.
  * @param observer optional division-genealogy callback
  */
-SimOutcome simulate(const sim::MachineConfig &cfg, rt::Exec &exec,
-                    rt::WorkerFn body,
-                    sim::Machine::DivisionObserver observer = nullptr);
+sim::RunStats simulate(const sim::MachineConfig &cfg, rt::Exec &exec,
+                       rt::WorkerFn body,
+                       sim::Machine::DivisionObserver observer =
+                           nullptr);
 
 /**
  * A non-componentised (serial) section: a loop streaming over

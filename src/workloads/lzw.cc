@@ -198,7 +198,7 @@ makeText(int length, int alphabet, Rng &rng)
     return text;
 }
 
-LzwResult
+WorkloadResult
 runLzw(const sim::MachineConfig &cfg, const LzwParams &params)
 {
     Rng rng(params.seed);
@@ -213,25 +213,26 @@ runLzw(const sim::MachineConfig &cfg, const LzwParams &params)
 
     int n = params.length;
     int minSplit = params.minSplit;
-    auto outcome = simulate(cfg, exec,
-                            [&run, n, minSplit](Worker &w) -> Task {
-                                return compressRange(w, run, 0, n,
-                                                     minSplit);
-                            });
+    WorkloadResult res;
+    res.workload = "lzw";
+    res.stats = simulate(cfg, exec,
+                         [&run, n, minSplit](Worker &w) -> Task {
+                             return compressRange(w, run, 0, n,
+                                                  minSplit);
+                         });
 
     // Round trip: decompress every chunk in offset order.
     std::vector<std::uint8_t> recovered;
+    std::size_t codeCount = 0;
     for (const auto &[lo, codes] : run.chunkCodes) {
         auto part = lzwDecompress(codes, params.alphabet);
         recovered.insert(recovered.end(), part.begin(), part.end());
+        codeCount += codes.size();
     }
 
-    LzwResult res;
-    res.stats = outcome.stats;
     res.correct = recovered == text;
-    res.chunks = int(run.chunkCodes.size());
-    for (const auto &[lo, codes] : run.chunkCodes)
-        res.codes += codes.size();
+    res.setMetric("chunks", double(run.chunkCodes.size()));
+    res.setMetric("codes", double(codeCount));
     return res;
 }
 

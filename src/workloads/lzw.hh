@@ -22,6 +22,7 @@
 #include "base/rng.hh"
 #include "sim/machine.hh"
 #include "workloads/harness.hh"
+#include "workloads/workload.hh"
 
 namespace capsule::wl
 {
@@ -35,15 +36,6 @@ struct LzwParams
     std::uint64_t seed = 1;
 };
 
-/** Result of one componentised LZW simulation. */
-struct LzwResult
-{
-    sim::RunStats stats;
-    bool correct = false;       ///< round-trip matches the input
-    std::size_t codes = 0;      ///< emitted code count (all chunks)
-    int chunks = 0;             ///< subranges compressed
-};
-
 /** Reference single-dictionary LZW (for unit tests). */
 std::vector<int> lzwCompress(const std::vector<std::uint8_t> &in,
                              int alphabet);
@@ -53,8 +45,13 @@ std::vector<std::uint8_t> lzwDecompress(const std::vector<int> &codes,
 /** Generate a compressible pseudo-text. */
 std::vector<std::uint8_t> makeText(int length, int alphabet, Rng &rng);
 
-/** Simulate componentised LZW under `cfg`'s division policy. */
-LzwResult runLzw(const sim::MachineConfig &cfg, const LzwParams &params);
+/**
+ * Simulate componentised LZW under `cfg`'s division policy.
+ * Metrics: "chunks" (subranges compressed) and "codes" (emitted code
+ * count across all chunks); `correct` is the round trip.
+ */
+WorkloadResult runLzw(const sim::MachineConfig &cfg,
+                      const LzwParams &params);
 
 } // namespace capsule::wl
 

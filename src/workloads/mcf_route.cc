@@ -144,7 +144,7 @@ cheapestRoute(const RouteTree &t)
     return best;
 }
 
-McfResult
+WorkloadResult
 runMcf(const sim::MachineConfig &cfg, const McfParams &params)
 {
     Rng rng(params.seed);
@@ -156,13 +156,12 @@ runMcf(const sim::MachineConfig &cfg, const McfParams &params)
             exec.arena().alloc(std::uint64_t(params.nodes) * 32, 64),
             exec.arena().alloc(32, 32), unreachable};
 
-    auto outcome = simulate(cfg, exec, [&run](Worker &w) -> Task {
+    WorkloadResult res;
+    res.workload = "mcf";
+    res.stats = simulate(cfg, exec, [&run](Worker &w) -> Task {
         return search(w, run, 0, 0);
     });
-
-    McfResult res;
-    res.sectionStats = outcome.stats;
-    res.best = run.best;
+    res.setMetric("best", double(run.best));
     res.correct = run.best == cheapestRoute(tree);
 
     if (params.serialSectionOps > 0) {
@@ -170,7 +169,7 @@ runMcf(const sim::MachineConfig &cfg, const McfParams &params)
         auto serial = simulate(
             cfg, serialExec,
             serialSection(serialExec, params.serialSectionOps));
-        res.serialCycles = serial.stats.cycles;
+        res.serialCycles = serial.cycles;
     }
     return res;
 }

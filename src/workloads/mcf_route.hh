@@ -17,6 +17,7 @@
 #include "base/rng.hh"
 #include "sim/machine.hh"
 #include "workloads/harness.hh"
+#include "workloads/workload.hh"
 
 namespace capsule::wl
 {
@@ -52,17 +53,13 @@ struct McfParams
     std::uint64_t serialSectionOps = 0;
 };
 
-/** Result of one mcf-analogue simulation. */
-struct McfResult
-{
-    sim::RunStats sectionStats;   ///< componentised tree search
-    Cycle serialCycles = 0;       ///< the rest of the program
-    bool correct = false;
-    std::int64_t best = 0;
-};
-
-/** Simulate the mcf analogue under `cfg`'s division policy. */
-McfResult runMcf(const sim::MachineConfig &cfg, const McfParams &params);
+/**
+ * Simulate the mcf analogue under `cfg`'s division policy.
+ * `stats` covers the componentised tree search; `serialCycles` the
+ * rest of the program. Metrics: "best" (cheapest route cost found).
+ */
+WorkloadResult runMcf(const sim::MachineConfig &cfg,
+                      const McfParams &params);
 
 } // namespace capsule::wl
 

@@ -97,7 +97,7 @@ perceptronForward(const std::vector<double> &x,
     return out;
 }
 
-PerceptronResult
+WorkloadResult
 runPerceptron(const sim::MachineConfig &cfg,
               const PerceptronParams &params)
 {
@@ -122,14 +122,12 @@ runPerceptron(const sim::MachineConfig &cfg,
 
     int n = params.neurons;
     int minGroup = params.minGroup;
-    auto outcome =
+    WorkloadResult res;
+    res.workload = "perceptron";
+    res.stats =
         simulate(cfg, exec, [&run, n, minGroup](Worker &w) -> Task {
             return perceptronWorker(w, run, 0, n, minGroup);
         });
-
-    PerceptronResult res;
-    res.stats = outcome.stats;
-    res.outputs = out;
     res.correct =
         out == perceptronForward(x, wts, params.neurons, params.inputs);
     return res;

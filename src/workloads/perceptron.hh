@@ -17,6 +17,7 @@
 #include "base/rng.hh"
 #include "sim/machine.hh"
 #include "workloads/harness.hh"
+#include "workloads/workload.hh"
 
 namespace capsule::wl
 {
@@ -30,22 +31,14 @@ struct PerceptronParams
     std::uint64_t seed = 1;
 };
 
-/** Result of one componentised Perceptron simulation. */
-struct PerceptronResult
-{
-    sim::RunStats stats;
-    bool correct = false;
-    std::vector<double> outputs;
-};
-
 /** Golden forward pass. */
 std::vector<double> perceptronForward(const std::vector<double> &x,
                                       const std::vector<double> &wts,
                                       int neurons, int inputs);
 
 /** Simulate the componentised forward pass under `cfg`. */
-PerceptronResult runPerceptron(const sim::MachineConfig &cfg,
-                               const PerceptronParams &params);
+WorkloadResult runPerceptron(const sim::MachineConfig &cfg,
+                             const PerceptronParams &params);
 
 } // namespace capsule::wl
 

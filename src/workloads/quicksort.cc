@@ -175,7 +175,7 @@ makeList(ListDistribution d, int length, Rng &rng)
     return v;
 }
 
-QuickSortResult
+WorkloadResult
 runQuickSort(const sim::MachineConfig &cfg,
              const QuickSortParams &params,
              sim::Machine::DivisionObserver obs)
@@ -192,16 +192,14 @@ runQuickSort(const sim::MachineConfig &cfg,
 
     int n = params.length;
     int cutoff = params.serialCutoff;
-    auto outcome = simulate(
+    WorkloadResult res;
+    res.workload = "quicksort";
+    res.stats = simulate(
         cfg, exec,
         [&run, n, cutoff](Worker &w) -> Task {
             return sortSegment(w, run, 0, n - 1, cutoff);
         },
         std::move(obs));
-
-    QuickSortResult res;
-    res.stats = outcome.stats;
-    res.sorted = data;
     res.correct = data == golden;
     return res;
 }

@@ -17,6 +17,7 @@
 #include "base/rng.hh"
 #include "sim/machine.hh"
 #include "workloads/harness.hh"
+#include "workloads/workload.hh"
 
 namespace capsule::wl
 {
@@ -47,19 +48,11 @@ struct QuickSortParams
     int serialCutoff = 16;
 };
 
-/** Result of one componentised QuickSort simulation. */
-struct QuickSortResult
-{
-    sim::RunStats stats;
-    bool correct = false;
-    std::vector<std::int64_t> sorted;
-};
-
 /** Simulate componentised QuickSort under `cfg`'s division policy. */
-QuickSortResult runQuickSort(const sim::MachineConfig &cfg,
-                             const QuickSortParams &params,
-                             sim::Machine::DivisionObserver obs =
-                                 nullptr);
+WorkloadResult runQuickSort(const sim::MachineConfig &cfg,
+                            const QuickSortParams &params,
+                            sim::Machine::DivisionObserver obs =
+                                nullptr);
 
 } // namespace capsule::wl
 

@@ -211,7 +211,7 @@ vprMain(Worker &w, Run &run, int max_iters, int *iters_out,
 
 } // namespace
 
-VprResult
+WorkloadResult
 runVpr(const sim::MachineConfig &cfg, const VprParams &params)
 {
     Rng rng(params.seed);
@@ -254,24 +254,23 @@ runVpr(const sim::MachineConfig &cfg, const VprParams &params)
     int iterations = 0;
     std::uint64_t overused = 0;
     int maxIters = params.maxIterations;
-    auto outcome = simulate(
+    WorkloadResult res;
+    res.workload = "vpr";
+    res.stats = simulate(
         cfg, exec,
         [&run, maxIters, &iterations, &overused](Worker &w) -> Task {
             return vprMain(w, run, maxIters, &iterations, &overused);
         });
-
-    VprResult res;
-    res.sectionStats = outcome.stats;
-    res.iterations = iterations;
-    res.overusedFinal = overused;
-    res.converged = overused == 0;
+    res.setMetric("iterations", double(iterations));
+    res.setMetric("overused_final", double(overused));
+    res.correct = overused == 0;  // converged
 
     if (params.serialSectionOps > 0) {
         rt::Exec serialExec;
         auto serial = simulate(
             cfg, serialExec,
             serialSection(serialExec, params.serialSectionOps));
-        res.serialCycles = serial.stats.cycles;
+        res.serialCycles = serial.cycles;
     }
     return res;
 }

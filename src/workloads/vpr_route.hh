@@ -21,6 +21,7 @@
 #include "base/rng.hh"
 #include "sim/machine.hh"
 #include "workloads/harness.hh"
+#include "workloads/workload.hh"
 
 namespace capsule::wl
 {
@@ -38,18 +39,14 @@ struct VprParams
     std::uint64_t serialSectionOps = 0;
 };
 
-/** Result of one vpr-analogue simulation. */
-struct VprResult
-{
-    sim::RunStats sectionStats;
-    Cycle serialCycles = 0;
-    bool converged = false;
-    int iterations = 0;
-    std::uint64_t overusedFinal = 0;
-};
-
-/** Simulate the vpr analogue under `cfg`'s division policy. */
-VprResult runVpr(const sim::MachineConfig &cfg, const VprParams &params);
+/**
+ * Simulate the vpr analogue under `cfg`'s division policy.
+ * `correct` means the router converged (no over-used resource).
+ * Metrics: "iterations" (rip-up/reroute rounds) and
+ * "overused_final" (over-used nodes at exit).
+ */
+WorkloadResult runVpr(const sim::MachineConfig &cfg,
+                      const VprParams &params);
 
 } // namespace capsule::wl
 

@@ -1,0 +1,181 @@
+#include "workloads/workload.hh"
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "workloads/bzip_sort.hh"
+#include "workloads/crafty_search.hh"
+#include "workloads/dijkstra.hh"
+#include "workloads/lzw.hh"
+#include "workloads/mcf_route.hh"
+#include "workloads/perceptron.hh"
+#include "workloads/quicksort.hh"
+#include "workloads/vpr_route.hh"
+
+namespace capsule::wl
+{
+
+const char *
+scaleLevelName(ScaleLevel level)
+{
+    switch (level) {
+      case ScaleLevel::Quick: return "quick";
+      case ScaleLevel::Paper: return "paper";
+      default: return "default";
+    }
+}
+
+void
+WorkloadResult::setMetric(const std::string &key, double value)
+{
+    for (auto &[k, v] : metrics) {
+        if (k == key) {
+            v = value;
+            return;
+        }
+    }
+    metrics.emplace_back(key, value);
+}
+
+double
+WorkloadResult::metric(const std::string &key, double fallback) const
+{
+    for (const auto &[k, v] : metrics)
+        if (k == key)
+            return v;
+    return fallback;
+}
+
+bool
+WorkloadResult::hasMetric(const std::string &key) const
+{
+    for (const auto &[k, v] : metrics)
+        if (k == key)
+            return true;
+    return false;
+}
+
+void
+WorkloadRegistry::add(const std::string &name, Factory factory)
+{
+    CAPSULE_ASSERT(!contains(name),
+                   "duplicate workload registration: ", name);
+    factories.emplace_back(name, std::move(factory));
+}
+
+bool
+WorkloadRegistry::contains(const std::string &name) const
+{
+    for (const auto &[k, f] : factories)
+        if (k == name)
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories.size());
+    for (const auto &[k, f] : factories)
+        out.push_back(k);
+    return out;
+}
+
+WorkloadResult
+WorkloadRegistry::run(const std::string &name,
+                      const sim::MachineConfig &cfg,
+                      const WorkloadRequest &req) const
+{
+    for (const auto &[k, f] : factories)
+        if (k == name)
+            return f(cfg, req);
+    throw std::out_of_range("unknown workload: " + name);
+}
+
+namespace
+{
+
+/**
+ * Builtin factories, sized exactly as the figure/table harnesses
+ * size each workload at --quick / default / --paper scale.
+ */
+WorkloadRegistry
+makeBuiltinRegistry()
+{
+    using Cfg = sim::MachineConfig;
+    WorkloadRegistry reg;
+
+    reg.add("dijkstra", [](const Cfg &cfg, const WorkloadRequest &r) {
+        DijkstraParams p;
+        p.nodes = pickByScale(r.scale, 150, 400, 1000);
+        p.seed = r.seed;
+        return runDijkstra(cfg, p);
+    });
+    reg.add("dijkstra-normal",
+            [](const Cfg &cfg, const WorkloadRequest &r) {
+                DijkstraParams p;
+                p.nodes = pickByScale(r.scale, 150, 400, 1000);
+                p.seed = r.seed;
+                return runDijkstraNormal(cfg, p);
+            });
+    reg.add("quicksort", [](const Cfg &cfg, const WorkloadRequest &r) {
+        QuickSortParams p;
+        p.length = pickByScale(r.scale, 1024, 4096, 16384);
+        p.seed = r.seed;
+        return runQuickSort(cfg, p);
+    });
+    reg.add("lzw", [](const Cfg &cfg, const WorkloadRequest &r) {
+        LzwParams p;
+        p.length = pickByScale(r.scale, 1024, 4096, 4096);
+        p.seed = r.seed;
+        return runLzw(cfg, p);
+    });
+    reg.add("perceptron",
+            [](const Cfg &cfg, const WorkloadRequest &r) {
+                PerceptronParams p;
+                p.neurons = pickByScale(r.scale, 1000, 4000, 10000);
+                p.seed = r.seed;
+                return runPerceptron(cfg, p);
+            });
+    reg.add("mcf", [](const Cfg &cfg, const WorkloadRequest &r) {
+        McfParams p;
+        p.nodes = pickByScale(r.scale, 4000, 20000, 60000);
+        p.seed = r.seed;
+        return runMcf(cfg, p);
+    });
+    reg.add("vpr", [](const Cfg &cfg, const WorkloadRequest &r) {
+        VprParams p;
+        p.grid = pickByScale(r.scale, 32, 32, 64);
+        p.nets = pickByScale(r.scale, 12, 16, 48);
+        p.seed = r.seed;
+        return runVpr(cfg, p);
+    });
+    reg.add("bzip2", [](const Cfg &cfg, const WorkloadRequest &r) {
+        BzipParams p;
+        p.blockBytes = pickByScale(r.scale, 512, 1200, 4096);
+        p.seed = r.seed;
+        return runBzip(cfg, p);
+    });
+    reg.add("crafty", [](const Cfg &cfg, const WorkloadRequest &r) {
+        CraftyParams p;
+        p.branching = pickByScale(r.scale, 3, 4, 4);
+        p.depth = pickByScale(r.scale, 5, 6, 7);
+        p.poolThreads = 7;
+        p.seed = r.seed;
+        return runCrafty(cfg, p);
+    });
+
+    return reg;
+}
+
+} // namespace
+
+const WorkloadRegistry &
+WorkloadRegistry::builtin()
+{
+    static const WorkloadRegistry reg = makeBuiltinRegistry();
+    return reg;
+}
+
+} // namespace capsule::wl

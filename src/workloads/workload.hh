@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The unified workload layer: every evaluated program (QuickSort,
+ * Dijkstra, LZW, Perceptron and the four SPEC CINT2000 analogues)
+ * reports its simulation through one `WorkloadResult`, and a
+ * `WorkloadRegistry` maps workload names to factories parameterised
+ * by machine configuration, data-set scale and seed. The experiment
+ * engine (`harness/experiment.hh`) fans registry points out across
+ * host threads; because every factory derives all randomness from
+ * the request seed, results are a pure function of
+ * (config, scale, seed) and identical at any job count.
+ */
+
+#ifndef CAPSULE_WL_WORKLOAD_HH
+#define CAPSULE_WL_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace capsule::wl
+{
+
+/**
+ * Data-set sizing shared by the registry factories and the bench
+ * harnesses: Quick is CI-fast, Default is minutes-scale, Paper is
+ * the full published data-set sizes.
+ */
+enum class ScaleLevel
+{
+    Quick,
+    Default,
+    Paper,
+};
+
+const char *scaleLevelName(ScaleLevel level);
+
+/** Pick a value by scale: quick / default / paper. */
+template <typename T>
+T
+pickByScale(ScaleLevel level, T quick, T dflt, T paper)
+{
+    switch (level) {
+      case ScaleLevel::Quick: return quick;
+      case ScaleLevel::Paper: return paper;
+      default: return dflt;
+    }
+}
+
+/**
+ * Common result of one workload simulation. `stats` always covers
+ * the componentised section (for the SPEC analogues the calibrated
+ * serial remainder is `serialCycles`); workload-specific numbers
+ * (route costs, router iterations, chunk counts, ...) live in the
+ * insertion-ordered `metrics` map so harnesses and tests read every
+ * workload through one shape.
+ */
+struct WorkloadResult
+{
+    std::string workload;     ///< registry name of the workload
+    sim::RunStats stats;      ///< componentised-section statistics
+    bool correct = false;     ///< matches the golden reference
+    Cycle serialCycles = 0;   ///< serial remainder (0 = none)
+    /** key -> value, in insertion order. */
+    std::vector<std::pair<std::string, double>> metrics;
+
+    /** Set (or overwrite) a workload-specific metric. */
+    void setMetric(const std::string &key, double value);
+    /** Read a metric; `fallback` when the key is absent. */
+    double metric(const std::string &key, double fallback = 0.0) const;
+    bool hasMetric(const std::string &key) const;
+
+    bool operator==(const WorkloadResult &) const = default;
+};
+
+/** Everything a registry factory needs besides the machine. */
+struct WorkloadRequest
+{
+    ScaleLevel scale = ScaleLevel::Default;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Name -> factory map over the evaluated workloads. The builtin()
+ * registry covers every workload in this directory; factories choose
+ * the same data-set sizes the paper harnesses use at each scale, and
+ * derive all randomness from the request seed (determinism across
+ * host-parallel execution).
+ */
+class WorkloadRegistry
+{
+  public:
+    using Factory = std::function<WorkloadResult(
+        const sim::MachineConfig &, const WorkloadRequest &)>;
+
+    /** Register a factory; aborts on a duplicate name. */
+    void add(const std::string &name, Factory factory);
+
+    bool contains(const std::string &name) const;
+
+    /** Registered names, in registration order. */
+    std::vector<std::string> names() const;
+
+    /** Run one workload; throws std::out_of_range on unknown names. */
+    WorkloadResult run(const std::string &name,
+                       const sim::MachineConfig &cfg,
+                       const WorkloadRequest &req) const;
+
+    /** The process-wide registry of all built-in workloads. */
+    static const WorkloadRegistry &builtin();
+
+  private:
+    std::vector<std::pair<std::string, Factory>> factories;
+};
+
+} // namespace capsule::wl
+
+#endif // CAPSULE_WL_WORKLOAD_HH

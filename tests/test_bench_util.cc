@@ -1,0 +1,263 @@
+/**
+ * @file
+ * bench_util: command-line parsing (parseScale) and the JSON metric
+ * report (escaping, non-finite handling, write semantics). Built
+ * against bench/bench_util.cc directly — these helpers gate every
+ * harness's exit status, so they get first-class coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+namespace capsule::bench
+{
+namespace
+{
+
+/** Build a mutable argv from string literals. */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args) : strings(std::move(args))
+    {
+        for (auto &s : strings)
+            ptrs.push_back(s.data());
+    }
+
+    int argc() const { return int(ptrs.size()); }
+    char **argv() { return ptrs.data(); }
+
+  private:
+    std::vector<std::string> strings;
+    std::vector<char *> ptrs;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream f(path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + name;
+}
+
+// ---------------------------------------------------------------
+// parseScale
+// ---------------------------------------------------------------
+TEST(ParseScale, Defaults)
+{
+    Argv a({"prog"});
+    auto s = parseScale(a.argc(), a.argv());
+    EXPECT_FALSE(s.paper);
+    EXPECT_FALSE(s.quick);
+    EXPECT_EQ(s.seed, 1u);
+    EXPECT_TRUE(s.json.empty());
+    EXPECT_EQ(s.jobs, 0);
+    EXPECT_EQ(s.level(), wl::ScaleLevel::Default);
+}
+
+TEST(ParseScale, AllFlags)
+{
+    Argv a({"prog", "--paper", "--seed", "42", "--json", "out.json",
+            "--jobs", "3"});
+    auto s = parseScale(a.argc(), a.argv());
+    EXPECT_TRUE(s.paper);
+    EXPECT_EQ(s.seed, 42u);
+    EXPECT_EQ(s.json, "out.json");
+    EXPECT_EQ(s.jobs, 3);
+    EXPECT_EQ(s.level(), wl::ScaleLevel::Paper);
+}
+
+TEST(ParseScale, QuickMapsToQuickLevel)
+{
+    Argv a({"prog", "--quick"});
+    auto s = parseScale(a.argc(), a.argv());
+    EXPECT_TRUE(s.quick);
+    EXPECT_EQ(s.level(), wl::ScaleLevel::Quick);
+    EXPECT_EQ(s.request(9).seed, 9u);
+    EXPECT_EQ(s.request(9).scale, wl::ScaleLevel::Quick);
+}
+
+TEST(ParseScale, PickFollowsFlags)
+{
+    Argv q({"prog", "--quick"});
+    EXPECT_EQ(parseScale(q.argc(), q.argv()).pick(1, 2, 3), 1);
+    Argv d({"prog"});
+    EXPECT_EQ(parseScale(d.argc(), d.argv()).pick(1, 2, 3), 2);
+    Argv p({"prog", "--paper"});
+    EXPECT_EQ(parseScale(p.argc(), p.argv()).pick(1, 2, 3), 3);
+}
+
+using ParseScaleDeath = ::testing::Test;
+
+TEST(ParseScaleDeath, UnknownFlagExitsWithUsage)
+{
+    Argv a({"prog", "--bogus"});
+    EXPECT_EXIT(parseScale(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(ParseScaleDeath, SeedWithoutValueExits)
+{
+    Argv a({"prog", "--seed"});
+    EXPECT_EXIT(parseScale(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(ParseScaleDeath, JobsWithoutValueExits)
+{
+    Argv a({"prog", "--jobs"});
+    EXPECT_EXIT(parseScale(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(ParseScaleDeath, JobsRejectsGarbageAndNonPositive)
+{
+    // Out-of-range values (the cap also guards int truncation of
+    // huge longs) must hit the same exit(2) path as garbage.
+    for (const char *bad :
+         {"two", "0", "-4", "3x", "4097", "4294967297"}) {
+        Argv a({"prog", "--jobs", bad});
+        EXPECT_EXIT(parseScale(a.argc(), a.argv()),
+                    ::testing::ExitedWithCode(2),
+                    "positive integer")
+            << bad;
+    }
+}
+
+// ---------------------------------------------------------------
+// JsonReport
+// ---------------------------------------------------------------
+Scale
+scaleWritingTo(const std::string &path)
+{
+    Scale s;
+    s.quick = true;
+    s.seed = 7;
+    s.json = path;
+    return s;
+}
+
+TEST(JsonReport, NoPathIsASuccessfulNoOp)
+{
+    Scale s;  // no --json
+    JsonReport r("artifact", s);
+    r.num("x", 1.0);
+    EXPECT_TRUE(r.write());
+}
+
+TEST(JsonReport, UnwritablePathFails)
+{
+    Scale s;
+    s.json = "/nonexistent-dir/nope/out.json";
+    JsonReport r("artifact", s);
+    EXPECT_FALSE(r.write());
+}
+
+TEST(JsonReport, WritesHeaderAndAllMetricKinds)
+{
+    auto path = tempPath("jsonreport_basic.json");
+    JsonReport r("fig_test", scaleWritingTo(path));
+    r.num("speed", 2.5);
+    r.count("cycles", 123456789ull);
+    r.flag("ok", true);
+    r.flag("bad", false);
+    r.str("machine", "somt");
+    ASSERT_TRUE(r.write());
+
+    auto text = slurp(path);
+    EXPECT_NE(text.find("\"artifact\": \"fig_test\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"scale\": \"quick\""), std::string::npos);
+    EXPECT_NE(text.find("\"seed\": 7"), std::string::npos);
+    EXPECT_NE(text.find("\"speed\": 2.5"), std::string::npos);
+    EXPECT_NE(text.find("\"cycles\": 123456789"), std::string::npos);
+    EXPECT_NE(text.find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(text.find("\"bad\": false"), std::string::npos);
+    EXPECT_NE(text.find("\"machine\": \"somt\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(JsonReport, NonFiniteNumbersSerialiseAsNull)
+{
+    auto path = tempPath("jsonreport_nan.json");
+    JsonReport r("nan_test", scaleWritingTo(path));
+    r.num("nan", std::nan(""));
+    r.num("inf", std::numeric_limits<double>::infinity());
+    r.num("ninf", -std::numeric_limits<double>::infinity());
+    r.num("fine", 1.0);
+    ASSERT_TRUE(r.write());
+
+    auto text = slurp(path);
+    EXPECT_NE(text.find("\"nan\": null"), std::string::npos);
+    EXPECT_NE(text.find("\"inf\": null"), std::string::npos);
+    EXPECT_NE(text.find("\"ninf\": null"), std::string::npos);
+    EXPECT_NE(text.find("\"fine\": 1"), std::string::npos);
+    EXPECT_EQ(text.find("nan("), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(JsonReport, EscapesStringsAndKeys)
+{
+    auto path = tempPath("jsonreport_escape.json");
+    JsonReport r("escape \"test\"", scaleWritingTo(path));
+    r.str("quote\"key", "a \"quoted\" value");
+    r.str("backslash", "a\\b");
+    r.str("newline", "line1\nline2");
+    r.str("tab", "a\tb");
+    r.str("control", std::string("bell\x07"));
+    ASSERT_TRUE(r.write());
+
+    auto text = slurp(path);
+    EXPECT_NE(text.find("\"artifact\": \"escape \\\"test\\\"\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"quote\\\"key\": \"a \\\"quoted\\\" "
+                        "value\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"a\\\\b\""), std::string::npos);
+    EXPECT_NE(text.find("\"line1\\nline2\""), std::string::npos);
+    EXPECT_NE(text.find("\"a\\tb\""), std::string::npos);
+    EXPECT_NE(text.find("\"bell\\u0007\""), std::string::npos);
+    // No raw newline may survive inside a serialised string.
+    EXPECT_EQ(text.find("line1\nline2"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(JsonReport, MetricsKeepInsertionOrder)
+{
+    auto path = tempPath("jsonreport_order.json");
+    JsonReport r("order_test", scaleWritingTo(path));
+    r.num("zeta", 1);
+    r.num("alpha", 2);
+    ASSERT_TRUE(r.write());
+    auto text = slurp(path);
+    EXPECT_LT(text.find("\"zeta\""), text.find("\"alpha\""));
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------
+// mean
+// ---------------------------------------------------------------
+TEST(Mean, HandlesEmptyAndValues)
+{
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+}
+
+} // namespace
+} // namespace capsule::bench

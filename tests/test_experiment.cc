@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The experiment engine: thread-pool mechanics, registry coverage of
+ * every workload, and the central determinism guarantee — a sweep
+ * executed on many host threads returns results byte-identical to
+ * the serial (--jobs 1) run, field for field, for all RunStats
+ * counters and all workload metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "harness/experiment.hh"
+#include "harness/thread_pool.hh"
+#include "workloads/dijkstra.hh"
+#include "workloads/mcf_route.hh"
+#include "workloads/quicksort.hh"
+#include "workloads/workload.hh"
+
+namespace capsule
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// thread pool
+// ---------------------------------------------------------------
+TEST(ThreadPool, RunsEverySubmittedJob)
+{
+    harness::ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    harness::ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { ++count; });
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker)
+{
+    harness::ThreadPool pool(0);
+    EXPECT_EQ(pool.threads(), 1);
+    harness::ThreadPool pool2(-3);
+    EXPECT_EQ(pool2.threads(), 1);
+}
+
+TEST(ThreadPool, MoreWorkersThanJobs)
+{
+    harness::ThreadPool pool(16);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+// ---------------------------------------------------------------
+// runner mechanics
+// ---------------------------------------------------------------
+std::vector<harness::SweepPoint>
+labelPoints(int n)
+{
+    std::vector<harness::SweepPoint> points;
+    for (int i = 0; i < n; ++i) {
+        harness::SweepPoint pt;
+        pt.label = "point" + std::to_string(i);
+        pt.run = [i] {
+            wl::WorkloadResult res;
+            res.workload = "synthetic";
+            res.stats.cycles = Cycle(i);
+            res.correct = true;
+            res.setMetric("index", double(i));
+            return res;
+        };
+        points.push_back(std::move(pt));
+    }
+    return points;
+}
+
+TEST(ExperimentRunner, ReturnsResultsInSubmissionOrder)
+{
+    harness::ExperimentRunner runner(8);
+    auto results = runner.run(labelPoints(50));
+    ASSERT_EQ(results.size(), 50u);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(results[std::size_t(i)].stats.cycles, Cycle(i));
+        EXPECT_EQ(results[std::size_t(i)].metric("index"), i);
+    }
+}
+
+TEST(ExperimentRunner, DefaultsToHostConcurrency)
+{
+    harness::ExperimentRunner runner(0);
+    EXPECT_EQ(runner.jobs(), harness::hostConcurrency());
+    harness::ExperimentRunner one(1);
+    EXPECT_EQ(one.jobs(), 1);
+}
+
+TEST(ExperimentRunner, EmptySweep)
+{
+    harness::ExperimentRunner runner(4);
+    EXPECT_TRUE(runner.run({}).empty());
+}
+
+TEST(ExperimentRunner, PointExceptionPropagates)
+{
+    harness::SweepPoint bad;
+    bad.label = "bad";
+    bad.run = []() -> wl::WorkloadResult {
+        throw std::runtime_error("boom");
+    };
+    auto points = labelPoints(3);
+    points.push_back(std::move(bad));
+    harness::ExperimentRunner runner(4);
+    EXPECT_THROW(runner.run(points), std::runtime_error);
+}
+
+// ---------------------------------------------------------------
+// registry coverage
+// ---------------------------------------------------------------
+TEST(WorkloadRegistry, CoversEveryWorkload)
+{
+    const auto &reg = wl::WorkloadRegistry::builtin();
+    for (const char *name :
+         {"dijkstra", "dijkstra-normal", "quicksort", "lzw",
+          "perceptron", "mcf", "vpr", "bzip2", "crafty"})
+        EXPECT_TRUE(reg.contains(name)) << name;
+    EXPECT_EQ(reg.names().size(), 9u);
+}
+
+TEST(WorkloadRegistry, UnknownNameThrows)
+{
+    const auto &reg = wl::WorkloadRegistry::builtin();
+    EXPECT_THROW(reg.run("no-such-workload",
+                         sim::MachineConfig::somt(), {}),
+                 std::out_of_range);
+}
+
+TEST(WorkloadRegistry, EveryFactoryProducesACorrectQuickRun)
+{
+    // One sweep over the whole registry at quick scale, executed on
+    // the pool: proves each factory wires its workload up correctly
+    // and tags the result with its registry name.
+    const auto &reg = wl::WorkloadRegistry::builtin();
+    auto somt = sim::MachineConfig::somt();
+    std::vector<harness::SweepPoint> points;
+    for (const auto &name : reg.names())
+        points.push_back(harness::registryPoint(
+            name, somt, {wl::ScaleLevel::Quick, 1}));
+    auto results = harness::ExperimentRunner(4).run(points);
+    auto names = reg.names();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_TRUE(results[i].correct) << names[i];
+        EXPECT_EQ(results[i].workload, names[i]);
+        EXPECT_GT(results[i].stats.instructions, 0u) << names[i];
+    }
+}
+
+TEST(WorkloadRegistry, MetricMapRoundTrip)
+{
+    wl::WorkloadResult res;
+    EXPECT_FALSE(res.hasMetric("x"));
+    EXPECT_EQ(res.metric("x", -1.0), -1.0);
+    res.setMetric("x", 2.0);
+    res.setMetric("y", 3.0);
+    res.setMetric("x", 4.0);  // overwrite keeps one entry
+    EXPECT_TRUE(res.hasMetric("x"));
+    EXPECT_EQ(res.metric("x"), 4.0);
+    EXPECT_EQ(res.metrics.size(), 2u);
+}
+
+// ---------------------------------------------------------------
+// determinism: parallel == serial, byte for byte
+// ---------------------------------------------------------------
+
+/** A mixed sweep across three machine configurations. */
+std::vector<harness::SweepPoint>
+mixedSweep()
+{
+    std::vector<harness::SweepPoint> points;
+    // Three harness configurations (the paper's three machines), on
+    // the registry path.
+    for (const auto &cfg :
+         {sim::MachineConfig::superscalar(),
+          sim::MachineConfig::smtStatic(), sim::MachineConfig::somt()})
+        points.push_back(harness::registryPoint(
+            "dijkstra", cfg, {wl::ScaleLevel::Quick, 7}));
+    // Custom-parameter closures, as the figure harnesses declare.
+    wl::QuickSortParams qp;
+    qp.length = 600;
+    qp.seed = 11;
+    points.push_back({"quicksort/somt", [qp] {
+                          return wl::runQuickSort(
+                              sim::MachineConfig::somt(), qp);
+                      }});
+    wl::McfParams mp;
+    mp.nodes = 2000;
+    mp.seed = 5;
+    points.push_back({"mcf/somt", [mp] {
+                          return wl::runMcf(sim::MachineConfig::somt(),
+                                            mp);
+                      }});
+    return points;
+}
+
+TEST(Determinism, ParallelSweepIdenticalToSerial)
+{
+    auto serial = harness::ExperimentRunner(1).run(mixedSweep());
+    auto parallel = harness::ExperimentRunner(4).run(mixedSweep());
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        // Field-exact RunStats equality (cycles, instruction counts,
+        // every division/lock/swap counter, the derived rates) plus
+        // the full metric map — the defaulted operator== compares
+        // every member.
+        EXPECT_EQ(serial[i].stats, parallel[i].stats) << i;
+        EXPECT_EQ(serial[i], parallel[i]) << i;
+        EXPECT_TRUE(serial[i].correct) << i;
+    }
+}
+
+TEST(Determinism, RepeatedParallelRunsIdentical)
+{
+    harness::ExperimentRunner runner(8);
+    auto a = runner.run(mixedSweep());
+    auto b = runner.run(mixedSweep());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << i;
+}
+
+} // namespace
+} // namespace capsule

@@ -92,7 +92,7 @@ TEST(Throttle, HelpsTinyWorkersOnLzw)
     EXPECT_LE(double(with.stats.cycles),
               double(without.stats.cycles) * 1.05);
     // Throttling suppresses some fragmentation.
-    EXPECT_LE(with.chunks, without.chunks);
+    EXPECT_LE(with.metric("chunks"), without.metric("chunks"));
 }
 
 TEST(Throttle, EngagesOnPerceptron)

@@ -280,9 +280,9 @@ TEST(DivisionAccounting, FewerContextsFewerGrantsHigherCycles)
     auto c8 = wl::runMcf(sim::MachineConfig::somt(8), p);
     EXPECT_TRUE(c2.correct);
     EXPECT_TRUE(c8.correct);
-    EXPECT_LE(c2.sectionStats.divisionsGranted,
-              c8.sectionStats.divisionsGranted);
-    EXPECT_GE(c2.sectionStats.cycles, c8.sectionStats.cycles);
+    EXPECT_LE(c2.stats.divisionsGranted,
+              c8.stats.divisionsGranted);
+    EXPECT_GE(c2.stats.cycles, c8.stats.cycles);
 }
 
 TEST(LzwProperty, ChunkCountMatchesGrantsPlusOne)
@@ -293,7 +293,7 @@ TEST(LzwProperty, ChunkCountMatchesGrantsPlusOne)
     p.minSplit = 32;
     auto r = wl::runLzw(sim::MachineConfig::somt(), p);
     ASSERT_TRUE(r.correct);
-    EXPECT_EQ(std::uint64_t(r.chunks),
+    EXPECT_EQ(std::uint64_t(r.metric("chunks")),
               r.stats.divisionsGranted + 1);
 }
 

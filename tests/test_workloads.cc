@@ -203,7 +203,7 @@ TEST_P(LzwOnConfig, RoundTripsUnderPolicy)
     p.minSplit = 64;
     auto res = runLzw(configByName(GetParam()), p);
     EXPECT_TRUE(res.correct) << GetParam();
-    EXPECT_GT(res.chunks, 0);
+    EXPECT_GT(res.metric("chunks"), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Policies, LzwOnConfig,
@@ -255,8 +255,8 @@ TEST(Mcf, ProbesAtEveryInternalNode)
     p.nodes = 3000;
     auto res = runMcf(sim::MachineConfig::somt(), p);
     // Requests scale with the tree, not with the grant count.
-    EXPECT_GT(res.sectionStats.divisionsRequested, 500u);
-    EXPECT_GT(res.sectionStats.divisionsGranted, 0u);
+    EXPECT_GT(res.stats.divisionsRequested, 500u);
+    EXPECT_GT(res.stats.divisionsGranted, 0u);
 }
 
 TEST(Vpr, ConvergesUnderBothPolicies)
@@ -264,10 +264,10 @@ TEST(Vpr, ConvergesUnderBothPolicies)
     VprParams p;  // defaults: 32x32 grid, 16 nets, capacity 2
     auto seq = runVpr(sim::MachineConfig::superscalar(), p);
     auto par = runVpr(sim::MachineConfig::somt(), p);
-    EXPECT_TRUE(seq.converged);
-    EXPECT_TRUE(par.converged);
-    EXPECT_GE(par.iterations, 1);
-    EXPECT_GE(seq.iterations, 1);
+    EXPECT_TRUE(seq.correct);  // converged
+    EXPECT_TRUE(par.correct);
+    EXPECT_GE(par.metric("iterations"), 1);
+    EXPECT_GE(seq.metric("iterations"), 1);
 }
 
 TEST(Vpr, ParallelNeedsAtLeastAsManyIterations)
@@ -277,9 +277,9 @@ TEST(Vpr, ParallelNeedsAtLeastAsManyIterations)
     VprParams p;
     auto seq = runVpr(sim::MachineConfig::superscalar(), p);
     auto par = runVpr(sim::MachineConfig::somt(), p);
-    ASSERT_TRUE(seq.converged);
-    ASSERT_TRUE(par.converged);
-    EXPECT_GE(par.iterations, seq.iterations);
+    ASSERT_TRUE(seq.correct);  // converged
+    ASSERT_TRUE(par.correct);
+    EXPECT_GE(par.metric("iterations"), seq.metric("iterations"));
 }
 
 TEST(Bzip, SuffixOrderMatchesGolden)
@@ -310,7 +310,7 @@ TEST(Crafty, PoolSpinsWhileWaiting)
     p.poolThreads = 7;
     auto res = runCrafty(sim::MachineConfig::somt(8), p);
     EXPECT_TRUE(res.correct);
-    EXPECT_GT(res.spinIterations, 0u);
+    EXPECT_GT(res.metric("spin_iterations"), 0);
 }
 
 // ---------------------------------------------------------------
