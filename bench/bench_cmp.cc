@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Section 5, "Potential impact of CMPs on dynamic spawning" — on the
+ * real CMP backend. Where this harness once only *approximated* a CMP
+ * by sweeping an extra division latency on the single SMT machine, it
+ * now simulates 1/2/4/8 SOMT cores (at a fixed total of 8 hardware
+ * contexts, so the organisations compare at equal thread capacity)
+ * sharing an L2 and one global division budget, and sweeps a 0–200
+ * cycle division latency on the mcf analogue and on Dijkstra.
+ *
+ * The latency knob differs per column, matching what each
+ * organisation would actually pay: the 1-core column sweeps the
+ * paper's own axis — an extra latency on *every* granted division
+ * (`divisionExtraLatency`, the Section-5 experiment, which observed
+ * < 1 % average variation because even mcf divides only once every
+ * ~3.7K instructions) — while the multi-core columns sweep the
+ * cross-core transfer latency (`cmp.crossCoreDivLatency`), paid only
+ * by divisions that spill to a remote core, whose children also
+ * start against a cold private L1.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <iterator>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "harness/experiment.hh"
+#include "workloads/workload.hh"
+
+using namespace capsule;
+
+namespace
+{
+
+constexpr int coreCounts[] = {1, 2, 4, 8};
+constexpr Cycle latencies[] = {0, 25, 50, 100, 200};
+constexpr int totalContexts = 8;
+const char *const workloads[] = {"mcf", "dijkstra"};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto scale = bench::parseScale(argc, argv);
+    bench::banner("CMP backend (core-count x division-latency sweep)",
+                  scale);
+
+    // One sweep over the full cross product; results come back in
+    // submission order: workload-major, then cores, then latency.
+    std::vector<harness::SweepPoint> points;
+    for (const char *wlName : workloads) {
+        for (int cores : coreCounts) {
+            for (Cycle lat : latencies) {
+                auto cfg = sim::MachineConfig::cmpSomt(
+                    cores, totalContexts / cores);
+                if (cores == 1)
+                    cfg.divisionExtraLatency = lat;  // the SMT axis
+                else
+                    cfg.cmp.crossCoreDivLatency = lat;
+                points.push_back(harness::registryPoint(
+                    wlName, cfg, scale.request(scale.seed),
+                    std::string(wlName) + "/cores" +
+                        std::to_string(cores) + "/lat" +
+                        std::to_string(lat)));
+            }
+        }
+    }
+    auto results = scale.runner().run(points);
+
+    bench::JsonReport report("cmp", scale);
+    bool allCorrect = true;
+    auto pct = [](Cycle a, Cycle base) {
+        return (double(a) / double(base) - 1.0) * 100.0;
+    };
+
+    constexpr std::size_t nLat = std::size(latencies);
+    constexpr std::size_t nCores = std::size(coreCounts);
+    std::size_t at = 0;
+    for (const char *wlName : workloads) {
+        std::vector<std::string> header{"division latency"};
+        for (int cores : coreCounts)
+            header.push_back(cores == 1
+                                 ? std::string("1 core x 8 ctx (SMT "
+                                               "per-div latency)")
+                                 : std::to_string(cores) +
+                                       " cores x " +
+                                       std::to_string(totalContexts /
+                                                      cores) +
+                                       " ctx (cross-core)");
+        TextTable t(std::move(header));
+
+        // cycles[c][l] for this workload.
+        std::vector<std::vector<Cycle>> cycles(nCores);
+        std::vector<std::uint64_t> remote(nCores, 0);
+        for (std::size_t c = 0; c < nCores; ++c) {
+            for (std::size_t l = 0; l < nLat; ++l) {
+                const auto &r = results[at++];
+                allCorrect = allCorrect && r.correct;
+                cycles[c].push_back(r.stats.cycles);
+                if (l == 0)
+                    remote[c] = r.stats.divisionsRemote;
+            }
+        }
+
+        double smtWorstDelta = 0.0, cmpWorstDelta = 0.0;
+        for (std::size_t l = 0; l < nLat; ++l) {
+            std::vector<std::string> row{
+                std::to_string(latencies[l]) + " cy"};
+            for (std::size_t c = 0; c < nCores; ++c) {
+                double d = pct(cycles[c][l], cycles[c][0]);
+                (c == 0 ? smtWorstDelta : cmpWorstDelta) = std::max(
+                    c == 0 ? smtWorstDelta : cmpWorstDelta,
+                    std::abs(d));
+                row.push_back(TextTable::count(cycles[c][l]) + " (" +
+                              TextTable::num(d, 2) + "%)");
+            }
+            t.addRow(std::move(row));
+        }
+        t.render(std::cout);
+
+        // Remote-division profile and the CMP-vs-SMT comparison at
+        // the zero-latency baseline. Only genuinely multi-core
+        // organisations enter the speedup, so a uniformly slower CMP
+        // reports < 1.0 instead of being floored by the SMT column.
+        Cycle smtBase = cycles[0][0];
+        double bestSpeedup = 0.0;
+        std::printf("  remote divisions at lat 0:");
+        for (std::size_t c = 0; c < nCores; ++c) {
+            std::printf(" %d-core=%llu", coreCounts[c],
+                        (unsigned long long)remote[c]);
+            if (c > 0)
+                bestSpeedup = std::max(
+                    bestSpeedup,
+                    double(smtBase) / double(cycles[c][0]));
+        }
+        std::printf("\n\n");
+
+        std::string key(wlName);
+        report.num(key + "_smt_worst_delta_pct", smtWorstDelta);
+        report.num(key + "_cmp_worst_delta_pct", cmpWorstDelta);
+        report.num(key + "_cmp_best_speedup", bestSpeedup);
+        report.count(key + "_smt_cycles", smtBase);
+        report.count(key + "_8core_cycles", cycles[nCores - 1][0]);
+        report.count(key + "_8core_remote_divisions",
+                     remote[nCores - 1]);
+    }
+
+    std::printf("paper: < 1%% average variation up to 200 cycles of "
+                "per-division latency (the 1-core\ncolumn sweeps "
+                "exactly that knob); multi-core columns pay the "
+                "cross-core transfer\nonly on remote grants — a "
+                "denied probe stays a local constant-time check\n");
+
+    report.count("max_cross_core_latency_cycles",
+                 latencies[nLat - 1]);
+    report.count("total_contexts", totalContexts);
+    report.flag("all_correct", allCorrect);
+    return report.write() && allCorrect ? 0 : 1;
+}

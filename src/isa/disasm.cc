@@ -36,9 +36,12 @@ disassemble(const StaticInst &inst)
       case OpClass::IntMult:
       case OpClass::FpAlu:
       case OpClass::FpMult:
-        os << ' ' << regName(inst.rd, fp);
+        // Register banks per operand: fcmp writes an int register
+        // from fp sources, fcvt reads an int register into fp.
+        os << ' ' << regName(inst.rd, writesFpReg(inst.op));
         if (inst.rs1 != noReg)
-            os << ", " << regName(inst.rs1, fp);
+            os << ", "
+               << regName(inst.rs1, fp && inst.op != Opcode::Fcvt);
         if (inst.rs2 != noReg)
             os << ", " << regName(inst.rs2, fp);
         else if (inst.op >= Opcode::Addi && inst.op <= Opcode::Lui)
@@ -59,6 +62,8 @@ disassemble(const StaticInst &inst)
       case OpClass::Jump:
         if (inst.op == Opcode::Jr)
             os << ' ' << regName(inst.rs1, false);
+        else if (inst.op == Opcode::Jal)
+            os << ' ' << regName(inst.rd, false) << ", " << inst.imm;
         else
             os << ' ' << inst.imm;
         break;

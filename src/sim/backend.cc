@@ -1,0 +1,28 @@
+#include "sim/backend.hh"
+
+#include <stdexcept>
+
+#include "sim/cmp_machine.hh"
+#include "sim/machine.hh"
+
+namespace capsule::sim
+{
+
+std::vector<std::string>
+backendNames()
+{
+    return {"smt", "cmp"};
+}
+
+std::unique_ptr<MachineBackend>
+makeBackend(const MachineConfig &cfg)
+{
+    if (cfg.backend == "smt")
+        return std::make_unique<Machine>(cfg);
+    if (cfg.backend == "cmp")
+        return std::make_unique<CmpMachine>(cfg);
+    throw std::invalid_argument("unknown simulation backend: '" +
+                                cfg.backend + "' (expected smt or cmp)");
+}
+
+} // namespace capsule::sim

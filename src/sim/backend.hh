@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The simulation-backend seam: every machine organisation (the
+ * single-core SMT pipeline, the multi-core CMP) presents the same
+ * narrow surface — add ancestor threads, run to completion, report
+ * one `RunStats` — and is selected by name through `makeBackend()`.
+ * The workload layer (`wl::simulate`) routes through this seam, so
+ * every registry workload and every experiment-engine sweep can
+ * target any backend by setting `MachineConfig::backend`.
+ */
+
+#ifndef CAPSULE_SIM_BACKEND_HH
+#define CAPSULE_SIM_BACKEND_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "front/program.hh"
+#include "sim/config.hh"
+
+namespace capsule::sim
+{
+
+/** Aggregate results of one simulation run. */
+struct RunStats
+{
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;
+    std::uint64_t divisionsRequested = 0;
+    std::uint64_t divisionsGranted = 0;
+    std::uint64_t divisionsThrottled = 0;
+    /** Divisions granted to a remote core (CMP backend; 0 on SMT). */
+    std::uint64_t divisionsRemote = 0;
+    std::uint64_t threadDeaths = 0;
+    std::uint64_t lockConflicts = 0;
+    std::uint64_t swapsOut = 0;
+    std::uint64_t swapsIn = 0;
+    double bpredAccuracy = 0.0;
+    double l1dMissRate = 0.0;
+    int peakLiveThreads = 0;
+    /** Mean number of threads in the Active state per cycle. */
+    double avgActiveThreads = 0.0;
+
+    /** Field-exact equality, for parallel == serial determinism
+     *  checks in the experiment engine. */
+    bool operator==(const RunStats &) const = default;
+};
+
+/**
+ * Observer invoked on every granted division with (parent, child)
+ * thread ids; used to reconstruct division genealogy (Figure 6).
+ * Thread ids are unique machine-wide, including across CMP cores.
+ */
+using DivisionObserver = std::function<void(ThreadId, ThreadId)>;
+
+/** The common surface of every simulation backend. */
+class MachineBackend
+{
+  public:
+    virtual ~MachineBackend() = default;
+
+    /**
+     * Add a thread running `program`. Threads added before run() are
+     * the ancestors; nthr-spawned children are added internally.
+     * @return the new thread's id
+     */
+    virtual ThreadId addThread(std::unique_ptr<front::Program> p) = 0;
+
+    /** Run to completion (all threads finished) or cfg.maxCycles. */
+    virtual RunStats run() = 0;
+
+    /** Snapshot the aggregate run statistics. */
+    virtual RunStats stats() const = 0;
+
+    virtual void setDivisionObserver(DivisionObserver obs) = 0;
+
+    virtual const MachineConfig &config() const = 0;
+
+    /** Dump the full named-counter statistics. */
+    virtual void dumpStats(std::ostream &os) const = 0;
+};
+
+/** The registered backend names, in selection order. */
+std::vector<std::string> backendNames();
+
+/**
+ * Build the backend `cfg.backend` selects ("smt" or "cmp").
+ * @throws std::invalid_argument on an unknown backend name
+ */
+std::unique_ptr<MachineBackend> makeBackend(const MachineConfig &cfg);
+
+} // namespace capsule::sim
+
+#endif // CAPSULE_SIM_BACKEND_HH

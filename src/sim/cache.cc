@@ -111,10 +111,13 @@ Cache::registerStats(StatGroup &g) const
                  "miss rate");
 }
 
-MemoryHierarchy::MemoryHierarchy(const Params &params)
-    : l2Cache(params.l2, nullptr, params.memLatency),
-      l1iCache(params.l1i, &l2Cache, params.memLatency),
-      l1dCache(params.l1d, &l2Cache, params.memLatency)
+MemoryHierarchy::MemoryHierarchy(const Params &params, Cache *shared_l2)
+    : l2Cache(shared_l2 ? nullptr
+                        : std::make_unique<Cache>(params.l2, nullptr,
+                                                  params.memLatency)),
+      l2Ptr(shared_l2 ? shared_l2 : l2Cache.get()),
+      l1iCache(params.l1i, l2Ptr, params.memLatency),
+      l1dCache(params.l1d, l2Ptr, params.memLatency)
 {
 }
 
@@ -123,7 +126,8 @@ MemoryHierarchy::flush()
 {
     l1iCache.flush();
     l1dCache.flush();
-    l2Cache.flush();
+    if (l2Cache)
+        l2Cache->flush();
 }
 
 void
@@ -131,7 +135,8 @@ MemoryHierarchy::registerStats(StatGroup &g) const
 {
     l1iCache.registerStats(g);
     l1dCache.registerStats(g);
-    l2Cache.registerStats(g);
+    if (l2Cache)
+        l2Cache->registerStats(g);
 }
 
 } // namespace capsule::sim

@@ -11,6 +11,7 @@
 #define CAPSULE_SIM_CACHE_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "base/stats.hh"
@@ -102,7 +103,14 @@ class MemoryHierarchy
         Cycle memLatency = 200;
     };
 
-    explicit MemoryHierarchy(const Params &params);
+    /**
+     * With `shared_l2` null the hierarchy owns its L2 (Table 1). A
+     * non-null `shared_l2` is the per-core view of a CMP: the L1s
+     * miss into the caller-owned external L2 (the caller registers
+     * its stats once), and `params.l2` is ignored.
+     */
+    explicit MemoryHierarchy(const Params &params,
+                             Cache *shared_l2 = nullptr);
 
     /** Instruction fetch; returns latency. */
     Cycle fetchAccess(Addr pc) { return l1iCache.access(pc, false); }
@@ -115,16 +123,22 @@ class MemoryHierarchy
 
     Cache &l1i() { return l1iCache; }
     Cache &l1d() { return l1dCache; }
-    Cache &l2() { return l2Cache; }
+    Cache &l2() { return *l2Ptr; }
     const Cache &l1iConst() const { return l1iCache; }
     const Cache &l1dConst() const { return l1dCache; }
-    const Cache &l2Const() const { return l2Cache; }
+    const Cache &l2Const() const { return *l2Ptr; }
 
+    /** True when this hierarchy owns its L2 (non-CMP organisation). */
+    bool ownsL2() const { return l2Cache != nullptr; }
+
+    /** Flush the L1s and, when owned, the L2. */
     void flush();
+    /** Register L1 stats and, when owned, L2 stats. */
     void registerStats(StatGroup &g) const;
 
   private:
-    Cache l2Cache;
+    std::unique_ptr<Cache> l2Cache;  ///< null when the L2 is shared
+    Cache *l2Ptr;                    ///< owned or external L2
     Cache l1iCache;
     Cache l1dCache;
 };

@@ -1,0 +1,203 @@
+#include "sim/cmp_machine.hh"
+
+#include "base/logging.hh"
+
+namespace capsule::sim
+{
+
+CmpMachine::CmpMachine(const MachineConfig &config)
+    : cfg(config),
+      l2(config.cmp.l2Config, nullptr, config.mem.memLatency),
+      locks(config.lockTableCapacity),
+      divCtrl(config.division)
+{
+    CAPSULE_ASSERT(cfg.cmp.numCores >= 1, "CMP needs at least 1 core");
+    cores.reserve(std::size_t(cfg.cmp.numCores));
+    for (int i = 0; i < cfg.cmp.numCores; ++i) {
+        MachineConfig coreCfg = cfg;
+        coreCfg.name = cfg.name + ".core" + std::to_string(i);
+        CoreLinks links;
+        links.coreId = i;
+        links.sharedL2 = &l2;
+        links.sharedLocks = &locks;
+        links.sharedDivCtrl = &divCtrl;
+        links.tidCounter = &nextTid;
+        links.coupling = this;
+        cores.push_back(std::make_unique<Machine>(coreCfg, links));
+    }
+}
+
+CmpMachine::~CmpMachine() = default;
+
+ThreadId
+CmpMachine::addThread(std::unique_ptr<front::Program> program)
+{
+    ThreadId tid = cores.front()->addThread(std::move(program));
+    peakLive = std::max(peakLive, liveThreads());
+    return tid;
+}
+
+int
+CmpMachine::liveThreads() const
+{
+    int n = 0;
+    for (const auto &c : cores)
+        n += c->liveThreads();
+    return n;
+}
+
+Machine &
+CmpMachine::owningCore(ThreadId tid)
+{
+    for (auto &c : cores)
+        if (c->ownsThread(tid))
+            return *c;
+    CAPSULE_PANIC("thread ", tid, " lives on no core");
+}
+
+// --------------------------------------------------------------------
+// CmpCoupling: division arbitration and cross-core plumbing
+// --------------------------------------------------------------------
+DivisionGrant
+CmpMachine::requestDivision(int core, Cycle when, bool local_free)
+{
+    DivisionGrant g;
+    int target = -1;
+    if (!local_free) {
+        // Remote fallback: the core with the most free contexts,
+        // ties to the lowest id (deterministic ascending scan).
+        int best = 0;
+        for (int i = 0; i < numCores(); ++i) {
+            if (i == core)
+                continue;
+            int f = cores[std::size_t(i)]->freeContexts();
+            if (f > best) {
+                best = f;
+                target = i;
+            }
+        }
+    }
+    bool anyFree = local_free || target >= 0;
+    g.granted = divCtrl.request(when, anyFree);
+    if (g.granted && !local_free) {
+        g.remote = true;
+        g.targetCore = target;
+        ++nRemoteDivisions;
+    }
+    return g;
+}
+
+ThreadId
+CmpMachine::adoptRemoteChild(int target_core, int from_core,
+                             ThreadId parent,
+                             std::unique_ptr<front::Program> child)
+{
+    CAPSULE_ASSERT(target_core >= 0 && target_core < numCores() &&
+                       target_core != from_core,
+                   "bad remote division target ", target_core);
+    (void)parent;
+    ThreadId tid =
+        cores[std::size_t(target_core)]->adoptThread(std::move(child));
+    peakLive = std::max(peakLive, liveThreads());
+    return tid;
+}
+
+void
+CmpMachine::activateRemoteChild(ThreadId child, Cycle when)
+{
+    owningCore(child).activateThread(child, when);
+}
+
+void
+CmpMachine::wakeRemoteWaiter(ThreadId tid)
+{
+    owningCore(tid).wakeWaiter(tid);
+}
+
+// --------------------------------------------------------------------
+// top level
+// --------------------------------------------------------------------
+bool
+CmpMachine::step()
+{
+    if (liveThreads() == 0)
+        return false;
+    for (auto &c : cores)
+        c->stepShared();
+    ++curCycle;
+    peakLive = std::max(peakLive, liveThreads());
+    return true;
+}
+
+RunStats
+CmpMachine::run()
+{
+    while (step()) {
+    }
+    return stats();
+}
+
+void
+CmpMachine::setDivisionObserver(DivisionObserver obs)
+{
+    for (auto &c : cores)
+        c->setDivisionObserver(obs);
+}
+
+RunStats
+CmpMachine::stats() const
+{
+    RunStats s;
+    s.cycles = curCycle;
+    s.divisionsRequested = divCtrl.requested();
+    s.divisionsGranted = divCtrl.granted();
+    s.divisionsThrottled = divCtrl.throttled();
+    s.divisionsRemote = nRemoteDivisions;
+    s.lockConflicts = locks.conflicts();
+    s.peakLiveThreads = peakLive;
+
+    std::uint64_t activeSum = 0;
+    std::uint64_t bpLookups = 0, bpCorrect = 0;
+    std::uint64_t l1dHits = 0, l1dMisses = 0;
+    for (const auto &c : cores) {
+        s.instructions += c->committedInstructions();
+        s.threadDeaths += c->threadDeaths();
+        s.swapsOut += c->contextStack().swapsOut();
+        s.swapsIn += c->contextStack().swapsIn();
+        activeSum += c->activeCycleSum();
+        bpLookups += c->predictor().lookups();
+        bpCorrect += c->predictor().correct();
+        l1dHits += c->memoryConst().l1dConst().hits();
+        l1dMisses += c->memoryConst().l1dConst().misses();
+    }
+    s.ipc = curCycle ? double(s.instructions) / double(curCycle) : 0.0;
+    s.avgActiveThreads =
+        curCycle ? double(activeSum) / double(curCycle) : 0.0;
+    s.bpredAccuracy =
+        bpLookups ? double(bpCorrect) / double(bpLookups) : 0.0;
+    std::uint64_t l1dTotal = l1dHits + l1dMisses;
+    s.l1dMissRate = l1dTotal ? double(l1dMisses) / double(l1dTotal)
+                             : 0.0;
+    return s;
+}
+
+void
+CmpMachine::dumpStats(std::ostream &os) const
+{
+    StatGroup g(cfg.name);
+    g.addFormula("cycles", [this] { return double(curCycle); },
+                 "simulated cycles");
+    g.addFormula("cores", [this] { return double(numCores()); },
+                 "CMP cores");
+    g.addFormula("remote_divisions",
+                 [this] { return double(nRemoteDivisions); },
+                 "divisions granted to a remote core");
+    divCtrl.registerStats(g);
+    locks.registerStats(g);
+    l2.registerStats(g);
+    g.dump(os);
+    for (const auto &c : cores)
+        c->dumpStats(os);
+}
+
+} // namespace capsule::sim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The CMP backend (Section 5, "Potential impact of CMPs on dynamic
+ * spawning"): `cmp.numCores` SOMT cores stepped in lockstep on one
+ * host thread. Each core keeps its own hardware contexts, L1 caches
+ * and inactive-context stack; all cores share one L2, one fast
+ * locking table and one global division budget (controller + death
+ * throttle).
+ *
+ * Division semantics across cores:
+ *  - the *probe* part of `nthr` (grant/deny) is a local constant-time
+ *    check against the replicated free-context scoreboard — it costs
+ *    the same whether the machine has 1 or 8 cores;
+ *  - a grant prefers a free context on the *home* core (identical to
+ *    the SMT backend: register-copy latency only);
+ *  - with the home core full, the grant may land on the remote core
+ *    with the most free contexts (ties to the lowest core id). The
+ *    child then activates `crossCoreDivLatency` later (register file
+ *    over the interconnect) plus `coldL1Penalty` (transfer of the
+ *    parent's hot lines), and its first touches miss its cold private
+ *    L1 into the shared L2 — that part emerges from the cache model.
+ *
+ * Determinism: cores are stepped in core-id order within each cycle,
+ * so shared-L2 and division-controller accesses are totally ordered;
+ * a CMP run is a pure function of (config, workload, seed) like every
+ * other backend, and byte-identical at any experiment-engine --jobs
+ * count. At numCores=1 the backend reproduces the SMT machine's cycle
+ * counts exactly (asserted by tests/test_cmp_machine.cc).
+ */
+
+#ifndef CAPSULE_SIM_CMP_MACHINE_HH
+#define CAPSULE_SIM_CMP_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/backend.hh"
+#include "sim/machine.hh"
+
+namespace capsule::sim
+{
+
+/** N lockstep SOMT cores with a shared L2 and division budget. */
+class CmpMachine : public MachineBackend, private CmpCoupling
+{
+  public:
+    explicit CmpMachine(const MachineConfig &config);
+    ~CmpMachine() override;
+
+    CmpMachine(const CmpMachine &) = delete;
+    CmpMachine &operator=(const CmpMachine &) = delete;
+
+    /** Ancestors start on core 0. */
+    ThreadId addThread(std::unique_ptr<front::Program> program) override;
+
+    RunStats run() override;
+
+    /** Advance every core one cycle. @return false once all threads
+     *  on all cores have finished. */
+    bool step();
+
+    RunStats stats() const override;
+
+    /** Observes divisions on every core; parent/child ids are unique
+     *  machine-wide, so cross-core genealogy needs no translation. */
+    void setDivisionObserver(DivisionObserver obs) override;
+
+    const MachineConfig &config() const override { return cfg; }
+
+    void dumpStats(std::ostream &os) const override;
+
+    Cycle now() const { return curCycle; }
+    int numCores() const { return int(cores.size()); }
+    const Machine &core(int i) const { return *cores[std::size_t(i)]; }
+    int liveThreads() const;
+
+    /** Divisions granted to a core other than the requester's. */
+    std::uint64_t remoteDivisions() const { return nRemoteDivisions; }
+
+    const DivisionController &
+    divisionController() const
+    {
+        return divCtrl;
+    }
+    const LockTable &lockTable() const { return locks; }
+    const Cache &sharedL2() const { return l2; }
+
+  private:
+    // CmpCoupling (the cores call back into their CMP).
+    DivisionGrant requestDivision(int core, Cycle now,
+                                  bool local_free) override;
+    ThreadId adoptRemoteChild(int target_core, int from_core,
+                              ThreadId parent,
+                              std::unique_ptr<front::Program> child)
+        override;
+    void activateRemoteChild(ThreadId child, Cycle when) override;
+    void wakeRemoteWaiter(ThreadId tid) override;
+
+    /** The core owning `tid` (asserts on unknown ids). */
+    Machine &owningCore(ThreadId tid);
+
+    MachineConfig cfg;
+    Cache l2;
+    LockTable locks;
+    DivisionController divCtrl;
+    ThreadId nextTid = 0;
+    std::vector<std::unique_ptr<Machine>> cores;
+
+    Cycle curCycle = 0;
+    std::uint64_t nRemoteDivisions = 0;
+    int peakLive = 0;
+};
+
+} // namespace capsule::sim
+
+#endif // CAPSULE_SIM_CMP_MACHINE_HH

@@ -44,4 +44,21 @@ MachineConfig::somt(int contexts)
     return c;
 }
 
+MachineConfig
+MachineConfig::cmpSomt(int cores, int contexts_per_core)
+{
+    MachineConfig c = somt(contexts_per_core);
+    c.name = "cmp" + std::to_string(cores) + "x" +
+             std::to_string(contexts_per_core);
+    c.backend = "cmp";
+    c.cmp.numCores = cores;
+    // Throttle on the machine-wide death rate (the budget is global).
+    c.division.deathThreshold = cores * contexts_per_core / 2;
+    // The shared L2 inherits the per-core Table-1 geometry, so a
+    // 1-core CMP is cache-identical to the SMT backend.
+    c.cmp.l2Config = c.mem.l2;
+    c.cmp.l2Config.name = "l2.shared";
+    return c;
+}
+
 } // namespace capsule::sim

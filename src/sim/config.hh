@@ -18,10 +18,46 @@
 namespace capsule::sim
 {
 
+/**
+ * CMP organisation (Section 5): N SMT cores, each with its own
+ * hardware contexts, L1 caches and inactive-context stack, sharing
+ * one L2 and one global division budget. A `capsule_divide` whose
+ * home core has no free context may be granted to a remote core at
+ * a cross-core cost; the probe itself (grant/deny) stays a local
+ * constant-time check of the replicated free-context scoreboard.
+ */
+struct CmpParams
+{
+    /** Number of cores (1 = degenerate CMP, cycle-identical to the
+     *  SMT backend; asserted by test_cmp_machine). */
+    int numCores = 1;
+
+    /** Extra cycles to activate a child granted to a *remote* core:
+     *  the register file crosses the interconnect instead of being
+     *  copied within the core (Section 5's division-latency axis). */
+    Cycle crossCoreDivLatency = 40;
+
+    /** One-time activation penalty for a remote child modelling the
+     *  transfer of the parent's hot lines: the child's private L1 is
+     *  cold and its first touches migrate through the shared L2
+     *  (which the cache model then charges per access). */
+    Cycle coldL1Penalty = 20;
+
+    /** Geometry of the *shared* L2 (replaces the per-core `mem.l2`
+     *  when the CMP backend is selected). */
+    CacheParams l2Config{"l2.shared", 1024 * 1024, 8, 64, 12};
+};
+
 /** Full machine configuration (Table 1 defaults). */
 struct MachineConfig
 {
     std::string name = "somt";
+
+    /** Simulation backend selector: "smt" (the single-core SOMT
+     *  pipeline) or "cmp" (numCores lockstep SOMT cores). Workloads
+     *  and the experiment engine route through makeBackend() on this
+     *  name (see sim/backend.hh). */
+    std::string backend = "smt";
 
     // Thread resources.
     int numContexts = 8;
@@ -69,6 +105,9 @@ struct MachineConfig
     /** Extra division latency (CMP extrapolation sweep, Section 5). */
     Cycle divisionExtraLatency = 0;
 
+    /** Multi-core organisation; consulted only by the "cmp" backend. */
+    CmpParams cmp;
+
     /** Safety net for runaway simulations. */
     Cycle maxCycles = 2'000'000'000ULL;
 
@@ -76,6 +115,14 @@ struct MachineConfig
     static MachineConfig superscalar();
     static MachineConfig smtStatic(int contexts = 8);
     static MachineConfig somt(int contexts = 8);
+
+    /**
+     * A CMP of SOMT cores on the "cmp" backend. The division death
+     * throttle stays sized by the *total* context count so the 1/2/4/8
+     * core sweep at fixed total contexts compares organisations, not
+     * policies; the shared L2 keeps the per-core Table-1 geometry.
+     */
+    static MachineConfig cmpSomt(int cores, int contexts_per_core = 8);
 };
 
 } // namespace capsule::sim

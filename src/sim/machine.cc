@@ -25,14 +25,24 @@ isMemOp(OpClass cls)
 } // namespace
 
 Machine::Machine(const MachineConfig &config)
+    : Machine(config, CoreLinks{})
+{
+}
+
+Machine::Machine(const MachineConfig &config, const CoreLinks &links_)
     : cfg(config),
+      links(links_),
+      tidCounter(links_.tidCounter ? links_.tidCounter : &ownNextTid),
       slotOwner(std::size_t(config.numContexts), invalidThread),
       ruu(std::size_t(config.ruuSize)),
-      mem(config.mem),
+      mem(config.mem, links_.sharedL2),
       bpred(),
-      locks(config.lockTableCapacity),
-      ctxStack(config.ctxStack),
-      divCtrl(config.division)
+      ownLocks(config.lockTableCapacity),
+      ownDivCtrl(config.division),
+      locks(links_.sharedLocks ? links_.sharedLocks : &ownLocks),
+      divCtrl(links_.sharedDivCtrl ? links_.sharedDivCtrl
+                                   : &ownDivCtrl),
+      ctxStack(config.ctxStack)
 {
     ruuFreeList.reserve(ruu.size());
     for (int i = int(ruu.size()) - 1; i >= 0; --i)
@@ -44,17 +54,23 @@ Machine::~Machine() = default;
 Machine::Thread &
 Machine::thread(ThreadId tid)
 {
-    CAPSULE_ASSERT(tid >= 0 && std::size_t(tid) < threads.size(),
-                   "bad tid ", tid);
-    return *threads[std::size_t(tid)];
+    auto it = tidIndex.find(tid);
+    CAPSULE_ASSERT(it != tidIndex.end(), "bad tid ", tid);
+    return *threads[it->second];
 }
 
 const Machine::Thread &
 Machine::threadConst(ThreadId tid) const
 {
-    CAPSULE_ASSERT(tid >= 0 && std::size_t(tid) < threads.size(),
-                   "bad tid ", tid);
-    return *threads[std::size_t(tid)];
+    auto it = tidIndex.find(tid);
+    CAPSULE_ASSERT(it != tidIndex.end(), "bad tid ", tid);
+    return *threads[it->second];
+}
+
+bool
+Machine::ownsThread(ThreadId tid) const
+{
+    return tidIndex.count(tid) != 0;
 }
 
 int
@@ -85,27 +101,72 @@ Machine::releaseSlot(Thread &t)
     --slotsInUse;
 }
 
-ThreadId
-Machine::addThread(std::unique_ptr<front::Program> program)
+Machine::Thread &
+Machine::newThread(std::unique_ptr<front::Program> program)
 {
-    CAPSULE_ASSERT(freeSlots() > 0,
-                   "no free hardware context for a new thread");
-    ThreadId tid = nextTid++;
+    ThreadId tid = (*tidCounter)++;
     auto t = std::make_unique<Thread>();
     t->tid = tid;
     t->program = std::move(program);
-    t->state = ThreadState::Active;
-    t->slot = -1;
+    tidIndex.emplace(tid, threads.size());
     threads.push_back(std::move(t));
-    renameMaps.emplace_back();
     threads.back()->slot = takeSlot(tid);
+    return *threads.back();
+}
 
+void
+Machine::notePeakThreads()
+{
     int live = liveThreads();
     if (std::uint64_t(live) > nPeakThreads.value()) {
         nPeakThreads.reset();
         nPeakThreads += std::uint64_t(live);
     }
-    return tid;
+}
+
+ThreadId
+Machine::addThread(std::unique_ptr<front::Program> program)
+{
+    CAPSULE_ASSERT(freeSlots() > 0,
+                   "no free hardware context for a new thread");
+    Thread &t = newThread(std::move(program));
+    t.state = ThreadState::Active;
+    notePeakThreads();
+    return t.tid;
+}
+
+ThreadId
+Machine::adoptThread(std::unique_ptr<front::Program> program)
+{
+    CAPSULE_ASSERT(freeSlots() > 0,
+                   "adoptThread with no free context");
+    Thread &t = newThread(std::move(program));
+    t.state = ThreadState::Starting;
+    // Activation is scheduled when the parent's nthr commits.
+    t.activationCycle = ~Cycle(0);
+    notePeakThreads();
+    return t.tid;
+}
+
+void
+Machine::activateThread(ThreadId tid, Cycle when)
+{
+    Thread &t = thread(tid);
+    CAPSULE_ASSERT(t.state == ThreadState::Starting,
+                   "activating thread ", tid, " not in Starting state");
+    t.activationCycle = when;
+}
+
+void
+Machine::wakeWaiter(ThreadId tid)
+{
+    Thread &waiter = thread(tid);
+    CAPSULE_ASSERT(waiter.state == ThreadState::LockWait,
+                   "lock granted to a thread that is not waiting");
+    waiter.state = ThreadState::Active;
+    waiter.lockWaitAddr = 0;
+    waiter.fetchReadyCycle =
+        std::max(waiter.fetchReadyCycle, curCycle + 1);
 }
 
 int
@@ -219,32 +280,30 @@ void
 Machine::fetchStage()
 {
     // Rank active threads by in-flight count (Icount policy).
-    std::vector<ThreadId> candidates;
+    std::vector<Thread *> candidates;
     for (const auto &tp : threads) {
-        const Thread &t = *tp;
+        Thread &t = *tp;
         if (t.state != ThreadState::Active)
             continue;
         if (t.fetchReadyCycle > curCycle || t.blockedOnBranch != 0)
             continue;
-        candidates.push_back(t.tid);
+        candidates.push_back(&t);
     }
     std::sort(candidates.begin(), candidates.end(),
-              [this](ThreadId a, ThreadId b) {
-                  const Thread &ta = threadConst(a);
-                  const Thread &tb = threadConst(b);
-                  if (ta.inFlight != tb.inFlight)
-                      return ta.inFlight < tb.inFlight;
-                  return a < b;
+              [](const Thread *a, const Thread *b) {
+                  if (a->inFlight != b->inFlight)
+                      return a->inFlight < b->inFlight;
+                  return a->tid < b->tid;
               });
 
     int totalLeft = cfg.fetchWidth;
     int predsLeft = cfg.branchPredPerCycle;
     int threadsLeft = cfg.fetchThreadsPerCycle;
 
-    for (ThreadId tid : candidates) {
+    for (Thread *tp : candidates) {
         if (totalLeft <= 0 || threadsLeft <= 0)
             break;
-        Thread &t = thread(tid);
+        Thread &t = *tp;
         if (!peek(t))
             continue;
         --threadsLeft;
@@ -289,32 +348,35 @@ Machine::fetchStage()
                 stopAfter = true;
                 break;
               case OpClass::Nthr: {
-                bool granted =
-                    divCtrl.request(curCycle, freeSlots() > 0);
-                fi.granted = granted;
-                auto child = t.program->resolveNthr(granted);
+                DivisionGrant grant;
+                if (links.coupling) {
+                    grant = links.coupling->requestDivision(
+                        links.coreId, curCycle, freeSlots() > 0);
+                } else {
+                    grant.granted =
+                        divCtrl->request(curCycle, freeSlots() > 0);
+                }
+                fi.granted = grant.granted;
+                auto child = t.program->resolveNthr(grant.granted);
                 t.stagedIsUnresolvedNthr = false;
-                if (granted) {
+                if (grant.granted) {
                     CAPSULE_ASSERT(child, "granted nthr returned no "
                                           "child program");
-                    ThreadId ctid = nextTid++;
-                    auto ct = std::make_unique<Thread>();
-                    ct->tid = ctid;
-                    ct->program = std::move(child);
-                    ct->state = ThreadState::Starting;
-                    // Activation is scheduled when the nthr commits.
-                    ct->activationCycle = ~Cycle(0);
-                    threads.push_back(std::move(ct));
-                    renameMaps.emplace_back();
-                    threads.back()->slot = takeSlot(ctid);
-                    fi.childTid = ctid;
-                    if (divObserver)
-                        divObserver(t.tid, ctid);
-                    int live = liveThreads();
-                    if (std::uint64_t(live) > nPeakThreads.value()) {
-                        nPeakThreads.reset();
-                        nPeakThreads += std::uint64_t(live);
+                    if (grant.remote) {
+                        fi.remote = true;
+                        fi.childTid = links.coupling->adoptRemoteChild(
+                            grant.targetCore, links.coreId, t.tid,
+                            std::move(child));
+                    } else {
+                        Thread &ct = newThread(std::move(child));
+                        ct.state = ThreadState::Starting;
+                        // Activation is scheduled at nthr commit.
+                        ct.activationCycle = ~Cycle(0);
+                        fi.childTid = ct.tid;
+                        notePeakThreads();
                     }
+                    if (divObserver)
+                        divObserver(t.tid, fi.childTid);
                     // Parent redirects into its 'left' code version.
                     stopAfter = true;
                 } else {
@@ -324,7 +386,7 @@ Machine::fetchStage()
                 break;
               }
               case OpClass::Mlock: {
-                if (!locks.acquire(inst.effAddr, t.tid)) {
+                if (!locks->acquire(inst.effAddr, t.tid)) {
                     // Queued as a waiter; stall without consuming.
                     t.state = ThreadState::LockWait;
                     t.lockWaitAddr = inst.effAddr;
@@ -336,18 +398,12 @@ Machine::fetchStage()
                 // Release at fetch, symmetric with the fetch-time
                 // acquire: the functional critical section is the
                 // fetch-order window (see DESIGN.md).
-                ThreadId next = locks.release(inst.effAddr, t.tid);
+                ThreadId next = locks->release(inst.effAddr, t.tid);
                 if (next != invalidThread) {
-                    Thread &waiter = thread(next);
-                    CAPSULE_ASSERT(waiter.state ==
-                                       ThreadState::LockWait,
-                                   "lock granted to a thread that "
-                                   "is not waiting");
-                    waiter.state = ThreadState::Active;
-                    waiter.lockWaitAddr = 0;
-                    waiter.fetchReadyCycle =
-                        std::max(waiter.fetchReadyCycle,
-                                 curCycle + 1);
+                    if (ownsThread(next))
+                        wakeWaiter(next);
+                    else
+                        links.coupling->wakeRemoteWaiter(next);
                 }
                 break;
               }
@@ -410,15 +466,17 @@ Machine::dispatchStage()
             RuuEntry &e = ruu[std::size_t(idx)];
             e.inst = fi.inst;
             e.tid = t.tid;
+            e.owner = &t;
             e.seq = fi.seq;
             e.granted = fi.granted;
+            e.remote = fi.remote;
             e.mispredicted = fi.mispredicted;
             e.childTid = fi.childTid;
             e.st = RuuEntry::St::Waiting;
             e.pendingSrcs = 0;
 
             // Rename: source dependences.
-            RenameMap &rm = renameMaps[std::size_t(t.tid)];
+            RenameMap &rm = t.rename;
             auto addDep = [&](std::uint8_t reg, bool fp) {
                 if (reg == isa::noReg || (!fp && reg == 0))
                     return;
@@ -515,7 +573,7 @@ Machine::issueStage()
         Cycle lat;
         if (e.inst.cls == OpClass::Load) {
             bool forwarded = false;
-            const Thread &t = threadConst(e.tid);
+            const Thread &t = *e.owner;
             if (loadBlockedByStore(t, e, forwarded)) {
                 ++it;  // retry next cycle
                 continue;
@@ -579,7 +637,7 @@ Machine::writebackStage()
         e.st = RuuEntry::St::Done;
         wakeDependents(idx);
 
-        Thread &t = thread(e.tid);
+        Thread &t = *e.owner;
         if (e.inst.cls == OpClass::Load && cfg.enableContextStack)
             ctxStack.observeLoad(e.tid, e.completeCycle - e.issueCycle);
 
@@ -600,11 +658,21 @@ Machine::commitOne(Thread &t, RuuEntry &e, int idx)
     switch (e.inst.cls) {
       case OpClass::Nthr:
         if (e.granted) {
-            Thread &child = thread(e.childTid);
-            CAPSULE_ASSERT(child.state == ThreadState::Starting,
-                           "child not in Starting state");
-            child.activationCycle = curCycle + cfg.registerCopyCycles +
-                                    cfg.divisionExtraLatency;
+            Cycle activation = curCycle + cfg.registerCopyCycles +
+                               cfg.divisionExtraLatency;
+            if (e.remote) {
+                // The register file crosses the interconnect and the
+                // child starts against a cold private L1.
+                links.coupling->activateRemoteChild(
+                    e.childTid, activation +
+                                    cfg.cmp.crossCoreDivLatency +
+                                    cfg.cmp.coldL1Penalty);
+            } else {
+                Thread &child = thread(e.childTid);
+                CAPSULE_ASSERT(child.state == ThreadState::Starting,
+                               "child not in Starting state");
+                child.activationCycle = activation;
+            }
             // The parent stalls one cycle for the register copy.
             t.fetchReadyCycle =
                 std::max(t.fetchReadyCycle, curCycle + 1);
@@ -614,13 +682,13 @@ Machine::commitOne(Thread &t, RuuEntry &e, int idx)
       case OpClass::Halt: {
         CAPSULE_ASSERT(t.state == ThreadState::Draining,
                        "retiring kthr of non-draining thread");
-        CAPSULE_ASSERT(locks.threadQuiescent(t.tid),
+        CAPSULE_ASSERT(locks->threadQuiescent(t.tid),
                        "thread ", t.tid, " died holding locks");
         t.state = ThreadState::Finished;
         releaseSlot(t);
         t.program.reset();
         if (e.inst.cls == OpClass::Kthr) {
-            divCtrl.recordDeath(curCycle);
+            divCtrl->recordDeath(curCycle);
             ++nDeaths;
         }
         break;
@@ -630,7 +698,7 @@ Machine::commitOne(Thread &t, RuuEntry &e, int idx)
     }
 
     // Clear the rename map if this entry is still the youngest writer.
-    RenameMap &rm = renameMaps[std::size_t(t.tid)];
+    RenameMap &rm = t.rename;
     if (e.inst.rd != isa::noReg) {
         if (e.inst.fpRegs) {
             if (rm.fpMap[e.inst.rd] == idx)
@@ -754,12 +822,9 @@ Machine::housekeepStage()
 // --------------------------------------------------------------------
 // top level
 // --------------------------------------------------------------------
-bool
-Machine::step()
+void
+Machine::cycleOnce()
 {
-    if (liveThreads() == 0)
-        return false;
-
     commitStage();
     writebackStage();
     issueStage();
@@ -782,6 +847,28 @@ Machine::step()
     }
     if (curCycle >= cfg.maxCycles)
         CAPSULE_FATAL("simulation exceeded maxCycles=", cfg.maxCycles);
+}
+
+bool
+Machine::step()
+{
+    if (liveThreads() == 0)
+        return false;
+    cycleOnce();
+    return true;
+}
+
+bool
+Machine::stepShared()
+{
+    if (liveThreads() == 0) {
+        // Idle core of a CMP: stay in lockstep with the others and
+        // keep the progress watchdog quiet until work arrives.
+        ++curCycle;
+        lastProgressCycle = curCycle;
+        return false;
+    }
+    cycleOnce();
     return true;
 }
 
@@ -800,11 +887,11 @@ Machine::stats() const
     s.cycles = curCycle;
     s.instructions = nCommitted.value();
     s.ipc = curCycle ? double(s.instructions) / double(curCycle) : 0.0;
-    s.divisionsRequested = divCtrl.requested();
-    s.divisionsGranted = divCtrl.granted();
-    s.divisionsThrottled = divCtrl.throttled();
+    s.divisionsRequested = divCtrl->requested();
+    s.divisionsGranted = divCtrl->granted();
+    s.divisionsThrottled = divCtrl->throttled();
     s.threadDeaths = nDeaths.value();
-    s.lockConflicts = locks.conflicts();
+    s.lockConflicts = locks->conflicts();
     s.swapsOut = ctxStack.swapsOut();
     s.swapsIn = ctxStack.swapsIn();
     s.bpredAccuracy = bpred.accuracy();
@@ -834,8 +921,11 @@ Machine::dumpStats(std::ostream &os) const
     g.add("deaths", nDeaths, "thread deaths (kthr)");
     g.add("mispredicts", nMispredicts, "branch mispredictions");
     g.add("peak_threads", nPeakThreads, "peak live threads");
-    divCtrl.registerStats(g);
-    locks.registerStats(g);
+    // Shared CMP structures are registered once by the CmpMachine.
+    if (!links.sharedDivCtrl)
+        divCtrl->registerStats(g);
+    if (!links.sharedLocks)
+        locks->registerStats(g);
     ctxStack.registerStats(g);
     bpred.registerStats(g);
     mem.registerStats(g);

@@ -26,6 +26,12 @@
  *
  * Functional execution happens in the front end at fetch pull
  * (execute-at-fetch); the pipeline models timing only.
+ *
+ * A Machine also serves as one *core* of a CmpMachine (DESIGN.md §5):
+ * `CoreLinks` rebinds its L2, lock table and division controller to
+ * CMP-shared instances and installs a `CmpCoupling` that arbitrates
+ * divisions machine-wide, so an nthr whose home core is full may be
+ * granted to a remote core.
  */
 
 #ifndef CAPSULE_SIM_MACHINE_HH
@@ -33,16 +39,17 @@
 
 #include <array>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <ostream>
 #include <queue>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "base/stats.hh"
 #include "front/program.hh"
+#include "sim/backend.hh"
 #include "sim/bpred.hh"
 #include "sim/cache.hh"
 #include "sim/config.hh"
@@ -66,57 +73,117 @@ enum class ThreadState
     Finished,    ///< retired its kthr/halt
 };
 
-/** Aggregate results of one simulation run. */
-struct RunStats
+/** Division arbitration outcome for one nthr (CMP backends). */
+struct DivisionGrant
 {
-    Cycle cycles = 0;
-    std::uint64_t instructions = 0;
-    double ipc = 0.0;
-    std::uint64_t divisionsRequested = 0;
-    std::uint64_t divisionsGranted = 0;
-    std::uint64_t divisionsThrottled = 0;
-    std::uint64_t threadDeaths = 0;
-    std::uint64_t lockConflicts = 0;
-    std::uint64_t swapsOut = 0;
-    std::uint64_t swapsIn = 0;
-    double bpredAccuracy = 0.0;
-    double l1dMissRate = 0.0;
-    int peakLiveThreads = 0;
-    /** Mean number of threads in the Active state per cycle. */
-    double avgActiveThreads = 0.0;
-
-    /** Field-exact equality, for parallel == serial determinism
-     *  checks in the experiment engine. */
-    bool operator==(const RunStats &) const = default;
+    bool granted = false;
+    bool remote = false; ///< child context seized on another core
+    int targetCore = -1; ///< valid when remote
 };
 
-/** The SOMT / SMT / superscalar machine. */
-class Machine
+/**
+ * The hooks a CmpMachine installs into each of its cores. All
+ * decisions stay on the simulation's single host thread; the coupling
+ * exists so one core can reach machine-wide state (the global
+ * division budget, other cores' free contexts, lock waiters living on
+ * other cores) without owning it.
+ */
+class CmpCoupling
 {
   public:
+    virtual ~CmpCoupling() = default;
+
+    /**
+     * Arbitrate the nthr fetched on `core` at `now`. The probe part
+     * (grant/deny) is a constant-time local check of the replicated
+     * free-context scoreboard; only a granted *remote* division later
+     * pays the cross-core transfer latency.
+     */
+    virtual DivisionGrant requestDivision(int core, Cycle now,
+                                          bool local_free) = 0;
+
+    /**
+     * Place a granted remote child on `target_core` (seizing one of
+     * its contexts now, at the parent's fetch).
+     * @return the child's machine-wide thread id
+     */
+    virtual ThreadId adoptRemoteChild(
+        int target_core, int from_core, ThreadId parent,
+        std::unique_ptr<front::Program> child) = 0;
+
+    /** The parent's nthr committed: schedule the remote child's
+     *  activation (cross-core latency already folded into `when`). */
+    virtual void activateRemoteChild(ThreadId child, Cycle when) = 0;
+
+    /** Wake a lock waiter that lives on another core. */
+    virtual void wakeRemoteWaiter(ThreadId tid) = 0;
+};
+
+/**
+ * Wiring of one core into a CMP. Default-constructed links make the
+ * Machine standalone: it owns its L2, lock table and division
+ * controller, and arbitrates divisions locally.
+ */
+struct CoreLinks
+{
+    int coreId = 0;
+    Cache *sharedL2 = nullptr;
+    LockTable *sharedLocks = nullptr;
+    DivisionController *sharedDivCtrl = nullptr;
+    /** Machine-wide thread-id counter (unique tids across cores). */
+    ThreadId *tidCounter = nullptr;
+    CmpCoupling *coupling = nullptr;
+};
+
+/** The SOMT / SMT / superscalar machine (and the CMP's core). */
+class Machine : public MachineBackend
+{
+  public:
+    using DivisionObserver = sim::DivisionObserver;
+
     explicit Machine(const MachineConfig &config);
-    ~Machine();
+    Machine(const MachineConfig &config, const CoreLinks &links);
+    ~Machine() override;
 
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
 
-    /**
-     * Add a thread running `program`. Threads added before run() are
-     * the ancestors; nthr-spawned children are added internally.
-     * @return the new thread's id
-     */
-    ThreadId addThread(std::unique_ptr<front::Program> program);
+    ThreadId addThread(std::unique_ptr<front::Program> program) override;
 
     /** Run to completion (all threads finished) or cfg.maxCycles. */
-    RunStats run();
+    RunStats run() override;
 
     /** Advance one cycle. @return false once all threads finished. */
     bool step();
 
+    /**
+     * Lockstep variant for CMP cores: with no live threads the core
+     * idle-ticks (clock and watchdog advance, no pipeline work) so it
+     * stays cycle-synchronised and can adopt remote children later.
+     * @return true if the core had live threads this cycle
+     */
+    bool stepShared();
+
+    /** Adopt a remote division's child: seize a context now; the
+     *  thread activates when activateThread() delivers the parent's
+     *  commit time. */
+    ThreadId adoptThread(std::unique_ptr<front::Program> program);
+
+    /** Schedule the activation of a Starting (adopted) thread. */
+    void activateThread(ThreadId tid, Cycle when);
+
+    /** Hand the lock to a waiter on this core (cross-core munlock). */
+    void wakeWaiter(ThreadId tid);
+
+    /** True if `tid` lives on this machine/core. */
+    bool ownsThread(ThreadId tid) const;
+
     Cycle now() const { return curCycle; }
-    const MachineConfig &config() const { return cfg; }
+    const MachineConfig &config() const override { return cfg; }
 
     int liveThreads() const;
+    /** Unclaimed hardware contexts (the CMP division scoreboard). */
+    int freeContexts() const { return freeSlots(); }
     std::uint64_t
     committedInstructions() const
     {
@@ -126,27 +193,31 @@ class Machine
     const DivisionController &
     divisionController() const
     {
-        return divCtrl;
+        return *divCtrl;
     }
-    const LockTable &lockTable() const { return locks; }
+    const LockTable &lockTable() const { return *locks; }
     const ContextStack &contextStack() const { return ctxStack; }
     MemoryHierarchy &memory() { return mem; }
+    const MemoryHierarchy &memoryConst() const { return mem; }
     const CombinedPredictor &predictor() const { return bpred; }
     std::uint64_t threadDeaths() const { return nDeaths.value(); }
+    /** Sum over cycles of threads in the Active state (for CMP
+     *  aggregation of avgActiveThreads). */
+    std::uint64_t
+    activeCycleSum() const
+    {
+        return nActiveCycleSum.value();
+    }
 
-    /** Snapshot the aggregate run statistics. */
-    RunStats stats() const;
+    /** Snapshot the aggregate run statistics. In a CMP, the division
+     *  and lock fields read the *shared* controllers (machine-wide
+     *  numbers); CmpMachine::stats() aggregates the rest. */
+    RunStats stats() const override;
 
-    /** Dump the full named-counter statistics. */
-    void dumpStats(std::ostream &os) const;
+    void dumpStats(std::ostream &os) const override;
 
-    /**
-     * Observer invoked on every granted division with (parent, child)
-     * thread ids; used to reconstruct division genealogy (Figure 6).
-     */
-    using DivisionObserver = std::function<void(ThreadId, ThreadId)>;
     void
-    setDivisionObserver(DivisionObserver obs)
+    setDivisionObserver(DivisionObserver obs) override
     {
         divObserver = std::move(obs);
     }
@@ -159,7 +230,21 @@ class Machine
         InstSeq seq = 0;
         bool mispredicted = false;
         bool granted = false;           ///< nthr decision
+        bool remote = false;            ///< nthr child on another core
         ThreadId childTid = invalidThread;
+    };
+
+    /** Per-thread rename map: architectural reg -> producing RUU. */
+    struct RenameMap
+    {
+        std::array<int, isa::numIntRegs> intMap;
+        std::array<int, isa::numFpRegs + 1> fpMap;
+
+        RenameMap()
+        {
+            intMap.fill(-1);
+            fpMap.fill(-1);
+        }
     };
 
     struct Thread
@@ -180,6 +265,7 @@ class Machine
         std::deque<int> rob;          ///< dispatched RUU ids, in order
         std::deque<int> lsq;          ///< memory-op RUU ids, in order
         Cycle activationCycle = 0;    ///< Starting / swap completion
+        RenameMap rename;
     };
 
     struct RuuEntry
@@ -187,6 +273,9 @@ class Machine
         bool valid = false;
         isa::DynInst inst;
         ThreadId tid = invalidThread;
+        /** Owning thread (heap-stable for the whole run); avoids a
+         *  tid hash lookup in the per-cycle issue/writeback paths. */
+        Thread *owner = nullptr;
         InstSeq seq = 0;
         enum class St { Waiting, Ready, Issued, Done } st = St::Waiting;
         int pendingSrcs = 0;
@@ -194,6 +283,7 @@ class Machine
         Cycle issueCycle = 0;
         Cycle completeCycle = 0;
         bool granted = false;       ///< nthr decision
+        bool remote = false;        ///< nthr child on another core
         bool mispredicted = false;
         ThreadId childTid = invalidThread;
     };
@@ -206,9 +296,14 @@ class Machine
     void fetchStage();
     void housekeepStage();
 
+    /** One full pipeline cycle plus clock/watchdog bookkeeping. */
+    void cycleOnce();
+
     // ---- helpers ----------------------------------------------------
     Thread &thread(ThreadId tid);
     const Thread &threadConst(ThreadId tid) const;
+    Thread &newThread(std::unique_ptr<front::Program> program);
+    void notePeakThreads();
     bool peek(Thread &t);
     int allocRuu();
     void freeRuu(int idx);
@@ -225,14 +320,17 @@ class Machine
 
     // ---- state --------------------------------------------------------
     MachineConfig cfg;
+    CoreLinks links;
     Cycle curCycle = 0;
     InstSeq nextSeq = 1;
-    ThreadId nextTid = 0;
+    ThreadId ownNextTid = 0;
+    ThreadId *tidCounter;        ///< own or CMP-shared tid source
     std::size_t rrCommit = 0;    ///< round-robin pointers
     std::size_t rrDispatch = 0;
     Cycle lastProgressCycle = 0;
 
-    std::vector<std::unique_ptr<Thread>> threads;  ///< by tid
+    std::vector<std::unique_ptr<Thread>> threads;  ///< creation order
+    std::unordered_map<ThreadId, std::size_t> tidIndex;
     std::vector<ThreadId> slotOwner;               ///< slot -> tid
     int slotsInUse = 0;
 
@@ -249,25 +347,13 @@ class Machine
                         std::greater<>>
         completions;
 
-    /** Per-thread rename maps: architectural reg -> producing RUU. */
-    struct RenameMap
-    {
-        std::array<int, isa::numIntRegs> intMap;
-        std::array<int, isa::numFpRegs + 1> fpMap;
-
-        RenameMap()
-        {
-            intMap.fill(-1);
-            fpMap.fill(-1);
-        }
-    };
-    std::vector<RenameMap> renameMaps;  ///< by tid
-
     MemoryHierarchy mem;
     CombinedPredictor bpred;
-    LockTable locks;
+    LockTable ownLocks;
+    DivisionController ownDivCtrl;
+    LockTable *locks;            ///< own or CMP-shared
+    DivisionController *divCtrl; ///< own or CMP-shared
     ContextStack ctxStack;
-    DivisionController divCtrl;
     DivisionObserver divObserver;
 
     // Per-cycle resource budgets (reset in issueStage).

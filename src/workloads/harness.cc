@@ -33,11 +33,11 @@ sim::RunStats
 simulate(const sim::MachineConfig &cfg, rt::Exec &exec,
          rt::WorkerFn body, sim::Machine::DivisionObserver observer)
 {
-    sim::Machine machine(cfg);
+    auto machine = sim::makeBackend(cfg);
     if (observer)
-        machine.setDivisionObserver(std::move(observer));
-    machine.addThread(rt::makeAncestor(exec, std::move(body)));
-    return machine.run();
+        machine->setDivisionObserver(std::move(observer));
+    machine->addThread(rt::makeAncestor(exec, std::move(body)));
+    return machine->run();
 }
 
 rt::Task

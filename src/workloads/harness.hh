@@ -15,14 +15,18 @@
 #include "core/exec.hh"
 #include "core/kernel_program.hh"
 #include "core/task.hh"
+#include "sim/backend.hh"
 #include "sim/machine.hh"
 
 namespace capsule::wl
 {
 
 /**
- * Run `body` as the ancestor worker on a machine built from `cfg`
- * and return the run statistics.
+ * Run `body` as the ancestor worker on the backend `cfg.backend`
+ * selects (see sim/backend.hh; "smt" is the single-core SOMT, "cmp"
+ * the multi-core machine) and return the run statistics. Every
+ * registry workload funnels through this seam, so any workload can
+ * target any backend by name.
  * @param observer optional division-genealogy callback
  */
 sim::RunStats simulate(const sim::MachineConfig &cfg, rt::Exec &exec,

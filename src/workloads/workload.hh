@@ -4,11 +4,14 @@
  * Dijkstra, LZW, Perceptron and the four SPEC CINT2000 analogues)
  * reports its simulation through one `WorkloadResult`, and a
  * `WorkloadRegistry` maps workload names to factories parameterised
- * by machine configuration, data-set scale and seed. The experiment
- * engine (`harness/experiment.hh`) fans registry points out across
- * host threads; because every factory derives all randomness from
- * the request seed, results are a pure function of
- * (config, scale, seed) and identical at any job count.
+ * by machine configuration, data-set scale and seed. Every factory
+ * simulates through the backend seam (`sim/backend.hh`), so a sweep
+ * can target the SMT or the CMP machine just by naming it in
+ * `MachineConfig::backend`. The experiment engine
+ * (`harness/experiment.hh`) fans registry points out across host
+ * threads; because every factory derives all randomness from the
+ * request seed, results are a pure function of (config, scale, seed)
+ * and identical at any job count.
  */
 
 #ifndef CAPSULE_WL_WORKLOAD_HH

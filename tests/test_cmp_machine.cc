@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The CMP backend: backend selection by name, the numCores=1
+ * cycle-equivalence contract against the SMT backend, cross-core
+ * division behaviour (remote grants, probe locality, latency
+ * sensitivity), shared-L2 wiring, and experiment-engine determinism
+ * of the core-count sweep at any --jobs count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "harness/experiment.hh"
+#include "sim/backend.hh"
+#include "sim/cmp_machine.hh"
+#include "sim/machine.hh"
+#include "workloads/quicksort.hh"
+#include "workloads/workload.hh"
+
+namespace capsule
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// backend seam
+// ---------------------------------------------------------------
+TEST(Backend, NamesCoverSmtAndCmp)
+{
+    auto names = sim::backendNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "smt");
+    EXPECT_EQ(names[1], "cmp");
+}
+
+TEST(Backend, MakeBackendSelectsByName)
+{
+    auto smt = sim::makeBackend(sim::MachineConfig::somt());
+    EXPECT_NE(dynamic_cast<sim::Machine *>(smt.get()), nullptr);
+
+    auto cmp = sim::makeBackend(sim::MachineConfig::cmpSomt(2, 4));
+    EXPECT_NE(dynamic_cast<sim::CmpMachine *>(cmp.get()), nullptr);
+}
+
+TEST(Backend, UnknownNameThrows)
+{
+    auto cfg = sim::MachineConfig::somt();
+    cfg.backend = "gpu";
+    EXPECT_THROW(sim::makeBackend(cfg), std::invalid_argument);
+}
+
+TEST(Backend, CmpSomtPreset)
+{
+    auto cfg = sim::MachineConfig::cmpSomt(4, 2);
+    EXPECT_EQ(cfg.backend, "cmp");
+    EXPECT_EQ(cfg.cmp.numCores, 4);
+    EXPECT_EQ(cfg.numContexts, 2);
+    // Death throttle sized by the total context count.
+    EXPECT_EQ(cfg.division.deathThreshold, 4);
+    // The shared L2 keeps the per-core Table-1 geometry.
+    EXPECT_EQ(cfg.cmp.l2Config.sizeBytes, cfg.mem.l2.sizeBytes);
+    EXPECT_EQ(cfg.cmp.l2Config.hitLatency, cfg.mem.l2.hitLatency);
+}
+
+// ---------------------------------------------------------------
+// the numCores=1 equivalence contract
+// ---------------------------------------------------------------
+
+/** cmpSomt(1, contexts) must behave exactly like somt(contexts). */
+TEST(CmpEquivalence, SingleCoreReproducesSmtOnEveryWorkload)
+{
+    const auto &reg = wl::WorkloadRegistry::builtin();
+    auto smtCfg = sim::MachineConfig::somt();
+    auto cmpCfg = sim::MachineConfig::cmpSomt(1, 8);
+    wl::WorkloadRequest req{wl::ScaleLevel::Quick, 1};
+    for (const auto &name : reg.names()) {
+        auto smt = reg.run(name, smtCfg, req);
+        auto cmp = reg.run(name, cmpCfg, req);
+        EXPECT_EQ(smt.stats.cycles, cmp.stats.cycles) << name;
+        // Field-exact: every counter, every derived rate, every
+        // workload metric.
+        EXPECT_EQ(smt.stats, cmp.stats) << name;
+        EXPECT_EQ(smt, cmp) << name;
+        EXPECT_TRUE(cmp.correct) << name;
+    }
+}
+
+TEST(CmpEquivalence, SingleCoreNeverDividesRemotely)
+{
+    auto cfg = sim::MachineConfig::cmpSomt(1, 8);
+    wl::QuickSortParams p;
+    p.length = 800;
+    p.seed = 3;
+    auto r = wl::runQuickSort(cfg, p);
+    EXPECT_TRUE(r.correct);
+    EXPECT_GT(r.stats.divisionsGranted, 0u);
+    EXPECT_EQ(r.stats.divisionsRemote, 0u);
+}
+
+// ---------------------------------------------------------------
+// cross-core division
+// ---------------------------------------------------------------
+
+wl::WorkloadResult
+quickSortOn(const sim::MachineConfig &cfg, int length = 1200,
+            std::uint64_t seed = 7)
+{
+    wl::QuickSortParams p;
+    p.length = length;
+    p.seed = seed;
+    return wl::runQuickSort(cfg, p);
+}
+
+TEST(CmpDivision, SpillsToRemoteCoresWhenHomeCoreIsFull)
+{
+    // 4 cores x 2 contexts: the ancestor's core fills after one
+    // local grant; further divisions must cross cores.
+    auto r = quickSortOn(sim::MachineConfig::cmpSomt(4, 2));
+    EXPECT_TRUE(r.correct);
+    EXPECT_GT(r.stats.divisionsGranted, 0u);
+    EXPECT_GT(r.stats.divisionsRemote, 0u);
+    EXPECT_LE(r.stats.divisionsRemote, r.stats.divisionsGranted);
+    // More contexts than one core offers were used.
+    EXPECT_GT(r.stats.peakLiveThreads, 2);
+}
+
+TEST(CmpDivision, ProbeStaysLocalUnderDenyAll)
+{
+    // With every division denied, nthr is a pure probe: sweeping the
+    // cross-core latency must not move a single cycle.
+    auto base = sim::MachineConfig::cmpSomt(4, 2);
+    base.division.policy = sim::DivisionPolicy::DenyAll;
+    auto slow = base;
+    slow.cmp.crossCoreDivLatency = 500;
+    slow.cmp.coldL1Penalty = 500;
+    auto a = quickSortOn(base);
+    auto b = quickSortOn(slow);
+    EXPECT_TRUE(a.correct);
+    EXPECT_EQ(a.stats, b.stats);
+    EXPECT_EQ(a.stats.divisionsGranted, 0u);
+}
+
+TEST(CmpDivision, CrossCoreLatencySlowsRemoteHeavyRuns)
+{
+    // 8 cores x 1 context: every division is remote; a large
+    // cross-core latency must cost cycles.
+    auto fast = sim::MachineConfig::cmpSomt(8, 1);
+    fast.cmp.crossCoreDivLatency = 0;
+    fast.cmp.coldL1Penalty = 0;
+    auto slow = fast;
+    slow.cmp.crossCoreDivLatency = 2000;
+    auto a = quickSortOn(fast);
+    auto b = quickSortOn(slow);
+    ASSERT_TRUE(a.correct);
+    ASSERT_TRUE(b.correct);
+    EXPECT_GT(a.stats.divisionsGranted, 0u);
+    EXPECT_LT(a.stats.cycles, b.stats.cycles);
+}
+
+// ---------------------------------------------------------------
+// determinism: the acceptance sweep, byte-identical at any --jobs
+// ---------------------------------------------------------------
+
+/** The 1/2/4/8-core sweep at fixed total contexts. */
+std::vector<harness::SweepPoint>
+coreSweep()
+{
+    std::vector<harness::SweepPoint> points;
+    for (int cores : {1, 2, 4, 8}) {
+        auto cfg = sim::MachineConfig::cmpSomt(cores, 8 / cores);
+        for (const char *wlName : {"dijkstra", "quicksort"})
+            points.push_back(harness::registryPoint(
+                wlName, cfg, {wl::ScaleLevel::Quick, 1},
+                std::string(wlName) + "/" + cfg.name));
+    }
+    return points;
+}
+
+TEST(CmpDeterminism, CoreCountSweepIdenticalAtAnyJobCount)
+{
+    auto serial = harness::ExperimentRunner(1).run(coreSweep());
+    auto parallel = harness::ExperimentRunner(8).run(coreSweep());
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].stats, parallel[i].stats) << i;
+        EXPECT_EQ(serial[i], parallel[i]) << i;
+        EXPECT_TRUE(serial[i].correct) << i;
+    }
+}
+
+TEST(CmpDeterminism, RepeatedRunsIdentical)
+{
+    auto cfg = sim::MachineConfig::cmpSomt(4, 2);
+    auto a = quickSortOn(cfg);
+    auto b = quickSortOn(cfg);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace capsule

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Golden-stats regression net: every registry workload, run at quick
+ * scale with seed 1 on the SMT (somt) backend — plus two workloads on
+ * each baseline machine — must reproduce the checked-in RunStats and
+ * metric values exactly. The simulator is deterministic (DESIGN.md
+ * §4), so any drift here is a real behaviour change: either a bug, or
+ * an intentional remodel that must update the goldens *consciously*
+ * instead of silently shifting the paper numbers.
+ *
+ * To regenerate after an intentional change:
+ *
+ *   CAPSULE_GOLDEN_REGEN=1 ./tests/test_golden_stats
+ *
+ * prints the golden table in source form; paste it over the table
+ * below.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/config.hh"
+#include "workloads/workload.hh"
+
+namespace capsule
+{
+namespace
+{
+
+/** One checked-in expectation. */
+struct Golden
+{
+    const char *workload;
+    const char *machine;  ///< somt / smt-static / superscalar
+    Cycle cycles;
+    std::uint64_t instructions;
+    std::uint64_t divisionsRequested;
+    std::uint64_t divisionsGranted;
+    std::uint64_t threadDeaths;
+    std::uint64_t lockConflicts;
+    std::uint64_t swapsOut;
+    Cycle serialCycles;
+    /** Workload metric map, in insertion order. */
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+// --- golden table (regenerate with CAPSULE_GOLDEN_REGEN=1) --------
+const std::vector<Golden> goldens = {
+    {"dijkstra", "somt", 6304u, 19138u, 1464u, 49u, 49u, 80u, 0u, 0u,
+     {}},
+    {"dijkstra-normal", "somt", 33440u, 8726u, 0u, 0u, 0u, 0u, 0u, 0u,
+     {}},
+    {"quicksort", "somt", 27446u, 50734u, 113u, 84u, 84u, 2u, 0u, 0u,
+     {}},
+    {"lzw", "somt", 3750u, 6199u, 89u, 12u, 12u, 0u, 0u, 0u,
+     {{"chunks", 13}, {"codes", 524}}},
+    {"perceptron", "somt", 25300u, 44292u, 719u, 20u, 20u, 0u, 0u, 0u,
+     {}},
+    {"mcf", "somt", 65328u, 162921u, 1844u, 356u, 356u, 161u, 0u, 0u,
+     {{"best", 35}}},
+    {"vpr", "somt", 6806u, 13498u, 30u, 30u, 30u, 3u, 0u, 0u,
+     {{"iterations", 5}, {"overused_final", 0}}},
+    {"bzip2", "somt", 26076u, 69874u, 81u, 62u, 62u, 1u, 0u, 0u,
+     {}},
+    {"crafty", "somt", 4070u, 20691u, 7u, 7u, 7u, 1082u, 0u, 0u,
+     {{"value", 665}, {"spin_iterations", 1249}}},
+    {"dijkstra", "superscalar", 98857u, 116715u, 9332u, 0u, 0u, 0u,
+     0u, 0u, {}},
+    {"quicksort", "superscalar", 44715u, 49390u, 113u, 0u, 0u, 0u, 0u,
+     0u, {}},
+    {"dijkstra", "smt-static", 6380u, 18668u, 1478u, 7u, 7u, 78u, 0u,
+     0u, {}},
+    {"quicksort", "smt-static", 32796u, 49502u, 113u, 7u, 7u, 0u, 0u,
+     0u, {}},
+};
+// --- end golden table ---------------------------------------------
+
+sim::MachineConfig
+machineFor(const std::string &name)
+{
+    if (name == "superscalar")
+        return sim::MachineConfig::superscalar();
+    if (name == "smt-static")
+        return sim::MachineConfig::smtStatic();
+    return sim::MachineConfig::somt();
+}
+
+/** The covered (workload, machine) points: the whole registry on
+ *  somt, plus two division-heavy workloads on each baseline. */
+std::vector<std::pair<std::string, std::string>>
+coveredPoints()
+{
+    std::vector<std::pair<std::string, std::string>> pts;
+    for (const auto &name : wl::WorkloadRegistry::builtin().names())
+        pts.emplace_back(name, "somt");
+    for (const char *m : {"superscalar", "smt-static"}) {
+        pts.emplace_back("dijkstra", m);
+        pts.emplace_back("quicksort", m);
+    }
+    return pts;
+}
+
+wl::WorkloadResult
+runPoint(const std::string &workload, const std::string &machine)
+{
+    return wl::WorkloadRegistry::builtin().run(
+        workload, machineFor(machine), {wl::ScaleLevel::Quick, 1});
+}
+
+TEST(GoldenStats, RegenerateTable)
+{
+    if (!std::getenv("CAPSULE_GOLDEN_REGEN"))
+        GTEST_SKIP() << "set CAPSULE_GOLDEN_REGEN=1 to print the table";
+    for (const auto &[workload, machine] : coveredPoints()) {
+        auto r = runPoint(workload, machine);
+        std::printf("    {\"%s\", \"%s\", %lluu, %lluu, %lluu, %lluu, "
+                    "%lluu, %lluu, %lluu, %lluu,\n     {",
+                    workload.c_str(), machine.c_str(),
+                    (unsigned long long)r.stats.cycles,
+                    (unsigned long long)r.stats.instructions,
+                    (unsigned long long)r.stats.divisionsRequested,
+                    (unsigned long long)r.stats.divisionsGranted,
+                    (unsigned long long)r.stats.threadDeaths,
+                    (unsigned long long)r.stats.lockConflicts,
+                    (unsigned long long)r.stats.swapsOut,
+                    (unsigned long long)r.serialCycles);
+        for (std::size_t i = 0; i < r.metrics.size(); ++i)
+            std::printf("%s{\"%s\", %.17g}", i ? ", " : "",
+                        r.metrics[i].first.c_str(),
+                        r.metrics[i].second);
+        std::printf("}},\n");
+    }
+}
+
+TEST(GoldenStats, TableCoversEveryRegistryWorkload)
+{
+    auto pts = coveredPoints();
+    ASSERT_EQ(goldens.size(), pts.size())
+        << "golden table out of date: regenerate with "
+           "CAPSULE_GOLDEN_REGEN=1";
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        EXPECT_EQ(goldens[i].workload, pts[i].first) << i;
+        EXPECT_EQ(goldens[i].machine, pts[i].second) << i;
+    }
+}
+
+class GoldenPoint : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(GoldenPoint, MatchesCheckedInValues)
+{
+    ASSERT_LT(GetParam(), goldens.size());
+    const Golden &g = goldens[GetParam()];
+    auto r = runPoint(g.workload, g.machine);
+
+    EXPECT_TRUE(r.correct) << g.workload;
+    EXPECT_EQ(r.stats.cycles, g.cycles);
+    EXPECT_EQ(r.stats.instructions, g.instructions);
+    EXPECT_EQ(r.stats.divisionsRequested, g.divisionsRequested);
+    EXPECT_EQ(r.stats.divisionsGranted, g.divisionsGranted);
+    EXPECT_EQ(r.stats.threadDeaths, g.threadDeaths);
+    EXPECT_EQ(r.stats.lockConflicts, g.lockConflicts);
+    EXPECT_EQ(r.stats.swapsOut, g.swapsOut);
+    EXPECT_EQ(r.serialCycles, g.serialCycles);
+    // The SMT backend never grants remotely.
+    EXPECT_EQ(r.stats.divisionsRemote, 0u);
+
+    ASSERT_EQ(r.metrics.size(), g.metrics.size()) << g.workload;
+    for (std::size_t i = 0; i < g.metrics.size(); ++i) {
+        EXPECT_EQ(r.metrics[i].first, g.metrics[i].first)
+            << g.workload;
+        // Metrics are ratios/counts of deterministic integer events;
+        // exact IEEE reproduction is part of the contract.
+        EXPECT_DOUBLE_EQ(r.metrics[i].second, g.metrics[i].second)
+            << g.workload << " metric " << g.metrics[i].first;
+    }
+}
+
+std::string
+goldenPointName(const ::testing::TestParamInfo<std::size_t> &info)
+{
+    if (info.param >= goldens.size())
+        return "out_of_range_" + std::to_string(info.param);
+    std::string n = std::string(goldens[info.param].workload) + "_" +
+                    goldens[info.param].machine;
+    for (auto &c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoints, GoldenPoint,
+    ::testing::Range(std::size_t(0),
+                     std::max(goldens.size(), std::size_t(1))),
+    goldenPointName);
+
+} // namespace
+} // namespace capsule

@@ -3,17 +3,28 @@
  * Cross-cutting property tests: invariants that must hold across
  * seeds, configurations and workloads — conservation of committed
  * instructions, determinism, cache-geometry laws, predictor aliasing
- * behaviour, encode/decode fuzzing, and division-accounting
- * consistency.
+ * behaviour, encode/decode fuzzing, division-accounting consistency,
+ * and randomized differential tests of the CAPSULE hardware
+ * structures (LockTable against a std::map reference lock set,
+ * ContextStack against a std::vector reference stack), including
+ * their overflow/underflow edges.
  */
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
 
 #include "base/rng.hh"
 #include "casm/assembler.hh"
 #include "front/asm_program.hh"
 #include "isa/isa.hh"
 #include "sim/cache.hh"
+#include "sim/context_stack.hh"
+#include "sim/lock_table.hh"
 #include "sim/machine.hh"
 #include "workloads/dijkstra.hh"
 #include "workloads/lzw.hh"
@@ -295,6 +306,246 @@ TEST(LzwProperty, ChunkCountMatchesGrantsPlusOne)
     ASSERT_TRUE(r.correct);
     EXPECT_EQ(std::uint64_t(r.metric("chunks")),
               r.stats.divisionsGranted + 1);
+}
+
+// ------------------------------------------------------------------
+// LockTable: randomized differential test against a std::map model
+// ------------------------------------------------------------------
+
+/** Reference semantics: owner plus FIFO waiter queue per address. */
+struct RefLockSet
+{
+    struct Entry
+    {
+        ThreadId owner;
+        std::deque<ThreadId> waiters;
+    };
+    std::map<Addr, Entry> locks;
+
+    bool
+    acquire(Addr addr, ThreadId tid)
+    {
+        auto it = locks.find(addr);
+        if (it == locks.end()) {
+            locks[addr] = {tid, {}};
+            return true;
+        }
+        if (it->second.owner == tid)
+            return true;
+        auto &w = it->second.waiters;
+        if (std::find(w.begin(), w.end(), tid) == w.end())
+            w.push_back(tid);
+        return false;
+    }
+
+    ThreadId
+    release(Addr addr, ThreadId tid)
+    {
+        auto it = locks.find(addr);
+        EXPECT_NE(it, locks.end());
+        EXPECT_EQ(it->second.owner, tid);
+        if (it->second.waiters.empty()) {
+            locks.erase(it);
+            return invalidThread;
+        }
+        ThreadId next = it->second.waiters.front();
+        it->second.waiters.pop_front();
+        it->second.owner = next;
+        return next;
+    }
+
+    bool
+    quiescent(ThreadId tid) const
+    {
+        for (const auto &[a, e] : locks) {
+            if (e.owner == tid)
+                return false;
+            for (ThreadId w : e.waiters)
+                if (w == tid)
+                    return false;
+        }
+        return true;
+    }
+};
+
+class LockTableFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LockTableFuzz, MatchesReferenceModelUnderRandomOps)
+{
+    Rng rng{std::uint64_t(GetParam())};
+    constexpr int numThreads = 12;
+    constexpr int numAddrs = 8;
+    sim::LockTable table(64);
+    RefLockSet ref;
+    // waitingOn[tid]: the one address a stalled thread waits for (a
+    // hardware thread stalls at its mlock, so it can wait on at most
+    // one lock at a time — the op generator honours that).
+    std::map<ThreadId, Addr> waitingOn;
+
+    auto addrOf = [](std::uint64_t i) { return Addr(0x1000 + 64 * i); };
+
+    for (int op = 0; op < 4000; ++op) {
+        ThreadId tid = ThreadId(rng.uniform(0, numThreads - 1));
+        Addr addr = addrOf(rng.uniform(0, numAddrs - 1));
+        switch (rng.uniform(0, 2)) {
+          case 0: {  // acquire (threads already waiting stay stalled)
+            if (waitingOn.count(tid))
+                break;
+            bool got = table.acquire(addr, tid);
+            bool refGot = ref.acquire(addr, tid);
+            ASSERT_EQ(got, refGot) << "op " << op;
+            if (!got)
+                waitingOn[tid] = addr;
+            break;
+          }
+          case 1: {  // release a lock this thread owns (if any)
+            Addr held = 0;
+            bool holds = false;
+            for (const auto &[a, e] : ref.locks) {
+                if (e.owner == tid && !waitingOn.count(tid)) {
+                    held = a;
+                    holds = true;
+                    break;
+                }
+            }
+            if (!holds)
+                break;
+            ThreadId next = table.release(held, tid);
+            ThreadId refNext = ref.release(held, tid);
+            ASSERT_EQ(next, refNext) << "op " << op;
+            if (next != invalidThread) {
+                // The hand-off unblocks the oldest waiter.
+                ASSERT_TRUE(waitingOn.count(next));
+                ASSERT_EQ(waitingOn[next], held);
+                waitingOn.erase(next);
+            }
+            break;
+          }
+          default: {  // cancel a wait (thread killed while queued)
+            if (!waitingOn.count(tid))
+                break;
+            Addr a = waitingOn[tid];
+            table.cancelWait(a, tid);
+            auto &w = ref.locks[a].waiters;
+            w.erase(std::remove(w.begin(), w.end(), tid), w.end());
+            waitingOn.erase(tid);
+            break;
+          }
+        }
+
+        // Cross-check the observable state after every op.
+        ASSERT_EQ(table.occupancy(), ref.locks.size()) << "op " << op;
+        for (int a = 0; a < numAddrs; ++a) {
+            Addr probe = addrOf(std::uint64_t(a));
+            auto it = ref.locks.find(probe);
+            ThreadId expect =
+                it == ref.locks.end() ? invalidThread
+                                      : it->second.owner;
+            ASSERT_EQ(table.owner(probe), expect) << "op " << op;
+        }
+        for (int t = 0; t < numThreads; ++t)
+            ASSERT_EQ(table.threadQuiescent(ThreadId(t)),
+                      ref.quiescent(ThreadId(t)))
+                << "op " << op << " tid " << t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockTableFuzz,
+                         ::testing::Values(101, 202, 303, 404));
+
+TEST(LockTableEdge, CapacityOverflowIsFatal)
+{
+    sim::LockTable table(4);
+    for (Addr a = 0; a < 4; ++a)
+        EXPECT_TRUE(table.acquire(0x100 + 64 * a, ThreadId(a)));
+    EXPECT_EXIT(table.acquire(0x1000, 9),
+                ::testing::ExitedWithCode(1), "overflow");
+}
+
+TEST(LockTableEdge, ReleaseOfUnheldAddressPanics)
+{
+    sim::LockTable table(4);
+    EXPECT_DEATH(table.release(0x100, 1), "unlocked address");
+    table.acquire(0x100, 1);
+    EXPECT_DEATH(table.release(0x100, 2), "non-owner");
+}
+
+// ------------------------------------------------------------------
+// ContextStack: randomized differential test against a std::vector
+// ------------------------------------------------------------------
+class CtxStackFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CtxStackFuzz, LifoMatchesReferenceUnderRandomOps)
+{
+    Rng rng{std::uint64_t(GetParam())};
+    sim::ContextStackParams p;
+    p.entries = 16;
+    sim::ContextStack stack(p);
+    std::vector<ThreadId> ref;
+    std::uint64_t pushes = 0, pops = 0;
+    ThreadId nextTid = 0;
+
+    for (int op = 0; op < 2000; ++op) {
+        // Biased walk so the fuzz visits both the empty and the full
+        // boundary: push 60% of the time.
+        bool doPush = rng.bernoulli(0.6);
+        if (doPush && !stack.full()) {
+            ThreadId tid = nextTid++;
+            stack.push(tid);
+            ref.push_back(tid);
+            ++pushes;
+        } else if (!stack.empty()) {
+            ThreadId got = stack.pop();
+            ASSERT_EQ(got, ref.back()) << "op " << op;
+            ref.pop_back();
+            ++pops;
+        }
+        ASSERT_EQ(stack.depth(), ref.size()) << "op " << op;
+        ASSERT_EQ(stack.empty(), ref.empty()) << "op " << op;
+        ASSERT_EQ(stack.full(), int(ref.size()) >= p.entries)
+            << "op " << op;
+        ASSERT_EQ(stack.swapsOut(), pushes) << "op " << op;
+        ASSERT_EQ(stack.swapsIn(), pops) << "op " << op;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CtxStackFuzz,
+                         ::testing::Values(7, 21, 63));
+
+TEST(CtxStackEdge, OverflowIsFatalUnderflowPanics)
+{
+    sim::ContextStackParams p;
+    p.entries = 4;
+    sim::ContextStack stack(p);
+    EXPECT_DEATH(stack.pop(), "empty context stack");
+    for (int i = 0; i < 4; ++i)
+        stack.push(ThreadId(i));
+    EXPECT_TRUE(stack.full());
+    EXPECT_EXIT(stack.push(99), ::testing::ExitedWithCode(1),
+                "overflow");
+}
+
+TEST(CtxStackPolicy, SlowLoadsMakeCandidatesAndClearResets)
+{
+    sim::ContextStackParams p;
+    p.swapThreshold = 32;
+    sim::ContextStack stack(p);
+    // Thread 0 issues fast loads, thread 1 slow ones: only the
+    // memory-bound thread may cross the candidate threshold.
+    for (int i = 0; i < 40 * p.swapThreshold; ++i) {
+        stack.observeLoad(0, 1);
+        stack.observeLoad(1, 200);
+    }
+    EXPECT_FALSE(stack.swapCandidate(0));
+    EXPECT_TRUE(stack.swapCandidate(1));
+    stack.clearCandidate(1);
+    EXPECT_FALSE(stack.swapCandidate(1));
+    // Unknown threads are never candidates.
+    EXPECT_FALSE(stack.swapCandidate(42));
 }
 
 TEST(Determinism, AcrossAllCoreWorkloads)
