@@ -1,0 +1,169 @@
+/**
+ * @file
+ * BENCH_simperf — host throughput of the simulator itself.
+ *
+ * Every paper figure and every sweep point funnels through the
+ * cycle-level kernel, so host-side simulator speed bounds everything
+ * the harnesses can explore. This harness sweeps the full workload
+ * registry across the {smt, cmp} backends and reports *host* metrics
+ * per point: wall seconds, host CPU seconds, simulated cycles per
+ * host second, and simulated MIPS (committed instructions per host
+ * second). The JSON lands in BENCH_simperf.json, seeding the perf
+ * trajectory so every future PR's speedups and regressions are
+ * visible per commit.
+ *
+ * Two clocks are reported on purpose: `wall_seconds` is elapsed time
+ * (what a user waits for), while the throughput rates divide by the
+ * *thread* CPU clock so they stay meaningful when `--jobs N`
+ * timeshares points over fewer host cores. The simulated fields
+ * (cycles, instructions, correctness) are deterministic at any job
+ * count; only the host timings vary run to run.
+ */
+
+#include <ctime>
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "harness/experiment.hh"
+#include "sim/config.hh"
+#include "workloads/workload.hh"
+
+using namespace capsule;
+
+namespace
+{
+
+/** Cores in the CMP sweep column (total contexts kept at the SMT 8). */
+constexpr int cmpCores = 2;
+constexpr int cmpContextsPerCore = 4;
+
+const char *const backends[] = {"smt", "cmp"};
+
+double
+threadCpuSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+}
+
+double
+wallSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+}
+
+sim::MachineConfig
+configFor(const std::string &backend)
+{
+    if (backend == "cmp")
+        return sim::MachineConfig::cmpSomt(cmpCores,
+                                           cmpContextsPerCore);
+    return sim::MachineConfig::somt();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto scale = bench::parseScale(argc, argv);
+    bench::banner("simulator host throughput (registry x backend)",
+                  scale);
+
+    // Repeat each point enough for a stable timing at small scales;
+    // the simulated fields are identical across reps (determinism).
+    const int reps = scale.pick(5, 3, 1);
+    const auto names = wl::WorkloadRegistry::builtin().names();
+
+    std::vector<harness::SweepPoint> points;
+    for (const auto &wlName : names) {
+        for (const char *backend : backends) {
+            harness::SweepPoint pt;
+            pt.label = wlName + "/" + backend;
+            auto req = scale.request(scale.seed);
+            auto cfg = configFor(backend);
+            pt.run = [wlName, cfg, req, reps] {
+                double w0 = wallSeconds();
+                double c0 = threadCpuSeconds();
+                wl::WorkloadResult res;
+                for (int r = 0; r < reps; ++r)
+                    res = wl::WorkloadRegistry::builtin().run(
+                        wlName, cfg, req);
+                double cpu = threadCpuSeconds() - c0;
+                double wall = wallSeconds() - w0;
+                res.setMetric("host_reps", double(reps));
+                res.setMetric("host_wall_seconds", wall);
+                res.setMetric("host_cpu_seconds", cpu);
+                return res;
+            };
+            points.push_back(std::move(pt));
+        }
+    }
+    auto results = scale.runner().run(points);
+
+    bench::JsonReport report("simperf", scale);
+    TextTable table({"workload", "backend", "sim cycles", "sim insts",
+                     "wall s", "Mcycles/s", "MIPS"});
+    bool allCorrect = true;
+    double totalWall = 0, totalCpu = 0;
+    double totalInsts = 0, totalCycles = 0;
+
+    std::size_t at = 0;
+    for (const auto &wlName : names) {
+        for (const char *backend : backends) {
+            const auto &r = results[at++];
+            allCorrect = allCorrect && r.correct;
+            double wall = r.metric("host_wall_seconds");
+            double cpu = r.metric("host_cpu_seconds");
+            // Guard the rate denominators against clock granularity.
+            double denom = cpu > 1e-9 ? cpu : 1e-9;
+            double simInsts =
+                double(r.stats.instructions) * double(reps);
+            double simCycles = double(r.stats.cycles) * double(reps);
+            double mips = simInsts / denom / 1e6;
+            double cps = simCycles / denom;
+            totalWall += wall;
+            totalCpu += cpu;
+            totalInsts += simInsts;
+            totalCycles += simCycles;
+
+            table.addRow({wlName, backend,
+                          TextTable::count(r.stats.cycles),
+                          TextTable::count(r.stats.instructions),
+                          TextTable::num(wall, 4),
+                          TextTable::num(cps / 1e6, 2),
+                          TextTable::num(mips, 2)});
+
+            std::string key = wlName + "." + backend;
+            report.num(key + ".wall_seconds", wall);
+            report.num(key + ".cpu_seconds", cpu);
+            report.num(key + ".sim_cycles_per_sec", cps);
+            report.num(key + ".mips", mips);
+            report.count(key + ".sim_cycles", r.stats.cycles);
+            report.count(key + ".sim_instructions",
+                         r.stats.instructions);
+            report.flag(key + ".correct", r.correct);
+        }
+    }
+    table.render(std::cout);
+
+    double aggDenom = totalCpu > 1e-9 ? totalCpu : 1e-9;
+    std::printf("\naggregate: %.3f wall s, %.3f cpu s, "
+                "%.2f Msim-cycles/s, %.2f sim-MIPS over %zu points "
+                "(x%d reps)\n",
+                totalWall, totalCpu, totalCycles / aggDenom / 1e6,
+                totalInsts / aggDenom / 1e6, results.size(), reps);
+
+    report.count("records", std::uint64_t(results.size()));
+    report.count("reps_per_point", std::uint64_t(reps));
+    report.num("total_wall_seconds", totalWall);
+    report.num("total_cpu_seconds", totalCpu);
+    report.num("aggregate_sim_cycles_per_sec", totalCycles / aggDenom);
+    report.num("aggregate_mips", totalInsts / aggDenom / 1e6);
+    report.flag("all_correct", allCorrect);
+    return report.write() && allCorrect ? 0 : 1;
+}

@@ -20,6 +20,24 @@ parseScale(int argc, char **argv)
             s.paper = true;
         } else if (std::strcmp(argv[i], "--quick") == 0) {
             s.quick = true;
+        } else if (std::strcmp(argv[i], "--scale") == 0 &&
+                   i + 1 < argc) {
+            // Named-level alias for --quick/--paper (and the explicit
+            // spelling of the default level).
+            const char *level = argv[++i];
+            if (std::strcmp(level, "quick") == 0) {
+                s.quick = true;
+            } else if (std::strcmp(level, "paper") == 0) {
+                s.paper = true;
+            } else if (std::strcmp(level, "default") == 0) {
+                s.quick = s.paper = false;
+            } else {
+                std::fprintf(stderr,
+                             "--scale wants quick, default or paper, "
+                             "got '%s'\n",
+                             level);
+                std::exit(2);
+            }
         } else if (std::strcmp(argv[i], "--seed") == 0 &&
                    i + 1 < argc) {
             s.seed = std::strtoull(argv[++i], nullptr, 10);
@@ -41,8 +59,8 @@ parseScale(int argc, char **argv)
             s.jobs = int(v);
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--paper|--quick] [--seed N] "
-                         "[--json FILE] [--jobs N]\n",
+                         "usage: %s [--paper|--quick|--scale LEVEL] "
+                         "[--seed N] [--json FILE] [--jobs N]\n",
                          argv[0]);
             std::exit(2);
         }

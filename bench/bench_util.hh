@@ -64,8 +64,8 @@ struct Scale
     }
 };
 
-/** Parse --paper / --quick / --seed N / --json FILE / --jobs N;
- *  exits on unknown flags. */
+/** Parse --paper / --quick / --scale quick|default|paper / --seed N /
+ *  --json FILE / --jobs N; exits on unknown flags. */
 Scale parseScale(int argc, char **argv);
 
 /**

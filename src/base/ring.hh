@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fixed-capacity ring buffer for the pipeline's in-order queues
+ * (per-thread fetch queue, ROB and LSQ). The hardware structures
+ * these model are fixed-size by definition, so a flat circular array
+ * replaces std::deque's chunked heap allocation on the per-cycle hot
+ * path: push/pop are two index updates, iteration is contiguous
+ * (modulo one wrap), and a queue's whole lifetime performs exactly
+ * one allocation.
+ */
+
+#ifndef CAPSULE_BASE_RING_HH
+#define CAPSULE_BASE_RING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace capsule
+{
+
+/** Fixed-capacity FIFO ring buffer. */
+template <typename T>
+class Ring
+{
+  public:
+    Ring() = default;
+
+    explicit Ring(std::size_t capacity) { reset(capacity); }
+
+    /** (Re)size the buffer; drops any current contents. */
+    void
+    reset(std::size_t capacity)
+    {
+        CAPSULE_ASSERT(capacity > 0, "ring capacity must be positive");
+        buf.assign(capacity, T{});
+        head = 0;
+        count = 0;
+    }
+
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return buf.size(); }
+    bool empty() const { return count == 0; }
+    bool full() const { return count == buf.size(); }
+
+    void
+    push_back(const T &v)
+    {
+        CAPSULE_ASSERT(count < buf.size(), "ring overflow");
+        buf[wrap(head + count)] = v;
+        ++count;
+    }
+
+    T &
+    front()
+    {
+        CAPSULE_ASSERT(count > 0, "front() on empty ring");
+        return buf[head];
+    }
+
+    const T &
+    front() const
+    {
+        CAPSULE_ASSERT(count > 0, "front() on empty ring");
+        return buf[head];
+    }
+
+    void
+    pop_front()
+    {
+        CAPSULE_ASSERT(count > 0, "pop_front() on empty ring");
+        buf[head] = T{};  // release payload resources eagerly
+        head = wrap(head + 1);
+        --count;
+    }
+
+    /** i-th element from the front (0 = oldest). */
+    const T &
+    operator[](std::size_t i) const
+    {
+        CAPSULE_ASSERT(i < count, "ring index out of range");
+        return buf[wrap(head + i)];
+    }
+
+    /** Minimal forward iteration, oldest first (for range-for). */
+    class const_iterator
+    {
+      public:
+        const_iterator(const Ring *r, std::size_t i) : ring(r), at(i) {}
+
+        const T &operator*() const { return (*ring)[at]; }
+
+        const_iterator &
+        operator++()
+        {
+            ++at;
+            return *this;
+        }
+
+        bool
+        operator!=(const const_iterator &o) const
+        {
+            return at != o.at;
+        }
+
+      private:
+        const Ring *ring;
+        std::size_t at;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, count}; }
+
+  private:
+    std::size_t
+    wrap(std::size_t i) const
+    {
+        return i < buf.size() ? i : i - buf.size();
+    }
+
+    std::vector<T> buf;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace capsule
+
+#endif // CAPSULE_BASE_RING_HH

@@ -7,35 +7,45 @@
 namespace capsule::mem
 {
 
-Memory::Page *
-Memory::findPage(Addr a)
+std::uint8_t *
+Memory::pageData(Addr a)
 {
     Addr key = a / pageBytes;
+    if (key == cachedKey)
+        return cachedData;
     auto it = pages.find(key);
     if (it == pages.end())
         it = pages.emplace(key, Page(pageBytes, 0)).first;
-    return &it->second;
+    cachedKey = key;
+    cachedData = it->second.data();
+    return cachedData;
 }
 
-const Memory::Page *
-Memory::findPageConst(Addr a) const
+const std::uint8_t *
+Memory::pageDataConst(Addr a) const
 {
     Addr key = a / pageBytes;
+    if (key == cachedKey)
+        return cachedData;
     auto it = pages.find(key);
-    return it == pages.end() ? nullptr : &it->second;
+    if (it == pages.end())
+        return nullptr;
+    cachedKey = key;
+    cachedData = it->second.data();
+    return cachedData;
 }
 
 std::uint8_t
 Memory::readByte(Addr a) const
 {
-    const Page *p = findPageConst(a);
-    return p ? (*p)[a % pageBytes] : 0;
+    const std::uint8_t *p = pageDataConst(a);
+    return p ? p[a & pageMask] : 0;
 }
 
 void
 Memory::writeByte(Addr a, std::uint8_t v)
 {
-    (*findPage(a))[a % pageBytes] = v;
+    pageData(a)[a & pageMask] = v;
 }
 
 std::uint64_t
@@ -43,9 +53,33 @@ Memory::read(Addr a, int size) const
 {
     CAPSULE_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
                    "bad access size ", size);
+    Addr off = a & pageMask;
     std::uint64_t v = 0;
-    for (int i = 0; i < size; ++i)
-        v |= std::uint64_t(readByte(a + Addr(i))) << (8 * i);
+    if (off + Addr(size) <= pageBytes) {
+        // In-page fast path: one (usually cached) translation, then
+        // little-endian assembly the compiler folds into a single
+        // load on little-endian hosts.
+        const std::uint8_t *p = pageDataConst(a);
+        if (!p)
+            return 0;  // untouched memory reads as zero
+        p += off;
+        for (int i = 0; i < size; ++i)
+            v |= std::uint64_t(p[i]) << (8 * i);
+        return v;
+    }
+    // Page-straddling access: one lookup per page (exactly two).
+    int first = int(pageBytes - off);
+    const std::uint8_t *lo = pageDataConst(a);
+    if (lo) {
+        lo += off;
+        for (int i = 0; i < first; ++i)
+            v |= std::uint64_t(lo[i]) << (8 * i);
+    }
+    const std::uint8_t *hi = pageDataConst(a + Addr(first));
+    if (hi) {
+        for (int i = first; i < size; ++i)
+            v |= std::uint64_t(hi[i - first]) << (8 * i);
+    }
     return v;
 }
 
@@ -54,8 +88,20 @@ Memory::write(Addr a, std::uint64_t v, int size)
 {
     CAPSULE_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
                    "bad access size ", size);
-    for (int i = 0; i < size; ++i)
-        writeByte(a + Addr(i), std::uint8_t(v >> (8 * i)));
+    Addr off = a & pageMask;
+    if (off + Addr(size) <= pageBytes) {
+        std::uint8_t *p = pageData(a) + off;
+        for (int i = 0; i < size; ++i)
+            p[i] = std::uint8_t(v >> (8 * i));
+        return;
+    }
+    int first = int(pageBytes - off);
+    std::uint8_t *lo = pageData(a) + off;
+    for (int i = 0; i < first; ++i)
+        lo[i] = std::uint8_t(v >> (8 * i));
+    std::uint8_t *hi = pageData(a + Addr(first));
+    for (int i = first; i < size; ++i)
+        hi[i - first] = std::uint8_t(v >> (8 * i));
 }
 
 double
@@ -79,16 +125,34 @@ void
 Memory::writeBlock(Addr a, const void *src, std::size_t len)
 {
     const auto *bytes = static_cast<const std::uint8_t *>(src);
-    for (std::size_t i = 0; i < len; ++i)
-        writeByte(a + Addr(i), bytes[i]);
+    while (len > 0) {
+        Addr off = a & pageMask;
+        std::size_t chunk =
+            std::min<std::size_t>(len, std::size_t(pageBytes - off));
+        std::memcpy(pageData(a) + off, bytes, chunk);
+        a += Addr(chunk);
+        bytes += chunk;
+        len -= chunk;
+    }
 }
 
 void
 Memory::readBlock(Addr a, void *dst, std::size_t len) const
 {
     auto *bytes = static_cast<std::uint8_t *>(dst);
-    for (std::size_t i = 0; i < len; ++i)
-        bytes[i] = readByte(a + Addr(i));
+    while (len > 0) {
+        Addr off = a & pageMask;
+        std::size_t chunk =
+            std::min<std::size_t>(len, std::size_t(pageBytes - off));
+        const std::uint8_t *p = pageDataConst(a);
+        if (p)
+            std::memcpy(bytes, p + off, chunk);
+        else
+            std::memset(bytes, 0, chunk);  // unmapped reads as zero
+        a += Addr(chunk);
+        bytes += chunk;
+        len -= chunk;
+    }
 }
 
 } // namespace capsule::mem

@@ -3,6 +3,14 @@
  * Sparse byte-addressable simulated memory. Pages are allocated on
  * first touch; untouched memory reads as zero. Used by the functional
  * CapISA interpreter; the timing model only sees addresses.
+ *
+ * Hot-path design: a one-entry last-page translation cache sits in
+ * front of the page hash map, so the common case — repeated accesses
+ * within the same 4 KiB page — is a compare and a pointer deref
+ * instead of an unordered_map lookup per byte. Multi-byte accesses
+ * that fit in one page touch the map at most once; accesses that
+ * straddle a page boundary touch it at most twice (one lookup per
+ * page); block copies run page-sized memcpy chunks.
  */
 
 #ifndef CAPSULE_MEM_MEMORY_HH
@@ -43,12 +51,29 @@ class Memory
     std::size_t pageCount() const { return pages.size(); }
 
   private:
+    static_assert((pageBytes & (pageBytes - 1)) == 0,
+                  "page-offset masking requires a power-of-two page");
+    static constexpr Addr pageMask = pageBytes - 1;
+    static constexpr Addr noPage = ~Addr(0);
+
     using Page = std::vector<std::uint8_t>;
 
-    Page *findPage(Addr a);
-    const Page *findPageConst(Addr a) const;
+    /** Byte storage of the page holding `a`, materialising it (and
+     *  refreshing the translation cache) on first touch. */
+    std::uint8_t *pageData(Addr a);
+    /** Byte storage of the page holding `a`, or nullptr when the
+     *  page was never touched (reads as zero). Refreshes the
+     *  translation cache on a hit. */
+    const std::uint8_t *pageDataConst(Addr a) const;
 
     mutable std::unordered_map<Addr, Page> pages;
+
+    /** Last-page translation cache. Safe to hold across inserts:
+     *  unordered_map references are stable and pages are never
+     *  erased or resized. Never caches an unmapped page, so there is
+     *  no negative entry to invalidate when a write materialises it. */
+    mutable Addr cachedKey = noPage;
+    mutable std::uint8_t *cachedData = nullptr;
 };
 
 } // namespace capsule::mem

@@ -36,10 +36,17 @@ Cache::access(Addr addr, bool write)
 {
     std::uint64_t set = setIndex(addr);
     Addr tag = tagOf(addr);
-    Line *base = &lines[set * std::uint64_t(p.assoc)];
+    // One pass over the set's ways: probe for the hit and track the
+    // replacement choice simultaneously, instead of a second victim
+    // scan on every miss. Victim policy is unchanged: way 0 seeds the
+    // LRU comparison, and the first invalid way at index >= 1 wins
+    // outright (an invalid way 0 still loses only to ways with a
+    // smaller lruStamp, which valid ways never have).
+    Line *const base = &lines[set * std::uint64_t(p.assoc)];
     ++stamp;
 
-    // Hit path.
+    Line *victim = base;
+    bool victimInvalid = false;
     for (int w = 0; w < p.assoc; ++w) {
         Line &line = base[w];
         if (line.valid && line.tag == tag) {
@@ -48,22 +55,20 @@ Cache::access(Addr addr, bool write)
             ++nHits;
             return p.hitLatency;
         }
+        if (w == 0 || victimInvalid)
+            continue;
+        if (!line.valid) {
+            victim = &line;
+            victimInvalid = true;
+        } else if (line.lruStamp < victim->lruStamp) {
+            victim = &line;
+        }
     }
 
     // Miss: fill from the next level (or memory).
     ++nMisses;
     Cycle fill = next ? next->access(addr, false) : memLatency;
 
-    // Choose the LRU victim.
-    Line *victim = base;
-    for (int w = 1; w < p.assoc; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
-        }
-        if (base[w].lruStamp < victim->lruStamp)
-            victim = &base[w];
-    }
     if (victim->valid && victim->dirty) {
         ++nWritebacks;
         // Write-back traffic: charge the next level's hit latency; a

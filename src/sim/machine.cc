@@ -47,6 +47,16 @@ Machine::Machine(const MachineConfig &config, const CoreLinks &links_)
     ruuFreeList.reserve(ruu.size());
     for (int i = int(ruu.size()) - 1; i >= 0; --i)
         ruuFreeList.push_back(i);
+
+    // Dependent-node arena: every in-flight instruction holds at most
+    // two source edges, so 2 * ruuSize nodes can never run out.
+    depPool.resize(2 * ruu.size());
+    for (std::size_t i = 0; i < depPool.size(); ++i)
+        depPool[i].next = i + 1 < depPool.size() ? int(i + 1) : -1;
+    depFree = depPool.empty() ? -1 : 0;
+
+    readyHeap.reserve(ruu.size());
+    issueSkipped.reserve(std::size_t(cfg.issueWidth) + 1);
 }
 
 Machine::~Machine() = default;
@@ -108,7 +118,12 @@ Machine::newThread(std::unique_ptr<front::Program> program)
     auto t = std::make_unique<Thread>();
     t->tid = tid;
     t->program = std::move(program);
+    t->index = threads.size();
+    t->ifq.reset(std::size_t(cfg.ifqSize));
+    t->rob.reset(std::size_t(cfg.ruuSize));
+    t->lsq.reset(std::size_t(cfg.lsqSize));
     tidIndex.emplace(tid, threads.size());
+    liveIdx.push_back(threads.size());  // new index is the maximum
     threads.push_back(std::move(t));
     threads.back()->slot = takeSlot(tid);
     return *threads.back();
@@ -172,11 +187,7 @@ Machine::wakeWaiter(ThreadId tid)
 int
 Machine::liveThreads() const
 {
-    int n = 0;
-    for (const auto &t : threads)
-        if (t->state != ThreadState::Finished)
-            ++n;
-    return n;
+    return int(liveIdx.size());
 }
 
 int
@@ -194,9 +205,46 @@ Machine::allocRuu()
 void
 Machine::freeRuu(int idx)
 {
+    CAPSULE_ASSERT(ruu[std::size_t(idx)].depHead == -1,
+                   "freeing RUU entry with live dependents");
     ruu[std::size_t(idx)].valid = false;
     ruuFreeList.push_back(idx);
     --ruuUsed;
+}
+
+int
+Machine::allocDepNode()
+{
+    CAPSULE_ASSERT(depFree != -1, "dependent-node pool exhausted");
+    int n = depFree;
+    depFree = depPool[std::size_t(n)].next;
+    return n;
+}
+
+void
+Machine::pushReady(InstSeq seq, int ruu_idx)
+{
+    readyHeap.emplace_back(seq, ruu_idx);
+    std::push_heap(readyHeap.begin(), readyHeap.end(),
+                   std::greater<>{});
+}
+
+template <typename Pred>
+void
+Machine::collectRoundRobin(std::size_t start, Pred &&hasWork)
+{
+    stageOrder.clear();
+    auto wrapAt = std::lower_bound(liveIdx.begin(), liveIdx.end(),
+                                   start);
+    auto visit = [&](std::size_t i) {
+        Thread &t = *threads[i];
+        if (hasWork(t))
+            stageOrder.push_back(&t);
+    };
+    for (auto it = wrapAt; it != liveIdx.end(); ++it)
+        visit(*it);
+    for (auto it = liveIdx.begin(); it != wrapAt; ++it)
+        visit(*it);
 }
 
 Cycle
@@ -280,9 +328,10 @@ void
 Machine::fetchStage()
 {
     // Rank active threads by in-flight count (Icount policy).
-    std::vector<Thread *> candidates;
-    for (const auto &tp : threads) {
-        Thread &t = *tp;
+    std::vector<Thread *> &candidates = fetchCandidates;
+    candidates.clear();
+    for (std::size_t i : liveIdx) {
+        Thread &t = *threads[i];
         if (t.state != ThreadState::Active)
             continue;
         if (t.fetchReadyCycle > curCycle || t.blockedOnBranch != 0)
@@ -446,13 +495,22 @@ Machine::dispatchStage()
     std::size_t n = threads.size();
     std::size_t start = rrDispatch++ % n;
 
+    // The round-robin modulus stays the historical threads.size() so
+    // the schedule is cycle-identical; only threads with fetched
+    // instructions are visited (the ifq fills exclusively in fetch,
+    // which runs after dispatch, so the candidate set is stable).
+    collectRoundRobin(start,
+                      [](const Thread &t) { return !t.ifq.empty(); });
+
     // One instruction per thread per pass keeps rename bandwidth
     // fairly shared even when a long dependence chain fills the RUU.
     bool progress = true;
     while (budget > 0 && progress && ruuUsed < cfg.ruuSize) {
         progress = false;
-        for (std::size_t k = 0; k < n && budget > 0; ++k) {
-            Thread &t = *threads[(start + k) % n];
+        for (Thread *tp : stageOrder) {
+            if (budget <= 0)
+                break;
+            Thread &t = *tp;
             if (t.ifq.empty())
                 continue;
             if (ruuUsed >= cfg.ruuSize)
@@ -486,7 +544,9 @@ Machine::dispatchStage()
                 RuuEntry &p = ruu[std::size_t(prod)];
                 if (!p.valid || p.st == RuuEntry::St::Done)
                     return;
-                p.dependents.push_back(idx);
+                int node = allocDepNode();
+                depPool[std::size_t(node)] = {idx, p.depHead};
+                p.depHead = node;
                 ++e.pendingSrcs;
             };
             addDep(fi.inst.rs1, fi.inst.fpRegs);
@@ -509,7 +569,7 @@ Machine::dispatchStage()
 
             if (e.pendingSrcs == 0) {
                 e.st = RuuEntry::St::Ready;
-                readySet.emplace(e.seq, idx);
+                pushReady(e.seq, idx);
             }
             --budget;
             progress = true;
@@ -558,15 +618,23 @@ Machine::issueStage()
     fpmultLeft = cfg.numFpmult;
     dportsLeft = cfg.dcachePorts;
 
+    // Drain the ready heap oldest-first. Entries that cannot issue
+    // this cycle (FU busy, load blocked by an older store) are set
+    // aside and re-pushed afterwards — the same retry-next-cycle
+    // semantics as iterating past them in the ordered set this heap
+    // replaces, without per-entry tree nodes.
     int budget = cfg.issueWidth;
-    auto it = readySet.begin();
-    while (it != readySet.end() && budget > 0) {
-        int idx = it->second;
+    issueSkipped.clear();
+    while (!readyHeap.empty() && budget > 0) {
+        std::pop_heap(readyHeap.begin(), readyHeap.end(),
+                      std::greater<>{});
+        auto [seq, idx] = readyHeap.back();
+        readyHeap.pop_back();
         RuuEntry &e = ruu[std::size_t(idx)];
         CAPSULE_ASSERT(e.valid && e.st == RuuEntry::St::Ready,
                        "corrupt ready set");
         if (!fuAvailable(e.inst.cls)) {
-            ++it;
+            issueSkipped.emplace_back(seq, idx);
             continue;
         }
 
@@ -575,7 +643,7 @@ Machine::issueStage()
             bool forwarded = false;
             const Thread &t = *e.owner;
             if (loadBlockedByStore(t, e, forwarded)) {
-                ++it;  // retry next cycle
+                issueSkipped.emplace_back(seq, idx);  // retry next cy
                 continue;
             }
             if (forwarded) {
@@ -599,9 +667,10 @@ Machine::issueStage()
         e.issueCycle = curCycle;
         e.completeCycle = curCycle + lat;
         completions.emplace(e.completeCycle, idx);
-        it = readySet.erase(it);
         --budget;
     }
+    for (const auto &[seq, idx] : issueSkipped)
+        pushReady(seq, idx);
 }
 
 // --------------------------------------------------------------------
@@ -611,17 +680,25 @@ void
 Machine::wakeDependents(int ruu_idx)
 {
     RuuEntry &e = ruu[std::size_t(ruu_idx)];
-    for (int dep : e.dependents) {
+    int n = e.depHead;
+    while (n != -1) {
+        DepNode &node = depPool[std::size_t(n)];
+        int next = node.next;
+        int dep = node.ruuIdx;
         RuuEntry &d = ruu[std::size_t(dep)];
-        if (!d.valid)
-            continue;
-        CAPSULE_ASSERT(d.pendingSrcs > 0, "dependence underflow");
-        if (--d.pendingSrcs == 0 && d.st == RuuEntry::St::Waiting) {
-            d.st = RuuEntry::St::Ready;
-            readySet.emplace(d.seq, dep);
+        if (d.valid) {
+            CAPSULE_ASSERT(d.pendingSrcs > 0, "dependence underflow");
+            if (--d.pendingSrcs == 0 &&
+                d.st == RuuEntry::St::Waiting) {
+                d.st = RuuEntry::St::Ready;
+                pushReady(d.seq, dep);
+            }
         }
+        node.next = depFree;  // return the node to the pool
+        depFree = n;
+        n = next;
     }
-    e.dependents.clear();
+    e.depHead = -1;
 }
 
 void
@@ -685,6 +762,7 @@ Machine::commitOne(Thread &t, RuuEntry &e, int idx)
         CAPSULE_ASSERT(locks->threadQuiescent(t.tid),
                        "thread ", t.tid, " died holding locks");
         t.state = ThreadState::Finished;
+        diedThisCycle.push_back(t.index);
         releaseSlot(t);
         t.program.reset();
         if (e.inst.cls == OpClass::Kthr) {
@@ -731,12 +809,22 @@ Machine::commitStage()
     std::size_t n = threads.size();
     std::size_t start = rrCommit++ % n;
 
+    // Same modulus, same visit order as the historical full-array
+    // scan — but candidates are gathered once (the rob only fills in
+    // dispatch, so no thread joins mid-stage) instead of re-scanning
+    // every dead thread on every pass.
+    collectRoundRobin(start,
+                      [](const Thread &t) { return !t.rob.empty(); });
+    diedThisCycle.clear();
+
     // One instruction per thread per pass (fair shared retirement).
     bool progress = true;
     while (budget > 0 && progress) {
         progress = false;
-        for (std::size_t k = 0; k < n && budget > 0; ++k) {
-            Thread &t = *threads[(start + k) % n];
+        for (Thread *tp : stageOrder) {
+            if (budget <= 0)
+                break;
+            Thread &t = *tp;
             if (t.rob.empty())
                 continue;
             int idx = t.rob.front();
@@ -750,6 +838,16 @@ Machine::commitStage()
             progress = true;
         }
     }
+
+    // Drop finished threads from the live index (ascending order is
+    // preserved by removal).
+    for (std::size_t dead : diedThisCycle) {
+        auto it = std::lower_bound(liveIdx.begin(), liveIdx.end(),
+                                   dead);
+        CAPSULE_ASSERT(it != liveIdx.end() && *it == dead,
+                       "finished thread missing from live index");
+        liveIdx.erase(it);
+    }
 }
 
 // --------------------------------------------------------------------
@@ -760,8 +858,8 @@ Machine::housekeepStage()
 {
     // Thread activations (nthr children, swap-ins) and swap-out
     // completion.
-    for (auto &tp : threads) {
-        Thread &t = *tp;
+    for (std::size_t i : liveIdx) {
+        Thread &t = *threads[i];
         switch (t.state) {
           case ThreadState::Starting:
           case ThreadState::SwappingIn:
@@ -794,8 +892,8 @@ Machine::housekeepStage()
     // Swap-out initiation: evict memory-bound threads when every
     // context is busy (Section 3.1 policy).
     if (freeSlots() == 0) {
-        for (auto &tp : threads) {
-            Thread &t = *tp;
+        for (std::size_t i : liveIdx) {
+            Thread &t = *threads[i];
             if (t.state != ThreadState::Active)
                 continue;
             if (!ctxStack.swapCandidate(t.tid) || ctxStack.full())
@@ -833,8 +931,8 @@ Machine::cycleOnce()
     housekeepStage();
 
     int active = 0;
-    for (const auto &t : threads)
-        active += t->state == ThreadState::Active;
+    for (std::size_t i : liveIdx)
+        active += threads[i]->state == ThreadState::Active;
     nActiveCycleSum += std::uint64_t(active);
 
     ++curCycle;

@@ -38,15 +38,14 @@
 #define CAPSULE_SIM_MACHINE_HH
 
 #include <array>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <ostream>
 #include <queue>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
+#include "base/ring.hh"
 #include "base/stats.hh"
 #include "front/program.hh"
 #include "sim/backend.hh"
@@ -253,6 +252,7 @@ class Machine : public MachineBackend
         std::unique_ptr<front::Program> program;
         ThreadState state = ThreadState::Active;
         int slot = -1;
+        std::size_t index = 0;        ///< position in `threads`
         bool programDone = false;
         std::optional<isa::DynInst> staged;  ///< one-instruction peek
         bool stagedIsUnresolvedNthr = false;
@@ -261,9 +261,12 @@ class Machine : public MachineBackend
         int inFlight = 0;             ///< fetched, not yet committed
         std::uint64_t committed = 0;
         Addr lockWaitAddr = 0;
-        std::deque<FetchedInst> ifq;  ///< fetched, waiting dispatch
-        std::deque<int> rob;          ///< dispatched RUU ids, in order
-        std::deque<int> lsq;          ///< memory-op RUU ids, in order
+        /** The in-order queues are fixed-capacity hardware structures
+         *  (ifqSize / ruuSize / lsqSize); flat rings replace deques on
+         *  the per-cycle hot path. */
+        Ring<FetchedInst> ifq;        ///< fetched, waiting dispatch
+        Ring<int> rob;                ///< dispatched RUU ids, in order
+        Ring<int> lsq;                ///< memory-op RUU ids, in order
         Cycle activationCycle = 0;    ///< Starting / swap completion
         RenameMap rename;
     };
@@ -279,13 +282,27 @@ class Machine : public MachineBackend
         InstSeq seq = 0;
         enum class St { Waiting, Ready, Issued, Done } st = St::Waiting;
         int pendingSrcs = 0;
-        std::vector<int> dependents;
+        /** Head of this entry's dependent list in the machine-owned
+         *  node pool (`depPool`); -1 when empty. Replaces a per-entry
+         *  heap vector: entry recycling is a plain field reset and the
+         *  nodes live in one arena sized 2 * ruuSize (each in-flight
+         *  instruction consumes at most two source edges). */
+        int depHead = -1;
         Cycle issueCycle = 0;
         Cycle completeCycle = 0;
         bool granted = false;       ///< nthr decision
         bool remote = false;        ///< nthr child on another core
         bool mispredicted = false;
         ThreadId childTid = invalidThread;
+    };
+
+    /** One edge of a dependent list: `ruuIdx` waits on the entry
+     *  whose list this node is threaded on; `next` chains the list
+     *  (or the free list when the node is unallocated). */
+    struct DepNode
+    {
+        int ruuIdx = -1;
+        int next = -1;
     };
 
     // ---- pipeline stages -------------------------------------------
@@ -307,6 +324,14 @@ class Machine : public MachineBackend
     bool peek(Thread &t);
     int allocRuu();
     void freeRuu(int idx);
+    int allocDepNode();
+    void pushReady(InstSeq seq, int ruu_idx);
+    /** Threads with work for a round-robin stage, in the exact order
+     *  the historical full-array scan visited them: indices >= start
+     *  first, then wraparound — restricted to live threads via the
+     *  sorted `liveIdx`. `hasWork` filters (e.g. non-empty rob). */
+    template <typename Pred>
+    void collectRoundRobin(std::size_t start, Pred &&hasWork);
     int freeSlots() const;
     int takeSlot(ThreadId tid);
     void releaseSlot(Thread &t);
@@ -331,6 +356,10 @@ class Machine : public MachineBackend
 
     std::vector<std::unique_ptr<Thread>> threads;  ///< creation order
     std::unordered_map<ThreadId, std::size_t> tidIndex;
+    /** Indices of non-Finished threads, ascending. The per-cycle
+     *  stages walk this instead of the ever-growing `threads` vector,
+     *  so a long run's thousands of dead threads cost nothing. */
+    std::vector<std::size_t> liveIdx;
     std::vector<ThreadId> slotOwner;               ///< slot -> tid
     int slotsInUse = 0;
 
@@ -339,8 +368,19 @@ class Machine : public MachineBackend
     int ruuUsed = 0;
     int lsqUsed = 0;
 
-    /** Entries ready to issue, ordered oldest first. */
-    std::set<std::pair<InstSeq, int>> readySet;
+    /** Arena of dependent-list nodes (see RuuEntry::depHead). */
+    std::vector<DepNode> depPool;
+    int depFree = -1;               ///< free-list head
+
+    /** Entries ready to issue: a min-heap on (seq, ruu index) —
+     *  oldest first, like the std::set it replaces, but flat. */
+    std::vector<std::pair<InstSeq, int>> readyHeap;
+
+    // Per-cycle scratch (members to avoid per-cycle allocation).
+    std::vector<Thread *> stageOrder;      ///< round-robin candidates
+    std::vector<Thread *> fetchCandidates;
+    std::vector<std::pair<InstSeq, int>> issueSkipped;
+    std::vector<std::size_t> diedThisCycle;
     /** Completion events: (cycle, ruu index). */
     std::priority_queue<std::pair<Cycle, int>,
                         std::vector<std::pair<Cycle, int>>,

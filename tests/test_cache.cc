@@ -128,6 +128,39 @@ TEST(Hierarchy, StatsRegistration)
     EXPECT_EQ(g.get("l1d.hits"), 0.0);
 }
 
+TEST(Cache, VictimPolicyFillsInvalidWaysBeforeLru)
+{
+    // Pin the (historical) victim-selection order the single-pass
+    // probe+victim scan must preserve: from an all-invalid 4-way set,
+    // fills land in ways 1, 2, 3 and only then way 0 (way 0 seeds
+    // the LRU comparison but the first invalid way at index >= 1 wins
+    // outright), so the first four distinct lines coexist with no
+    // eviction and the fifth evicts the LRU, not a fresh line.
+    Cache c(tiny(128, 4, 32, 1), nullptr, 100);  // one 4-way set
+    c.access(0, false);
+    c.access(32, false);
+    c.access(64, false);
+    c.access(96, false);
+    EXPECT_EQ(c.misses(), 4u);
+    for (Addr a : {0u, 32u, 64u, 96u})
+        EXPECT_TRUE(c.probe(a)) << a;
+    c.access(128, false);  // evicts line 0, the LRU
+    EXPECT_FALSE(c.probe(0));
+    for (Addr a : {32u, 64u, 96u, 128u})
+        EXPECT_TRUE(c.probe(a)) << a;
+}
+
+TEST(Cache, SinglePassHitCountsUnchangedByInvalidWays)
+{
+    // A hit in a later way must still be found when an earlier way is
+    // invalid (the victim tracking must not cut the probe short).
+    Cache c(tiny(128, 4, 32, 1), nullptr, 100);
+    c.access(0, false);     // lands in way 1 (first invalid >= 1)
+    c.access(0, false);     // hit
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
 TEST(Cache, MissRateComputation)
 {
     Cache c(tiny(1024, 2, 32, 1), nullptr, 100);

@@ -47,6 +47,106 @@ TEST(Memory, CrossPageAccess)
     EXPECT_EQ(m.pageCount(), 2u);
 }
 
+TEST(Memory, CrossPageEveryMisalignment)
+{
+    // Every straddle split of an 8-byte access: 1..7 bytes on the
+    // first page, the rest on the second.
+    for (Addr back = 1; back < 8; ++back) {
+        Memory m;
+        Addr a = Memory::pageBytes - back;
+        m.write(a, 0x1122334455667788ULL, 8);
+        EXPECT_EQ(m.read(a, 8), 0x1122334455667788ULL) << back;
+        EXPECT_EQ(m.pageCount(), 2u) << back;
+        // Byte-granular view across the boundary (little-endian).
+        for (int i = 0; i < 8; ++i)
+            EXPECT_EQ(m.readByte(a + Addr(i)),
+                      std::uint8_t(0x1122334455667788ULL >> (8 * i)))
+                << back << " byte " << i;
+    }
+}
+
+TEST(Memory, CrossPageFourByte)
+{
+    Memory m;
+    Addr a = 2 * Memory::pageBytes - 2;
+    m.write(a, 0xcafebabeu, 4);
+    EXPECT_EQ(m.read(a, 4), 0xcafebabeu);
+    EXPECT_EQ(m.read(a, 2), 0xbabeu);
+    EXPECT_EQ(m.read(a + 2, 2), 0xcafeu);
+}
+
+TEST(Memory, CrossPageReadZeroFillsUnmappedPage)
+{
+    // A straddling read where only one side is mapped zero-fills the
+    // unmapped side — in both orders — and maps nothing new.
+    {
+        Memory m;
+        Addr a = Memory::pageBytes - 4;
+        m.write(a, 0xddccbbaau, 4);  // low page only
+        EXPECT_EQ(m.pageCount(), 1u);
+        EXPECT_EQ(m.read(a, 8), 0xddccbbaaULL);
+        EXPECT_EQ(m.pageCount(), 1u) << "read must not map pages";
+    }
+    {
+        Memory m;
+        Addr a = Memory::pageBytes - 4;
+        m.write(Memory::pageBytes, 0x44332211u, 4);  // high page only
+        EXPECT_EQ(m.pageCount(), 1u);
+        EXPECT_EQ(m.read(a, 8), 0x4433221100000000ULL);
+        EXPECT_EQ(m.pageCount(), 1u) << "read must not map pages";
+    }
+}
+
+TEST(Memory, FullyUnmappedCrossPageReadIsZero)
+{
+    Memory m;
+    EXPECT_EQ(m.read(Memory::pageBytes - 3, 8), 0u);
+    EXPECT_EQ(m.pageCount(), 0u);
+}
+
+TEST(Memory, TranslationCacheSurvivesNewPageInserts)
+{
+    // Interleave accesses across many pages so the last-page cache is
+    // repeatedly refreshed while the map rehashes underneath it.
+    Memory m;
+    constexpr int pages = 100;
+    for (int p = 0; p < pages; ++p) {
+        m.write(Addr(p) * Memory::pageBytes + 8, std::uint64_t(p), 8);
+        // Re-read an earlier page after each insert.
+        Addr probe = Addr(p / 2) * Memory::pageBytes + 8;
+        EXPECT_EQ(m.read(probe, 8), std::uint64_t(p / 2)) << p;
+    }
+    EXPECT_EQ(m.pageCount(), std::size_t(pages));
+    for (int p = 0; p < pages; ++p)
+        EXPECT_EQ(m.read(Addr(p) * Memory::pageBytes + 8, 8),
+                  std::uint64_t(p));
+}
+
+TEST(Memory, BlockCopyAcrossPages)
+{
+    Memory m;
+    std::vector<std::uint8_t> src(3 * Memory::pageBytes);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = std::uint8_t(i * 7 + 1);
+    Addr base = Memory::pageBytes - 100;  // straddles 4 pages
+    m.writeBlock(base, src.data(), src.size());
+    std::vector<std::uint8_t> out(src.size(), 0);
+    m.readBlock(base, out.data(), out.size());
+    EXPECT_EQ(out, src);
+    EXPECT_EQ(m.pageCount(), 4u);
+}
+
+TEST(Memory, BlockReadZeroFillsUnmappedSpan)
+{
+    Memory m;
+    m.writeByte(Memory::pageBytes + 1, 0x5a);  // map the middle page
+    std::vector<std::uint8_t> out(3 * Memory::pageBytes, 0xff);
+    m.readBlock(0, out.data(), out.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i],
+                  i == Memory::pageBytes + 1 ? 0x5a : 0) << i;
+}
+
 TEST(Memory, DoubleRoundTrip)
 {
     Memory m;

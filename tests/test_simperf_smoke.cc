@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Smoke test of the simulator-throughput harness: runs the real
+ * bench_simperf binary (path provided by CMake) at quick scale,
+ * validates the JSON schema — positive host timings and rates, one
+ * record per workload x backend — and re-checks that the *simulated*
+ * fields are identical between --jobs 1 and --jobs 8 (host timings
+ * are the only nondeterministic outputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+#ifndef CAPSULE_BENCH_SIMPERF_PATH
+#error "CMake must define CAPSULE_BENCH_SIMPERF_PATH"
+#endif
+
+namespace capsule
+{
+namespace
+{
+
+const char *const backends[] = {"smt", "cmp"};
+
+std::string
+tempJsonPath(const std::string &name)
+{
+    return ::testing::TempDir() + "simperf_" + name + ".json";
+}
+
+/** Run bench_simperf with `args`, writing JSON to `json_path`.
+ *  @return the process exit status */
+int
+runHarness(const std::string &args, const std::string &json_path)
+{
+    std::string cmd = std::string(CAPSULE_BENCH_SIMPERF_PATH) + " " +
+                      args + " --json " + json_path +
+                      " > /dev/null 2>&1";
+    int rc = std::system(cmd.c_str());
+    return rc;
+}
+
+/**
+ * Minimal reader for the flat JsonReport shape: every metric is one
+ * `"key": value` line inside the "metrics" object. Values come back
+ * as raw JSON tokens ("1.5", "42", "true").
+ */
+std::map<std::string, std::string>
+readMetrics(const std::string &path)
+{
+    std::ifstream f(path);
+    EXPECT_TRUE(f.good()) << "cannot open " << path;
+    std::map<std::string, std::string> out;
+    std::string line;
+    bool inMetrics = false;
+    while (std::getline(f, line)) {
+        if (line.find("\"metrics\"") != std::string::npos) {
+            inMetrics = true;
+            continue;
+        }
+        if (!inMetrics)
+            continue;
+        auto q1 = line.find('"');
+        if (q1 == std::string::npos)
+            continue;
+        auto q2 = line.find('"', q1 + 1);
+        auto colon = line.find(':', q2);
+        if (q2 == std::string::npos || colon == std::string::npos)
+            continue;
+        std::string key = line.substr(q1 + 1, q2 - q1 - 1);
+        std::string val = line.substr(colon + 1);
+        // Trim whitespace and a trailing comma.
+        while (!val.empty() &&
+               (val.back() == ',' || val.back() == ' ' ||
+                val.back() == '\r'))
+            val.pop_back();
+        while (!val.empty() && val.front() == ' ')
+            val.erase(val.begin());
+        out[key] = val;
+    }
+    return out;
+}
+
+double
+asNumber(const std::map<std::string, std::string> &m,
+         const std::string &key)
+{
+    auto it = m.find(key);
+    EXPECT_NE(it, m.end()) << "missing metric " << key;
+    if (it == m.end())
+        return -1.0;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+TEST(SimperfSmoke, QuickScaleSchemaAndRates)
+{
+    std::string json = tempJsonPath("schema");
+    ASSERT_EQ(runHarness("--scale quick --jobs 2", json), 0);
+    auto m = readMetrics(json);
+
+    const auto names = wl::WorkloadRegistry::builtin().names();
+    EXPECT_EQ(asNumber(m, "records"), double(names.size() * 2));
+    EXPECT_TRUE(m.at("all_correct") == "true");
+    EXPECT_GT(asNumber(m, "total_wall_seconds"), 0.0);
+    EXPECT_GT(asNumber(m, "aggregate_mips"), 0.0);
+
+    // One full record per workload x backend.
+    for (const auto &wlName : names) {
+        for (const char *backend : backends) {
+            std::string key = wlName + "." + backend;
+            EXPECT_GT(asNumber(m, key + ".wall_seconds"), 0.0) << key;
+            EXPECT_GT(asNumber(m, key + ".mips"), 0.0) << key;
+            EXPECT_GT(asNumber(m, key + ".sim_cycles_per_sec"), 0.0)
+                << key;
+            EXPECT_GT(asNumber(m, key + ".sim_cycles"), 0.0) << key;
+            EXPECT_GT(asNumber(m, key + ".sim_instructions"), 0.0)
+                << key;
+            EXPECT_EQ(m.at(key + ".correct"), "true") << key;
+        }
+    }
+}
+
+TEST(SimperfSmoke, SimulatedFieldsDeterministicAcrossJobs)
+{
+    std::string j1 = tempJsonPath("jobs1");
+    std::string j8 = tempJsonPath("jobs8");
+    ASSERT_EQ(runHarness("--scale quick --jobs 1 --seed 1", j1), 0);
+    ASSERT_EQ(runHarness("--scale quick --jobs 8 --seed 1", j8), 0);
+    auto m1 = readMetrics(j1);
+    auto m8 = readMetrics(j8);
+
+    // The simulated fields are a pure function of (config, scale,
+    // seed); only host timings may differ between job counts.
+    const char *const simFields[] = {".sim_cycles",
+                                     ".sim_instructions", ".correct"};
+    for (const auto &wlName :
+         wl::WorkloadRegistry::builtin().names()) {
+        for (const char *backend : backends) {
+            std::string key = wlName + "." + backend;
+            for (const char *field : simFields) {
+                ASSERT_TRUE(m1.count(key + field)) << key << field;
+                ASSERT_TRUE(m8.count(key + field)) << key << field;
+                EXPECT_EQ(m1.at(key + field), m8.at(key + field))
+                    << key << field;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace capsule
