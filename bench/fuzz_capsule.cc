@@ -1,0 +1,170 @@
+/**
+ * @file
+ * fuzz_capsule — the differential fuzzing CLI (DESIGN.md §7).
+ *
+ * Generates `--iters` random CAPSULE programs from `--seed` (iteration
+ * i uses seed+i), co-simulates each on the functional reference
+ * oracle, the SMT machine and the 2- and 4-core CMP organisations,
+ * and reports any final-state divergence or invariant violation.
+ * Failing seeds are shrunk and their `.casm` repros dumped under
+ * `--artifacts` (default fuzz-artifacts/). `--jobs N` fans iterations
+ * out over host threads; the output (stdout and --json) is
+ * byte-identical at any job count.
+ *
+ *   fuzz_capsule --iters 1000 --seed 1 --jobs 8
+ *   fuzz_capsule --iters 200 --scale quick --json BENCH_fuzz.json
+ *   fuzz_capsule --iters 50 --inject-bug add-off-by-one   # sanity
+ *
+ * Exit status: 0 when every iteration agreed, 1 otherwise — under
+ * --inject-bug a nonzero exit is the expected (healthy) outcome.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "bench_util.hh"
+#include "fuzz/diff_runner.hh"
+#include "harness/thread_pool.hh"
+
+using namespace capsule;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--seed N] [--iters N] [--jobs N]\n"
+        "          [--scale quick|default|paper] [--quick] [--paper]\n"
+        "          [--artifacts DIR] [--json FILE] [--no-shrink]\n"
+        "          [--inject-bug add-off-by-one|xor-as-or|"
+        "slt-inverted]\n",
+        argv0);
+    std::exit(2);
+}
+
+long
+parseNum(const char *flag, const char *text, long lo, long hi,
+         const char *argv0)
+{
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < lo || v > hi) {
+        std::fprintf(stderr, "%s wants an integer in [%ld, %ld]\n",
+                     flag, lo, hi);
+        usage(argv0);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fuzz::FuzzConfig cfg;
+    cfg.iters = 100;
+    cfg.jobs = 0; // resolved below: 0 = all hardware threads
+
+    bench::Scale scale; // reused for the banner / JsonReport shape
+    std::string injectName;
+
+    for (int i = 1; i < argc; ++i) {
+        auto is = [&](const char *f) {
+            return std::strcmp(argv[i], f) == 0;
+        };
+        if (is("--seed") && i + 1 < argc) {
+            cfg.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (is("--iters") && i + 1 < argc) {
+            cfg.iters = int(parseNum("--iters", argv[++i], 1,
+                                     10'000'000, argv[0]));
+        } else if (is("--jobs") && i + 1 < argc) {
+            cfg.jobs = int(parseNum("--jobs", argv[++i], 1, 4096,
+                                    argv[0]));
+        } else if (is("--quick")) {
+            scale.quick = true;
+        } else if (is("--paper")) {
+            scale.paper = true;
+        } else if (is("--scale") && i + 1 < argc) {
+            const char *level = argv[++i];
+            if (std::strcmp(level, "quick") == 0)
+                scale.quick = true;
+            else if (std::strcmp(level, "paper") == 0)
+                scale.paper = true;
+            else if (std::strcmp(level, "default") == 0)
+                scale.quick = scale.paper = false;
+            else
+                usage(argv[0]);
+        } else if (is("--artifacts") && i + 1 < argc) {
+            cfg.artifactsDir = argv[++i];
+        } else if (is("--json") && i + 1 < argc) {
+            scale.json = argv[++i];
+        } else if (is("--no-shrink")) {
+            cfg.shrink = false;
+        } else if (is("--inject-bug") && i + 1 < argc) {
+            injectName = argv[++i];
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    try {
+        cfg.inject = fuzz::parseInjectedBug(injectName);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        usage(argv[0]);
+    }
+    if (cfg.jobs == 0)
+        cfg.jobs = harness::hostConcurrency();
+    // --scale picks the generated-program size caps: quick halves
+    // them (CI smoke), paper grows them half again (nightly depth).
+    cfg.sizeScale = scale.paper ? 1.5 : scale.quick ? 0.5 : 1.0;
+    scale.seed = cfg.seed;
+    scale.jobs = cfg.jobs;
+
+    bench::banner("differential fuzzing (generator vs reference vs "
+                  "smt/cmp backends)",
+                  scale);
+    // No jobs count here: stdout is byte-identical at any --jobs.
+    std::printf("iterations: %d (seeds %llu..%llu)%s\n", cfg.iters,
+                (unsigned long long)cfg.seed,
+                (unsigned long long)(cfg.seed +
+                                     std::uint64_t(cfg.iters) - 1),
+                cfg.inject == fuzz::InjectedBug::None
+                    ? ""
+                    : " [BUG INJECTION ACTIVE]");
+
+    fuzz::CampaignResult res = fuzz::runCampaign(cfg);
+
+    std::printf("\nprograms: %d  nodes: %llu  words: %llu\n",
+                res.iterations,
+                (unsigned long long)res.nodesTotal,
+                (unsigned long long)res.wordsTotal);
+    for (const auto &f : res.failures) {
+        std::printf("FAIL seed %llu (iteration %d, %d nodes, "
+                    "shrunk to %d):\n%s",
+                    (unsigned long long)f.seed, f.iteration,
+                    f.numNodes, f.shrunkNodes, f.detail.c_str());
+        if (!f.artifactPath.empty())
+            std::printf("  repro: %s\n", f.artifactPath.c_str());
+    }
+    std::printf("%s: %zu divergence(s) in %d iteration(s)\n",
+                res.ok() ? "OK" : "FAILED", res.failures.size(),
+                res.iterations);
+
+    bench::JsonReport report("fuzz", scale);
+    report.count("iterations", std::uint64_t(res.iterations));
+    report.count("divergences", std::uint64_t(res.failures.size()));
+    report.count("nodes_total", res.nodesTotal);
+    report.count("words_total", res.wordsTotal);
+    report.str("inject_bug", fuzz::injectedBugName(cfg.inject));
+    report.flag("all_agree", res.ok());
+    bool wrote = report.write();
+
+    return res.ok() && wrote ? 0 : 1;
+}

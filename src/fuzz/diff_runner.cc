@@ -1,0 +1,350 @@
+#include "fuzz/diff_runner.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "front/asm_program.hh"
+#include "harness/thread_pool.hh"
+#include "sim/backend.hh"
+
+namespace capsule::fuzz
+{
+namespace
+{
+
+/** Fuzz runs are bounded programs; anything this long is a hang. */
+constexpr Cycle fuzzMaxCycles = 50'000'000;
+
+std::uint64_t
+fnv1a(const void *data, std::size_t len, std::uint64_t h)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+outcomeDigest(const DiffOutcome &o)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    std::uint64_t fields[3] = {o.ok ? 1u : 0u,
+                               std::uint64_t(o.numNodes),
+                               std::uint64_t(o.words)};
+    h = fnv1a(fields, sizeof fields, h);
+    h = fnv1a(o.detail.data(), o.detail.size(), h);
+    return h;
+}
+
+/** Everything observed from one backend run of one image. */
+struct BackendRun
+{
+    std::unique_ptr<front::AsmProcess> proc;
+    front::RegFile finalRegs;
+    bool ancestorFinished = false;
+    sim::RunStats stats;
+    std::size_t lockedAddrs = 0;
+    std::size_t swappedContexts = 0;
+};
+
+BackendRun
+runBackend(const casm::Image &image, const sim::MachineConfig &cfg)
+{
+    BackendRun r;
+    r.proc = std::make_unique<front::AsmProcess>(image);
+    auto backend = sim::makeBackend(cfg);
+
+    ThreadId ancestor = invalidThread;
+    backend->setThreadFinalizer(
+        [&](ThreadId tid, const front::Program &p) {
+            if (tid != ancestor)
+                return;
+            if (auto *ap =
+                    dynamic_cast<const front::AsmProgram *>(&p)) {
+                r.finalRegs = ap->regs();
+                r.ancestorFinished = true;
+            }
+        });
+    ancestor =
+        backend->addThread(std::make_unique<front::AsmProgram>(*r.proc));
+    r.stats = backend->run();
+    r.lockedAddrs = backend->lockedAddrs();
+    r.swappedContexts = backend->swappedContexts();
+    return r;
+}
+
+/** Judge one backend run against the oracle; appends to `out`. */
+void
+judgeBackend(const GeneratedProgram &prog, const RefResult &ref,
+             const RefInterp &oracle, const BackendSpec &spec,
+             const BackendRun &run, std::ostringstream &out)
+{
+    auto diverge = [&](const std::string &what) {
+        out << "[" << spec.label << "] " << what << "\n";
+    };
+
+    if (!run.ancestorFinished)
+        diverge("ancestor thread never retired its halt");
+
+    // Division accounting: each of the numNodes-1 nthr sites executes
+    // exactly once under any grant pattern.
+    if (run.stats.divisionsRequested != prog.expectedDivisionRequests)
+        diverge("division requests " +
+                std::to_string(run.stats.divisionsRequested) +
+                " != expected " +
+                std::to_string(prog.expectedDivisionRequests));
+    if (run.stats.divisionsGranted > run.stats.divisionsRequested)
+        diverge("granted " +
+                std::to_string(run.stats.divisionsGranted) +
+                " divisions exceed the " +
+                std::to_string(run.stats.divisionsRequested) +
+                " requested");
+    if (run.stats.threadDeaths != run.stats.divisionsGranted)
+        diverge("thread deaths " +
+                std::to_string(run.stats.threadDeaths) +
+                " != divisions granted " +
+                std::to_string(run.stats.divisionsGranted));
+
+    // Clean teardown.
+    if (run.lockedAddrs != 0)
+        diverge(std::to_string(run.lockedAddrs) +
+                " lock-table entr(ies) leaked");
+    if (run.swappedContexts != 0)
+        diverge(std::to_string(run.swappedContexts) +
+                " context(s) leaked on the inactive-context stack");
+
+    // Final architectural registers of the ancestor (the generated
+    // epilogue reloads them from joined memory, so they are
+    // grant-independent by construction).
+    if (run.ancestorFinished) {
+        for (int reg : prog.outputRegs) {
+            std::int64_t got =
+                run.finalRegs.intRegs[std::size_t(reg)];
+            std::int64_t want = ref.intRegs[std::size_t(reg)];
+            if (got != want)
+                diverge("output r" + std::to_string(reg) + " = " +
+                        std::to_string(got) + ", oracle says " +
+                        std::to_string(want));
+        }
+    }
+
+    // Final memory image, cell by cell, bit for bit.
+    int reported = 0;
+    for (int c = 0; c < prog.totalCells; ++c) {
+        Addr a = prog.cellAddr(c);
+        std::uint64_t got = run.proc->memory.read(a, 8);
+        std::uint64_t want = oracle.readCell(a);
+        if (got == want)
+            continue;
+        if (reported < 4) {
+            std::ostringstream cell;
+            cell << "cell " << c << " @0x" << std::hex << a
+                 << std::dec << " = " << got << ", oracle says "
+                 << want;
+            diverge(cell.str());
+        }
+        ++reported;
+    }
+    if (reported > 4)
+        diverge(std::to_string(reported - 4) +
+                " further cell mismatch(es) suppressed");
+}
+
+std::string
+dumpArtifact(const std::string &dir, const GenParams &params,
+             const DiffOutcome &outcome, InjectedBug inject)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return "";
+
+    std::string stem =
+        dir + "/seed" + std::to_string(params.seed);
+    {
+        std::ofstream casm(stem + ".casm");
+        casm << "# differential-fuzz repro, seed " << params.seed
+             << " (" << outcome.numNodes << " nodes, "
+             << outcome.words << " words)\n";
+        casm << outcome.source;
+    }
+    {
+        std::ofstream report(stem + ".report.txt");
+        report << "seed: " << params.seed << "\n"
+               << "injected bug: " << injectedBugName(inject) << "\n"
+               << "nodes: " << outcome.numNodes << "\n\n"
+               << "divergences:\n"
+               << outcome.detail << "\n";
+        // The oracle's canonical serial log of the repro.
+        GeneratedProgram prog = generate(params);
+        RefOptions opts;
+        opts.inject = inject;
+        RefInterp oracle(prog.image, opts);
+        oracle.run();
+        report << "canonical serial log (first "
+               << oracle.log().size() << " steps):\n"
+               << oracle.renderLog();
+    }
+    return stem + ".casm";
+}
+
+} // namespace
+
+std::vector<BackendSpec>
+defaultBackends()
+{
+    std::vector<BackendSpec> specs;
+    {
+        sim::MachineConfig cfg = sim::MachineConfig::somt();
+        cfg.maxCycles = fuzzMaxCycles;
+        specs.push_back({"smt", cfg});
+    }
+    for (int cores : {2, 4}) {
+        sim::MachineConfig cfg =
+            sim::MachineConfig::cmpSomt(cores, 8 / cores);
+        cfg.maxCycles = fuzzMaxCycles;
+        specs.push_back({"cmp" + std::to_string(cores), cfg});
+    }
+    return specs;
+}
+
+DiffOutcome
+runOne(const GenParams &params, InjectedBug inject,
+       const std::vector<BackendSpec> &backends)
+{
+    GeneratedProgram prog = generate(params);
+
+    DiffOutcome out;
+    out.numNodes = prog.numNodes;
+    out.words = prog.image.words.size();
+
+    RefOptions refOpts;
+    refOpts.inject = inject;
+    RefInterp oracle(prog.image, refOpts);
+    RefResult ref = oracle.run();
+
+    std::ostringstream detail;
+    if (!ref.ok) {
+        detail << "[reference] " << ref.error << "\n";
+    } else {
+        for (const auto &spec : backends) {
+            BackendRun run = runBackend(prog.image, spec.cfg);
+            judgeBackend(prog, ref, oracle, spec, run, detail);
+        }
+    }
+
+    out.detail = detail.str();
+    out.ok = out.detail.empty();
+    if (!out.ok)
+        out.source = prog.source;
+    return out;
+}
+
+DiffOutcome
+runOne(const GenParams &params, InjectedBug inject)
+{
+    return runOne(params, inject, defaultBackends());
+}
+
+GenParams
+paramsFor(const FuzzConfig &cfg, int iteration)
+{
+    GenParams p = cfg.base.scaled(cfg.sizeScale);
+    p.seed = cfg.seed + std::uint64_t(iteration);
+    return p;
+}
+
+CampaignResult
+runCampaign(const FuzzConfig &cfg)
+{
+    CampaignResult out;
+    out.iterations = cfg.iters;
+    if (cfg.iters <= 0)
+        return out;
+
+    const auto backends = defaultBackends();
+    std::vector<DiffOutcome> results(std::size_t(cfg.iters));
+    auto work = [&](int i) {
+        // An escaping exception must become a failed iteration, not
+        // a default-ok slot: the ThreadPool contains throws, so
+        // without this a throwing iteration would read as a pass
+        // under --jobs > 1 (and crash under --jobs 1).
+        DiffOutcome &slot = results[std::size_t(i)];
+        try {
+            slot = runOne(paramsFor(cfg, i), cfg.inject, backends);
+        } catch (const std::exception &e) {
+            slot.ok = false;
+            slot.detail =
+                std::string("[harness] iteration threw: ") + e.what() +
+                "\n";
+        } catch (...) {
+            slot.ok = false;
+            slot.detail = "[harness] iteration threw a non-standard "
+                          "exception\n";
+        }
+    };
+
+    if (cfg.jobs <= 1 || cfg.iters == 1) {
+        for (int i = 0; i < cfg.iters; ++i)
+            work(i);
+    } else {
+        harness::ThreadPool pool(std::min(cfg.jobs, cfg.iters));
+        for (int i = 0; i < cfg.iters; ++i)
+            pool.submit([&work, i] { work(i); });
+        pool.wait();
+    }
+
+    // Serial post-pass in iteration order: aggregation, shrinking and
+    // artifact dumping stay deterministic at any --jobs count.
+    out.digests.reserve(results.size());
+    for (int i = 0; i < cfg.iters; ++i) {
+        DiffOutcome &o = results[std::size_t(i)];
+        out.nodesTotal += std::uint64_t(o.numNodes);
+        out.wordsTotal += std::uint64_t(o.words);
+        out.digests.push_back(outcomeDigest(o));
+        if (o.ok)
+            continue;
+
+        GenParams params = paramsFor(cfg, i);
+        GenParams bestParams = params;
+        int originalNodes = o.numNodes;
+        DiffOutcome best = std::move(o);
+        if (cfg.shrink) {
+            // Re-generate the failing seed down a size ladder and
+            // keep the smallest program that still diverges.
+            for (double f : {0.7, 0.5, 0.35, 0.2}) {
+                GenParams sp = params.scaled(f);
+                try {
+                    DiffOutcome so = runOne(sp, cfg.inject, backends);
+                    if (!so.ok) {
+                        bestParams = sp;
+                        best = std::move(so);
+                    }
+                } catch (...) {
+                    // A throwing shrink step never loses the failure
+                    // we already hold; keep the current best repro.
+                }
+            }
+        }
+
+        FailureReport fr;
+        fr.iteration = i;
+        fr.seed = params.seed;
+        fr.detail = best.detail;
+        fr.numNodes = originalNodes;
+        fr.shrunkNodes = best.numNodes;
+        if (!cfg.artifactsDir.empty())
+            fr.artifactPath = dumpArtifact(cfg.artifactsDir,
+                                           bestParams, best,
+                                           cfg.inject);
+        out.failures.push_back(std::move(fr));
+    }
+    return out;
+}
+
+} // namespace capsule::fuzz

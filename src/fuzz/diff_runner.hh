@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The differential fuzzing harness (DESIGN.md §7): for each seed it
+ * generates one CAPSULE program, runs the division-serializing
+ * reference oracle, then runs the same image on every timing backend
+ * — the single-core SMT pipeline and 2- and 4-core CMP organisations
+ * — and demands:
+ *
+ *  - final-state equivalence: every 8-byte data cell and the
+ *    ancestor's checksum registers match the oracle bit-for-bit;
+ *  - division accounting: requests equal the generator's static
+ *    count (each nthr site executes exactly once under any grant
+ *    pattern), grants never exceed requests, and every granted thread
+ *    dies exactly once;
+ *  - clean teardown: no lock-table entry and no inactive-context-
+ *    stack entry survives the run.
+ *
+ * A failing seed is shrunk by re-generating the same seed down a
+ * ladder of smaller GenParams and keeping the smallest program that
+ * still diverges; its `.casm` text and a report (divergence detail +
+ * the oracle's canonical serial log) land in the artifacts dir.
+ *
+ * Campaigns fan iterations out over the experiment engine's host
+ * ThreadPool; per-iteration outcomes are collected in submission
+ * order and all artifact/shrink work happens in a serial post-pass,
+ * so a campaign's result — and the fuzz_capsule CLI's output — is
+ * byte-identical at any --jobs count.
+ */
+
+#ifndef CAPSULE_FUZZ_DIFF_RUNNER_HH
+#define CAPSULE_FUZZ_DIFF_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/program_gen.hh"
+#include "fuzz/ref_interp.hh"
+#include "sim/config.hh"
+
+namespace capsule::fuzz
+{
+
+/** One timing backend a program is co-simulated on. */
+struct BackendSpec
+{
+    std::string label;
+    sim::MachineConfig cfg;
+};
+
+/** The standard co-simulation set: smt, cmp x2, cmp x4 (8 contexts
+ *  total each, mirroring the bench_cmp organisation sweep). */
+std::vector<BackendSpec> defaultBackends();
+
+/** Verdict of one generated program across all backends. */
+struct DiffOutcome
+{
+    bool ok = true;
+    /** Human-readable divergence/invariant report (empty when ok). */
+    std::string detail;
+    int numNodes = 0;
+    std::size_t words = 0;
+    /** The program text; kept only for failures (artifact dumps). */
+    std::string source;
+};
+
+/** Generate the program `params` describes and judge it. */
+DiffOutcome runOne(const GenParams &params, InjectedBug inject,
+                   const std::vector<BackendSpec> &backends);
+
+/** Convenience overload over defaultBackends(). */
+DiffOutcome runOne(const GenParams &params,
+                   InjectedBug inject = InjectedBug::None);
+
+/** A full campaign's knobs. */
+struct FuzzConfig
+{
+    std::uint64_t seed = 1;  ///< iteration i uses seed + i
+    int iters = 100;
+    int jobs = 1;            ///< host threads (<=1 runs inline)
+    double sizeScale = 1.0;  ///< GenParams multiplier (--scale)
+    GenParams base;          ///< caps before sizeScale is applied
+    InjectedBug inject = InjectedBug::None;
+    bool shrink = true;
+    /** Where failing .casm repros land ("" disables dumping). */
+    std::string artifactsDir = "fuzz-artifacts";
+};
+
+/** One confirmed, shrunk failure. */
+struct FailureReport
+{
+    int iteration = 0;
+    std::uint64_t seed = 0;
+    std::string detail;       ///< divergence of the shrunk repro
+    int numNodes = 0;         ///< original program size
+    int shrunkNodes = 0;      ///< repro size after the shrink ladder
+    std::string artifactPath; ///< "" when dumping is disabled
+};
+
+struct CampaignResult
+{
+    int iterations = 0;
+    std::vector<FailureReport> failures;
+    std::uint64_t nodesTotal = 0;
+    std::uint64_t wordsTotal = 0;
+    /** Per-iteration outcome digests, for --jobs determinism checks. */
+    std::vector<std::uint64_t> digests;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/** The GenParams iteration `i` of a campaign generates with. */
+GenParams paramsFor(const FuzzConfig &cfg, int iteration);
+
+/** Run a campaign (parallel across iterations, deterministic). */
+CampaignResult runCampaign(const FuzzConfig &cfg);
+
+} // namespace capsule::fuzz
+
+#endif // CAPSULE_FUZZ_DIFF_RUNNER_HH

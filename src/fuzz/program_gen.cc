@@ -1,0 +1,558 @@
+#include "fuzz/program_gen.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "fuzz/fuzz_rng.hh"
+
+namespace capsule::fuzz
+{
+namespace
+{
+
+/**
+ * Register conventions of generated programs:
+ *   r1..r8    work-chunk scratch, def-before-use within each chunk so
+ *             a chunk computes the same values whether it runs in the
+ *             spawned child or inline in a denied parent;
+ *   r9,r12-r15 address/loop temps, never live across work items;
+ *   r10,r11   root checksum outputs (masked sum / full-width xor);
+ *   r16..r23  division-result registers, one per nesting depth;
+ *   r28       epilogue constant;
+ *   r29..r31  lock address / contribution / read-modify-write temps.
+ *
+ * Scratch values are masked to [0, 1023] after every growing op
+ * (add/sub/mul/shift and every load), which keeps all integer
+ * arithmetic far from signed-overflow UB in the two functional
+ * interpreters while leaving div/rem/compare behaviour interesting.
+ */
+constexpr int firstDepthReg = 16;
+constexpr int maxDepthRegs = 8;
+constexpr Addr dataBaseAddr = 0x200000;
+constexpr int scratchMask = 1023;
+
+class Generator
+{
+  public:
+    explicit Generator(const GenParams &params)
+        : p(params), rng(params.seed)
+    {
+    }
+
+    GeneratedProgram build();
+
+  private:
+    struct Node
+    {
+        int id = 0;
+        int depth = 0;
+        std::vector<int> children;
+    };
+
+    // ---- tree ------------------------------------------------------
+    void grow(int id, int depth_budget);
+
+    // ---- cell map --------------------------------------------------
+    int inputCell(int i) const { return i; }
+    int accumCell(int a) const { return nInputs + a; }
+    int counterCell() const { return nInputs + nAccums; }
+    int fpOutCell() const { return nInputs + nAccums + 1; }
+    int
+    sliceCell(int node, int k) const
+    {
+        return nInputs + nAccums + 2 + node * p.sliceCells + k;
+    }
+    int
+    totalCells() const
+    {
+        return nInputs + nAccums + 2 + int(nodes.size()) * p.sliceCells;
+    }
+
+    // ---- emission helpers ------------------------------------------
+    void line(const std::string &s) { src += "  " + s + "\n"; }
+    void label(const std::string &s) { src += s + ":\n"; }
+    std::string r(int n) { return "r" + std::to_string(n); }
+    std::string f(int n) { return "f" + std::to_string(n); }
+    std::string
+    uniqueLabel(const char *stem)
+    {
+        return std::string(stem) + "_" + std::to_string(labelSeq++);
+    }
+
+    void emitLoadConst(int reg, std::int64_t v);
+    void emitCellAddr(int reg, int cell);
+    void emitSliceIndexAddr(int addr_reg, int idx_reg, int node);
+
+    // ---- program pieces --------------------------------------------
+    void emitNode(const Node &node);
+    void emitSpawn(const Node &child);
+    void emitWorkChunk(const Node &node);
+    void emitAccumUpdate(const Node &node);
+    void emitCounterIncrement();
+    void emitRootPreamble();
+    void emitRootEpilogue();
+
+    GenParams p;
+    FuzzRng rng;
+    std::vector<Node> nodes;
+    int nInputs = 0;
+    int nAccums = 0;
+    std::vector<const char *> accumOps; ///< "add" or "xor" per cell
+    std::string src;
+    int labelSeq = 0;
+};
+
+void
+Generator::grow(int id, int depth_budget)
+{
+    if (depth_budget <= 0)
+        return;
+    int slots = 1 + int(rng.below(std::uint64_t(p.maxFanout)));
+    for (int s = 0; s < slots; ++s) {
+        if (int(nodes.size()) >= p.maxNodes)
+            return;
+        if (!rng.chance(p.childPercent))
+            continue;
+        int child = int(nodes.size());
+        nodes.push_back(Node{child, nodes[std::size_t(id)].depth + 1,
+                             {}});
+        nodes[std::size_t(id)].children.push_back(child);
+        grow(child, depth_budget - 1);
+    }
+}
+
+void
+Generator::emitLoadConst(int reg, std::int64_t v)
+{
+    if (v >= -2048 && v <= 2047) {
+        line("addi " + r(reg) + ", r0, " + std::to_string(v));
+        return;
+    }
+    // lui/addi pair; bias so the addi remainder is in 12-bit range.
+    std::int64_t hi = (v + 2048) >> 12;
+    std::int64_t lo = v - (hi << 12);
+    CAPSULE_ASSERT(lo >= -2048 && lo <= 2047, "bad const split for ",
+                   v);
+    line("lui " + r(reg) + ", " + std::to_string(hi));
+    if (lo != 0)
+        line("addi " + r(reg) + ", " + r(reg) + ", " +
+             std::to_string(lo));
+}
+
+void
+Generator::emitCellAddr(int reg, int cell)
+{
+    emitLoadConst(reg, std::int64_t(dataBaseAddr) + 8 * cell);
+}
+
+/** addr_reg = &slice[idx_reg % sliceCells] of `node` (clobbers both
+ *  registers; sliceCells is a power of two). */
+void
+Generator::emitSliceIndexAddr(int addr_reg, int idx_reg, int node)
+{
+    line("andi " + r(idx_reg) + ", " + r(idx_reg) + ", " +
+         std::to_string(p.sliceCells - 1));
+    line("slli " + r(idx_reg) + ", " + r(idx_reg) + ", 3");
+    emitCellAddr(addr_reg, sliceCell(node, 0));
+    line("add " + r(addr_reg) + ", " + r(addr_reg) + ", " +
+         r(idx_reg));
+}
+
+void
+Generator::emitWorkChunk(const Node &node)
+{
+    int nRegs = 3 + int(rng.below(6)); // scratch r1..r{nRegs}
+    bool useFloat = rng.chance(p.floatPercent);
+
+    auto scratch = [&] { return 1 + int(rng.below(std::uint64_t(nRegs))); };
+    auto mask = [&](int reg) {
+        line("andi " + r(reg) + ", " + r(reg) + ", " +
+             std::to_string(scratchMask));
+    };
+
+    // Def-before-use: every scratch register this chunk may read gets
+    // a value derived only from constants, inputs or the node's own
+    // slice — never from what a sibling or parent left behind.
+    for (int k = 1; k <= nRegs; ++k) {
+        switch (rng.below(3)) {
+          case 0:
+            line("addi " + r(k) + ", r0, " +
+                 std::to_string(rng.below(1024)));
+            break;
+          case 1:
+            emitCellAddr(9, inputCell(int(rng.below(
+                                std::uint64_t(nInputs)))));
+            line("ld " + r(k) + ", 0(r9)");
+            mask(k);
+            break;
+          default:
+            emitCellAddr(9, sliceCell(node.id,
+                                      int(rng.below(std::uint64_t(
+                                          p.sliceCells)))));
+            line("ld " + r(k) + ", 0(r9)");
+            mask(k);
+            break;
+        }
+    }
+    if (useFloat) {
+        // Same def-before-use rule as the integer scratch: every f
+        // register a float item may read or store must hold a value
+        // this chunk computed, never one inherited across a division.
+        for (int k = 1; k <= 6; ++k)
+            line("fcvt " + f(k) + ", " + r(std::min(k, nRegs)));
+    }
+
+    // One rng draw per statement throughout: draws inside a single
+    // string expression would be evaluated in unspecified (and thus
+    // compiler-dependent) order, breaking the cross-platform
+    // byte-identical guarantee the seed-stability test pins.
+    int ops = 2 + int(rng.below(std::uint64_t(p.blockOps)));
+    for (int i = 0; i < ops; ++i) {
+        int kind = int(rng.below(useFloat ? 10u : 7u));
+        switch (kind) {
+          case 0: { // three-register integer ALU
+            static const char *alu[] = {"add", "sub", "and", "or",
+                                        "xor", "slt", "sltu", "sra",
+                                        "srl"};
+            int op = int(rng.below(9));
+            int rd = scratch();
+            int ra = scratch();
+            int rb = scratch();
+            line(std::string(alu[op]) + " " + r(rd) + ", " + r(ra) +
+                 ", " + r(rb));
+            if (op <= 1) // add/sub can grow
+                mask(rd);
+            break;
+          }
+          case 1: { // immediate integer ALU
+            static const char *alui[] = {"addi", "andi", "ori",
+                                         "xori", "slti"};
+            int op = int(rng.below(5));
+            int rd = scratch();
+            int ra = scratch();
+            std::uint64_t imm = rng.below(1024);
+            line(std::string(alui[op]) + " " + r(rd) + ", " + r(ra) +
+                 ", " + std::to_string(imm));
+            if (op == 0)
+                mask(rd);
+            break;
+          }
+          case 2: { // immediate shifts
+            int rd = scratch();
+            int ra = scratch();
+            bool left = rng.chance(50);
+            std::uint64_t amount = rng.below(11);
+            line(std::string(left ? "slli" : "srli") + " " + r(rd) +
+                 ", " + r(ra) + ", " + std::to_string(amount));
+            if (left)
+                mask(rd);
+            break;
+          }
+          case 3: { // multiply / divide / remainder
+            static const char *mdr[] = {"mul", "div", "rem"};
+            int op = int(rng.below(3));
+            int rd = scratch();
+            int ra = scratch();
+            int rb = scratch();
+            line(std::string(mdr[op]) + " " + r(rd) + ", " + r(ra) +
+                 ", " + r(rb));
+            if (op == 0)
+                mask(rd);
+            break;
+          }
+          case 4: { // store to the node's own slice (all sizes)
+            static const char *st[] = {"sb", "sh", "sw", "sd"};
+            int val = scratch();
+            int idx = scratch();
+            int size = int(rng.below(4));
+            line("addi r12, " + r(idx) + ", 0");
+            emitSliceIndexAddr(9, 12, node.id);
+            line(std::string(st[size]) + " " + r(val) + ", 0(r9)");
+            break;
+          }
+          case 5: { // load from the node's own slice (all sizes)
+            static const char *lo[] = {"lb", "lh", "lw", "ld"};
+            int rd = scratch();
+            int idx = scratch();
+            int size = int(rng.below(4));
+            line("addi r12, " + r(idx) + ", 0");
+            emitSliceIndexAddr(9, 12, node.id);
+            line(std::string(lo[size]) + " " + r(rd) + ", 0(r9)");
+            mask(rd);
+            break;
+          }
+          case 6: { // data-dependent skip branch
+            std::string skip = uniqueLabel("b");
+            int ra = scratch();
+            int rb = scratch();
+            line("slt r9, " + r(ra) + ", " + r(rb));
+            line("beq r9, r0, " + skip);
+            int body = 1 + int(rng.below(2));
+            for (int j = 0; j < body; ++j) {
+                int rd = scratch();
+                int rc = scratch();
+                int re = scratch();
+                line("add " + r(rd) + ", " + r(rc) + ", " + r(re));
+                mask(rd);
+            }
+            label(skip);
+            break;
+          }
+          case 7: { // float arithmetic
+            static const char *fp[] = {"fadd", "fsub", "fmul",
+                                       "fdiv"};
+            int op = int(rng.below(4));
+            int fd = 1 + int(rng.below(6));
+            int fa = 1 + int(rng.below(6));
+            int fb = 1 + int(rng.below(6));
+            line(std::string(fp[op]) + " " + f(fd) + ", " + f(fa) +
+                 ", " + f(fb));
+            break;
+          }
+          case 8: { // float compare / convert into the int domain
+            if (rng.chance(50)) {
+                int rd = scratch();
+                int fa = 1 + int(rng.below(6));
+                int fb = 1 + int(rng.below(6));
+                line("fcmp " + r(rd) + ", " + f(fa) + ", " + f(fb));
+            } else {
+                int fd = 1 + int(rng.below(6));
+                int ra = scratch();
+                line("fcvt " + f(fd) + ", " + r(ra));
+            }
+            break;
+          }
+          default: { // float load/store against the node's slice
+            int fd = 1 + int(rng.below(6));
+            int cell = int(rng.below(std::uint64_t(p.sliceCells)));
+            emitCellAddr(9, sliceCell(node.id, cell));
+            if (rng.chance(50))
+                line("fsd " + f(fd) + ", 0(r9)");
+            else
+                line("fld " + f(fd) + ", 0(r9)");
+            break;
+          }
+        }
+    }
+}
+
+void
+Generator::emitAccumUpdate(const Node &node)
+{
+    // Deterministic contribution: the node's own slice, masked. The
+    // update itself is a lock-guarded read-modify-write of a shared
+    // cell; add and xor are commutative, so the accumulator's final
+    // value is independent of how threads interleave.
+    emitCellAddr(9, sliceCell(node.id, int(rng.below(std::uint64_t(
+                                  p.sliceCells)))));
+    line("ld r30, 0(r9)");
+    line("andi r30, r30, " + std::to_string(scratchMask));
+    int accum = int(rng.below(std::uint64_t(nAccums)));
+    emitCellAddr(29, accumCell(accum));
+    line("mlock r29");
+    line("ld r31, 0(r29)");
+    // The combining operation is a per-accumulator property: updates
+    // commute within add and within xor, but an add/xor mix on one
+    // cell is interleaving-dependent and would (rightly) diverge.
+    line(std::string(accumOps[std::size_t(accum)]) +
+         " r31, r31, r30");
+    line("sd r31, 0(r29)");
+    line("munlock r29");
+}
+
+void
+Generator::emitCounterIncrement()
+{
+    emitCellAddr(29, counterCell());
+    line("mlock r29");
+    line("ld r31, 0(r29)");
+    line("addi r31, r31, 1");
+    line("sd r31, 0(r29)");
+    line("munlock r29");
+}
+
+void
+Generator::emitSpawn(const Node &child)
+{
+    CAPSULE_ASSERT(child.depth >= 1 && child.depth <= maxDepthRegs,
+                   "division depth ", child.depth,
+                   " exceeds the register convention");
+    int dreg = firstDepthReg + child.depth - 1;
+    std::string entry = "node_" + std::to_string(child.id);
+    std::string granted = uniqueLabel("g");
+    std::string ret = uniqueLabel("ret");
+    std::string cont = uniqueLabel("cont");
+
+    // The paper's three-way division protocol: granted parent (rd=0)
+    // skips the child block, the spawned child (rd=1) runs it and
+    // kthrs, a denied parent (rd=-1) runs it inline and falls back
+    // into its own continuation.
+    line("nthr " + r(dreg) + ", " + entry);
+    line("bge " + r(dreg) + ", r0, " + granted);
+    line("jmp " + entry);
+    label(granted);
+    line("jmp " + cont);
+    label(entry);
+    emitNode(nodes[std::size_t(child.id)]);
+    line("addi r28, r0, 1");
+    line("bne " + r(dreg) + ", r28, " + ret);
+    line("kthr");
+    label(ret);
+    line("jmp " + cont);
+    label(cont);
+}
+
+void
+Generator::emitNode(const Node &node)
+{
+    for (int child : node.children) {
+        emitWorkChunk(node);
+        emitSpawn(nodes[std::size_t(child)]);
+    }
+    emitWorkChunk(node);
+    int updates = int(rng.below(std::uint64_t(p.accumUpdatesMax) + 1));
+    for (int u = 0; u < updates; ++u)
+        emitAccumUpdate(node);
+    emitCounterIncrement();
+}
+
+void
+Generator::emitRootPreamble()
+{
+    // Materialise the read-only input cells before any division: the
+    // data region starts zeroed, so writes here are the only
+    // initialisation the program needs.
+    for (int i = 0; i < nInputs; ++i) {
+        emitLoadConst(12, std::int64_t(1 + rng.below(1023)));
+        emitCellAddr(9, inputCell(i));
+        line("sd r12, 0(r9)");
+    }
+}
+
+void
+Generator::emitRootEpilogue()
+{
+    // Join: spin until every node (root included) has bumped the
+    // completion counter. All descendant memory writes precede their
+    // counter increment in program order, so once the count matches,
+    // the data region is final.
+    std::string spin = uniqueLabel("spin");
+    label(spin);
+    emitCellAddr(9, counterCell());
+    line("ld r12, 0(r9)");
+    line("addi r13, r0, " + std::to_string(nodes.size()));
+    line("bne r12, r13, " + spin);
+
+    // Float epilogue over now-final values (fcvt/fadd/fmul/fsub/fcmp),
+    // landing a checksum double in a data cell the comparison covers.
+    emitCellAddr(9, counterCell());
+    line("ld r1, 0(r9)");
+    emitCellAddr(9, accumCell(0));
+    line("ld r2, 0(r9)");
+    line("andi r2, r2, " + std::to_string(scratchMask));
+    line("fcvt f1, r1");
+    line("fcvt f2, r2");
+    line("fadd f3, f1, f2");
+    line("fmul f4, f3, f1");
+    line("fsub f5, f4, f2");
+    line("fcmp r3, f5, f1");
+    line("fcvt f6, r3");
+    line("fadd f6, f6, f4");
+    emitCellAddr(9, fpOutCell());
+    line("fsd f6, 0(r9)");
+
+    // Fold every data cell into the two output registers: r10 a
+    // masked running sum (overflow-safe), r11 a full-width xor.
+    std::string loop = uniqueLabel("ck");
+    line("addi r10, r0, 0");
+    line("addi r11, r0, 0");
+    line("addi r12, r0, 0");
+    emitLoadConst(13, std::int64_t(dataBaseAddr));
+    emitLoadConst(15, totalCells());
+    label(loop);
+    line("slli r9, r12, 3");
+    line("add r9, r9, r13");
+    line("ld r14, 0(r9)");
+    line("xor r11, r11, r14");
+    line("andi r14, r14, " + std::to_string(scratchMask));
+    line("add r10, r10, r14");
+    line("addi r12, r12, 1");
+    line("bne r12, r15, " + loop);
+    line("halt");
+}
+
+GeneratedProgram
+Generator::build()
+{
+    CAPSULE_ASSERT(p.sliceCells > 0 &&
+                       (p.sliceCells & (p.sliceCells - 1)) == 0,
+                   "sliceCells must be a power of two");
+    nInputs = std::max(1, p.numInputs);
+    nAccums = std::max(1, p.numAccums);
+    for (int a = 0; a < nAccums; ++a)
+        accumOps.push_back(rng.chance(50) ? "add" : "xor");
+
+    int depth = 1 + int(rng.below(std::uint64_t(
+                        std::min(p.maxDepth, maxDepthRegs))));
+    nodes.push_back(Node{0, 0, {}});
+    grow(0, depth);
+    CAPSULE_ASSERT(int(nodes.size()) <= 2047,
+                   "division tree too large for the join immediate");
+
+    src.clear();
+    src += "# fuzz-generated CAPSULE program (seed " +
+           std::to_string(p.seed) + ", " +
+           std::to_string(nodes.size()) + " nodes)\n";
+    emitRootPreamble();
+    emitNode(nodes[0]);
+    emitRootEpilogue();
+
+    GeneratedProgram out;
+    out.source = src;
+    casm::Assembler as;
+    if (!as.assemble(src)) {
+        const auto &d = as.diagnostics().front();
+        CAPSULE_FATAL("fuzz generator emitted bad assembly (seed ",
+                      p.seed, ") at line ", d.line, ": ", d.message);
+    }
+    out.image = as.image();
+    CAPSULE_ASSERT(out.image.words.size() < 120000,
+                   "generated program too large for jmp displacements");
+    out.numNodes = int(nodes.size());
+    out.expectedDivisionRequests = std::uint64_t(nodes.size()) - 1;
+    out.dataBase = dataBaseAddr;
+    out.totalCells = totalCells();
+    out.counterCell = counterCell();
+    out.outputRegs = {10, 11};
+    return out;
+}
+
+} // namespace
+
+GenParams
+GenParams::scaled(double f) const
+{
+    auto shrink = [f](int v, int floor_v) {
+        return std::max(floor_v, int(v * f));
+    };
+    GenParams s = *this;
+    s.maxDepth = shrink(maxDepth, 1);
+    s.maxFanout = shrink(maxFanout, 1);
+    s.maxNodes = shrink(maxNodes, 1);
+    s.blockOps = shrink(blockOps, 2);
+    s.numAccums = shrink(numAccums, 1);
+    s.numInputs = shrink(numInputs, 1);
+    int cells = shrink(sliceCells, 4);
+    while (cells & (cells - 1)) // keep the power-of-two invariant
+        cells &= cells - 1;
+    s.sliceCells = cells;
+    return s;
+}
+
+GeneratedProgram
+generate(const GenParams &params)
+{
+    return Generator(params).build();
+}
+
+} // namespace capsule::fuzz

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Seeded random CAPSULE-program generator for the differential
+ * fuzzing subsystem (DESIGN.md §7).
+ *
+ * Programs are emitted as CapISA assembly text and round-tripped
+ * through the real `casm::Assembler`, so the fuzzer exercises the
+ * toolchain encoding path as well as the machines. Every generated
+ * program is *division-independent by construction*: it computes the
+ * same final observable state whether each `nthr` is granted, denied,
+ * or granted to a remote CMP core. That is exactly the contract the
+ * CAPSULE programming model demands of componentised programs (the
+ * hardware is free to treat any division probe as a nop), and it is
+ * what makes a single serial oracle a sound reference for every
+ * timing backend and every grant interleaving.
+ *
+ * Shape of a generated program:
+ *  - a static division tree of up to maxNodes nodes (depth/fan-out
+ *    drawn per seed, capped by GenParams). Each non-root node is
+ *    reached through one `nthr` in its parent with the paper's
+ *    three-way protocol: granted parent (rd=0) skips the child block,
+ *    the spawned child (rd=1) runs it and `kthr`s, a denied parent
+ *    (rd=-1) falls through and runs the child block inline;
+ *  - node bodies are random straight-line work (int ALU, mul/div,
+ *    fcvt/fcmp/fadd float paths, data-dependent skip branches,
+ *    loads/stores of all four sizes) over a private slice of data
+ *    cells, def-before-use within each chunk so the inline and
+ *    spawned executions are indistinguishable;
+ *  - lock-guarded commutative updates (add/xor) of shared accumulator
+ *    cells via mlock/munlock;
+ *  - a lock-guarded completion counter joined on by the root, which
+ *    then writes an fcvt/fadd/fmul checksum double, folds every data
+ *    cell into two output registers (r10 masked sum, r11 full-width
+ *    xor) and halts.
+ *
+ * All randomness flows through FuzzRng, so `--seed N` reproduces the
+ * same program text byte-for-byte on every platform.
+ */
+
+#ifndef CAPSULE_FUZZ_PROGRAM_GEN_HH
+#define CAPSULE_FUZZ_PROGRAM_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "casm/assembler.hh"
+
+namespace capsule::fuzz
+{
+
+/** Size caps and probabilities of the generator (all draws are made
+ *  per seed inside generate(), so these are maxima, not constants). */
+struct GenParams
+{
+    std::uint64_t seed = 1;
+
+    int maxDepth = 3;    ///< division nesting depth cap
+    int maxFanout = 3;   ///< children per node cap
+    int maxNodes = 48;   ///< total division-tree size cap
+    int blockOps = 18;   ///< random work items per chunk cap
+
+    int sliceCells = 16; ///< private 8-byte cells per node (power of 2)
+    int numAccums = 4;   ///< shared lock-guarded accumulator cells
+    int numInputs = 8;   ///< read-only input cells (root-initialised)
+
+    int childPercent = 75; ///< chance a fan-out slot grows a subtree
+    int floatPercent = 35; ///< chance a work chunk mixes float ops
+    int accumUpdatesMax = 2; ///< shared accumulator updates per node
+
+    /** Uniformly shrunk copy (same seed): the shrink ladder of the
+     *  differential harness re-generates with these. */
+    GenParams scaled(double f) const;
+};
+
+/** A generated program plus everything the harness needs to judge it. */
+struct GeneratedProgram
+{
+    std::string source;   ///< CapISA assembly text
+    casm::Image image;    ///< assembled through casm::Assembler
+
+    int numNodes = 0;     ///< division-tree size (root included)
+    /** Every node except the root is reached through exactly one nthr
+     *  site that executes exactly once under any grant pattern, so
+     *  every backend must report exactly this many division requests. */
+    std::uint64_t expectedDivisionRequests = 0;
+
+    Addr dataBase = 0;    ///< first data cell address
+    int totalCells = 0;   ///< 8-byte cells in [dataBase, dataBase+8*n)
+    int counterCell = 0;  ///< completion-counter cell index
+    /** Ancestor registers holding the final checksums (r10 masked
+     *  sum, r11 full-width xor); the only registers whose final value
+     *  is grant-independent by construction. */
+    std::vector<int> outputRegs;
+
+    /** Address of 8-byte data cell `i`. */
+    Addr
+    cellAddr(int i) const
+    {
+        return dataBase + Addr(i) * 8;
+    }
+};
+
+/** Generate (and assemble) the program `params` describes. Fatal on
+ *  an internal generation bug (emitted text that fails to assemble). */
+GeneratedProgram generate(const GenParams &params);
+
+} // namespace capsule::fuzz
+
+#endif // CAPSULE_FUZZ_PROGRAM_GEN_HH

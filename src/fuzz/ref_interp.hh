@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The functional reference oracle of the differential fuzzing
+ * subsystem: a 1-IPC, in-order, division-serializing interpreter over
+ * the same decoded CapISA as the timing backends, but sharing none of
+ * their execution machinery. It denies every `nthr` (the hardware is
+ * always free to treat a division probe as a nop), so a generated
+ * program's sequential fall-back path executes the whole computation
+ * on one thread — the serial semantics every grant interleaving of a
+ * division-independent program must reproduce. The oracle keeps its
+ * own register file, its own sparse page memory, and its own lock
+ * bookkeeping, so a semantic bug in `front::AsmProgram` (which feeds
+ * both timing backends) diverges against it just like a timing-model
+ * bug does.
+ *
+ * For harness diagnostics the oracle also records a canonical serial
+ * observation log — the first N (pc, opcode, effective address,
+ * value) tuples in execution order — dumped alongside failing `.casm`
+ * repros.
+ *
+ * `InjectedBug` is a test-only hook: it perturbs one opcode's
+ * semantics so the test suite can prove the differential harness
+ * actually detects an ISA-level bug within a bounded number of
+ * iterations (see tests/test_fuzz_diff.cc and the CI nightly job).
+ */
+
+#ifndef CAPSULE_FUZZ_REF_INTERP_HH
+#define CAPSULE_FUZZ_REF_INTERP_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/types.hh"
+#include "casm/assembler.hh"
+#include "isa/isa.hh"
+
+namespace capsule::fuzz
+{
+
+/** Deliberate semantic mutations for harness-sensitivity tests. */
+enum class InjectedBug
+{
+    None,
+    AddOffByOne,  ///< add computes rs1 + rs2 + 1
+    XorAsOr,      ///< xor behaves like or
+    SltInverted,  ///< slt returns the opposite truth value
+};
+
+/** Parse a --inject-bug name; returns None for an empty string,
+ *  throws std::invalid_argument on an unknown one. */
+InjectedBug parseInjectedBug(const std::string &name);
+const char *injectedBugName(InjectedBug bug);
+
+/** One canonical-serial-log record. */
+struct ObsRecord
+{
+    std::uint64_t step = 0;
+    Addr pc = 0;
+    isa::Opcode op = isa::Opcode::Nop;
+    Addr effAddr = 0;
+    std::uint64_t value = 0; ///< store data / loaded value / branch taken
+};
+
+struct RefOptions
+{
+    std::uint64_t maxSteps = 50'000'000;
+    std::size_t obsLogLimit = 256;
+    InjectedBug inject = InjectedBug::None;
+};
+
+/** Final state and verdict of one oracle run. */
+struct RefResult
+{
+    bool ok = false;
+    std::string error; ///< set when !ok (wild pc, lock misuse, ...)
+    std::uint64_t steps = 0;
+    std::uint64_t divisionRequests = 0;
+    std::uint64_t lockAcquires = 0;
+    std::size_t locksHeldAtEnd = 0;
+    std::array<std::int64_t, isa::numIntRegs> intRegs{};
+    std::array<double, isa::numFpRegs> fpRegs{};
+};
+
+/** The division-serializing functional oracle. */
+class RefInterp
+{
+  public:
+    explicit RefInterp(const casm::Image &image,
+                       const RefOptions &options = {});
+
+    /** Execute from the image entry to halt/kthr (or an error). */
+    RefResult run();
+
+    /** 8-byte little-endian read of final memory (zero if untouched). */
+    std::uint64_t readCell(Addr addr) const;
+
+    const std::vector<ObsRecord> &log() const { return obs; }
+
+    /** Render the observation log for a failure artifact. */
+    std::string renderLog() const;
+
+  private:
+    static constexpr Addr pageBytes = 4096;
+
+    std::uint8_t *pageFor(Addr a);
+    const std::uint8_t *pageForConst(Addr a) const;
+    std::uint64_t memRead(Addr a, int size) const;
+    void memWrite(Addr a, std::uint64_t v, int size);
+
+    std::int64_t readInt(std::uint8_t reg) const;
+    void writeInt(std::uint8_t reg, std::int64_t v);
+
+    RefOptions opt;
+    Addr codeBase;
+    Addr entry;
+    std::vector<isa::StaticInst> code;
+
+    std::unordered_map<Addr, std::vector<std::uint8_t>> pages;
+    std::unordered_set<Addr> locksHeld;
+
+    std::array<std::int64_t, isa::numIntRegs> rf{};
+    std::array<double, isa::numFpRegs> ff{};
+
+    std::vector<ObsRecord> obs;
+};
+
+} // namespace capsule::fuzz
+
+#endif // CAPSULE_FUZZ_REF_INTERP_HH

@@ -48,6 +48,13 @@ ThreadPool::wait()
                  [this] { return queue.empty() && inFlight == 0; });
 }
 
+std::uint64_t
+ThreadPool::droppedExceptions() const
+{
+    std::unique_lock lock(mtx);
+    return nDropped;
+}
+
 void
 ThreadPool::workerLoop()
 {
@@ -63,10 +70,20 @@ ThreadPool::workerLoop()
             queue.pop_front();
             ++inFlight;
         }
-        job();
+        // Contain a throwing job: without this, the exception would
+        // kill the worker with inFlight still counted (wait() would
+        // then block forever) — or terminate the process outright.
+        bool threw = false;
+        try {
+            job();
+        } catch (...) {
+            threw = true;
+        }
         {
             std::unique_lock lock(mtx);
             --inFlight;
+            if (threw)
+                ++nDropped;
             if (queue.empty() && inFlight == 0)
                 drained.notify_all();
         }

@@ -5,12 +5,19 @@
  * result plumbing of its own: jobs capture their output slot. Kept
  * deliberately minimal — submit closures, wait for the queue to
  * drain, destruction joins.
+ *
+ * Jobs should report errors through their captured state (the
+ * ExperimentRunner captures an exception_ptr per point); a job that
+ * throws anyway is contained rather than catastrophic: the exception
+ * is swallowed and counted, the worker survives, wait() still drains,
+ * and every other job's result is unaffected.
  */
 
 #ifndef CAPSULE_HARNESS_THREAD_POOL_HH
 #define CAPSULE_HARNESS_THREAD_POOL_HH
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -35,7 +42,7 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue a job. Jobs must not throw. */
+    /** Enqueue a job (see the file comment on throwing jobs). */
     void submit(std::function<void()> job);
 
     /** Block until every submitted job has finished. */
@@ -43,15 +50,19 @@ class ThreadPool
 
     int threads() const { return int(workers.size()); }
 
+    /** Jobs whose escaped exception the pool swallowed. */
+    std::uint64_t droppedExceptions() const;
+
   private:
     void workerLoop();
 
-    std::mutex mtx;
+    mutable std::mutex mtx;
     std::condition_variable wake;   ///< signals workers: job / stop
     std::condition_variable drained; ///< signals wait(): all done
     std::deque<std::function<void()>> queue;
     std::vector<std::thread> workers;
     int inFlight = 0;   ///< dequeued but not yet finished
+    std::uint64_t nDropped = 0; ///< jobs that threw (see above)
     bool stopping = false;
 };
 

@@ -59,6 +59,16 @@ struct RunStats
  */
 using DivisionObserver = std::function<void(ThreadId, ThreadId)>;
 
+/**
+ * Observer invoked as a thread retires its kthr/halt, immediately
+ * before the machine releases its front-end Program — the last moment
+ * the thread's final architectural state is observable. The
+ * differential fuzzing harness uses this to snapshot the ancestor's
+ * register file uniformly from any backend.
+ */
+using ThreadFinalizer =
+    std::function<void(ThreadId, const front::Program &)>;
+
 /** The common surface of every simulation backend. */
 class MachineBackend
 {
@@ -79,6 +89,20 @@ class MachineBackend
     virtual RunStats stats() const = 0;
 
     virtual void setDivisionObserver(DivisionObserver obs) = 0;
+
+    /** Install the end-of-thread snapshot hook (see ThreadFinalizer). */
+    virtual void setThreadFinalizer(ThreadFinalizer fin) = 0;
+
+    /**
+     * Addresses still held or waited on in the (shared) lock table
+     * after run(); a program that exits cleanly leaves 0. Exposed so
+     * invariant checkers need no backend-specific casts.
+     */
+    virtual std::size_t lockedAddrs() const = 0;
+
+    /** Thread contexts still parked on the inactive-context stack(s)
+     *  after run(); a clean exit leaves 0 (no context leak). */
+    virtual std::size_t swappedContexts() const = 0;
 
     virtual const MachineConfig &config() const = 0;
 

@@ -144,6 +144,28 @@ CmpMachine::setDivisionObserver(DivisionObserver obs)
         c->setDivisionObserver(obs);
 }
 
+void
+CmpMachine::setThreadFinalizer(ThreadFinalizer fin)
+{
+    for (auto &c : cores)
+        c->setThreadFinalizer(fin);
+}
+
+std::size_t
+CmpMachine::lockedAddrs() const
+{
+    return locks.occupancy();
+}
+
+std::size_t
+CmpMachine::swappedContexts() const
+{
+    std::size_t n = 0;
+    for (const auto &c : cores)
+        n += c->contextStack().depth();
+    return n;
+}
+
 RunStats
 CmpMachine::stats() const
 {

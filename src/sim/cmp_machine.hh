@@ -65,6 +65,16 @@ class CmpMachine : public MachineBackend, private CmpCoupling
      *  machine-wide, so cross-core genealogy needs no translation. */
     void setDivisionObserver(DivisionObserver obs) override;
 
+    /** Installed into every core: a thread retires on whichever core
+     *  owns it, and thread ids are machine-wide. */
+    void setThreadFinalizer(ThreadFinalizer fin) override;
+
+    /** Occupancy of the shared lock table. */
+    std::size_t lockedAddrs() const override;
+
+    /** Sum of the per-core inactive-context-stack depths. */
+    std::size_t swappedContexts() const override;
+
     const MachineConfig &config() const override { return cfg; }
 
     void dumpStats(std::ostream &os) const override;

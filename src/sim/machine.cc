@@ -764,6 +764,8 @@ Machine::commitOne(Thread &t, RuuEntry &e, int idx)
         t.state = ThreadState::Finished;
         diedThisCycle.push_back(t.index);
         releaseSlot(t);
+        if (threadFinalizer && t.program)
+            threadFinalizer(t.tid, *t.program);
         t.program.reset();
         if (e.inst.cls == OpClass::Kthr) {
             divCtrl->recordDeath(curCycle);

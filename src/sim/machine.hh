@@ -221,6 +221,25 @@ class Machine : public MachineBackend
         divObserver = std::move(obs);
     }
 
+    void
+    setThreadFinalizer(ThreadFinalizer fin) override
+    {
+        threadFinalizer = std::move(fin);
+    }
+
+    /** Lock-table occupancy (the shared table's in a CMP). */
+    std::size_t
+    lockedAddrs() const override
+    {
+        return locks->occupancy();
+    }
+
+    std::size_t
+    swappedContexts() const override
+    {
+        return ctxStack.depth();
+    }
+
   private:
     /** An instruction fetched but not yet dispatched. */
     struct FetchedInst
@@ -395,6 +414,7 @@ class Machine : public MachineBackend
     DivisionController *divCtrl; ///< own or CMP-shared
     ContextStack ctxStack;
     DivisionObserver divObserver;
+    ThreadFinalizer threadFinalizer;
 
     // Per-cycle resource budgets (reset in issueStage).
     int ialuLeft = 0, imultLeft = 0, fpaluLeft = 0, fpmultLeft = 0;

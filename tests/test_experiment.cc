@@ -67,6 +67,56 @@ TEST(ThreadPool, MoreWorkersThanJobs)
     EXPECT_EQ(count.load(), 1);
 }
 
+TEST(ThreadPool, ThrowingJobDoesNotDeadlockOrPoisonResults)
+{
+    // Stress the exception containment: 200 jobs on 4 workers, every
+    // 7th throws. The pool must survive every worker seeing throws,
+    // wait() must still drain, and each non-throwing job's result
+    // slot must be exactly what it wrote (submission-order results
+    // are how the experiment engine consumes the pool).
+    harness::ThreadPool pool(4);
+    constexpr int n = 200;
+    std::vector<int> results(n, -1);
+    for (int i = 0; i < n; ++i) {
+        pool.submit([&results, i] {
+            if (i % 7 == 0)
+                throw std::runtime_error("boom");
+            results[std::size_t(i)] = i * i;
+        });
+    }
+    pool.wait();
+
+    int expectedThrows = 0;
+    for (int i = 0; i < n; ++i) {
+        if (i % 7 == 0) {
+            ++expectedThrows;
+            EXPECT_EQ(results[std::size_t(i)], -1);
+        } else {
+            EXPECT_EQ(results[std::size_t(i)], i * i);
+        }
+    }
+    EXPECT_EQ(pool.droppedExceptions(),
+              std::uint64_t(expectedThrows));
+
+    // The pool stays fully usable after containing the throws.
+    std::atomic<int> after{0};
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&after] { ++after; });
+    pool.wait();
+    EXPECT_EQ(after.load(), 20);
+    EXPECT_EQ(pool.droppedExceptions(),
+              std::uint64_t(expectedThrows));
+}
+
+TEST(ThreadPool, NonStandardExceptionsAreContainedToo)
+{
+    harness::ThreadPool pool(2);
+    pool.submit([] { throw 42; }); // not derived from std::exception
+    pool.submit([] { throw std::string("raw payload"); });
+    pool.wait();
+    EXPECT_EQ(pool.droppedExceptions(), 2u);
+}
+
 // ---------------------------------------------------------------
 // runner mechanics
 // ---------------------------------------------------------------

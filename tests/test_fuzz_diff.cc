@@ -1,0 +1,397 @@
+/**
+ * @file
+ * The differential fuzzing subsystem: platform-stable seeding of the
+ * generator (pinned streams and source hashes), reference-interpreter
+ * semantics against hand-computed programs, the MachineBackend
+ * final-state hook, clean campaigns across all timing backends,
+ * --jobs determinism, and harness sensitivity (an injected ISA bug
+ * must be caught within a bounded number of iterations, with a shrunk
+ * .casm repro dumped to the artifacts dir).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "casm/assembler.hh"
+#include "front/asm_program.hh"
+#include "fuzz/diff_runner.hh"
+#include "fuzz/fuzz_rng.hh"
+#include "fuzz/program_gen.hh"
+#include "fuzz/ref_interp.hh"
+#include "sim/backend.hh"
+
+namespace capsule::fuzz
+{
+namespace
+{
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+// ---------------------------------------------------------------
+// FuzzRng: the stream is specified arithmetic, pinned forever.
+// ---------------------------------------------------------------
+
+TEST(FuzzRng, PinnedSplitMix64Stream)
+{
+    FuzzRng rng(42);
+    EXPECT_EQ(rng.next(), 0xbdd732262feb6e95ULL);
+    EXPECT_EQ(rng.next(), 0x28efe333b266f103ULL);
+    EXPECT_EQ(rng.next(), 0x47526757130f9f52ULL);
+    EXPECT_EQ(rng.next(), 0x581ce1ff0e4ae394ULL);
+}
+
+TEST(FuzzRng, BoundedDrawsStayInRange)
+{
+    FuzzRng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(13), 13u);
+        auto v = rng.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+// ---------------------------------------------------------------
+// Generator: explicit seeding and reproducibility.
+// ---------------------------------------------------------------
+
+TEST(ProgramGen, SameSeedSameBytes)
+{
+    GenParams p;
+    p.seed = 123;
+    auto a = generate(p);
+    auto b = generate(p);
+    EXPECT_EQ(a.source, b.source);
+    EXPECT_EQ(a.image.words, b.image.words);
+    EXPECT_EQ(a.numNodes, b.numNodes);
+}
+
+TEST(ProgramGen, DifferentSeedsDiffer)
+{
+    GenParams p;
+    p.seed = 1;
+    auto a = generate(p);
+    p.seed = 2;
+    auto b = generate(p);
+    EXPECT_NE(a.source, b.source);
+}
+
+/**
+ * Seed stability across platforms: `--seed N` must reproduce
+ * byte-identical program text everywhere, so failing seeds reported
+ * by one machine replay on any other. Every draw in the fuzz path is
+ * explicit uint64 arithmetic (no <random> distributions, no draws
+ * with unspecified evaluation order), making these hashes
+ * platform-invariant. If this test fails after an intentional
+ * generator change, re-pin the printed values; if it fails otherwise,
+ * the fuzz path picked up platform-dependent randomness.
+ */
+TEST(ProgramGen, PinnedSourceHashes)
+{
+    const std::uint64_t expected[3] = {
+        0xdb968ac118b2c189ULL, // seed 1
+        0x794b9e4f19df8f69ULL, // seed 2
+        0x0afb9d3cc98e3e91ULL, // seed 3
+    };
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        GenParams p;
+        p.seed = seed;
+        auto prog = generate(p);
+        EXPECT_EQ(fnv1a(prog.source), expected[seed - 1])
+            << "seed " << seed << " hashes to 0x" << std::hex
+            << fnv1a(prog.source);
+    }
+}
+
+TEST(ProgramGen, MetadataIsConsistent)
+{
+    for (std::uint64_t seed : {5u, 17u, 99u}) {
+        GenParams p;
+        p.seed = seed;
+        auto prog = generate(p);
+        EXPECT_GE(prog.numNodes, 1);
+        EXPECT_EQ(prog.expectedDivisionRequests,
+                  std::uint64_t(prog.numNodes) - 1);
+        EXPECT_FALSE(prog.image.words.empty());
+        EXPECT_EQ(prog.outputRegs, (std::vector<int>{10, 11}));
+        EXPECT_GT(prog.totalCells, 0);
+        EXPECT_EQ(prog.cellAddr(0), prog.dataBase);
+    }
+}
+
+TEST(ProgramGen, ScaledShrinksAndKeepsInvariants)
+{
+    GenParams p;
+    p.maxNodes = 48;
+    p.blockOps = 18;
+    p.sliceCells = 16;
+    GenParams s = p.scaled(0.3);
+    EXPECT_EQ(s.seed, p.seed);
+    EXPECT_LT(s.maxNodes, p.maxNodes);
+    EXPECT_LT(s.blockOps, p.blockOps);
+    EXPECT_GE(s.maxDepth, 1);
+    EXPECT_GE(s.sliceCells, 4);
+    // Power-of-two slice invariant survives scaling.
+    EXPECT_EQ(s.sliceCells & (s.sliceCells - 1), 0);
+    // Scaled programs still generate and assemble.
+    s.seed = 11;
+    auto prog = generate(s);
+    EXPECT_GE(prog.numNodes, 1);
+}
+
+// ---------------------------------------------------------------
+// Reference interpreter semantics.
+// ---------------------------------------------------------------
+
+TEST(RefInterp, HandComputedProgram)
+{
+    // nthr is denied (division-serializing), so r4 = -1 and the
+    // child block is skipped by the jmp.
+    auto img = casm::Assembler::assembleOrDie(
+        "  addi r1, r0, 5\n"
+        "  addi r2, r0, 7\n"
+        "  add r3, r1, r2\n"
+        "  lui r9, 512\n"        // r9 = 0x200000
+        "  sd r3, 0(r9)\n"
+        "  nthr r4, child\n"
+        "  jmp fin\n"
+        "child:\n"
+        "  kthr\n"
+        "fin:\n"
+        "  mlock r9\n"
+        "  ld r5, 0(r9)\n"
+        "  munlock r9\n"
+        "  sd r4, 8(r9)\n"
+        "  halt\n");
+    RefInterp ref(img);
+    RefResult res = ref.run();
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.intRegs[3], 12);
+    EXPECT_EQ(res.intRegs[4], -1);
+    EXPECT_EQ(res.intRegs[5], 12);
+    EXPECT_EQ(res.divisionRequests, 1u);
+    EXPECT_EQ(res.lockAcquires, 1u);
+    EXPECT_EQ(res.locksHeldAtEnd, 0u);
+    EXPECT_EQ(ref.readCell(0x200000), 12u);
+    EXPECT_EQ(ref.readCell(0x200008), std::uint64_t(-1));
+    EXPECT_FALSE(ref.log().empty());
+    EXPECT_FALSE(ref.renderLog().empty());
+}
+
+TEST(RefInterp, AgreesWithAsmProgramOnFloatPaths)
+{
+    // The oracle is an independent reimplementation; spot-check it
+    // against the front end the timing backends use.
+    auto img = casm::Assembler::assembleOrDie(
+        "  addi r1, r0, 3\n"
+        "  addi r2, r0, 4\n"
+        "  fcvt f1, r1\n"
+        "  fcvt f2, r2\n"
+        "  fdiv f3, f1, f2\n"
+        "  fmul f4, f3, f2\n"
+        "  fcmp r5, f4, f1\n"
+        "  lui r9, 512\n"
+        "  fsd f4, 0(r9)\n"
+        "  halt\n");
+    RefInterp ref(img);
+    RefResult res = ref.run();
+    ASSERT_TRUE(res.ok) << res.error;
+
+    front::AsmProcess proc(img);
+    front::AsmProgram prog(proc);
+    isa::DynInst inst;
+    while (prog.next(inst)) {
+    }
+    EXPECT_EQ(res.intRegs[5], prog.regs().intRegs[5]);
+    EXPECT_EQ(ref.readCell(0x200000), proc.memory.read(0x200000, 8));
+}
+
+TEST(RefInterp, DetectsLockLeakAndWildPc)
+{
+    auto leak = casm::Assembler::assembleOrDie(
+        "  lui r1, 512\n  mlock r1\n  halt\n");
+    RefInterp refLeak(leak);
+    RefResult leakRes = refLeak.run();
+    EXPECT_FALSE(leakRes.ok);
+    EXPECT_NE(leakRes.error.find("lock"), std::string::npos);
+
+    auto wild = casm::Assembler::assembleOrDie(
+        "  addi r1, r0, 0\n  jr r1\n  halt\n");
+    RefInterp refWild(wild);
+    RefResult wildRes = refWild.run();
+    EXPECT_FALSE(wildRes.ok);
+    EXPECT_NE(wildRes.error.find("pc"), std::string::npos);
+}
+
+TEST(RefInterp, InjectedBugPerturbsSemantics)
+{
+    auto img = casm::Assembler::assembleOrDie(
+        "  addi r1, r0, 5\n"
+        "  addi r2, r0, 7\n"
+        "  add r3, r1, r2\n"
+        "  halt\n");
+    RefOptions opts;
+    opts.inject = InjectedBug::AddOffByOne;
+    RefInterp ref(img, opts);
+    RefResult res = ref.run();
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.intRegs[3], 13); // 5 + 7 (+1 injected)
+
+    EXPECT_EQ(parseInjectedBug("add-off-by-one"),
+              InjectedBug::AddOffByOne);
+    EXPECT_EQ(parseInjectedBug(""), InjectedBug::None);
+    EXPECT_THROW(parseInjectedBug("bogus"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------
+// The MachineBackend final-state hook.
+// ---------------------------------------------------------------
+
+TEST(BackendHook, ThreadFinalizerSnapshotsAncestorOnEveryBackend)
+{
+    auto img = casm::Assembler::assembleOrDie(
+        "  addi r5, r0, 9\n  addi r6, r5, 1\n  halt\n");
+    for (const auto &spec : defaultBackends()) {
+        front::AsmProcess proc(img);
+        auto backend = sim::makeBackend(spec.cfg);
+        ThreadId ancestor = invalidThread;
+        std::int64_t r5 = 0, r6 = 0;
+        int calls = 0;
+        backend->setThreadFinalizer(
+            [&](ThreadId tid, const front::Program &p) {
+                auto *ap =
+                    dynamic_cast<const front::AsmProgram *>(&p);
+                ASSERT_NE(ap, nullptr);
+                if (tid != ancestor)
+                    return;
+                ++calls;
+                r5 = ap->regs().intRegs[5];
+                r6 = ap->regs().intRegs[6];
+            });
+        ancestor = backend->addThread(
+            std::make_unique<front::AsmProgram>(proc));
+        backend->run();
+        EXPECT_EQ(calls, 1) << spec.label;
+        EXPECT_EQ(r5, 9) << spec.label;
+        EXPECT_EQ(r6, 10) << spec.label;
+        EXPECT_EQ(backend->lockedAddrs(), 0u) << spec.label;
+        EXPECT_EQ(backend->swappedContexts(), 0u) << spec.label;
+    }
+}
+
+// ---------------------------------------------------------------
+// The differential harness.
+// ---------------------------------------------------------------
+
+FuzzConfig
+quietConfig(int iters, int jobs)
+{
+    FuzzConfig cfg;
+    cfg.seed = 1;
+    cfg.iters = iters;
+    cfg.jobs = jobs;
+    cfg.shrink = false;
+    cfg.artifactsDir = ""; // tests dump artifacts explicitly
+    return cfg;
+}
+
+TEST(DiffRunner, CleanCampaignAcrossAllBackends)
+{
+    auto res = runCampaign(quietConfig(30, 2));
+    EXPECT_TRUE(res.ok()) << (res.failures.empty()
+                                  ? std::string()
+                                  : res.failures.front().detail);
+    EXPECT_EQ(res.iterations, 30);
+    EXPECT_EQ(res.digests.size(), 30u);
+    EXPECT_GT(res.nodesTotal, 0u);
+    EXPECT_GT(res.wordsTotal, 0u);
+}
+
+TEST(DiffRunner, JobsCountDoesNotChangeResults)
+{
+    auto serial = runCampaign(quietConfig(12, 1));
+    auto parallel = runCampaign(quietConfig(12, 8));
+    EXPECT_EQ(serial.digests, parallel.digests);
+    EXPECT_EQ(serial.nodesTotal, parallel.nodesTotal);
+    EXPECT_EQ(serial.wordsTotal, parallel.wordsTotal);
+    EXPECT_EQ(serial.failures.size(), parallel.failures.size());
+}
+
+TEST(DiffRunner, SingleSeedOutcomeIsReproducible)
+{
+    GenParams p;
+    p.seed = 77;
+    auto a = runOne(p);
+    auto b = runOne(p);
+    EXPECT_TRUE(a.ok) << a.detail;
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.numNodes, b.numNodes);
+    EXPECT_EQ(a.words, b.words);
+}
+
+/** The acceptance bound: an injected ISA bug must surface within 200
+ *  iterations. (In practice every one of these is caught within the
+ *  first handful of seeds; 20 leaves a wide robustness margin while
+ *  keeping the suite fast.) */
+TEST(DiffRunner, InjectedIsaBugsCaughtWithin200Iterations)
+{
+    for (InjectedBug bug :
+         {InjectedBug::AddOffByOne, InjectedBug::XorAsOr,
+          InjectedBug::SltInverted}) {
+        auto cfg = quietConfig(20, 4);
+        cfg.inject = bug;
+        auto res = runCampaign(cfg);
+        EXPECT_FALSE(res.ok()) << injectedBugName(bug);
+        if (!res.failures.empty()) {
+            EXPECT_LT(res.failures.front().iteration, 200)
+                << injectedBugName(bug);
+            EXPECT_FALSE(res.failures.front().detail.empty());
+        }
+    }
+}
+
+TEST(DiffRunner, ShrinksFailuresAndDumpsCasmRepro)
+{
+    namespace fs = std::filesystem;
+    fs::path dir =
+        fs::temp_directory_path() / "capsule_fuzz_test_artifacts";
+    fs::remove_all(dir);
+
+    FuzzConfig cfg = quietConfig(2, 1);
+    cfg.inject = InjectedBug::AddOffByOne;
+    cfg.shrink = true;
+    cfg.artifactsDir = dir.string();
+    auto res = runCampaign(cfg);
+    ASSERT_FALSE(res.ok());
+
+    const auto &f = res.failures.front();
+    EXPECT_LE(f.shrunkNodes, f.numNodes);
+    ASSERT_FALSE(f.artifactPath.empty());
+    EXPECT_TRUE(fs::exists(f.artifactPath));
+
+    std::ifstream in(f.artifactPath);
+    std::string first;
+    std::getline(in, first);
+    EXPECT_NE(first.find("differential-fuzz repro"),
+              std::string::npos);
+    // The companion report carries the divergence + serial log.
+    fs::path report = fs::path(f.artifactPath).replace_extension();
+    EXPECT_TRUE(fs::exists(report.string() + ".report.txt"));
+
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace capsule::fuzz

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Direct unit tests for base/ring.hh, the fixed-capacity FIFO behind
+ * the pipeline's per-thread ifq/rob/lsq (it shipped in PR 4 with only
+ * indirect coverage through the machine suites): FIFO order across
+ * many wrap-arounds, the full/empty edges, indexing and iteration,
+ * reset semantics, and the overflow/underflow death contracts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/ring.hh"
+
+namespace capsule
+{
+namespace
+{
+
+TEST(Ring, StartsEmptyWithGivenCapacity)
+{
+    Ring<int> r(4);
+    EXPECT_EQ(r.capacity(), 4u);
+    EXPECT_EQ(r.size(), 0u);
+    EXPECT_TRUE(r.empty());
+    EXPECT_FALSE(r.full());
+}
+
+TEST(Ring, DefaultConstructedHasNoCapacity)
+{
+    Ring<int> r;
+    EXPECT_EQ(r.capacity(), 0u);
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(Ring, FifoOrder)
+{
+    Ring<int> r(3);
+    r.push_back(10);
+    r.push_back(20);
+    r.push_back(30);
+    EXPECT_EQ(r.front(), 10);
+    r.pop_front();
+    EXPECT_EQ(r.front(), 20);
+    r.pop_front();
+    EXPECT_EQ(r.front(), 30);
+    r.pop_front();
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(Ring, FullAndEmptyEdges)
+{
+    Ring<int> r(2);
+    r.push_back(1);
+    EXPECT_FALSE(r.full());
+    EXPECT_FALSE(r.empty());
+    r.push_back(2);
+    EXPECT_TRUE(r.full());
+    r.pop_front();
+    EXPECT_FALSE(r.full());
+    r.pop_front();
+    EXPECT_TRUE(r.empty());
+    // Reusable after draining.
+    r.push_back(3);
+    EXPECT_EQ(r.front(), 3);
+}
+
+TEST(Ring, WrapAroundPreservesOrderAcrossManyCycles)
+{
+    // Capacity 4, 100 interleaved pushes/pops: the head index wraps
+    // dozens of times and FIFO order must survive every wrap.
+    Ring<int> r(4);
+    int next_push = 0;
+    int next_pop = 0;
+    r.push_back(next_push++);
+    r.push_back(next_push++);
+    for (int i = 0; i < 100; ++i) {
+        r.push_back(next_push++);
+        EXPECT_EQ(r.front(), next_pop);
+        r.pop_front();
+        ++next_pop;
+    }
+    EXPECT_EQ(r.size(), 2u);
+    EXPECT_EQ(r.front(), next_pop);
+}
+
+TEST(Ring, IndexingAndIterationAcrossTheSeam)
+{
+    Ring<int> r(4);
+    for (int v : {1, 2, 3, 4})
+        r.push_back(v);
+    r.pop_front();
+    r.pop_front();
+    r.push_back(5); // physically wraps to slot 0
+    r.push_back(6); // and slot 1
+
+    ASSERT_EQ(r.size(), 4u);
+    EXPECT_EQ(r[0], 3);
+    EXPECT_EQ(r[1], 4);
+    EXPECT_EQ(r[2], 5);
+    EXPECT_EQ(r[3], 6);
+
+    std::vector<int> seen;
+    for (int v : r)
+        seen.push_back(v);
+    EXPECT_EQ(seen, (std::vector<int>{3, 4, 5, 6}));
+}
+
+TEST(Ring, PopReleasesPayloadEagerly)
+{
+    // pop_front() resets the slot to T{} so held resources (e.g. a
+    // FetchedInst's Program-derived state) are released immediately.
+    Ring<std::string> r(2);
+    r.push_back(std::string(1000, 'x'));
+    r.pop_front();
+    r.push_back("a");
+    r.push_back("b");
+    EXPECT_EQ(r.front(), "a");
+}
+
+TEST(Ring, ResetDropsContentsAndResizes)
+{
+    Ring<int> r(2);
+    r.push_back(7);
+    r.push_back(8);
+    r.reset(5);
+    EXPECT_EQ(r.capacity(), 5u);
+    EXPECT_TRUE(r.empty());
+    for (int i = 0; i < 5; ++i)
+        r.push_back(i);
+    EXPECT_TRUE(r.full());
+    EXPECT_EQ(r.front(), 0);
+}
+
+// ---- death contracts (hardware queues never over/underflow) --------
+
+using RingDeathTest = ::testing::Test;
+
+TEST(RingDeathTest, OverwritingFullRingDies)
+{
+    Ring<int> r(2);
+    r.push_back(1);
+    r.push_back(2);
+    EXPECT_DEATH(r.push_back(3), "ring overflow");
+}
+
+TEST(RingDeathTest, PopOnEmptyDies)
+{
+    Ring<int> r(2);
+    EXPECT_DEATH(r.pop_front(), "pop_front\\(\\) on empty ring");
+}
+
+TEST(RingDeathTest, FrontOnEmptyDies)
+{
+    Ring<int> r(2);
+    EXPECT_DEATH(r.front(), "front\\(\\) on empty ring");
+}
+
+TEST(RingDeathTest, IndexOutOfRangeDies)
+{
+    Ring<int> r(3);
+    r.push_back(1);
+    EXPECT_DEATH(r[1], "ring index out of range");
+}
+
+TEST(RingDeathTest, ZeroCapacityDies)
+{
+    Ring<int> r;
+    EXPECT_DEATH(r.reset(0), "ring capacity must be positive");
+}
+
+} // namespace
+} // namespace capsule
