@@ -5,12 +5,20 @@
  * Every paper figure and every sweep point funnels through the
  * cycle-level kernel, so host-side simulator speed bounds everything
  * the harnesses can explore. This harness sweeps the full workload
- * registry across the {smt, cmp} backends and reports *host* metrics
- * per point: wall seconds, host CPU seconds, simulated cycles per
- * host second, and simulated MIPS (committed instructions per host
- * second). The JSON lands in BENCH_simperf.json, seeding the perf
- * trajectory so every future PR's speedups and regressions are
- * visible per commit.
+ * registry across the {smt, cmp, func} backends and reports *host*
+ * metrics per point: wall seconds, host CPU seconds, simulated cycles
+ * per host second, and simulated MIPS (committed instructions per
+ * host second). The JSON lands in BENCH_simperf.json, seeding the
+ * perf trajectory so every future PR's speedups and regressions are
+ * visible per commit; the CI perf gate (bench/simperf_gate.cc)
+ * compares each commit's detailed-tier aggregate MIPS against the
+ * parent's checked-in copy.
+ *
+ * The func rows measure the fast functional tier (DESIGN.md §8); the
+ * per-backend `aggregate_mips.<backend>` fields let the two-tier
+ * speedup target (func >= 10x detailed) be read straight off the
+ * JSON. For func, sim_cycles == sim_instructions by construction
+ * (the serialized 1-IPC functional clock).
  *
  * Two clocks are reported on purpose: `wall_seconds` is elapsed time
  * (what a user waits for), while the throughput rates divide by the
@@ -22,6 +30,7 @@
 
 #include <ctime>
 #include <iostream>
+#include <map>
 
 #include "base/table.hh"
 #include "bench_util.hh"
@@ -38,7 +47,7 @@ namespace
 constexpr int cmpCores = 2;
 constexpr int cmpContextsPerCore = 4;
 
-const char *const backends[] = {"smt", "cmp"};
+const char *const backends[] = {"smt", "cmp", "func"};
 
 double
 threadCpuSeconds()
@@ -62,7 +71,9 @@ configFor(const std::string &backend)
     if (backend == "cmp")
         return sim::MachineConfig::cmpSomt(cmpCores,
                                            cmpContextsPerCore);
-    return sim::MachineConfig::somt();
+    auto cfg = sim::MachineConfig::somt();
+    cfg.backend = backend;
+    return cfg;
 }
 
 } // namespace
@@ -111,6 +122,9 @@ main(int argc, char **argv)
     bool allCorrect = true;
     double totalWall = 0, totalCpu = 0;
     double totalInsts = 0, totalCycles = 0;
+    // Per-backend aggregates: the perf gate reads the detailed tiers,
+    // the two-tier speedup target reads func vs smt.
+    std::map<std::string, double> cpuBy, instsBy, cyclesBy;
 
     std::size_t at = 0;
     for (const auto &wlName : names) {
@@ -130,6 +144,9 @@ main(int argc, char **argv)
             totalCpu += cpu;
             totalInsts += simInsts;
             totalCycles += simCycles;
+            cpuBy[backend] += cpu;
+            instsBy[backend] += simInsts;
+            cyclesBy[backend] += simCycles;
 
             table.addRow({wlName, backend,
                           TextTable::count(r.stats.cycles),
@@ -164,6 +181,16 @@ main(int argc, char **argv)
     report.num("total_cpu_seconds", totalCpu);
     report.num("aggregate_sim_cycles_per_sec", totalCycles / aggDenom);
     report.num("aggregate_mips", totalInsts / aggDenom / 1e6);
+    for (const char *backend : backends) {
+        double denom = cpuBy[backend] > 1e-9 ? cpuBy[backend] : 1e-9;
+        report.num(std::string("aggregate_mips.") + backend,
+                   instsBy[backend] / denom / 1e6);
+        report.num(std::string("aggregate_sim_cycles_per_sec.") +
+                       backend,
+                   cyclesBy[backend] / denom);
+        std::printf("aggregate %s: %.2f sim-MIPS\n", backend,
+                    instsBy[backend] / denom / 1e6);
+    }
     report.flag("all_correct", allCorrect);
     return report.write() && allCorrect ? 0 : 1;
 }

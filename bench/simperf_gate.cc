@@ -1,0 +1,166 @@
+/**
+ * @file
+ * simperf_gate — the CI perf-regression gate over BENCH_simperf.json.
+ *
+ * Compares the current commit's simulator-throughput metrics against
+ * the parent's checked-in baseline and exits nonzero when the
+ * detailed-tier aggregate sim-MIPS regressed by more than the allowed
+ * fraction (default 10%). The detailed tiers (smt, cmp) are gated —
+ * not the overall aggregate — so the fast functional tier's much
+ * larger MIPS cannot mask a slowdown of the cycle-level kernel that
+ * every paper figure funnels through. Baselines written before the
+ * per-backend fields existed are still gateable: the reader falls
+ * back to the overall `aggregate_mips`.
+ *
+ * Usage:
+ *   simperf_gate <current.json> <baseline.json> [--max-regression F]
+ *
+ * Exit status: 0 pass (or improvement), 1 regression beyond the
+ * threshold, 2 unusable inputs. Host-timing noise between runners is
+ * the caller's problem: CI runs both measurements on the same runner
+ * class, and the threshold leaves slack for run-to-run jitter.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+namespace
+{
+
+/**
+ * Minimal reader for the flat JsonReport shape (one `"key": value`
+ * line per metric inside the "metrics" object) — the same contract
+ * tests/test_simperf_smoke.cc parses.
+ */
+std::map<std::string, std::string>
+readMetrics(const std::string &path)
+{
+    std::ifstream f(path);
+    std::map<std::string, std::string> out;
+    if (!f.good())
+        return out;
+    std::string line;
+    bool inMetrics = false;
+    while (std::getline(f, line)) {
+        if (line.find("\"metrics\"") != std::string::npos) {
+            inMetrics = true;
+            continue;
+        }
+        if (!inMetrics)
+            continue;
+        auto q1 = line.find('"');
+        if (q1 == std::string::npos)
+            continue;
+        auto q2 = line.find('"', q1 + 1);
+        auto colon = line.find(':', q2);
+        if (q2 == std::string::npos || colon == std::string::npos)
+            continue;
+        std::string key = line.substr(q1 + 1, q2 - q1 - 1);
+        std::string val = line.substr(colon + 1);
+        while (!val.empty() &&
+               (val.back() == ',' || val.back() == ' ' ||
+                val.back() == '\r'))
+            val.pop_back();
+        while (!val.empty() && val.front() == ' ')
+            val.erase(val.begin());
+        out[key] = val;
+    }
+    return out;
+}
+
+/**
+ * The gated figure of merit: the mean of the detailed per-backend
+ * aggregate MIPS when present, else the overall aggregate (pre-func
+ * baselines, where the overall figure *was* the detailed figure).
+ * @return -1.0 when the file carries neither
+ */
+double
+detailedMips(const std::map<std::string, std::string> &m)
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const char *backend : {"smt", "cmp"}) {
+        auto it = m.find(std::string("aggregate_mips.") + backend);
+        if (it == m.end())
+            continue;
+        sum += std::strtod(it->second.c_str(), nullptr);
+        ++n;
+    }
+    if (n > 0)
+        return sum / n;
+    auto it = m.find("aggregate_mips");
+    if (it == m.end())
+        return -1.0;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string current, baseline;
+    double maxRegression = 0.10;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--max-regression") == 0 &&
+            i + 1 < argc) {
+            maxRegression = std::strtod(argv[++i], nullptr);
+        } else if (current.empty()) {
+            current = argv[i];
+        } else if (baseline.empty()) {
+            baseline = argv[i];
+        } else {
+            std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+            return 2;
+        }
+    }
+    if (current.empty() || baseline.empty()) {
+        std::fprintf(stderr,
+                     "usage: simperf_gate <current.json> "
+                     "<baseline.json> [--max-regression F]\n");
+        return 2;
+    }
+
+    auto cur = readMetrics(current);
+    auto base = readMetrics(baseline);
+    if (cur.empty()) {
+        std::fprintf(stderr, "cannot read metrics from %s\n",
+                     current.c_str());
+        return 2;
+    }
+    if (base.empty()) {
+        std::fprintf(stderr, "cannot read metrics from %s\n",
+                     baseline.c_str());
+        return 2;
+    }
+
+    double curMips = detailedMips(cur);
+    double baseMips = detailedMips(base);
+    if (curMips < 0.0 || baseMips <= 0.0) {
+        std::fprintf(stderr,
+                     "no aggregate MIPS figure in %s\n",
+                     curMips < 0.0 ? current.c_str()
+                                   : baseline.c_str());
+        return 2;
+    }
+
+    double floor = baseMips * (1.0 - maxRegression);
+    double delta = (curMips - baseMips) / baseMips * 100.0;
+    std::printf("detailed aggregate sim-MIPS: current %.3f, "
+                "baseline %.3f (%+.1f%%), floor %.3f "
+                "(max regression %.0f%%)\n",
+                curMips, baseMips, delta, floor,
+                maxRegression * 100.0);
+    if (curMips < floor) {
+        std::printf("FAIL: simulator throughput regressed beyond the "
+                    "%.0f%% gate\n",
+                    maxRegression * 100.0);
+        return 1;
+    }
+    std::printf("OK\n");
+    return 0;
+}

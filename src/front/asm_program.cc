@@ -1,5 +1,7 @@
 #include "front/asm_program.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace capsule::front
@@ -16,15 +18,29 @@ AsmProcess::AsmProcess(const casm::Image &img)
         decoded.push_back(isa::decode(img.words[i]));
         memory.write(img.base + Addr(i) * 4, img.words[i], 4);
     }
+    // Backward pass: straight[i] counts the consecutive plain opcodes
+    // from i, so the block executor runs them in one threaded burst.
+    straight.assign(decoded.size(), 0);
+    for (std::size_t i = decoded.size(); i-- > 0;) {
+        if (!sim::isStraightLine(decoded[i].op))
+            continue;
+        straight[i] = 1 + (i + 1 < decoded.size() ? straight[i + 1] : 0);
+    }
+}
+
+std::size_t
+AsmProcess::indexOf(Addr pc) const
+{
+    CAPSULE_ASSERT(pc >= codeBase && (pc - codeBase) / 4 < decoded.size(),
+                   "instruction fetch outside code image at pc=", pc);
+    CAPSULE_ASSERT(pc % 4 == 0, "misaligned pc ", pc);
+    return (pc - codeBase) / 4;
 }
 
 isa::StaticInst
 AsmProcess::fetch(Addr pc) const
 {
-    CAPSULE_ASSERT(pc >= codeBase && (pc - codeBase) / 4 < decoded.size(),
-                   "instruction fetch outside code image at pc=", pc);
-    CAPSULE_ASSERT(pc % 4 == 0, "misaligned pc ", pc);
-    return decoded[(pc - codeBase) / 4];
+    return decoded[indexOf(pc)];
 }
 
 AsmProgram::AsmProgram(AsmProcess &process)
@@ -38,22 +54,7 @@ AsmProgram::AsmProgram(AsmProcess &process, const RegFile &regs,
     : proc(process), rf(regs), curPc(start_pc)
 {
     if (nthr_rd != isa::noReg)
-        writeInt(nthr_rd, nthr_result);
-}
-
-std::int64_t
-AsmProgram::readInt(std::uint8_t r) const
-{
-    CAPSULE_ASSERT(r < isa::numIntRegs, "bad int reg ", int(r));
-    return r == 0 ? 0 : rf.intRegs[r];
-}
-
-void
-AsmProgram::writeInt(std::uint8_t r, std::int64_t v)
-{
-    CAPSULE_ASSERT(r < isa::numIntRegs, "bad int reg ", int(r));
-    if (r != 0)
-        rf.intRegs[r] = v;
+        rf.writeInt(nthr_rd, nthr_result);
 }
 
 bool
@@ -65,247 +66,69 @@ AsmProgram::next(isa::DynInst &out)
         return false;
 
     isa::StaticInst si = proc.fetch(curPc);
+    sim::StepResult r = sim::step(si, curPc, rf, proc.memory);
+    ++executed;
+
     out = isa::DynInst{};
     out.cls = isa::opClassOf(si.op);
     out.pc = curPc;
     out.rd = si.rd;
     out.rs1 = si.rs1;
     out.rs2 = si.rs2;
-    out.fpRegs = isa::writesFpReg(si.op) || si.op == Opcode::Fsd ||
-                 si.op == Opcode::Fcmp;
+    out.fpRegs = isa::writesFpReg(si.op) || si.op == Opcode::Fsd;
+    out.effAddr = r.effAddr;
+    out.accessBytes = r.accessBytes;
+    out.taken = r.taken;
+    out.target = r.target;
 
-    Addr nextPc = curPc + 4;
-    ++executed;
-
-    switch (si.op) {
-      case Opcode::Nop:
-        break;
-
-      case Opcode::Add:
-        writeInt(si.rd, readInt(si.rs1) + readInt(si.rs2));
-        break;
-      case Opcode::Sub:
-        writeInt(si.rd, readInt(si.rs1) - readInt(si.rs2));
-        break;
-      case Opcode::And:
-        writeInt(si.rd, readInt(si.rs1) & readInt(si.rs2));
-        break;
-      case Opcode::Or:
-        writeInt(si.rd, readInt(si.rs1) | readInt(si.rs2));
-        break;
-      case Opcode::Xor:
-        writeInt(si.rd, readInt(si.rs1) ^ readInt(si.rs2));
-        break;
-      case Opcode::Sll:
-        writeInt(si.rd, readInt(si.rs1)
-                            << (readInt(si.rs2) & 63));
-        break;
-      case Opcode::Srl:
-        writeInt(si.rd,
-                 std::int64_t(std::uint64_t(readInt(si.rs1)) >>
-                              (readInt(si.rs2) & 63)));
-        break;
-      case Opcode::Sra:
-        writeInt(si.rd, readInt(si.rs1) >> (readInt(si.rs2) & 63));
-        break;
-      case Opcode::Slt:
-        writeInt(si.rd, readInt(si.rs1) < readInt(si.rs2) ? 1 : 0);
-        break;
-      case Opcode::Sltu:
-        writeInt(si.rd, std::uint64_t(readInt(si.rs1)) <
-                                std::uint64_t(readInt(si.rs2))
-                            ? 1
-                            : 0);
-        break;
-      case Opcode::Addi:
-        writeInt(si.rd, readInt(si.rs1) + si.imm);
-        break;
-      case Opcode::Andi:
-        writeInt(si.rd, readInt(si.rs1) & si.imm);
-        break;
-      case Opcode::Ori:
-        writeInt(si.rd, readInt(si.rs1) | si.imm);
-        break;
-      case Opcode::Xori:
-        writeInt(si.rd, readInt(si.rs1) ^ si.imm);
-        break;
-      case Opcode::Slli:
-        writeInt(si.rd, readInt(si.rs1) << (si.imm & 63));
-        break;
-      case Opcode::Srli:
-        writeInt(si.rd, std::int64_t(std::uint64_t(readInt(si.rs1)) >>
-                                     (si.imm & 63)));
-        break;
-      case Opcode::Slti:
-        writeInt(si.rd, readInt(si.rs1) < si.imm ? 1 : 0);
-        break;
-      case Opcode::Lui:
-        writeInt(si.rd, std::int64_t(si.imm) << 12);
-        break;
-
-      case Opcode::Mul:
-        writeInt(si.rd, readInt(si.rs1) * readInt(si.rs2));
-        break;
-      case Opcode::Div: {
-        std::int64_t d = readInt(si.rs2);
-        writeInt(si.rd, d == 0 ? -1 : readInt(si.rs1) / d);
-        break;
-      }
-      case Opcode::Rem: {
-        std::int64_t d = readInt(si.rs2);
-        writeInt(si.rd, d == 0 ? readInt(si.rs1) : readInt(si.rs1) % d);
-        break;
-      }
-
-      case Opcode::Fadd:
-        rf.fpRegs[si.rd] = rf.fpRegs[si.rs1] + rf.fpRegs[si.rs2];
-        break;
-      case Opcode::Fsub:
-        rf.fpRegs[si.rd] = rf.fpRegs[si.rs1] - rf.fpRegs[si.rs2];
-        break;
-      case Opcode::Fmul:
-        rf.fpRegs[si.rd] = rf.fpRegs[si.rs1] * rf.fpRegs[si.rs2];
-        break;
-      case Opcode::Fdiv:
-        rf.fpRegs[si.rd] = rf.fpRegs[si.rs1] / rf.fpRegs[si.rs2];
-        break;
-      case Opcode::Fcmp:
-        // Result to an integer register: -1 / 0 / 1.
-        writeInt(si.rd, rf.fpRegs[si.rs1] < rf.fpRegs[si.rs2]   ? -1
-                        : rf.fpRegs[si.rs1] > rf.fpRegs[si.rs2] ? 1
-                                                                : 0);
-        out.fpRegs = false;
-        break;
-      case Opcode::Fcvt:
-        rf.fpRegs[si.rd] = double(readInt(si.rs1));
-        break;
-
-      case Opcode::Lb:
-        out.effAddr = Addr(readInt(si.rs1) + si.imm);
-        out.accessBytes = 1;
-        writeInt(si.rd, std::int8_t(proc.memory.read(out.effAddr, 1)));
-        break;
-      case Opcode::Lh:
-        out.effAddr = Addr(readInt(si.rs1) + si.imm);
-        out.accessBytes = 2;
-        writeInt(si.rd, std::int16_t(proc.memory.read(out.effAddr, 2)));
-        break;
-      case Opcode::Lw:
-        out.effAddr = Addr(readInt(si.rs1) + si.imm);
-        out.accessBytes = 4;
-        writeInt(si.rd, std::int32_t(proc.memory.read(out.effAddr, 4)));
-        break;
-      case Opcode::Ld:
-        out.effAddr = Addr(readInt(si.rs1) + si.imm);
-        out.accessBytes = 8;
-        writeInt(si.rd, std::int64_t(proc.memory.read(out.effAddr, 8)));
-        break;
-      case Opcode::Fld:
-        out.effAddr = Addr(readInt(si.rs1) + si.imm);
-        out.accessBytes = 8;
-        rf.fpRegs[si.rd] = proc.memory.readDouble(out.effAddr);
-        break;
-      case Opcode::Sb:
-        out.effAddr = Addr(readInt(si.rs1) + si.imm);
-        out.accessBytes = 1;
-        proc.memory.write(out.effAddr,
-                          std::uint64_t(readInt(si.rs2)), 1);
-        break;
-      case Opcode::Sh:
-        out.effAddr = Addr(readInt(si.rs1) + si.imm);
-        out.accessBytes = 2;
-        proc.memory.write(out.effAddr,
-                          std::uint64_t(readInt(si.rs2)), 2);
-        break;
-      case Opcode::Sw:
-        out.effAddr = Addr(readInt(si.rs1) + si.imm);
-        out.accessBytes = 4;
-        proc.memory.write(out.effAddr,
-                          std::uint64_t(readInt(si.rs2)), 4);
-        break;
-      case Opcode::Sd:
-        out.effAddr = Addr(readInt(si.rs1) + si.imm);
-        out.accessBytes = 8;
-        proc.memory.write(out.effAddr,
-                          std::uint64_t(readInt(si.rs2)), 8);
-        break;
-      case Opcode::Fsd:
-        out.effAddr = Addr(readInt(si.rs1) + si.imm);
-        out.accessBytes = 8;
-        proc.memory.writeDouble(out.effAddr, rf.fpRegs[si.rs2]);
-        break;
-
-      case Opcode::Beq:
-        out.taken = readInt(si.rs1) == readInt(si.rs2);
-        out.target = curPc + Addr(std::int64_t(si.imm) * 4);
-        if (out.taken)
-            nextPc = out.target;
-        break;
-      case Opcode::Bne:
-        out.taken = readInt(si.rs1) != readInt(si.rs2);
-        out.target = curPc + Addr(std::int64_t(si.imm) * 4);
-        if (out.taken)
-            nextPc = out.target;
-        break;
-      case Opcode::Blt:
-        out.taken = readInt(si.rs1) < readInt(si.rs2);
-        out.target = curPc + Addr(std::int64_t(si.imm) * 4);
-        if (out.taken)
-            nextPc = out.target;
-        break;
-      case Opcode::Bge:
-        out.taken = readInt(si.rs1) >= readInt(si.rs2);
-        out.target = curPc + Addr(std::int64_t(si.imm) * 4);
-        if (out.taken)
-            nextPc = out.target;
-        break;
-
-      case Opcode::Jmp:
-        out.taken = true;
-        out.target = curPc + Addr(std::int64_t(si.imm) * 4);
-        nextPc = out.target;
-        break;
-      case Opcode::Jal:
-        out.taken = true;
-        out.target = curPc + Addr(std::int64_t(si.imm) * 4);
-        writeInt(si.rd, std::int64_t(curPc + 4));
-        nextPc = out.target;
-        break;
-      case Opcode::Jr:
-        out.taken = true;
-        out.target = Addr(readInt(si.rs1));
-        nextPc = out.target;
-        break;
-
-      case Opcode::NthrOp:
-        out.target = curPc + Addr(std::int64_t(si.imm) * 4);
+    switch (r.kind) {
+      case sim::StepKind::Nthr:
         pendingNthr = true;
-        pendingNthrTarget = out.target;
+        pendingNthrTarget = r.target;
         pendingNthrRd = si.rd;
         // nextPc (fall-through) is taken by the parent regardless of
         // the decision; the register result distinguishes the cases.
         break;
-
-      case Opcode::KthrOp:
+      case sim::StepKind::Kthr:
+      case sim::StepKind::Halt:
         done = true;
         break;
-      case Opcode::HaltOp:
-        done = true;
-        break;
-
-      case Opcode::MlockOp:
-      case Opcode::MunlockOp:
-        out.effAddr = Addr(readInt(si.rs1));
-        out.accessBytes = 8;
-        break;
-
       default:
-        CAPSULE_PANIC("unhandled opcode in AsmProgram: ",
-                      isa::mnemonic(si.op));
+        break;
     }
 
-    curPc = nextPc;
+    curPc = r.nextPc;
     return true;
+}
+
+std::uint64_t
+AsmProgram::runDirect(std::uint64_t budget)
+{
+    CAPSULE_ASSERT(!pendingNthr,
+                   "runDirect() called with an unresolved nthr decision");
+    std::uint64_t retired = 0;
+    while (retired < budget && !done) {
+        std::size_t idx = proc.indexOf(curPc);
+        std::uint32_t run = proc.straightRun(idx);
+        if (run > 0) {
+            std::uint64_t n =
+                std::min<std::uint64_t>(run, budget - retired);
+            sim::execStraight(proc.decodedData() + idx, n, curPc, rf,
+                              proc.memory);
+            curPc += Addr(n) * 4;
+            retired += n;
+            continue;
+        }
+        const isa::StaticInst &si = proc.decodedData()[idx];
+        OpClass cls = isa::opClassOf(si.op);
+        if (cls != OpClass::Branch && cls != OpClass::Jump)
+            break;  // protocol opcode: left for the caller's next()
+        sim::StepResult r = sim::step(si, curPc, rf, proc.memory);
+        curPc = r.nextPc;
+        ++retired;
+    }
+    executed += retired;
+    return retired;
 }
 
 std::unique_ptr<Program>
@@ -313,15 +136,14 @@ AsmProgram::resolveNthr(bool granted)
 {
     CAPSULE_ASSERT(pendingNthr, "resolveNthr without a pending nthr");
     pendingNthr = false;
-    if (!granted) {
-        writeInt(pendingNthrRd, -1);
+    sim::applyNthrDecision(rf, pendingNthrRd, granted);
+    if (!granted)
         return nullptr;
-    }
     // Parent: rd = 0 and fall through. Child: copy of registers as of
     // the division point, rd = 1, starts at the nthr target.
-    writeInt(pendingNthrRd, 0);
     return std::make_unique<AsmProgram>(proc, rf, pendingNthrTarget,
-                                        1, pendingNthrRd);
+                                        sim::nthrChildResult,
+                                        pendingNthrRd);
 }
 
 } // namespace capsule::front

@@ -2,29 +2,30 @@
  * @file
  * Functional interpreter for assembled CapISA images. Each AsmProgram
  * is one simulated thread; nthr forks a child AsmProgram with a copy
- * of the architectural registers, sharing Memory.
+ * of the architectural registers, sharing Memory. Instruction
+ * semantics come from the shared execution-semantics core
+ * (sim/exec_semantics.hh); this layer adds the Program front-end
+ * protocol (DynInst staging, nthr resolution) and the functional
+ * backend's straight-line fast path.
  */
 
 #ifndef CAPSULE_FRONT_ASM_PROGRAM_HH
 #define CAPSULE_FRONT_ASM_PROGRAM_HH
 
-#include <array>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "casm/assembler.hh"
 #include "front/program.hh"
 #include "mem/memory.hh"
+#include "sim/exec_semantics.hh"
 
 namespace capsule::front
 {
 
 /** Architectural register state of one CapISA thread. */
-struct RegFile
-{
-    std::array<std::int64_t, isa::numIntRegs> intRegs{};
-    std::array<double, isa::numFpRegs> fpRegs{};
-};
+using RegFile = sim::RegFile;
 
 /**
  * Shared process image: code plus data memory. Created once per
@@ -38,12 +39,27 @@ class AsmProcess
     /** Fetch and decode the static instruction at `pc`. */
     isa::StaticInst fetch(Addr pc) const;
 
+    /** Index of `pc` into the decoded image (asserts bounds/align). */
+    std::size_t indexOf(Addr pc) const;
+
+    const isa::StaticInst *decodedData() const { return decoded.data(); }
+
+    /** Length of the straight-line run (consecutive opcodes satisfying
+     *  sim::isStraightLine) starting at decoded index `idx`. */
+    std::uint32_t straightRun(std::size_t idx) const
+    {
+        return straight[idx];
+    }
+
     mem::Memory memory;
     Addr entry;
 
   private:
     Addr codeBase;
     std::vector<isa::StaticInst> decoded;
+    /** straight[i]: straight-line run length starting at i, memoised
+     *  once at decode for the functional backend's block executor. */
+    std::vector<std::uint32_t> straight;
 };
 
 /**
@@ -62,6 +78,17 @@ class AsmProgram : public Program
     bool next(isa::DynInst &out) override;
     std::unique_ptr<Program> resolveNthr(bool granted) override;
 
+    /**
+     * Functional-backend fast path: execute up to `budget`
+     * instructions directly through the shared semantics core —
+     * straight-line runs via the threaded block executor, branches and
+     * jumps singly — stopping early (without executing it) at the
+     * first protocol opcode (nthr/mlock/munlock/kthr/halt), which the
+     * caller then pulls via next().
+     * @return instructions retired
+     */
+    std::uint64_t runDirect(std::uint64_t budget);
+
     /** Registers are inspectable for tests. */
     const RegFile &regs() const { return rf; }
     Addr pc() const { return curPc; }
@@ -71,9 +98,6 @@ class AsmProgram : public Program
     std::uint64_t retiredCount() const { return executed; }
 
   private:
-    std::int64_t readInt(std::uint8_t r) const;
-    void writeInt(std::uint8_t r, std::int64_t v);
-
     AsmProcess &proc;
     RegFile rf;
     Addr curPc;

@@ -210,6 +210,25 @@ defaultBackends()
         cfg.maxCycles = fuzzMaxCycles;
         specs.push_back({"cmp" + std::to_string(cores), cfg});
     }
+    {
+        // The functional tier: same protocol, no cycle model. Runs
+        // against the same oracle, so the two-tier engine's fast path
+        // is held to the same bit-exactness bar as the timing cores.
+        sim::MachineConfig cfg = sim::MachineConfig::somt();
+        cfg.backend = "func";
+        cfg.maxCycles = fuzzMaxCycles;
+        specs.push_back({"func", cfg});
+    }
+    {
+        // Mixed mode: warm up functionally, hand off mid-program into
+        // the detailed SMT pipeline. 2000 instructions lands the
+        // handoff inside the parallel phase of typical generated
+        // programs, exercising multi-thread snapshot/restore.
+        sim::MachineConfig cfg = sim::MachineConfig::somt();
+        cfg.ffwdInstructions = 2000;
+        cfg.maxCycles = fuzzMaxCycles;
+        specs.push_back({"ffwd", cfg});
+    }
     return specs;
 }
 

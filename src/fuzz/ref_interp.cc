@@ -1,15 +1,10 @@
 #include "fuzz/ref_interp.hh"
 
-#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
-#include "base/logging.hh"
-
 namespace capsule::fuzz
 {
-
-using isa::Opcode;
 
 InjectedBug
 parseInjectedBug(const std::string &name)
@@ -43,69 +38,14 @@ RefInterp::RefInterp(const casm::Image &image, const RefOptions &options)
     code.reserve(image.words.size());
     for (std::size_t i = 0; i < image.words.size(); ++i) {
         code.push_back(isa::decode(image.words[i]));
-        memWrite(image.base + Addr(i) * 4, image.words[i], 4);
+        memory.write(image.base + Addr(i) * 4, image.words[i], 4);
     }
-}
-
-std::uint8_t *
-RefInterp::pageFor(Addr a)
-{
-    Addr key = a & ~(pageBytes - 1);
-    auto &page = pages[key];
-    if (page.empty())
-        page.assign(pageBytes, 0);
-    return page.data() + (a & (pageBytes - 1));
-}
-
-const std::uint8_t *
-RefInterp::pageForConst(Addr a) const
-{
-    Addr key = a & ~(pageBytes - 1);
-    auto it = pages.find(key);
-    if (it == pages.end())
-        return nullptr;
-    return it->second.data() + (a & (pageBytes - 1));
-}
-
-std::uint64_t
-RefInterp::memRead(Addr a, int size) const
-{
-    std::uint64_t v = 0;
-    for (int i = 0; i < size; ++i) {
-        const std::uint8_t *b = pageForConst(a + Addr(i));
-        v |= std::uint64_t(b ? *b : 0) << (8 * i);
-    }
-    return v;
-}
-
-void
-RefInterp::memWrite(Addr a, std::uint64_t v, int size)
-{
-    for (int i = 0; i < size; ++i)
-        *pageFor(a + Addr(i)) = std::uint8_t(v >> (8 * i));
 }
 
 std::uint64_t
 RefInterp::readCell(Addr addr) const
 {
-    return memRead(addr, 8);
-}
-
-std::int64_t
-RefInterp::readInt(std::uint8_t reg) const
-{
-    CAPSULE_ASSERT(reg < isa::numIntRegs, "ref: bad int reg ",
-                   int(reg));
-    return reg == 0 ? 0 : rf[reg];
-}
-
-void
-RefInterp::writeInt(std::uint8_t reg, std::int64_t v)
-{
-    CAPSULE_ASSERT(reg < isa::numIntRegs, "ref: bad int reg ",
-                   int(reg));
-    if (reg != 0)
-        rf[reg] = v;
+    return memory.read(addr, 8);
 }
 
 std::string
@@ -128,12 +68,15 @@ RefInterp::run()
     RefResult res;
     Addr pc = entry;
 
+    auto finalState = [&] {
+        res.intRegs = regs.intRegs;
+        res.fpRegs = regs.fpRegs;
+        res.locksHeldAtEnd = locksHeld.size();
+    };
     auto fail = [&](const std::string &why) {
         res.ok = false;
         res.error = why;
-        res.intRegs = rf;
-        res.fpRegs = ff;
-        res.locksHeldAtEnd = locksHeld.size();
+        finalState();
         return res;
     };
 
@@ -147,267 +90,47 @@ RefInterp::run()
             return fail("pc outside code image: " +
                         std::to_string(pc));
         const isa::StaticInst si = code[(pc - codeBase) / 4];
-        Addr nextPc = pc + 4;
         ++res.steps;
+
+        // The one semantics implementation executes the instruction;
+        // the oracle only runs the serial protocol around it.
+        sim::StepResult sr =
+            sim::step(si, pc, regs, memory, opt.inject);
 
         ObsRecord rec;
         rec.step = res.steps;
         rec.pc = pc;
         rec.op = si.op;
+        rec.effAddr = sr.effAddr;
+        rec.value = sr.value;
 
-        switch (si.op) {
-          case Opcode::Nop:
-            break;
-
-          case Opcode::Add: {
-            std::int64_t v = readInt(si.rs1) + readInt(si.rs2);
-            if (opt.inject == InjectedBug::AddOffByOne)
-                v += 1;
-            writeInt(si.rd, v);
-            break;
-          }
-          case Opcode::Sub:
-            writeInt(si.rd, readInt(si.rs1) - readInt(si.rs2));
-            break;
-          case Opcode::And:
-            writeInt(si.rd, readInt(si.rs1) & readInt(si.rs2));
-            break;
-          case Opcode::Or:
-            writeInt(si.rd, readInt(si.rs1) | readInt(si.rs2));
-            break;
-          case Opcode::Xor:
-            if (opt.inject == InjectedBug::XorAsOr)
-                writeInt(si.rd, readInt(si.rs1) | readInt(si.rs2));
-            else
-                writeInt(si.rd, readInt(si.rs1) ^ readInt(si.rs2));
-            break;
-          case Opcode::Sll:
-            writeInt(si.rd, readInt(si.rs1)
-                                << (readInt(si.rs2) & 63));
-            break;
-          case Opcode::Srl:
-            writeInt(si.rd,
-                     std::int64_t(std::uint64_t(readInt(si.rs1)) >>
-                                  (readInt(si.rs2) & 63)));
-            break;
-          case Opcode::Sra:
-            writeInt(si.rd, readInt(si.rs1) >> (readInt(si.rs2) & 63));
-            break;
-          case Opcode::Slt: {
-            bool lt = readInt(si.rs1) < readInt(si.rs2);
-            if (opt.inject == InjectedBug::SltInverted)
-                lt = !lt;
-            writeInt(si.rd, lt ? 1 : 0);
-            break;
-          }
-          case Opcode::Sltu:
-            writeInt(si.rd, std::uint64_t(readInt(si.rs1)) <
-                                    std::uint64_t(readInt(si.rs2))
-                                ? 1
-                                : 0);
-            break;
-          case Opcode::Addi:
-            writeInt(si.rd, readInt(si.rs1) + si.imm);
-            break;
-          case Opcode::Andi:
-            writeInt(si.rd, readInt(si.rs1) & si.imm);
-            break;
-          case Opcode::Ori:
-            writeInt(si.rd, readInt(si.rs1) | si.imm);
-            break;
-          case Opcode::Xori:
-            writeInt(si.rd, readInt(si.rs1) ^ si.imm);
-            break;
-          case Opcode::Slli:
-            writeInt(si.rd, readInt(si.rs1) << (si.imm & 63));
-            break;
-          case Opcode::Srli:
-            writeInt(si.rd,
-                     std::int64_t(std::uint64_t(readInt(si.rs1)) >>
-                                  (si.imm & 63)));
-            break;
-          case Opcode::Slti:
-            writeInt(si.rd, readInt(si.rs1) < si.imm ? 1 : 0);
-            break;
-          case Opcode::Lui:
-            writeInt(si.rd, std::int64_t(si.imm) << 12);
-            break;
-
-          case Opcode::Mul:
-            writeInt(si.rd, readInt(si.rs1) * readInt(si.rs2));
-            break;
-          case Opcode::Div: {
-            std::int64_t d = readInt(si.rs2);
-            writeInt(si.rd, d == 0 ? -1 : readInt(si.rs1) / d);
-            break;
-          }
-          case Opcode::Rem: {
-            std::int64_t d = readInt(si.rs2);
-            writeInt(si.rd,
-                     d == 0 ? readInt(si.rs1) : readInt(si.rs1) % d);
-            break;
-          }
-
-          case Opcode::Fadd:
-            ff[si.rd] = ff[si.rs1] + ff[si.rs2];
-            break;
-          case Opcode::Fsub:
-            ff[si.rd] = ff[si.rs1] - ff[si.rs2];
-            break;
-          case Opcode::Fmul:
-            ff[si.rd] = ff[si.rs1] * ff[si.rs2];
-            break;
-          case Opcode::Fdiv:
-            ff[si.rd] = ff[si.rs1] / ff[si.rs2];
-            break;
-          case Opcode::Fcmp:
-            writeInt(si.rd, ff[si.rs1] < ff[si.rs2]   ? -1
-                            : ff[si.rs1] > ff[si.rs2] ? 1
-                                                      : 0);
-            break;
-          case Opcode::Fcvt:
-            ff[si.rd] = double(readInt(si.rs1));
-            break;
-
-          case Opcode::Lb: {
-            rec.effAddr = Addr(readInt(si.rs1) + si.imm);
-            std::uint64_t v = memRead(rec.effAddr, 1);
-            rec.value = v;
-            writeInt(si.rd, std::int8_t(v));
-            break;
-          }
-          case Opcode::Lh: {
-            rec.effAddr = Addr(readInt(si.rs1) + si.imm);
-            std::uint64_t v = memRead(rec.effAddr, 2);
-            rec.value = v;
-            writeInt(si.rd, std::int16_t(v));
-            break;
-          }
-          case Opcode::Lw: {
-            rec.effAddr = Addr(readInt(si.rs1) + si.imm);
-            std::uint64_t v = memRead(rec.effAddr, 4);
-            rec.value = v;
-            writeInt(si.rd, std::int32_t(v));
-            break;
-          }
-          case Opcode::Ld: {
-            rec.effAddr = Addr(readInt(si.rs1) + si.imm);
-            std::uint64_t v = memRead(rec.effAddr, 8);
-            rec.value = v;
-            writeInt(si.rd, std::int64_t(v));
-            break;
-          }
-          case Opcode::Fld: {
-            rec.effAddr = Addr(readInt(si.rs1) + si.imm);
-            std::uint64_t v = memRead(rec.effAddr, 8);
-            rec.value = v;
-            double d;
-            std::memcpy(&d, &v, sizeof d);
-            ff[si.rd] = d;
-            break;
-          }
-          case Opcode::Sb:
-            rec.effAddr = Addr(readInt(si.rs1) + si.imm);
-            rec.value = std::uint64_t(readInt(si.rs2));
-            memWrite(rec.effAddr, rec.value, 1);
-            break;
-          case Opcode::Sh:
-            rec.effAddr = Addr(readInt(si.rs1) + si.imm);
-            rec.value = std::uint64_t(readInt(si.rs2));
-            memWrite(rec.effAddr, rec.value, 2);
-            break;
-          case Opcode::Sw:
-            rec.effAddr = Addr(readInt(si.rs1) + si.imm);
-            rec.value = std::uint64_t(readInt(si.rs2));
-            memWrite(rec.effAddr, rec.value, 4);
-            break;
-          case Opcode::Sd:
-            rec.effAddr = Addr(readInt(si.rs1) + si.imm);
-            rec.value = std::uint64_t(readInt(si.rs2));
-            memWrite(rec.effAddr, rec.value, 8);
-            break;
-          case Opcode::Fsd: {
-            rec.effAddr = Addr(readInt(si.rs1) + si.imm);
-            std::uint64_t v;
-            double d = ff[si.rs2];
-            std::memcpy(&v, &d, sizeof v);
-            rec.value = v;
-            memWrite(rec.effAddr, v, 8);
-            break;
-          }
-
-          case Opcode::Beq: {
-            bool taken = readInt(si.rs1) == readInt(si.rs2);
-            rec.value = taken;
-            if (taken)
-                nextPc = pc + Addr(std::int64_t(si.imm) * 4);
-            break;
-          }
-          case Opcode::Bne: {
-            bool taken = readInt(si.rs1) != readInt(si.rs2);
-            rec.value = taken;
-            if (taken)
-                nextPc = pc + Addr(std::int64_t(si.imm) * 4);
-            break;
-          }
-          case Opcode::Blt: {
-            bool taken = readInt(si.rs1) < readInt(si.rs2);
-            rec.value = taken;
-            if (taken)
-                nextPc = pc + Addr(std::int64_t(si.imm) * 4);
-            break;
-          }
-          case Opcode::Bge: {
-            bool taken = readInt(si.rs1) >= readInt(si.rs2);
-            rec.value = taken;
-            if (taken)
-                nextPc = pc + Addr(std::int64_t(si.imm) * 4);
-            break;
-          }
-
-          case Opcode::Jmp:
-            nextPc = pc + Addr(std::int64_t(si.imm) * 4);
-            break;
-          case Opcode::Jal:
-            writeInt(si.rd, std::int64_t(pc + 4));
-            nextPc = pc + Addr(std::int64_t(si.imm) * 4);
-            break;
-          case Opcode::Jr:
-            nextPc = Addr(readInt(si.rs1));
-            break;
-
-          case Opcode::NthrOp:
+        switch (sr.kind) {
+          case sim::StepKind::Nthr:
             // Division-serializing: deny every probe, taking the
             // sequential fall-back path of the three-way protocol.
             ++res.divisionRequests;
-            writeInt(si.rd, -1);
+            sim::applyNthrDecision(regs, si.rd, false);
             break;
 
-          case Opcode::MlockOp: {
-            rec.effAddr = Addr(readInt(si.rs1));
-            // Single-threaded: acquisition always succeeds
-            // (recursive re-acquisition is idempotent, as in the
-            // hardware table).
-            locksHeld.insert(rec.effAddr);
+          case sim::StepKind::Mlock:
+            // Single-threaded: acquisition always succeeds (recursive
+            // re-acquisition is idempotent, as in the hardware table).
+            locksHeld.insert(sr.effAddr);
             ++res.lockAcquires;
             break;
-          }
-          case Opcode::MunlockOp: {
-            rec.effAddr = Addr(readInt(si.rs1));
-            if (locksHeld.erase(rec.effAddr) == 0)
-                return fail("munlock of unheld address " +
-                            std::to_string(rec.effAddr));
-            break;
-          }
 
-          case Opcode::KthrOp:
-          case Opcode::HaltOp:
+          case sim::StepKind::Munlock:
+            if (locksHeld.erase(sr.effAddr) == 0)
+                return fail("munlock of unheld address " +
+                            std::to_string(sr.effAddr));
+            break;
+
+          case sim::StepKind::Kthr:
+          case sim::StepKind::Halt:
             if (obs.size() < opt.obsLogLimit)
                 obs.push_back(rec);
             res.ok = true;
-            res.intRegs = rf;
-            res.fpRegs = ff;
-            res.locksHeldAtEnd = locksHeld.size();
+            finalState();
             if (!locksHeld.empty()) {
                 res.ok = false;
                 res.error = "program ended holding " +
@@ -417,13 +140,12 @@ RefInterp::run()
             return res;
 
           default:
-            return fail(std::string("unhandled opcode ") +
-                        isa::mnemonic(si.op));
+            break;
         }
 
         if (obs.size() < opt.obsLogLimit)
             obs.push_back(rec);
-        pc = nextPc;
+        pc = sr.nextPc;
     }
 }
 

@@ -1,27 +1,33 @@
 /**
  * @file
  * The functional reference oracle of the differential fuzzing
- * subsystem: a 1-IPC, in-order, division-serializing interpreter over
- * the same decoded CapISA as the timing backends, but sharing none of
- * their execution machinery. It denies every `nthr` (the hardware is
- * always free to treat a division probe as a nop), so a generated
- * program's sequential fall-back path executes the whole computation
- * on one thread — the serial semantics every grant interleaving of a
- * division-independent program must reproduce. The oracle keeps its
- * own register file, its own sparse page memory, and its own lock
- * bookkeeping, so a semantic bug in `front::AsmProgram` (which feeds
- * both timing backends) diverges against it just like a timing-model
- * bug does.
+ * subsystem: a 1-IPC, in-order, division-serializing interpreter. It
+ * denies every `nthr` (the hardware is always free to treat a division
+ * probe as a nop), so a generated program's sequential fall-back path
+ * executes the whole computation on one thread — the serial semantics
+ * every grant interleaving of a division-independent program must
+ * reproduce.
+ *
+ * Since the two-tier refactor (DESIGN.md §8) the per-opcode semantics
+ * live in the one shared execution-semantics core
+ * (sim/exec_semantics.hh); this oracle is a thin serial driver over
+ * it. What stays independent — and what the differential campaign
+ * therefore still checks — is everything *around* the opcode bodies:
+ * the division/lock/teardown protocol, thread scheduling and
+ * interleaving, the timing pipelines' staging of functional effects,
+ * and the memory/lock bookkeeping of each backend.
  *
  * For harness diagnostics the oracle also records a canonical serial
  * observation log — the first N (pc, opcode, effective address,
  * value) tuples in execution order — dumped alongside failing `.casm`
  * repros.
  *
- * `InjectedBug` is a test-only hook: it perturbs one opcode's
- * semantics so the test suite can prove the differential harness
- * actually detects an ISA-level bug within a bounded number of
- * iterations (see tests/test_fuzz_diff.cc and the CI nightly job).
+ * `InjectedBug` (now defined with the core, as the perturbation must
+ * live inside the single semantics implementation) is a test-only
+ * hook: only the oracle opts in, so the test suite can prove the
+ * differential harness actually detects an ISA-level bug within a
+ * bounded number of iterations (see tests/test_fuzz_diff.cc and the
+ * CI nightly job).
  */
 
 #ifndef CAPSULE_FUZZ_REF_INTERP_HH
@@ -30,25 +36,20 @@
 #include <array>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "base/types.hh"
 #include "casm/assembler.hh"
 #include "isa/isa.hh"
+#include "mem/memory.hh"
+#include "sim/exec_semantics.hh"
 
 namespace capsule::fuzz
 {
 
 /** Deliberate semantic mutations for harness-sensitivity tests. */
-enum class InjectedBug
-{
-    None,
-    AddOffByOne,  ///< add computes rs1 + rs2 + 1
-    XorAsOr,      ///< xor behaves like or
-    SltInverted,  ///< slt returns the opposite truth value
-};
+using InjectedBug = sim::InjectedBug;
 
 /** Parse a --inject-bug name; returns None for an empty string,
  *  throws std::invalid_argument on an unknown one. */
@@ -104,26 +105,14 @@ class RefInterp
     std::string renderLog() const;
 
   private:
-    static constexpr Addr pageBytes = 4096;
-
-    std::uint8_t *pageFor(Addr a);
-    const std::uint8_t *pageForConst(Addr a) const;
-    std::uint64_t memRead(Addr a, int size) const;
-    void memWrite(Addr a, std::uint64_t v, int size);
-
-    std::int64_t readInt(std::uint8_t reg) const;
-    void writeInt(std::uint8_t reg, std::int64_t v);
-
     RefOptions opt;
     Addr codeBase;
     Addr entry;
     std::vector<isa::StaticInst> code;
 
-    std::unordered_map<Addr, std::vector<std::uint8_t>> pages;
+    mem::Memory memory;
     std::unordered_set<Addr> locksHeld;
-
-    std::array<std::int64_t, isa::numIntRegs> rf{};
-    std::array<double, isa::numFpRegs> ff{};
+    sim::RegFile regs;
 
     std::vector<ObsRecord> obs;
 };

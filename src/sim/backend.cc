@@ -3,7 +3,9 @@
 #include <stdexcept>
 
 #include "sim/cmp_machine.hh"
+#include "sim/func_machine.hh"
 #include "sim/machine.hh"
+#include "sim/mixed_machine.hh"
 
 namespace capsule::sim
 {
@@ -11,18 +13,29 @@ namespace capsule::sim
 std::vector<std::string>
 backendNames()
 {
-    return {"smt", "cmp"};
+    return {"smt", "cmp", "func"};
 }
 
 std::unique_ptr<MachineBackend>
 makeBackend(const MachineConfig &cfg)
 {
+    // The functional tier has no cycle model to fast-forward into;
+    // ffwdInstructions only wraps the timing backends.
+    if (cfg.backend != "func" && cfg.ffwdInstructions > 0)
+        return std::make_unique<MixedMachine>(cfg);
     if (cfg.backend == "smt")
         return std::make_unique<Machine>(cfg);
     if (cfg.backend == "cmp")
         return std::make_unique<CmpMachine>(cfg);
+    if (cfg.backend == "func")
+        return std::make_unique<FuncMachine>(cfg);
+
+    std::string valid;
+    for (const auto &name : backendNames())
+        valid += (valid.empty() ? "" : ", ") + name;
     throw std::invalid_argument("unknown simulation backend: '" +
-                                cfg.backend + "' (expected smt or cmp)");
+                                cfg.backend + "' (valid backends: " +
+                                valid + ")");
 }
 
 } // namespace capsule::sim

@@ -1,8 +1,8 @@
 /**
  * @file
  * The simulation-backend seam: every machine organisation (the
- * single-core SMT pipeline, the multi-core CMP) presents the same
- * narrow surface — add ancestor threads, run to completion, report
+ * single-core SMT pipeline, the multi-core CMP, the fast functional
+ * tier) presents the same narrow surface — add ancestor threads, run to completion, report
  * one `RunStats` — and is selected by name through `makeBackend()`.
  * The workload layer (`wl::simulate`) routes through this seam, so
  * every registry workload and every experiment-engine sweep can
@@ -114,8 +114,11 @@ class MachineBackend
 std::vector<std::string> backendNames();
 
 /**
- * Build the backend `cfg.backend` selects ("smt" or "cmp").
- * @throws std::invalid_argument on an unknown backend name
+ * Build the backend `cfg.backend` selects ("smt", "cmp" or "func").
+ * With `cfg.ffwdInstructions > 0` a timing backend is wrapped in the
+ * two-tier fast-forward engine (sim/mixed_machine.hh).
+ * @throws std::invalid_argument on an unknown backend name, listing
+ *         the valid ones
  */
 std::unique_ptr<MachineBackend> makeBackend(const MachineConfig &cfg);
 

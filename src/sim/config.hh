@@ -54,9 +54,10 @@ struct MachineConfig
     std::string name = "somt";
 
     /** Simulation backend selector: "smt" (the single-core SOMT
-     *  pipeline) or "cmp" (numCores lockstep SOMT cores). Workloads
-     *  and the experiment engine route through makeBackend() on this
-     *  name (see sim/backend.hh). */
+     *  pipeline), "cmp" (numCores lockstep SOMT cores) or "func" (the
+     *  fast functional tier, DESIGN.md §8). Workloads and the
+     *  experiment engine route through makeBackend() on this name
+     *  (see sim/backend.hh). */
     std::string backend = "smt";
 
     // Thread resources.
@@ -107,6 +108,16 @@ struct MachineConfig
 
     /** Multi-core organisation; consulted only by the "cmp" backend. */
     CmpParams cmp;
+
+    /**
+     * Mixed-mode fast-forward (DESIGN.md §8): when > 0, makeBackend()
+     * wraps the selected *timing* backend in a two-tier engine that
+     * executes at least this many instructions on the functional tier
+     * first, then hands the surviving threads' architectural state to
+     * the detailed backend for the measured interval. 0 (the default)
+     * is pure detailed simulation; the "func" backend ignores it.
+     */
+    std::uint64_t ffwdInstructions = 0;
 
     /** Safety net for runaway simulations. */
     Cycle maxCycles = 2'000'000'000ULL;

@@ -1,0 +1,30 @@
+#include "sim/exec_semantics.hh"
+
+namespace capsule::sim
+{
+namespace
+{
+
+const char *const opNames[] = {
+#define CAPSULE_XSEM_X(name, ...) #name,
+    CAPSULE_CAPISA_SEMANTICS(CAPSULE_XSEM_X)
+#undef CAPSULE_XSEM_X
+};
+
+} // namespace
+
+std::size_t
+semanticsOpCount()
+{
+    return sizeof opNames / sizeof opNames[0];
+}
+
+const char *
+semanticsOpName(std::size_t idx)
+{
+    CAPSULE_ASSERT(idx < semanticsOpCount(),
+                   "semantics table index out of range: ", idx);
+    return opNames[idx];
+}
+
+} // namespace capsule::sim

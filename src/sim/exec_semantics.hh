@@ -1,0 +1,469 @@
+/**
+ * @file
+ * The single CapISA execution-semantics core (DESIGN.md §8).
+ *
+ * Every component that executes CapISA — the execute-at-fetch front
+ * end feeding the timing backends (front::AsmProgram), the functional
+ * "func" backend's block executor (sim::FuncMachine), and the
+ * differential-fuzzing oracle (fuzz::RefInterp) — dispatches into the
+ * one opcode->semantics table defined here. The table is an X-macro
+ * (`CAPSULE_CAPISA_SEMANTICS`) listing the 49 opcodes in exact
+ * `isa::Opcode` enum order (statically asserted below), from which two
+ * dispatchers are generated:
+ *
+ *  - step(): a switch over one decoded instruction, returning a
+ *    StepResult the caller maps onto its own protocol (DynInst fields,
+ *    oracle observation records, ...). Control-transfer and CAPSULE
+ *    protocol opcodes (nthr/kthr/mlock/munlock/halt) only *classify*
+ *    here; the caller owns the division/lock/teardown protocol.
+ *  - execStraight(): a threaded computed-goto executor (GCC/Clang
+ *    labels-as-values; portable switch fallback) over a pre-decoded
+ *    straight-line run of plain opcodes — the functional backend's
+ *    basic-block fast path.
+ *
+ * The memory parameter is a concept: any type with
+ * `std::uint64_t read(Addr, int)` and
+ * `void write(Addr, std::uint64_t, int)` little-endian byte semantics
+ * (mem::Memory satisfies it). FP loads/stores move raw bit patterns
+ * through read/write, bit-identical to Memory::readDouble/writeDouble.
+ *
+ * `InjectedBug` lives here because the perturbation must apply at the
+ * single implementation: the fuzz oracle opts in (proving the harness
+ * detects an ISA-level bug), while every production caller passes
+ * `InjectedBug::None`, so an injected campaign still diverges.
+ */
+
+#ifndef CAPSULE_SIM_EXEC_SEMANTICS_HH
+#define CAPSULE_SIM_EXEC_SEMANTICS_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "isa/isa.hh"
+
+namespace capsule::sim
+{
+
+/** Architectural register state of one CapISA thread (r0 wired 0). */
+struct RegFile
+{
+    std::array<std::int64_t, isa::numIntRegs> intRegs{};
+    std::array<double, isa::numFpRegs> fpRegs{};
+
+    std::int64_t
+    readInt(std::uint8_t r) const
+    {
+        CAPSULE_ASSERT(r < isa::numIntRegs, "bad int reg ", int(r));
+        return r == 0 ? 0 : intRegs[r];
+    }
+
+    void
+    writeInt(std::uint8_t r, std::int64_t v)
+    {
+        CAPSULE_ASSERT(r < isa::numIntRegs, "bad int reg ", int(r));
+        if (r != 0)
+            intRegs[r] = v;
+    }
+};
+
+/** Deliberate semantic mutations for harness-sensitivity tests. */
+enum class InjectedBug
+{
+    None,
+    AddOffByOne,  ///< add computes rs1 + rs2 + 1
+    XorAsOr,      ///< xor behaves like or
+    SltInverted,  ///< slt returns the opposite truth value
+};
+
+/** What one executed instruction asks of the caller's protocol. */
+enum class StepKind : std::uint8_t
+{
+    Plain,    ///< ALU/FP op, fully executed
+    Load,     ///< memory read performed; effAddr/value filled
+    Store,    ///< memory write performed; effAddr/value filled
+    Branch,   ///< conditional; taken/target/nextPc resolved
+    Jump,     ///< unconditional; target/nextPc resolved
+    Nthr,     ///< division probe: caller decides, then applyNthrDecision
+    Mlock,    ///< lock acquire on effAddr: caller runs the lock protocol
+    Munlock,  ///< lock release on effAddr: caller runs the lock protocol
+    Kthr,     ///< thread kill: caller tears the thread down
+    Halt,     ///< program halt: caller tears the thread down
+};
+
+/** Functional outcome of one step() over the semantics table. */
+struct StepResult
+{
+    Addr nextPc = 0;           ///< sequential or taken-branch successor
+    StepKind kind = StepKind::Plain;
+    Addr effAddr = 0;          ///< load/store/mlock/munlock address
+    int accessBytes = 0;       ///< memory access size
+    bool taken = false;        ///< branch outcome (jumps: true)
+    Addr target = 0;           ///< branch/jump target, nthr child PC
+    std::uint64_t value = 0;   ///< raw loaded bits / stored bits / taken
+};
+
+/**
+ * The CapISA opcode->semantics table, in exact isa::Opcode enum order.
+ * Each entry is X(Name, { body }) where the body executes over an
+ * `Env &e` (see below): `e.si` decoded instruction, `e.pc` its PC,
+ * `e.rf` registers, `e.mem` memory, `e.inject` bug hook, `e.res` the
+ * StepResult (pre-set to kind Plain, nextPc = pc + 4).
+ *
+ * This is THE instruction-semantics implementation; tests pin its
+ * source hash and assert no other translation unit re-implements an
+ * opcode (tests/test_exec_semantics.cc).
+ */
+#define CAPSULE_CAPISA_SEMANTICS(X)                                     \
+    X(Nop, { (void)e; })                                                \
+    X(Add, {                                                            \
+        std::int64_t v = e.R(e.si.rs1) + e.R(e.si.rs2);                 \
+        if (e.inject == InjectedBug::AddOffByOne)                       \
+            v += 1;                                                     \
+        e.W(e.si.rd, v);                                                \
+    })                                                                  \
+    X(Sub, { e.W(e.si.rd, e.R(e.si.rs1) - e.R(e.si.rs2)); })            \
+    X(And, { e.W(e.si.rd, e.R(e.si.rs1) & e.R(e.si.rs2)); })            \
+    X(Or, { e.W(e.si.rd, e.R(e.si.rs1) | e.R(e.si.rs2)); })             \
+    X(Xor, {                                                            \
+        if (e.inject == InjectedBug::XorAsOr)                           \
+            e.W(e.si.rd, e.R(e.si.rs1) | e.R(e.si.rs2));                \
+        else                                                            \
+            e.W(e.si.rd, e.R(e.si.rs1) ^ e.R(e.si.rs2));                \
+    })                                                                  \
+    X(Sll, {                                                            \
+        e.W(e.si.rd, e.R(e.si.rs1) << (e.R(e.si.rs2) & 63));            \
+    })                                                                  \
+    X(Srl, {                                                            \
+        e.W(e.si.rd,                                                    \
+            std::int64_t(std::uint64_t(e.R(e.si.rs1)) >>                \
+                         (e.R(e.si.rs2) & 63)));                        \
+    })                                                                  \
+    X(Sra, {                                                            \
+        e.W(e.si.rd, e.R(e.si.rs1) >> (e.R(e.si.rs2) & 63));            \
+    })                                                                  \
+    X(Slt, {                                                            \
+        bool lt = e.R(e.si.rs1) < e.R(e.si.rs2);                        \
+        if (e.inject == InjectedBug::SltInverted)                       \
+            lt = !lt;                                                   \
+        e.W(e.si.rd, lt ? 1 : 0);                                       \
+    })                                                                  \
+    X(Sltu, {                                                           \
+        e.W(e.si.rd, std::uint64_t(e.R(e.si.rs1)) <                     \
+                             std::uint64_t(e.R(e.si.rs2))               \
+                         ? 1                                            \
+                         : 0);                                          \
+    })                                                                  \
+    X(Addi, { e.W(e.si.rd, e.R(e.si.rs1) + e.si.imm); })                \
+    X(Andi, { e.W(e.si.rd, e.R(e.si.rs1) & e.si.imm); })                \
+    X(Ori, { e.W(e.si.rd, e.R(e.si.rs1) | e.si.imm); })                 \
+    X(Xori, { e.W(e.si.rd, e.R(e.si.rs1) ^ e.si.imm); })                \
+    X(Slli, { e.W(e.si.rd, e.R(e.si.rs1) << (e.si.imm & 63)); })        \
+    X(Srli, {                                                           \
+        e.W(e.si.rd, std::int64_t(std::uint64_t(e.R(e.si.rs1)) >>       \
+                                  (e.si.imm & 63)));                    \
+    })                                                                  \
+    X(Slti, { e.W(e.si.rd, e.R(e.si.rs1) < e.si.imm ? 1 : 0); })        \
+    X(Lui, { e.W(e.si.rd, std::int64_t(e.si.imm) << 12); })             \
+    X(Mul, { e.W(e.si.rd, e.R(e.si.rs1) * e.R(e.si.rs2)); })            \
+    X(Div, {                                                            \
+        std::int64_t d = e.R(e.si.rs2);                                 \
+        e.W(e.si.rd, d == 0 ? -1 : e.R(e.si.rs1) / d);                  \
+    })                                                                  \
+    X(Rem, {                                                            \
+        std::int64_t d = e.R(e.si.rs2);                                 \
+        e.W(e.si.rd, d == 0 ? e.R(e.si.rs1) : e.R(e.si.rs1) % d);       \
+    })                                                                  \
+    X(Fadd, { e.F(e.si.rd) = e.F(e.si.rs1) + e.F(e.si.rs2); })          \
+    X(Fsub, { e.F(e.si.rd) = e.F(e.si.rs1) - e.F(e.si.rs2); })          \
+    X(Fcmp, {                                                           \
+        /* Result to an integer register: -1 / 0 / 1. */                \
+        e.W(e.si.rd, e.F(e.si.rs1) < e.F(e.si.rs2)   ? -1               \
+                     : e.F(e.si.rs1) > e.F(e.si.rs2) ? 1                \
+                                                     : 0);              \
+    })                                                                  \
+    X(Fcvt, { e.F(e.si.rd) = double(e.R(e.si.rs1)); })                  \
+    X(Fmul, { e.F(e.si.rd) = e.F(e.si.rs1) * e.F(e.si.rs2); })          \
+    X(Fdiv, { e.F(e.si.rd) = e.F(e.si.rs1) / e.F(e.si.rs2); })          \
+    X(Lb, {                                                             \
+        e.load(1);                                                      \
+        e.W(e.si.rd, std::int8_t(e.res.value));                         \
+    })                                                                  \
+    X(Lh, {                                                             \
+        e.load(2);                                                      \
+        e.W(e.si.rd, std::int16_t(e.res.value));                        \
+    })                                                                  \
+    X(Lw, {                                                             \
+        e.load(4);                                                      \
+        e.W(e.si.rd, std::int32_t(e.res.value));                        \
+    })                                                                  \
+    X(Ld, {                                                             \
+        e.load(8);                                                      \
+        e.W(e.si.rd, std::int64_t(e.res.value));                        \
+    })                                                                  \
+    X(Sb, { e.store(1, std::uint64_t(e.R(e.si.rs2))); })                \
+    X(Sh, { e.store(2, std::uint64_t(e.R(e.si.rs2))); })                \
+    X(Sw, { e.store(4, std::uint64_t(e.R(e.si.rs2))); })                \
+    X(Sd, { e.store(8, std::uint64_t(e.R(e.si.rs2))); })                \
+    X(Fld, {                                                            \
+        e.load(8);                                                      \
+        double d;                                                       \
+        std::memcpy(&d, &e.res.value, sizeof d);                        \
+        e.F(e.si.rd) = d;                                               \
+    })                                                                  \
+    X(Fsd, {                                                            \
+        double d = e.F(e.si.rs2);                                       \
+        std::uint64_t v;                                                \
+        std::memcpy(&v, &d, sizeof v);                                  \
+        e.store(8, v);                                                  \
+    })                                                                  \
+    X(Beq, { e.branch(e.R(e.si.rs1) == e.R(e.si.rs2)); })               \
+    X(Bne, { e.branch(e.R(e.si.rs1) != e.R(e.si.rs2)); })               \
+    X(Blt, { e.branch(e.R(e.si.rs1) < e.R(e.si.rs2)); })                \
+    X(Bge, { e.branch(e.R(e.si.rs1) >= e.R(e.si.rs2)); })               \
+    X(Jmp, {                                                            \
+        e.jump(e.pc + Addr(std::int64_t(e.si.imm) * 4));                \
+    })                                                                  \
+    X(Jal, {                                                            \
+        e.W(e.si.rd, std::int64_t(e.pc + 4));                           \
+        e.jump(e.pc + Addr(std::int64_t(e.si.imm) * 4));                \
+    })                                                                  \
+    X(Jr, { e.jump(Addr(e.R(e.si.rs1))); })                             \
+    X(NthrOp, {                                                         \
+        /* Probe only: the caller decides and applies the three-way     \
+         * protocol via applyNthrDecision(). The fall-through nextPc    \
+         * is the parent's path regardless of the decision. */          \
+        e.res.kind = StepKind::Nthr;                                    \
+        e.res.target = e.pc + Addr(std::int64_t(e.si.imm) * 4);         \
+    })                                                                  \
+    X(KthrOp, { e.res.kind = StepKind::Kthr; })                         \
+    X(MlockOp, {                                                        \
+        e.res.kind = StepKind::Mlock;                                   \
+        e.res.effAddr = Addr(e.R(e.si.rs1));                            \
+        e.res.accessBytes = 8;                                          \
+    })                                                                  \
+    X(MunlockOp, {                                                      \
+        e.res.kind = StepKind::Munlock;                                 \
+        e.res.effAddr = Addr(e.R(e.si.rs1));                            \
+        e.res.accessBytes = 8;                                          \
+    })                                                                  \
+    X(HaltOp, { e.res.kind = StepKind::Halt; })
+
+// Pin the table order to the Opcode enum: a reordered or missing entry
+// is a compile error, not a silently wrong dispatch.
+namespace xsem_order
+{
+enum Order : int
+{
+#define CAPSULE_XSEM_X(name, ...) name,
+    CAPSULE_CAPISA_SEMANTICS(CAPSULE_XSEM_X)
+#undef CAPSULE_XSEM_X
+        Count
+};
+#define CAPSULE_XSEM_X(name, ...)                                       \
+    static_assert(int(name) == int(isa::Opcode::name),                  \
+                  "semantics table out of enum order at " #name);
+CAPSULE_CAPISA_SEMANTICS(CAPSULE_XSEM_X)
+#undef CAPSULE_XSEM_X
+static_assert(int(Count) == int(isa::Opcode::NumOpcodes),
+              "semantics table must cover every opcode exactly once");
+} // namespace xsem_order
+
+namespace xsem
+{
+
+/** Execution environment one opcode body runs over. */
+template <class Mem>
+struct Env
+{
+    const isa::StaticInst &si;
+    Addr pc;
+    RegFile &rf;
+    Mem &mem;
+    InjectedBug inject;
+    StepResult &res;
+
+    std::int64_t R(std::uint8_t r) const { return rf.readInt(r); }
+    void W(std::uint8_t r, std::int64_t v) { rf.writeInt(r, v); }
+    double &F(std::uint8_t r) { return rf.fpRegs[r]; }
+
+    /** Load helper: address, size, raw little-endian bits in value. */
+    void
+    load(int bytes)
+    {
+        res.kind = StepKind::Load;
+        res.effAddr = Addr(R(si.rs1) + si.imm);
+        res.accessBytes = bytes;
+        res.value = mem.read(res.effAddr, bytes);
+    }
+
+    /** Store helper: records the full (untruncated) source bits. */
+    void
+    store(int bytes, std::uint64_t bits)
+    {
+        res.kind = StepKind::Store;
+        res.effAddr = Addr(R(si.rs1) + si.imm);
+        res.accessBytes = bytes;
+        res.value = bits;
+        mem.write(res.effAddr, bits, bytes);
+    }
+
+    void
+    branch(bool cond)
+    {
+        res.kind = StepKind::Branch;
+        res.taken = cond;
+        res.target = pc + Addr(std::int64_t(si.imm) * 4);
+        res.value = cond;
+        if (cond)
+            res.nextPc = res.target;
+    }
+
+    void
+    jump(Addr target)
+    {
+        res.kind = StepKind::Jump;
+        res.taken = true;
+        res.target = target;
+        res.nextPc = target;
+    }
+};
+
+// One inline function per opcode, generated from the table.
+#define CAPSULE_XSEM_X(name, ...)                                       \
+    template <class Mem>                                                \
+    inline void exec_##name(Env<Mem> &e) __VA_ARGS__
+CAPSULE_CAPISA_SEMANTICS(CAPSULE_XSEM_X)
+#undef CAPSULE_XSEM_X
+
+/** Switch dispatcher over the table (shared by step() and the
+ *  portable execStraight fallback). */
+template <class Mem>
+inline void
+dispatchOne(Env<Mem> &e)
+{
+    switch (e.si.op) {
+#define CAPSULE_XSEM_X(name, ...)                                       \
+      case isa::Opcode::name:                                           \
+        exec_##name(e);                                                 \
+        break;
+        CAPSULE_CAPISA_SEMANTICS(CAPSULE_XSEM_X)
+#undef CAPSULE_XSEM_X
+      default:
+        CAPSULE_PANIC("invalid opcode ", int(e.si.op));
+    }
+}
+
+} // namespace xsem
+
+/**
+ * Execute one decoded instruction functionally.
+ * @return the functional outcome; protocol opcodes (StepKind::Nthr,
+ *         Mlock, Munlock, Kthr, Halt) classify without side effects
+ *         beyond computing their operands — the caller owns the
+ *         division/lock/teardown protocol.
+ */
+template <class Mem>
+inline StepResult
+step(const isa::StaticInst &si, Addr pc, RegFile &rf, Mem &mem,
+     InjectedBug inject = InjectedBug::None)
+{
+    StepResult res;
+    res.nextPc = pc + 4;
+    xsem::Env<Mem> e{si, pc, rf, mem, inject, res};
+    xsem::dispatchOne(e);
+    return res;
+}
+
+/** True for opcodes execStraight() may run: plain compute and memory
+ *  ops with sequential control flow and no protocol interaction. */
+inline bool
+isStraightLine(isa::Opcode op)
+{
+    switch (isa::opClassOf(op)) {
+      case isa::OpClass::Nop:
+      case isa::OpClass::IntAlu:
+      case isa::OpClass::IntMult:
+      case isa::OpClass::FpAlu:
+      case isa::OpClass::FpMult:
+      case isa::OpClass::Load:
+      case isa::OpClass::Store:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Threaded execution of a pre-decoded straight-line run: `n`
+ * consecutive instructions starting at `insts` / `pc`, every one
+ * satisfying isStraightLine(). Dispatch is computed-goto (GCC/Clang
+ * labels-as-values) — the functional backend's basic-block fast path —
+ * with a portable switch loop as fallback.
+ */
+template <class Mem>
+inline void
+execStraight(const isa::StaticInst *insts, std::size_t n, Addr pc,
+             RegFile &rf, Mem &mem,
+             InjectedBug inject = InjectedBug::None)
+{
+    StepResult res;  // scratch: straight-line ops never branch
+    std::size_t i = 0;
+#if defined(__GNUC__) || defined(__clang__)
+    static const void *const dispatch[] = {
+#define CAPSULE_XSEM_X(name, ...) &&straight_##name,
+        CAPSULE_CAPISA_SEMANTICS(CAPSULE_XSEM_X)
+#undef CAPSULE_XSEM_X
+    };
+    static_assert(sizeof dispatch / sizeof dispatch[0] ==
+                      std::size_t(isa::Opcode::NumOpcodes),
+                  "dispatch table must cover every opcode");
+    if (i == n)
+        return;
+    goto *dispatch[int(insts[i].op)];
+#define CAPSULE_XSEM_X(name, ...)                                       \
+  straight_##name: {                                                    \
+        xsem::Env<Mem> e{insts[i], pc, rf, mem, inject, res};           \
+        xsem::exec_##name(e);                                           \
+        pc += 4;                                                        \
+        if (++i == n)                                                   \
+            return;                                                     \
+        goto *dispatch[int(insts[i].op)];                               \
+    }
+    CAPSULE_CAPISA_SEMANTICS(CAPSULE_XSEM_X)
+#undef CAPSULE_XSEM_X
+#else
+    for (; i < n; ++i) {
+        xsem::Env<Mem> e{insts[i], pc, rf, mem, inject, res};
+        xsem::dispatchOne(e);
+        pc += 4;
+    }
+#endif
+}
+
+/**
+ * Apply the three-way nthr register protocol to the *issuing* thread:
+ * deny writes rd = -1 (sequential fall-back), grant writes the parent's
+ * rd = 0. A granted child starts with rd = nthrChildResult.
+ */
+inline void
+applyNthrDecision(RegFile &rf, std::uint8_t rd, bool granted)
+{
+    rf.writeInt(rd, granted ? 0 : -1);
+}
+
+/** The granted child's value of the nthr destination register. */
+inline constexpr std::int64_t nthrChildResult = 1;
+
+/** Number of opcodes in the semantics table (== NumOpcodes). */
+std::size_t semanticsOpCount();
+
+/** Mnemonic-order name of table entry `idx`, for the pinned-source
+ *  one-implementation test. */
+const char *semanticsOpName(std::size_t idx);
+
+} // namespace capsule::sim
+
+#endif // CAPSULE_SIM_EXEC_SEMANTICS_HH

@@ -1,0 +1,292 @@
+#include "sim/func_machine.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/stats.hh"
+
+namespace capsule::sim
+{
+
+using isa::OpClass;
+
+FuncMachine::FuncMachine(const MachineConfig &config)
+    : cfg(config), locks(cfg.lockTableCapacity), divCtrl(cfg.division)
+{
+}
+
+ThreadId
+FuncMachine::addThread(std::unique_ptr<front::Program> program)
+{
+    return spawn(std::move(program));
+}
+
+ThreadId
+FuncMachine::spawn(std::unique_ptr<front::Program> p)
+{
+    ThreadId tid = ThreadId(threads.size());
+    Thread t;
+    t.tid = tid;
+    t.fast = dynamic_cast<front::AsmProgram *>(p.get());
+    t.program = std::move(p);
+    threads.push_back(std::move(t));
+    ++liveCnt;
+    ++activeCnt;
+    peakLive = std::max(peakLive, liveCnt);
+    return tid;
+}
+
+void
+FuncMachine::wake(ThreadId tid)
+{
+    Thread &t = threads[std::size_t(tid)];
+    CAPSULE_ASSERT(t.state == Thread::State::LockWait,
+                   "woke thread ", tid, " that was not lock-waiting");
+    t.state = Thread::State::Active;
+    ++activeCnt;
+}
+
+void
+FuncMachine::finishThread(std::size_t idx, bool is_kthr)
+{
+    Thread &t = threads[idx];
+    CAPSULE_ASSERT(locks.threadQuiescent(t.tid), "thread ", t.tid,
+                   " finished while holding or awaiting locks");
+    if (threadFinalizer)
+        threadFinalizer(t.tid, *t.program);
+    t.program.reset();
+    t.fast = nullptr;
+    t.state = Thread::State::Finished;
+    --liveCnt;
+    --activeCnt;
+    if (is_kthr) {
+        divCtrl.recordDeath(clock);
+        ++nDeaths;
+    }
+}
+
+void
+FuncMachine::handleNthr(std::size_t idx, const isa::DynInst &d)
+{
+    (void)d;
+    bool free_context = liveCnt < cfg.numContexts;
+    bool granted = divCtrl.request(clock, free_context);
+    Thread &t = threads[idx];
+    auto child = t.program->resolveNthr(granted);
+    ThreadId parent = t.tid;
+    t.staged.reset();
+    retire(1);
+    if (!granted)
+        return;
+    CAPSULE_ASSERT(child, "granted nthr produced no child program");
+    // spawn() may reallocate `threads`; no Thread references survive it.
+    ThreadId childTid = spawn(std::move(child));
+    if (divObserver)
+        divObserver(parent, childTid);
+}
+
+void
+FuncMachine::runSlice(std::size_t idx, std::uint64_t budget)
+{
+    std::uint64_t used = 0;
+    while (used < budget) {
+        Thread &t = threads[idx];
+        if (t.state != Thread::State::Active)
+            return;
+
+        // Block-cache fast path: straight-line stretches and resolved
+        // control flow retire in bulk through the threaded executor.
+        if (t.fast && !t.staged) {
+            std::uint64_t n = t.fast->runDirect(budget - used);
+            if (n > 0) {
+                retire(n);
+                used += n;
+                continue;
+            }
+            // The next opcode needs the protocol; pull it below.
+        }
+
+        if (!t.staged) {
+            // Generic front end (rt:: worker programs): next() already
+            // executes plain/branch ops functionally, so drain them in
+            // a tight loop and batch their retirement; only protocol
+            // ops are staged for the switch below.
+            isa::DynInst d;
+            std::uint64_t run = 0;
+            while (used + run < budget) {
+                if (!t.program->next(d))
+                    CAPSULE_PANIC("thread ", t.tid,
+                                  " program ended without kthr/halt");
+                if (d.cls == OpClass::Nthr ||
+                    d.cls == OpClass::Mlock ||
+                    d.cls == OpClass::Munlock ||
+                    d.cls == OpClass::Kthr || d.cls == OpClass::Halt) {
+                    t.staged = d;
+                    break;
+                }
+                ++run;
+            }
+            if (run > 0) {
+                retire(run);
+                used += run;
+            }
+            if (!t.staged)
+                continue;  // budget burned on plain work
+        }
+
+        const isa::DynInst d = *t.staged;  // copy: spawn may realloc
+        switch (d.cls) {
+          case OpClass::Nthr:
+            handleNthr(idx, d);
+            ++used;
+            break;
+
+          case OpClass::Mlock:
+            if (!locks.acquire(d.effAddr, t.tid)) {
+                // Stall; the staged mlock re-executes on wake, when
+                // release() has already made this thread the owner
+                // (idempotent re-acquisition).
+                t.state = Thread::State::LockWait;
+                --activeCnt;
+                return;
+            }
+            t.staged.reset();
+            retire(1);
+            ++used;
+            break;
+
+          case OpClass::Munlock: {
+            ThreadId next = locks.release(d.effAddr, t.tid);
+            t.staged.reset();
+            retire(1);
+            ++used;
+            if (next != invalidThread)
+                wake(next);
+            break;
+          }
+
+          case OpClass::Kthr:
+          case OpClass::Halt:
+            t.staged.reset();
+            retire(1);
+            ++used;
+            finishThread(idx, d.cls == OpClass::Kthr);
+            return;
+
+          default:
+            CAPSULE_PANIC("thread ", t.tid,
+                          " staged a non-protocol op");
+        }
+    }
+}
+
+void
+FuncMachine::runLoop(std::optional<std::uint64_t> stop_after)
+{
+    while (liveCnt > 0) {
+        if (stop_after && clock >= *stop_after &&
+            locks.occupancy() == 0)
+            return;
+        Cycle before = clock;
+        for (std::size_t i = 0; i < threads.size(); ++i) {
+            // Children spawned this round sit at higher indices and
+            // get their first slice within the same round.
+            if (threads[i].state == Thread::State::Active)
+                runSlice(i, sliceQuantum);
+        }
+        if (clock == before && liveCnt > 0)
+            CAPSULE_PANIC("functional backend deadlocked: ", liveCnt,
+                          " live thread(s), none runnable at ", clock,
+                          " retired instructions");
+        if (clock >= cfg.maxCycles)
+            CAPSULE_FATAL("simulation exceeded maxCycles=",
+                          cfg.maxCycles);
+    }
+}
+
+RunStats
+FuncMachine::run()
+{
+    runLoop(std::nullopt);
+    return stats();
+}
+
+void
+FuncMachine::runUntil(std::uint64_t min_instructions)
+{
+    runLoop(min_instructions);
+}
+
+std::vector<std::pair<ThreadId, std::unique_ptr<front::Program>>>
+FuncMachine::releaseLiveThreads()
+{
+    CAPSULE_ASSERT(locks.occupancy() == 0,
+                   "thread handoff with locks still held");
+    std::vector<std::pair<ThreadId, std::unique_ptr<front::Program>>>
+        out;
+    for (Thread &t : threads) {
+        if (t.state == Thread::State::Finished)
+            continue;
+        CAPSULE_ASSERT(t.state == Thread::State::Active && !t.staged,
+                       "thread ", t.tid,
+                       " handed off at an unsafe point");
+        out.emplace_back(t.tid, std::move(t.program));
+        t.fast = nullptr;
+        t.state = Thread::State::Finished;
+        --liveCnt;
+        --activeCnt;
+    }
+    return out;
+}
+
+RunStats
+FuncMachine::stats() const
+{
+    RunStats s;
+    s.cycles = clock;
+    s.instructions = clock;
+    s.ipc = clock ? 1.0 : 0.0;
+    s.divisionsRequested = divCtrl.requested();
+    s.divisionsGranted = divCtrl.granted();
+    s.divisionsThrottled = divCtrl.throttled();
+    s.divisionsRemote = 0;
+    s.threadDeaths = nDeaths;
+    s.lockConflicts = locks.conflicts();
+    s.swapsOut = 0;
+    s.swapsIn = 0;
+    s.bpredAccuracy = 0.0;
+    s.l1dMissRate = 0.0;
+    s.peakLiveThreads = peakLive;
+    s.avgActiveThreads =
+        clock ? double(activeSum) / double(clock) : 0.0;
+    return s;
+}
+
+void
+FuncMachine::dumpStats(std::ostream &os) const
+{
+    StatGroup g(cfg.name + ".func");
+    g.addFormula("instructions", [this] { return double(clock); },
+                 "retired instructions (== serialized clock)");
+    g.addFormula("threads", [this] { return double(threads.size()); },
+                 "threads ever created");
+    g.addFormula("deaths", [this] { return double(nDeaths); },
+                 "kthr retirements");
+    g.addFormula("peak_live", [this] { return double(peakLive); },
+                 "peak simultaneously live threads");
+    g.addFormula("avg_active",
+                 [this] {
+                     return clock ? double(activeSum) / double(clock)
+                                  : 0.0;
+                 },
+                 "mean active threads per retirement");
+    g.dump(os);
+    StatGroup d(cfg.name + ".division");
+    divCtrl.registerStats(d);
+    d.dump(os);
+    StatGroup l(cfg.name + ".locks");
+    locks.registerStats(l);
+    l.dump(os);
+}
+
+} // namespace capsule::sim

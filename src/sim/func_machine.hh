@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The functional simulation tier (DESIGN.md §8): a MachineBackend that
+ * executes programs through the shared execution-semantics core with
+ * the *real* CAPSULE protocol — nthr three-way division through the
+ * DivisionController, the hardware lock table, kthr/halt teardown —
+ * but none of the timing machinery: no RUU/LSQ, no caches, no branch
+ * predictor, no context-stack swapping, no cycle model.
+ *
+ * Time model: a serialized 1-IPC instruction clock — `cycles` equals
+ * total retired instructions across all threads. The clock feeds the
+ * division controller's death-rate window, so the greedy-throttle
+ * policy remains meaningful (a different but architecturally legal
+ * grant pattern than the detailed tiers').
+ *
+ * Scheduling: deterministic round-robin over live threads in creation
+ * order, `sliceQuantum` instructions per turn. AsmProgram-backed
+ * threads run their straight-line stretches through the pre-decoded
+ * block cache and the computed-goto executor (AsmProgram::runDirect);
+ * other Program front ends (the rt:: worker runtime) pull through the
+ * ordinary DynInst path. Both paths execute the identical semantics.
+ *
+ * The backend also powers mixed-mode fast-forward: runUntil() stops
+ * at the first safe point (no locks held, no instruction in flight)
+ * after N instructions, and releaseLiveThreads() hands the surviving
+ * Programs to a detailed backend (see sim/mixed_machine.hh).
+ */
+
+#ifndef CAPSULE_SIM_FUNC_MACHINE_HH
+#define CAPSULE_SIM_FUNC_MACHINE_HH
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "front/asm_program.hh"
+#include "sim/backend.hh"
+#include "sim/config.hh"
+#include "sim/division_ctrl.hh"
+#include "sim/lock_table.hh"
+
+namespace capsule::sim
+{
+
+/** The fast functional backend ("func"). */
+class FuncMachine : public MachineBackend
+{
+  public:
+    /** Round-robin slice length (instructions per thread turn). */
+    static constexpr std::uint64_t sliceQuantum = 64;
+
+    explicit FuncMachine(const MachineConfig &config);
+
+    ThreadId addThread(std::unique_ptr<front::Program> program) override;
+    RunStats run() override;
+    RunStats stats() const override;
+
+    void
+    setDivisionObserver(DivisionObserver obs) override
+    {
+        divObserver = std::move(obs);
+    }
+
+    void
+    setThreadFinalizer(ThreadFinalizer fin) override
+    {
+        threadFinalizer = std::move(fin);
+    }
+
+    std::size_t lockedAddrs() const override { return locks.occupancy(); }
+    /** The functional tier has no inactive-context stack. */
+    std::size_t swappedContexts() const override { return 0; }
+    const MachineConfig &config() const override { return cfg; }
+    void dumpStats(std::ostream &os) const override;
+
+    /**
+     * Fast-forward: run until at least `min_instructions` have retired
+     * AND the machine is at a safe handoff point — no locks held or
+     * awaited, no staged instruction, no pending nthr — or until all
+     * threads finish, whichever first.
+     */
+    void runUntil(std::uint64_t min_instructions);
+
+    /**
+     * Harvest the surviving threads for handoff to a detailed backend,
+     * in thread-id order. Programs carry their architectural state
+     * (pc, registers); memory lives in the shared process image.
+     * Callable only at the safe point runUntil() stops at.
+     */
+    std::vector<std::pair<ThreadId, std::unique_ptr<front::Program>>>
+    releaseLiveThreads();
+
+    /** The serialized instruction clock (== retired instructions). */
+    Cycle now() const { return clock; }
+    int liveThreads() const { return liveCnt; }
+    /** Threads ever created (ancestors + granted children). */
+    std::size_t threadsCreated() const { return threads.size(); }
+
+  private:
+    struct Thread
+    {
+        ThreadId tid = invalidThread;
+        std::unique_ptr<front::Program> program;
+        /** Non-null when `program` is an AsmProgram: enables the
+         *  pre-decoded block-cache / computed-goto fast path. */
+        front::AsmProgram *fast = nullptr;
+        enum class State { Active, LockWait, Finished } state =
+            State::Active;
+        /** One pulled-but-unretired DynInst; persists only across a
+         *  LockWait stall (the mlock re-executes on wake). */
+        std::optional<isa::DynInst> staged;
+    };
+
+    void runLoop(std::optional<std::uint64_t> stop_after);
+    void runSlice(std::size_t idx, std::uint64_t budget);
+    void handleNthr(std::size_t idx, const isa::DynInst &d);
+    void finishThread(std::size_t idx, bool is_kthr);
+    ThreadId spawn(std::unique_ptr<front::Program> p);
+    void wake(ThreadId tid);
+
+    /** Advance the instruction clock by `n` retirements. */
+    void
+    retire(std::uint64_t n)
+    {
+        clock += n;
+        activeSum += n * std::uint64_t(activeCnt);
+    }
+
+    MachineConfig cfg;
+    std::vector<Thread> threads;  ///< tid == index, creation order
+    LockTable locks;
+    DivisionController divCtrl;
+    DivisionObserver divObserver;
+    ThreadFinalizer threadFinalizer;
+
+    Cycle clock = 0;        ///< == retired instructions
+    int liveCnt = 0;        ///< Active + LockWait
+    int activeCnt = 0;      ///< Active only
+    int peakLive = 0;
+    std::uint64_t activeSum = 0;  ///< sum of activeCnt per retirement
+    std::uint64_t nDeaths = 0;
+};
+
+} // namespace capsule::sim
+
+#endif // CAPSULE_SIM_FUNC_MACHINE_HH

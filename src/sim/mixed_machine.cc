@@ -1,0 +1,151 @@
+#include "sim/mixed_machine.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace capsule::sim
+{
+
+MixedMachine::MixedMachine(const MachineConfig &config) : cfg(config)
+{
+    CAPSULE_ASSERT(cfg.backend != "func",
+                   "mixed-mode fast-forward wraps a *timing* backend; "
+                   "the func backend is already functional");
+}
+
+ThreadId
+MixedMachine::addThread(std::unique_ptr<front::Program> program)
+{
+    CAPSULE_ASSERT(!warm && !detail,
+                   "ancestor threads must be added before run()");
+    pending.push_back(std::move(program));
+    return ThreadId(pending.size() - 1);
+}
+
+void
+MixedMachine::setDivisionObserver(DivisionObserver obs)
+{
+    divObserver = std::move(obs);
+}
+
+void
+MixedMachine::setThreadFinalizer(ThreadFinalizer fin)
+{
+    threadFinalizer = std::move(fin);
+}
+
+ThreadId
+MixedMachine::mapDetailTid(ThreadId tid) const
+{
+    std::size_t t = std::size_t(tid);
+    if (t < survivorIds.size())
+        return survivorIds[t];
+    // A child spawned during the measured interval: continue the
+    // machine-wide id space after the warm-up tier's ids.
+    return warmIdCount + ThreadId(t - survivorIds.size());
+}
+
+RunStats
+MixedMachine::run()
+{
+    MachineConfig dcfg = cfg;
+    dcfg.ffwdInstructions = 0;
+
+    std::vector<std::pair<ThreadId, std::unique_ptr<front::Program>>>
+        survivors;
+    if (cfg.ffwdInstructions > 0) {
+        warm = std::make_unique<FuncMachine>(cfg);
+        // Warm-up tids are machine-wide tids; hooks pass through.
+        if (divObserver)
+            warm->setDivisionObserver(divObserver);
+        if (threadFinalizer)
+            warm->setThreadFinalizer(threadFinalizer);
+        for (auto &p : pending)
+            warm->addThread(std::move(p));
+        pending.clear();
+        warm->runUntil(cfg.ffwdInstructions);
+        warmStats = warm->stats();
+        warmIdCount = ThreadId(warm->threadsCreated());
+        ranWarm = true;
+        survivors = warm->releaseLiveThreads();
+        if (survivors.empty())
+            return stats();  // the program fit inside the warm-up
+    } else {
+        // ffwd at 0: pure detailed simulation, field-exact.
+        for (std::size_t i = 0; i < pending.size(); ++i)
+            survivors.emplace_back(ThreadId(i), std::move(pending[i]));
+        pending.clear();
+    }
+
+    detail = makeBackend(dcfg);
+    for (auto &[warmTid, program] : survivors) {
+        survivorIds.push_back(warmTid);
+        detail->addThread(std::move(program));
+    }
+    if (divObserver)
+        detail->setDivisionObserver(
+            [this](ThreadId parent, ThreadId child) {
+                divObserver(mapDetailTid(parent), mapDetailTid(child));
+            });
+    if (threadFinalizer)
+        detail->setThreadFinalizer(
+            [this](ThreadId tid, const front::Program &p) {
+                threadFinalizer(mapDetailTid(tid), p);
+            });
+    detail->run();
+    return stats();
+}
+
+RunStats
+MixedMachine::stats() const
+{
+    if (!detail)
+        return ranWarm ? warmStats : RunStats{};
+    RunStats s = detail->stats();
+    if (!ranWarm)
+        return s;
+    // Event counters aggregate across tiers; cycle-domain fields
+    // (cycles, ipc, swaps, bpred, cache, avgActive) describe the
+    // measured interval only.
+    s.instructions += warmStats.instructions;
+    s.divisionsRequested += warmStats.divisionsRequested;
+    s.divisionsGranted += warmStats.divisionsGranted;
+    s.divisionsThrottled += warmStats.divisionsThrottled;
+    s.divisionsRemote += warmStats.divisionsRemote;
+    s.threadDeaths += warmStats.threadDeaths;
+    s.lockConflicts += warmStats.lockConflicts;
+    s.peakLiveThreads =
+        std::max(s.peakLiveThreads, warmStats.peakLiveThreads);
+    return s;
+}
+
+std::size_t
+MixedMachine::lockedAddrs() const
+{
+    return (warm ? warm->lockedAddrs() : 0) +
+           (detail ? detail->lockedAddrs() : 0);
+}
+
+std::size_t
+MixedMachine::swappedContexts() const
+{
+    return (warm ? warm->swappedContexts() : 0) +
+           (detail ? detail->swappedContexts() : 0);
+}
+
+void
+MixedMachine::dumpStats(std::ostream &os) const
+{
+    if (warm) {
+        os << "# fast-forward tier (" << warmStats.instructions
+           << " instructions)\n";
+        warm->dumpStats(os);
+    }
+    if (detail) {
+        os << "# measured tier (" << cfg.backend << ")\n";
+        detail->dumpStats(os);
+    }
+}
+
+} // namespace capsule::sim

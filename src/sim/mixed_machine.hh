@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Mixed-mode fast-forward (DESIGN.md §8): a MachineBackend that runs
+ * the first `MachineConfig::ffwdInstructions` instructions on the
+ * functional tier, then hands the surviving threads off to the
+ * selected detailed backend (smt/cmp) for the measured interval.
+ *
+ * Snapshot/handoff contract:
+ *  - The warm-up runs the full CAPSULE protocol (divisions may be
+ *    granted, locks taken and released), so the handed-off state can
+ *    include several live threads.
+ *  - Handoff happens at a *safe point*: no locks held or awaited, no
+ *    instruction staged, no nthr pending. Architectural state needs no
+ *    copying — each front-end Program carries its own pc + registers,
+ *    and memory lives in the shared process image the Programs
+ *    reference.
+ *  - Microarchitectural state is NOT carried over: the detailed tier
+ *    starts with cold caches, an empty predictor and an empty
+ *    inactive-context stack (warm-up models none of them).
+ *  - Thread ids stay unique machine-wide: warm-up ids pass through
+ *    unchanged; detailed-tier survivors map back to their warm-up ids
+ *    and detailed-spawned children continue after the warm-up's
+ *    highest id, so DivisionObserver / ThreadFinalizer clients see one
+ *    consistent id space across the tiers.
+ *
+ * Stats contract: instruction and protocol-event counters (divisions,
+ * deaths, lock conflicts) aggregate across both tiers;
+ * cycles/ipc/swaps/bpred/cache fields describe the measured (detailed)
+ * interval only; peakLiveThreads is the maximum across tiers. With
+ * ffwdInstructions == 0 the warm-up is skipped entirely and every
+ * field is identical to the pure detailed backend's (asserted
+ * field-exactly by tests/test_func_machine.cc).
+ */
+
+#ifndef CAPSULE_SIM_MIXED_MACHINE_HH
+#define CAPSULE_SIM_MIXED_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/backend.hh"
+#include "sim/config.hh"
+#include "sim/func_machine.hh"
+
+namespace capsule::sim
+{
+
+/** Two-tier fast-forward engine wrapping a detailed backend. */
+class MixedMachine : public MachineBackend
+{
+  public:
+    explicit MixedMachine(const MachineConfig &config);
+
+    ThreadId addThread(std::unique_ptr<front::Program> program) override;
+    RunStats run() override;
+    RunStats stats() const override;
+    void setDivisionObserver(DivisionObserver obs) override;
+    void setThreadFinalizer(ThreadFinalizer fin) override;
+    std::size_t lockedAddrs() const override;
+    std::size_t swappedContexts() const override;
+    const MachineConfig &config() const override { return cfg; }
+    void dumpStats(std::ostream &os) const override;
+
+  private:
+    /** Map a detailed-tier tid into the machine-wide id space. */
+    ThreadId mapDetailTid(ThreadId tid) const;
+
+    MachineConfig cfg;
+    /** Ancestors buffered between addThread() and run(). */
+    std::vector<std::unique_ptr<front::Program>> pending;
+
+    std::unique_ptr<FuncMachine> warm;
+    std::unique_ptr<MachineBackend> detail;
+
+    /** Machine-wide ids of the survivors, in detailed creation order. */
+    std::vector<ThreadId> survivorIds;
+    /** Ids consumed by the warm-up tier (children continue after). */
+    ThreadId warmIdCount = 0;
+
+    RunStats warmStats;
+    bool ranWarm = false;
+
+    DivisionObserver divObserver;
+    ThreadFinalizer threadFinalizer;
+};
+
+} // namespace capsule::sim
+
+#endif // CAPSULE_SIM_MIXED_MACHINE_HH

@@ -26,12 +26,13 @@ namespace
 // ---------------------------------------------------------------
 // backend seam
 // ---------------------------------------------------------------
-TEST(Backend, NamesCoverSmtAndCmp)
+TEST(Backend, NamesCoverSmtCmpAndFunc)
 {
     auto names = sim::backendNames();
-    ASSERT_EQ(names.size(), 2u);
+    ASSERT_EQ(names.size(), 3u);
     EXPECT_EQ(names[0], "smt");
     EXPECT_EQ(names[1], "cmp");
+    EXPECT_EQ(names[2], "func");
 }
 
 TEST(Backend, MakeBackendSelectsByName)

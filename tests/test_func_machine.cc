@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The fast functional backend and the two-tier fast-forward engine
+ * (DESIGN.md §8): backend registration and the unknown-name error,
+ * func-vs-oracle bit-exactness on generated division programs, the
+ * registry workloads' correctness/determinism on func, the
+ * ffwd-at-0 == pure-detailed field-exactness contract, and the
+ * mid-program handoff.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "front/asm_program.hh"
+#include "fuzz/program_gen.hh"
+#include "fuzz/ref_interp.hh"
+#include "sim/backend.hh"
+#include "sim/func_machine.hh"
+#include "sim/machine.hh"
+#include "sim/mixed_machine.hh"
+#include "workloads/workload.hh"
+
+namespace capsule
+{
+namespace
+{
+
+/** Fuzz-style bound: generated programs finishing later are hung. */
+constexpr Cycle testMaxCycles = 50'000'000;
+
+sim::MachineConfig
+funcConfig()
+{
+    auto cfg = sim::MachineConfig::somt();
+    cfg.backend = "func";
+    cfg.maxCycles = testMaxCycles;
+    return cfg;
+}
+
+/** Run `image` to completion on the backend `cfg` selects.
+ *  @return the process (for final-memory checks) and the stats */
+std::pair<std::unique_ptr<front::AsmProcess>, sim::RunStats>
+runImage(const casm::Image &image, const sim::MachineConfig &cfg,
+         std::string *statsDump = nullptr)
+{
+    auto proc = std::make_unique<front::AsmProcess>(image);
+    auto backend = sim::makeBackend(cfg);
+    backend->addThread(std::make_unique<front::AsmProgram>(*proc));
+    auto stats = backend->run();
+    EXPECT_EQ(backend->lockedAddrs(), 0u);
+    EXPECT_EQ(backend->swappedContexts(), 0u);
+    if (statsDump) {
+        std::ostringstream os;
+        backend->dumpStats(os);
+        *statsDump = os.str();
+    }
+    return {std::move(proc), stats};
+}
+
+// ---------------------------------------------------------------
+// backend registration
+// ---------------------------------------------------------------
+
+TEST(MakeBackend, UnknownNameListsValidBackends)
+{
+    auto cfg = sim::MachineConfig::somt();
+    cfg.backend = "frobnicate";
+    try {
+        sim::makeBackend(cfg);
+        FAIL() << "makeBackend accepted an unknown backend";
+    } catch (const std::invalid_argument &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("frobnicate"), std::string::npos) << msg;
+        for (const auto &name : sim::backendNames())
+            EXPECT_NE(msg.find(name), std::string::npos)
+                << msg << " misses " << name;
+    }
+}
+
+TEST(MakeBackend, SelectsFuncAndWrapsFfwd)
+{
+    auto cfg = funcConfig();
+    EXPECT_NE(dynamic_cast<sim::FuncMachine *>(
+                  sim::makeBackend(cfg).get()),
+              nullptr);
+
+    // ffwd wraps a timing backend...
+    auto smt = sim::MachineConfig::somt();
+    smt.ffwdInstructions = 1000;
+    EXPECT_NE(dynamic_cast<sim::MixedMachine *>(
+                  sim::makeBackend(smt).get()),
+              nullptr);
+
+    // ...but the functional tier has nothing to fast-forward into.
+    cfg.ffwdInstructions = 1000;
+    EXPECT_NE(dynamic_cast<sim::FuncMachine *>(
+                  sim::makeBackend(cfg).get()),
+              nullptr);
+}
+
+// ---------------------------------------------------------------
+// func vs the reference oracle
+// ---------------------------------------------------------------
+
+TEST(FuncBackend, MatchesOracleOnGeneratedDivisionPrograms)
+{
+    for (std::uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+        fuzz::GenParams params;
+        params.seed = seed;
+        auto prog = fuzz::generate(params);
+
+        fuzz::RefInterp oracle(prog.image, {});
+        auto ref = oracle.run();
+        ASSERT_TRUE(ref.ok) << ref.error;
+
+        auto [proc, stats] = runImage(prog.image, funcConfig());
+        EXPECT_EQ(stats.divisionsRequested,
+                  prog.expectedDivisionRequests)
+            << "seed " << seed;
+        EXPECT_EQ(stats.threadDeaths, stats.divisionsGranted)
+            << "seed " << seed;
+        EXPECT_EQ(stats.cycles, stats.instructions)
+            << "func's clock is its retirement counter";
+        for (int c = 0; c < prog.totalCells; ++c)
+            ASSERT_EQ(proc->memory.read(prog.cellAddr(c), 8),
+                      oracle.readCell(prog.cellAddr(c)))
+                << "seed " << seed << " cell " << c;
+    }
+}
+
+TEST(FuncBackend, RegistryWorkloadsCorrectAndDeterministic)
+{
+    auto cfg = funcConfig();
+    wl::WorkloadRequest req{wl::ScaleLevel::Quick, 1};
+    for (const char *name : {"dijkstra", "quicksort"}) {
+        auto a = wl::WorkloadRegistry::builtin().run(name, cfg, req);
+        auto b = wl::WorkloadRegistry::builtin().run(name, cfg, req);
+        EXPECT_TRUE(a.correct) << name;
+        EXPECT_EQ(a.stats, b.stats)
+            << name << " not deterministic on func";
+        EXPECT_EQ(a.stats.cycles, a.stats.instructions) << name;
+        EXPECT_GT(a.stats.divisionsRequested, 0u)
+            << name << " exercised no divisions";
+    }
+}
+
+// ---------------------------------------------------------------
+// the two-tier fast-forward engine
+// ---------------------------------------------------------------
+
+TEST(Ffwd, AtZeroIsFieldExactWithPureDetailed)
+{
+    fuzz::GenParams params;
+    params.seed = 21;
+    auto prog = fuzz::generate(params);
+
+    auto cfg = sim::MachineConfig::somt();
+    cfg.maxCycles = testMaxCycles;
+    auto [pureProc, pureStats] = runImage(prog.image, cfg);
+
+    // MixedMachine with a zero warm-up budget skips the functional
+    // tier entirely; every RunStats field must be identical.
+    auto mixedProc = std::make_unique<front::AsmProcess>(prog.image);
+    sim::MixedMachine mixed(cfg);
+    mixed.addThread(
+        std::make_unique<front::AsmProgram>(*mixedProc));
+    auto mixedStats = mixed.run();
+
+    EXPECT_EQ(pureStats, mixedStats);
+    for (int c = 0; c < prog.totalCells; ++c)
+        ASSERT_EQ(mixedProc->memory.read(prog.cellAddr(c), 8),
+                  pureProc->memory.read(prog.cellAddr(c), 8))
+            << "cell " << c;
+}
+
+TEST(Ffwd, MidProgramHandoffMatchesOracle)
+{
+    fuzz::GenParams params;
+    params.seed = 22;
+    auto prog = fuzz::generate(params);
+
+    fuzz::RefInterp oracle(prog.image, {});
+    auto ref = oracle.run();
+    ASSERT_TRUE(ref.ok) << ref.error;
+
+    auto cfg = sim::MachineConfig::somt();
+    cfg.maxCycles = testMaxCycles;
+    cfg.ffwdInstructions = 300;
+    std::string dump;
+    auto [proc, stats] = runImage(prog.image, cfg, &dump);
+
+    // Both tiers actually ran (the warm-up budget lands inside the
+    // program), and the protocol accounting spans them seamlessly.
+    EXPECT_NE(dump.find("# fast-forward tier"), std::string::npos)
+        << dump;
+    EXPECT_NE(dump.find("# measured tier"), std::string::npos) << dump;
+    EXPECT_EQ(stats.divisionsRequested, prog.expectedDivisionRequests);
+    EXPECT_EQ(stats.threadDeaths, stats.divisionsGranted);
+    EXPECT_GT(stats.instructions, std::uint64_t(300));
+    for (int c = 0; c < prog.totalCells; ++c)
+        ASSERT_EQ(proc->memory.read(prog.cellAddr(c), 8),
+                  oracle.readCell(prog.cellAddr(c)))
+            << "cell " << c;
+}
+
+TEST(Ffwd, WarmupSwallowsShortPrograms)
+{
+    fuzz::GenParams params;
+    params.seed = 23;
+    auto prog = fuzz::generate(params);
+
+    fuzz::RefInterp oracle(prog.image, {});
+    ASSERT_TRUE(oracle.run().ok);
+
+    auto cfg = sim::MachineConfig::somt();
+    cfg.maxCycles = testMaxCycles;
+    cfg.ffwdInstructions = testMaxCycles;  // larger than any program
+    std::string dump;
+    auto [proc, stats] = runImage(prog.image, cfg, &dump);
+
+    EXPECT_NE(dump.find("# fast-forward tier"), std::string::npos);
+    EXPECT_EQ(dump.find("# measured tier"), std::string::npos) << dump;
+    EXPECT_EQ(stats.divisionsRequested, prog.expectedDivisionRequests);
+    for (int c = 0; c < prog.totalCells; ++c)
+        ASSERT_EQ(proc->memory.read(prog.cellAddr(c), 8),
+                  oracle.readCell(prog.cellAddr(c)))
+            << "cell " << c;
+}
+
+} // namespace
+} // namespace capsule

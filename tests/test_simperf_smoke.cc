@@ -29,7 +29,7 @@ namespace capsule
 namespace
 {
 
-const char *const backends[] = {"smt", "cmp"};
+const char *const backends[] = {"smt", "cmp", "func"};
 
 std::string
 tempJsonPath(const std::string &name)
@@ -108,10 +108,14 @@ TEST(SimperfSmoke, QuickScaleSchemaAndRates)
     auto m = readMetrics(json);
 
     const auto names = wl::WorkloadRegistry::builtin().names();
-    EXPECT_EQ(asNumber(m, "records"), double(names.size() * 2));
+    EXPECT_EQ(asNumber(m, "records"), double(names.size() * 3));
     EXPECT_TRUE(m.at("all_correct") == "true");
     EXPECT_GT(asNumber(m, "total_wall_seconds"), 0.0);
     EXPECT_GT(asNumber(m, "aggregate_mips"), 0.0);
+    for (const char *backend : backends)
+        EXPECT_GT(asNumber(m, std::string("aggregate_mips.") + backend),
+                  0.0)
+            << backend;
 
     // One full record per workload x backend.
     for (const auto &wlName : names) {
