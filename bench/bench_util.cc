@@ -57,15 +57,64 @@ parseScale(int argc, char **argv)
                 std::exit(2);
             }
             s.jobs = int(v);
+        } else if (std::strcmp(argv[i], "--cache-dir") == 0 &&
+                   i + 1 < argc) {
+            s.cacheDir = argv[++i];
+        } else if (std::strcmp(argv[i], "--workers") == 0 &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            long v = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || v < 0 ||
+                v > 4096) {
+                std::fprintf(stderr,
+                             "--workers wants a non-negative integer "
+                             "(0 = all cores), got '%s'\n",
+                             argv[i]);
+                std::exit(2);
+            }
+            s.workers = int(v);
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            s.resume = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--paper|--quick|--scale LEVEL] "
-                         "[--seed N] [--json FILE] [--jobs N]\n",
+                         "[--seed N] [--json FILE] [--jobs N] "
+                         "[--cache-dir DIR] [--workers N] "
+                         "[--resume]\n",
                          argv[0]);
             std::exit(2);
         }
     }
+    if (s.resume && s.cacheDir.empty()) {
+        std::fprintf(stderr,
+                     "--resume needs --cache-dir (the cache is the "
+                     "journal's payload store)\n");
+        std::exit(2);
+    }
     return s;
+}
+
+void
+Scale::reportFarmStats(JsonReport &report,
+                       const harness::FarmStats &stats,
+                       const std::string &prefix)
+{
+    report.count(prefix + "_points", stats.points);
+    report.count(prefix + "_computed", stats.computed);
+    report.count(prefix + "_cache_hits", stats.cacheHits);
+    report.count(prefix + "_cache_misses", stats.cacheMisses);
+    report.count(prefix + "_cache_stores", stats.cacheStores);
+    report.count(prefix + "_corrupt_evictions",
+                 stats.corruptEvictions);
+    report.count(prefix + "_journal_skips", stats.journalSkips);
+    report.count(prefix + "_workers",
+                 std::uint64_t(stats.workersUsed));
+    for (std::size_t w = 0; w < stats.perWorkerPoints.size(); ++w) {
+        const std::string id = prefix + "_worker" + std::to_string(w);
+        report.count(id + "_points", stats.perWorkerPoints[w]);
+        report.num(id + "_cpu_seconds", stats.perWorkerCpuSeconds[w]);
+    }
+    report.num(prefix + "_wall_seconds", stats.wallSeconds);
 }
 
 double

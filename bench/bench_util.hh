@@ -16,11 +16,14 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/farm.hh"
 #include "sim/machine.hh"
 #include "workloads/workload.hh"
 
 namespace capsule::bench
 {
+
+class JsonReport;
 
 /** Command-line scale flags common to all harnesses. */
 struct Scale
@@ -30,6 +33,12 @@ struct Scale
     std::uint64_t seed = 1;
     std::string json;     ///< write headline metrics here (empty = off)
     int jobs = 0;         ///< sweep host threads (0 = all hw threads)
+
+    // Simulation-farm flags (harness/farm.hh). cacheDir empty keeps
+    // the classic in-process ExperimentRunner path.
+    std::string cacheDir; ///< result-cache dir (enables memoization)
+    int workers = 1;      ///< farm worker processes (0 = all cores)
+    bool resume = false;  ///< resume this campaign's journal
 
     /** The flags as a registry scale level. */
     wl::ScaleLevel
@@ -62,10 +71,35 @@ struct Scale
     {
         return harness::ExperimentRunner(jobs);
     }
+
+    /** True when any farm flag asks for the FarmRunner path. */
+    bool
+    useFarm() const
+    {
+        return !cacheDir.empty() || workers != 1 || resume;
+    }
+
+    /** The farm options honouring --cache-dir/--workers/--resume. */
+    harness::FarmOptions
+    farmOptions() const
+    {
+        harness::FarmOptions o;
+        o.workers = workers;
+        o.cacheDir = cacheDir;
+        o.resume = resume;
+        return o;
+    }
+
+    /** Record the FarmStats counters of a campaign under `prefix`
+     *  (cache hits/misses/evictions, per-worker utilization). */
+    static void reportFarmStats(JsonReport &report,
+                                const harness::FarmStats &stats,
+                                const std::string &prefix = "farm");
 };
 
 /** Parse --paper / --quick / --scale quick|default|paper / --seed N /
- *  --json FILE / --jobs N; exits on unknown flags. */
+ *  --json FILE / --jobs N / --cache-dir DIR / --workers N /
+ *  --resume; exits on unknown flags. */
 Scale parseScale(int argc, char **argv);
 
 /**

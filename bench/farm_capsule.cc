@@ -1,0 +1,151 @@
+/**
+ * @file
+ * BENCH_farm — the simulation-farm campaign driver (DESIGN.md §9).
+ *
+ * Runs the full workload registry across the three standard machine
+ * shapes ({smt, cmp 2x4, func}) through the FarmRunner: worker
+ * processes via --workers, content-addressed memoization via
+ * --cache-dir, checkpoint/resume via --resume. The per-point table it
+ * prints contains only *simulated* fields, so stdout is byte-identical
+ * across worker counts, cold vs warm caches, and kill+resume — CI
+ * diffs it literally to hold the farm to the determinism contract.
+ *
+ * Farm-specific flags on top of the common set (bench_util.hh):
+ *   --die-after N      coordinator kills itself (exit status 3) after
+ *                      N merged results — the CI kill+resume probe
+ *   --min-hit-rate P   exit nonzero unless the cache hit rate of this
+ *                      run is at least P percent (warm-cache gate)
+ *
+ * BENCH_farm.json records the campaign observability counters: cache
+ * hits/misses/stores/corrupt evictions, journal skips, and per-worker
+ * utilization (points completed + simulation CPU seconds per worker).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "harness/farm.hh"
+#include "sim/config.hh"
+#include "workloads/workload.hh"
+
+using namespace capsule;
+
+int
+main(int argc, char **argv)
+{
+    // Peel the farm-only flags, hand the rest to the common parser.
+    int dieAfter = -1;
+    double minHitRate = -1.0;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--die-after") == 0 && i + 1 < argc) {
+            dieAfter = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--min-hit-rate") == 0 &&
+                   i + 1 < argc) {
+            minHitRate = std::atof(argv[++i]);
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    auto scale =
+        bench::parseScale(int(rest.size()), rest.data());
+    bench::banner("simulation farm campaign (registry x machine)",
+                  scale);
+
+    const auto names = wl::WorkloadRegistry::builtin().names();
+    struct Machine
+    {
+        const char *name;
+        sim::MachineConfig cfg;
+    };
+    const Machine machines[] = {
+        {"smt", sim::MachineConfig::somt()},
+        {"cmp", sim::MachineConfig::cmpSomt(2, 4)},
+        {"func",
+         [] {
+             auto c = sim::MachineConfig::somt();
+             c.backend = "func";
+             return c;
+         }()},
+    };
+
+    std::vector<harness::FarmPoint> points;
+    for (const auto &wlName : names)
+        for (const auto &m : machines)
+            points.push_back(harness::registryFarmPoint(
+                wlName, m.cfg, scale.request(scale.seed),
+                wlName + "/" + m.name));
+
+    auto opts = scale.farmOptions();
+    opts.dieAfterMerges = dieAfter;
+    harness::FarmRunner farm(opts);
+    auto results = farm.run(points);
+    const auto &st = farm.stats();
+
+    // Simulated fields only: this table is the determinism artifact.
+    TextTable table({"workload", "machine", "cycles", "insts", "ipc",
+                     "correct"});
+    bool allCorrect = true;
+    std::size_t at = 0;
+    for (const auto &wlName : names) {
+        for (const auto &m : machines) {
+            const auto &r = results[at++];
+            allCorrect = allCorrect && r.correct;
+            table.addRow({wlName, m.name,
+                          TextTable::count(r.stats.cycles),
+                          TextTable::count(r.stats.instructions),
+                          TextTable::num(r.stats.ipc, 4),
+                          r.correct ? "yes" : "NO"});
+        }
+    }
+    table.render(std::cout);
+
+    std::printf("\nfarm: %llu points, %llu computed, %llu cache hits, "
+                "%llu misses, %llu corrupt evictions, "
+                "%llu journal skips, %d workers\n",
+                (unsigned long long)st.points,
+                (unsigned long long)st.computed,
+                (unsigned long long)st.cacheHits,
+                (unsigned long long)st.cacheMisses,
+                (unsigned long long)st.corruptEvictions,
+                (unsigned long long)st.journalSkips, st.workersUsed);
+    for (std::size_t w = 0; w < st.perWorkerPoints.size(); ++w)
+        std::printf("farm: worker %zu: %llu points, %.3f cpu s\n", w,
+                    (unsigned long long)st.perWorkerPoints[w],
+                    st.perWorkerCpuSeconds[w]);
+
+    bench::JsonReport report("farm", scale);
+    std::size_t i = 0;
+    for (const auto &wlName : names) {
+        for (const auto &m : machines) {
+            const auto &r = results[i++];
+            std::string key = wlName + "." + m.name;
+            report.count(key + ".sim_cycles", r.stats.cycles);
+            report.count(key + ".sim_instructions",
+                         r.stats.instructions);
+            report.flag(key + ".correct", r.correct);
+        }
+    }
+    bench::Scale::reportFarmStats(report, st);
+    report.flag("all_correct", allCorrect);
+
+    bool hitRateOk = true;
+    if (minHitRate >= 0.0) {
+        const double denom = double(st.cacheHits + st.cacheMisses);
+        const double rate =
+            denom > 0 ? 100.0 * double(st.cacheHits) / denom : 0.0;
+        report.num("cache_hit_rate_percent", rate);
+        hitRateOk = rate >= minHitRate;
+        if (!hitRateOk)
+            std::fprintf(stderr,
+                         "farm: cache hit rate %.1f%% below the "
+                         "--min-hit-rate %.1f%% gate\n",
+                         rate, minHitRate);
+    }
+
+    return report.write() && allCorrect && hitRateOk ? 0 : 1;
+}

@@ -43,7 +43,8 @@ usage(const char *argv0)
         "          [--scale quick|default|paper] [--quick] [--paper]\n"
         "          [--artifacts DIR] [--json FILE] [--no-shrink]\n"
         "          [--inject-bug add-off-by-one|xor-as-or|"
-        "slt-inverted]\n",
+        "slt-inverted]\n"
+        "          [--cache-dir DIR] [--workers N] [--resume]\n",
         argv0);
     std::exit(2);
 }
@@ -108,6 +109,13 @@ main(int argc, char **argv)
             cfg.shrink = false;
         } else if (is("--inject-bug") && i + 1 < argc) {
             injectName = argv[++i];
+        } else if (is("--cache-dir") && i + 1 < argc) {
+            cfg.cacheDir = argv[++i];
+        } else if (is("--workers") && i + 1 < argc) {
+            cfg.workers = int(parseNum("--workers", argv[++i], 0,
+                                       4096, argv[0]));
+        } else if (is("--resume")) {
+            cfg.resume = true;
         } else {
             usage(argv[0]);
         }
@@ -117,6 +125,10 @@ main(int argc, char **argv)
         cfg.inject = fuzz::parseInjectedBug(injectName);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
+        usage(argv[0]);
+    }
+    if (cfg.resume && cfg.cacheDir.empty()) {
+        std::fprintf(stderr, "--resume needs --cache-dir\n");
         usage(argv[0]);
     }
     if (cfg.jobs == 0)
@@ -163,6 +175,8 @@ main(int argc, char **argv)
     report.count("nodes_total", res.nodesTotal);
     report.count("words_total", res.wordsTotal);
     report.str("inject_bug", fuzz::injectedBugName(cfg.inject));
+    if (!cfg.cacheDir.empty() || cfg.workers != 1)
+        bench::Scale::reportFarmStats(report, res.farm);
     report.flag("all_agree", res.ok());
     bool wrote = report.write();
 

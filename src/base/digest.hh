@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The one FNV-1a 64-bit digest builder behind every content-addressed
+ * identity in the code base: `MachineConfig::digest()`, assembled
+ * `casm::Image` digests, the execution-semantics table hash and the
+ * result-cache keys of the simulation farm (harness/result_cache.hh).
+ *
+ * Canonical-serialization rules (what makes two digests comparable
+ * across platforms and across refactors):
+ *  - integers are widened to `std::uint64_t` and fed as 8 explicit
+ *    little-endian bytes, never through their in-memory representation;
+ *  - floating-point values are fed as their IEEE-754 bit pattern;
+ *  - strings are fed length-prefixed, so adjacent fields cannot alias
+ *    ("ab" + "c" vs "a" + "bc").
+ *
+ * A digest changes exactly when the serialized field list changes —
+ * the pinned-constant tests (tests/test_farm.cc) make a silent change
+ * of meaning loud.
+ */
+
+#ifndef CAPSULE_BASE_DIGEST_HH
+#define CAPSULE_BASE_DIGEST_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace capsule
+{
+
+/** Incremental FNV-1a (64-bit offset basis / prime). */
+class Digest
+{
+  public:
+    static constexpr std::uint64_t offsetBasis = 0xcbf29ce484222325ULL;
+    static constexpr std::uint64_t prime = 0x100000001b3ULL;
+
+    /** Feed raw bytes. */
+    Digest &
+    bytes(const void *data, std::size_t len)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            h ^= p[i];
+            h *= prime;
+        }
+        return *this;
+    }
+
+    /** Feed an integer as 8 explicit little-endian bytes. */
+    Digest &
+    u64(std::uint64_t v)
+    {
+        unsigned char b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = (unsigned char)(v >> (8 * i));
+        return bytes(b, sizeof b);
+    }
+
+    Digest &
+    i64(std::int64_t v)
+    {
+        return u64(std::uint64_t(v));
+    }
+
+    /** Feed a double as its IEEE-754 bit pattern (bit-exact, covers
+     *  NaN payloads and signed zeros). */
+    Digest &
+    f64(double v)
+    {
+        return u64(std::bit_cast<std::uint64_t>(v));
+    }
+
+    /** Feed a string, length-prefixed. */
+    Digest &
+    str(std::string_view s)
+    {
+        u64(s.size());
+        return bytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return h; }
+
+  private:
+    std::uint64_t h = offsetBasis;
+};
+
+/** One-shot digest of a string (the PR 6 semantics-table pin shape:
+ *  plain FNV-1a over the bytes, no length prefix). */
+inline std::uint64_t
+fnv1aBytes(std::string_view s)
+{
+    std::uint64_t h = Digest::offsetBasis;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= Digest::prime;
+    }
+    return h;
+}
+
+/** Canonical 16-digit lower-case hex rendering of a digest (cache
+ *  entry names, journal lines, JSON identity fields). */
+inline std::string
+toHex16(std::uint64_t v)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        s[std::size_t(i)] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return s;
+}
+
+/** Parse a toHex16 rendering; false on anything else. */
+inline bool
+parseHex16(std::string_view s, std::uint64_t &out)
+{
+    if (s.size() != 16)
+        return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        int d;
+        if (c >= '0' && c <= '9')
+            d = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            d = c - 'a' + 10;
+        else
+            return false;
+        v = (v << 4) | std::uint64_t(d);
+    }
+    out = v;
+    return true;
+}
+
+} // namespace capsule
+
+#endif // CAPSULE_BASE_DIGEST_HH

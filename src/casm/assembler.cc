@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "base/digest.hh"
 #include "base/logging.hh"
 
 namespace capsule::casm
@@ -98,6 +99,18 @@ isIdentifier(const std::string &tok)
 }
 
 } // namespace
+
+std::uint64_t
+Image::digest() const
+{
+    Digest d;
+    d.str("capsule-image-v1");
+    d.u64(base);
+    d.u64(words.size());
+    for (std::uint32_t w : words)
+        d.u64(w);
+    return d.value();
+}
 
 Addr
 Image::symbol(const std::string &name) const

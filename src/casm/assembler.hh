@@ -48,6 +48,16 @@ struct Image
     Addr symbol(const std::string &name) const;
     /** Size of the image in bytes. */
     std::uint64_t bytes() const { return words.size() * 4; }
+
+    /**
+     * Content digest of the loadable image: FNV-1a over the load
+     * address and the encoded words (base/digest.hh rules). Symbols
+     * are labels, not content — two sources that assemble to the same
+     * words at the same base are the same program, so cache keys built
+     * on this survive formatting/label refactors (pinned by
+     * tests/test_farm.cc).
+     */
+    std::uint64_t digest() const;
 };
 
 /** One assembly diagnostic. */

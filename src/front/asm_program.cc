@@ -11,7 +11,7 @@ using isa::Opcode;
 using isa::OpClass;
 
 AsmProcess::AsmProcess(const casm::Image &img)
-    : entry(img.base), codeBase(img.base)
+    : entry(img.base), codeBase(img.base), imageDigest(img.digest())
 {
     decoded.reserve(img.words.size());
     for (std::size_t i = 0; i < img.words.size(); ++i) {

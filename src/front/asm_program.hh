@@ -51,11 +51,17 @@ class AsmProcess
         return straight[idx];
     }
 
+    /** Content digest of the assembled image this process was loaded
+     *  from (casm::Image::digest(), captured at construction): the
+     *  program component of the farm's content-addressed cache keys. */
+    std::uint64_t digest() const { return imageDigest; }
+
     mem::Memory memory;
     Addr entry;
 
   private:
     Addr codeBase;
+    std::uint64_t imageDigest;
     std::vector<isa::StaticInst> decoded;
     /** straight[i]: straight-line run length starting at i, memoised
      *  once at decode for the functional backend's block executor. */
@@ -96,6 +102,9 @@ class AsmProgram : public Program
 
     /** Instructions functionally executed so far. */
     std::uint64_t retiredCount() const { return executed; }
+
+    /** The owning process's image digest (see AsmProcess::digest). */
+    std::uint64_t digest() const { return proc.digest(); }
 
   private:
     AsmProcess &proc;

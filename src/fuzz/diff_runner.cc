@@ -5,10 +5,12 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/digest.hh"
 #include "base/logging.hh"
 #include "front/asm_program.hh"
 #include "harness/thread_pool.hh"
 #include "sim/backend.hh"
+#include "sim/exec_semantics.hh"
 
 namespace capsule::fuzz
 {
@@ -308,11 +310,86 @@ runCampaign(const FuzzConfig &cfg)
         }
     };
 
-    if (cfg.jobs <= 1 || cfg.iters == 1) {
+    const bool useFarm = !cfg.cacheDir.empty() || cfg.workers != 1;
+    if (useFarm) {
+        // Farm routing: each iteration becomes a cacheable point
+        // keyed by the *generated image's* content digest (the
+        // coordinator regenerates the program for the key — cheap
+        // next to co-simulating every backend) plus the backend set,
+        // the injected bug and the ISA semantics hash. The cache
+        // stores the verdict (ok, nodes, words); a failing iteration
+        // is re-simulated below to recover its divergence detail and
+        // source, so output is byte-identical with or without it.
+        Digest bd;
+        bd.str("capsule-fuzz-backends-v1");
+        for (const auto &spec : backends) {
+            bd.str(spec.label);
+            bd.u64(spec.cfg.digest());
+        }
+        const std::uint64_t backendsDigest = bd.value();
+
+        std::vector<harness::FarmPoint> pts;
+        pts.reserve(std::size_t(cfg.iters));
+        for (int i = 0; i < cfg.iters; ++i) {
+            GenParams p = paramsFor(cfg, i);
+            GeneratedProgram prog = generate(p);
+            harness::FarmPoint fp;
+            fp.label = "iter" + std::to_string(i) + "/seed" +
+                       std::to_string(p.seed);
+            fp.cacheable = true;
+            fp.key.programDigest = prog.image.digest();
+            fp.key.configDigest = backendsDigest;
+            fp.key.scale = "fuzz";
+            fp.key.seed = p.seed;
+            fp.key.semanticsHash = sim::semanticsTableHash();
+            fp.key.extra = std::uint64_t(cfg.inject);
+            const InjectedBug inject = cfg.inject;
+            fp.run = [p, inject, &backends] {
+                wl::WorkloadResult wr;
+                wr.workload = "fuzz-iteration";
+                // A throwing iteration is a (recomputable) failed
+                // verdict, mirroring work()'s containment.
+                try {
+                    DiffOutcome o = runOne(p, inject, backends);
+                    wr.correct = o.ok;
+                    wr.setMetric("nodes", double(o.numNodes));
+                    wr.setMetric("words", double(o.words));
+                } catch (...) {
+                    wr.correct = false;
+                    wr.setMetric("harness_threw", 1.0);
+                }
+                return wr;
+            };
+            pts.push_back(std::move(fp));
+        }
+
+        harness::FarmOptions fo;
+        fo.workers = cfg.workers;
+        fo.cacheDir = cfg.cacheDir;
+        fo.resume = cfg.resume;
+        harness::FarmRunner farm(fo);
+        auto verdicts = farm.run(pts);
+        out.farm = farm.stats();
+
+        for (int i = 0; i < cfg.iters; ++i) {
+            const auto &wr = verdicts[std::size_t(i)];
+            if (wr.correct) {
+                DiffOutcome &slot = results[std::size_t(i)];
+                slot.ok = true;
+                slot.numNodes = int(wr.metric("nodes"));
+                slot.words = std::size_t(wr.metric("words"));
+            } else {
+                // Diverged (or threw): re-simulate inline for the
+                // full detail the shrink/artifact pass needs.
+                work(i);
+            }
+        }
+    } else if (cfg.jobs <= 1 || cfg.iters == 1) {
         for (int i = 0; i < cfg.iters; ++i)
             work(i);
     } else {
-        harness::ThreadPool pool(std::min(cfg.jobs, cfg.iters));
+        const int threads = std::min(cfg.jobs, cfg.iters);
+        harness::ThreadPool pool(threads, 4 * std::size_t(threads));
         for (int i = 0; i < cfg.iters; ++i)
             pool.submit([&work, i] { work(i); });
         pool.wait();

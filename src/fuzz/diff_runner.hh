@@ -36,6 +36,7 @@
 
 #include "fuzz/program_gen.hh"
 #include "fuzz/ref_interp.hh"
+#include "harness/farm.hh"
 #include "sim/config.hh"
 
 namespace capsule::fuzz
@@ -84,6 +85,19 @@ struct FuzzConfig
     bool shrink = true;
     /** Where failing .casm repros land ("" disables dumping). */
     std::string artifactsDir = "fuzz-artifacts";
+
+    // Simulation-farm routing (harness/farm.hh). Any of these set
+    // runs iterations through the FarmRunner instead of the
+    // in-process ThreadPool: verdicts are memoized under the
+    // *generated image's* content digest, so a warm rerun of an
+    // unchanged campaign only regenerates programs and replays
+    // verdicts. Failing iterations are always re-simulated in the
+    // serial post-pass (the cache stores the verdict, not the
+    // divergence detail), so failures stay fully reported and the
+    // campaign output is byte-identical with or without the cache.
+    std::string cacheDir;    ///< verdict cache dir ("" = off)
+    int workers = 1;         ///< farm worker processes (0 = cores)
+    bool resume = false;     ///< resume this campaign's journal
 };
 
 /** One confirmed, shrunk failure. */
@@ -105,6 +119,8 @@ struct CampaignResult
     std::uint64_t wordsTotal = 0;
     /** Per-iteration outcome digests, for --jobs determinism checks. */
     std::vector<std::uint64_t> digests;
+    /** Farm counters (all zero on the classic ThreadPool path). */
+    harness::FarmStats farm;
 
     bool ok() const { return failures.empty(); }
 };

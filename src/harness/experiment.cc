@@ -47,8 +47,11 @@ ExperimentRunner::run(const std::vector<SweepPoint> &points) const
         for (std::size_t i = 0; i < points.size(); ++i)
             runPoint(i);
     } else {
-        ThreadPool pool(int(std::min<std::size_t>(
-            std::size_t(nJobs), points.size())));
+        const int threads = int(
+            std::min<std::size_t>(std::size_t(nJobs), points.size()));
+        // Bounded queue: huge sweeps are fed at the pool's pace
+        // instead of materializing every pending closure up front.
+        ThreadPool pool(threads, 4 * std::size_t(threads));
         for (std::size_t i = 0; i < points.size(); ++i)
             pool.submit([&runPoint, i] { runPoint(i); });
         pool.wait();

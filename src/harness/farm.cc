@@ -1,0 +1,616 @@
+#include "harness/farm.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "base/digest.hh"
+#include "base/logging.hh"
+#include "harness/thread_pool.hh"
+#include "sim/exec_semantics.hh"
+
+#ifdef __unix__
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define CAPSULE_FARM_CAN_FORK 1
+#else
+#define CAPSULE_FARM_CAN_FORK 0
+#endif
+
+namespace capsule::harness
+{
+namespace
+{
+
+double
+wallSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+}
+
+double
+threadCpuSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+}
+
+/**
+ * The campaign journal: one line per completed point digest, flushed
+ * to the kernel per append so a SIGKILLed coordinator loses at most
+ * the in-flight points. The header pins the campaign identity and
+ * size; a resume against a journal written by a *different* campaign
+ * (changed point matrix) starts fresh instead of mis-skipping.
+ */
+class Journal
+{
+  public:
+    Journal(std::string path, std::uint64_t campaign,
+            std::uint64_t num_points)
+        : path_(std::move(path)), campaign_(campaign),
+          numPoints_(num_points)
+    {
+    }
+
+    ~Journal()
+    {
+        if (f)
+            std::fclose(f);
+    }
+
+    /** Resume mode: parse completed digests (tolerating a torn final
+     *  line), then reopen for appending. A missing or foreign-
+     *  campaign journal yields an empty set and a fresh file. */
+    std::unordered_set<std::uint64_t>
+    loadForResume()
+    {
+        std::unordered_set<std::uint64_t> done;
+        bool valid = false;
+        if (FILE *in = std::fopen(path_.c_str(), "r")) {
+            char line[128];
+            if (std::fgets(line, sizeof line, in) &&
+                std::string(line) == header()) {
+                valid = true;
+                while (std::fgets(line, sizeof line, in)) {
+                    std::string s(line);
+                    std::uint64_t d = 0;
+                    if (s.size() == 5 + 16 + 1 &&
+                        s.rfind("done ", 0) == 0 && s.back() == '\n' &&
+                        parseHex16(s.substr(5, 16), d))
+                        done.insert(d);
+                    // A torn or foreign line is simply not a
+                    // completion record; the point recomputes.
+                }
+            }
+            std::fclose(in);
+        }
+        if (valid) {
+            f = std::fopen(path_.c_str(), "a");
+        } else {
+            done.clear();
+            startFresh();
+        }
+        return done;
+    }
+
+    void
+    startFresh()
+    {
+        f = std::fopen(path_.c_str(), "w");
+        if (f) {
+            std::fputs(header().c_str(), f);
+            std::fflush(f);
+        }
+    }
+
+    void
+    append(std::uint64_t digest)
+    {
+        if (!f)
+            return;
+        std::fprintf(f, "done %s\n", toHex16(digest).c_str());
+        std::fflush(f);
+    }
+
+  private:
+    std::string
+    header() const
+    {
+        return "capsule-farm-journal-v1 " + toHex16(campaign_) + " " +
+               std::to_string(numPoints_) + "\n";
+    }
+
+    std::string path_;
+    std::uint64_t campaign_;
+    std::uint64_t numPoints_;
+    FILE *f = nullptr;
+};
+
+#if CAPSULE_FARM_CAN_FORK
+
+/** Coordinator-to-worker "no more points" sentinel. */
+constexpr std::uint64_t shutdownIndex = ~std::uint64_t(0);
+
+/** Largest response payload the coordinator will believe; anything
+ *  bigger is protocol corruption, not a result. */
+constexpr std::uint64_t maxFramePayload = std::uint64_t(1) << 30;
+
+bool
+readFull(int fd, void *buf, std::size_t len)
+{
+    auto *p = static_cast<unsigned char *>(buf);
+    while (len > 0) {
+        ssize_t n = ::read(fd, p, len);
+        if (n > 0) {
+            p += n;
+            len -= std::size_t(n);
+        } else if (n == 0) {
+            return false; // EOF
+        } else if (errno != EINTR) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+writeFull(int fd, const void *buf, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(buf);
+    while (len > 0) {
+        ssize_t n = ::write(fd, p, len);
+        if (n >= 0) {
+            p += n;
+            len -= std::size_t(n);
+        } else if (errno != EINTR) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Worker main loop: read a point index, simulate, answer with a
+ * framed result, repeat until the shutdown sentinel or EOF. Workers
+ * never touch the cache or the journal — the coordinator is the
+ * single writer — so a worker crash can lose only its own point.
+ *
+ * Frame layout (host-endian u64s; coordinator and worker are one
+ * fork apart): [index][status][cpu-seconds bits][payload length]
+ * [payload bytes][FNV-1a of payload]. status 0 carries an encoded
+ * WorkloadResult, 1 an error message.
+ */
+[[noreturn]] void
+workerLoop(const std::vector<FarmPoint> &points, int req_fd,
+           int resp_fd)
+{
+    for (;;) {
+        std::uint64_t idx = 0;
+        if (!readFull(req_fd, &idx, sizeof idx))
+            _exit(0);
+        if (idx == shutdownIndex)
+            _exit(0);
+        if (idx >= points.size())
+            _exit(1);
+
+        std::uint64_t status = 0;
+        std::string payload;
+        double c0 = threadCpuSeconds();
+        try {
+            payload = ResultCache::encode(points[idx].run());
+        } catch (const std::exception &e) {
+            status = 1;
+            payload = e.what();
+        } catch (...) {
+            status = 1;
+            payload = "non-standard exception";
+        }
+        double cpu = threadCpuSeconds() - c0;
+
+        std::uint64_t hdr[4] = {idx, status,
+                                std::bit_cast<std::uint64_t>(cpu),
+                                payload.size()};
+        std::uint64_t check = fnv1aBytes(payload);
+        if (!writeFull(resp_fd, hdr, sizeof hdr) ||
+            !writeFull(resp_fd, payload.data(), payload.size()) ||
+            !writeFull(resp_fd, &check, sizeof check))
+            _exit(1); // coordinator went away
+    }
+}
+
+/** One forked worker as the coordinator sees it. */
+struct WorkerHandle
+{
+    pid_t pid = -1;
+    int reqFd = -1;  ///< coordinator writes point indices here
+    int respFd = -1; ///< coordinator reads result frames here
+    std::int64_t inflight = -1; ///< dealt, not yet answered
+    bool alive = false;
+};
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+void
+reapWorker(WorkerHandle &w, bool force_kill)
+{
+    if (!w.alive)
+        return;
+    closeFd(w.reqFd);
+    closeFd(w.respFd);
+    if (force_kill)
+        ::kill(w.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(w.pid, &status, 0);
+    w.alive = false;
+}
+
+#endif // CAPSULE_FARM_CAN_FORK
+
+} // namespace
+
+FarmPoint
+registryFarmPoint(const std::string &workload,
+                  const sim::MachineConfig &cfg,
+                  const wl::WorkloadRequest &req, std::string label)
+{
+    FarmPoint p;
+    p.label = label.empty()
+                  ? workload + "/" + cfg.name + "/seed" +
+                        std::to_string(req.seed)
+                  : std::move(label);
+    p.cacheable = true;
+    p.key.programDigest =
+        Digest().str("capsule-registry-workload-v1").str(workload)
+            .value();
+    p.key.configDigest = cfg.digest();
+    p.key.scale = wl::scaleLevelName(req.scale);
+    p.key.seed = req.seed;
+    p.key.semanticsHash = sim::semanticsTableHash();
+    p.run = [workload, cfg, req] {
+        return wl::WorkloadRegistry::builtin().run(workload, cfg,
+                                                   req);
+    };
+    return p;
+}
+
+FarmRunner::FarmRunner(FarmOptions options) : opts(std::move(options))
+{
+}
+
+std::uint64_t
+FarmRunner::campaignDigest(const std::vector<FarmPoint> &points)
+{
+    Digest d;
+    d.str("capsule-farm-campaign-v1");
+    d.u64(points.size());
+    for (const auto &p : points) {
+        d.str(p.label);
+        d.u64(p.cacheable ? 1 : 0);
+        d.u64(p.cacheable ? p.key.digest() : 0);
+    }
+    return d.value();
+}
+
+std::vector<wl::WorkloadResult>
+FarmRunner::run(const std::vector<FarmPoint> &points)
+{
+    const double w0 = wallSeconds();
+    const std::size_t n = points.size();
+    st = FarmStats{};
+    st.points = n;
+
+    std::vector<wl::WorkloadResult> results(n);
+    std::vector<std::string> errors(n);
+
+    std::unique_ptr<ResultCache> cache;
+    std::unique_ptr<Journal> journal;
+    std::unordered_set<std::uint64_t> journaled;
+    if (!opts.cacheDir.empty()) {
+        cache = std::make_unique<ResultCache>(opts.cacheDir);
+        journal = std::make_unique<Journal>(
+            opts.cacheDir + "/campaign-" +
+                toHex16(campaignDigest(points)) + ".journal",
+            campaignDigest(points), n);
+        if (opts.resume)
+            journaled = journal->loadForResume();
+        else
+            journal->startFresh();
+    }
+
+    std::uint64_t merges = 0;
+    // The mid-flight-kill hook (see FarmOptions::dieAfterMerges).
+    // Deliberately abrupt: the journal is flushed per merge, so
+    // _exit here leaves exactly the on-disk state a real SIGKILL
+    // would, which the resume tests then recover from.
+    auto maybeDie = [&](std::function<void()> kill_workers) {
+        if (opts.dieAfterMerges >= 0 &&
+            merges >= std::uint64_t(opts.dieAfterMerges)) {
+            if (kill_workers)
+                kill_workers();
+            _exit(FarmOptions::dieExitStatus);
+        }
+    };
+
+    // Phase 1 — resolve: satisfy cacheable points from the cache
+    // (journal-recorded points on a resume count as skips), queue
+    // the rest for computation.
+    std::deque<std::uint64_t> pending;
+    for (std::size_t i = 0; i < n; ++i) {
+        const FarmPoint &p = points[i];
+        bool filled = false;
+        if (cache && p.cacheable) {
+            const std::uint64_t kd = p.key.digest();
+            if (auto r = cache->load(p.key)) {
+                results[i] = std::move(*r);
+                filled = true;
+                if (journaled.count(kd))
+                    ++st.journalSkips;
+                else if (journal)
+                    journal->append(kd);
+                ++merges;
+                maybeDie(nullptr);
+            }
+            // A journaled point whose entry vanished or failed
+            // validation falls through and recomputes: the journal
+            // is a progress record, never a source of results.
+        }
+        if (!filled)
+            pending.push_back(i);
+    }
+    st.computed = pending.size();
+
+    auto completeComputed = [&](std::size_t i,
+                                wl::WorkloadResult result) {
+        results[i] = std::move(result);
+        if (cache && points[i].cacheable) {
+            cache->store(points[i].key, results[i]);
+            if (journal)
+                journal->append(points[i].key.digest());
+        }
+        ++merges;
+    };
+
+    auto runInline = [&](std::size_t i) {
+        try {
+            completeComputed(i, points[i].run());
+        } catch (const std::exception &e) {
+            errors[i] = e.what();
+            ++merges;
+        } catch (...) {
+            errors[i] = "non-standard exception";
+            ++merges;
+        }
+        maybeDie(nullptr);
+    };
+
+    int workers = opts.workers <= 0 ? hostConcurrency() : opts.workers;
+    workers = int(std::min<std::size_t>(
+        std::size_t(std::max(1, workers)),
+        std::max<std::size_t>(1, pending.size())));
+
+#if CAPSULE_FARM_CAN_FORK
+    const bool forked = workers > 1 && pending.size() > 1;
+#else
+    const bool forked = false;
+#endif
+
+    if (!forked) {
+        while (!pending.empty()) {
+            std::size_t i = pending.front();
+            pending.pop_front();
+            runInline(i);
+        }
+    }
+#if CAPSULE_FARM_CAN_FORK
+    else {
+        // Phase 2 — shard: fork the workers, deal one point at a
+        // time (self-balancing), merge frames as they arrive.
+        st.workersUsed = workers;
+        st.perWorkerPoints.assign(std::size_t(workers), 0);
+        st.perWorkerCpuSeconds.assign(std::size_t(workers), 0.0);
+
+        // A worker that died mid-write must surface as a requeue,
+        // not kill the coordinator with SIGPIPE.
+        struct sigaction ign{}, oldPipe{};
+        ign.sa_handler = SIG_IGN;
+        ::sigaction(SIGPIPE, &ign, &oldPipe);
+
+        std::vector<WorkerHandle> ws;
+        ws.resize(std::size_t(workers));
+        for (int w = 0; w < workers; ++w) {
+            int req[2], resp[2];
+            if (::pipe(req) != 0 || ::pipe(resp) != 0)
+                CAPSULE_FATAL("farm: pipe() failed: ",
+                              std::strerror(errno));
+            pid_t pid = ::fork();
+            if (pid < 0)
+                CAPSULE_FATAL("farm: fork() failed: ",
+                              std::strerror(errno));
+            if (pid == 0) {
+                // Worker: keep only its own two pipe ends.
+                ::close(req[1]);
+                ::close(resp[0]);
+                for (auto &other : ws) {
+                    if (other.alive) {
+                        ::close(other.reqFd);
+                        ::close(other.respFd);
+                    }
+                }
+                workerLoop(points, req[0], resp[1]);
+            }
+            ::close(req[0]);
+            ::close(resp[1]);
+            ws[std::size_t(w)] =
+                WorkerHandle{pid, req[1], resp[0], -1, true};
+        }
+
+        std::size_t outstanding = pending.size();
+
+        auto deal = [&](WorkerHandle &w) {
+            while (w.alive && w.inflight < 0) {
+                if (pending.empty()) {
+                    std::uint64_t s = shutdownIndex;
+                    writeFull(w.reqFd, &s, sizeof s);
+                    closeFd(w.reqFd);
+                    return;
+                }
+                std::uint64_t idx = pending.front();
+                if (writeFull(w.reqFd, &idx, sizeof idx)) {
+                    pending.pop_front();
+                    w.inflight = std::int64_t(idx);
+                } else {
+                    reapWorker(w, true); // point stays pending
+                }
+            }
+        };
+
+        auto workerDied = [&](WorkerHandle &w) {
+            if (w.inflight >= 0) {
+                pending.push_front(std::uint64_t(w.inflight));
+                w.inflight = -1;
+            }
+            reapWorker(w, true);
+        };
+
+        auto killAll = [&] {
+            for (auto &w : ws)
+                if (w.alive)
+                    ::kill(w.pid, SIGKILL);
+        };
+
+        for (auto &w : ws)
+            deal(w);
+
+        while (outstanding > 0) {
+            int liveCount = 0;
+            for (auto &w : ws)
+                liveCount += w.alive ? 1 : 0;
+            if (liveCount == 0) {
+                // Every worker died (all points crash-prone, or the
+                // host is hostile): finish inline so the campaign
+                // still completes and errors stay attributable.
+                while (!pending.empty()) {
+                    std::size_t i = pending.front();
+                    pending.pop_front();
+                    runInline(i);
+                    --outstanding;
+                }
+                break;
+            }
+
+            std::vector<pollfd> fds;
+            std::vector<std::size_t> fdWorker;
+            for (std::size_t w = 0; w < ws.size(); ++w) {
+                if (ws[w].alive && ws[w].respFd >= 0) {
+                    fds.push_back(
+                        pollfd{ws[w].respFd, POLLIN, 0});
+                    fdWorker.push_back(w);
+                }
+            }
+            if (fds.empty())
+                break;
+            int rc = ::poll(fds.data(), nfds_t(fds.size()), -1);
+            if (rc < 0) {
+                if (errno == EINTR)
+                    continue;
+                CAPSULE_FATAL("farm: poll() failed: ",
+                              std::strerror(errno));
+            }
+
+            for (std::size_t k = 0; k < fds.size(); ++k) {
+                if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                    continue;
+                WorkerHandle &w = ws[fdWorker[k]];
+                if (!w.alive)
+                    continue;
+
+                std::uint64_t hdr[4];
+                if (!readFull(w.respFd, hdr, sizeof hdr)) {
+                    workerDied(w);
+                    continue;
+                }
+                const std::uint64_t idx = hdr[0];
+                const std::uint64_t status = hdr[1];
+                const double cpu = std::bit_cast<double>(hdr[2]);
+                const std::uint64_t len = hdr[3];
+                if (idx != std::uint64_t(w.inflight) ||
+                    len > maxFramePayload) {
+                    workerDied(w); // protocol corruption
+                    continue;
+                }
+                std::string payload(len, '\0');
+                std::uint64_t check = 0;
+                if (!readFull(w.respFd, payload.data(), len) ||
+                    !readFull(w.respFd, &check, sizeof check) ||
+                    fnv1aBytes(payload) != check) {
+                    workerDied(w);
+                    continue;
+                }
+
+                w.inflight = -1;
+                st.perWorkerPoints[fdWorker[k]] += 1;
+                st.perWorkerCpuSeconds[fdWorker[k]] += cpu;
+
+                if (status == 0) {
+                    auto decoded = ResultCache::decode(payload);
+                    if (decoded) {
+                        completeComputed(std::size_t(idx),
+                                         std::move(*decoded));
+                    } else {
+                        errors[idx] = "worker returned an "
+                                      "undecodable result frame";
+                        ++merges;
+                    }
+                } else {
+                    errors[idx] = payload;
+                    ++merges;
+                }
+                --outstanding;
+                maybeDie(killAll);
+                deal(w);
+            }
+        }
+
+        for (auto &w : ws)
+            reapWorker(w, false);
+        ::sigaction(SIGPIPE, &oldPipe, nullptr);
+    }
+#endif // CAPSULE_FARM_CAN_FORK
+
+    if (cache) {
+        auto c = cache->counters();
+        st.cacheHits = c.hits;
+        st.cacheMisses = c.misses;
+        st.cacheStores = c.stores;
+        st.corruptEvictions = c.corruptEvictions;
+    }
+    st.wallSeconds = wallSeconds() - w0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!errors[i].empty())
+            throw std::runtime_error("farm point '" + points[i].label +
+                                     "' failed: " + errors[i]);
+    }
+    return results;
+}
+
+} // namespace capsule::harness

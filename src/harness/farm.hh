@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The campaign engine (DESIGN.md §9): runs a sweep of independent
+ * simulation points like the ExperimentRunner, but promoted to a
+ * multi-process simulation farm with three properties the single-
+ * process engine cannot offer:
+ *
+ *  - **content-addressed memoization** — every cacheable point is
+ *    keyed by (program digest, MachineConfig digest, scale, seed,
+ *    semantics-table hash) in a shared on-disk ResultCache, so
+ *    re-running an unchanged sweep is near-free and any behavioral
+ *    change misses by construction;
+ *  - **multi-process sharding** — the coordinator forks N worker
+ *    processes and deals points over pipes one at a time (a
+ *    self-balancing shard size), merging results in submission order
+ *    so output is byte-identical to a single worker at any count.
+ *    Process isolation also means a crashing point cannot take the
+ *    campaign down: the coordinator requeues the dead worker's point
+ *    and finishes with the survivors (inline if none remain);
+ *  - **checkpoint/resume** — completed point digests are journaled
+ *    (flushed per merge) next to the cache, so a killed campaign
+ *    restarted with `resume` replays its completed points from the
+ *    cache and simulates only the remainder. A journaled point whose
+ *    cache entry is missing or corrupt is recomputed — a damaged
+ *    checkpoint can cost time, never wrong results.
+ *
+ * Determinism contract: results are a pure function of each point's
+ * parameters (the workload-layer contract, DESIGN.md §4), the merge
+ * order is the submission order, and cache entries round-trip every
+ * field bit-exactly — so the result vector is byte-identical across
+ * worker counts, cold vs warm caches, and kill+resume, which
+ * tests/test_farm.cc asserts literally.
+ */
+
+#ifndef CAPSULE_HARNESS_FARM_HH
+#define CAPSULE_HARNESS_FARM_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/result_cache.hh"
+#include "sim/config.hh"
+#include "workloads/workload.hh"
+
+namespace capsule::harness
+{
+
+/** One independent point of a campaign. */
+struct FarmPoint
+{
+    /** Harness-chosen identifier (errors, progress). */
+    std::string label;
+
+    /** Whether the point may be memoized; non-cacheable points are
+     *  recomputed every run (and never satisfied from a journal). */
+    bool cacheable = false;
+
+    /** Content address of the point (meaningful when cacheable). */
+    CacheKey key;
+
+    /** The simulation; must depend only on captured parameters. */
+    std::function<wl::WorkloadResult()> run;
+};
+
+/** A cacheable point running a registered workload; the cache key is
+ *  (workload-name digest, cfg.digest(), scale, seed, semantics hash)
+ *  — the registry derives the simulated program deterministically
+ *  from exactly those axes (DESIGN.md §9). */
+FarmPoint registryFarmPoint(const std::string &workload,
+                            const sim::MachineConfig &cfg,
+                            const wl::WorkloadRequest &req,
+                            std::string label = "");
+
+struct FarmOptions
+{
+    /** Worker processes; <= 0 selects host hardware concurrency and
+     *  1 runs every point inline in the coordinator. */
+    int workers = 1;
+
+    /** Result-cache directory; empty disables memoization *and* the
+     *  journal (resume needs the cache as its payload store). */
+    std::string cacheDir;
+
+    /** Continue this campaign's journal instead of starting it
+     *  fresh: journaled points load from the cache, the rest are
+     *  simulated. Without the flag an existing journal for the same
+     *  campaign is truncated (the cache still serves hits). */
+    bool resume = false;
+
+    /**
+     * Test/CI hook simulating a mid-flight coordinator kill: after
+     * this many merged results the coordinator SIGKILLs its workers
+     * and _exit()s with status `dieExitStatus`, leaving the journal
+     * and cache exactly as a real kill would. < 0 disables.
+     */
+    int dieAfterMerges = -1;
+    static constexpr int dieExitStatus = 3;
+};
+
+/** Observability counters of one FarmRunner::run. */
+struct FarmStats
+{
+    std::uint64_t points = 0;    ///< points in the campaign
+    std::uint64_t computed = 0;  ///< points actually simulated
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheStores = 0;
+    std::uint64_t corruptEvictions = 0;
+    /** Resume-path points satisfied from journal + cache. */
+    std::uint64_t journalSkips = 0;
+    /** Workers actually forked (0 = fully inline run). */
+    int workersUsed = 0;
+    /** Points completed per worker (size == workersUsed). */
+    std::vector<std::uint64_t> perWorkerPoints;
+    /** Simulation CPU seconds burned per worker. */
+    std::vector<double> perWorkerCpuSeconds;
+    double wallSeconds = 0.0;
+};
+
+class FarmRunner
+{
+  public:
+    explicit FarmRunner(FarmOptions opts);
+
+    /**
+     * Run the campaign; results come back in submission order. A
+     * point that fails (throws in a worker or inline) surfaces as a
+     * std::runtime_error naming the lowest-index failing point —
+     * thrown after every other point completed, like the
+     * ExperimentRunner contract.
+     */
+    std::vector<wl::WorkloadResult>
+    run(const std::vector<FarmPoint> &points);
+
+    /** Counters of the most recent run(). */
+    const FarmStats &stats() const { return st; }
+
+    /** The campaign identity `points` journals under: a digest of
+     *  every point's label and key, in order. */
+    static std::uint64_t
+    campaignDigest(const std::vector<FarmPoint> &points);
+
+  private:
+    FarmOptions opts;
+    FarmStats st;
+};
+
+} // namespace capsule::harness
+
+#endif // CAPSULE_HARNESS_FARM_HH

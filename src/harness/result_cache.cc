@@ -1,0 +1,303 @@
+#include "harness/result_cache.hh"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "base/digest.hh"
+#include "base/logging.hh"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace capsule::harness
+{
+namespace
+{
+
+constexpr const char *entryMagic = "capsule-result-cache-v1";
+
+std::string
+bits(double v)
+{
+    return toHex16(std::bit_cast<std::uint64_t>(v));
+}
+
+bool
+parseBits(const std::string &s, double &out)
+{
+    std::uint64_t u;
+    if (!parseHex16(s, u))
+        return false;
+    out = std::bit_cast<double>(u);
+    return true;
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + std::uint64_t(c - '0');
+    }
+    out = v;
+    return true;
+}
+
+/** Process-unique suffix for atomic-publish temp files. */
+std::string
+tempSuffix()
+{
+    static std::atomic<std::uint64_t> seq{0};
+#ifdef __unix__
+    long pid = long(::getpid());
+#else
+    long pid = 0;
+#endif
+    return ".tmp-" + std::to_string(pid) + "-" +
+           std::to_string(seq.fetch_add(1));
+}
+
+} // namespace
+
+std::uint64_t
+CacheKey::digest() const
+{
+    Digest d;
+    d.str("capsule-cache-key-v1");
+    d.u64(programDigest);
+    d.u64(configDigest);
+    d.str(scale);
+    d.u64(seed);
+    d.u64(semanticsHash);
+    d.u64(extra);
+    return d.value();
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    CAPSULE_ASSERT(!dir_.empty(), "empty result-cache directory");
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec && !std::filesystem::is_directory(dir_))
+        throw std::runtime_error("cannot create result cache at '" +
+                                 dir_ + "': " + ec.message());
+}
+
+std::string
+ResultCache::entryPath(const CacheKey &key) const
+{
+    return dir_ + "/" + toHex16(key.digest()) + ".res";
+}
+
+std::string
+ResultCache::encode(const wl::WorkloadResult &r)
+{
+    CAPSULE_ASSERT(r.workload.find('\n') == std::string::npos,
+                   "workload name contains a newline");
+    std::ostringstream out;
+    out << "workload " << r.workload << "\n";
+    out << "correct " << (r.correct ? 1 : 0) << "\n";
+    out << "serial " << r.serialCycles << "\n";
+    const auto &s = r.stats;
+    out << "stats " << s.cycles << " " << s.instructions << " "
+        << bits(s.ipc) << " " << s.divisionsRequested << " "
+        << s.divisionsGranted << " " << s.divisionsThrottled << " "
+        << s.divisionsRemote << " " << s.threadDeaths << " "
+        << s.lockConflicts << " " << s.swapsOut << " " << s.swapsIn
+        << " " << bits(s.bpredAccuracy) << " " << bits(s.l1dMissRate)
+        << " " << s.peakLiveThreads << " "
+        << bits(s.avgActiveThreads) << "\n";
+    for (const auto &[k, v] : r.metrics) {
+        CAPSULE_ASSERT(k.find('\n') == std::string::npos,
+                       "metric key contains a newline");
+        // Value first: the key is the rest of the line, so metric
+        // keys may contain spaces.
+        out << "metric " << bits(v) << " " << k << "\n";
+    }
+    return out.str();
+}
+
+std::optional<wl::WorkloadResult>
+ResultCache::decode(const std::string &payload)
+{
+    std::istringstream in(payload);
+    std::string line;
+    wl::WorkloadResult r;
+
+    auto next = [&](const char *tag, std::string &rest) {
+        if (!std::getline(in, line))
+            return false;
+        std::string prefix = std::string(tag) + " ";
+        if (line.rfind(prefix, 0) != 0)
+            return false;
+        rest = line.substr(prefix.size());
+        return true;
+    };
+
+    std::string rest;
+    if (!next("workload", rest))
+        return std::nullopt;
+    r.workload = rest;
+    if (!next("correct", rest) || (rest != "0" && rest != "1"))
+        return std::nullopt;
+    r.correct = rest == "1";
+    if (!next("serial", rest) || !parseU64(rest, r.serialCycles))
+        return std::nullopt;
+    if (!next("stats", rest))
+        return std::nullopt;
+    {
+        std::istringstream fields(rest);
+        std::string f[15];
+        for (auto &t : f)
+            if (!(fields >> t))
+                return std::nullopt;
+        std::string trailing;
+        if (fields >> trailing)
+            return std::nullopt;
+        auto &s = r.stats;
+        std::uint64_t peak = 0;
+        if (!parseU64(f[0], s.cycles) ||
+            !parseU64(f[1], s.instructions) ||
+            !parseBits(f[2], s.ipc) ||
+            !parseU64(f[3], s.divisionsRequested) ||
+            !parseU64(f[4], s.divisionsGranted) ||
+            !parseU64(f[5], s.divisionsThrottled) ||
+            !parseU64(f[6], s.divisionsRemote) ||
+            !parseU64(f[7], s.threadDeaths) ||
+            !parseU64(f[8], s.lockConflicts) ||
+            !parseU64(f[9], s.swapsOut) ||
+            !parseU64(f[10], s.swapsIn) ||
+            !parseBits(f[11], s.bpredAccuracy) ||
+            !parseBits(f[12], s.l1dMissRate) ||
+            !parseU64(f[13], peak) ||
+            !parseBits(f[14], s.avgActiveThreads))
+            return std::nullopt;
+        s.peakLiveThreads = int(peak);
+    }
+    while (std::getline(in, line)) {
+        // metric <16-hex bits> <key, may contain spaces>
+        if (line.rfind("metric ", 0) != 0 || line.size() < 7 + 16 + 2)
+            return std::nullopt;
+        double v;
+        if (!parseBits(line.substr(7, 16), v) || line[7 + 16] != ' ')
+            return std::nullopt;
+        r.metrics.emplace_back(line.substr(7 + 17), v);
+    }
+    return r;
+}
+
+std::optional<wl::WorkloadResult>
+ResultCache::load(const CacheKey &key)
+{
+    const std::string path = entryPath(key);
+    std::string text;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::lock_guard lock(mtx);
+            ++ctr.misses;
+            return std::nullopt;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+
+    auto corrupt = [&]() -> std::optional<wl::WorkloadResult> {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        std::lock_guard lock(mtx);
+        ++ctr.misses;
+        ++ctr.corruptEvictions;
+        return std::nullopt;
+    };
+
+    // Header: magic line, then the key echo.
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != entryMagic)
+        return corrupt();
+    std::uint64_t echoed = 0;
+    if (!std::getline(in, line) || line.rfind("key ", 0) != 0 ||
+        !parseHex16(line.substr(4), echoed) ||
+        echoed != key.digest())
+        return corrupt();
+
+    // Payload runs to the final "check <hex>" line.
+    std::size_t payloadBegin = std::size_t(in.tellg());
+    std::size_t checkAt = text.rfind("\ncheck ");
+    if (checkAt == std::string::npos || checkAt + 1 < payloadBegin)
+        return corrupt();
+    std::string payload =
+        text.substr(payloadBegin, checkAt + 1 - payloadBegin);
+    std::string checkLine = text.substr(checkAt + 1);
+    std::uint64_t want = 0;
+    if (checkLine.size() != 6 + 16 + 1 ||
+        checkLine.rfind("check ", 0) != 0 ||
+        checkLine.back() != '\n' ||
+        !parseHex16(checkLine.substr(6, 16), want) ||
+        fnv1aBytes(payload) != want)
+        return corrupt();
+
+    auto result = decode(payload);
+    if (!result)
+        return corrupt();
+
+    std::lock_guard lock(mtx);
+    ++ctr.hits;
+    return result;
+}
+
+void
+ResultCache::store(const CacheKey &key, const wl::WorkloadResult &r)
+{
+    std::string payload = encode(r);
+    std::ostringstream out;
+    out << entryMagic << "\n";
+    out << "key " << toHex16(key.digest()) << "\n";
+    out << payload;
+    out << "check " << toHex16(fnv1aBytes(payload)) << "\n";
+
+    const std::string path = entryPath(key);
+    const std::string tmp = path + tempSuffix();
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f) {
+            return; // degrade to recompute-next-time
+        }
+        f << out.str();
+        f.flush();
+        if (!f) {
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return;
+    }
+    std::lock_guard lock(mtx);
+    ++ctr.stores;
+}
+
+ResultCache::Counters
+ResultCache::counters() const
+{
+    std::lock_guard lock(mtx);
+    return ctr;
+}
+
+} // namespace capsule::harness

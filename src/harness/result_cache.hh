@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Content-addressed on-disk memoization of simulation results
+ * (DESIGN.md §9). A cache key names *what* was simulated — program
+ * digest, MachineConfig digest, data-set scale, seed and the
+ * execution-semantics table hash — never *where or when*, so a warm
+ * cache makes re-running an unchanged sweep near-free while any
+ * behavioral change (config field, program content, ISA semantics)
+ * misses by construction.
+ *
+ * Entries are small versioned text files, one per key, whose payload
+ * carries every `wl::WorkloadResult` field with doubles as IEEE-754
+ * bit patterns (bit-exact round trip) and ends in an FNV-1a checksum.
+ * Loads verify version, key echo and checksum; anything unexpected —
+ * truncation, corruption, a stale format — is treated as a miss, the
+ * entry is evicted, and the caller recomputes: a corrupt cache can
+ * cost time, never wrong results.
+ *
+ * Stores are atomic (unique temp file + rename), so concurrent
+ * writers — farm coordinators, thread-pool jobs, even two unrelated
+ * campaigns sharing a directory — can only ever publish complete
+ * entries. The class is thread-safe.
+ */
+
+#ifndef CAPSULE_HARNESS_RESULT_CACHE_HH
+#define CAPSULE_HARNESS_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "workloads/workload.hh"
+
+namespace capsule::harness
+{
+
+/** What a memoized result is keyed by (DESIGN.md §9 contract). */
+struct CacheKey
+{
+    /** Content digest of the simulated program: casm::Image::digest()
+     *  for image-level callers (the fuzzer); for registry workloads —
+     *  which derive their program deterministically from (name, seed,
+     *  scale) — a digest of the workload name stands in. */
+    std::uint64_t programDigest = 0;
+
+    /** MachineConfig::digest() of the simulated configuration. */
+    std::uint64_t configDigest = 0;
+
+    /** Data-set scale name ("quick" / "default" / "paper"). */
+    std::string scale;
+
+    /** Workload/generator seed of the point. */
+    std::uint64_t seed = 0;
+
+    /** sim::semanticsTableHash(): ties every entry to the ISA
+     *  semantics it was computed under. */
+    std::uint64_t semanticsHash = 0;
+
+    /** Harness-specific extra axis (bench_simperf repetition count,
+     *  fuzz backend-set + injected-bug digest, ...). */
+    std::uint64_t extra = 0;
+
+    /** The content address: FNV-1a over the canonical serialization
+     *  of every component above. */
+    std::uint64_t digest() const;
+};
+
+class ResultCache
+{
+  public:
+    struct Counters
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t stores = 0;
+        /** Entries evicted because they failed validation. */
+        std::uint64_t corruptEvictions = 0;
+    };
+
+    /** Opens (and creates if needed) the cache directory.
+     *  @throws std::runtime_error when the directory cannot be made */
+    explicit ResultCache(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Look `key` up. A validated entry returns its result (hit);
+     * absence is a miss; a present-but-invalid entry is evicted and
+     * reported as a miss plus a corrupt eviction.
+     */
+    std::optional<wl::WorkloadResult> load(const CacheKey &key);
+
+    /** Memoize `result` under `key` (atomic publish; best-effort — a
+     *  full disk degrades to recompute-next-time, not an error). */
+    void store(const CacheKey &key, const wl::WorkloadResult &result);
+
+    Counters counters() const;
+
+    /** Entry path for `key` (tests poke files to simulate damage). */
+    std::string entryPath(const CacheKey &key) const;
+
+    /** Serialize `result` as the versioned entry payload. */
+    static std::string encode(const wl::WorkloadResult &result);
+
+    /** Parse an entry payload; std::nullopt on any anomaly. */
+    static std::optional<wl::WorkloadResult>
+    decode(const std::string &payload);
+
+  private:
+    std::string dir_;
+    mutable std::mutex mtx;
+    Counters ctr;
+};
+
+} // namespace capsule::harness
+
+#endif // CAPSULE_HARNESS_RESULT_CACHE_HH

@@ -11,7 +11,8 @@ hostConcurrency()
     return std::max(1u, std::thread::hardware_concurrency());
 }
 
-ThreadPool::ThreadPool(int threads)
+ThreadPool::ThreadPool(int threads, std::size_t maxQueue)
+    : maxQueued(maxQueue)
 {
     int n = std::max(1, threads);
     workers.reserve(std::size_t(n));
@@ -26,6 +27,7 @@ ThreadPool::~ThreadPool()
         stopping = true;
     }
     wake.notify_all();
+    space.notify_all();
     for (auto &w : workers)
         w.join();
 }
@@ -35,7 +37,14 @@ ThreadPool::submit(std::function<void()> job)
 {
     {
         std::unique_lock lock(mtx);
+        if (maxQueued > 0)
+            space.wait(lock, [this] {
+                return stopping || queue.size() < maxQueued;
+            });
+        if (stopping)
+            return; // racing the destructor; drop rather than hang
         queue.push_back(std::move(job));
+        peak = std::max(peak, queue.size());
     }
     wake.notify_one();
 }
@@ -55,6 +64,13 @@ ThreadPool::droppedExceptions() const
     return nDropped;
 }
 
+std::size_t
+ThreadPool::peakQueued() const
+{
+    std::unique_lock lock(mtx);
+    return peak;
+}
+
 void
 ThreadPool::workerLoop()
 {
@@ -70,6 +86,8 @@ ThreadPool::workerLoop()
             queue.pop_front();
             ++inFlight;
         }
+        if (maxQueued > 0)
+            space.notify_one(); // room for a backpressured submit()
         // Contain a throwing job: without this, the exception would
         // kill the worker with inFlight still counted (wait() would
         // then block forever) — or terminate the process outright.

@@ -33,8 +33,15 @@ int hostConcurrency();
 class ThreadPool
 {
   public:
-    /** Spawn `threads` workers (clamped to at least 1). */
-    explicit ThreadPool(int threads);
+    /**
+     * Spawn `threads` workers (clamped to at least 1). `maxQueue`
+     * bounds the number of *queued* (not yet running) jobs: a full
+     * queue makes submit() block until a worker dequeues, so a
+     * producer enumerating a huge campaign is backpressured to the
+     * pool's pace instead of materializing every closure up front.
+     * 0 keeps the queue unbounded.
+     */
+    explicit ThreadPool(int threads, std::size_t maxQueue = 0);
 
     /** Drains the queue, then joins all workers. */
     ~ThreadPool();
@@ -42,7 +49,8 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue a job (see the file comment on throwing jobs). */
+    /** Enqueue a job; blocks while a bounded queue is full (see the
+     *  file comment on throwing jobs). */
     void submit(std::function<void()> job);
 
     /** Block until every submitted job has finished. */
@@ -53,14 +61,21 @@ class ThreadPool
     /** Jobs whose escaped exception the pool swallowed. */
     std::uint64_t droppedExceptions() const;
 
+    /** High-water mark of queued (not yet dequeued) jobs; with a
+     *  bounded queue this never exceeds the bound. */
+    std::size_t peakQueued() const;
+
   private:
     void workerLoop();
 
     mutable std::mutex mtx;
     std::condition_variable wake;   ///< signals workers: job / stop
     std::condition_variable drained; ///< signals wait(): all done
+    std::condition_variable space;  ///< signals submit(): queue room
     std::deque<std::function<void()>> queue;
     std::vector<std::thread> workers;
+    std::size_t maxQueued = 0; ///< submit() bound; 0 = unbounded
+    std::size_t peak = 0;      ///< queue-depth high-water mark
     int inFlight = 0;   ///< dequeued but not yet finished
     std::uint64_t nDropped = 0; ///< jobs that threw (see above)
     bool stopping = false;

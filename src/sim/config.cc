@@ -1,7 +1,71 @@
 #include "sim/config.hh"
 
+#include "base/digest.hh"
+
 namespace capsule::sim
 {
+namespace
+{
+
+void
+feed(Digest &d, const CacheParams &c)
+{
+    // Cache names ("l1d", "l2.shared", ...) only label stats dumps;
+    // geometry and latency are what simulate.
+    d.u64(c.sizeBytes)
+        .i64(c.assoc)
+        .i64(c.lineBytes)
+        .u64(c.hitLatency);
+}
+
+} // namespace
+
+std::uint64_t
+MachineConfig::digest() const
+{
+    Digest d;
+    // A format tag so a future serialization change cannot collide
+    // with today's by accident.
+    d.str("capsule-machine-config-v1");
+    d.str(backend);
+    d.i64(numContexts);
+    d.i64(fetchWidth)
+        .i64(fetchThreadsPerCycle)
+        .i64(fetchInstsPerThread)
+        .i64(branchPredPerCycle)
+        .i64(ifqSize);
+    d.i64(decodeWidth).i64(issueWidth).i64(commitWidth);
+    d.i64(ruuSize).i64(lsqSize);
+    d.i64(numIalu).i64(numImult).i64(numFpalu).i64(numFpmult);
+    d.u64(ialuLatency)
+        .u64(imultLatency)
+        .u64(fpaluLatency)
+        .u64(fpmultLatency);
+    d.i64(dcachePorts);
+    feed(d, mem.l1i);
+    feed(d, mem.l1d);
+    feed(d, mem.l2);
+    d.u64(mem.memLatency);
+    d.i64(std::int64_t(division.policy));
+    d.u64(division.deathWindow);
+    d.i64(division.deathThreshold);
+    d.i64(division.staticContexts);
+    d.i64(ctxStack.entries);
+    d.u64(ctxStack.swapLatency);
+    d.i64(ctxStack.loadWindow);
+    d.i64(ctxStack.swapThreshold);
+    d.u64(enableContextStack ? 1 : 0);
+    d.u64(lockTableCapacity);
+    d.u64(registerCopyCycles);
+    d.u64(divisionExtraLatency);
+    d.i64(cmp.numCores);
+    d.u64(cmp.crossCoreDivLatency);
+    d.u64(cmp.coldL1Penalty);
+    feed(d, cmp.l2Config);
+    d.u64(ffwdInstructions);
+    d.u64(maxCycles);
+    return d.value();
+}
 
 MachineConfig
 MachineConfig::superscalar()

@@ -122,6 +122,17 @@ struct MachineConfig
     /** Safety net for runaway simulations. */
     Cycle maxCycles = 2'000'000'000ULL;
 
+    /**
+     * Stable behavioral identity of this configuration: an FNV-1a
+     * digest over the canonical serialization of every field that can
+     * change simulated results (base/digest.hh rules; `name` is a
+     * display label and deliberately excluded). Used as the
+     * MachineConfig component of the simulation farm's content-
+     * addressed cache keys, so it must change exactly when simulated
+     * behavior can — pinned by tests/test_farm.cc.
+     */
+    std::uint64_t digest() const;
+
     /** The paper's three evaluated processors. */
     static MachineConfig superscalar();
     static MachineConfig smtStatic(int contexts = 8);

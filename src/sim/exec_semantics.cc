@@ -1,5 +1,9 @@
 #include "sim/exec_semantics.hh"
 
+#include <string>
+
+#include "base/digest.hh"
+
 namespace capsule::sim
 {
 namespace
@@ -25,6 +29,19 @@ semanticsOpName(std::size_t idx)
     CAPSULE_ASSERT(idx < semanticsOpCount(),
                    "semantics table index out of range: ", idx);
     return opNames[idx];
+}
+
+std::uint64_t
+semanticsTableHash()
+{
+    // Exactly the derivation the pinned-hash test uses: the entry
+    // names in table order, '\n'-joined, plain FNV-1a.
+    std::string joined;
+    for (std::size_t i = 0; i < semanticsOpCount(); ++i) {
+        joined += semanticsOpName(i);
+        joined += '\n';
+    }
+    return fnv1aBytes(joined);
 }
 
 } // namespace capsule::sim

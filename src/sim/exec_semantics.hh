@@ -464,6 +464,15 @@ std::size_t semanticsOpCount();
  *  one-implementation test. */
 const char *semanticsOpName(std::size_t idx);
 
+/**
+ * FNV-1a digest of the semantics table's entry list (the same value
+ * tests/test_exec_semantics.cc pins). The simulation farm folds it
+ * into every content-addressed cache key, so a change to the
+ * execution-semantics table invalidates every memoized result instead
+ * of silently replaying results computed under older semantics.
+ */
+std::uint64_t semanticsTableHash();
+
 } // namespace capsule::sim
 
 #endif // CAPSULE_SIM_EXEC_SEMANTICS_HH

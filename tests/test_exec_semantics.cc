@@ -96,6 +96,16 @@ TEST(SemanticsTable, PinnedHash)
         << fnv1a(joined);
 }
 
+TEST(SemanticsTable, ExportedHashMatchesPinnedDerivation)
+{
+    // sim::semanticsTableHash() is the value the simulation farm
+    // folds into every result-cache key (harness/result_cache.hh), so
+    // it must be exactly the pinned derivation above: an ISA
+    // semantics change then invalidates every memoized result by
+    // construction.
+    EXPECT_EQ(sim::semanticsTableHash(), 0xc4863f58af269207ULL);
+}
+
 // ---------------------------------------------------------------
 // exactly one implementation in the source tree
 // ---------------------------------------------------------------

@@ -108,6 +108,39 @@ TEST(ThreadPool, ThrowingJobDoesNotDeadlockOrPoisonResults)
               std::uint64_t(expectedThrows));
 }
 
+TEST(ThreadPool, BoundedQueueBackpressuresSubmit)
+{
+    // A 2-entry queue on 2 workers: a producer pushing 60 jobs must
+    // be paced by the pool, so the queue-depth high-water mark can
+    // never exceed the bound — and every job still runs exactly once.
+    harness::ThreadPool pool(2, 2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 60; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 60);
+    EXPECT_LE(pool.peakQueued(), 2u);
+    EXPECT_GE(pool.peakQueued(), 1u);
+}
+
+TEST(ThreadPool, UnboundedQueueRecordsPeakDepth)
+{
+    harness::ThreadPool pool(1, 0);
+    std::atomic<bool> release{false};
+    pool.submit([&release] {
+        while (!release.load())
+            std::this_thread::yield();
+    });
+    // With the lone worker blocked, these must all pile up.
+    std::atomic<int> count{0};
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&count] { ++count; });
+    EXPECT_GE(pool.peakQueued(), 10u);
+    release = true;
+    pool.wait();
+    EXPECT_EQ(count.load(), 10);
+}
+
 TEST(ThreadPool, NonStandardExceptionsAreContainedToo)
 {
     harness::ThreadPool pool(2);

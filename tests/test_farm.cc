@@ -1,0 +1,536 @@
+/**
+ * @file
+ * The simulation farm (harness/farm.hh): the stable digest contracts
+ * behind its cache keys (pinned constants), memoization and the
+ * corruption/eviction path, multi-process sharding determinism
+ * (workers 1 vs N byte-identical), error propagation, and the
+ * checkpoint/resume contract including a real mid-flight coordinator
+ * kill (fork + exit-status-3 + --resume equivalent).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "base/digest.hh"
+#include "casm/assembler.hh"
+#include "harness/experiment.hh"
+#include "harness/farm.hh"
+#include "sim/config.hh"
+#include "sim/exec_semantics.hh"
+#include "workloads/workload.hh"
+
+#ifdef __unix__
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace capsule
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------
+// stable digests (the cache-key foundations)
+// ---------------------------------------------------------------
+
+TEST(StableDigest, MachineConfigPinned)
+{
+    // The golden digests of the three standard machine shapes. A
+    // mismatch means MachineConfig::digest() changed meaning — a new
+    // field was added to the serialization, or a preset changed — and
+    // every on-disk cache entry is (correctly) invalidated. Re-derive
+    // the constants from the failure message when that is deliberate.
+    EXPECT_EQ(sim::MachineConfig::somt().digest(),
+              0x7e85032af392910fULL)
+        << std::hex << sim::MachineConfig::somt().digest();
+    EXPECT_EQ(sim::MachineConfig::superscalar().digest(),
+              0x4cfbade72ca6aa29ULL)
+        << std::hex << sim::MachineConfig::superscalar().digest();
+    EXPECT_EQ(sim::MachineConfig::cmpSomt(2, 4).digest(),
+              0x7073706bbd64ed60ULL)
+        << std::hex << sim::MachineConfig::cmpSomt(2, 4).digest();
+}
+
+TEST(StableDigest, MachineConfigSeparatesBehavioralAxes)
+{
+    auto base = sim::MachineConfig::somt();
+    auto d0 = base.digest();
+
+    auto c = base;
+    c.name = "renamed"; // identity, not behavior
+    EXPECT_EQ(c.digest(), d0);
+
+    c = base;
+    c.ruuSize += 1;
+    EXPECT_NE(c.digest(), d0);
+    c = base;
+    c.division.deathWindow += 1;
+    EXPECT_NE(c.digest(), d0);
+    c = base;
+    c.mem.l1d.sizeBytes *= 2;
+    EXPECT_NE(c.digest(), d0);
+    c = base;
+    c.backend = "func";
+    EXPECT_NE(c.digest(), d0);
+    c = base;
+    c.maxCycles += 1;
+    EXPECT_NE(c.digest(), d0);
+}
+
+TEST(StableDigest, ImageContentNotLabels)
+{
+    casm::Image img;
+    img.base = 0x1000;
+    img.words = {0x11223344, 0xdeadbeef, 0x00000000, 0x42424242};
+    img.symbols["entry"] = 0x1000;
+
+    // Pinned: the image digest is part of the fuzz cache keys.
+    EXPECT_EQ(img.digest(), 0xa7f996b948d406d8ULL)
+        << std::hex << img.digest();
+
+    auto relabeled = img;
+    relabeled.symbols.clear();
+    relabeled.symbols["somewhere_else"] = 0x1004;
+    EXPECT_EQ(relabeled.digest(), img.digest())
+        << "labels are not content";
+
+    auto moved = img;
+    moved.base = 0x2000;
+    EXPECT_NE(moved.digest(), img.digest());
+    auto edited = img;
+    edited.words[1] ^= 1;
+    EXPECT_NE(edited.digest(), img.digest());
+    auto extended = img;
+    extended.words.push_back(0);
+    EXPECT_NE(extended.digest(), img.digest());
+}
+
+TEST(StableDigest, CanonicalSerializationPrimitives)
+{
+    // Digest building blocks behave canonically: length-prefixed
+    // strings cannot alias across field boundaries, and integers are
+    // fed as explicit little-endian bytes.
+    EXPECT_NE(Digest().str("ab").str("c").value(),
+              Digest().str("a").str("bc").value());
+    EXPECT_EQ(Digest().u64(0x0102030405060708ULL).value(),
+              Digest()
+                  .bytes("\x08\x07\x06\x05\x04\x03\x02\x01", 8)
+                  .value());
+    EXPECT_EQ(fnv1aBytes(""), 0xcbf29ce484222325ULL);
+}
+
+// ---------------------------------------------------------------
+// farm campaigns (synthetic points: fast, fully deterministic)
+// ---------------------------------------------------------------
+
+wl::WorkloadResult
+syntheticResult(int i)
+{
+    wl::WorkloadResult r;
+    r.workload = "synthetic";
+    r.correct = true;
+    r.stats.cycles = Cycle(1000 + i);
+    r.stats.instructions = std::uint64_t(500 + i);
+    r.stats.ipc = double(500 + i) / double(1000 + i);
+    r.setMetric("index", double(i));
+    return r;
+}
+
+std::vector<harness::FarmPoint>
+syntheticPoints(int n)
+{
+    std::vector<harness::FarmPoint> points;
+    for (int i = 0; i < n; ++i) {
+        harness::FarmPoint p;
+        p.label = "syn" + std::to_string(i);
+        p.cacheable = true;
+        p.key.programDigest = std::uint64_t(i + 1);
+        p.key.configDigest = 0xabcULL;
+        p.key.scale = "quick";
+        p.key.seed = std::uint64_t(i);
+        p.key.semanticsHash = 0x5eedULL;
+        p.run = [i] { return syntheticResult(i); };
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+std::string
+tempDir(const char *tag)
+{
+    static int counter = 0;
+    auto d = fs::temp_directory_path() /
+             (std::string("capsule-farm-test-") + tag + "-" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->random_seed()) +
+              "-" + std::to_string(counter++));
+    fs::remove_all(d);
+    return d.string();
+}
+
+void
+expectSameResults(const std::vector<wl::WorkloadResult> &a,
+                  const std::vector<wl::WorkloadResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].stats, b[i].stats) << i;
+        EXPECT_EQ(a[i], b[i]) << i;
+    }
+}
+
+TEST(Farm, InlineRunMatchesDirectEvaluation)
+{
+    harness::FarmRunner farm({});
+    auto results = farm.run(syntheticPoints(10));
+    ASSERT_EQ(results.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(results[std::size_t(i)], syntheticResult(i)) << i;
+    EXPECT_EQ(farm.stats().points, 10u);
+    EXPECT_EQ(farm.stats().computed, 10u);
+    EXPECT_EQ(farm.stats().cacheHits, 0u);
+    EXPECT_EQ(farm.stats().workersUsed, 0);
+}
+
+TEST(Farm, MultiProcessIdenticalToInlineAtAnyWorkerCount)
+{
+    auto reference = harness::FarmRunner({}).run(syntheticPoints(25));
+    for (int workers : {2, 3, 8}) {
+        harness::FarmOptions o;
+        o.workers = workers;
+        harness::FarmRunner farm(o);
+        auto results = farm.run(syntheticPoints(25));
+        expectSameResults(results, reference);
+        EXPECT_GT(farm.stats().workersUsed, 1) << workers;
+        // Every point was completed by exactly one worker.
+        std::uint64_t total = 0;
+        for (auto c : farm.stats().perWorkerPoints)
+            total += c;
+        EXPECT_EQ(total, 25u) << workers;
+    }
+}
+
+TEST(Farm, WorkerCountExceedingPointsIsClamped)
+{
+    harness::FarmOptions o;
+    o.workers = 16;
+    harness::FarmRunner farm(o);
+    auto results = farm.run(syntheticPoints(3));
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_LE(farm.stats().workersUsed, 3);
+}
+
+TEST(Farm, EmptyCampaign)
+{
+    harness::FarmOptions o;
+    o.workers = 4;
+    harness::FarmRunner farm(o);
+    EXPECT_TRUE(farm.run({}).empty());
+    EXPECT_EQ(farm.stats().points, 0u);
+}
+
+TEST(Farm, WarmCacheReplaysWithoutComputing)
+{
+    const auto dir = tempDir("warm");
+    harness::FarmOptions o;
+    o.cacheDir = dir;
+
+    harness::FarmRunner cold(o);
+    auto first = cold.run(syntheticPoints(12));
+    EXPECT_EQ(cold.stats().computed, 12u);
+    EXPECT_EQ(cold.stats().cacheMisses, 12u);
+    EXPECT_EQ(cold.stats().cacheStores, 12u);
+
+    harness::FarmRunner warm(o);
+    auto second = warm.run(syntheticPoints(12));
+    EXPECT_EQ(warm.stats().computed, 0u) << "warm run must not simulate";
+    EXPECT_EQ(warm.stats().cacheHits, 12u);
+    expectSameResults(second, first);
+
+    // Multi-process warm run: hits are resolved in the coordinator,
+    // identical again.
+    harness::FarmOptions om = o;
+    om.workers = 4;
+    harness::FarmRunner warmMp(om);
+    expectSameResults(warmMp.run(syntheticPoints(12)), first);
+    EXPECT_EQ(warmMp.stats().computed, 0u);
+    fs::remove_all(dir);
+}
+
+TEST(Farm, NonCacheablePointsAlwaysRecompute)
+{
+    const auto dir = tempDir("nocache");
+    auto points = syntheticPoints(4);
+    points[1].cacheable = false;
+    harness::FarmOptions o;
+    o.cacheDir = dir;
+    harness::FarmRunner cold(o);
+    cold.run(points);
+    EXPECT_EQ(cold.stats().cacheStores, 3u);
+
+    harness::FarmRunner warm(o);
+    warm.run(points);
+    EXPECT_EQ(warm.stats().cacheHits, 3u);
+    EXPECT_EQ(warm.stats().computed, 1u);
+    fs::remove_all(dir);
+}
+
+TEST(Farm, CorruptCacheEntryIsRecomputedNotTrusted)
+{
+    const auto dir = tempDir("corrupt");
+    harness::FarmOptions o;
+    o.cacheDir = dir;
+    harness::FarmRunner cold(o);
+    auto first = cold.run(syntheticPoints(6));
+
+    // Damage one entry on disk.
+    harness::ResultCache cache(dir);
+    auto points = syntheticPoints(6);
+    const std::string victim = cache.entryPath(points[2].key);
+    {
+        std::ofstream f(victim, std::ios::binary | std::ios::trunc);
+        f << "capsule-result-cache-v1\nnot really\n";
+    }
+
+    harness::FarmRunner warm(o);
+    auto second = warm.run(syntheticPoints(6));
+    expectSameResults(second, first);
+    EXPECT_EQ(warm.stats().cacheHits, 5u);
+    EXPECT_EQ(warm.stats().computed, 1u);
+    EXPECT_EQ(warm.stats().corruptEvictions, 1u);
+    // The recompute repaired the entry.
+    harness::FarmRunner again(o);
+    again.run(syntheticPoints(6));
+    EXPECT_EQ(again.stats().cacheHits, 6u);
+    fs::remove_all(dir);
+}
+
+TEST(Farm, ErrorNamesLowestFailingPointAfterAllComplete)
+{
+    auto points = syntheticPoints(8);
+    points[6].run = []() -> wl::WorkloadResult {
+        throw std::runtime_error("late kaboom");
+    };
+    points[3].run = []() -> wl::WorkloadResult {
+        throw std::runtime_error("kaboom");
+    };
+    points[3].cacheable = points[6].cacheable = false;
+
+    for (int workers : {1, 4}) {
+        harness::FarmOptions o;
+        o.workers = workers;
+        harness::FarmRunner farm(o);
+        try {
+            farm.run(points);
+            FAIL() << "expected a runtime_error (workers="
+                   << workers << ")";
+        } catch (const std::runtime_error &e) {
+            EXPECT_NE(std::string(e.what()).find("syn3"),
+                      std::string::npos)
+                << e.what();
+            EXPECT_NE(std::string(e.what()).find("kaboom"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+TEST(Farm, CampaignDigestTracksPointSet)
+{
+    auto a = harness::FarmRunner::campaignDigest(syntheticPoints(5));
+    EXPECT_EQ(a,
+              harness::FarmRunner::campaignDigest(syntheticPoints(5)));
+    EXPECT_NE(a,
+              harness::FarmRunner::campaignDigest(syntheticPoints(6)));
+    auto edited = syntheticPoints(5);
+    edited[0].key.seed ^= 7;
+    EXPECT_NE(a, harness::FarmRunner::campaignDigest(edited));
+}
+
+TEST(Farm, RegistryFarmPointKeyContract)
+{
+    auto cfg = sim::MachineConfig::somt();
+    wl::WorkloadRequest req{wl::ScaleLevel::Quick, 11};
+    auto p = harness::registryFarmPoint("dijkstra", cfg, req);
+    EXPECT_TRUE(p.cacheable);
+    EXPECT_EQ(p.label, "dijkstra/somt/seed11");
+    EXPECT_EQ(p.key.configDigest, cfg.digest());
+    EXPECT_EQ(p.key.scale, "quick");
+    EXPECT_EQ(p.key.seed, 11u);
+    EXPECT_EQ(p.key.semanticsHash, sim::semanticsTableHash());
+    auto other = harness::registryFarmPoint("quicksort", cfg, req);
+    EXPECT_NE(p.key.digest(), other.key.digest())
+        << "workload name must be part of the address";
+}
+
+// ---------------------------------------------------------------
+// a real (registry) campaign: farm == ExperimentRunner
+// ---------------------------------------------------------------
+
+TEST(Farm, RegistryCampaignMatchesExperimentRunner)
+{
+    std::vector<harness::SweepPoint> sweep;
+    std::vector<harness::FarmPoint> points;
+    for (const auto &cfg :
+         {sim::MachineConfig::superscalar(), sim::MachineConfig::somt()}) {
+        wl::WorkloadRequest req{wl::ScaleLevel::Quick, 7};
+        sweep.push_back(harness::registryPoint("dijkstra", cfg, req));
+        points.push_back(
+            harness::registryFarmPoint("dijkstra", cfg, req));
+    }
+    auto expected = harness::ExperimentRunner(1).run(sweep);
+
+    const auto dir = tempDir("registry");
+    harness::FarmOptions o;
+    o.workers = 2;
+    o.cacheDir = dir;
+    auto results = harness::FarmRunner(o).run(points);
+    expectSameResults(results, expected);
+
+    // And the memoized replay is the same again.
+    harness::FarmRunner warm(o);
+    expectSameResults(warm.run(points), expected);
+    EXPECT_EQ(warm.stats().computed, 0u);
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------
+// checkpoint / resume
+// ---------------------------------------------------------------
+
+#ifdef __unix__
+
+TEST(FarmResume, KilledCoordinatorResumesByteIdentical)
+{
+    const auto dir = tempDir("resume");
+    auto reference = harness::FarmRunner({}).run(syntheticPoints(20));
+
+    // Phase 1: a coordinator that dies (SIGKILLs its workers and
+    // _exits) after 7 merged results — run it in a fork so the death
+    // is real, exactly like a user hitting ^C / a node reclaim.
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        harness::FarmOptions o;
+        o.cacheDir = dir;
+        o.workers = 2;
+        o.dieAfterMerges = 7;
+        harness::FarmRunner farm(o);
+        farm.run(syntheticPoints(20)); // _exit(3)s mid-flight
+        _exit(99); // NOT REACHED: dying is the expected path
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), harness::FarmOptions::dieExitStatus)
+        << "the die-after hook must exit through its own status";
+
+    // The journal records exactly the merged points.
+    auto campaign =
+        harness::FarmRunner::campaignDigest(syntheticPoints(20));
+    auto journalPath =
+        fs::path(dir) / ("campaign-" + toHex16(campaign) + ".journal");
+    ASSERT_TRUE(fs::exists(journalPath));
+
+    // Phase 2: resume. Journaled points replay from the cache; the
+    // rest are simulated; the merged vector is byte-identical.
+    harness::FarmOptions o;
+    o.cacheDir = dir;
+    o.workers = 2;
+    o.resume = true;
+    harness::FarmRunner farm(o);
+    auto results = farm.run(syntheticPoints(20));
+    expectSameResults(results, reference);
+    EXPECT_EQ(farm.stats().journalSkips, 7u);
+    EXPECT_EQ(farm.stats().computed, 13u);
+
+    // Phase 3: resuming the now-complete campaign computes nothing.
+    harness::FarmRunner done(o);
+    expectSameResults(done.run(syntheticPoints(20)), reference);
+    EXPECT_EQ(done.stats().computed, 0u);
+    EXPECT_EQ(done.stats().journalSkips, 20u);
+    fs::remove_all(dir);
+}
+
+TEST(FarmResume, ResumeWithDamagedCacheEntryRecomputes)
+{
+    const auto dir = tempDir("resume-corrupt");
+    auto reference = harness::FarmRunner({}).run(syntheticPoints(10));
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        harness::FarmOptions o;
+        o.cacheDir = dir;
+        o.dieAfterMerges = 6;
+        harness::FarmRunner farm(o);
+        farm.run(syntheticPoints(10));
+        _exit(99);
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 3);
+
+    // Vandalize one journaled point's cache entry: the journal says
+    // "done", the cache cannot prove it — the point must recompute.
+    harness::ResultCache cache(dir);
+    auto points = syntheticPoints(10);
+    {
+        std::ofstream f(cache.entryPath(points[0].key),
+                        std::ios::binary | std::ios::trunc);
+        f << "vandalized";
+    }
+
+    harness::FarmOptions o;
+    o.cacheDir = dir;
+    o.resume = true;
+    harness::FarmRunner farm(o);
+    auto results = farm.run(syntheticPoints(10));
+    expectSameResults(results, reference);
+    EXPECT_EQ(farm.stats().corruptEvictions, 1u);
+    EXPECT_EQ(farm.stats().computed, 5u)
+        << "4 unjournaled + 1 vandalized";
+    fs::remove_all(dir);
+}
+
+TEST(FarmResume, WithoutResumeFlagJournalIsTruncatedButCacheServes)
+{
+    const auto dir = tempDir("noresume");
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        harness::FarmOptions o;
+        o.cacheDir = dir;
+        o.dieAfterMerges = 5;
+        harness::FarmRunner farm(o);
+        farm.run(syntheticPoints(12));
+        _exit(99);
+    }
+    int status = 0;
+    waitpid(pid, &status, 0);
+
+    // No --resume: the journal restarts, but the memoized points
+    // still hit the cache (the cache is content-addressed, not
+    // campaign-scoped).
+    harness::FarmOptions o;
+    o.cacheDir = dir;
+    harness::FarmRunner farm(o);
+    auto results = farm.run(syntheticPoints(12));
+    EXPECT_EQ(farm.stats().journalSkips, 0u);
+    EXPECT_EQ(farm.stats().cacheHits, 5u);
+    EXPECT_EQ(farm.stats().computed, 7u);
+    auto reference = harness::FarmRunner({}).run(syntheticPoints(12));
+    expectSameResults(results, reference);
+    fs::remove_all(dir);
+}
+
+#endif // __unix__
+
+} // namespace
+} // namespace capsule

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * The content-addressed result cache (harness/result_cache.hh):
+ * bit-exact round-tripping of every WorkloadResult field (including
+ * NaN / infinity / denormal metric values), per-component cache-key
+ * sensitivity, and the corruption contract — any damaged entry is
+ * evicted and reported as a miss, never returned.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "harness/result_cache.hh"
+
+namespace capsule
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+class ResultCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = fs::temp_directory_path() /
+              ("capsule-cache-test-" +
+               std::to_string(::testing::UnitTest::GetInstance()
+                                  ->random_seed()) +
+               "-" + std::to_string(counter++));
+        fs::remove_all(dir);
+    }
+
+    void TearDown() override { fs::remove_all(dir); }
+
+    std::string path() const { return dir.string(); }
+
+    static wl::WorkloadResult
+    sampleResult()
+    {
+        wl::WorkloadResult r;
+        r.workload = "sample";
+        r.correct = true;
+        r.serialCycles = 123456789;
+        r.stats.cycles = 987654;
+        r.stats.instructions = 456123;
+        r.stats.ipc = 0.4617283950617284;
+        r.stats.divisionsRequested = 17;
+        r.stats.divisionsGranted = 15;
+        r.stats.divisionsThrottled = 2;
+        r.stats.divisionsRemote = 3;
+        r.stats.threadDeaths = 15;
+        r.stats.lockConflicts = 4;
+        r.stats.swapsOut = 6;
+        r.stats.swapsIn = 6;
+        r.stats.bpredAccuracy = 0.9312;
+        r.stats.l1dMissRate = 0.0718;
+        r.stats.peakLiveThreads = 8;
+        r.stats.avgActiveThreads = 3.25;
+        r.setMetric("speedup vs superscalar", 2.5);
+        r.setMetric("host_wall_seconds", 0.125);
+        return r;
+    }
+
+    static harness::CacheKey
+    sampleKey()
+    {
+        harness::CacheKey k;
+        k.programDigest = 0x1111111111111111ULL;
+        k.configDigest = 0x2222222222222222ULL;
+        k.scale = "quick";
+        k.seed = 7;
+        k.semanticsHash = 0x3333333333333333ULL;
+        k.extra = 5;
+        return k;
+    }
+
+    fs::path dir;
+    static int counter;
+};
+
+int ResultCacheTest::counter = 0;
+
+TEST_F(ResultCacheTest, MissOnAbsentEntry)
+{
+    harness::ResultCache cache(path());
+    EXPECT_FALSE(cache.load(sampleKey()).has_value());
+    EXPECT_EQ(cache.counters().misses, 1u);
+    EXPECT_EQ(cache.counters().hits, 0u);
+    EXPECT_EQ(cache.counters().corruptEvictions, 0u);
+}
+
+TEST_F(ResultCacheTest, StoreThenLoadRoundTripsEveryField)
+{
+    harness::ResultCache cache(path());
+    auto r = sampleResult();
+    cache.store(sampleKey(), r);
+    EXPECT_EQ(cache.counters().stores, 1u);
+
+    auto got = cache.load(sampleKey());
+    ASSERT_TRUE(got.has_value());
+    // The defaulted operator== compares every member: RunStats field
+    // for field, plus the full ordered metric map.
+    EXPECT_EQ(*got, r);
+    EXPECT_EQ(cache.counters().hits, 1u);
+}
+
+TEST_F(ResultCacheTest, SecondCacheInstanceSeesTheEntry)
+{
+    {
+        harness::ResultCache writer(path());
+        writer.store(sampleKey(), sampleResult());
+    }
+    harness::ResultCache reader(path());
+    auto got = reader.load(sampleKey());
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, sampleResult());
+}
+
+TEST_F(ResultCacheTest, NonFiniteAndDenormalMetricsAreBitExact)
+{
+    harness::ResultCache cache(path());
+    auto r = sampleResult();
+    r.stats.ipc = std::numeric_limits<double>::quiet_NaN();
+    r.stats.bpredAccuracy = std::numeric_limits<double>::infinity();
+    r.stats.l1dMissRate = -std::numeric_limits<double>::infinity();
+    r.stats.avgActiveThreads =
+        std::numeric_limits<double>::denorm_min();
+    r.setMetric("neg zero", -0.0);
+    r.setMetric("nan", std::numeric_limits<double>::quiet_NaN());
+    cache.store(sampleKey(), r);
+
+    auto got = cache.load(sampleKey());
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE(std::isnan(got->stats.ipc));
+    EXPECT_EQ(got->stats.bpredAccuracy,
+              std::numeric_limits<double>::infinity());
+    EXPECT_EQ(got->stats.l1dMissRate,
+              -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(got->stats.avgActiveThreads,
+              std::numeric_limits<double>::denorm_min());
+    EXPECT_TRUE(std::isnan(got->metric("nan")));
+    EXPECT_EQ(std::signbit(got->metric("neg zero")), true);
+}
+
+TEST_F(ResultCacheTest, EveryKeyComponentChangesTheAddress)
+{
+    harness::ResultCache cache(path());
+    cache.store(sampleKey(), sampleResult());
+
+    auto missesWith = [&](harness::CacheKey k) {
+        return !cache.load(k).has_value();
+    };
+    auto k = sampleKey();
+    k.programDigest ^= 1;
+    EXPECT_TRUE(missesWith(k));
+    k = sampleKey();
+    k.configDigest ^= 1;
+    EXPECT_TRUE(missesWith(k));
+    k = sampleKey();
+    k.scale = "paper";
+    EXPECT_TRUE(missesWith(k));
+    k = sampleKey();
+    k.seed += 1;
+    EXPECT_TRUE(missesWith(k));
+    k = sampleKey();
+    k.semanticsHash ^= 1;
+    EXPECT_TRUE(missesWith(k));
+    k = sampleKey();
+    k.extra += 1;
+    EXPECT_TRUE(missesWith(k));
+    // And the original still hits.
+    EXPECT_TRUE(cache.load(sampleKey()).has_value());
+}
+
+TEST_F(ResultCacheTest, CorruptPayloadIsEvictedNotReturned)
+{
+    harness::ResultCache cache(path());
+    cache.store(sampleKey(), sampleResult());
+    const std::string entry = cache.entryPath(sampleKey());
+
+    // Flip one payload byte: the checksum must catch it.
+    {
+        std::fstream f(entry, std::ios::in | std::ios::out |
+                                  std::ios::binary);
+        ASSERT_TRUE(f.is_open());
+        f.seekp(60);
+        f.put('X');
+    }
+    EXPECT_FALSE(cache.load(sampleKey()).has_value());
+    EXPECT_EQ(cache.counters().corruptEvictions, 1u);
+    EXPECT_FALSE(fs::exists(entry)) << "corrupt entry must be evicted";
+
+    // After eviction the key misses cleanly (no eviction counted).
+    EXPECT_FALSE(cache.load(sampleKey()).has_value());
+    EXPECT_EQ(cache.counters().corruptEvictions, 1u);
+
+    // And a fresh store repairs it.
+    cache.store(sampleKey(), sampleResult());
+    EXPECT_TRUE(cache.load(sampleKey()).has_value());
+}
+
+TEST_F(ResultCacheTest, TruncatedAndEmptyEntriesAreEvicted)
+{
+    harness::ResultCache cache(path());
+    cache.store(sampleKey(), sampleResult());
+    const std::string entry = cache.entryPath(sampleKey());
+
+    std::string full;
+    {
+        std::ifstream in(entry, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        full = buf.str();
+    }
+
+    // Truncated mid-payload (a crashed non-atomic writer shape).
+    {
+        std::ofstream out(entry, std::ios::binary | std::ios::trunc);
+        out << full.substr(0, full.size() / 2);
+    }
+    EXPECT_FALSE(cache.load(sampleKey()).has_value());
+    EXPECT_FALSE(fs::exists(entry));
+
+    // Empty file.
+    cache.store(sampleKey(), sampleResult());
+    {
+        std::ofstream out(entry, std::ios::binary | std::ios::trunc);
+    }
+    EXPECT_FALSE(cache.load(sampleKey()).has_value());
+    EXPECT_FALSE(fs::exists(entry));
+
+    // An entry whose key echo disagrees (a renamed/moved file).
+    cache.store(sampleKey(), sampleResult());
+    auto other = sampleKey();
+    other.seed += 99;
+    std::error_code ec;
+    fs::copy_file(entry, cache.entryPath(other), ec);
+    ASSERT_FALSE(ec);
+    EXPECT_FALSE(cache.load(other).has_value());
+    EXPECT_FALSE(fs::exists(cache.entryPath(other)));
+    EXPECT_EQ(cache.counters().corruptEvictions, 3u);
+}
+
+TEST_F(ResultCacheTest, DecodeRejectsAnomalies)
+{
+    const std::string good =
+        harness::ResultCache::encode(sampleResult());
+    ASSERT_TRUE(harness::ResultCache::decode(good).has_value());
+
+    EXPECT_FALSE(harness::ResultCache::decode("").has_value());
+    EXPECT_FALSE(harness::ResultCache::decode("garbage").has_value());
+    // A trailing partial line after the metrics.
+    EXPECT_FALSE(
+        harness::ResultCache::decode(good + "metric bogus")
+            .has_value());
+    // Stats line with a missing field.
+    auto broken = good;
+    auto at = broken.find("stats ");
+    ASSERT_NE(at, std::string::npos);
+    auto lineEnd = broken.find('\n', at);
+    auto lastSpace = broken.rfind(' ', lineEnd);
+    broken.erase(lastSpace, lineEnd - lastSpace);
+    EXPECT_FALSE(harness::ResultCache::decode(broken).has_value());
+}
+
+TEST_F(ResultCacheTest, ConcurrentStoresAndLoadsStayConsistent)
+{
+    harness::ResultCache cache(path());
+    const auto r = sampleResult();
+    constexpr int nThreads = 4, nOps = 50;
+    std::vector<std::thread> threads;
+    std::atomic<int> badReads{0};
+    for (int t = 0; t < nThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < nOps; ++i) {
+                auto k = sampleKey();
+                k.seed = std::uint64_t(i % 8);
+                if ((t + i) % 2 == 0) {
+                    cache.store(k, r);
+                } else {
+                    auto got = cache.load(k);
+                    // Either a miss (not stored yet) or the exact
+                    // value — never a torn read.
+                    if (got && !(*got == r))
+                        ++badReads;
+                }
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(badReads.load(), 0);
+    EXPECT_EQ(cache.counters().corruptEvictions, 0u);
+}
+
+} // namespace
+} // namespace capsule
