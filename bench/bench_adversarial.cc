@@ -1,0 +1,152 @@
+/**
+ * @file
+ * bench_adversarial — the adversarial scenario suite (DESIGN.md §10).
+ *
+ * Runs every scenario in the fuzz::scenarios() registry — pinned
+ * pathological programs from the adversarial generator modes (lock
+ * convoys, deep division chains, oversubscription, division-dependent
+ * pipelines) — across the standard backend set {smt, cmp2, cmp4,
+ * func}, verifying each against the full differential harness and
+ * reporting *where the cycles go*: lock-wait cycles, denied
+ * divisions, peak lock-table occupancy and peak context-stack depth.
+ *
+ * The scenarios are pinned (mode, caps, seed), so every number here
+ * is a golden: tests/test_scenarios.cc asserts the verdicts, and the
+ * BENCH_adversarial.json trajectory tracks the contention counters
+ * release over release.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util.hh"
+#include "front/asm_program.hh"
+#include "fuzz/diff_runner.hh"
+#include "fuzz/program_gen.hh"
+#include "fuzz/scenarios.hh"
+#include "sim/backend.hh"
+#include "sim/sim_error.hh"
+
+using namespace capsule;
+
+namespace
+{
+
+struct ScenarioRun
+{
+    bool ok = false;            ///< completed without simulation error
+    std::string errorKind;      ///< simulation-error kind when !ok
+    sim::RunStats stats;
+    sim::ContentionStats cont;
+};
+
+ScenarioRun
+runScenario(const casm::Image &image, const sim::MachineConfig &cfg)
+{
+    ScenarioRun r;
+    front::AsmProcess proc(image);
+    auto backend = sim::makeBackend(cfg);
+    backend->addThread(std::make_unique<front::AsmProgram>(proc));
+    try {
+        r.stats = backend->run();
+        r.cont = backend->contention();
+        r.ok = true;
+    } catch (const sim::SimulationError &e) {
+        r.errorKind = sim::simErrorKindName(e.kind());
+    }
+    return r;
+}
+
+/** BENCH key fragment: scenario names keep their dashes, backends
+ *  are appended with underscores ("convoy-narrow_smt_..."). */
+std::string
+key(const std::string &scenario, const std::string &backend,
+    const char *metric)
+{
+    return scenario + "_" + backend + "_" + metric;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto scale = bench::parseScale(argc, argv);
+    bench::banner("adversarial scenario suite (contention metrics "
+                  "across smt/cmp/func backends)",
+                  scale);
+
+    // The co-simulation set minus ffwd: the four organisations whose
+    // contention counters the suite pins.
+    std::vector<fuzz::BackendSpec> backends;
+    for (auto &spec : fuzz::defaultBackends())
+        if (spec.label != "ffwd")
+            backends.push_back(std::move(spec));
+
+    bench::JsonReport report("adversarial", scale);
+    bool allAgree = true;
+    bool allRan = true;
+
+    for (const auto &s : fuzz::scenarios()) {
+        // Full differential verdict first: final state vs the serial
+        // oracle on every default backend (including ffwd).
+        fuzz::DiffOutcome verdict = fuzz::runOne(s.params);
+        allAgree = allAgree && verdict.ok;
+
+        std::printf("\n%s: %s\n", s.name.c_str(),
+                    s.description.c_str());
+        std::printf("  nodes %d, words %zu, differential %s\n",
+                    verdict.numNodes, verdict.words,
+                    verdict.ok ? "agree" : "DIVERGED");
+        if (!verdict.ok)
+            std::printf("%s", verdict.detail.c_str());
+        report.count(s.name + "_nodes",
+                     std::uint64_t(verdict.numNodes));
+        report.flag(s.name + "_agree", verdict.ok);
+
+        fuzz::GeneratedProgram prog = fuzz::generate(s.params);
+        std::printf("  %-6s %12s %12s %8s %9s %9s\n", "", "cycles",
+                    "lock-wait", "denied", "peak-lock", "peak-ctx");
+        for (const auto &spec : backends) {
+            ScenarioRun run = runScenario(prog.image, spec.cfg);
+            if (!run.ok) {
+                allRan = false;
+                std::printf("  %-6s simulation error: %s\n",
+                            spec.label.c_str(),
+                            run.errorKind.c_str());
+                report.str(key(s.name, spec.label, "error"),
+                           run.errorKind);
+                continue;
+            }
+            std::printf("  %-6s %12llu %12llu %8llu %9llu %9llu\n",
+                        spec.label.c_str(),
+                        (unsigned long long)run.stats.cycles,
+                        (unsigned long long)run.cont.lockWaitCycles,
+                        (unsigned long long)run.cont.divisionsDenied,
+                        (unsigned long long)run.cont.peakLockOccupancy,
+                        (unsigned long long)run.cont.peakCtxStackDepth);
+            report.count(key(s.name, spec.label, "cycles"),
+                         run.stats.cycles);
+            report.count(key(s.name, spec.label, "lock_wait_cycles"),
+                         run.cont.lockWaitCycles);
+            report.count(key(s.name, spec.label, "divisions_denied"),
+                         run.cont.divisionsDenied);
+            report.count(key(s.name, spec.label, "peak_lock_occupancy"),
+                         run.cont.peakLockOccupancy);
+            report.count(key(s.name, spec.label, "peak_ctx_depth"),
+                         run.cont.peakCtxStackDepth);
+        }
+    }
+
+    std::printf("\n%s: %zu scenario(s), %s\n",
+                allAgree && allRan ? "OK" : "FAILED",
+                fuzz::scenarios().size(),
+                allAgree ? "all backends agree with the oracle"
+                         : "divergence(s) detected");
+    report.flag("all_agree", allAgree);
+    report.flag("all_ran", allRan);
+    bool wrote = report.write();
+
+    return allAgree && allRan && wrote ? 0 : 1;
+}

@@ -60,6 +60,19 @@ parseScale(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--cache-dir") == 0 &&
                    i + 1 < argc) {
             s.cacheDir = argv[++i];
+        } else if (std::strcmp(argv[i], "--cache-max-bytes") == 0 &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            unsigned long long v =
+                std::strtoull(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0') {
+                std::fprintf(stderr,
+                             "--cache-max-bytes wants a byte count, "
+                             "got '%s'\n",
+                             argv[i]);
+                std::exit(2);
+            }
+            s.cacheMaxBytes = v;
         } else if (std::strcmp(argv[i], "--workers") == 0 &&
                    i + 1 < argc) {
             char *end = nullptr;
@@ -79,8 +92,8 @@ parseScale(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: %s [--paper|--quick|--scale LEVEL] "
                          "[--seed N] [--json FILE] [--jobs N] "
-                         "[--cache-dir DIR] [--workers N] "
-                         "[--resume]\n",
+                         "[--cache-dir DIR] [--cache-max-bytes N] "
+                         "[--workers N] [--resume]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -106,6 +119,7 @@ Scale::reportFarmStats(JsonReport &report,
     report.count(prefix + "_cache_stores", stats.cacheStores);
     report.count(prefix + "_corrupt_evictions",
                  stats.corruptEvictions);
+    report.count(prefix + "_size_evictions", stats.sizeEvictions);
     report.count(prefix + "_journal_skips", stats.journalSkips);
     report.count(prefix + "_workers",
                  std::uint64_t(stats.workersUsed));

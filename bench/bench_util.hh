@@ -37,6 +37,7 @@ struct Scale
     // Simulation-farm flags (harness/farm.hh). cacheDir empty keeps
     // the classic in-process ExperimentRunner path.
     std::string cacheDir; ///< result-cache dir (enables memoization)
+    std::uint64_t cacheMaxBytes = 0; ///< LRU budget (0 = unbounded)
     int workers = 1;      ///< farm worker processes (0 = all cores)
     bool resume = false;  ///< resume this campaign's journal
 
@@ -86,6 +87,7 @@ struct Scale
         harness::FarmOptions o;
         o.workers = workers;
         o.cacheDir = cacheDir;
+        o.cacheMaxBytes = cacheMaxBytes;
         o.resume = resume;
         return o;
     }
@@ -98,8 +100,8 @@ struct Scale
 };
 
 /** Parse --paper / --quick / --scale quick|default|paper / --seed N /
- *  --json FILE / --jobs N / --cache-dir DIR / --workers N /
- *  --resume; exits on unknown flags. */
+ *  --json FILE / --jobs N / --cache-dir DIR / --cache-max-bytes N /
+ *  --workers N / --resume; exits on unknown flags. */
 Scale parseScale(int argc, char **argv);
 
 /**

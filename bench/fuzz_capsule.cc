@@ -41,10 +41,13 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--seed N] [--iters N] [--jobs N]\n"
         "          [--scale quick|default|paper] [--quick] [--paper]\n"
+        "          [--mode independent|hotlock|deeptree|"
+        "oversubscribe|divdep|adversarial]\n"
         "          [--artifacts DIR] [--json FILE] [--no-shrink]\n"
         "          [--inject-bug add-off-by-one|xor-as-or|"
         "slt-inverted]\n"
-        "          [--cache-dir DIR] [--workers N] [--resume]\n",
+        "          [--cache-dir DIR] [--cache-max-bytes N]\n"
+        "          [--workers N] [--resume]\n",
         argv0);
     std::exit(2);
 }
@@ -74,6 +77,7 @@ main(int argc, char **argv)
 
     bench::Scale scale; // reused for the banner / JsonReport shape
     std::string injectName;
+    std::string modeName = "independent";
 
     for (int i = 1; i < argc; ++i) {
         auto is = [&](const char *f) {
@@ -109,8 +113,12 @@ main(int argc, char **argv)
             cfg.shrink = false;
         } else if (is("--inject-bug") && i + 1 < argc) {
             injectName = argv[++i];
+        } else if (is("--mode") && i + 1 < argc) {
+            modeName = argv[++i];
         } else if (is("--cache-dir") && i + 1 < argc) {
             cfg.cacheDir = argv[++i];
+        } else if (is("--cache-max-bytes") && i + 1 < argc) {
+            cfg.cacheMaxBytes = std::strtoull(argv[++i], nullptr, 10);
         } else if (is("--workers") && i + 1 < argc) {
             cfg.workers = int(parseNum("--workers", argv[++i], 0,
                                        4096, argv[0]));
@@ -123,6 +131,7 @@ main(int argc, char **argv)
 
     try {
         cfg.inject = fuzz::parseInjectedBug(injectName);
+        cfg.mode = fuzz::parseFuzzMode(modeName);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
         usage(argv[0]);
@@ -143,10 +152,11 @@ main(int argc, char **argv)
                   "smt/cmp backends)",
                   scale);
     // No jobs count here: stdout is byte-identical at any --jobs.
-    std::printf("iterations: %d (seeds %llu..%llu)%s\n", cfg.iters,
-                (unsigned long long)cfg.seed,
+    std::printf("iterations: %d (seeds %llu..%llu, mode %s)%s\n",
+                cfg.iters, (unsigned long long)cfg.seed,
                 (unsigned long long)(cfg.seed +
                                      std::uint64_t(cfg.iters) - 1),
+                fuzz::fuzzModeName(cfg.mode),
                 cfg.inject == fuzz::InjectedBug::None
                     ? ""
                     : " [BUG INJECTION ACTIVE]");
@@ -174,6 +184,7 @@ main(int argc, char **argv)
     report.count("divergences", std::uint64_t(res.failures.size()));
     report.count("nodes_total", res.nodesTotal);
     report.count("words_total", res.wordsTotal);
+    report.str("mode", fuzz::fuzzModeName(cfg.mode));
     report.str("inject_bug", fuzz::injectedBugName(cfg.inject));
     if (!cfg.cacheDir.empty() || cfg.workers != 1)
         bench::Scale::reportFarmStats(report, res.farm);

@@ -11,6 +11,7 @@
 #include "harness/thread_pool.hh"
 #include "sim/backend.hh"
 #include "sim/exec_semantics.hh"
+#include "sim/sim_error.hh"
 
 namespace capsule::fuzz
 {
@@ -178,6 +179,7 @@ dumpArtifact(const std::string &dir, const GenParams &params,
     {
         std::ofstream report(stem + ".report.txt");
         report << "seed: " << params.seed << "\n"
+               << "mode: " << genModeName(params.mode) << "\n"
                << "injected bug: " << injectedBugName(inject) << "\n"
                << "nodes: " << outcome.numNodes << "\n\n"
                << "divergences:\n"
@@ -254,8 +256,19 @@ runOne(const GenParams &params, InjectedBug inject,
         detail << "[reference] " << ref.error << "\n";
     } else {
         for (const auto &spec : backends) {
-            BackendRun run = runBackend(prog.image, spec.cfg);
-            judgeBackend(prog, ref, oracle, spec, run, detail);
+            // A SimulationError (capacity overflow, deadlock,
+            // maxCycles) is a structured per-backend outcome: it
+            // fails this backend's verdict and shrinks like any
+            // divergence instead of killing the campaign (harness
+            // bugs still propagate to the caller's containment).
+            try {
+                BackendRun run = runBackend(prog.image, spec.cfg);
+                judgeBackend(prog, ref, oracle, spec, run, detail);
+            } catch (const sim::SimulationError &e) {
+                detail << "[" << spec.label << "] simulation error ("
+                       << sim::simErrorKindName(e.kind())
+                       << "): " << e.what() << "\n";
+            }
         }
     }
 
@@ -272,11 +285,71 @@ runOne(const GenParams &params, InjectedBug inject)
     return runOne(params, inject, defaultBackends());
 }
 
+const char *
+fuzzModeName(FuzzMode mode)
+{
+    switch (mode) {
+      case FuzzMode::Independent:
+        return "independent";
+      case FuzzMode::HotLock:
+        return "hotlock";
+      case FuzzMode::DeepTree:
+        return "deeptree";
+      case FuzzMode::Oversubscribe:
+        return "oversubscribe";
+      case FuzzMode::DivisionDependent:
+        return "divdep";
+      case FuzzMode::AdversarialMix:
+        return "adversarial";
+    }
+    return "unknown";
+}
+
+FuzzMode
+parseFuzzMode(const std::string &name)
+{
+    static constexpr FuzzMode all[] = {
+        FuzzMode::Independent,   FuzzMode::HotLock,
+        FuzzMode::DeepTree,      FuzzMode::Oversubscribe,
+        FuzzMode::DivisionDependent, FuzzMode::AdversarialMix};
+    for (FuzzMode m : all)
+        if (name == fuzzModeName(m))
+            return m;
+    throw std::invalid_argument(
+        "unknown fuzz mode '" + name +
+        "' (valid: independent, hotlock, deeptree, oversubscribe, "
+        "divdep, adversarial)");
+}
+
+GenMode
+genModeFor(FuzzMode mode, int iteration)
+{
+    switch (mode) {
+      case FuzzMode::Independent:
+        return GenMode::Independent;
+      case FuzzMode::HotLock:
+        return GenMode::HotLock;
+      case FuzzMode::DeepTree:
+        return GenMode::DeepTree;
+      case FuzzMode::Oversubscribe:
+        return GenMode::Oversubscribe;
+      case FuzzMode::DivisionDependent:
+        return GenMode::DivisionDependent;
+      case FuzzMode::AdversarialMix:
+        break;
+    }
+    static constexpr GenMode rotation[] = {
+        GenMode::HotLock, GenMode::DeepTree, GenMode::Oversubscribe,
+        GenMode::DivisionDependent};
+    return rotation[std::size_t(iteration) % 4];
+}
+
 GenParams
 paramsFor(const FuzzConfig &cfg, int iteration)
 {
     GenParams p = cfg.base.scaled(cfg.sizeScale);
     p.seed = cfg.seed + std::uint64_t(iteration);
+    p.mode = genModeFor(cfg.mode, iteration);
     return p;
 }
 
@@ -288,7 +361,8 @@ runCampaign(const FuzzConfig &cfg)
     if (cfg.iters <= 0)
         return out;
 
-    const auto backends = defaultBackends();
+    const auto backends =
+        cfg.backends.empty() ? defaultBackends() : cfg.backends;
     std::vector<DiffOutcome> results(std::size_t(cfg.iters));
     auto work = [&](int i) {
         // An escaping exception must become a failed iteration, not
@@ -342,7 +416,10 @@ runCampaign(const FuzzConfig &cfg)
             fp.key.scale = "fuzz";
             fp.key.seed = p.seed;
             fp.key.semanticsHash = sim::semanticsTableHash();
-            fp.key.extra = std::uint64_t(cfg.inject);
+            // The generator mode shapes judging expectations too, so
+            // it joins the injected bug in the key's extra field.
+            fp.key.extra = std::uint64_t(cfg.inject) |
+                           (std::uint64_t(p.mode) << 8);
             const InjectedBug inject = cfg.inject;
             fp.run = [p, inject, &backends] {
                 wl::WorkloadResult wr;
@@ -366,6 +443,7 @@ runCampaign(const FuzzConfig &cfg)
         harness::FarmOptions fo;
         fo.workers = cfg.workers;
         fo.cacheDir = cfg.cacheDir;
+        fo.cacheMaxBytes = cfg.cacheMaxBytes;
         fo.resume = cfg.resume;
         harness::FarmRunner farm(fo);
         auto verdicts = farm.run(pts);

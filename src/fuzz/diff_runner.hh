@@ -73,6 +73,32 @@ DiffOutcome runOne(const GenParams &params, InjectedBug inject,
 DiffOutcome runOne(const GenParams &params,
                    InjectedBug inject = InjectedBug::None);
 
+/**
+ * Campaign-level generator-mode selection: one fixed GenMode, or
+ * `AdversarialMix`, which rotates iterations through the four
+ * adversarial modes (hotlock, deeptree, oversubscribe, divdep) so one
+ * campaign pressures every subsystem.
+ */
+enum class FuzzMode
+{
+    Independent,
+    HotLock,
+    DeepTree,
+    Oversubscribe,
+    DivisionDependent,
+    AdversarialMix,
+};
+
+/** Stable mode name ("independent", ..., "adversarial"). */
+const char *fuzzModeName(FuzzMode mode);
+
+/** Parse a --mode name; throws std::invalid_argument with the valid
+ *  list on anything else. */
+FuzzMode parseFuzzMode(const std::string &name);
+
+/** The GenMode iteration `i` of a `mode` campaign generates with. */
+GenMode genModeFor(FuzzMode mode, int iteration);
+
 /** A full campaign's knobs. */
 struct FuzzConfig
 {
@@ -81,6 +107,10 @@ struct FuzzConfig
     int jobs = 1;            ///< host threads (<=1 runs inline)
     double sizeScale = 1.0;  ///< GenParams multiplier (--scale)
     GenParams base;          ///< caps before sizeScale is applied
+    FuzzMode mode = FuzzMode::Independent;
+    /** Co-simulation set override (empty = defaultBackends()); tests
+     *  use this to pin down under-provisioned machines. */
+    std::vector<BackendSpec> backends;
     InjectedBug inject = InjectedBug::None;
     bool shrink = true;
     /** Where failing .casm repros land ("" disables dumping). */
@@ -96,6 +126,8 @@ struct FuzzConfig
     // divergence detail), so failures stay fully reported and the
     // campaign output is byte-identical with or without the cache.
     std::string cacheDir;    ///< verdict cache dir ("" = off)
+    /** LRU size budget for cacheDir in bytes (0 = unbounded). */
+    std::uint64_t cacheMaxBytes = 0;
     int workers = 1;         ///< farm worker processes (0 = cores)
     bool resume = false;     ///< resume this campaign's journal
 };

@@ -1,6 +1,7 @@
 #include "fuzz/program_gen.hh"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "base/logging.hh"
 #include "fuzz/fuzz_rng.hh"
@@ -46,6 +47,10 @@ class Generator
     {
         int id = 0;
         int depth = 0;
+        /** Previous child of the same parent, or -1. In
+         *  DivisionDependent mode a node consumes its previous
+         *  sibling's lock-published result before its own body. */
+        int prevSibling = -1;
         std::vector<int> children;
     };
 
@@ -62,10 +67,27 @@ class Generator
     {
         return nInputs + nAccums + 2 + node * p.sliceCells + k;
     }
+    /** DivisionDependent-only cells, placed after every slice so the
+     *  Independent layout is byte-identical to PR 5's. */
+    int
+    depCellBase() const
+    {
+        return nInputs + nAccums + 2 + int(nodes.size()) * p.sliceCells;
+    }
+    int mailboxCell(int node) const { return depCellBase() + node; }
+    int
+    resultCell(int node) const
+    {
+        return depCellBase() + int(nodes.size()) + node;
+    }
     int
     totalCells() const
     {
-        return nInputs + nAccums + 2 + int(nodes.size()) * p.sliceCells;
+        int n = nInputs + nAccums + 2 +
+                int(nodes.size()) * p.sliceCells;
+        if (p.mode == GenMode::DivisionDependent)
+            n += 2 * int(nodes.size());
+        return n;
     }
 
     // ---- emission helpers ------------------------------------------
@@ -89,6 +111,8 @@ class Generator
     void emitWorkChunk(const Node &node);
     void emitAccumUpdate(const Node &node);
     void emitCounterIncrement();
+    void emitPublishCell(int cell, std::int64_t token);
+    void emitConsumeCell(int cell, int node);
     void emitRootPreamble();
     void emitRootEpilogue();
 
@@ -107,16 +131,26 @@ Generator::grow(int id, int depth_budget)
 {
     if (depth_budget <= 0)
         return;
-    int slots = 1 + int(rng.below(std::uint64_t(p.maxFanout)));
+    // DeepTree draws no slot count: a fixed two-slot layout with a
+    // near-certain first slot and an unlikely second grows long
+    // unbalanced spines instead of bushy balanced trees.
+    int slots = p.mode == GenMode::DeepTree
+                    ? p.maxFanout
+                    : 1 + int(rng.below(std::uint64_t(p.maxFanout)));
+    int lastChild = -1;
     for (int s = 0; s < slots; ++s) {
         if (int(nodes.size()) >= p.maxNodes)
             return;
-        if (!rng.chance(p.childPercent))
+        int pct = p.mode == GenMode::DeepTree
+                      ? (s == 0 ? 95 : 34)
+                      : p.childPercent;
+        if (!rng.chance(pct))
             continue;
         int child = int(nodes.size());
         nodes.push_back(Node{child, nodes[std::size_t(id)].depth + 1,
-                             {}});
+                             lastChild, {}});
         nodes[std::size_t(id)].children.push_back(child);
+        lastChild = child;
         grow(child, depth_budget - 1);
     }
 }
@@ -351,6 +385,16 @@ Generator::emitAccumUpdate(const Node &node)
     emitCellAddr(29, accumCell(accum));
     line("mlock r29");
     line("ld r31, 0(r29)");
+    if (p.mode == GenMode::HotLock) {
+        // Convoy pressure: stretch the critical section with scratch
+        // work that cannot touch the accumulator, so hold time grows
+        // but the update stays commutative.
+        int extra = 2 + int(rng.below(6));
+        for (int i = 0; i < extra; ++i) {
+            line("mul r9, r30, r30");
+            line("andi r9, r9, " + std::to_string(scratchMask));
+        }
+    }
     // The combining operation is a per-accumulator property: updates
     // commute within add and within xor, but an add/xor mix on one
     // cell is interleaving-dependent and would (rightly) diverge.
@@ -358,6 +402,42 @@ Generator::emitAccumUpdate(const Node &node)
          " r31, r31, r30");
     line("sd r31, 0(r29)");
     line("munlock r29");
+}
+
+/** Lock-publish a nonzero constant into `cell`. Each dependency cell
+ *  is written exactly once with a grant-independent token, so the
+ *  final data region stays deterministic under any interleaving. */
+void
+Generator::emitPublishCell(int cell, std::int64_t token)
+{
+    emitCellAddr(29, cell);
+    line("mlock r29");
+    emitLoadConst(30, token);
+    line("sd r30, 0(r29)");
+    line("munlock r29");
+}
+
+/** Spin until `cell` is nonzero, then read it under its lock and
+ *  store it into `node`'s first slice cell — a real data dependency
+ *  on an earlier chunk's lock-published result. Spins commit
+ *  instructions, so the detailed tier's progress watchdog stays
+ *  quiet; every publisher is live and fairly scheduled, so every
+ *  spin terminates (the dependency graph points backward in serial
+ *  division order and is acyclic by construction). */
+void
+Generator::emitConsumeCell(int cell, int node)
+{
+    std::string spin = uniqueLabel("dep");
+    label(spin);
+    emitCellAddr(9, cell);
+    line("ld r12, 0(r9)");
+    line("beq r12, r0, " + spin);
+    emitCellAddr(29, cell);
+    line("mlock r29");
+    line("ld r30, 0(r29)");
+    line("munlock r29");
+    emitCellAddr(9, sliceCell(node, 0));
+    line("sd r30, 0(r9)");
 }
 
 void
@@ -383,6 +463,12 @@ Generator::emitSpawn(const Node &child)
     std::string ret = uniqueLabel("ret");
     std::string cont = uniqueLabel("cont");
 
+    // The child's mailbox token is lock-published *before* the nthr,
+    // so the child block — spawned or inline — always finds it.
+    if (p.mode == GenMode::DivisionDependent)
+        emitPublishCell(mailboxCell(child.id),
+                        std::int64_t(child.id) + 1);
+
     // The paper's three-way division protocol: granted parent (rd=0)
     // skips the child block, the spawned child (rd=1) runs it and
     // kthrs, a denied parent (rd=-1) runs it inline and falls back
@@ -405,6 +491,15 @@ Generator::emitSpawn(const Node &child)
 void
 Generator::emitNode(const Node &node)
 {
+    // DivisionDependent: consume the mailbox token the parent
+    // published before this node's nthr, then the previous sibling's
+    // end-of-body result. Both dependencies point backward in serial
+    // (all-deny) division order, so the graph is acyclic.
+    if (p.mode == GenMode::DivisionDependent && node.id != 0) {
+        emitConsumeCell(mailboxCell(node.id), node.id);
+        if (node.prevSibling >= 0)
+            emitConsumeCell(resultCell(node.prevSibling), node.id);
+    }
     for (int child : node.children) {
         emitWorkChunk(node);
         emitSpawn(nodes[std::size_t(child)]);
@@ -413,6 +508,9 @@ Generator::emitNode(const Node &node)
     int updates = int(rng.below(std::uint64_t(p.accumUpdatesMax) + 1));
     for (int u = 0; u < updates; ++u)
         emitAccumUpdate(node);
+    if (p.mode == GenMode::DivisionDependent)
+        emitPublishCell(resultCell(node.id),
+                        std::int64_t(node.id) + 1);
     emitCounterIncrement();
 }
 
@@ -487,6 +585,33 @@ Generator::build()
     CAPSULE_ASSERT(p.sliceCells > 0 &&
                        (p.sliceCells & (p.sliceCells - 1)) == 0,
                    "sliceCells must be a power of two");
+
+    // Adversarial shape overrides, all strictly inside mode guards so
+    // the Independent rng stream — and with it PR 5's pinned source
+    // hashes — stays byte-identical.
+    switch (p.mode) {
+      case GenMode::Independent:
+        break;
+      case GenMode::HotLock:
+        p.maxDepth = std::min(p.maxDepth, 2);
+        p.maxFanout = std::max(p.maxFanout, 5);
+        p.childPercent = std::max(p.childPercent, 95);
+        p.numAccums = 1; // every update convoys on one cell
+        p.accumUpdatesMax = std::max(p.accumUpdatesMax, 4);
+        break;
+      case GenMode::DeepTree:
+        p.maxDepth = maxDepthRegs;
+        p.maxFanout = 2; // spine + rare side branch (see grow())
+        break;
+      case GenMode::Oversubscribe:
+        p.maxDepth = std::max(p.maxDepth, 3);
+        p.maxFanout = std::max(p.maxFanout, 4);
+        p.childPercent = 100; // every slot grows: demand >> contexts
+        break;
+      case GenMode::DivisionDependent:
+        break; // layout + emission changes only
+    }
+
     nInputs = std::max(1, p.numInputs);
     nAccums = std::max(1, p.numAccums);
     for (int a = 0; a < nAccums; ++a)
@@ -494,7 +619,11 @@ Generator::build()
 
     int depth = 1 + int(rng.below(std::uint64_t(
                         std::min(p.maxDepth, maxDepthRegs))));
-    nodes.push_back(Node{0, 0, {}});
+    if (p.mode == GenMode::Oversubscribe)
+        depth = std::max(depth, std::min(3, p.maxDepth));
+    if (p.mode == GenMode::DeepTree)
+        depth = std::max(depth, std::min(6, p.maxDepth));
+    nodes.push_back(Node{0, 0, -1, {}});
     grow(0, depth);
     CAPSULE_ASSERT(int(nodes.size()) <= 2047,
                    "division tree too large for the join immediate");
@@ -503,6 +632,9 @@ Generator::build()
     src += "# fuzz-generated CAPSULE program (seed " +
            std::to_string(p.seed) + ", " +
            std::to_string(nodes.size()) + " nodes)\n";
+    if (p.mode != GenMode::Independent)
+        src += "# generator mode: " +
+               std::string(genModeName(p.mode)) + "\n";
     emitRootPreamble();
     emitNode(nodes[0]);
     emitRootEpilogue();
@@ -528,6 +660,39 @@ Generator::build()
 }
 
 } // namespace
+
+const char *
+genModeName(GenMode mode)
+{
+    switch (mode) {
+      case GenMode::Independent:
+        return "independent";
+      case GenMode::HotLock:
+        return "hotlock";
+      case GenMode::DeepTree:
+        return "deeptree";
+      case GenMode::Oversubscribe:
+        return "oversubscribe";
+      case GenMode::DivisionDependent:
+        return "divdep";
+    }
+    return "unknown";
+}
+
+GenMode
+parseGenMode(const std::string &name)
+{
+    static constexpr GenMode all[] = {
+        GenMode::Independent, GenMode::HotLock, GenMode::DeepTree,
+        GenMode::Oversubscribe, GenMode::DivisionDependent};
+    for (GenMode m : all)
+        if (name == genModeName(m))
+            return m;
+    throw std::invalid_argument(
+        "unknown generator mode '" + name +
+        "' (valid: independent, hotlock, deeptree, oversubscribe, "
+        "divdep)");
+}
 
 GenParams
 GenParams::scaled(double f) const

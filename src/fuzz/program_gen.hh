@@ -50,11 +50,40 @@
 namespace capsule::fuzz
 {
 
+/**
+ * Generator modes (DESIGN.md §10). `Independent` is the classic PR 5
+ * generator; the adversarial modes stress exactly the hardware the
+ * paper's benign workloads never pressure. Every mode still generates
+ * programs whose final observable state is grant-independent, so the
+ * serial oracle stays sound; `DivisionDependent` achieves this with
+ * explicitly ordered lock-published dependencies rather than pure
+ * commutativity.
+ */
+enum class GenMode
+{
+    Independent,       ///< commutative, division-independent (PR 5)
+    HotLock,           ///< convoy: every node hammers one accumulator
+    DeepTree,          ///< deep, unbalanced division chains
+    Oversubscribe,     ///< static thread demand >> hardware contexts
+    DivisionDependent, ///< consume earlier chunks' published results
+};
+
+/** Stable lower-case mode name ("hotlock", "divdep", ...). */
+const char *genModeName(GenMode mode);
+
+/** Parse a mode name; throws std::invalid_argument listing the valid
+ *  names on anything else. */
+GenMode parseGenMode(const std::string &name);
+
 /** Size caps and probabilities of the generator (all draws are made
  *  per seed inside generate(), so these are maxima, not constants). */
 struct GenParams
 {
     std::uint64_t seed = 1;
+
+    /** Program shape (adversarial modes override some caps below;
+     *  Independent leaves the PR 5 rng stream byte-identical). */
+    GenMode mode = GenMode::Independent;
 
     int maxDepth = 3;    ///< division nesting depth cap
     int maxFanout = 3;   ///< children per node cap

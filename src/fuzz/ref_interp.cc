@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "base/digest.hh"
+
 namespace capsule::fuzz
 {
 
@@ -46,6 +48,18 @@ std::uint64_t
 RefInterp::readCell(Addr addr) const
 {
     return memory.read(addr, 8);
+}
+
+std::uint64_t
+RefInterp::publicationDigest() const
+{
+    Digest d;
+    d.str("capsule-publication-log-v1");
+    for (const auto &rec : pubs) {
+        d.u64(rec.effAddr);
+        d.u64(rec.value);
+    }
+    return d.value();
 }
 
 std::string
@@ -138,6 +152,17 @@ RefInterp::run()
                             " lock(s)";
             }
             return res;
+
+          case sim::StepKind::Store:
+            // Ordered-observation mode: a store made while holding a
+            // lock is a publication; its serial order is the
+            // dependency order division-dependent programs encode.
+            if (opt.orderedObservation && !locksHeld.empty()) {
+                ++res.publications;
+                if (pubs.size() < opt.pubLogLimit)
+                    pubs.push_back(rec);
+            }
+            break;
 
           default:
             break;

@@ -71,6 +71,17 @@ struct RefOptions
     std::uint64_t maxSteps = 50'000'000;
     std::size_t obsLogLimit = 256;
     InjectedBug inject = InjectedBug::None;
+    /**
+     * Ordered-observation mode (DESIGN.md §10): record every store
+     * executed while at least one lock is held, in serial execution
+     * order. Division-dependent programs publish results through
+     * exactly such stores, so this log *is* the canonical dependency
+     * order the adversarial scenario goldens pin (via
+     * publicationDigest()). Commutative programs don't need it —
+     * their judge compares final state only.
+     */
+    bool orderedObservation = false;
+    std::size_t pubLogLimit = 4096;
 };
 
 /** Final state and verdict of one oracle run. */
@@ -82,6 +93,8 @@ struct RefResult
     std::uint64_t divisionRequests = 0;
     std::uint64_t lockAcquires = 0;
     std::size_t locksHeldAtEnd = 0;
+    /** Lock-guarded stores recorded (orderedObservation mode only). */
+    std::uint64_t publications = 0;
     std::array<std::int64_t, isa::numIntRegs> intRegs{};
     std::array<double, isa::numFpRegs> fpRegs{};
 };
@@ -101,6 +114,14 @@ class RefInterp
 
     const std::vector<ObsRecord> &log() const { return obs; }
 
+    /** The ordered publication log (empty unless orderedObservation):
+     *  every lock-guarded store, in serial execution order. */
+    const std::vector<ObsRecord> &publications() const { return pubs; }
+
+    /** FNV-1a digest over the publication log's (addr, value) pairs
+     *  in order — the pinnable canonical dependency order. */
+    std::uint64_t publicationDigest() const;
+
     /** Render the observation log for a failure artifact. */
     std::string renderLog() const;
 
@@ -115,6 +136,7 @@ class RefInterp
     sim::RegFile regs;
 
     std::vector<ObsRecord> obs;
+    std::vector<ObsRecord> pubs; ///< ordered lock-guarded stores
 };
 
 } // namespace capsule::fuzz

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The adversarial scenario registry (DESIGN.md §10): a small set of
+ * *named, pinned* pathological programs drawn from the adversarial
+ * generator modes. Where the fuzzer explores, the registry pins: each
+ * scenario is one (mode, caps, seed) triple whose generated program —
+ * and therefore whose cycle counts and contention counters on every
+ * backend — is reproducible byte-for-byte, so tests can golden them
+ * and bench_adversarial can track them release over release.
+ *
+ * Every scenario remains grant-independent in its final observable
+ * state (the generator's contract), so the serial reference oracle
+ * judges all of them; what makes them pathological is *where the
+ * cycles go*: lock convoys, context-stack oversubscription, deep
+ * unbalanced division chains, and serialising publish/consume
+ * dependency spines.
+ */
+
+#ifndef CAPSULE_FUZZ_SCENARIOS_HH
+#define CAPSULE_FUZZ_SCENARIOS_HH
+
+#include <string>
+#include <vector>
+
+#include "fuzz/program_gen.hh"
+
+namespace capsule::fuzz
+{
+
+/** One named pathological program. */
+struct Scenario
+{
+    std::string name;        ///< stable CLI/test identifier
+    std::string description; ///< what it pressures, one line
+    GenParams params;        ///< fully pinned generator parameters
+};
+
+/** The registry, in fixed order (tests iterate it and pin goldens —
+ *  adding scenarios is append-only). */
+const std::vector<Scenario> &scenarios();
+
+/** Look a scenario up by name; nullptr when unknown. */
+const Scenario *findScenario(const std::string &name);
+
+} // namespace capsule::fuzz
+
+#endif // CAPSULE_FUZZ_SCENARIOS_HH

@@ -28,6 +28,48 @@
 
 namespace capsule::harness
 {
+
+namespace wire
+{
+
+void
+putU64(unsigned char out[u64Size], std::uint64_t v)
+{
+    for (std::size_t i = 0; i < u64Size; ++i)
+        out[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint64_t
+getU64(const unsigned char in[u64Size])
+{
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < u64Size; ++i)
+        v |= std::uint64_t(in[i]) << (8 * i);
+    return v;
+}
+
+void
+FrameHeader::encode(unsigned char out[wireSize]) const
+{
+    putU64(out + 0 * u64Size, index);
+    putU64(out + 1 * u64Size, status);
+    putU64(out + 2 * u64Size, std::bit_cast<std::uint64_t>(cpuSeconds));
+    putU64(out + 3 * u64Size, payloadLen);
+}
+
+FrameHeader
+FrameHeader::decode(const unsigned char in[wireSize])
+{
+    FrameHeader h;
+    h.index = getU64(in + 0 * u64Size);
+    h.status = getU64(in + 1 * u64Size);
+    h.cpuSeconds = std::bit_cast<double>(getU64(in + 2 * u64Size));
+    h.payloadLen = getU64(in + 3 * u64Size);
+    return h;
+}
+
+} // namespace wire
+
 namespace
 {
 
@@ -187,19 +229,21 @@ writeFull(int fd, const void *buf, std::size_t len)
  * never touch the cache or the journal — the coordinator is the
  * single writer — so a worker crash can lose only its own point.
  *
- * Frame layout (host-endian u64s; coordinator and worker are one
- * fork apart): [index][status][cpu-seconds bits][payload length]
- * [payload bytes][FNV-1a of payload]. status 0 carries an encoded
- * WorkloadResult, 1 an error message.
+ * Frame layout: the harness::wire encoding — every integer crosses
+ * the pipe as explicit little-endian bytes, so the protocol is a
+ * platform-independent pinned contract rather than an accident of
+ * host endianness. [FrameHeader][payload bytes][FNV-1a of payload].
+ * status 0 carries an encoded WorkloadResult, 1 an error message.
  */
 [[noreturn]] void
 workerLoop(const std::vector<FarmPoint> &points, int req_fd,
            int resp_fd)
 {
     for (;;) {
-        std::uint64_t idx = 0;
-        if (!readFull(req_fd, &idx, sizeof idx))
+        unsigned char idxBytes[wire::u64Size];
+        if (!readFull(req_fd, idxBytes, sizeof idxBytes))
             _exit(0);
+        const std::uint64_t idx = wire::getU64(idxBytes);
         if (idx == shutdownIndex)
             _exit(0);
         if (idx >= points.size())
@@ -217,15 +261,19 @@ workerLoop(const std::vector<FarmPoint> &points, int req_fd,
             status = 1;
             payload = "non-standard exception";
         }
-        double cpu = threadCpuSeconds() - c0;
 
-        std::uint64_t hdr[4] = {idx, status,
-                                std::bit_cast<std::uint64_t>(cpu),
-                                payload.size()};
-        std::uint64_t check = fnv1aBytes(payload);
+        wire::FrameHeader h;
+        h.index = idx;
+        h.status = status;
+        h.cpuSeconds = threadCpuSeconds() - c0;
+        h.payloadLen = payload.size();
+        unsigned char hdr[wire::FrameHeader::wireSize];
+        h.encode(hdr);
+        unsigned char check[wire::u64Size];
+        wire::putU64(check, fnv1aBytes(payload));
         if (!writeFull(resp_fd, hdr, sizeof hdr) ||
             !writeFull(resp_fd, payload.data(), payload.size()) ||
-            !writeFull(resp_fd, &check, sizeof check))
+            !writeFull(resp_fd, check, sizeof check))
             _exit(1); // coordinator went away
     }
 }
@@ -325,7 +373,8 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
     std::unique_ptr<Journal> journal;
     std::unordered_set<std::uint64_t> journaled;
     if (!opts.cacheDir.empty()) {
-        cache = std::make_unique<ResultCache>(opts.cacheDir);
+        cache = std::make_unique<ResultCache>(opts.cacheDir,
+                                              opts.cacheMaxBytes);
         journal = std::make_unique<Journal>(
             opts.cacheDir + "/campaign-" +
                 toHex16(campaignDigest(points)) + ".journal",
@@ -468,13 +517,16 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
         auto deal = [&](WorkerHandle &w) {
             while (w.alive && w.inflight < 0) {
                 if (pending.empty()) {
-                    std::uint64_t s = shutdownIndex;
-                    writeFull(w.reqFd, &s, sizeof s);
+                    unsigned char s[wire::u64Size];
+                    wire::putU64(s, shutdownIndex);
+                    writeFull(w.reqFd, s, sizeof s);
                     closeFd(w.reqFd);
                     return;
                 }
                 std::uint64_t idx = pending.front();
-                if (writeFull(w.reqFd, &idx, sizeof idx)) {
+                unsigned char req[wire::u64Size];
+                wire::putU64(req, idx);
+                if (writeFull(w.reqFd, req, sizeof req)) {
                     pending.pop_front();
                     w.inflight = std::int64_t(idx);
                 } else {
@@ -543,25 +595,28 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
                 if (!w.alive)
                     continue;
 
-                std::uint64_t hdr[4];
-                if (!readFull(w.respFd, hdr, sizeof hdr)) {
+                unsigned char hdrBytes[wire::FrameHeader::wireSize];
+                if (!readFull(w.respFd, hdrBytes, sizeof hdrBytes)) {
                     workerDied(w);
                     continue;
                 }
-                const std::uint64_t idx = hdr[0];
-                const std::uint64_t status = hdr[1];
-                const double cpu = std::bit_cast<double>(hdr[2]);
-                const std::uint64_t len = hdr[3];
+                const wire::FrameHeader hdr =
+                    wire::FrameHeader::decode(hdrBytes);
+                const std::uint64_t idx = hdr.index;
+                const std::uint64_t status = hdr.status;
+                const double cpu = hdr.cpuSeconds;
+                const std::uint64_t len = hdr.payloadLen;
                 if (idx != std::uint64_t(w.inflight) ||
                     len > maxFramePayload) {
                     workerDied(w); // protocol corruption
                     continue;
                 }
                 std::string payload(len, '\0');
-                std::uint64_t check = 0;
+                unsigned char checkBytes[wire::u64Size];
                 if (!readFull(w.respFd, payload.data(), len) ||
-                    !readFull(w.respFd, &check, sizeof check) ||
-                    fnv1aBytes(payload) != check) {
+                    !readFull(w.respFd, checkBytes,
+                              sizeof checkBytes) ||
+                    fnv1aBytes(payload) != wire::getU64(checkBytes)) {
                     workerDied(w);
                     continue;
                 }
@@ -602,6 +657,7 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
         st.cacheMisses = c.misses;
         st.cacheStores = c.stores;
         st.corruptEvictions = c.corruptEvictions;
+        st.sizeEvictions = c.sizeEvictions;
     }
     st.wallSeconds = wallSeconds() - w0;
 

@@ -35,6 +35,7 @@
 #ifndef CAPSULE_HARNESS_FARM_HH
 #define CAPSULE_HARNESS_FARM_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -46,6 +47,44 @@
 
 namespace capsule::harness
 {
+
+/**
+ * Byte-level wire encoding of the coordinator<->worker pipe protocol.
+ * Every integer crosses the pipe as explicit little-endian bytes —
+ * never a raw struct or host-endian u64 — so the frame layout is a
+ * pinned, platform-independent contract (tests/test_farm.cc asserts
+ * the exact bytes). Requests are one wireU64 (a point index, or the
+ * all-ones shutdown sentinel); responses are a FrameHeader, the
+ * payload bytes, then a wireU64 FNV-1a checksum of the payload.
+ */
+namespace wire
+{
+
+/** Serialized u64 width (also a request's and a checksum's size). */
+constexpr std::size_t u64Size = 8;
+
+/** Write `v` as 8 little-endian bytes. */
+void putU64(unsigned char out[u64Size], std::uint64_t v);
+
+/** Read 8 little-endian bytes back into a u64. */
+std::uint64_t getU64(const unsigned char in[u64Size]);
+
+/** The fixed-size header of one worker response frame. */
+struct FrameHeader
+{
+    std::uint64_t index = 0;      ///< point index being answered
+    std::uint64_t status = 0;     ///< 0 = result payload, 1 = error
+    double cpuSeconds = 0.0;      ///< worker CPU burned on the point
+    std::uint64_t payloadLen = 0; ///< bytes following the header
+
+    /** Encoded size: four LE u64s (cpuSeconds as IEEE-754 bits). */
+    static constexpr std::size_t wireSize = 4 * u64Size;
+
+    void encode(unsigned char out[wireSize]) const;
+    static FrameHeader decode(const unsigned char in[wireSize]);
+};
+
+} // namespace wire
 
 /** One independent point of a campaign. */
 struct FarmPoint
@@ -83,6 +122,11 @@ struct FarmOptions
      *  journal (resume needs the cache as its payload store). */
     std::string cacheDir;
 
+    /** LRU size budget for cacheDir in bytes (0 = unbounded). The
+     *  sweep runs in the coordinator at publish time; see
+     *  ResultCache. */
+    std::uint64_t cacheMaxBytes = 0;
+
     /** Continue this campaign's journal instead of starting it
      *  fresh: journaled points load from the cache, the rest are
      *  simulated. Without the flag an existing journal for the same
@@ -108,6 +152,8 @@ struct FarmStats
     std::uint64_t cacheMisses = 0;
     std::uint64_t cacheStores = 0;
     std::uint64_t corruptEvictions = 0;
+    /** Entries evicted by the cache's LRU size-budget sweep. */
+    std::uint64_t sizeEvictions = 0;
     /** Resume-path points satisfied from journal + cache. */
     std::uint64_t journalSkips = 0;
     /** Workers actually forked (0 = fully inline run). */

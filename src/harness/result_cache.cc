@@ -1,5 +1,6 @@
 #include "harness/result_cache.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cstdio>
@@ -7,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "base/digest.hh"
 #include "base/logging.hh"
@@ -83,7 +85,8 @@ CacheKey::digest() const
     return d.value();
 }
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+ResultCache::ResultCache(std::string dir, std::uint64_t max_bytes)
+    : dir_(std::move(dir)), maxBytes_(max_bytes)
 {
     CAPSULE_ASSERT(!dir_.empty(), "empty result-cache directory");
     std::error_code ec;
@@ -253,6 +256,14 @@ ResultCache::load(const CacheKey &key)
     if (!result)
         return corrupt();
 
+    // Refresh the entry's mtime so the size-budget sweep evicts in
+    // true least-recently-*used* order, not publish order.
+    if (maxBytes_ != 0) {
+        std::error_code ec;
+        std::filesystem::last_write_time(
+            path, std::filesystem::file_time_type::clock::now(), ec);
+    }
+
     std::lock_guard lock(mtx);
     ++ctr.hits;
     return result;
@@ -289,8 +300,66 @@ ResultCache::store(const CacheKey &key, const wl::WorkloadResult &r)
         std::filesystem::remove(tmp, ec);
         return;
     }
-    std::lock_guard lock(mtx);
-    ++ctr.stores;
+    {
+        std::lock_guard lock(mtx);
+        ++ctr.stores;
+    }
+    if (maxBytes_ != 0)
+        sweepToBudget();
+}
+
+void
+ResultCache::sweepToBudget()
+{
+    // Snapshot every published entry with its age and size. Temp
+    // files are skipped: they belong to an in-flight publish.
+    struct Entry
+    {
+        std::filesystem::path path;
+        std::filesystem::file_time_type mtime;
+        std::uint64_t size;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de :
+         std::filesystem::directory_iterator(dir_, ec)) {
+        if (de.path().extension() != ".res")
+            continue;
+        std::error_code fec;
+        auto mtime = std::filesystem::last_write_time(de.path(), fec);
+        if (fec)
+            continue;
+        auto size = std::filesystem::file_size(de.path(), fec);
+        if (fec)
+            continue;
+        entries.push_back({de.path(), mtime, size});
+        total += size;
+    }
+    if (total <= maxBytes_)
+        return;
+
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime ||
+                         (a.mtime == b.mtime && a.path < b.path);
+              });
+    std::uint64_t evicted = 0;
+    for (const auto &e : entries) {
+        if (total <= maxBytes_)
+            break;
+        std::error_code rec;
+        // remove() can race a concurrent sweeper; only count and
+        // discount entries this process actually removed.
+        if (std::filesystem::remove(e.path, rec) && !rec) {
+            total -= e.size;
+            ++evicted;
+        }
+    }
+    if (evicted) {
+        std::lock_guard lock(mtx);
+        ctr.sizeEvictions += evicted;
+    }
 }
 
 ResultCache::Counters

@@ -76,11 +76,17 @@ class ResultCache
         std::uint64_t stores = 0;
         /** Entries evicted because they failed validation. */
         std::uint64_t corruptEvictions = 0;
+        /** Entries evicted by the LRU size-budget sweep. */
+        std::uint64_t sizeEvictions = 0;
     };
 
-    /** Opens (and creates if needed) the cache directory.
+    /**
+     * Opens (and creates if needed) the cache directory. A nonzero
+     * `max_bytes` caps the directory's total entry size: after each
+     * publish the oldest entries (by mtime — hits refresh it, so the
+     * order is true LRU) are swept until the total fits again.
      *  @throws std::runtime_error when the directory cannot be made */
-    explicit ResultCache(std::string dir);
+    explicit ResultCache(std::string dir, std::uint64_t max_bytes = 0);
 
     const std::string &dir() const { return dir_; }
 
@@ -108,7 +114,11 @@ class ResultCache
     decode(const std::string &payload);
 
   private:
+    /** Evict oldest entries until the directory fits the budget. */
+    void sweepToBudget();
+
     std::string dir_;
+    std::uint64_t maxBytes_;
     mutable std::mutex mtx;
     Counters ctr;
 };

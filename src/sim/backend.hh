@@ -53,6 +53,26 @@ struct RunStats
 };
 
 /**
+ * Contention metrics under adversarial pressure (DESIGN.md §10),
+ * reported separately from RunStats: the result-cache wire format
+ * pins the RunStats field list, and these counters only matter to
+ * the adversarial bench/scenario suite, not to cached sweeps.
+ */
+struct ContentionStats
+{
+    /** Thread-cycles spent stalled on a lock (sum over threads). */
+    std::uint64_t lockWaitCycles = 0;
+    /** Division requests denied (no free context / throttled). */
+    std::uint64_t divisionsDenied = 0;
+    /** Peak number of simultaneously locked addresses. */
+    std::uint64_t peakLockOccupancy = 0;
+    /** Peak inactive-context stack depth (max over stacks on CMP). */
+    std::uint64_t peakCtxStackDepth = 0;
+
+    bool operator==(const ContentionStats &) const = default;
+};
+
+/**
  * Observer invoked on every granted division with (parent, child)
  * thread ids; used to reconstruct division genealogy (Figure 6).
  * Thread ids are unique machine-wide, including across CMP cores.
@@ -87,6 +107,20 @@ class MachineBackend
 
     /** Snapshot the aggregate run statistics. */
     virtual RunStats stats() const = 0;
+
+    /**
+     * Snapshot the contention metrics (lock-wait cycles, denied
+     * divisions, peak occupancies). The default derives what it can
+     * from stats(); timing backends override with exact counters.
+     */
+    virtual ContentionStats
+    contention() const
+    {
+        ContentionStats c;
+        RunStats s = stats();
+        c.divisionsDenied = s.divisionsRequested - s.divisionsGranted;
+        return c;
+    }
 
     virtual void setDivisionObserver(DivisionObserver obs) = 0;
 

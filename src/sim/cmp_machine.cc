@@ -1,5 +1,7 @@
 #include "sim/cmp_machine.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace capsule::sim
@@ -201,6 +203,20 @@ CmpMachine::stats() const
     s.l1dMissRate = l1dTotal ? double(l1dMisses) / double(l1dTotal)
                              : 0.0;
     return s;
+}
+
+ContentionStats
+CmpMachine::contention() const
+{
+    ContentionStats c;
+    c.divisionsDenied = divCtrl.requested() - divCtrl.granted();
+    c.peakLockOccupancy = locks.peakOccupancy();
+    for (const auto &core : cores) {
+        c.lockWaitCycles += core->lockWaitCycleSum();
+        c.peakCtxStackDepth = std::max(c.peakCtxStackDepth,
+                                       core->contextStack().peakDepth());
+    }
+    return c;
 }
 
 void

@@ -61,6 +61,10 @@ class CmpMachine : public MachineBackend, private CmpCoupling
 
     RunStats stats() const override;
 
+    /** Lock-wait sums across cores; shared lock table / division
+     *  budget; max of the per-core context-stack peaks. */
+    ContentionStats contention() const override;
+
     /** Observes divisions on every core; parent/child ids are unique
      *  machine-wide, so cross-core genealogy needs no translation. */
     void setDivisionObserver(DivisionObserver obs) override;

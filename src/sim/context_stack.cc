@@ -1,6 +1,7 @@
 #include "sim/context_stack.hh"
 
 #include "base/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace capsule::sim
 {
@@ -55,8 +56,9 @@ void
 ContextStack::push(ThreadId tid)
 {
     if (full())
-        CAPSULE_FATAL("context stack overflow (", p.entries,
-                      " entries); a full design would trap to memory");
+        CAPSULE_SIM_ERROR(SimErrorKind::ContextStackOverflow,
+                          "context stack overflow (", p.entries,
+                          " entries); a full design would trap to memory");
     stack.push_back(tid);
     ++nSwapsOut;
     if (stack.size() > nPeakDepth.value()) {

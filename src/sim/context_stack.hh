@@ -73,6 +73,9 @@ class ContextStack
     std::uint64_t swapsOut() const { return nSwapsOut.value(); }
     std::uint64_t swapsIn() const { return nSwapsIn.value(); }
 
+    /** Maximum stack occupancy over the run. */
+    std::uint64_t peakDepth() const { return nPeakDepth.value(); }
+
     void registerStats(StatGroup &g) const;
 
   private:

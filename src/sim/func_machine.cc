@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "base/stats.hh"
+#include "sim/sim_error.hh"
 
 namespace capsule::sim
 {
@@ -195,12 +196,14 @@ FuncMachine::runLoop(std::optional<std::uint64_t> stop_after)
                 runSlice(i, sliceQuantum);
         }
         if (clock == before && liveCnt > 0)
-            CAPSULE_PANIC("functional backend deadlocked: ", liveCnt,
-                          " live thread(s), none runnable at ", clock,
-                          " retired instructions");
+            CAPSULE_SIM_ERROR(SimErrorKind::Deadlock,
+                              "functional backend deadlocked: ", liveCnt,
+                              " live thread(s), none runnable at ", clock,
+                              " retired instructions");
         if (clock >= cfg.maxCycles)
-            CAPSULE_FATAL("simulation exceeded maxCycles=",
-                          cfg.maxCycles);
+            CAPSULE_SIM_ERROR(SimErrorKind::CyclesExceeded,
+                              "simulation exceeded maxCycles=",
+                              cfg.maxCycles);
     }
 }
 
@@ -260,6 +263,17 @@ FuncMachine::stats() const
     s.avgActiveThreads =
         clock ? double(activeSum) / double(clock) : 0.0;
     return s;
+}
+
+ContentionStats
+FuncMachine::contention() const
+{
+    ContentionStats c;
+    c.lockWaitCycles = lockWaitSum;
+    c.divisionsDenied = divCtrl.requested() - divCtrl.granted();
+    c.peakLockOccupancy = locks.peakOccupancy();
+    c.peakCtxStackDepth = 0;  // the functional tier never swaps
+    return c;
 }
 
 void

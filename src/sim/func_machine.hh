@@ -55,6 +55,7 @@ class FuncMachine : public MachineBackend
     ThreadId addThread(std::unique_ptr<front::Program> program) override;
     RunStats run() override;
     RunStats stats() const override;
+    ContentionStats contention() const override;
 
     void
     setDivisionObserver(DivisionObserver obs) override
@@ -125,6 +126,7 @@ class FuncMachine : public MachineBackend
     {
         clock += n;
         activeSum += n * std::uint64_t(activeCnt);
+        lockWaitSum += n * std::uint64_t(liveCnt - activeCnt);
     }
 
     MachineConfig cfg;
@@ -139,6 +141,9 @@ class FuncMachine : public MachineBackend
     int activeCnt = 0;      ///< Active only
     int peakLive = 0;
     std::uint64_t activeSum = 0;  ///< sum of activeCnt per retirement
+    /** Sum of LockWait threads per retirement (instruction-clock
+     *  analogue of the detailed tier's lock-wait cycle counter). */
+    std::uint64_t lockWaitSum = 0;
     std::uint64_t nDeaths = 0;
 };
 

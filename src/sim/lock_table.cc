@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace capsule::sim
 {
@@ -19,8 +20,9 @@ LockTable::acquire(Addr addr, ThreadId tid)
     auto it = entries.find(addr);
     if (it == entries.end()) {
         if (entries.size() >= capacity)
-            CAPSULE_FATAL("locking table overflow (capacity ", capacity,
-                          "); raise LockTable capacity");
+            CAPSULE_SIM_ERROR(SimErrorKind::LockTableOverflow,
+                              "locking table overflow (capacity ",
+                              capacity, "); raise LockTable capacity");
         Entry e;
         e.owner = tid;
         entries.emplace(addr, std::move(e));

@@ -64,6 +64,9 @@ class LockTable
     std::uint64_t acquires() const { return nAcquires.value(); }
     std::uint64_t conflicts() const { return nConflicts.value(); }
 
+    /** Peak number of simultaneously locked addresses. */
+    std::uint64_t peakOccupancy() const { return nPeakOccupancy.value(); }
+
   private:
     struct Entry
     {

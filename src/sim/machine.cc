@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "base/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace capsule::sim
 {
@@ -933,9 +934,13 @@ Machine::cycleOnce()
     housekeepStage();
 
     int active = 0;
-    for (std::size_t i : liveIdx)
+    int lockWait = 0;
+    for (std::size_t i : liveIdx) {
         active += threads[i]->state == ThreadState::Active;
+        lockWait += threads[i]->state == ThreadState::LockWait;
+    }
     nActiveCycleSum += std::uint64_t(active);
+    nLockWaitCycleSum += std::uint64_t(lockWait);
 
     ++curCycle;
 
@@ -946,7 +951,9 @@ Machine::cycleOnce()
                       "; machine is deadlocked");
     }
     if (curCycle >= cfg.maxCycles)
-        CAPSULE_FATAL("simulation exceeded maxCycles=", cfg.maxCycles);
+        CAPSULE_SIM_ERROR(SimErrorKind::CyclesExceeded,
+                          "simulation exceeded maxCycles=",
+                          cfg.maxCycles);
 }
 
 bool
@@ -1001,6 +1008,17 @@ Machine::stats() const
         curCycle ? double(nActiveCycleSum.value()) / double(curCycle)
                  : 0.0;
     return s;
+}
+
+ContentionStats
+Machine::contention() const
+{
+    ContentionStats c;
+    c.lockWaitCycles = nLockWaitCycleSum.value();
+    c.divisionsDenied = divCtrl->requested() - divCtrl->granted();
+    c.peakLockOccupancy = locks->peakOccupancy();
+    c.peakCtxStackDepth = ctxStack.peakDepth();
+    return c;
 }
 
 void

@@ -207,11 +207,20 @@ class Machine : public MachineBackend
     {
         return nActiveCycleSum.value();
     }
+    /** Sum over cycles of threads stalled in LockWait (for the
+     *  contention metrics and their CMP aggregation). */
+    std::uint64_t
+    lockWaitCycleSum() const
+    {
+        return nLockWaitCycleSum.value();
+    }
 
     /** Snapshot the aggregate run statistics. In a CMP, the division
      *  and lock fields read the *shared* controllers (machine-wide
      *  numbers); CmpMachine::stats() aggregates the rest. */
     RunStats stats() const override;
+
+    ContentionStats contention() const override;
 
     void dumpStats(std::ostream &os) const override;
 
@@ -425,6 +434,7 @@ class Machine : public MachineBackend
     Scalar nDeaths;
     Scalar nMispredicts;
     Scalar nActiveCycleSum;  ///< sum over cycles of Active threads
+    Scalar nLockWaitCycleSum; ///< sum over cycles of LockWait threads
     mutable Scalar nPeakThreads;
 };
 

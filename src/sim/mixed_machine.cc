@@ -120,6 +120,24 @@ MixedMachine::stats() const
     return s;
 }
 
+ContentionStats
+MixedMachine::contention() const
+{
+    ContentionStats c;
+    if (detail)
+        c = detail->contention();
+    if (warm && ranWarm) {
+        ContentionStats w = warm->contention();
+        c.lockWaitCycles += w.lockWaitCycles;
+        c.divisionsDenied += w.divisionsDenied;
+        c.peakLockOccupancy =
+            std::max(c.peakLockOccupancy, w.peakLockOccupancy);
+        c.peakCtxStackDepth =
+            std::max(c.peakCtxStackDepth, w.peakCtxStackDepth);
+    }
+    return c;
+}
+
 std::size_t
 MixedMachine::lockedAddrs() const
 {

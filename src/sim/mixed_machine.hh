@@ -54,6 +54,7 @@ class MixedMachine : public MachineBackend
     ThreadId addThread(std::unique_ptr<front::Program> program) override;
     RunStats run() override;
     RunStats stats() const override;
+    ContentionStats contention() const override;
     void setDivisionObserver(DivisionObserver obs) override;
     void setThreadFinalizer(ThreadFinalizer fin) override;
     std::size_t lockedAddrs() const override;

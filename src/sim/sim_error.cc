@@ -1,0 +1,62 @@
+#include "sim/sim_error.hh"
+
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace capsule::sim
+{
+
+const char *
+simErrorKindName(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::ContextStackOverflow:
+        return "context-stack-overflow";
+      case SimErrorKind::LockTableOverflow:
+        return "lock-table-overflow";
+      case SimErrorKind::Deadlock:
+        return "deadlock";
+      case SimErrorKind::CyclesExceeded:
+        return "cycles-exceeded";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+bool &
+hardFlag()
+{
+    static bool hard = [] {
+        const char *env = std::getenv("CAPSULE_HARD_SIM_ERRORS");
+        return env && *env && std::string(env) != "0";
+    }();
+    return hard;
+}
+
+} // namespace
+
+bool
+hardSimulationErrors()
+{
+    return hardFlag();
+}
+
+void
+setHardSimulationErrors(bool hard)
+{
+    hardFlag() = hard;
+}
+
+void
+raiseSimError(SimErrorKind kind, const char *file, int line,
+              const std::string &msg)
+{
+    if (hardSimulationErrors())
+        fatalImpl(file, line, msg);
+    throw SimulationError(kind, msg);
+}
+
+} // namespace capsule::sim

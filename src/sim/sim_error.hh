@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reportable simulation errors (DESIGN.md §10). Capacity overflows and
+ * scheduling failures (context-stack overflow, lock-table overflow,
+ * functional-backend deadlock, maxCycles exceeded) are *properties of
+ * the simulated program*, not harness bugs: an oversubscribed fuzz
+ * program must surface as a structured failure the differential
+ * harness can shrink, not kill a 5000-iteration campaign or a farm
+ * worker mid-flight. By default these sites throw SimulationError;
+ * the classic hard abort (fatal + exit(1)) is kept behind an explicit
+ * debug flag for interactive debugging, settable programmatically or
+ * via the CAPSULE_HARD_SIM_ERRORS environment variable.
+ */
+
+#ifndef CAPSULE_SIM_SIM_ERROR_HH
+#define CAPSULE_SIM_SIM_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace capsule::sim
+{
+
+/** What kind of simulated-program failure was detected. */
+enum class SimErrorKind
+{
+    ContextStackOverflow, ///< swap-out demand exceeded ctxStack entries
+    LockTableOverflow,    ///< distinct locked addresses exceeded capacity
+    Deadlock,             ///< live threads, none runnable (func backend)
+    CyclesExceeded,       ///< simulation passed cfg.maxCycles
+};
+
+/** Stable lower-case name for a SimErrorKind ("deadlock", ...). */
+const char *simErrorKindName(SimErrorKind kind);
+
+/**
+ * A structured, catchable simulation failure. wl::simulate and the
+ * diff_runner backends propagate this to their callers; the fuzz
+ * harness reports it as a per-backend outcome and shrinks the
+ * offending program like any other divergence.
+ */
+class SimulationError : public std::runtime_error
+{
+  public:
+    SimulationError(SimErrorKind kind, std::string msg)
+        : std::runtime_error(std::move(msg)), kind_(kind)
+    {
+    }
+
+    SimErrorKind kind() const { return kind_; }
+
+  private:
+    SimErrorKind kind_;
+};
+
+/** True when simulation errors hard-abort instead of throwing.
+ *  Initial value comes from the CAPSULE_HARD_SIM_ERRORS env var. */
+bool hardSimulationErrors();
+
+/** Override the hard-abort flag (tests; debug sessions). */
+void setHardSimulationErrors(bool hard);
+
+/** Raise: fatal (exit 1) when hardSimulationErrors(), else throw. */
+[[noreturn]] void raiseSimError(SimErrorKind kind, const char *file,
+                                int line, const std::string &msg);
+
+} // namespace capsule::sim
+
+#define CAPSULE_SIM_ERROR(kind, ...) \
+    ::capsule::sim::raiseSimError( \
+        kind, __FILE__, __LINE__, \
+        ::capsule::detail::formatAll(__VA_ARGS__))
+
+#endif // CAPSULE_SIM_SIM_ERROR_HH

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/context_stack.hh"
+#include "sim/sim_error.hh"
 
 namespace capsule::sim
 {
@@ -56,11 +57,26 @@ TEST(ContextStack, FullDetection)
     EXPECT_TRUE(cs.full());
 }
 
-TEST(ContextStackDeath, OverflowIsFatal)
+TEST(ContextStackDeath, OverflowThrowsStructuredError)
 {
     ContextStack cs(params(1));
     cs.push(1);
-    EXPECT_EXIT(cs.push(2), ::testing::ExitedWithCode(1), "overflow");
+    try {
+        cs.push(2);
+        FAIL() << "overflow did not raise";
+    } catch (const SimulationError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::ContextStackOverflow);
+        EXPECT_NE(std::string(e.what()).find("overflow"),
+                  std::string::npos);
+    }
+}
+
+TEST(ContextStackDeath, OverflowIsFatalWhenHard)
+{
+    ContextStack cs(params(1));
+    cs.push(1);
+    EXPECT_EXIT((setHardSimulationErrors(true), cs.push(2)),
+                ::testing::ExitedWithCode(1), "overflow");
 }
 
 TEST(SwapPolicy, SlowLoadsMarkCandidate)

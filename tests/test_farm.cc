@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -54,6 +55,45 @@ TEST(StableDigest, MachineConfigPinned)
     EXPECT_EQ(sim::MachineConfig::cmpSomt(2, 4).digest(),
               0x7073706bbd64ed60ULL)
         << std::hex << sim::MachineConfig::cmpSomt(2, 4).digest();
+}
+
+TEST(StableDigest, WireFrameBytesArePinned)
+{
+    // The coordinator<->worker pipe protocol is an explicit
+    // little-endian byte contract (harness::wire), not an accident of
+    // host endianness: these are the exact bytes on the pipe.
+    unsigned char u[harness::wire::u64Size];
+    harness::wire::putU64(u, 0x0123456789abcdefULL);
+    const unsigned char expectU[8] = {0xef, 0xcd, 0xab, 0x89,
+                                      0x67, 0x45, 0x23, 0x01};
+    EXPECT_EQ(std::memcmp(u, expectU, sizeof expectU), 0);
+    EXPECT_EQ(harness::wire::getU64(u), 0x0123456789abcdefULL);
+
+    harness::wire::FrameHeader h;
+    h.index = 7;
+    h.status = 1;
+    h.cpuSeconds = 1.5; // IEEE-754 bits 0x3ff8000000000000
+    h.payloadLen = 0x1122;
+    unsigned char frame[harness::wire::FrameHeader::wireSize];
+    h.encode(frame);
+    const unsigned char expect[32] = {
+        7,    0,    0, 0, 0, 0, 0,    0,    // index
+        1,    0,    0, 0, 0, 0, 0,    0,    // status
+        0,    0,    0, 0, 0, 0, 0xf8, 0x3f, // cpu-seconds bits
+        0x22, 0x11, 0, 0, 0, 0, 0,    0,    // payload length
+    };
+    EXPECT_EQ(std::memcmp(frame, expect, sizeof expect), 0);
+
+    auto d = harness::wire::FrameHeader::decode(frame);
+    EXPECT_EQ(d.index, 7u);
+    EXPECT_EQ(d.status, 1u);
+    EXPECT_EQ(d.cpuSeconds, 1.5);
+    EXPECT_EQ(d.payloadLen, 0x1122u);
+
+    // The shutdown sentinel (~0) is all-ones on the wire.
+    harness::wire::putU64(u, ~std::uint64_t(0));
+    for (unsigned char c : u)
+        EXPECT_EQ(c, 0xff);
 }
 
 TEST(StableDigest, MachineConfigSeparatesBehavioralAxes)

@@ -21,6 +21,7 @@
 #include "fuzz/fuzz_rng.hh"
 #include "fuzz/program_gen.hh"
 #include "fuzz/ref_interp.hh"
+#include "harness/thread_pool.hh"
 #include "sim/backend.hh"
 
 namespace capsule::fuzz
@@ -113,6 +114,71 @@ TEST(ProgramGen, PinnedSourceHashes)
             << "seed " << seed << " hashes to 0x" << std::hex
             << fnv1a(prog.source);
     }
+}
+
+/**
+ * The adversarial modes are pinned the same way: every mode's rng
+ * stream is platform-invariant, and — critically — the Independent
+ * hashes above must NEVER move because of adversarial-mode work (all
+ * mode logic is guarded behind `mode != Independent`).
+ */
+TEST(ProgramGen, PinnedAdversarialSourceHashes)
+{
+    struct Pin
+    {
+        GenMode mode;
+        std::uint64_t hash[3]; // seeds 1..3
+    };
+    const Pin pins[] = {
+        {GenMode::HotLock,
+         {0x23b294e4f6222c2fULL, 0x4ac019d9abb8c9b0ULL,
+          0x6efb332340a9fc3eULL}},
+        {GenMode::DeepTree,
+         {0x4e680fb282b89e29ULL, 0x66518bc42616026eULL,
+          0x86754e61d1f72365ULL}},
+        {GenMode::Oversubscribe,
+         {0xaed95eda59e8e192ULL, 0xa1752b26afc8b7dfULL,
+          0xab2203cd2aec0ddfULL}},
+        {GenMode::DivisionDependent,
+         {0x9563ecb7242056f3ULL, 0xaf69fe63f811d626ULL,
+          0xb31826399be034aaULL}},
+    };
+    for (const auto &pin : pins) {
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            GenParams p;
+            p.seed = seed;
+            p.mode = pin.mode;
+            auto prog = generate(p);
+            EXPECT_EQ(fnv1a(prog.source), pin.hash[seed - 1])
+                << genModeName(pin.mode) << " seed " << seed
+                << " hashes to 0x" << std::hex << fnv1a(prog.source);
+        }
+    }
+}
+
+TEST(ProgramGen, ModeNamesRoundTrip)
+{
+    for (GenMode m :
+         {GenMode::Independent, GenMode::HotLock, GenMode::DeepTree,
+          GenMode::Oversubscribe, GenMode::DivisionDependent})
+        EXPECT_EQ(parseGenMode(genModeName(m)), m);
+    EXPECT_THROW(parseGenMode("bogus"), std::invalid_argument);
+    for (FuzzMode m :
+         {FuzzMode::Independent, FuzzMode::HotLock, FuzzMode::DeepTree,
+          FuzzMode::Oversubscribe, FuzzMode::DivisionDependent,
+          FuzzMode::AdversarialMix})
+        EXPECT_EQ(parseFuzzMode(fuzzModeName(m)), m);
+    // The adversarial mix rotates through all four stress modes.
+    EXPECT_EQ(genModeFor(FuzzMode::AdversarialMix, 0),
+              GenMode::HotLock);
+    EXPECT_EQ(genModeFor(FuzzMode::AdversarialMix, 1),
+              GenMode::DeepTree);
+    EXPECT_EQ(genModeFor(FuzzMode::AdversarialMix, 2),
+              GenMode::Oversubscribe);
+    EXPECT_EQ(genModeFor(FuzzMode::AdversarialMix, 3),
+              GenMode::DivisionDependent);
+    EXPECT_EQ(genModeFor(FuzzMode::AdversarialMix, 4),
+              GenMode::HotLock);
 }
 
 TEST(ProgramGen, MetadataIsConsistent)
@@ -360,6 +426,102 @@ TEST(DiffRunner, InjectedIsaBugsCaughtWithin200Iterations)
             EXPECT_FALSE(res.failures.front().detail.empty());
         }
     }
+}
+
+/**
+ * The ordered-observation oracle: in DivisionDependent mode the
+ * program's lock-guarded stores are *publications* whose serial order
+ * the oracle records; the log digest is a deterministic function of
+ * the seed and pins the dependency order itself, not just the final
+ * state.
+ */
+TEST(RefInterp, OrderedObservationRecordsPublications)
+{
+    GenParams p;
+    p.seed = 9;
+    p.mode = GenMode::DivisionDependent;
+    auto prog = generate(p);
+
+    RefOptions opts;
+    opts.orderedObservation = true;
+    RefInterp a(prog.image, opts);
+    RefResult ra = a.run();
+    ASSERT_TRUE(ra.ok) << ra.error;
+    // Every mailbox/result publish and accumulator update is a
+    // lock-guarded store, so a multi-node program must publish.
+    EXPECT_GT(ra.publications, 0u);
+    EXPECT_EQ(a.publications().size(), ra.publications);
+
+    RefInterp b(prog.image, opts);
+    RefResult rb = b.run();
+    EXPECT_EQ(ra.publications, rb.publications);
+    EXPECT_EQ(a.publicationDigest(), b.publicationDigest());
+
+    // Without the mode the same run records nothing.
+    RefInterp c(prog.image, RefOptions{});
+    RefResult rc = c.run();
+    ASSERT_TRUE(rc.ok);
+    EXPECT_EQ(rc.publications, 0u);
+}
+
+/**
+ * The headline acceptance gate of the adversarial suite: a
+ * 1000-iteration campaign rotating through all four adversarial
+ * modes, co-simulated on every backend, with zero divergences. Quick
+ * scale keeps this seconds-cheap at any --jobs count.
+ */
+TEST(DiffRunner, AdversarialCampaign1000IterationsClean)
+{
+    FuzzConfig cfg = quietConfig(1000, 0);
+    cfg.jobs = int(harness::hostConcurrency());
+    cfg.mode = FuzzMode::AdversarialMix;
+    cfg.sizeScale = 0.5;
+    auto res = runCampaign(cfg);
+    EXPECT_TRUE(res.ok()) << (res.failures.empty()
+                                  ? std::string()
+                                  : res.failures.front().detail);
+    EXPECT_EQ(res.iterations, 1000);
+}
+
+/**
+ * The bugfix acceptance test: a convoy program on an under-provisioned
+ * machine must surface as a *structured* simulation-error outcome the
+ * campaign reports and shrinks — not a process abort that kills the
+ * whole run (which is exactly what the pre-§10 CAPSULE_FATAL did).
+ */
+TEST(DiffRunner, CapacityOverflowIsAShrinkableOutcome)
+{
+    namespace fs = std::filesystem;
+    fs::path dir =
+        fs::temp_directory_path() / "capsule_fuzz_simerr_artifacts";
+    fs::remove_all(dir);
+
+    // One lock-table entry: the convoy's accumulator and completion
+    // counter cannot be held concurrently, so the run overflows.
+    sim::MachineConfig tiny = sim::MachineConfig::somt();
+    tiny.lockTableCapacity = 1;
+    tiny.maxCycles = 50'000'000;
+
+    FuzzConfig cfg = quietConfig(3, 1);
+    cfg.mode = FuzzMode::HotLock;
+    cfg.shrink = true;
+    cfg.artifactsDir = dir.string();
+    cfg.backends = {{"tiny-locktable", tiny}};
+    auto res = runCampaign(cfg);
+
+    ASSERT_FALSE(res.ok())
+        << "expected the convoy to overflow the 1-entry lock table";
+    const auto &f = res.failures.front();
+    EXPECT_NE(f.detail.find("simulation error (lock-table-overflow)"),
+              std::string::npos)
+        << f.detail;
+    // The shrink ladder worked on the structured outcome like on any
+    // divergence, and the repro was dumped.
+    EXPECT_LE(f.shrunkNodes, f.numNodes);
+    ASSERT_FALSE(f.artifactPath.empty());
+    EXPECT_TRUE(fs::exists(f.artifactPath));
+
+    fs::remove_all(dir);
 }
 
 TEST(DiffRunner, ShrinksFailuresAndDumpsCasmRepro)

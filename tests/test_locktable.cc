@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/lock_table.hh"
+#include "sim/sim_error.hh"
 
 namespace capsule::sim
 {
@@ -104,12 +105,27 @@ TEST(LockTable, OwnerOfUnlockedAddress)
     EXPECT_EQ(lt.owner(0xdead), invalidThread);
 }
 
-TEST(LockTableDeath, OverflowIsFatal)
+TEST(LockTableDeath, OverflowThrowsStructuredError)
 {
     LockTable lt(2);
     lt.acquire(0x100, 1);
     lt.acquire(0x200, 2);
-    EXPECT_EXIT(lt.acquire(0x300, 3),
+    try {
+        lt.acquire(0x300, 3);
+        FAIL() << "overflow did not raise";
+    } catch (const SimulationError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::LockTableOverflow);
+        EXPECT_NE(std::string(e.what()).find("overflow"),
+                  std::string::npos);
+    }
+}
+
+TEST(LockTableDeath, OverflowIsFatalWhenHard)
+{
+    LockTable lt(2);
+    lt.acquire(0x100, 1);
+    lt.acquire(0x200, 2);
+    EXPECT_EXIT((setHardSimulationErrors(true), lt.acquire(0x300, 3)),
                 ::testing::ExitedWithCode(1), "overflow");
 }
 

@@ -26,6 +26,7 @@
 #include "sim/context_stack.hh"
 #include "sim/lock_table.hh"
 #include "sim/machine.hh"
+#include "sim/sim_error.hh"
 #include "workloads/dijkstra.hh"
 #include "workloads/lzw.hh"
 #include "workloads/mcf_route.hh"
@@ -455,12 +456,34 @@ TEST_P(LockTableFuzz, MatchesReferenceModelUnderRandomOps)
 INSTANTIATE_TEST_SUITE_P(Seeds, LockTableFuzz,
                          ::testing::Values(101, 202, 303, 404));
 
-TEST(LockTableEdge, CapacityOverflowIsFatal)
+TEST(LockTableEdge, CapacityOverflowThrowsStructuredError)
+{
+    // The default (soft) contract: an overflow is a reportable
+    // simulation outcome, not a process abort — harnesses catch it,
+    // attribute it to a backend and keep the campaign alive.
+    sim::LockTable table(4);
+    for (Addr a = 0; a < 4; ++a)
+        EXPECT_TRUE(table.acquire(0x100 + 64 * a, ThreadId(a)));
+    try {
+        table.acquire(0x1000, 9);
+        FAIL() << "overflow did not throw";
+    } catch (const sim::SimulationError &e) {
+        EXPECT_EQ(e.kind(), sim::SimErrorKind::LockTableOverflow);
+        EXPECT_NE(std::string(e.what()).find("overflow"),
+                  std::string::npos);
+    }
+}
+
+TEST(LockTableEdge, CapacityOverflowIsFatalWhenHard)
 {
     sim::LockTable table(4);
     for (Addr a = 0; a < 4; ++a)
         EXPECT_TRUE(table.acquire(0x100 + 64 * a, ThreadId(a)));
-    EXPECT_EXIT(table.acquire(0x1000, 9),
+    // The debug escape hatch: hard mode restores the original
+    // die-at-the-site behaviour (set inside the death-test child so
+    // the parent process keeps the soft default).
+    EXPECT_EXIT((sim::setHardSimulationErrors(true),
+                 table.acquire(0x1000, 9)),
                 ::testing::ExitedWithCode(1), "overflow");
 }
 
@@ -516,17 +539,27 @@ TEST_P(CtxStackFuzz, LifoMatchesReferenceUnderRandomOps)
 INSTANTIATE_TEST_SUITE_P(Seeds, CtxStackFuzz,
                          ::testing::Values(7, 21, 63));
 
-TEST(CtxStackEdge, OverflowIsFatalUnderflowPanics)
+TEST(CtxStackEdge, OverflowThrowsUnderflowPanics)
 {
     sim::ContextStackParams p;
     p.entries = 4;
     sim::ContextStack stack(p);
+    // Underflow stays a panic: it is a simulator bug, never a
+    // property of the simulated program.
     EXPECT_DEATH(stack.pop(), "empty context stack");
     for (int i = 0; i < 4; ++i)
         stack.push(ThreadId(i));
     EXPECT_TRUE(stack.full());
-    EXPECT_EXIT(stack.push(99), ::testing::ExitedWithCode(1),
-                "overflow");
+    // Overflow is a program-induced capacity outcome: soft by
+    // default (structured error), fatal only in hard mode.
+    try {
+        stack.push(99);
+        FAIL() << "overflow did not throw";
+    } catch (const sim::SimulationError &e) {
+        EXPECT_EQ(e.kind(), sim::SimErrorKind::ContextStackOverflow);
+    }
+    EXPECT_EXIT((sim::setHardSimulationErrors(true), stack.push(99)),
+                ::testing::ExitedWithCode(1), "overflow");
 }
 
 TEST(CtxStackPolicy, SlowLoadsMakeCandidatesAndClearResets)

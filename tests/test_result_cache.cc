@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -181,6 +182,58 @@ TEST_F(ResultCacheTest, EveryKeyComponentChangesTheAddress)
     EXPECT_TRUE(missesWith(k));
     // And the original still hits.
     EXPECT_TRUE(cache.load(sampleKey()).has_value());
+}
+
+TEST_F(ResultCacheTest, SizeBudgetEvictsLeastRecentlyUsed)
+{
+    auto keyFor = [](std::uint64_t seed) {
+        auto k = sampleKey();
+        k.seed = seed;
+        return k;
+    };
+    // Measure one entry's on-disk size (all entries here share it:
+    // same payload shape, fixed-width key line), then budget for
+    // three and a half entries.
+    std::uintmax_t entryBytes;
+    {
+        harness::ResultCache probe(path());
+        probe.store(keyFor(0), sampleResult());
+        entryBytes = fs::file_size(probe.entryPath(keyFor(0)));
+    }
+    fs::remove_all(dir);
+
+    harness::ResultCache cache(path(), 3 * entryBytes +
+                                           entryBytes / 2);
+    auto settle = [] {
+        // Distinct mtimes: the sweep orders by last_write_time.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    };
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+        cache.store(keyFor(s), sampleResult());
+        settle();
+    }
+    EXPECT_EQ(cache.counters().sizeEvictions, 0u);
+
+    // A hit refreshes entry 1's mtime, so entry 2 becomes the LRU.
+    EXPECT_TRUE(cache.load(keyFor(1)).has_value());
+    settle();
+
+    // The fourth store exceeds the budget; the sweep evicts exactly
+    // the oldest entry.
+    cache.store(keyFor(4), sampleResult());
+    EXPECT_EQ(cache.counters().sizeEvictions, 1u);
+    EXPECT_TRUE(cache.load(keyFor(1)).has_value());
+    EXPECT_FALSE(cache.load(keyFor(2)).has_value());
+    EXPECT_TRUE(cache.load(keyFor(3)).has_value());
+    EXPECT_TRUE(cache.load(keyFor(4)).has_value());
+
+    // Hit/miss accounting is untouched by the budget machinery: the
+    // evicted entry reads as a plain miss, not a corrupt eviction.
+    auto c = cache.counters();
+    EXPECT_EQ(c.stores, 4u);
+    EXPECT_EQ(c.hits, 4u);
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.corruptEvictions, 0u);
 }
 
 TEST_F(ResultCacheTest, CorruptPayloadIsEvictedNotReturned)

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * The adversarial scenario registry (DESIGN.md §10): every scenario
+ * is a pinned (mode, caps, seed) program, so its differential verdict
+ * AND its contention profile on every backend are goldens. This suite
+ * asserts (a) the registry is well-formed, (b) every scenario agrees
+ * with the serial oracle on every default backend, (c) the per-
+ * backend cycle/contention counters match the checked-in table
+ * exactly, and (d) the division-dependent scenario's publication log
+ * — the serial order of its lock-published dependencies, recorded by
+ * the ordered-observation oracle — is pinned by digest.
+ *
+ * Functional-backend rows pin protocol counts only; cycle-domain
+ * fields (cycles, lock-wait) are recorded as 0, mirroring
+ * test_golden_stats.cc.
+ *
+ * To regenerate after an intentional change:
+ *
+ *   CAPSULE_GOLDEN_REGEN=1 ./tests/test_scenarios
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "front/asm_program.hh"
+#include "fuzz/diff_runner.hh"
+#include "fuzz/program_gen.hh"
+#include "fuzz/ref_interp.hh"
+#include "fuzz/scenarios.hh"
+#include "sim/backend.hh"
+
+namespace capsule::fuzz
+{
+namespace
+{
+
+/** One checked-in (scenario, backend) expectation. */
+struct Golden
+{
+    const char *scenario;
+    const char *backend; ///< smt / cmp2 / cmp4 / func
+    Cycle cycles;        ///< 0 on func rows (no timing golden)
+    std::uint64_t instructions;
+    std::uint64_t divisionsRequested;
+    std::uint64_t divisionsGranted;
+    std::uint64_t lockWaitCycles; ///< 0 on func rows
+    std::uint64_t peakLockOccupancy;
+    std::uint64_t peakCtxStackDepth;
+};
+
+// --- golden table (regenerate with CAPSULE_GOLDEN_REGEN=1) --------
+const std::vector<Golden> goldens = {
+    {"convoy-narrow", "smt", 14866u, 8648u, 23u, 19u, 10057u, 2u, 0u},
+    {"convoy-narrow", "cmp2", 16443u, 13353u, 23u, 20u, 14744u, 2u, 0u},
+    {"convoy-narrow", "cmp4", 15993u, 6933u, 23u, 17u, 9328u, 2u, 0u},
+    {"convoy-narrow", "func", 0u, 7103u, 23u, 15u, 0u, 2u, 0u},
+    {"convoy-wide", "smt", 19767u, 14849u, 28u, 25u, 7718u, 2u, 0u},
+    {"convoy-wide", "cmp2", 19767u, 14849u, 28u, 25u, 7826u, 2u, 0u},
+    {"convoy-wide", "cmp4", 19845u, 15034u, 28u, 25u, 7009u, 2u, 0u},
+    {"convoy-wide", "func", 0u, 8769u, 28u, 21u, 0u, 2u, 0u},
+    {"deep-chain", "smt", 17831u, 40995u, 39u, 21u, 1005u, 3u, 0u},
+    {"deep-chain", "cmp2", 17471u, 40085u, 39u, 19u, 30u, 2u, 0u},
+    {"deep-chain", "cmp4", 17379u, 39865u, 39u, 24u, 799u, 2u, 0u},
+    {"deep-chain", "func", 0u, 10480u, 39u, 22u, 0u, 2u, 0u},
+    {"unbalanced-tree", "smt", 13953u, 33885u, 27u, 15u, 203u, 2u, 0u},
+    {"unbalanced-tree", "cmp2", 14184u, 34475u, 27u, 14u, 84u, 2u, 0u},
+    {"unbalanced-tree", "cmp4", 14188u, 34485u, 27u, 14u, 443u, 2u, 0u},
+    {"unbalanced-tree", "func", 0u, 8015u, 27u, 16u, 0u, 2u, 0u},
+    {"oversubscribe", "smt", 19148u, 45824u, 32u, 21u, 203u, 2u, 0u},
+    {"oversubscribe", "cmp2", 19225u, 46019u, 32u, 21u, 259u, 2u, 0u},
+    {"oversubscribe", "cmp4", 19277u, 46159u, 32u, 21u, 8u, 2u, 0u},
+    {"oversubscribe", "func", 0u, 9344u, 32u, 21u, 0u, 3u, 0u},
+    {"divdep-pipeline", "smt", 26805u, 139728u, 31u, 30u, 2u, 3u, 0u},
+    {"divdep-pipeline", "cmp2", 26735u, 160683u, 31u, 30u, 14u, 3u, 0u},
+    {"divdep-pipeline", "cmp4", 26736u, 169098u, 31u, 30u, 7u, 4u, 0u},
+    {"divdep-pipeline", "func", 0u, 12440u, 31u, 29u, 0u, 2u, 0u},
+};
+// --- end golden table ---------------------------------------------
+
+/** The divdep-pipeline publication-log golden (same regen switch). */
+constexpr std::uint64_t divdepPublications = 123;
+constexpr std::uint64_t divdepPublicationDigest =
+    0x0157a307e5dd60b9ULL;
+
+/** The contention-suite backends: the default co-simulation set
+ *  minus ffwd (whose counters restate smt's tail). */
+std::vector<BackendSpec>
+suiteBackends()
+{
+    std::vector<BackendSpec> out;
+    for (auto &spec : defaultBackends())
+        if (spec.label != "ffwd")
+            out.push_back(std::move(spec));
+    return out;
+}
+
+struct PointRun
+{
+    sim::RunStats stats;
+    sim::ContentionStats cont;
+};
+
+PointRun
+runPoint(const Scenario &s, const sim::MachineConfig &cfg)
+{
+    GeneratedProgram prog = generate(s.params);
+    front::AsmProcess proc(prog.image);
+    auto backend = sim::makeBackend(cfg);
+    backend->addThread(std::make_unique<front::AsmProgram>(proc));
+    PointRun r;
+    r.stats = backend->run();
+    r.cont = backend->contention();
+    return r;
+}
+
+std::vector<std::pair<const Scenario *, const BackendSpec *>>
+coveredPoints(const std::vector<BackendSpec> &backends)
+{
+    std::vector<std::pair<const Scenario *, const BackendSpec *>> pts;
+    for (const auto &s : scenarios())
+        for (const auto &b : backends)
+            pts.emplace_back(&s, &b);
+    return pts;
+}
+
+TEST(Scenarios, RegistryIsWellFormed)
+{
+    ASSERT_GE(scenarios().size(), 6u);
+    std::set<std::string> names;
+    for (const auto &s : scenarios()) {
+        EXPECT_TRUE(names.insert(s.name).second)
+            << "duplicate scenario name " << s.name;
+        EXPECT_FALSE(s.description.empty()) << s.name;
+        EXPECT_NE(s.params.mode, GenMode::Independent) << s.name;
+        const Scenario *found = findScenario(s.name);
+        ASSERT_NE(found, nullptr) << s.name;
+        EXPECT_EQ(found->params.seed, s.params.seed);
+    }
+    EXPECT_EQ(findScenario("no-such-scenario"), nullptr);
+}
+
+TEST(Scenarios, EveryScenarioAgreesWithTheOracle)
+{
+    for (const auto &s : scenarios()) {
+        DiffOutcome o = runOne(s.params);
+        EXPECT_TRUE(o.ok) << s.name << ":\n" << o.detail;
+        EXPECT_GT(o.numNodes, 1) << s.name;
+    }
+}
+
+TEST(Scenarios, RegenerateTable)
+{
+    if (!std::getenv("CAPSULE_GOLDEN_REGEN"))
+        GTEST_SKIP() << "set CAPSULE_GOLDEN_REGEN=1 to print the table";
+    auto backends = suiteBackends();
+    for (const auto &[s, b] : coveredPoints(backends)) {
+        PointRun r = runPoint(*s, b->cfg);
+        bool fn = b->label == "func";
+        std::printf("    {\"%s\", \"%s\", %lluu, %lluu, %lluu, %lluu, "
+                    "%lluu, %lluu, %lluu},\n",
+                    s->name.c_str(), b->label.c_str(),
+                    (unsigned long long)(fn ? 0 : r.stats.cycles),
+                    (unsigned long long)r.stats.instructions,
+                    (unsigned long long)r.stats.divisionsRequested,
+                    (unsigned long long)r.stats.divisionsGranted,
+                    (unsigned long long)(fn ? 0
+                                            : r.cont.lockWaitCycles),
+                    (unsigned long long)r.cont.peakLockOccupancy,
+                    (unsigned long long)r.cont.peakCtxStackDepth);
+    }
+    const Scenario *divdep = findScenario("divdep-pipeline");
+    ASSERT_NE(divdep, nullptr);
+    GeneratedProgram prog = generate(divdep->params);
+    RefOptions opts;
+    opts.orderedObservation = true;
+    RefInterp oracle(prog.image, opts);
+    RefResult ref = oracle.run();
+    ASSERT_TRUE(ref.ok) << ref.error;
+    std::printf("divdepPublications = %llu;\n"
+                "divdepPublicationDigest = 0x%016llxULL;\n",
+                (unsigned long long)ref.publications,
+                (unsigned long long)oracle.publicationDigest());
+}
+
+TEST(Scenarios, TableCoversEveryPoint)
+{
+    auto backends = suiteBackends();
+    auto pts = coveredPoints(backends);
+    ASSERT_EQ(goldens.size(), pts.size())
+        << "golden table out of date: regenerate with "
+           "CAPSULE_GOLDEN_REGEN=1";
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        EXPECT_EQ(goldens[i].scenario, pts[i].first->name) << i;
+        EXPECT_EQ(goldens[i].backend, pts[i].second->label) << i;
+    }
+}
+
+class ScenarioGolden : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ScenarioGolden, MatchesCheckedInValues)
+{
+    ASSERT_LT(GetParam(), goldens.size());
+    const Golden &g = goldens[GetParam()];
+    const Scenario *s = findScenario(g.scenario);
+    ASSERT_NE(s, nullptr) << g.scenario;
+    auto backends = suiteBackends();
+    const BackendSpec *spec = nullptr;
+    for (const auto &b : backends)
+        if (b.label == g.backend)
+            spec = &b;
+    ASSERT_NE(spec, nullptr) << g.backend;
+
+    PointRun r = runPoint(*s, spec->cfg);
+    const std::string at =
+        std::string(g.scenario) + " on " + g.backend;
+    bool fn = std::string(g.backend) == "func";
+    if (!fn) {
+        EXPECT_EQ(r.stats.cycles, g.cycles) << at;
+        EXPECT_EQ(r.cont.lockWaitCycles, g.lockWaitCycles) << at;
+    }
+    EXPECT_EQ(r.stats.instructions, g.instructions) << at;
+    EXPECT_EQ(r.stats.divisionsRequested, g.divisionsRequested) << at;
+    EXPECT_EQ(r.stats.divisionsGranted, g.divisionsGranted) << at;
+    EXPECT_EQ(r.cont.divisionsDenied,
+              g.divisionsRequested - g.divisionsGranted)
+        << at;
+    EXPECT_EQ(r.cont.peakLockOccupancy, g.peakLockOccupancy) << at;
+    EXPECT_EQ(r.cont.peakCtxStackDepth, g.peakCtxStackDepth) << at;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table, ScenarioGolden,
+                         ::testing::Range(std::size_t(0),
+                                          goldens.size()));
+
+TEST(Scenarios, DivdepPublicationLogIsPinned)
+{
+    const Scenario *s = findScenario("divdep-pipeline");
+    ASSERT_NE(s, nullptr);
+    GeneratedProgram prog = generate(s->params);
+    RefOptions opts;
+    opts.orderedObservation = true;
+    RefInterp oracle(prog.image, opts);
+    RefResult ref = oracle.run();
+    ASSERT_TRUE(ref.ok) << ref.error;
+    EXPECT_EQ(ref.publications, divdepPublications);
+    EXPECT_EQ(oracle.publicationDigest(), divdepPublicationDigest)
+        << "publication order drifted: the dependency spine itself "
+           "changed, not just timing";
+}
+
+} // namespace
+} // namespace capsule::fuzz
