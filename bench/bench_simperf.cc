@@ -149,7 +149,11 @@ main(int argc, char **argv)
     for (const auto &wlName : names) {
         for (const char *backend : backends) {
             const auto &r = results[at++];
-            allCorrect = allCorrect && r.correct;
+            // Quarantined placeholders fail the run only under
+            // --strict (checked against FarmStats below).
+            allCorrect = allCorrect &&
+                         (r.correct ||
+                          r.metric("quarantined", 0.0) != 0.0);
             double wall = r.metric("host_wall_seconds");
             double cpu = r.metric("host_cpu_seconds");
             // Guard the rate denominators against clock granularity.
@@ -213,5 +217,13 @@ main(int argc, char **argv)
     if (scale.useFarm())
         bench::Scale::reportFarmStats(report, farm.stats());
     report.flag("all_correct", allCorrect);
-    return report.write() && allCorrect ? 0 : 1;
+    bool strictOk = true;
+    if (scale.strict && farm.stats().quarantined > 0) {
+        strictOk = false;
+        std::fprintf(stderr,
+                     "simperf: --strict and %llu point(s) "
+                     "quarantined\n",
+                     (unsigned long long)farm.stats().quarantined);
+    }
+    return report.write() && allCorrect && strictOk ? 0 : 1;
 }

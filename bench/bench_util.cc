@@ -88,12 +88,44 @@ parseScale(int argc, char **argv)
             s.workers = int(v);
         } else if (std::strcmp(argv[i], "--resume") == 0) {
             s.resume = true;
+        } else if (std::strcmp(argv[i], "--fault-plan") == 0 &&
+                   i + 1 < argc) {
+            s.faultPlan = argv[++i];
+        } else if (std::strcmp(argv[i], "--point-timeout") == 0 &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            double v = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || v < 0) {
+                std::fprintf(stderr,
+                             "--point-timeout wants a non-negative "
+                             "seconds value (0 disables deadlines), "
+                             "got '%s'\n",
+                             argv[i]);
+                std::exit(2);
+            }
+            s.pointTimeout = v;
+        } else if (std::strcmp(argv[i], "--max-point-retries") == 0 &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            long v = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || v < 1 || v > 1000) {
+                std::fprintf(stderr,
+                             "--max-point-retries wants a positive "
+                             "integer, got '%s'\n",
+                             argv[i]);
+                std::exit(2);
+            }
+            s.maxPointRetries = int(v);
+        } else if (std::strcmp(argv[i], "--strict") == 0) {
+            s.strict = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--paper|--quick|--scale LEVEL] "
                          "[--seed N] [--json FILE] [--jobs N] "
                          "[--cache-dir DIR] [--cache-max-bytes N] "
-                         "[--workers N] [--resume]\n",
+                         "[--workers N] [--resume] "
+                         "[--fault-plan PLAN] [--point-timeout S] "
+                         "[--max-point-retries N] [--strict]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -103,6 +135,14 @@ parseScale(int argc, char **argv)
                      "--resume needs --cache-dir (the cache is the "
                      "journal's payload store)\n");
         std::exit(2);
+    }
+    if (!s.faultPlan.empty()) {
+        try {
+            harness::FaultPlan::parse(s.faultPlan);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "--fault-plan: %s\n", e.what());
+            std::exit(2);
+        }
     }
     return s;
 }
@@ -119,8 +159,15 @@ Scale::reportFarmStats(JsonReport &report,
     report.count(prefix + "_cache_stores", stats.cacheStores);
     report.count(prefix + "_corrupt_evictions",
                  stats.corruptEvictions);
+    report.count(prefix + "_length_evictions",
+                 stats.lengthEvictions);
     report.count(prefix + "_size_evictions", stats.sizeEvictions);
     report.count(prefix + "_journal_skips", stats.journalSkips);
+    report.count(prefix + "_timeouts", stats.timeouts);
+    report.count(prefix + "_respawns", stats.respawns);
+    report.count(prefix + "_frames_rejected", stats.framesRejected);
+    report.count(prefix + "_point_retries", stats.pointRetries);
+    report.count(prefix + "_quarantined", stats.quarantined);
     report.count(prefix + "_workers",
                  std::uint64_t(stats.workersUsed));
     for (std::size_t w = 0; w < stats.perWorkerPoints.size(); ++w) {

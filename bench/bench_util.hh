@@ -41,6 +41,12 @@ struct Scale
     int workers = 1;      ///< farm worker processes (0 = all cores)
     bool resume = false;  ///< resume this campaign's journal
 
+    // Fault-tolerance flags (DESIGN.md §11).
+    std::string faultPlan;   ///< seeded fault schedule (validated)
+    double pointTimeout = -1; ///< per-point deadline s (<0 = default)
+    int maxPointRetries = 0; ///< quarantine threshold (0 = default)
+    bool strict = false;     ///< any quarantined point fails the run
+
     /** The flags as a registry scale level. */
     wl::ScaleLevel
     level() const
@@ -77,10 +83,12 @@ struct Scale
     bool
     useFarm() const
     {
-        return !cacheDir.empty() || workers != 1 || resume;
+        return !cacheDir.empty() || workers != 1 || resume ||
+               !faultPlan.empty();
     }
 
-    /** The farm options honouring --cache-dir/--workers/--resume. */
+    /** The farm options honouring --cache-dir/--workers/--resume and
+     *  the fault-tolerance flags. */
     harness::FarmOptions
     farmOptions() const
     {
@@ -89,6 +97,12 @@ struct Scale
         o.cacheDir = cacheDir;
         o.cacheMaxBytes = cacheMaxBytes;
         o.resume = resume;
+        if (!faultPlan.empty())
+            o.faultPlan = harness::FaultPlan::parse(faultPlan);
+        if (pointTimeout >= 0)
+            o.pointTimeoutSeconds = pointTimeout;
+        if (maxPointRetries > 0)
+            o.maxPointRetries = maxPointRetries;
         return o;
     }
 

@@ -47,7 +47,9 @@ usage(const char *argv0)
         "          [--inject-bug add-off-by-one|xor-as-or|"
         "slt-inverted]\n"
         "          [--cache-dir DIR] [--cache-max-bytes N]\n"
-        "          [--workers N] [--resume]\n",
+        "          [--workers N] [--resume]\n"
+        "          [--fault-plan PLAN] [--point-timeout S]\n"
+        "          [--max-point-retries N] [--strict]\n",
         argv0);
     std::exit(2);
 }
@@ -78,6 +80,7 @@ main(int argc, char **argv)
     bench::Scale scale; // reused for the banner / JsonReport shape
     std::string injectName;
     std::string modeName = "independent";
+    bool strict = false;
 
     for (int i = 1; i < argc; ++i) {
         auto is = [&](const char *f) {
@@ -124,6 +127,19 @@ main(int argc, char **argv)
                                        4096, argv[0]));
         } else if (is("--resume")) {
             cfg.resume = true;
+        } else if (is("--fault-plan") && i + 1 < argc) {
+            cfg.faultPlan = argv[++i];
+        } else if (is("--point-timeout") && i + 1 < argc) {
+            char *end = nullptr;
+            double v = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || v < 0)
+                usage(argv[0]);
+            cfg.pointTimeoutSeconds = v;
+        } else if (is("--max-point-retries") && i + 1 < argc) {
+            cfg.maxPointRetries = int(parseNum(
+                "--max-point-retries", argv[++i], 1, 1000, argv[0]));
+        } else if (is("--strict")) {
+            strict = true;
         } else {
             usage(argv[0]);
         }
@@ -132,6 +148,8 @@ main(int argc, char **argv)
     try {
         cfg.inject = fuzz::parseInjectedBug(injectName);
         cfg.mode = fuzz::parseFuzzMode(modeName);
+        if (!cfg.faultPlan.empty())
+            harness::FaultPlan::parse(cfg.faultPlan);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
         usage(argv[0]);
@@ -186,10 +204,20 @@ main(int argc, char **argv)
     report.count("words_total", res.wordsTotal);
     report.str("mode", fuzz::fuzzModeName(cfg.mode));
     report.str("inject_bug", fuzz::injectedBugName(cfg.inject));
-    if (!cfg.cacheDir.empty() || cfg.workers != 1)
+    if (!cfg.cacheDir.empty() || cfg.workers != 1 ||
+        !cfg.faultPlan.empty())
         bench::Scale::reportFarmStats(report, res.farm);
     report.flag("all_agree", res.ok());
     bool wrote = report.write();
 
-    return res.ok() && wrote ? 0 : 1;
+    bool strictOk = true;
+    if (strict && res.farm.quarantined > 0) {
+        strictOk = false;
+        std::fprintf(stderr,
+                     "fuzz: --strict and %llu iteration(s) "
+                     "quarantined\n",
+                     (unsigned long long)res.farm.quarantined);
+    }
+
+    return res.ok() && wrote && strictOk ? 0 : 1;
 }

@@ -384,7 +384,8 @@ runCampaign(const FuzzConfig &cfg)
         }
     };
 
-    const bool useFarm = !cfg.cacheDir.empty() || cfg.workers != 1;
+    const bool useFarm = !cfg.cacheDir.empty() || cfg.workers != 1 ||
+                         !cfg.faultPlan.empty();
     if (useFarm) {
         // Farm routing: each iteration becomes a cacheable point
         // keyed by the *generated image's* content digest (the
@@ -445,6 +446,12 @@ runCampaign(const FuzzConfig &cfg)
         fo.cacheDir = cfg.cacheDir;
         fo.cacheMaxBytes = cfg.cacheMaxBytes;
         fo.resume = cfg.resume;
+        if (!cfg.faultPlan.empty())
+            fo.faultPlan = harness::FaultPlan::parse(cfg.faultPlan);
+        if (cfg.pointTimeoutSeconds >= 0)
+            fo.pointTimeoutSeconds = cfg.pointTimeoutSeconds;
+        if (cfg.maxPointRetries > 0)
+            fo.maxPointRetries = cfg.maxPointRetries;
         harness::FarmRunner farm(fo);
         auto verdicts = farm.run(pts);
         out.farm = farm.stats();
@@ -456,6 +463,18 @@ runCampaign(const FuzzConfig &cfg)
                 slot.ok = true;
                 slot.numNodes = int(wr.metric("nodes"));
                 slot.words = std::size_t(wr.metric("words"));
+            } else if (wr.metric("quarantined", 0.0) != 0.0) {
+                // Quarantined: this iteration kept killing or
+                // hanging its worker — re-simulating it inline is
+                // exactly the coordinator suicide quarantine
+                // prevents, so report it as a failure by reference.
+                DiffOutcome &slot = results[std::size_t(i)];
+                slot.ok = false;
+                slot.quarantined = true;
+                slot.detail =
+                    "[farm] iteration quarantined after repeated "
+                    "worker deaths; re-run this seed alone to "
+                    "debug\n";
             } else {
                 // Diverged (or threw): re-simulate inline for the
                 // full detail the shrink/artifact pass needs.
@@ -488,7 +507,7 @@ runCampaign(const FuzzConfig &cfg)
         GenParams bestParams = params;
         int originalNodes = o.numNodes;
         DiffOutcome best = std::move(o);
-        if (cfg.shrink) {
+        if (cfg.shrink && !best.quarantined) {
             // Re-generate the failing seed down a size ladder and
             // keep the smallest program that still diverges.
             for (double f : {0.7, 0.5, 0.35, 0.2}) {
@@ -512,7 +531,7 @@ runCampaign(const FuzzConfig &cfg)
         fr.detail = best.detail;
         fr.numNodes = originalNodes;
         fr.shrunkNodes = best.numNodes;
-        if (!cfg.artifactsDir.empty())
+        if (!cfg.artifactsDir.empty() && !best.quarantined)
             fr.artifactPath = dumpArtifact(cfg.artifactsDir,
                                            bestParams, best,
                                            cfg.inject);

@@ -57,6 +57,10 @@ std::vector<BackendSpec> defaultBackends();
 struct DiffOutcome
 {
     bool ok = true;
+    /** The farm quarantined this iteration: it is reported as a
+     *  failure but never re-simulated, shrunk, or dumped in this
+     *  process — it kept killing the process that hosted it. */
+    bool quarantined = false;
     /** Human-readable divergence/invariant report (empty when ok). */
     std::string detail;
     int numNodes = 0;
@@ -130,6 +134,14 @@ struct FuzzConfig
     std::uint64_t cacheMaxBytes = 0;
     int workers = 1;         ///< farm worker processes (0 = cores)
     bool resume = false;     ///< resume this campaign's journal
+
+    // Fault-tolerance passthrough (DESIGN.md §11). A quarantined
+    // iteration surfaces as a campaign failure whose detail says so;
+    // it is NOT re-simulated inline — quarantine exists precisely
+    // because the point keeps killing its host process.
+    std::string faultPlan;         ///< FaultPlan spec ("" = off)
+    double pointTimeoutSeconds = -1; ///< <0 keeps the farm default
+    int maxPointRetries = 0;       ///< 0 keeps the farm default
 };
 
 /** One confirmed, shrunk failure. */

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <bit>
 #include <cerrno>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
 #include <deque>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <unordered_set>
@@ -46,6 +49,22 @@ getU64(const unsigned char in[u64Size])
     for (std::size_t i = 0; i < u64Size; ++i)
         v |= std::uint64_t(in[i]) << (8 * i);
     return v;
+}
+
+void
+PointRequest::encode(unsigned char out[wireSize]) const
+{
+    putU64(out + 0 * u64Size, index);
+    putU64(out + 1 * u64Size, fault);
+}
+
+PointRequest
+PointRequest::decode(const unsigned char in[wireSize])
+{
+    PointRequest r;
+    r.index = getU64(in + 0 * u64Size);
+    r.fault = getU64(in + 1 * u64Size);
+    return r;
 }
 
 void
@@ -89,12 +108,24 @@ threadCpuSeconds()
     return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
 }
 
+/** Coordinator faults due at one merge (DESIGN.md §11). */
+struct CoordFaults
+{
+    bool tearCache = false;
+    bool tearJournal = false;
+    bool die = false;
+};
+
 /**
  * The campaign journal: one line per completed point digest, flushed
  * to the kernel per append so a SIGKILLed coordinator loses at most
- * the in-flight points. The header pins the campaign identity and
- * size; a resume against a journal written by a *different* campaign
- * (changed point matrix) starts fresh instead of mis-skipping.
+ * the in-flight points. `done` records a merged result, `quar` a
+ * quarantined point — quarantine is sticky across resumes of the
+ * same campaign (the killer is not re-run), while a fresh journal
+ * (no resume flag) retries it. The header pins the campaign identity
+ * and size; a resume against a journal written by a *different*
+ * campaign (changed point matrix) starts fresh instead of
+ * mis-skipping.
  */
 class Journal
 {
@@ -112,13 +143,20 @@ class Journal
             std::fclose(f);
     }
 
-    /** Resume mode: parse completed digests (tolerating a torn final
-     *  line), then reopen for appending. A missing or foreign-
-     *  campaign journal yields an empty set and a fresh file. */
-    std::unordered_set<std::uint64_t>
-    loadForResume()
+    struct ResumeState
     {
         std::unordered_set<std::uint64_t> done;
+        std::unordered_set<std::uint64_t> quarantined;
+    };
+
+    /** Resume mode: parse completed/quarantined digests (tolerating
+     *  a torn final line), then reopen for appending. A missing or
+     *  foreign-campaign journal yields empty sets and a fresh
+     *  file. */
+    ResumeState
+    loadForResume()
+    {
+        ResumeState rs;
         bool valid = false;
         if (FILE *in = std::fopen(path_.c_str(), "r")) {
             char line[128];
@@ -128,12 +166,15 @@ class Journal
                 while (std::fgets(line, sizeof line, in)) {
                     std::string s(line);
                     std::uint64_t d = 0;
-                    if (s.size() == 5 + 16 + 1 &&
-                        s.rfind("done ", 0) == 0 && s.back() == '\n' &&
-                        parseHex16(s.substr(5, 16), d))
-                        done.insert(d);
+                    if (s.size() == 5 + 16 + 1 && s.back() == '\n' &&
+                        parseHex16(s.substr(5, 16), d)) {
+                        if (s.rfind("done ", 0) == 0)
+                            rs.done.insert(d);
+                        else if (s.rfind("quar ", 0) == 0)
+                            rs.quarantined.insert(d);
+                    }
                     // A torn or foreign line is simply not a
-                    // completion record; the point recomputes.
+                    // record; the point recomputes.
                 }
             }
             std::fclose(in);
@@ -141,10 +182,10 @@ class Journal
         if (valid) {
             f = std::fopen(path_.c_str(), "a");
         } else {
-            done.clear();
+            rs = ResumeState{};
             startFresh();
         }
-        return done;
+        return rs;
     }
 
     void
@@ -157,20 +198,40 @@ class Journal
         }
     }
 
+    /** Record a merged point. `torn` (fault injection) writes only
+     *  the first half of the line — the on-disk shape of an append
+     *  cut down by a crash or power loss mid-write. */
     void
-    append(std::uint64_t digest)
+    append(std::uint64_t digest, bool torn = false)
     {
-        if (!f)
-            return;
-        std::fprintf(f, "done %s\n", toHex16(digest).c_str());
-        std::fflush(f);
+        record("done", digest, torn);
+    }
+
+    /** Record a quarantined point (sticky across resumes). */
+    void
+    appendQuarantine(std::uint64_t digest, bool torn = false)
+    {
+        record("quar", digest, torn);
     }
 
   private:
+    void
+    record(const char *tag, std::uint64_t digest, bool torn)
+    {
+        if (!f)
+            return;
+        std::string line =
+            std::string(tag) + " " + toHex16(digest) + "\n";
+        if (torn)
+            line.resize(line.size() / 2);
+        std::fwrite(line.data(), 1, line.size(), f);
+        std::fflush(f);
+    }
+
     std::string
     header() const
     {
-        return "capsule-farm-journal-v1 " + toHex16(campaign_) + " " +
+        return "capsule-farm-journal-v2 " + toHex16(campaign_) + " " +
                std::to_string(numPoints_) + "\n";
     }
 
@@ -224,7 +285,7 @@ writeFull(int fd, const void *buf, std::size_t len)
 }
 
 /**
- * Worker main loop: read a point index, simulate, answer with a
+ * Worker main loop: read a point request, simulate, answer with a
  * framed result, repeat until the shutdown sentinel or EOF. Workers
  * never touch the cache or the journal — the coordinator is the
  * single writer — so a worker crash can lose only its own point.
@@ -234,26 +295,43 @@ writeFull(int fd, const void *buf, std::size_t len)
  * platform-independent pinned contract rather than an accident of
  * host endianness. [FrameHeader][payload bytes][FNV-1a of payload].
  * status 0 carries an encoded WorkloadResult, 1 an error message.
+ *
+ * A request may carry an injected fault (DESIGN.md §11): crash and
+ * hang fire before simulating (the coordinator-visible effect — EOF
+ * or silence — is the same, and the fault matrix stays fast); the
+ * frame faults poison the response in three distinct ways so every
+ * coordinator rejection path is reachable on demand.
  */
 [[noreturn]] void
 workerLoop(const std::vector<FarmPoint> &points, int req_fd,
            int resp_fd)
 {
     for (;;) {
-        unsigned char idxBytes[wire::u64Size];
-        if (!readFull(req_fd, idxBytes, sizeof idxBytes))
+        unsigned char reqBytes[wire::PointRequest::wireSize];
+        if (!readFull(req_fd, reqBytes, sizeof reqBytes))
             _exit(0);
-        const std::uint64_t idx = wire::getU64(idxBytes);
-        if (idx == shutdownIndex)
+        const wire::PointRequest req =
+            wire::PointRequest::decode(reqBytes);
+        if (req.index == shutdownIndex)
             _exit(0);
-        if (idx >= points.size())
+        if (req.index >= points.size())
             _exit(1);
+        const auto fault = static_cast<FaultKind>(req.fault);
+
+        if (fault == FaultKind::CrashWorker) {
+            ::raise(SIGKILL);
+            _exit(1); // NOT REACHED
+        }
+        if (fault == FaultKind::HangWorker) {
+            for (;;)
+                ::pause(); // the deadline reaper is the only way out
+        }
 
         std::uint64_t status = 0;
         std::string payload;
         double c0 = threadCpuSeconds();
         try {
-            payload = ResultCache::encode(points[idx].run());
+            payload = ResultCache::encode(points[req.index].run());
         } catch (const std::exception &e) {
             status = 1;
             payload = e.what();
@@ -263,18 +341,40 @@ workerLoop(const std::vector<FarmPoint> &points, int req_fd,
         }
 
         wire::FrameHeader h;
-        h.index = idx;
+        h.index = req.index;
         h.status = status;
         h.cpuSeconds = threadCpuSeconds() - c0;
         h.payloadLen = payload.size();
+        std::uint64_t check = fnv1aBytes(payload);
+
+        std::size_t sendLen = payload.size();
+        bool dieMidFrame = false;
+        switch (fault) {
+        case FaultKind::CorruptFrame:
+            check ^= 1; // payload no longer checks out
+            break;
+        case FaultKind::TruncateFrame:
+            sendLen = payload.size() / 2; // EOF mid-payload
+            dieMidFrame = true;
+            break;
+        case FaultKind::ShortFrame:
+            h.payloadLen = payload.size() / 2; // header lies short
+            break;
+        default:
+            break;
+        }
+
         unsigned char hdr[wire::FrameHeader::wireSize];
         h.encode(hdr);
-        unsigned char check[wire::u64Size];
-        wire::putU64(check, fnv1aBytes(payload));
+        unsigned char checkBytes[wire::u64Size];
+        wire::putU64(checkBytes, check);
         if (!writeFull(resp_fd, hdr, sizeof hdr) ||
-            !writeFull(resp_fd, payload.data(), payload.size()) ||
-            !writeFull(resp_fd, check, sizeof check))
+            !writeFull(resp_fd, payload.data(), sendLen))
             _exit(1); // coordinator went away
+        if (dieMidFrame)
+            _exit(1); // the torn frame is the whole point
+        if (!writeFull(resp_fd, checkBytes, sizeof checkBytes))
+            _exit(1);
     }
 }
 
@@ -282,10 +382,13 @@ workerLoop(const std::vector<FarmPoint> &points, int req_fd,
 struct WorkerHandle
 {
     pid_t pid = -1;
-    int reqFd = -1;  ///< coordinator writes point indices here
+    int reqFd = -1;  ///< coordinator writes point requests here
     int respFd = -1; ///< coordinator reads result frames here
     std::int64_t inflight = -1; ///< dealt, not yet answered
     bool alive = false;
+    /** Absolute wall deadline of the in-flight point (+inf when
+     *  idle or deadlines are disabled). */
+    double deadline = std::numeric_limits<double>::infinity();
 };
 
 void
@@ -358,6 +461,16 @@ FarmRunner::campaignDigest(const std::vector<FarmPoint> &points)
     return d.value();
 }
 
+wl::WorkloadResult
+FarmRunner::quarantinedResult(const FarmPoint &p)
+{
+    wl::WorkloadResult r;
+    r.workload = p.label;
+    r.correct = false;
+    r.setMetric("quarantined", 1.0);
+    return r;
+}
+
 std::vector<wl::WorkloadResult>
 FarmRunner::run(const std::vector<FarmPoint> &points)
 {
@@ -368,10 +481,18 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
 
     std::vector<wl::WorkloadResult> results(n);
     std::vector<std::string> errors(n);
+    /** Fatal worker failures (death, hang) charged per point. */
+    std::vector<std::uint64_t> deaths(n, 0);
+    const std::uint64_t maxRetries =
+        std::uint64_t(std::max(1, opts.maxPointRetries));
+
+    // A private copy: fault operations are one-shot live state.
+    FaultPlan plan = opts.faultPlan;
+    plan.materialize(n);
 
     std::unique_ptr<ResultCache> cache;
     std::unique_ptr<Journal> journal;
-    std::unordered_set<std::uint64_t> journaled;
+    Journal::ResumeState journaled;
     if (!opts.cacheDir.empty()) {
         cache = std::make_unique<ResultCache>(opts.cacheDir,
                                               opts.cacheMaxBytes);
@@ -386,37 +507,78 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
     }
 
     std::uint64_t merges = 0;
-    // The mid-flight-kill hook (see FarmOptions::dieAfterMerges).
-    // Deliberately abrupt: the journal is flushed per merge, so
-    // _exit here leaves exactly the on-disk state a real SIGKILL
-    // would, which the resume tests then recover from.
-    auto maybeDie = [&](std::function<void()> kill_workers) {
-        if (opts.dieAfterMerges >= 0 &&
-            merges >= std::uint64_t(opts.dieAfterMerges)) {
-            if (kill_workers)
-                kill_workers();
-            _exit(FarmOptions::dieExitStatus);
+    // Set on the forked path so an injected `die` takes the workers
+    // with it, exactly as the resume tests' real SIGKILL would.
+    std::function<void()> workerKiller;
+
+    auto dieNow = [&] {
+        if (workerKiller)
+            workerKiller();
+        _exit(FarmOptions::dieExitStatus);
+    };
+
+    // Count one merge and collect the coordinator faults due at it
+    // (tear-cache / tear-journal / die). Every merge site calls this
+    // exactly once; the caller applies the tears to ITS merge's
+    // cache/journal writes and executes die last.
+    auto nextMergeFaults = [&] {
+        CoordFaults cf;
+        ++merges;
+        if (!plan.empty()) {
+            for (FaultKind f : plan.takeCoordFaults(merges)) {
+                cf.tearCache |= f == FaultKind::TearCacheWrite;
+                cf.tearJournal |= f == FaultKind::TearJournalWrite;
+                cf.die |= f == FaultKind::DieCoordinator;
+            }
         }
+        return cf;
+    };
+
+    /** Fence a poison point: placeholder result, sticky journal
+     *  record, loud stderr line. Callers adjust `outstanding`. */
+    auto quarantinePoint = [&](std::size_t i, const char *why) {
+        results[i] = quarantinedResult(points[i]);
+        ++st.quarantined;
+        st.quarantinedPoints.push_back(i);
+        std::fprintf(stderr, "farm: point '%s' quarantined (%s)\n",
+                     points[i].label.c_str(), why);
+        auto cf = nextMergeFaults();
+        if (journal && points[i].cacheable)
+            journal->appendQuarantine(points[i].key.digest(),
+                                      cf.tearJournal);
+        if (cf.die)
+            dieNow();
     };
 
     // Phase 1 — resolve: satisfy cacheable points from the cache
-    // (journal-recorded points on a resume count as skips), queue
-    // the rest for computation.
+    // (journal-recorded points on a resume count as skips; journal-
+    // quarantined points stay fenced), queue the rest.
     std::deque<std::uint64_t> pending;
     for (std::size_t i = 0; i < n; ++i) {
         const FarmPoint &p = points[i];
         bool filled = false;
         if (cache && p.cacheable) {
             const std::uint64_t kd = p.key.digest();
-            if (auto r = cache->load(p.key)) {
+            if (journaled.quarantined.count(kd)) {
+                results[i] = quarantinedResult(p);
+                ++st.quarantined;
+                st.quarantinedPoints.push_back(i);
+                filled = true;
+                auto cf = nextMergeFaults();
+                if (cf.die)
+                    dieNow();
+            } else if (auto r = cache->load(p.key)) {
                 results[i] = std::move(*r);
                 filled = true;
-                if (journaled.count(kd))
+                auto cf = nextMergeFaults();
+                if (journaled.done.count(kd))
                     ++st.journalSkips;
                 else if (journal)
-                    journal->append(kd);
-                ++merges;
-                maybeDie(nullptr);
+                    journal->append(kd, cf.tearJournal);
+                if (cf.tearCache)
+                    tearFileTail(cache->entryPath(p.key));
+                if (cf.die)
+                    dieNow();
             }
             // A journaled point whose entry vanished or failed
             // validation falls through and recomputes: the journal
@@ -430,39 +592,54 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
     auto completeComputed = [&](std::size_t i,
                                 wl::WorkloadResult result) {
         results[i] = std::move(result);
+        auto cf = nextMergeFaults();
         if (cache && points[i].cacheable) {
             cache->store(points[i].key, results[i]);
+            if (cf.tearCache)
+                tearFileTail(cache->entryPath(points[i].key));
             if (journal)
-                journal->append(points[i].key.digest());
+                journal->append(points[i].key.digest(),
+                                cf.tearJournal);
         }
-        ++merges;
+        if (cf.die)
+            dieNow();
+    };
+
+    auto failMerge = [&](std::size_t i, std::string what) {
+        errors[i] = std::move(what);
+        auto cf = nextMergeFaults();
+        if (cf.die)
+            dieNow();
     };
 
     auto runInline = [&](std::size_t i) {
         try {
             completeComputed(i, points[i].run());
         } catch (const std::exception &e) {
-            errors[i] = e.what();
-            ++merges;
+            failMerge(i, e.what());
         } catch (...) {
-            errors[i] = "non-standard exception";
-            ++merges;
+            failMerge(i, "non-standard exception");
         }
-        maybeDie(nullptr);
     };
 
-    int workers = opts.workers <= 0 ? hostConcurrency() : opts.workers;
-    workers = int(std::min<std::size_t>(
-        std::size_t(std::max(1, workers)),
+    const int workersRequested =
+        opts.workers <= 0 ? hostConcurrency() : opts.workers;
+    int workers = int(std::min<std::size_t>(
+        std::size_t(std::max(1, workersRequested)),
         std::max<std::size_t>(1, pending.size())));
 
 #if CAPSULE_FARM_CAN_FORK
-    const bool forked = workers > 1 && pending.size() > 1;
+    // Fork whenever multi-process operation was requested, even for a
+    // single pending point: process isolation is what lets a poison
+    // point be quarantined instead of taking the coordinator down.
+    const bool forked = workersRequested > 1 && !pending.empty();
 #else
     const bool forked = false;
 #endif
 
     if (!forked) {
+        // Inline path: worker faults have no process to kill and are
+        // ignored; coordinator faults (tear-*/die) fire normally.
         while (!pending.empty()) {
             std::size_t i = pending.front();
             pending.pop_front();
@@ -472,10 +649,11 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
 #if CAPSULE_FARM_CAN_FORK
     else {
         // Phase 2 — shard: fork the workers, deal one point at a
-        // time (self-balancing), merge frames as they arrive.
+        // time (self-balancing), merge frames as they arrive, and
+        // supervise (DESIGN.md §11): deadline-reap hung workers,
+        // respawn dead ones under the backoff budget, quarantine
+        // points that keep killing their workers.
         st.workersUsed = workers;
-        st.perWorkerPoints.assign(std::size_t(workers), 0);
-        st.perWorkerCpuSeconds.assign(std::size_t(workers), 0.0);
 
         // A worker that died mid-write must surface as a requeue,
         // not kill the coordinator with SIGPIPE.
@@ -484,8 +662,15 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
         ::sigaction(SIGPIPE, &ign, &oldPipe);
 
         std::vector<WorkerHandle> ws;
-        ws.resize(std::size_t(workers));
-        for (int w = 0; w < workers; ++w) {
+        ws.reserve(std::size_t(workers) +
+                   std::size_t(std::max(0, opts.maxWorkerRestarts)));
+        workerKiller = [&ws] {
+            for (auto &w : ws)
+                if (w.alive)
+                    ::kill(w.pid, SIGKILL);
+        };
+
+        auto spawnWorker = [&]() -> WorkerHandle & {
             int req[2], resp[2];
             if (::pipe(req) != 0 || ::pipe(resp) != 0)
                 CAPSULE_FATAL("farm: pipe() failed: ",
@@ -508,66 +693,141 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
             }
             ::close(req[0]);
             ::close(resp[1]);
-            ws[std::size_t(w)] =
-                WorkerHandle{pid, req[1], resp[0], -1, true};
-        }
+            ws.push_back(WorkerHandle{pid, req[1], resp[0], -1, true,
+                                      std::numeric_limits<
+                                          double>::infinity()});
+            st.perWorkerPoints.push_back(0);
+            st.perWorkerCpuSeconds.push_back(0.0);
+            return ws.back();
+        };
 
         std::size_t outstanding = pending.size();
 
+        /** A worker failed fatally (EOF, poisoned frame, deadline):
+         *  SIGKILL + reap it, charge its in-flight point a death,
+         *  then requeue or quarantine that point. */
+        auto onWorkerFailure = [&](WorkerHandle &w, bool timed_out) {
+            const std::int64_t idx = w.inflight;
+            w.inflight = -1;
+            reapWorker(w, true);
+            if (timed_out)
+                ++st.timeouts;
+            if (idx < 0)
+                return;
+            const std::size_t i = std::size_t(idx);
+            ++deaths[i];
+            if (deaths[i] >= maxRetries) {
+                quarantinePoint(i, timed_out
+                                       ? "hung its workers too often"
+                                       : "killed its workers too "
+                                         "often");
+                --outstanding;
+            } else {
+                ++st.pointRetries;
+                pending.push_front(i);
+            }
+        };
+
         auto deal = [&](WorkerHandle &w) {
-            while (w.alive && w.inflight < 0) {
-                if (pending.empty()) {
-                    unsigned char s[wire::u64Size];
-                    wire::putU64(s, shutdownIndex);
-                    writeFull(w.reqFd, s, sizeof s);
-                    closeFd(w.reqFd);
-                    return;
-                }
-                std::uint64_t idx = pending.front();
-                unsigned char req[wire::u64Size];
-                wire::putU64(req, idx);
-                if (writeFull(w.reqFd, req, sizeof req)) {
+            while (w.alive && w.inflight < 0 && !pending.empty()) {
+                const std::uint64_t idx = pending.front();
+                wire::PointRequest req;
+                req.index = idx;
+                // One-shot delivery: consumed here, so the retry
+                // after this fault fells a worker is dealt clean.
+                req.fault =
+                    std::uint64_t(plan.takeWorkerFault(idx));
+                unsigned char bytes[wire::PointRequest::wireSize];
+                req.encode(bytes);
+                if (writeFull(w.reqFd, bytes, sizeof bytes)) {
                     pending.pop_front();
                     w.inflight = std::int64_t(idx);
+                    w.deadline =
+                        opts.pointTimeoutSeconds > 0
+                            ? wallSeconds() +
+                                  opts.pointTimeoutSeconds
+                            : std::numeric_limits<
+                                  double>::infinity();
                 } else {
-                    reapWorker(w, true); // point stays pending
+                    // Died before taking the point; the point was
+                    // never attempted, so no death is charged.
+                    onWorkerFailure(w, false);
+                    return;
                 }
             }
         };
 
-        auto workerDied = [&](WorkerHandle &w) {
-            if (w.inflight >= 0) {
-                pending.push_front(std::uint64_t(w.inflight));
-                w.inflight = -1;
-            }
-            reapWorker(w, true);
-        };
-
-        auto killAll = [&] {
-            for (auto &w : ws)
-                if (w.alive)
-                    ::kill(w.pid, SIGKILL);
-        };
-
+        for (int w = 0; w < workers; ++w)
+            spawnWorker();
         for (auto &w : ws)
             deal(w);
 
+        const int respawnBudget = std::max(0, opts.maxWorkerRestarts);
+        int respawnsUsed = 0;
+        double nextRespawnAt = 0.0;
+
         while (outstanding > 0) {
+            double now = wallSeconds();
             int liveCount = 0;
-            for (auto &w : ws)
+            for (const auto &w : ws)
                 liveCount += w.alive ? 1 : 0;
+
+            // Supervision: replace dead workers while queued work,
+            // budget and backoff allow.
+            const bool respawnWanted = liveCount < workers &&
+                                       !pending.empty() &&
+                                       respawnsUsed < respawnBudget;
+            if (respawnWanted && now >= nextRespawnAt) {
+                ++respawnsUsed;
+                ++st.respawns;
+                // Exponential backoff before the *next* respawn.
+                nextRespawnAt =
+                    now + double(opts.respawnBackoffMs) *
+                              double(1u << std::min(respawnsUsed - 1,
+                                                    10)) *
+                              1e-3;
+                deal(spawnWorker());
+                continue; // re-evaluate with the new worker seated
+            }
+
             if (liveCount == 0) {
-                // Every worker died (all points crash-prone, or the
-                // host is hostile): finish inline so the campaign
-                // still completes and errors stay attributable.
+                if (respawnWanted) {
+                    // Waiting out the backoff with nothing to poll.
+                    const double waitS = std::min(
+                        std::max(0.0, nextRespawnAt - now), 0.05);
+                    timespec ts{};
+                    ts.tv_nsec = long(waitS * 1e9);
+                    ::nanosleep(&ts, nullptr);
+                    continue;
+                }
+                // Graceful degradation: no workers, no budget. The
+                // serial killers are already quarantined (they
+                // reached maxRetries in workers); drain what is
+                // left inline, and never inline-retry a point that
+                // died with a worker more than once.
+                std::fprintf(
+                    stderr,
+                    "farm: no live workers and the restart budget "
+                    "(%d) is exhausted; draining %zu point(s) "
+                    "inline\n",
+                    respawnBudget, pending.size());
                 while (!pending.empty()) {
-                    std::size_t i = pending.front();
+                    std::size_t i = std::size_t(pending.front());
                     pending.pop_front();
-                    runInline(i);
+                    if (deaths[i] <= 1)
+                        runInline(i);
+                    else
+                        quarantinePoint(i,
+                                        "died with too many workers "
+                                        "to risk an inline retry");
                     --outstanding;
                 }
                 break;
             }
+
+            // Any idle worker picks up requeued work.
+            for (auto &w : ws)
+                deal(w);
 
             std::vector<pollfd> fds;
             std::vector<std::size_t> fdWorker;
@@ -579,8 +839,27 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
                 }
             }
             if (fds.empty())
-                break;
-            int rc = ::poll(fds.data(), nfds_t(fds.size()), -1);
+                continue; // everyone died in deal(); re-evaluate
+
+            // The poll timeout comes from the earliest outstanding
+            // point deadline (and a pending respawn's due time) —
+            // never an unconditional -1, so one hung worker can no
+            // longer stall the campaign forever.
+            double wakeAt = std::numeric_limits<double>::infinity();
+            for (const auto &w : ws)
+                if (w.alive && w.inflight >= 0)
+                    wakeAt = std::min(wakeAt, w.deadline);
+            if (respawnWanted)
+                wakeAt = std::min(wakeAt, nextRespawnAt);
+            int timeoutMs = -1;
+            if (std::isfinite(wakeAt)) {
+                now = wallSeconds();
+                timeoutMs = int(std::clamp(
+                    std::ceil((wakeAt - now) * 1000.0), 0.0,
+                    60000.0));
+            }
+            int rc =
+                ::poll(fds.data(), nfds_t(fds.size()), timeoutMs);
             if (rc < 0) {
                 if (errno == EINTR)
                     continue;
@@ -588,7 +867,7 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
                               std::strerror(errno));
             }
 
-            for (std::size_t k = 0; k < fds.size(); ++k) {
+            for (std::size_t k = 0; rc > 0 && k < fds.size(); ++k) {
                 if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
                     continue;
                 WorkerHandle &w = ws[fdWorker[k]];
@@ -597,7 +876,7 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
 
                 unsigned char hdrBytes[wire::FrameHeader::wireSize];
                 if (!readFull(w.respFd, hdrBytes, sizeof hdrBytes)) {
-                    workerDied(w);
+                    onWorkerFailure(w, false); // died silently
                     continue;
                 }
                 const wire::FrameHeader hdr =
@@ -608,7 +887,8 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
                 const std::uint64_t len = hdr.payloadLen;
                 if (idx != std::uint64_t(w.inflight) ||
                     len > maxFramePayload) {
-                    workerDied(w); // protocol corruption
+                    ++st.framesRejected; // protocol corruption
+                    onWorkerFailure(w, false);
                     continue;
                 }
                 std::string payload(len, '\0');
@@ -617,11 +897,14 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
                     !readFull(w.respFd, checkBytes,
                               sizeof checkBytes) ||
                     fnv1aBytes(payload) != wire::getU64(checkBytes)) {
-                    workerDied(w);
+                    ++st.framesRejected; // torn or poisoned frame
+                    onWorkerFailure(w, false);
                     continue;
                 }
 
                 w.inflight = -1;
+                w.deadline =
+                    std::numeric_limits<double>::infinity();
                 st.perWorkerPoints[fdWorker[k]] += 1;
                 st.perWorkerCpuSeconds[fdWorker[k]] += cpu;
 
@@ -631,22 +914,28 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
                         completeComputed(std::size_t(idx),
                                          std::move(*decoded));
                     } else {
-                        errors[idx] = "worker returned an "
-                                      "undecodable result frame";
-                        ++merges;
+                        failMerge(std::size_t(idx),
+                                  "worker returned an undecodable "
+                                  "result frame");
                     }
                 } else {
-                    errors[idx] = payload;
-                    ++merges;
+                    failMerge(std::size_t(idx), payload);
                 }
                 --outstanding;
-                maybeDie(killAll);
                 deal(w);
             }
+
+            // Deadline enforcement — after the frame sweep, so a
+            // result that raced its deadline in still counts.
+            now = wallSeconds();
+            for (auto &w : ws)
+                if (w.alive && w.inflight >= 0 && w.deadline <= now)
+                    onWorkerFailure(w, true);
         }
 
         for (auto &w : ws)
             reapWorker(w, false);
+        workerKiller = nullptr;
         ::sigaction(SIGPIPE, &oldPipe, nullptr);
     }
 #endif // CAPSULE_FARM_CAN_FORK
@@ -657,8 +946,11 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
         st.cacheMisses = c.misses;
         st.cacheStores = c.stores;
         st.corruptEvictions = c.corruptEvictions;
+        st.lengthEvictions = c.lengthEvictions;
         st.sizeEvictions = c.sizeEvictions;
     }
+    std::sort(st.quarantinedPoints.begin(),
+              st.quarantinedPoints.end());
     st.wallSeconds = wallSeconds() - w0;
 
     for (std::size_t i = 0; i < n; ++i) {

@@ -22,14 +22,31 @@
  *    restarted with `resume` replays its completed points from the
  *    cache and simulates only the remainder. A journaled point whose
  *    cache entry is missing or corrupt is recomputed — a damaged
- *    checkpoint can cost time, never wrong results.
+ *    checkpoint can cost time, never wrong results;
+ *  - **fault tolerance** (DESIGN.md §11) — the coordinator
+ *    supervises its workers: every dealt point carries a deadline
+ *    (the poll timeout is derived from the earliest outstanding
+ *    deadline, never -1), a hung worker is SIGKILLed and reaped, a
+ *    dead worker is respawned under an exponential-backoff budget
+ *    (`maxWorkerRestarts`), and a point that kills or hangs workers
+ *    `maxPointRetries` times is **quarantined** — recorded in the
+ *    campaign journal and surfaced as a placeholder result — instead
+ *    of being retried inline where it could take the coordinator
+ *    down. When the restart budget is exhausted the farm degrades
+ *    gracefully: it says so on stderr and drains the remaining
+ *    points inline (points that died with a worker more than once
+ *    are quarantined, not risked in-process). A seeded FaultPlan
+ *    (harness/fault_inject.hh, `FarmOptions::faultPlan`) exercises
+ *    all of these paths deterministically.
  *
  * Determinism contract: results are a pure function of each point's
  * parameters (the workload-layer contract, DESIGN.md §4), the merge
  * order is the submission order, and cache entries round-trip every
  * field bit-exactly — so the result vector is byte-identical across
- * worker counts, cold vs warm caches, and kill+resume, which
- * tests/test_farm.cc asserts literally.
+ * worker counts, cold vs warm caches, kill+resume, and any fault
+ * plan that quarantines no points (worker faults are delivered
+ * one-shot with the dealt point, so the retry recomputes the same
+ * pure function), which tests/test_farm.cc asserts literally.
  */
 
 #ifndef CAPSULE_HARNESS_FARM_HH
@@ -41,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/fault_inject.hh"
 #include "harness/result_cache.hh"
 #include "sim/config.hh"
 #include "workloads/workload.hh"
@@ -53,14 +71,15 @@ namespace capsule::harness
  * Every integer crosses the pipe as explicit little-endian bytes —
  * never a raw struct or host-endian u64 — so the frame layout is a
  * pinned, platform-independent contract (tests/test_farm.cc asserts
- * the exact bytes). Requests are one wireU64 (a point index, or the
- * all-ones shutdown sentinel); responses are a FrameHeader, the
- * payload bytes, then a wireU64 FNV-1a checksum of the payload.
+ * the exact bytes). Requests are a PointRequest (a point index plus
+ * the fault to inject while serving it, or the all-ones shutdown
+ * sentinel); responses are a FrameHeader, the payload bytes, then a
+ * wireU64 FNV-1a checksum of the payload.
  */
 namespace wire
 {
 
-/** Serialized u64 width (also a request's and a checksum's size). */
+/** Serialized u64 width (also a checksum's size). */
 constexpr std::size_t u64Size = 8;
 
 /** Write `v` as 8 little-endian bytes. */
@@ -68,6 +87,24 @@ void putU64(unsigned char out[u64Size], std::uint64_t v);
 
 /** Read 8 little-endian bytes back into a u64. */
 std::uint64_t getU64(const unsigned char in[u64Size]);
+
+/** One coordinator-to-worker request: serve `index`, injecting
+ *  `fault` (a FaultKind; None on the fault-free fast path). The
+ *  fault crosses the wire — rather than the plan being consulted in
+ *  the worker — so firing is one-shot by construction: the
+ *  coordinator marks the operation fired when it deals the point,
+ *  and the retry is dealt clean. */
+struct PointRequest
+{
+    std::uint64_t index = 0;
+    std::uint64_t fault = 0; ///< FaultKind as an integer
+
+    /** Encoded size: two LE u64s. */
+    static constexpr std::size_t wireSize = 2 * u64Size;
+
+    void encode(unsigned char out[wireSize]) const;
+    static PointRequest decode(const unsigned char in[wireSize]);
+};
 
 /** The fixed-size header of one worker response frame. */
 struct FrameHeader
@@ -129,18 +166,47 @@ struct FarmOptions
 
     /** Continue this campaign's journal instead of starting it
      *  fresh: journaled points load from the cache, the rest are
-     *  simulated. Without the flag an existing journal for the same
-     *  campaign is truncated (the cache still serves hits). */
+     *  simulated (journaled *quarantined* points stay quarantined).
+     *  Without the flag an existing journal for the same campaign
+     *  is truncated (the cache still serves hits). */
     bool resume = false;
 
     /**
-     * Test/CI hook simulating a mid-flight coordinator kill: after
-     * this many merged results the coordinator SIGKILLs its workers
-     * and _exit()s with status `dieExitStatus`, leaving the journal
-     * and cache exactly as a real kill would. < 0 disables.
+     * Seeded deterministic fault schedule (DESIGN.md §11). Worker
+     * faults (crash/hang/corrupt/truncate/short) fire on the forked
+     * path only — they are delivered with the dealt point; the
+     * inline path has no worker to kill. Coordinator faults
+     * (tear-cache/tear-journal/die) fire on every path. A `die`
+     * operation SIGKILLs the workers and _exit()s with
+     * `dieExitStatus`, leaving journal and cache exactly as a real
+     * kill would (the CI kill+resume probe).
      */
-    int dieAfterMerges = -1;
+    FaultPlan faultPlan;
     static constexpr int dieExitStatus = 3;
+
+    /**
+     * Per-point deadline in seconds: a worker that holds one point
+     * longer than this is presumed hung, SIGKILLed and reaped, and
+     * the point is retried (the poll timeout is computed from the
+     * earliest outstanding deadline). <= 0 disables deadlines —
+     * reintroducing the historical block-forever-on-a-hung-worker
+     * behavior, so leave it on unless points legitimately run for
+     * minutes.
+     */
+    double pointTimeoutSeconds = 300.0;
+
+    /** A point whose worker died or hung this many times is
+     *  quarantined instead of retried (must be >= 1). */
+    int maxPointRetries = 2;
+
+    /** Worker respawn budget for one run: after this many respawns
+     *  the farm stops replacing dead workers and, once none remain,
+     *  drains the remaining points inline. */
+    int maxWorkerRestarts = 4;
+
+    /** Base respawn backoff in milliseconds; the delay doubles with
+     *  every respawn used (exponential backoff, capped at 2^10x). */
+    int respawnBackoffMs = 25;
 };
 
 /** Observability counters of one FarmRunner::run. */
@@ -152,15 +218,35 @@ struct FarmStats
     std::uint64_t cacheMisses = 0;
     std::uint64_t cacheStores = 0;
     std::uint64_t corruptEvictions = 0;
+    /** Entries evicted because their stored payload length
+     *  disagreed with the entry header (torn writes). */
+    std::uint64_t lengthEvictions = 0;
     /** Entries evicted by the cache's LRU size-budget sweep. */
     std::uint64_t sizeEvictions = 0;
     /** Resume-path points satisfied from journal + cache. */
     std::uint64_t journalSkips = 0;
-    /** Workers actually forked (0 = fully inline run). */
+
+    // Supervision counters (DESIGN.md §11).
+    /** Workers SIGKILLed for blowing a per-point deadline. */
+    std::uint64_t timeouts = 0;
+    /** Replacement workers forked after a death or hang. */
+    std::uint64_t respawns = 0;
+    /** Response frames rejected after a valid header: short reads,
+     *  checksum mismatches, index echoes, oversize claims. */
+    std::uint64_t framesRejected = 0;
+    /** Point requeues after a worker death or timeout. */
+    std::uint64_t pointRetries = 0;
+    /** Points quarantined after maxPointRetries worker deaths. */
+    std::uint64_t quarantined = 0;
+    /** Indices of the quarantined points (sorted ascending). */
+    std::vector<std::uint64_t> quarantinedPoints;
+
+    /** Workers initially forked (0 = fully inline run). */
     int workersUsed = 0;
-    /** Points completed per worker (size == workersUsed). */
+    /** Points completed per worker slot; respawned workers append
+     *  slots, so size == workersUsed + respawns on a faulty run. */
     std::vector<std::uint64_t> perWorkerPoints;
-    /** Simulation CPU seconds burned per worker. */
+    /** Simulation CPU seconds burned per worker slot. */
     std::vector<double> perWorkerCpuSeconds;
     double wallSeconds = 0.0;
 };
@@ -175,10 +261,17 @@ class FarmRunner
      * point that fails (throws in a worker or inline) surfaces as a
      * std::runtime_error naming the lowest-index failing point —
      * thrown after every other point completed, like the
-     * ExperimentRunner contract.
+     * ExperimentRunner contract. A *quarantined* point (its workers
+     * died or hung maxPointRetries times) does NOT throw: its slot
+     * holds a placeholder result (correct == false, metric
+     * "quarantined" == 1) and it is reported via stats() — callers
+     * wanting hard failure check stats().quarantined (`--strict`).
      */
     std::vector<wl::WorkloadResult>
     run(const std::vector<FarmPoint> &points);
+
+    /** The placeholder result a quarantined point merges as. */
+    static wl::WorkloadResult quarantinedResult(const FarmPoint &p);
 
     /** Counters of the most recent run(). */
     const FarmStats &stats() const { return st; }

@@ -1,0 +1,245 @@
+#include "harness/fault_inject.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace capsule::harness
+{
+namespace
+{
+
+struct KindSpec
+{
+    const char *name;
+    FaultKind kind;
+};
+
+constexpr KindSpec kindTable[] = {
+    {"crash", FaultKind::CrashWorker},
+    {"hang", FaultKind::HangWorker},
+    {"corrupt", FaultKind::CorruptFrame},
+    {"truncate", FaultKind::TruncateFrame},
+    {"short", FaultKind::ShortFrame},
+    {"tear-cache", FaultKind::TearCacheWrite},
+    {"tear-journal", FaultKind::TearJournalWrite},
+    {"die", FaultKind::DieCoordinator},
+};
+
+/** SplitMix64 — the same platform-stable generator family the fuzz
+ *  subsystem pins (no <random> distributions, one draw per use). */
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+bool
+parseDecimal(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + std::uint64_t(c - '0');
+    }
+    out = v;
+    return true;
+}
+
+[[noreturn]] void
+badToken(const std::string &token, const char *why)
+{
+    throw std::invalid_argument("fault-plan token '" + token + "': " +
+                                why);
+}
+
+} // namespace
+
+bool
+isWorkerFault(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::CrashWorker:
+    case FaultKind::HangWorker:
+    case FaultKind::CorruptFrame:
+    case FaultKind::TruncateFrame:
+    case FaultKind::ShortFrame:
+        return true;
+    default:
+        return false;
+    }
+}
+
+const char *
+faultKindName(FaultKind kind)
+{
+    for (const auto &k : kindTable)
+        if (k.kind == kind)
+            return k.name;
+    return "none";
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::size_t at = 0;
+    while (at <= spec.size()) {
+        std::size_t comma = spec.find(',', at);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string token = spec.substr(at, comma - at);
+        at = comma + 1;
+        if (token.empty()) {
+            if (spec.empty())
+                break;
+            badToken(token, "empty operation");
+        }
+
+        if (token.rfind("rand:", 0) == 0) {
+            std::size_t colon = token.find(':', 5);
+            if (colon == std::string::npos)
+                badToken(token, "want rand:SEED:COUNT");
+            std::uint64_t seed = 0, count = 0;
+            if (!parseDecimal(token.substr(5, colon - 5), seed) ||
+                !parseDecimal(token.substr(colon + 1), count) ||
+                count == 0)
+                badToken(token, "want rand:SEED:COUNT");
+            if (plan.randCount_ != 0)
+                badToken(token, "only one rand: component per plan");
+            plan.randSeed_ = seed;
+            plan.randCount_ = count;
+            continue;
+        }
+
+        std::size_t sep = token.find('@');
+        if (sep == std::string::npos)
+            badToken(token, "want KIND@INDEX");
+        const std::string kindName = token.substr(0, sep);
+        FaultKind kind = FaultKind::None;
+        for (const auto &k : kindTable)
+            if (kindName == k.name)
+                kind = k.kind;
+        if (kind == FaultKind::None)
+            badToken(token, "unknown fault kind (want crash, hang, "
+                            "corrupt, truncate, short, tear-cache, "
+                            "tear-journal or die)");
+        std::uint64_t index = 0;
+        if (!parseDecimal(token.substr(sep + 1), index))
+            badToken(token, "index must be a decimal integer");
+        plan.ops_.push_back({kind, index, false});
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::spec() const
+{
+    std::string out;
+    auto sep = [&] {
+        if (!out.empty())
+            out += ',';
+    };
+    for (const auto &op : ops_) {
+        sep();
+        out += faultKindName(op.kind);
+        out += '@';
+        out += std::to_string(op.index);
+    }
+    if (randCount_ != 0) {
+        sep();
+        out += "rand:" + std::to_string(randSeed_) + ":" +
+               std::to_string(randCount_);
+    }
+    return out;
+}
+
+void
+FaultPlan::materialize(std::uint64_t num_points)
+{
+    if (randCount_ == 0)
+        return;
+    // Hang is excluded from random draws (it needs an explicit
+    // deadline decision); everything else is fair game.
+    static constexpr FaultKind drawable[] = {
+        FaultKind::CrashWorker,
+        FaultKind::CorruptFrame,
+        FaultKind::TruncateFrame,
+        FaultKind::ShortFrame,
+    };
+    std::uint64_t state = randSeed_;
+    std::unordered_set<std::uint64_t> used;
+    for (const auto &op : ops_)
+        if (isWorkerFault(op.kind))
+            used.insert(op.index);
+    const std::uint64_t want =
+        num_points == 0 ? 0 : std::min(randCount_, num_points);
+    std::uint64_t placed = 0;
+    // Bounded rejection sampling for distinct points: with count
+    // clamped to num_points this terminates fast in practice; the
+    // hard iteration cap keeps a pathological plan from spinning.
+    for (std::uint64_t tries = 0;
+         placed < want && tries < 64 * (want + 1); ++tries) {
+        std::uint64_t point = splitMix64(state) % num_points;
+        if (!used.insert(point).second)
+            continue;
+        FaultKind kind = drawable[splitMix64(state) % 4];
+        ops_.push_back({kind, point, false});
+        ++placed;
+    }
+    randSeed_ = 0;
+    randCount_ = 0;
+}
+
+FaultKind
+FaultPlan::takeWorkerFault(std::uint64_t point_index)
+{
+    for (auto &op : ops_) {
+        if (!op.fired && isWorkerFault(op.kind) &&
+            op.index == point_index) {
+            op.fired = true;
+            return op.kind;
+        }
+    }
+    return FaultKind::None;
+}
+
+std::vector<FaultKind>
+FaultPlan::takeCoordFaults(std::uint64_t merge_count)
+{
+    std::vector<FaultKind> due;
+    for (auto &op : ops_) {
+        if (!op.fired && !isWorkerFault(op.kind) &&
+            op.index <= merge_count) {
+            op.fired = true;
+            due.push_back(op.kind);
+        }
+    }
+    // Tears before the kill when they share a trigger.
+    std::stable_partition(due.begin(), due.end(), [](FaultKind k) {
+        return k != FaultKind::DieCoordinator;
+    });
+    return due;
+}
+
+bool
+tearFileTail(const std::string &path, std::uint64_t keep_num,
+             std::uint64_t keep_den)
+{
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec || keep_den == 0)
+        return false;
+    std::filesystem::resize_file(path, size * keep_num / keep_den,
+                                 ec);
+    return !ec;
+}
+
+} // namespace capsule::harness

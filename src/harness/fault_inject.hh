@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the simulation farm
+ * (DESIGN.md §11). A FaultPlan is a small list of one-shot fault
+ * operations, each naming a kind and a trigger index, parsed from a
+ * compact spec string (`--fault-plan` on the farm CLIs) so a chaos
+ * run is fully described by its command line and replays exactly.
+ *
+ * Two trigger domains:
+ *
+ *  - **worker faults** (`crash`, `hang`, `corrupt`, `truncate`,
+ *    `short`) trigger on a *point index*: the coordinator delivers
+ *    the fault over the wire together with the dealt point, so it
+ *    fires in whichever worker happens to hold that point and —
+ *    because each operation is one-shot — the retry of the same
+ *    point runs fault-free. That is what keeps merged output
+ *    byte-identical to a fault-free campaign: faults perturb the
+ *    schedule, never the (pure) per-point results.
+ *  - **coordinator faults** (`tear-cache`, `tear-journal`, `die`)
+ *    trigger on a *merge index*: the Nth merged result tears the
+ *    just-published cache entry mid-payload, tears the journal
+ *    append mid-line, or SIGKILLs the workers and _exit(3)s the
+ *    coordinator (subsuming the former ad-hoc dieAfterMerges hook).
+ *
+ * Spec grammar (comma-separated, whitespace-free):
+ *
+ *     plan     := op (',' op)*
+ *     op       := kind '@' index | 'rand:' seed ':' count
+ *     kind     := crash | hang | corrupt | truncate | short
+ *               | tear-cache | tear-journal | die
+ *
+ * `rand:S:K` expands — deterministically from seed S via SplitMix64
+ * once the campaign size is known (materialize()) — into K worker
+ * faults at distinct points, drawing kinds from {crash, corrupt,
+ * truncate, short}. `hang` is never drawn randomly: it only makes
+ * sense with a finite point deadline, so it must be placed
+ * explicitly.
+ */
+
+#ifndef CAPSULE_HARNESS_FAULT_INJECT_HH
+#define CAPSULE_HARNESS_FAULT_INJECT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace capsule::harness
+{
+
+/** What a single fault operation does when it fires. */
+enum class FaultKind : std::uint8_t
+{
+    None = 0,
+
+    // Worker-side (delivered with a dealt point; one-shot).
+    CrashWorker,   ///< worker raises SIGKILL instead of simulating
+    HangWorker,    ///< worker blocks forever (deadline must reap it)
+    CorruptFrame,  ///< response frame carries a bad payload checksum
+    TruncateFrame, ///< header promises N payload bytes, EOF mid-way
+    ShortFrame,    ///< header under-reports the payload length
+
+    // Coordinator-side (fire when the merge count reaches index).
+    TearCacheWrite,   ///< truncate the just-published cache entry
+    TearJournalWrite, ///< tear the journal append mid-line
+    DieCoordinator,   ///< SIGKILL workers, _exit(dieExitStatus)
+};
+
+/** True for kinds delivered to a worker with a dealt point. */
+bool isWorkerFault(FaultKind kind);
+
+/** Canonical spec name of `kind` ("crash", "tear-cache", ...). */
+const char *faultKindName(FaultKind kind);
+
+/**
+ * A deterministic fault schedule: an ordered list of one-shot
+ * operations. Copyable value type; FarmRunner consumes a private
+ * copy per run so the same FarmOptions can be reused.
+ */
+class FaultPlan
+{
+  public:
+    struct Op
+    {
+        FaultKind kind = FaultKind::None;
+        std::uint64_t index = 0; ///< point or merge index (by kind)
+        bool fired = false;
+    };
+
+    FaultPlan() = default;
+
+    /**
+     * Parse the spec grammar above.
+     *  @throws std::invalid_argument naming the offending token
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    /** No operations at all (the fault-free fast path). */
+    bool empty() const { return ops_.empty() && randCount_ == 0; }
+
+    /** Canonical round-trippable spec of the plan as parsed
+     *  (an unexpanded `rand:` keeps its compact form). */
+    std::string spec() const;
+
+    /**
+     * Expand any `rand:` component over a campaign of `num_points`
+     * points: `count` worker faults at distinct seeded point
+     * indices. Idempotent; called by FarmRunner at run start.
+     */
+    void materialize(std::uint64_t num_points);
+
+    /**
+     * The worker fault to deliver with point `point_index`, or None.
+     * One-shot: the matching operation is marked fired, so the
+     * point's retry (after the fault killed a worker or poisoned a
+     * frame) runs clean.
+     */
+    FaultKind takeWorkerFault(std::uint64_t point_index);
+
+    /**
+     * Every coordinator fault due at a total merge count of
+     * `merge_count` (operations with index <= merge_count fire at
+     * the first merge that reaches them; each at most once). A
+     * DieCoordinator is always ordered last so same-index tears
+     * land before the kill.
+     */
+    std::vector<FaultKind> takeCoordFaults(std::uint64_t merge_count);
+
+    /** The operations (tests introspect; `fired` is live state). */
+    const std::vector<Op> &ops() const { return ops_; }
+
+  private:
+    std::vector<Op> ops_;
+    std::uint64_t randSeed_ = 0;
+    std::uint64_t randCount_ = 0; ///< pending rand: expansion
+};
+
+/**
+ * Truncate the file at `path` to `keep_num`/`keep_den` of its size —
+ * the on-disk shape of a write torn by power loss after a rename
+ * that was never fsynced. Returns false when the file is missing or
+ * the resize fails (best-effort, like the fault it simulates).
+ */
+bool tearFileTail(const std::string &path, std::uint64_t keep_num = 1,
+                  std::uint64_t keep_den = 2);
+
+} // namespace capsule::harness
+
+#endif // CAPSULE_HARNESS_FAULT_INJECT_HH

@@ -22,7 +22,10 @@ namespace capsule::harness
 namespace
 {
 
-constexpr const char *entryMagic = "capsule-result-cache-v1";
+// v2 added the `len` line (declared payload length, validated before
+// the checksum); v1 entries fail the magic check and evict as
+// corrupt — a one-time recompute, never a wrong result.
+constexpr const char *entryMagic = "capsule-result-cache-v2";
 
 std::string
 bits(double v)
@@ -216,16 +219,20 @@ ResultCache::load(const CacheKey &key)
         text = buf.str();
     }
 
-    auto corrupt = [&]() -> std::optional<wl::WorkloadResult> {
+    auto evict = [&](bool length) -> std::optional<wl::WorkloadResult> {
         std::error_code ec;
         std::filesystem::remove(path, ec);
         std::lock_guard lock(mtx);
         ++ctr.misses;
-        ++ctr.corruptEvictions;
+        if (length)
+            ++ctr.lengthEvictions;
+        else
+            ++ctr.corruptEvictions;
         return std::nullopt;
     };
+    auto corrupt = [&] { return evict(false); };
 
-    // Header: magic line, then the key echo.
+    // Header: magic line, key echo, declared payload length.
     std::istringstream in(text);
     std::string line;
     if (!std::getline(in, line) || line != entryMagic)
@@ -235,18 +242,25 @@ ResultCache::load(const CacheKey &key)
         !parseHex16(line.substr(4), echoed) ||
         echoed != key.digest())
         return corrupt();
-
-    // Payload runs to the final "check <hex>" line.
-    std::size_t payloadBegin = std::size_t(in.tellg());
-    std::size_t checkAt = text.rfind("\ncheck ");
-    if (checkAt == std::string::npos || checkAt + 1 < payloadBegin)
+    std::uint64_t declaredLen = 0;
+    if (!std::getline(in, line) || line.rfind("len ", 0) != 0 ||
+        !parseU64(line.substr(4), declaredLen))
         return corrupt();
-    std::string payload =
-        text.substr(payloadBegin, checkAt + 1 - payloadBegin);
-    std::string checkLine = text.substr(checkAt + 1);
+
+    // Length check BEFORE any checksumming: the whole file must be
+    // exactly header + declared payload + the fixed-width check
+    // line. A torn write (truncated mid-payload or mid-check-line)
+    // fails this cheap arithmetic and is counted as a length
+    // eviction, distinct from content corruption.
+    const std::size_t payloadBegin = std::size_t(in.tellg());
+    constexpr std::size_t checkLineSize = 6 + 16 + 1;
+    if (text.size() != payloadBegin + declaredLen + checkLineSize)
+        return evict(true);
+
+    std::string payload = text.substr(payloadBegin, declaredLen);
+    std::string checkLine = text.substr(payloadBegin + declaredLen);
     std::uint64_t want = 0;
-    if (checkLine.size() != 6 + 16 + 1 ||
-        checkLine.rfind("check ", 0) != 0 ||
+    if (checkLine.rfind("check ", 0) != 0 ||
         checkLine.back() != '\n' ||
         !parseHex16(checkLine.substr(6, 16), want) ||
         fnv1aBytes(payload) != want)
@@ -276,6 +290,7 @@ ResultCache::store(const CacheKey &key, const wl::WorkloadResult &r)
     std::ostringstream out;
     out << entryMagic << "\n";
     out << "key " << toHex16(key.digest()) << "\n";
+    out << "len " << payload.size() << "\n";
     out << payload;
     out << "check " << toHex16(fnv1aBytes(payload)) << "\n";
 

@@ -11,7 +11,11 @@
  * Entries are small versioned text files, one per key, whose payload
  * carries every `wl::WorkloadResult` field with doubles as IEEE-754
  * bit patterns (bit-exact round trip) and ends in an FNV-1a checksum.
- * Loads verify version, key echo and checksum; anything unexpected —
+ * Loads verify version, key echo, the declared payload *length*, and
+ * the checksum — in that order, so a torn write (the file cut short
+ * mid-payload, DESIGN.md §11) is rejected by cheap arithmetic before
+ * any checksumming and counted separately (`lengthEvictions`) from
+ * content corruption (`corruptEvictions`). Anything unexpected —
  * truncation, corruption, a stale format — is treated as a miss, the
  * entry is evicted, and the caller recomputes: a corrupt cache can
  * cost time, never wrong results.
@@ -74,8 +78,13 @@ class ResultCache
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t stores = 0;
-        /** Entries evicted because they failed validation. */
+        /** Entries evicted because they failed validation (bad
+         *  magic, key echo, checksum, or undecodable payload). */
         std::uint64_t corruptEvictions = 0;
+        /** Entries evicted because the file size disagreed with the
+         *  declared payload length — the shape of a torn write —
+         *  detected before checksumming. */
+        std::uint64_t lengthEvictions = 0;
         /** Entries evicted by the LRU size-budget sweep. */
         std::uint64_t sizeEvictions = 0;
     };

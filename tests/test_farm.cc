@@ -13,6 +13,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <stdexcept>
 
 #include "base/digest.hh"
@@ -94,6 +95,23 @@ TEST(StableDigest, WireFrameBytesArePinned)
     harness::wire::putU64(u, ~std::uint64_t(0));
     for (unsigned char c : u)
         EXPECT_EQ(c, 0xff);
+
+    // Requests carry the point index and the injected FaultKind as
+    // two LE u64s (fault 0 = None on the fault-free fast path).
+    harness::wire::PointRequest rq;
+    rq.index = 0x0304;
+    rq.fault = std::uint64_t(harness::FaultKind::CorruptFrame);
+    unsigned char reqBytes[harness::wire::PointRequest::wireSize];
+    rq.encode(reqBytes);
+    const unsigned char expectReq[16] = {
+        0x04, 0x03, 0, 0, 0, 0, 0, 0, // index
+        3,    0,    0, 0, 0, 0, 0, 0, // FaultKind::CorruptFrame
+    };
+    EXPECT_EQ(std::memcmp(reqBytes, expectReq, sizeof expectReq), 0);
+    auto rqd = harness::wire::PointRequest::decode(reqBytes);
+    EXPECT_EQ(rqd.index, 0x0304u);
+    EXPECT_EQ(rqd.fault,
+              std::uint64_t(harness::FaultKind::CorruptFrame));
 }
 
 TEST(StableDigest, MachineConfigSeparatesBehavioralAxes)
@@ -440,6 +458,104 @@ TEST(Farm, RegistryCampaignMatchesExperimentRunner)
 }
 
 // ---------------------------------------------------------------
+// fault plans (harness/fault_inject.hh)
+// ---------------------------------------------------------------
+
+TEST(FaultPlan, ParseSpecRoundTrip)
+{
+    const std::string spec = "crash@0,tear-journal@3,die@7";
+    auto plan = harness::FaultPlan::parse(spec);
+    EXPECT_EQ(plan.spec(), spec);
+    ASSERT_EQ(plan.ops().size(), 3u);
+    EXPECT_EQ(plan.ops()[0].kind, harness::FaultKind::CrashWorker);
+    EXPECT_EQ(plan.ops()[0].index, 0u);
+    EXPECT_EQ(plan.ops()[2].kind, harness::FaultKind::DieCoordinator);
+    EXPECT_FALSE(plan.empty());
+    EXPECT_TRUE(harness::FaultPlan::parse("").empty());
+    // An unexpanded rand: keeps its compact spec.
+    EXPECT_EQ(harness::FaultPlan::parse("rand:42:3").spec(),
+              "rand:42:3");
+}
+
+TEST(FaultPlan, ParseRejectsMalformedTokens)
+{
+    for (const char *bad :
+         {"bogus@1", "crash", "crash@", "crash@x", "@3", "rand:1",
+          "rand:x:2", "rand:1:0", "rand:1:2,rand:2:3", "crash@1,,"}) {
+        EXPECT_THROW(harness::FaultPlan::parse(bad),
+                     std::invalid_argument)
+            << bad;
+    }
+}
+
+TEST(FaultPlan, RandomExpansionIsSeededDistinctAndWorkerOnly)
+{
+    auto a = harness::FaultPlan::parse("rand:42:5");
+    auto b = harness::FaultPlan::parse("rand:42:5");
+    a.materialize(100);
+    b.materialize(100);
+    ASSERT_EQ(a.ops().size(), 5u);
+    ASSERT_EQ(b.ops().size(), 5u);
+    std::set<std::uint64_t> indices;
+    for (std::size_t i = 0; i < a.ops().size(); ++i) {
+        EXPECT_EQ(a.ops()[i].kind, b.ops()[i].kind) << i;
+        EXPECT_EQ(a.ops()[i].index, b.ops()[i].index) << i;
+        EXPECT_TRUE(harness::isWorkerFault(a.ops()[i].kind)) << i;
+        EXPECT_NE(a.ops()[i].kind, harness::FaultKind::HangWorker)
+            << "hang needs an explicit deadline decision";
+        EXPECT_LT(a.ops()[i].index, 100u) << i;
+        indices.insert(a.ops()[i].index);
+    }
+    EXPECT_EQ(indices.size(), 5u) << "faulted points are distinct";
+
+    // A different seed draws a different schedule.
+    auto c = harness::FaultPlan::parse("rand:43:5");
+    c.materialize(100);
+    bool differs = false;
+    for (std::size_t i = 0; i < 5; ++i)
+        differs = differs || c.ops()[i].index != a.ops()[i].index ||
+                  c.ops()[i].kind != a.ops()[i].kind;
+    EXPECT_TRUE(differs);
+
+    // The count is clamped to the campaign size; materialize() is
+    // idempotent.
+    auto d = harness::FaultPlan::parse("rand:7:50");
+    d.materialize(4);
+    EXPECT_EQ(d.ops().size(), 4u);
+    d.materialize(4);
+    EXPECT_EQ(d.ops().size(), 4u);
+}
+
+TEST(FaultPlan, WorkerFaultsAreOneShot)
+{
+    auto plan = harness::FaultPlan::parse("corrupt@2");
+    EXPECT_EQ(plan.takeWorkerFault(1), harness::FaultKind::None);
+    EXPECT_EQ(plan.takeWorkerFault(2),
+              harness::FaultKind::CorruptFrame);
+    EXPECT_EQ(plan.takeWorkerFault(2), harness::FaultKind::None)
+        << "the retry of a faulted point must be dealt clean";
+}
+
+TEST(FaultPlan, CoordFaultsFireAtMergeCountWithDieLast)
+{
+    auto plan = harness::FaultPlan::parse("die@2,tear-journal@2");
+    EXPECT_TRUE(plan.takeCoordFaults(1).empty());
+    auto due = plan.takeCoordFaults(2);
+    ASSERT_EQ(due.size(), 2u);
+    EXPECT_EQ(due[0], harness::FaultKind::TearJournalWrite)
+        << "same-trigger tears land before the kill";
+    EXPECT_EQ(due[1], harness::FaultKind::DieCoordinator);
+    EXPECT_TRUE(plan.takeCoordFaults(2).empty()) << "one-shot";
+
+    // A lower index than the current merge count still fires (the
+    // first merge that reaches it), exactly once.
+    auto late = harness::FaultPlan::parse("tear-cache@1");
+    auto hit = late.takeCoordFaults(5);
+    ASSERT_EQ(hit.size(), 1u);
+    EXPECT_EQ(hit[0], harness::FaultKind::TearCacheWrite);
+}
+
+// ---------------------------------------------------------------
 // checkpoint / resume
 // ---------------------------------------------------------------
 
@@ -459,7 +575,7 @@ TEST(FarmResume, KilledCoordinatorResumesByteIdentical)
         harness::FarmOptions o;
         o.cacheDir = dir;
         o.workers = 2;
-        o.dieAfterMerges = 7;
+        o.faultPlan = harness::FaultPlan::parse("die@7");
         harness::FarmRunner farm(o);
         farm.run(syntheticPoints(20)); // _exit(3)s mid-flight
         _exit(99); // NOT REACHED: dying is the expected path
@@ -507,7 +623,7 @@ TEST(FarmResume, ResumeWithDamagedCacheEntryRecomputes)
     if (pid == 0) {
         harness::FarmOptions o;
         o.cacheDir = dir;
-        o.dieAfterMerges = 6;
+        o.faultPlan = harness::FaultPlan::parse("die@6");
         harness::FarmRunner farm(o);
         farm.run(syntheticPoints(10));
         _exit(99);
@@ -547,7 +663,7 @@ TEST(FarmResume, WithoutResumeFlagJournalIsTruncatedButCacheServes)
     if (pid == 0) {
         harness::FarmOptions o;
         o.cacheDir = dir;
-        o.dieAfterMerges = 5;
+        o.faultPlan = harness::FaultPlan::parse("die@5");
         harness::FarmRunner farm(o);
         farm.run(syntheticPoints(12));
         _exit(99);
@@ -567,6 +683,295 @@ TEST(FarmResume, WithoutResumeFlagJournalIsTruncatedButCacheServes)
     EXPECT_EQ(farm.stats().computed, 7u);
     auto reference = harness::FarmRunner({}).run(syntheticPoints(12));
     expectSameResults(results, reference);
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------
+// fault tolerance: supervision, quarantine, chaos determinism
+// ---------------------------------------------------------------
+
+TEST(FarmFault, WorkerFaultMatrixIsByteIdentical)
+{
+    // {crash, corrupt-frame, truncated-frame, short-read} x {first,
+    // mid, last point} x {2, 4 workers}: every fault is delivered
+    // one-shot, the point is retried clean, and the merged vector is
+    // byte-identical to the fault-free run.
+    const int n = 9;
+    auto reference = harness::FarmRunner({}).run(syntheticPoints(n));
+    for (const char *kind : {"crash", "corrupt", "truncate", "short"}) {
+        for (int pos : {0, n / 2, n - 1}) {
+            for (int workers : {2, 4}) {
+                harness::FarmOptions o;
+                o.workers = workers;
+                o.faultPlan = harness::FaultPlan::parse(
+                    std::string(kind) + "@" + std::to_string(pos));
+                harness::FarmRunner farm(o);
+                auto results = farm.run(syntheticPoints(n));
+                expectSameResults(results, reference);
+                const auto &st = farm.stats();
+                EXPECT_EQ(st.quarantined, 0u)
+                    << kind << "@" << pos << " x" << workers;
+                EXPECT_EQ(st.pointRetries, 1u)
+                    << kind << "@" << pos << " x" << workers;
+                if (std::strcmp(kind, "crash") != 0)
+                    EXPECT_GE(st.framesRejected, 1u)
+                        << kind << "@" << pos << " x" << workers;
+                // Worker slots grow with respawns; every completed
+                // point is attributed to exactly one slot.
+                EXPECT_EQ(st.perWorkerPoints.size(),
+                          std::size_t(st.workersUsed) + st.respawns);
+            }
+        }
+    }
+}
+
+TEST(FarmFault, HungWorkerIsReapedAtEveryPosition)
+{
+    const int n = 5;
+    auto reference = harness::FarmRunner({}).run(syntheticPoints(n));
+    for (int pos : {0, n / 2, n - 1}) {
+        harness::FarmOptions o;
+        o.workers = 2;
+        o.pointTimeoutSeconds = 0.25;
+        o.faultPlan = harness::FaultPlan::parse(
+            "hang@" + std::to_string(pos));
+        harness::FarmRunner farm(o);
+        auto results = farm.run(syntheticPoints(n));
+        expectSameResults(results, reference);
+        EXPECT_EQ(farm.stats().timeouts, 1u) << pos;
+        EXPECT_EQ(farm.stats().quarantined, 0u) << pos;
+        EXPECT_EQ(farm.stats().pointRetries, 1u) << pos;
+    }
+}
+
+TEST(FarmFault, SeededRandomPlanIsByteIdentical)
+{
+    const int n = 12;
+    auto reference = harness::FarmRunner({}).run(syntheticPoints(n));
+    for (int workers : {2, 4}) {
+        harness::FarmOptions o;
+        o.workers = workers;
+        o.faultPlan = harness::FaultPlan::parse("rand:1234:4");
+        harness::FarmRunner farm(o);
+        auto results = farm.run(syntheticPoints(n));
+        expectSameResults(results, reference);
+        EXPECT_EQ(farm.stats().quarantined, 0u) << workers;
+        EXPECT_EQ(farm.stats().pointRetries, 4u)
+            << "4 distinct faulted points, one clean retry each";
+    }
+}
+
+TEST(FarmFault, CrashPairForcesRespawnUnderBackoff)
+{
+    // Both initial workers die on their first points: progress then
+    // requires at least one respawn (exponential backoff, bounded by
+    // maxWorkerRestarts).
+    const int n = 6;
+    auto reference = harness::FarmRunner({}).run(syntheticPoints(n));
+    harness::FarmOptions o;
+    o.workers = 2;
+    o.respawnBackoffMs = 1;
+    o.faultPlan = harness::FaultPlan::parse("crash@0,crash@1");
+    harness::FarmRunner farm(o);
+    auto results = farm.run(syntheticPoints(n));
+    expectSameResults(results, reference);
+    EXPECT_GE(farm.stats().respawns, 1u);
+    EXPECT_LE(farm.stats().respawns,
+              std::uint64_t(harness::FarmOptions{}.maxWorkerRestarts));
+    EXPECT_EQ(farm.stats().quarantined, 0u);
+    EXPECT_EQ(farm.stats().pointRetries, 2u);
+}
+
+TEST(FarmFault, CrashPoisonPointIsQuarantinedNotRetriedInline)
+{
+    const auto dir = tempDir("quarantine");
+    const int n = 8;
+    auto points = syntheticPoints(n);
+    // A deterministic killer: _exit()s whatever process runs it. If
+    // the farm ever retried it inline, the test binary would die —
+    // quarantine is what keeps the coordinator alive.
+    points[4].run = []() -> wl::WorkloadResult { _exit(77); };
+
+    harness::FarmOptions o;
+    o.cacheDir = dir;
+    o.workers = 2;
+    o.respawnBackoffMs = 1;
+    harness::FarmRunner farm(o);
+    auto results = farm.run(points); // must not throw
+    ASSERT_EQ(results.size(), std::size_t(n));
+    for (int i = 0; i < n; ++i) {
+        if (i == 4)
+            continue;
+        EXPECT_EQ(results[std::size_t(i)], syntheticResult(i)) << i;
+    }
+    EXPECT_FALSE(results[4].correct);
+    EXPECT_EQ(results[4].metric("quarantined"), 1.0);
+    const auto &st = farm.stats();
+    EXPECT_EQ(st.quarantined, 1u);
+    ASSERT_EQ(st.quarantinedPoints.size(), 1u);
+    EXPECT_EQ(st.quarantinedPoints[0], 4u);
+    EXPECT_EQ(st.pointRetries, 1u)
+        << "death 1 requeues, death 2 quarantines (maxPointRetries)";
+
+    // Resume: the journal's `quar` record keeps the point fenced —
+    // it is not re-run, everything else replays from the cache.
+    harness::FarmOptions ro = o;
+    ro.resume = true;
+    harness::FarmRunner resumed(ro);
+    auto again = resumed.run(points);
+    EXPECT_EQ(resumed.stats().quarantined, 1u);
+    EXPECT_EQ(resumed.stats().computed, 0u);
+    EXPECT_EQ(resumed.stats().journalSkips, 7u);
+    EXPECT_FALSE(again[4].correct);
+
+    // A fresh campaign (no --resume) retries the point from scratch
+    // and re-quarantines it; the 7 good points hit the cache.
+    harness::FarmRunner fresh(o);
+    fresh.run(points);
+    EXPECT_EQ(fresh.stats().quarantined, 1u);
+    EXPECT_EQ(fresh.stats().cacheHits, 7u);
+    fs::remove_all(dir);
+}
+
+TEST(FarmFault, HangPoisonPointIsQuarantinedByDeadline)
+{
+    const int n = 5;
+    auto points = syntheticPoints(n);
+    points[2].run = []() -> wl::WorkloadResult {
+        for (;;)
+            ::pause(); // hangs any worker that hosts it
+    };
+    harness::FarmOptions o;
+    o.workers = 2;
+    o.pointTimeoutSeconds = 0.2;
+    o.respawnBackoffMs = 1;
+    harness::FarmRunner farm(o);
+    auto results = farm.run(points);
+    EXPECT_EQ(farm.stats().timeouts, 2u)
+        << "two deadline reaps, then quarantine";
+    EXPECT_EQ(farm.stats().quarantined, 1u);
+    EXPECT_EQ(results[2].metric("quarantined"), 1.0);
+    for (int i = 0; i < n; ++i)
+        if (i != 2)
+            EXPECT_EQ(results[std::size_t(i)], syntheticResult(i))
+                << i;
+}
+
+TEST(FarmFault, RestartBudgetExhaustionDrainsInline)
+{
+    // maxWorkerRestarts = 0: once the poison point has killed both
+    // workers the farm must degrade gracefully — drain the untouched
+    // points inline and quarantine the killer (it died with two
+    // workers; an inline retry would take the coordinator down).
+    const int n = 6;
+    auto points = syntheticPoints(n);
+    points[0].run = []() -> wl::WorkloadResult { _exit(77); };
+    harness::FarmOptions o;
+    o.workers = 2;
+    o.maxWorkerRestarts = 0;
+    o.maxPointRetries = 3;
+    harness::FarmRunner farm(o);
+    auto results = farm.run(points); // must not throw or die
+    EXPECT_EQ(farm.stats().respawns, 0u);
+    EXPECT_EQ(farm.stats().quarantined, 1u);
+    EXPECT_EQ(farm.stats().pointRetries, 2u);
+    EXPECT_EQ(results[0].metric("quarantined"), 1.0);
+    for (int i = 1; i < n; ++i)
+        EXPECT_EQ(results[std::size_t(i)], syntheticResult(i)) << i;
+}
+
+TEST(FarmFault, TornCacheEntryIsLengthEvictedAndRecomputed)
+{
+    const auto dir = tempDir("tear-cache");
+    const int n = 8;
+    auto reference = harness::FarmRunner({}).run(syntheticPoints(n));
+    harness::FarmOptions o;
+    o.cacheDir = dir;
+    o.faultPlan = harness::FaultPlan::parse("tear-cache@4");
+    harness::FarmRunner cold(o);
+    expectSameResults(cold.run(syntheticPoints(n)), reference);
+    EXPECT_EQ(cold.stats().cacheStores, std::uint64_t(n));
+
+    // The 4th published entry was torn mid-payload on disk: the warm
+    // run must reject it by the length check (before checksumming),
+    // recompute that one point, and still merge byte-identically.
+    harness::FarmOptions warm;
+    warm.cacheDir = dir;
+    harness::FarmRunner warmRun(warm);
+    expectSameResults(warmRun.run(syntheticPoints(n)), reference);
+    EXPECT_EQ(warmRun.stats().lengthEvictions, 1u);
+    EXPECT_EQ(warmRun.stats().corruptEvictions, 0u);
+    EXPECT_EQ(warmRun.stats().cacheHits, std::uint64_t(n - 1));
+    EXPECT_EQ(warmRun.stats().computed, 1u);
+
+    // The recompute republished the entry.
+    harness::FarmRunner again(warm);
+    again.run(syntheticPoints(n));
+    EXPECT_EQ(again.stats().cacheHits, std::uint64_t(n));
+    fs::remove_all(dir);
+}
+
+TEST(FarmFault, TornJournalRecordIsSkippedOnResume)
+{
+    const auto dir = tempDir("tear-journal");
+    const int n = 10;
+    auto reference = harness::FarmRunner({}).run(syntheticPoints(n));
+    harness::FarmOptions o;
+    o.cacheDir = dir;
+    o.faultPlan = harness::FaultPlan::parse("tear-journal@3");
+    harness::FarmRunner cold(o);
+    expectSameResults(cold.run(syntheticPoints(n)), reference);
+
+    // Record 3 was torn mid-line, so record 4 landed on the same
+    // line: both are unparseable and must be treated as not-done.
+    // Resume recovers them from the cache (the journal is a progress
+    // record, never a source of results) — byte-identical again.
+    harness::FarmOptions ro = o;
+    ro.faultPlan = harness::FaultPlan();
+    ro.resume = true;
+    harness::FarmRunner resumed(ro);
+    expectSameResults(resumed.run(syntheticPoints(n)), reference);
+    EXPECT_EQ(resumed.stats().journalSkips, std::uint64_t(n - 2));
+    EXPECT_EQ(resumed.stats().cacheHits, std::uint64_t(n));
+    EXPECT_EQ(resumed.stats().computed, 0u);
+    fs::remove_all(dir);
+}
+
+TEST(FarmResume, TornJournalTailFromMidAppendKill)
+{
+    // The paired form the torn-tail tolerance was built for: the
+    // coordinator dies *during* a journal append (tear-journal and
+    // die at the same merge). Only the torn record is lost.
+    const auto dir = tempDir("tear-die");
+    const int n = 10;
+    auto reference = harness::FarmRunner({}).run(syntheticPoints(n));
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        harness::FarmOptions o;
+        o.cacheDir = dir;
+        o.faultPlan =
+            harness::FaultPlan::parse("tear-journal@5,die@5");
+        harness::FarmRunner farm(o);
+        farm.run(syntheticPoints(n));
+        _exit(99); // NOT REACHED
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status),
+              harness::FarmOptions::dieExitStatus);
+
+    harness::FarmOptions o;
+    o.cacheDir = dir;
+    o.resume = true;
+    harness::FarmRunner farm(o);
+    expectSameResults(farm.run(syntheticPoints(n)), reference);
+    EXPECT_EQ(farm.stats().journalSkips, 4u)
+        << "4 clean records; the 5th was torn mid-append";
+    EXPECT_EQ(farm.stats().cacheHits, 5u)
+        << "the torn record's payload still serves from the cache";
+    EXPECT_EQ(farm.stats().computed, 5u);
     fs::remove_all(dir);
 }
 

@@ -4,7 +4,10 @@
  * bit-exact round-tripping of every WorkloadResult field (including
  * NaN / infinity / denormal metric values), per-component cache-key
  * sensitivity, and the corruption contract — any damaged entry is
- * evicted and reported as a miss, never returned.
+ * evicted and reported as a miss, never returned. Torn writes (file
+ * length disagreeing with the entry's declared payload length) are
+ * caught by arithmetic before checksumming and counted separately
+ * (lengthEvictions vs corruptEvictions).
  */
 
 #include <gtest/gtest.h>
@@ -277,15 +280,19 @@ TEST_F(ResultCacheTest, TruncatedAndEmptyEntriesAreEvicted)
         full = buf.str();
     }
 
-    // Truncated mid-payload (a crashed non-atomic writer shape).
+    // Truncated mid-payload (a crashed non-atomic writer shape):
+    // the header parses, the declared length disagrees with the file
+    // size — a *length* eviction, before any checksumming.
     {
         std::ofstream out(entry, std::ios::binary | std::ios::trunc);
         out << full.substr(0, full.size() / 2);
     }
     EXPECT_FALSE(cache.load(sampleKey()).has_value());
     EXPECT_FALSE(fs::exists(entry));
+    EXPECT_EQ(cache.counters().lengthEvictions, 1u);
+    EXPECT_EQ(cache.counters().corruptEvictions, 0u);
 
-    // Empty file.
+    // Empty file: not even a magic line — corrupt, not length.
     cache.store(sampleKey(), sampleResult());
     {
         std::ofstream out(entry, std::ios::binary | std::ios::trunc);
@@ -302,7 +309,41 @@ TEST_F(ResultCacheTest, TruncatedAndEmptyEntriesAreEvicted)
     ASSERT_FALSE(ec);
     EXPECT_FALSE(cache.load(other).has_value());
     EXPECT_FALSE(fs::exists(cache.entryPath(other)));
-    EXPECT_EQ(cache.counters().corruptEvictions, 3u);
+    EXPECT_EQ(cache.counters().corruptEvictions, 2u);
+    EXPECT_EQ(cache.counters().lengthEvictions, 1u);
+}
+
+TEST_F(ResultCacheTest, TornWriteIsLengthEvictedBeforeChecksumming)
+{
+    // The exact shape the farm's tear-cache fault injects: the
+    // published entry loses its tail (torn in the tmp+rename window
+    // by power loss — rename survived, data didn't).
+    harness::ResultCache cache(path());
+    cache.store(sampleKey(), sampleResult());
+    const std::string entry = cache.entryPath(sampleKey());
+
+    const auto size = fs::file_size(entry);
+    fs::resize_file(entry, size / 2);
+    EXPECT_FALSE(cache.load(sampleKey()).has_value());
+    EXPECT_EQ(cache.counters().lengthEvictions, 1u);
+    EXPECT_EQ(cache.counters().corruptEvictions, 0u)
+        << "a short file must be rejected by the length check, "
+           "not reach the checksum";
+    EXPECT_FALSE(fs::exists(entry));
+
+    // Extra appended bytes are just as much a length mismatch.
+    cache.store(sampleKey(), sampleResult());
+    {
+        std::ofstream out(entry, std::ios::binary | std::ios::app);
+        out << "tail garbage";
+    }
+    EXPECT_FALSE(cache.load(sampleKey()).has_value());
+    EXPECT_EQ(cache.counters().lengthEvictions, 2u);
+    EXPECT_EQ(cache.counters().corruptEvictions, 0u);
+
+    // A fresh store repairs the entry and hits again.
+    cache.store(sampleKey(), sampleResult());
+    EXPECT_TRUE(cache.load(sampleKey()).has_value());
 }
 
 TEST_F(ResultCacheTest, DecodeRejectsAnomalies)
