@@ -163,6 +163,8 @@ Scale::reportFarmStats(JsonReport &report,
                  stats.lengthEvictions);
     report.count(prefix + "_size_evictions", stats.sizeEvictions);
     report.count(prefix + "_journal_skips", stats.journalSkips);
+    report.count(prefix + "_journal_write_errors",
+                 stats.journalWriteErrors);
     report.count(prefix + "_timeouts", stats.timeouts);
     report.count(prefix + "_respawns", stats.respawns);
     report.count(prefix + "_frames_rejected", stats.framesRejected);

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * capsule_submit — the capsuled client CLI (DESIGN.md §12).
+ *
+ * Default mode submits the exact farm_capsule campaign (workload
+ * registry x {smt, cmp, func} at the selected scale/seed) to a
+ * running daemon and prints the *same* per-point table — simulated
+ * fields only — so CI can diff the daemon-served results literally
+ * against a direct farm_capsule run (the byte-identical contract,
+ * now across a socket).
+ *
+ * --fuzz-traffic N is the load-test mode: N jobs drawn by the
+ * platform-stable fuzz RNG (PR 5's SplitMix64 source) as random
+ * (workload, machine, seed) batches, submitted from --clients
+ * concurrent connections, measuring submit-to-result latency per
+ * job. BENCH_daemon.json records jobs/sec, p50/p99 latency and the
+ * cache hit rate under that concurrency.
+ *
+ * Client-specific flags on top of the common set (bench_util.hh):
+ *   --socket PATH      daemon socket (default ./capsuled.sock)
+ *   --io-timeout S     inactivity deadline on the connection
+ *                      (default 300)
+ *   --fuzz-traffic N   load-test mode: N random jobs instead of the
+ *                      registry campaign
+ *   --clients N        concurrent connections in load-test mode
+ *                      (default 2)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "fuzz/fuzz_rng.hh"
+#include "harness/daemon_client.hh"
+#include "workloads/workload.hh"
+
+using namespace capsule;
+
+namespace
+{
+
+double
+percentileMs(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto idx = std::size_t(
+        std::min<double>(double(sorted.size()) - 1,
+                         p / 100.0 * double(sorted.size())));
+    return sorted[idx];
+}
+
+int
+runFuzzTraffic(const std::string &socketPath, double ioTimeout,
+               int totalJobs, int clients,
+               const bench::Scale &scale)
+{
+    const auto names = wl::WorkloadRegistry::builtin().names();
+    const auto machines = harness::daemonMachineNames();
+    const char *scaleName = wl::scaleLevelName(scale.level());
+
+    std::mutex mtx;
+    std::vector<double> latenciesMs;
+    std::uint64_t campaigns = 0, hits = 0, misses = 0, failures = 0;
+
+    // Deterministic split of the job budget and the draw streams.
+    clients = std::max(1, clients);
+    std::vector<std::thread> threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int c = 0; c < clients; ++c) {
+        const int share = totalJobs / clients +
+                          (c < totalJobs % clients ? 1 : 0);
+        threads.emplace_back([&, c, share] {
+            fuzz::FuzzRng rng(scale.seed * 1000003ULL +
+                              std::uint64_t(c));
+            harness::DaemonClient client(socketPath, ioTimeout);
+            int sent = 0;
+            while (sent < share) {
+                const int batch = int(std::min<std::uint64_t>(
+                    1 + rng.below(3),
+                    std::uint64_t(share - sent)));
+                std::vector<harness::daemonwire::JobSpec> jobs;
+                for (int k = 0; k < batch; ++k) {
+                    harness::daemonwire::JobSpec j;
+                    j.workload = names[rng.below(names.size())];
+                    j.machine =
+                        machines[rng.below(machines.size())];
+                    j.scale = scaleName;
+                    // A small seed pool makes repeats (and thus
+                    // cache hits) part of the traffic shape.
+                    j.seed = 1 + rng.below(4);
+                    jobs.push_back(std::move(j));
+                }
+                const auto submitAt =
+                    std::chrono::steady_clock::now();
+                std::vector<double> arrivals(jobs.size(), 0.0);
+                auto outcome = client.run(
+                    jobs, [&](std::size_t i,
+                              const wl::WorkloadResult &) {
+                        arrivals[i] =
+                            std::chrono::duration<double,
+                                                  std::milli>(
+                                std::chrono::steady_clock::now() -
+                                submitAt)
+                                .count();
+                    });
+                std::lock_guard<std::mutex> lock(mtx);
+                ++campaigns;
+                if (!outcome.ok) {
+                    ++failures;
+                    std::fprintf(
+                        stderr,
+                        "capsule_submit: campaign failed: %s\n",
+                        outcome.error.c_str());
+                } else {
+                    latenciesMs.insert(latenciesMs.end(),
+                                       arrivals.begin(),
+                                       arrivals.end());
+                    hits += outcome.summary.cacheHits;
+                    misses += outcome.summary.cacheMisses;
+                }
+                sent += batch;
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::sort(latenciesMs.begin(), latenciesMs.end());
+    const double p50 = percentileMs(latenciesMs, 50);
+    const double p99 = percentileMs(latenciesMs, 99);
+    const double denom = double(hits + misses);
+    const double hitRate =
+        denom > 0 ? 100.0 * double(hits) / denom : 0.0;
+    const double jobsPerSec =
+        wall > 0 ? double(latenciesMs.size()) / wall : 0.0;
+
+    std::printf("daemon: %zu jobs in %llu campaigns from %d "
+                "client(s) in %.2fs (%.1f jobs/s)\n",
+                latenciesMs.size(), (unsigned long long)campaigns,
+                clients, wall, jobsPerSec);
+    std::printf("daemon: submit-to-result latency p50 %.1fms, "
+                "p99 %.1fms; cache hit rate %.1f%%; %llu failed "
+                "campaign(s)\n",
+                p50, p99, hitRate, (unsigned long long)failures);
+
+    bench::JsonReport report("daemon", scale);
+    report.count("jobs", latenciesMs.size());
+    report.count("campaigns", campaigns);
+    report.count("clients", std::uint64_t(clients));
+    report.num("jobs_per_sec", jobsPerSec);
+    report.num("latency_p50_ms", p50);
+    report.num("latency_p99_ms", p99);
+    report.num("cache_hit_rate_percent", hitRate);
+    report.count("cache_hits", hits);
+    report.count("cache_misses", misses);
+    report.count("failed_campaigns", failures);
+    report.flag("all_ok", failures == 0);
+    return report.write() && failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath = "capsuled.sock";
+    double ioTimeout = 300.0;
+    int fuzzTraffic = 0;
+    int clients = 2;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+            socketPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--io-timeout") == 0 &&
+                   i + 1 < argc) {
+            ioTimeout = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--fuzz-traffic") == 0 &&
+                   i + 1 < argc) {
+            fuzzTraffic = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--clients") == 0 &&
+                   i + 1 < argc) {
+            clients = std::atoi(argv[++i]);
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    auto scale = bench::parseScale(int(rest.size()), rest.data());
+
+    if (fuzzTraffic > 0) {
+        bench::banner("daemon load test (seeded fuzz traffic)",
+                      scale);
+        return runFuzzTraffic(socketPath, ioTimeout, fuzzTraffic,
+                              clients, scale);
+    }
+
+    bench::banner("daemon campaign submission (registry x machine)",
+                  scale);
+    const auto names = wl::WorkloadRegistry::builtin().names();
+    const auto machines = harness::daemonMachineNames();
+    std::vector<harness::daemonwire::JobSpec> jobs;
+    for (const auto &wlName : names)
+        for (const auto &m : machines)
+            jobs.push_back({wlName, m,
+                            wl::scaleLevelName(scale.level()),
+                            scale.seed});
+
+    harness::DaemonClient client(socketPath, ioTimeout);
+    auto outcome = client.run(jobs);
+    if (!outcome.ok) {
+        std::fprintf(stderr, "capsule_submit: %s\n",
+                     outcome.error.c_str());
+        return 1;
+    }
+
+    // The same table farm_capsule prints — simulated fields only, so
+    // a direct run and a daemon-served run diff byte-identical.
+    TextTable table({"workload", "machine", "cycles", "insts", "ipc",
+                     "correct"});
+    bool allCorrect = true;
+    std::size_t at = 0;
+    for (const auto &wlName : names) {
+        for (const auto &m : machines) {
+            const auto &r = outcome.results[at++];
+            const bool quarantined =
+                r.metric("quarantined", 0.0) != 0.0;
+            allCorrect = allCorrect && (r.correct || quarantined);
+            table.addRow({wlName, m,
+                          TextTable::count(r.stats.cycles),
+                          TextTable::count(r.stats.instructions),
+                          TextTable::num(r.stats.ipc, 4),
+                          quarantined     ? "quar"
+                          : r.correct     ? "yes"
+                                          : "NO"});
+        }
+    }
+    table.render(std::cout);
+
+    const auto &s = outcome.summary;
+    std::printf("\ndaemon: %llu jobs, %llu computed, %llu cache "
+                "hits, %llu misses, %llu quarantined, %.2fs server "
+                "wall\n",
+                (unsigned long long)s.jobs,
+                (unsigned long long)s.computed,
+                (unsigned long long)s.cacheHits,
+                (unsigned long long)s.cacheMisses,
+                (unsigned long long)s.quarantined, s.wallSeconds);
+
+    bench::JsonReport report("daemon", scale);
+    std::size_t i = 0;
+    for (const auto &wlName : names) {
+        for (const auto &m : machines) {
+            const auto &r = outcome.results[i++];
+            std::string key = wlName + "." + m;
+            report.count(key + ".sim_cycles", r.stats.cycles);
+            report.count(key + ".sim_instructions",
+                         r.stats.instructions);
+            report.flag(key + ".correct", r.correct);
+        }
+    }
+    report.count("jobs", s.jobs);
+    report.count("computed", s.computed);
+    report.count("cache_hits", s.cacheHits);
+    report.count("cache_misses", s.cacheMisses);
+    report.count("quarantined", s.quarantined);
+    report.flag("all_correct", allCorrect);
+
+    bool strictOk = true;
+    if (scale.strict && s.quarantined > 0) {
+        strictOk = false;
+        std::fprintf(stderr,
+                     "daemon: --strict and %llu point(s) "
+                     "quarantined\n",
+                     (unsigned long long)s.quarantined);
+    }
+    return report.write() && allCorrect && strictOk ? 0 : 1;
+}

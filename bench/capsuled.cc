@@ -1,0 +1,134 @@
+/**
+ * @file
+ * capsuled — the persistent farm daemon CLI (DESIGN.md §12). Binds a
+ * Unix-domain socket, serves batched campaign submissions from any
+ * number of concurrent capsule_submit clients over one shared result
+ * cache, and runs until SIGINT/SIGTERM (or --serve-seconds expires),
+ * then prints the service counters.
+ *
+ * Daemon-specific flags on top of the common set (bench_util.hh —
+ * --cache-dir / --cache-max-bytes / --workers / --point-timeout all
+ * mean what they mean for farm_capsule, per campaign):
+ *   --socket PATH       listening socket path (default
+ *                       ./capsuled.sock)
+ *   --io-timeout S      per-client I/O deadline: a half-sent message
+ *                       or a client too slow to take its results is
+ *                       dropped after S seconds (default 30)
+ *   --serve-seconds S   exit after S seconds (0 = until a signal;
+ *                       the CI smoke uses a bounded run)
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "bench_util.hh"
+#include "harness/daemon.hh"
+
+using namespace capsule;
+
+namespace
+{
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath = "capsuled.sock";
+    double ioTimeout = 30.0;
+    double serveSeconds = 0.0;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+            socketPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--io-timeout") == 0 &&
+                   i + 1 < argc) {
+            ioTimeout = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--serve-seconds") == 0 &&
+                   i + 1 < argc) {
+            serveSeconds = std::atof(argv[++i]);
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    auto scale = bench::parseScale(int(rest.size()), rest.data());
+
+    harness::DaemonOptions opts;
+    opts.socketPath = socketPath;
+    opts.cacheDir = scale.cacheDir;
+    opts.cacheMaxBytes = scale.cacheMaxBytes;
+    opts.workersPerCampaign = scale.workers;
+    if (scale.pointTimeout >= 0)
+        opts.pointTimeoutSeconds = scale.pointTimeout;
+    opts.ioTimeoutSeconds = ioTimeout;
+
+    harness::FarmDaemon daemon(opts);
+    std::string error;
+    if (!daemon.start(&error)) {
+        std::fprintf(stderr, "capsuled: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("capsuled: listening on %s (cache %s, %d "
+                "worker(s)/campaign, io timeout %.1fs)\n",
+                socketPath.c_str(),
+                opts.cacheDir.empty() ? "<off>"
+                                      : opts.cacheDir.c_str(),
+                opts.workersPerCampaign, opts.ioTimeoutSeconds);
+    std::fflush(stdout);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    const auto t0 = std::chrono::steady_clock::now();
+    while (!g_stop.load()) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(100));
+        if (serveSeconds > 0 &&
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                    .count() >= serveSeconds)
+            break;
+    }
+    daemon.stop();
+
+    const auto st = daemon.stats();
+    std::printf("capsuled: %llu clients (%llu served, %llu "
+                "dropped), %llu campaigns, %llu jobs\n",
+                (unsigned long long)st.clientsAccepted,
+                (unsigned long long)st.clientsServed,
+                (unsigned long long)st.clientsDropped,
+                (unsigned long long)st.campaigns,
+                (unsigned long long)st.jobs);
+    std::printf("capsuled: %llu io timeouts, %llu protocol errors, "
+                "%llu cache hits, %llu misses, %llu computed, "
+                "%llu quarantined\n",
+                (unsigned long long)st.ioTimeouts,
+                (unsigned long long)st.protocolErrors,
+                (unsigned long long)st.farm.cacheHits,
+                (unsigned long long)st.farm.cacheMisses,
+                (unsigned long long)st.farm.computed,
+                (unsigned long long)st.farm.quarantined);
+
+    bench::JsonReport report("capsuled", scale);
+    report.count("clients_accepted", st.clientsAccepted);
+    report.count("clients_served", st.clientsServed);
+    report.count("clients_dropped", st.clientsDropped);
+    report.count("campaigns", st.campaigns);
+    report.count("jobs", st.jobs);
+    report.count("io_timeouts", st.ioTimeouts);
+    report.count("protocol_errors", st.protocolErrors);
+    bench::Scale::reportFarmStats(report, st.farm);
+    return report.write() ? 0 : 1;
+}

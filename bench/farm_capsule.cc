@@ -180,6 +180,13 @@ main(int argc, char **argv)
                      "farm: --strict and %llu point(s) quarantined\n",
                      (unsigned long long)st.quarantined);
     }
+    if (scale.strict && st.journalWriteErrors > 0) {
+        strictOk = false;
+        std::fprintf(stderr,
+                     "farm: --strict and %llu journal write "
+                     "error(s): the checkpoint is unreliable\n",
+                     (unsigned long long)st.journalWriteErrors);
+    }
 
     return report.write() && allCorrect && hitRateOk && strictOk ? 0
                                                                  : 1;

@@ -218,6 +218,13 @@ main(int argc, char **argv)
                      "quarantined\n",
                      (unsigned long long)res.farm.quarantined);
     }
+    if (strict && res.farm.journalWriteErrors > 0) {
+        strictOk = false;
+        std::fprintf(stderr,
+                     "fuzz: --strict and %llu journal write "
+                     "error(s): the checkpoint is unreliable\n",
+                     (unsigned long long)res.farm.journalWriteErrors);
+    }
 
     return res.ok() && wrote && strictOk ? 0 : 1;
 }

@@ -1,0 +1,680 @@
+#include "harness/daemon.hh"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "base/digest.hh"
+#include "harness/result_cache.hh"
+
+#ifdef __unix__
+#include <csignal>
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace capsule::harness
+{
+
+namespace daemonwire
+{
+
+void
+MsgHeader::encode(unsigned char out[wireSize]) const
+{
+    wire::putU64(out + 0 * wire::u64Size, type);
+    wire::putU64(out + 1 * wire::u64Size, a);
+    wire::putU64(out + 2 * wire::u64Size, b);
+    wire::putU64(out + 3 * wire::u64Size, payloadLen);
+}
+
+MsgHeader
+MsgHeader::decode(const unsigned char in[wireSize])
+{
+    MsgHeader h;
+    h.type = wire::getU64(in + 0 * wire::u64Size);
+    h.a = wire::getU64(in + 1 * wire::u64Size);
+    h.b = wire::getU64(in + 2 * wire::u64Size);
+    h.payloadLen = wire::getU64(in + 3 * wire::u64Size);
+    return h;
+}
+
+namespace
+{
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    unsigned char b[wire::u64Size];
+    wire::putU64(b, v);
+    out.append(reinterpret_cast<const char *>(b), sizeof b);
+}
+
+bool
+takeU64(const std::string &in, std::size_t &at, std::uint64_t &out)
+{
+    if (in.size() - at < wire::u64Size || at > in.size())
+        return false;
+    out = wire::getU64(
+        reinterpret_cast<const unsigned char *>(in.data()) + at);
+    at += wire::u64Size;
+    return true;
+}
+
+void
+appendStr(std::string &out, const std::string &s)
+{
+    appendU64(out, s.size());
+    out += s;
+}
+
+bool
+takeStr(const std::string &in, std::size_t &at, std::string &out)
+{
+    std::uint64_t len = 0;
+    if (!takeU64(in, at, len) || len > in.size() - at)
+        return false;
+    out = in.substr(at, std::size_t(len));
+    at += std::size_t(len);
+    return true;
+}
+
+} // namespace
+
+std::string
+encodeJobs(const std::vector<JobSpec> &jobs)
+{
+    std::string out;
+    appendU64(out, jobs.size());
+    for (const auto &j : jobs) {
+        appendStr(out, j.workload);
+        appendStr(out, j.machine);
+        appendStr(out, j.scale);
+        appendU64(out, j.seed);
+    }
+    return out;
+}
+
+std::optional<std::vector<JobSpec>>
+decodeJobs(const std::string &payload)
+{
+    std::size_t at = 0;
+    std::uint64_t count = 0;
+    if (!takeU64(payload, at, count))
+        return std::nullopt;
+    // Four u64s is the floor of one encoded job — a cheap bound that
+    // rejects absurd counts before any allocation.
+    if (count > payload.size() / (4 * wire::u64Size) + 1)
+        return std::nullopt;
+    std::vector<JobSpec> jobs;
+    jobs.reserve(std::size_t(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        JobSpec j;
+        if (!takeStr(payload, at, j.workload) ||
+            !takeStr(payload, at, j.machine) ||
+            !takeStr(payload, at, j.scale) ||
+            !takeU64(payload, at, j.seed))
+            return std::nullopt;
+        jobs.push_back(std::move(j));
+    }
+    if (at != payload.size())
+        return std::nullopt; // trailing garbage
+    return jobs;
+}
+
+CampaignSummary
+CampaignSummary::fromStats(const FarmStats &st)
+{
+    CampaignSummary s;
+    s.jobs = st.points;
+    s.computed = st.computed;
+    s.cacheHits = st.cacheHits;
+    s.cacheMisses = st.cacheMisses;
+    s.timeouts = st.timeouts;
+    s.respawns = st.respawns;
+    s.framesRejected = st.framesRejected;
+    s.pointRetries = st.pointRetries;
+    s.quarantined = st.quarantined;
+    s.journalWriteErrors = st.journalWriteErrors;
+    s.wallSeconds = st.wallSeconds;
+    return s;
+}
+
+std::string
+CampaignSummary::encode() const
+{
+    std::string out;
+    appendU64(out, jobs);
+    appendU64(out, computed);
+    appendU64(out, cacheHits);
+    appendU64(out, cacheMisses);
+    appendU64(out, timeouts);
+    appendU64(out, respawns);
+    appendU64(out, framesRejected);
+    appendU64(out, pointRetries);
+    appendU64(out, quarantined);
+    appendU64(out, journalWriteErrors);
+    appendU64(out, std::bit_cast<std::uint64_t>(wallSeconds));
+    return out;
+}
+
+std::optional<CampaignSummary>
+CampaignSummary::decode(const std::string &payload)
+{
+    std::size_t at = 0;
+    CampaignSummary s;
+    std::uint64_t wallBits = 0;
+    if (!takeU64(payload, at, s.jobs) ||
+        !takeU64(payload, at, s.computed) ||
+        !takeU64(payload, at, s.cacheHits) ||
+        !takeU64(payload, at, s.cacheMisses) ||
+        !takeU64(payload, at, s.timeouts) ||
+        !takeU64(payload, at, s.respawns) ||
+        !takeU64(payload, at, s.framesRejected) ||
+        !takeU64(payload, at, s.pointRetries) ||
+        !takeU64(payload, at, s.quarantined) ||
+        !takeU64(payload, at, s.journalWriteErrors) ||
+        !takeU64(payload, at, wallBits) || at != payload.size())
+        return std::nullopt;
+    s.wallSeconds = std::bit_cast<double>(wallBits);
+    return s;
+}
+
+std::string
+encodeMessage(std::uint64_t type, std::uint64_t a, std::uint64_t b,
+              const std::string &payload)
+{
+    MsgHeader h;
+    h.type = type;
+    h.a = a;
+    h.b = b;
+    h.payloadLen = payload.size();
+    unsigned char hdr[MsgHeader::wireSize];
+    h.encode(hdr);
+    std::string out;
+    out.reserve(sizeof hdr + payload.size() + wire::u64Size);
+    out.append(reinterpret_cast<const char *>(hdr), sizeof hdr);
+    out += payload;
+    appendU64(out, fnv1aBytes(payload));
+    return out;
+}
+
+int
+parseMessage(std::string &rx, MsgHeader &hdr, std::string &payload)
+{
+    if (rx.size() < MsgHeader::wireSize)
+        return 0;
+    const MsgHeader h = MsgHeader::decode(
+        reinterpret_cast<const unsigned char *>(rx.data()));
+    if (h.type < msgSubmit || h.type > msgError ||
+        h.payloadLen > maxMsgPayload)
+        return -1;
+    const std::size_t total = MsgHeader::wireSize +
+                              std::size_t(h.payloadLen) +
+                              wire::u64Size;
+    if (rx.size() < total)
+        return 0;
+    payload =
+        rx.substr(MsgHeader::wireSize, std::size_t(h.payloadLen));
+    const std::uint64_t check = wire::getU64(
+        reinterpret_cast<const unsigned char *>(rx.data()) +
+        MsgHeader::wireSize + std::size_t(h.payloadLen));
+    rx.erase(0, total);
+    if (fnv1aBytes(payload) != check)
+        return -1;
+    hdr = h;
+    return 1;
+}
+
+} // namespace daemonwire
+
+const sim::MachineConfig *
+daemonMachine(const std::string &name)
+{
+    // The farm_capsule trio: the daemon serves exactly the machine
+    // shapes the direct campaign driver sweeps, so a submitted
+    // campaign and a direct run share cache keys byte-for-byte.
+    static const std::vector<std::pair<std::string,
+                                       sim::MachineConfig>>
+        machines = [] {
+            std::vector<std::pair<std::string, sim::MachineConfig>>
+                m;
+            m.emplace_back("smt", sim::MachineConfig::somt());
+            m.emplace_back("cmp", sim::MachineConfig::cmpSomt(2, 4));
+            auto func = sim::MachineConfig::somt();
+            func.backend = "func";
+            m.emplace_back("func", std::move(func));
+            return m;
+        }();
+    for (const auto &[n, cfg] : machines)
+        if (n == name)
+            return &cfg;
+    return nullptr;
+}
+
+std::vector<std::string>
+daemonMachineNames()
+{
+    return {"smt", "cmp", "func"};
+}
+
+namespace
+{
+
+double
+monoSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** The scale level named by a JobSpec, or nullopt. */
+std::optional<wl::ScaleLevel>
+scaleByName(const std::string &name)
+{
+    for (auto level :
+         {wl::ScaleLevel::Quick, wl::ScaleLevel::Default,
+          wl::ScaleLevel::Paper})
+        if (name == wl::scaleLevelName(level))
+            return level;
+    return std::nullopt;
+}
+
+} // namespace
+
+FarmDaemon::FarmDaemon(DaemonOptions opts) : opts_(std::move(opts))
+{
+    if (opts_.ioTimeoutSeconds <= 0)
+        opts_.ioTimeoutSeconds = 30.0;
+}
+
+FarmDaemon::~FarmDaemon() { stop(); }
+
+#ifndef __unix__
+
+bool
+FarmDaemon::start(std::string *error)
+{
+    if (error)
+        *error = "capsuled requires Unix-domain sockets";
+    return false;
+}
+
+void
+FarmDaemon::stop()
+{
+}
+
+DaemonStats
+FarmDaemon::stats() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return st_;
+}
+
+void FarmDaemon::acceptLoop() {}
+void FarmDaemon::serveClient(int) {}
+
+#else // __unix__
+
+namespace
+{
+
+/** Bounded poll slice: service loops wake at least this often to
+ *  check the stop flag, whatever their current deadline. */
+constexpr int sliceMs = 100;
+
+void
+setFdNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+} // namespace
+
+bool
+FarmDaemon::start(std::string *error)
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what + ": " + std::strerror(errno);
+        if (listenFd_ >= 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+        }
+        return false;
+    };
+    if (running_.load())
+        return true;
+    if (opts_.socketPath.empty()) {
+        if (error)
+            *error = "no socket path";
+        return false;
+    }
+    sockaddr_un addr{};
+    if (opts_.socketPath.size() >= sizeof addr.sun_path) {
+        if (error)
+            *error = "socket path too long for sockaddr_un";
+        return false;
+    }
+
+    // The farm already ignores SIGPIPE per run; the daemon makes it
+    // process-wide so a vanished client can only ever surface as an
+    // EPIPE write error on its own service thread.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return fail("socket()");
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
+                opts_.socketPath.size() + 1);
+    ::unlink(opts_.socketPath.c_str()); // replace a stale socket
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) < 0)
+        return fail("bind(" + opts_.socketPath + ")");
+    if (::listen(listenFd_, 16) < 0)
+        return fail("listen()");
+    setFdNonBlocking(listenFd_);
+
+    stop_.store(false);
+    running_.store(true);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+FarmDaemon::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    stop_.store(true);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    ::unlink(opts_.socketPath.c_str());
+    // Service threads poll with bounded slices and check the stop
+    // flag, so every join completes promptly (campaigns in flight
+    // finish their current points first).
+    std::vector<std::thread> clients;
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        clients.swap(clients_);
+    }
+    for (auto &t : clients)
+        if (t.joinable())
+            t.join();
+}
+
+DaemonStats
+FarmDaemon::stats() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return st_;
+}
+
+void
+FarmDaemon::acceptLoop()
+{
+    while (!stop_.load()) {
+        pollfd p{listenFd_, POLLIN, 0};
+        const int rc = ::poll(&p, 1, sliceMs);
+        if (rc < 0 && errno != EINTR)
+            break;
+        if (rc <= 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        setFdNonBlocking(fd);
+        std::lock_guard<std::mutex> lock(mtx_);
+        ++st_.clientsAccepted;
+        clients_.emplace_back(
+            [this, fd] { serveClient(fd); });
+    }
+}
+
+namespace
+{
+
+/**
+ * Deadline-aware full write on a non-blocking socket: retries under
+ * `deadline_s` of *stall* (each successful chunk re-arms it), waking
+ * every slice to honour `stop`. False when the peer is gone, errors,
+ * or stalls past the deadline (`timed_out` says which).
+ */
+bool
+sendAllDeadline(int fd, const std::string &data, double deadline_s,
+                const std::atomic<bool> &stop, bool &timed_out)
+{
+    timed_out = false;
+    std::size_t at = 0;
+    double stallStart = monoSeconds();
+    while (at < data.size()) {
+        if (stop.load())
+            return false;
+        const ssize_t n =
+            ::send(fd, data.data() + at, data.size() - at,
+                   MSG_NOSIGNAL);
+        if (n > 0) {
+            at += std::size_t(n);
+            stallStart = monoSeconds();
+            continue;
+        }
+        if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+            errno != EINTR)
+            return false; // EPIPE/ECONNRESET: the client vanished
+        const double now = monoSeconds();
+        if (now - stallStart >= deadline_s) {
+            timed_out = true;
+            return false;
+        }
+        pollfd p{fd, POLLOUT, 0};
+        const int want = computePollTimeoutMs(
+            stallStart + deadline_s, now);
+        ::poll(&p, 1, std::min(want < 0 ? sliceMs : want, sliceMs));
+    }
+    return true;
+}
+
+} // namespace
+
+void
+FarmDaemon::serveClient(int fd)
+{
+    std::string rx;
+    // Armed while rx holds a partial message; infinite when idle — a
+    // quiet persistent client is fine, a half-sent header is not.
+    double rxDeadline = std::numeric_limits<double>::infinity();
+    bool clean = false;    ///< peer shut down at a message boundary
+    bool dropped = false;  ///< we cut the peer off
+    bool ioTimeout = false;
+    bool protocolError = false;
+
+    auto send = [&](const std::string &msg) {
+        if (dropped)
+            return false;
+        bool timedOut = false;
+        if (!sendAllDeadline(fd, msg, opts_.ioTimeoutSeconds, stop_,
+                             timedOut)) {
+            dropped = true;
+            ioTimeout |= timedOut;
+            return false;
+        }
+        return true;
+    };
+
+    auto runCampaign = [&](const std::string &payload) {
+        auto jobs = daemonwire::decodeJobs(payload);
+        if (!jobs || jobs->size() > opts_.maxCampaignJobs) {
+            protocolError = true;
+            send(daemonwire::encodeMessage(
+                daemonwire::msgError, ~0ULL, 0,
+                !jobs ? "malformed job list"
+                      : "campaign exceeds the job limit"));
+            return false;
+        }
+
+        std::vector<FarmPoint> points;
+        points.reserve(jobs->size());
+        const auto &registry = wl::WorkloadRegistry::builtin();
+        for (std::size_t i = 0; i < jobs->size(); ++i) {
+            const auto &j = (*jobs)[i];
+            const sim::MachineConfig *cfg = daemonMachine(j.machine);
+            const auto scale = scaleByName(j.scale);
+            if (!registry.contains(j.workload) || !cfg || !scale) {
+                protocolError = true;
+                send(daemonwire::encodeMessage(
+                    daemonwire::msgError, i, 0,
+                    "unknown workload/machine/scale in job '" +
+                        j.workload + "/" + j.machine + "/" +
+                        j.scale + "'"));
+                return false;
+            }
+            points.push_back(registryFarmPoint(
+                j.workload, *cfg, {*scale, j.seed},
+                j.workload + "/" + j.machine + "/seed" +
+                    std::to_string(j.seed)));
+        }
+
+        FarmOptions fo;
+        fo.workers = opts_.workersPerCampaign;
+        fo.cacheDir = opts_.cacheDir;
+        fo.cacheMaxBytes = opts_.cacheMaxBytes;
+        fo.pointTimeoutSeconds = opts_.pointTimeoutSeconds;
+        // No journal: concurrent clients may run the same campaign
+        // digest, and two coordinators appending one journal file
+        // would interleave. The shared cache is the durable state.
+        fo.journal = false;
+        fo.onResult = [&](std::size_t i,
+                          const wl::WorkloadResult &r) {
+            // A gone client stops the streaming, not the campaign:
+            // the remaining points still publish into the shared
+            // cache, so the work is kept either way.
+            if (!dropped)
+                send(daemonwire::encodeMessage(
+                    daemonwire::msgResult, i, 0,
+                    ResultCache::encode(r)));
+        };
+
+        FarmRunner farm(fo);
+        std::string campaignError;
+        try {
+            farm.run(points);
+        } catch (const std::exception &e) {
+            campaignError = e.what();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mtx_);
+            ++st_.campaigns;
+            st_.jobs += points.size();
+            st_.farm.fold(farm.stats());
+        }
+        if (!campaignError.empty()) {
+            send(daemonwire::encodeMessage(daemonwire::msgError,
+                                           ~0ULL, 0,
+                                           campaignError));
+            return false;
+        }
+        send(daemonwire::encodeMessage(
+            daemonwire::msgDone, points.size(), 0,
+            daemonwire::CampaignSummary::fromStats(farm.stats())
+                .encode()));
+        return !dropped;
+    };
+
+    while (!stop_.load() && !dropped) {
+        const double now = monoSeconds();
+        if (now >= rxDeadline) {
+            // Half a message, then silence: the client-side twin of
+            // the coordinator's partial-frame stall. Reap it.
+            dropped = true;
+            ioTimeout = true;
+            break;
+        }
+        pollfd p{fd, POLLIN, 0};
+        const int want = computePollTimeoutMs(rxDeadline, now);
+        if (::poll(&p, 1,
+                   std::min(want < 0 ? sliceMs : want, sliceMs)) < 0 &&
+            errno != EINTR)
+            break;
+
+        bool sawEof = false;
+        for (;;) {
+            char buf[1 << 16];
+            const ssize_t n = ::read(fd, buf, sizeof buf);
+            if (n > 0) {
+                rx.append(buf, std::size_t(n));
+                continue;
+            }
+            if (n == 0)
+                sawEof = true;
+            else if (errno == EINTR)
+                continue;
+            else if (errno != EAGAIN && errno != EWOULDBLOCK)
+                sawEof = true; // hard error: treat as gone
+            break;
+        }
+
+        bool violated = false;
+        for (;;) {
+            daemonwire::MsgHeader hdr;
+            std::string payload;
+            const int rc = daemonwire::parseMessage(rx, hdr, payload);
+            if (rc == 0)
+                break;
+            if (rc < 0 || hdr.type != daemonwire::msgSubmit) {
+                violated = true;
+                break;
+            }
+            if (!runCampaign(payload)) {
+                violated = true;
+                break;
+            }
+        }
+        if (violated) {
+            if (!dropped) {
+                protocolError = true;
+                dropped = true;
+            }
+            break;
+        }
+        rxDeadline = rx.empty()
+                         ? std::numeric_limits<double>::infinity()
+                         : std::min(rxDeadline,
+                                    monoSeconds() +
+                                        opts_.ioTimeoutSeconds);
+        if (sawEof) {
+            clean = rx.empty();
+            break;
+        }
+    }
+
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(mtx_);
+    if (clean && !dropped)
+        ++st_.clientsServed;
+    else
+        ++st_.clientsDropped;
+    if (ioTimeout)
+        ++st_.ioTimeouts;
+    if (protocolError)
+        ++st_.protocolErrors;
+}
+
+#endif // __unix__
+
+} // namespace capsule::harness

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * capsuled — the persistent farm service (DESIGN.md §12). A Unix-
+ * domain SOCK_STREAM listener accepts multiple concurrent clients,
+ * receives batched job submissions (a campaign = a list of registry
+ * points: workload / machine / scale / seed), schedules each
+ * campaign onto the existing FarmRunner worker pool over a shared
+ * ResultCache directory, and streams merged results back in
+ * submission order per client.
+ *
+ * The wire protocol reuses the farm's conventions exactly: every
+ * integer crosses the socket as explicit little-endian bytes
+ * (harness::wire), every message is a fixed header + payload + an
+ * FNV-1a checksum of the payload, and the layout is pinned by
+ * tests/test_daemon.cc. Messages:
+ *
+ *     Submit(a = reserved, b = reserved,  payload = JobSpec list)
+ *     Result(a = job index, b = reserved, payload = ResultCache
+ *                                                   encoding)
+ *     Done  (a = job count, b = reserved, payload = CampaignSummary)
+ *     Error (a = job index or ~0, b = 0,  payload = message text)
+ *
+ * A client may submit any number of campaigns over one connection;
+ * each Submit is answered by its Results in submission order and one
+ * trailing Done (or an Error, which also ends the connection).
+ *
+ * Deadline-aware I/O invariant: the service never issues a blocking
+ * read or write on a client socket. Reads drain into a per-client
+ * buffer and parse complete messages out of it (the satellite
+ * mechanism of the coordinator's partial-frame fix); an incomplete
+ * message older than `ioTimeoutSeconds` drops the client. Writes
+ * retry under the same deadline; a client too slow to take its
+ * results is marked gone and its campaign finishes silently (the
+ * shared cache still keeps the work). One slow, hung, or vanished
+ * client can therefore never stall the service or another client's
+ * campaign — each connection is served by its own thread and its own
+ * FarmRunner, and the only cross-client state is the cache's atomic
+ * publishes.
+ */
+
+#ifndef CAPSULE_HARNESS_DAEMON_HH
+#define CAPSULE_HARNESS_DAEMON_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/farm.hh"
+
+namespace capsule::harness
+{
+
+/** Byte-level encoding of the daemon's client<->server messages —
+ *  the same conventions as the coordinator<->worker pipe protocol
+ *  (harness::wire): LE u64 fields, length-prefixed strings, FNV-1a
+ *  payload checksums. */
+namespace daemonwire
+{
+
+/** Message types (the MsgHeader::type field). */
+constexpr std::uint64_t msgSubmit = 1;
+constexpr std::uint64_t msgResult = 2;
+constexpr std::uint64_t msgDone = 3;
+constexpr std::uint64_t msgError = 4;
+
+/** Hard upper bound of any message payload (anti-amplification). */
+constexpr std::uint64_t maxMsgPayload = 1ULL << 30;
+
+/** The fixed-size header of one message (the FrameHeader shape:
+ *  four LE u64s; `a`/`b` mean what the type says they mean). */
+struct MsgHeader
+{
+    std::uint64_t type = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t payloadLen = 0;
+
+    static constexpr std::size_t wireSize = 4 * wire::u64Size;
+
+    void encode(unsigned char out[wireSize]) const;
+    static MsgHeader decode(const unsigned char in[wireSize]);
+};
+
+/** One job of a campaign: a registry point by name. */
+struct JobSpec
+{
+    std::string workload; ///< registry name ("quicksort", ...)
+    std::string machine;  ///< daemon machine name ("smt", ...)
+    std::string scale;    ///< scale level name ("quick", ...)
+    std::uint64_t seed = 1;
+
+    bool operator==(const JobSpec &) const = default;
+};
+
+/** Serialize a campaign (the Submit payload): a job count, then per
+ *  job three length-prefixed strings and the seed. */
+std::string encodeJobs(const std::vector<JobSpec> &jobs);
+
+/** Parse a Submit payload; std::nullopt on any malformation. */
+std::optional<std::vector<JobSpec>>
+decodeJobs(const std::string &payload);
+
+/** The campaign counters carried by a Done message: the FarmStats
+ *  scalars a client needs for accounting (cache hit rate, timeouts,
+ *  quarantines) without shipping the per-worker vectors. */
+struct CampaignSummary
+{
+    std::uint64_t jobs = 0;
+    std::uint64_t computed = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t respawns = 0;
+    std::uint64_t framesRejected = 0;
+    std::uint64_t pointRetries = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t journalWriteErrors = 0;
+    double wallSeconds = 0.0;
+
+    static CampaignSummary fromStats(const FarmStats &st);
+
+    std::string encode() const;
+    static std::optional<CampaignSummary>
+    decode(const std::string &payload);
+
+    bool operator==(const CampaignSummary &) const = default;
+};
+
+/** One complete message: header + payload + payload checksum. */
+std::string encodeMessage(std::uint64_t type, std::uint64_t a,
+                          std::uint64_t b,
+                          const std::string &payload);
+
+/**
+ * Incremental message parse out of a receive buffer — the exact
+ * shape of the coordinator's partial-frame handling. Returns
+ *  +1 and fills `hdr`/`payload` (consuming the bytes) on a complete
+ *     valid message,
+ *   0 when `rx` holds only a prefix (read more, keep the deadline
+ *     armed),
+ *  -1 on a protocol violation (unknown type, oversize claim, or a
+ *     checksum mismatch — drop the peer).
+ */
+int parseMessage(std::string &rx, MsgHeader &hdr,
+                 std::string &payload);
+
+} // namespace daemonwire
+
+/** The machine shapes a daemon job may name, by daemon name: the
+ *  farm_capsule trio {smt, cmp, func}. nullptr on unknown names. */
+const sim::MachineConfig *daemonMachine(const std::string &name);
+
+/** The valid JobSpec::machine names, in table order. */
+std::vector<std::string> daemonMachineNames();
+
+struct DaemonOptions
+{
+    /** Filesystem path of the listening socket (required; an
+     *  existing socket file is replaced). */
+    std::string socketPath;
+
+    /** Shared result-cache directory (empty disables memoization —
+     *  every campaign recomputes). */
+    std::string cacheDir;
+    std::uint64_t cacheMaxBytes = 0;
+
+    /** FarmRunner workers per campaign (<= 0: hardware threads,
+     *  1: inline in the client's service thread). */
+    int workersPerCampaign = 1;
+
+    /** Per-point deadline forwarded to each campaign's FarmRunner. */
+    double pointTimeoutSeconds = 300.0;
+
+    /** Client I/O deadline in seconds: an incomplete inbound message
+     *  (e.g. half a header, then silence) or a blocked outbound
+     *  result older than this drops the client. <= 0 uses 30 s. */
+    double ioTimeoutSeconds = 30.0;
+
+    /** Largest accepted campaign (jobs per Submit). */
+    std::size_t maxCampaignJobs = 4096;
+};
+
+/** Service observability counters (a snapshot; see stats()). */
+struct DaemonStats
+{
+    std::uint64_t clientsAccepted = 0;
+    /** Connections that ended with a clean shutdown from the peer. */
+    std::uint64_t clientsServed = 0;
+    /** Connections dropped by the service: I/O deadline blown,
+     *  protocol violation, or a mid-campaign disappearance. */
+    std::uint64_t clientsDropped = 0;
+    std::uint64_t campaigns = 0;
+    std::uint64_t jobs = 0;
+    std::uint64_t protocolErrors = 0;
+    /** Client I/O deadlines blown (reads and writes). */
+    std::uint64_t ioTimeouts = 0;
+    /** Every campaign's FarmStats, folded (FarmStats::fold). */
+    FarmStats farm;
+};
+
+/**
+ * The daemon: start() binds the socket and spawns the accept thread;
+ * every accepted client is served by its own thread (shared-nothing
+ * but the cache directory and the stats, under one mutex). stop() —
+ * also run by the destructor — closes the listener, flags every
+ * service loop down (they poll with bounded timeouts, never block
+ * indefinitely) and joins.
+ */
+class FarmDaemon
+{
+  public:
+    explicit FarmDaemon(DaemonOptions opts);
+    ~FarmDaemon();
+
+    FarmDaemon(const FarmDaemon &) = delete;
+    FarmDaemon &operator=(const FarmDaemon &) = delete;
+
+    /** Bind + listen + spawn the accept loop. False (with `error`
+     *  filled when given) when the socket cannot be created. */
+    bool start(std::string *error = nullptr);
+
+    /** Idempotent orderly shutdown; joins every service thread. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    const std::string &socketPath() const { return opts_.socketPath; }
+
+    /** Snapshot of the service counters. */
+    DaemonStats stats() const;
+
+  private:
+    void acceptLoop();
+    void serveClient(int fd);
+
+    DaemonOptions opts_;
+    int listenFd_ = -1;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> running_{false};
+    std::thread acceptThread_;
+
+    mutable std::mutex mtx_; ///< guards st_ and clients_
+    DaemonStats st_;
+    std::vector<std::thread> clients_;
+};
+
+} // namespace capsule::harness
+
+#endif // CAPSULE_HARNESS_DAEMON_HH

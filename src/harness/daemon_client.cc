@@ -1,0 +1,280 @@
+#include "harness/daemon_client.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <limits>
+
+#include "harness/result_cache.hh"
+
+#ifdef __unix__
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace capsule::harness
+{
+
+namespace
+{
+
+double
+monoSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+DaemonClient::DaemonClient(std::string socket_path,
+                           double io_timeout_seconds)
+    : path_(std::move(socket_path)), timeout_(io_timeout_seconds)
+{
+    if (timeout_ <= 0)
+        timeout_ = 300.0;
+}
+
+DaemonClient::~DaemonClient() { close(); }
+
+#ifndef __unix__
+
+bool
+DaemonClient::connect(std::string *error)
+{
+    if (error)
+        *error = "capsuled requires Unix-domain sockets";
+    return false;
+}
+
+void
+DaemonClient::close()
+{
+}
+
+DaemonClient::Outcome
+DaemonClient::run(const std::vector<daemonwire::JobSpec> &,
+                  const std::function<void(
+                      std::size_t, const wl::WorkloadResult &)> &)
+{
+    Outcome out;
+    out.error = "capsuled requires Unix-domain sockets";
+    return out;
+}
+
+#else // __unix__
+
+bool
+DaemonClient::connect(std::string *error)
+{
+    if (fd_ >= 0)
+        return true;
+    sockaddr_un addr{};
+    if (path_.size() >= sizeof addr.sun_path) {
+        if (error)
+            *error = "socket path too long for sockaddr_un";
+        return false;
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (error)
+            *error = std::string("socket(): ") +
+                     std::strerror(errno);
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) < 0) {
+        if (error)
+            *error = "connect(" + path_ +
+                     "): " + std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    rx_.clear();
+    return true;
+}
+
+void
+DaemonClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    rx_.clear();
+}
+
+DaemonClient::Outcome
+DaemonClient::run(
+    const std::vector<daemonwire::JobSpec> &jobs,
+    const std::function<void(std::size_t,
+                             const wl::WorkloadResult &)> &on_result)
+{
+    Outcome out;
+    out.results.resize(jobs.size());
+    std::string connectError;
+    if (!connect(&connectError)) {
+        out.error = connectError;
+        return out;
+    }
+
+    const std::string submit = daemonwire::encodeMessage(
+        daemonwire::msgSubmit, 0, 0, daemonwire::encodeJobs(jobs));
+
+    // Deadline-aware full send (non-blocking socket throughout).
+    std::size_t at = 0;
+    double lastProgress = monoSeconds();
+    while (at < submit.size()) {
+        const ssize_t n = ::send(fd_, submit.data() + at,
+                                 submit.size() - at, MSG_NOSIGNAL);
+        if (n > 0) {
+            at += std::size_t(n);
+            lastProgress = monoSeconds();
+            continue;
+        }
+        if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+            errno != EINTR) {
+            out.error = std::string("send(): ") +
+                        std::strerror(errno);
+            close();
+            return out;
+        }
+        const double now = monoSeconds();
+        if (now - lastProgress >= timeout_) {
+            out.error = "timed out sending the submission";
+            close();
+            return out;
+        }
+        pollfd p{fd_, POLLOUT, 0};
+        ::poll(&p, 1,
+               computePollTimeoutMs(lastProgress + timeout_, now));
+    }
+
+    // Receive loop: Results (strictly in submission order), then one
+    // Done or Error. Any byte re-arms the inactivity deadline.
+    std::size_t expect = 0;
+    lastProgress = monoSeconds();
+    for (;;) {
+        bool sawEof = false;
+        for (;;) {
+            char buf[1 << 16];
+            const ssize_t n = ::read(fd_, buf, sizeof buf);
+            if (n > 0) {
+                rx_.append(buf, std::size_t(n));
+                lastProgress = monoSeconds();
+                continue;
+            }
+            if (n == 0)
+                sawEof = true;
+            else if (errno == EINTR)
+                continue;
+            else if (errno != EAGAIN && errno != EWOULDBLOCK)
+                sawEof = true;
+            break;
+        }
+
+        for (;;) {
+            daemonwire::MsgHeader hdr;
+            std::string payload;
+            const int rc =
+                daemonwire::parseMessage(rx_, hdr, payload);
+            if (rc == 0)
+                break;
+            if (rc < 0) {
+                out.error = "protocol violation from the server";
+                close();
+                return out;
+            }
+            switch (hdr.type) {
+            case daemonwire::msgResult: {
+                if (hdr.a != expect || expect >= jobs.size()) {
+                    out.error =
+                        "result index " + std::to_string(hdr.a) +
+                        " out of submission order (expected " +
+                        std::to_string(expect) + ")";
+                    close();
+                    return out;
+                }
+                auto decoded = ResultCache::decode(payload);
+                if (!decoded) {
+                    out.error = "undecodable result payload";
+                    close();
+                    return out;
+                }
+                out.results[expect] = std::move(*decoded);
+                if (on_result)
+                    on_result(expect, out.results[expect]);
+                ++expect;
+                break;
+            }
+            case daemonwire::msgDone: {
+                auto summary =
+                    daemonwire::CampaignSummary::decode(payload);
+                if (!summary || expect != jobs.size()) {
+                    out.error = !summary
+                                    ? "undecodable campaign summary"
+                                    : "campaign completed with " +
+                                          std::to_string(expect) +
+                                          " of " +
+                                          std::to_string(
+                                              jobs.size()) +
+                                          " results";
+                    close();
+                    return out;
+                }
+                out.summary = *summary;
+                out.ok = true;
+                return out; // connection stays open for the next run
+            }
+            case daemonwire::msgError:
+                out.error = payload.empty()
+                                ? "server reported an error"
+                                : payload;
+                close();
+                return out;
+            default:
+                out.error = "unexpected message type " +
+                            std::to_string(hdr.type);
+                close();
+                return out;
+            }
+        }
+
+        if (sawEof) {
+            out.error = "server closed the connection";
+            close();
+            return out;
+        }
+        const double now = monoSeconds();
+        if (now - lastProgress >= timeout_) {
+            out.error = "timed out waiting for results";
+            close();
+            return out;
+        }
+        pollfd p{fd_, POLLIN, 0};
+        if (::poll(&p, 1,
+                   computePollTimeoutMs(lastProgress + timeout_,
+                                        now)) < 0 &&
+            errno != EINTR) {
+            out.error = std::string("poll(): ") +
+                        std::strerror(errno);
+            close();
+            return out;
+        }
+    }
+}
+
+#endif // __unix__
+
+} // namespace capsule::harness

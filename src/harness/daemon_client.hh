@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Client side of the capsuled protocol (harness/daemon.hh): connect
+ * to a farm daemon's Unix-domain socket, submit a campaign (a list
+ * of daemonwire::JobSpec), and collect the streamed results — which
+ * arrive in submission order, a contract this client *enforces* (an
+ * out-of-order Result index is a protocol error, not a reorder).
+ *
+ * The socket is non-blocking throughout; every wait is a bounded
+ * poll under an inactivity deadline, so a dead or wedged server
+ * surfaces as a timed-out Outcome instead of a hung client. One
+ * connection can carry any number of campaigns, one run() at a time.
+ */
+
+#ifndef CAPSULE_HARNESS_DAEMON_CLIENT_HH
+#define CAPSULE_HARNESS_DAEMON_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/daemon.hh"
+
+namespace capsule::harness
+{
+
+class DaemonClient
+{
+  public:
+    /** `io_timeout_seconds` is the inactivity deadline: a campaign
+     *  may run long, but the server stalling that long mid-message
+     *  (or between messages) fails the run. <= 0 uses 300 s. */
+    explicit DaemonClient(std::string socket_path,
+                          double io_timeout_seconds = 300.0);
+    ~DaemonClient();
+
+    DaemonClient(const DaemonClient &) = delete;
+    DaemonClient &operator=(const DaemonClient &) = delete;
+
+    /** Connect (idempotent). False with `error` filled on failure. */
+    bool connect(std::string *error = nullptr);
+
+    void close();
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** The raw socket (tests use it to misbehave on the wire). */
+    int fd() const { return fd_; }
+
+    /** What one submitted campaign came back as. */
+    struct Outcome
+    {
+        /** Done received, every result present and in order. */
+        bool ok = false;
+        /** Why not (protocol violation, server Error, timeout). */
+        std::string error;
+        /** Per-job results, submission order (complete iff ok). */
+        std::vector<wl::WorkloadResult> results;
+        /** The server's campaign counters (valid iff ok). */
+        daemonwire::CampaignSummary summary;
+    };
+
+    /**
+     * Submit `jobs` as one campaign and stream the results.
+     * `on_result` (optional) fires per result as it arrives, in
+     * submission order — the same hook shape as FarmOptions::
+     * onResult, so a caller can swap the daemon in for a local
+     * FarmRunner without restructuring.
+     */
+    Outcome
+    run(const std::vector<daemonwire::JobSpec> &jobs,
+        const std::function<void(std::size_t,
+                                 const wl::WorkloadResult &)>
+            &on_result = {});
+
+  private:
+    std::string path_;
+    double timeout_;
+    int fd_ = -1;
+    std::string rx_;
+};
+
+} // namespace capsule::harness
+
+#endif // CAPSULE_HARNESS_DAEMON_CLIENT_HH

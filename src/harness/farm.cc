@@ -21,6 +21,7 @@
 #include "sim/exec_semantics.hh"
 
 #ifdef __unix__
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -88,6 +89,37 @@ FrameHeader::decode(const unsigned char in[wireSize])
 }
 
 } // namespace wire
+
+int
+computePollTimeoutMs(double wake_at, double now)
+{
+    if (!std::isfinite(wake_at))
+        return -1;
+    return int(std::clamp(std::ceil((wake_at - now) * 1000.0), 0.0,
+                          double(pollClampMs)));
+}
+
+void
+FarmStats::fold(const FarmStats &other)
+{
+    points += other.points;
+    computed += other.computed;
+    cacheHits += other.cacheHits;
+    cacheMisses += other.cacheMisses;
+    cacheStores += other.cacheStores;
+    corruptEvictions += other.corruptEvictions;
+    lengthEvictions += other.lengthEvictions;
+    sizeEvictions += other.sizeEvictions;
+    journalSkips += other.journalSkips;
+    journalWriteErrors += other.journalWriteErrors;
+    timeouts += other.timeouts;
+    respawns += other.respawns;
+    framesRejected += other.framesRejected;
+    pointRetries += other.pointRetries;
+    quarantined += other.quarantined;
+    workersUsed += other.workersUsed;
+    wallSeconds += other.wallSeconds;
+}
 
 namespace
 {
@@ -192,10 +224,21 @@ class Journal
     startFresh()
     {
         f = std::fopen(path_.c_str(), "w");
-        if (f) {
-            std::fputs(header().c_str(), f);
-            std::fflush(f);
+        if (!f) {
+            noteWriteError("open");
+            return;
         }
+        if (std::fputs(header().c_str(), f) < 0 ||
+            std::fflush(f) != 0)
+            noteWriteError("header write");
+    }
+
+    /** Journal appends that short-wrote or failed to flush — the
+     *  checkpoint can no longer be trusted for --resume. */
+    std::uint64_t
+    writeErrors() const
+    {
+        return writeErrors_;
     }
 
     /** Record a merged point. `torn` (fault injection) writes only
@@ -218,14 +261,42 @@ class Journal
     void
     record(const char *tag, std::uint64_t digest, bool torn)
     {
-        if (!f)
+        if (!f) {
+            // The open already failed and warned; every record the
+            // journal cannot hold is another unreliable checkpoint.
+            ++writeErrors_;
             return;
+        }
         std::string line =
             std::string(tag) + " " + toHex16(digest) + "\n";
         if (torn)
             line.resize(line.size() / 2);
-        std::fwrite(line.data(), 1, line.size(), f);
-        std::fflush(f);
+        // A short write or failed flush would silently tear the
+        // record: the campaign would "complete" with a checkpoint
+        // that lies on --resume. Count it and warn once — results
+        // stay correct either way (the journal is a progress record,
+        // never a source of results).
+        const bool wrote =
+            std::fwrite(line.data(), 1, line.size(), f) ==
+            line.size();
+        const bool flushed = std::fflush(f) == 0;
+        if (!wrote || !flushed)
+            noteWriteError(wrote ? "flush" : "append");
+    }
+
+    void
+    noteWriteError(const char *what)
+    {
+        ++writeErrors_;
+        if (warned_)
+            return;
+        warned_ = true;
+        std::fprintf(stderr,
+                     "farm: journal %s failed for '%s' (%s): the "
+                     "campaign checkpoint is unreliable; --resume "
+                     "may recompute completed points\n",
+                     what, path_.c_str(),
+                     errno ? std::strerror(errno) : "short write");
     }
 
     std::string
@@ -239,6 +310,8 @@ class Journal
     std::uint64_t campaign_;
     std::uint64_t numPoints_;
     FILE *f = nullptr;
+    std::uint64_t writeErrors_ = 0;
+    bool warned_ = false;
 };
 
 #if CAPSULE_FARM_CAN_FORK
@@ -368,6 +441,14 @@ workerLoop(const std::vector<FarmPoint> &points, int req_fd,
         h.encode(hdr);
         unsigned char checkBytes[wire::u64Size];
         wire::putU64(checkBytes, check);
+        if (fault == FaultKind::StallFrame) {
+            // The coordinator-stall reproducer: half a FrameHeader,
+            // then silence. Only the per-point deadline can reap
+            // this worker — a blocking header read never returns.
+            writeFull(resp_fd, hdr, sizeof hdr / 2);
+            for (;;)
+                ::pause();
+        }
         if (!writeFull(resp_fd, hdr, sizeof hdr) ||
             !writeFull(resp_fd, payload.data(), sendLen))
             _exit(1); // coordinator went away
@@ -389,7 +470,48 @@ struct WorkerHandle
     /** Absolute wall deadline of the in-flight point (+inf when
      *  idle or deadlines are disabled). */
     double deadline = std::numeric_limits<double>::infinity();
+    /** Bytes received but not yet parsed into a complete frame.
+     *  respFd is non-blocking: the coordinator reads whatever is
+     *  available and buffers it here, so a worker that writes half a
+     *  header (or half a payload) and hangs parks its bytes in this
+     *  buffer until the frame completes or the point deadline reaps
+     *  the worker — it can never stall the merge loop in a blocking
+     *  read. */
+    std::string rx;
 };
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        CAPSULE_FATAL("farm: fcntl(O_NONBLOCK) failed: ",
+                      std::strerror(errno));
+}
+
+/**
+ * Drain a worker's (non-blocking) response pipe into its frame
+ * buffer. Returns false when the worker is gone — EOF or a hard read
+ * error — true when the pipe is merely empty for now (EAGAIN).
+ */
+bool
+drainWorker(WorkerHandle &w)
+{
+    for (;;) {
+        unsigned char buf[1 << 16];
+        ssize_t n = ::read(w.respFd, buf, sizeof buf);
+        if (n > 0) {
+            w.rx.append(reinterpret_cast<const char *>(buf),
+                        std::size_t(n));
+            continue;
+        }
+        if (n == 0)
+            return false; // EOF
+        if (errno == EINTR)
+            continue;
+        return errno == EAGAIN || errno == EWOULDBLOCK;
+    }
+}
 
 void
 closeFd(int &fd)
@@ -496,14 +618,16 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
     if (!opts.cacheDir.empty()) {
         cache = std::make_unique<ResultCache>(opts.cacheDir,
                                               opts.cacheMaxBytes);
-        journal = std::make_unique<Journal>(
-            opts.cacheDir + "/campaign-" +
-                toHex16(campaignDigest(points)) + ".journal",
-            campaignDigest(points), n);
-        if (opts.resume)
-            journaled = journal->loadForResume();
-        else
-            journal->startFresh();
+        if (opts.journal) {
+            journal = std::make_unique<Journal>(
+                opts.cacheDir + "/campaign-" +
+                    toHex16(campaignDigest(points)) + ".journal",
+                campaignDigest(points), n);
+            if (opts.resume)
+                journaled = journal->loadForResume();
+            else
+                journal->startFresh();
+        }
     }
 
     std::uint64_t merges = 0;
@@ -534,12 +658,31 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
         return cf;
     };
 
+    // In-order streaming (FarmOptions::onResult): a merged point is
+    // emitted as soon as it and every earlier point have merged, so
+    // a daemon client sees results in submission order while later
+    // points are still computing. Errored points advance the cursor
+    // without emitting (the run throws for them at the end).
+    std::vector<unsigned char> merged(n, 0); // 0 empty, 1 ok, 2 error
+    std::size_t emitNext = 0;
+    auto noteFilled = [&](std::size_t i, bool ok) {
+        merged[i] = ok ? 1 : 2;
+        if (!opts.onResult)
+            return;
+        while (emitNext < n && merged[emitNext] != 0) {
+            if (merged[emitNext] == 1)
+                opts.onResult(emitNext, results[emitNext]);
+            ++emitNext;
+        }
+    };
+
     /** Fence a poison point: placeholder result, sticky journal
      *  record, loud stderr line. Callers adjust `outstanding`. */
     auto quarantinePoint = [&](std::size_t i, const char *why) {
         results[i] = quarantinedResult(points[i]);
         ++st.quarantined;
         st.quarantinedPoints.push_back(i);
+        noteFilled(i, true);
         std::fprintf(stderr, "farm: point '%s' quarantined (%s)\n",
                      points[i].label.c_str(), why);
         auto cf = nextMergeFaults();
@@ -564,12 +707,14 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
                 ++st.quarantined;
                 st.quarantinedPoints.push_back(i);
                 filled = true;
+                noteFilled(i, true);
                 auto cf = nextMergeFaults();
                 if (cf.die)
                     dieNow();
             } else if (auto r = cache->load(p.key)) {
                 results[i] = std::move(*r);
                 filled = true;
+                noteFilled(i, true);
                 auto cf = nextMergeFaults();
                 if (journaled.done.count(kd))
                     ++st.journalSkips;
@@ -592,6 +737,7 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
     auto completeComputed = [&](std::size_t i,
                                 wl::WorkloadResult result) {
         results[i] = std::move(result);
+        noteFilled(i, true);
         auto cf = nextMergeFaults();
         if (cache && points[i].cacheable) {
             cache->store(points[i].key, results[i]);
@@ -607,6 +753,7 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
 
     auto failMerge = [&](std::size_t i, std::string what) {
         errors[i] = std::move(what);
+        noteFilled(i, false);
         auto cf = nextMergeFaults();
         if (cf.die)
             dieNow();
@@ -693,9 +840,14 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
             }
             ::close(req[0]);
             ::close(resp[1]);
+            // The response pipe is read non-blocking: a worker that
+            // writes a partial frame and stalls parks its bytes in
+            // the handle's rx buffer instead of hanging readFull().
+            setNonBlocking(resp[0]);
             ws.push_back(WorkerHandle{pid, req[1], resp[0], -1, true,
                                       std::numeric_limits<
-                                          double>::infinity()});
+                                          double>::infinity(),
+                                      {}});
             st.perWorkerPoints.push_back(0);
             st.perWorkerCpuSeconds.push_back(0.0);
             return ws.back();
@@ -712,6 +864,13 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
             reapWorker(w, true);
             if (timed_out)
                 ++st.timeouts;
+            if (!w.rx.empty()) {
+                // An abandoned partial frame (half a header at the
+                // deadline, a payload cut by a death) is a rejected
+                // frame, not just a dead worker.
+                ++st.framesRejected;
+                w.rx.clear();
+            }
             if (idx < 0)
                 return;
             const std::size_t i = std::size_t(idx);
@@ -851,13 +1010,8 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
                     wakeAt = std::min(wakeAt, w.deadline);
             if (respawnWanted)
                 wakeAt = std::min(wakeAt, nextRespawnAt);
-            int timeoutMs = -1;
-            if (std::isfinite(wakeAt)) {
-                now = wallSeconds();
-                timeoutMs = int(std::clamp(
-                    std::ceil((wakeAt - now) * 1000.0), 0.0,
-                    60000.0));
-            }
+            const int timeoutMs =
+                computePollTimeoutMs(wakeAt, wallSeconds());
             int rc =
                 ::poll(fds.data(), nfds_t(fds.size()), timeoutMs);
             if (rc < 0) {
@@ -874,55 +1028,82 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
                 if (!w.alive)
                     continue;
 
-                unsigned char hdrBytes[wire::FrameHeader::wireSize];
-                if (!readFull(w.respFd, hdrBytes, sizeof hdrBytes)) {
-                    onWorkerFailure(w, false); // died silently
-                    continue;
-                }
-                const wire::FrameHeader hdr =
-                    wire::FrameHeader::decode(hdrBytes);
-                const std::uint64_t idx = hdr.index;
-                const std::uint64_t status = hdr.status;
-                const double cpu = hdr.cpuSeconds;
-                const std::uint64_t len = hdr.payloadLen;
-                if (idx != std::uint64_t(w.inflight) ||
-                    len > maxFramePayload) {
-                    ++st.framesRejected; // protocol corruption
-                    onWorkerFailure(w, false);
-                    continue;
-                }
-                std::string payload(len, '\0');
-                unsigned char checkBytes[wire::u64Size];
-                if (!readFull(w.respFd, payload.data(), len) ||
-                    !readFull(w.respFd, checkBytes,
-                              sizeof checkBytes) ||
-                    fnv1aBytes(payload) != wire::getU64(checkBytes)) {
-                    ++st.framesRejected; // torn or poisoned frame
-                    onWorkerFailure(w, false);
-                    continue;
-                }
-
-                w.inflight = -1;
-                w.deadline =
-                    std::numeric_limits<double>::infinity();
-                st.perWorkerPoints[fdWorker[k]] += 1;
-                st.perWorkerCpuSeconds[fdWorker[k]] += cpu;
-
-                if (status == 0) {
-                    auto decoded = ResultCache::decode(payload);
-                    if (decoded) {
-                        completeComputed(std::size_t(idx),
-                                         std::move(*decoded));
-                    } else {
-                        failMerge(std::size_t(idx),
-                                  "worker returned an undecodable "
-                                  "result frame");
+                // Never block on a worker fd: drain whatever is
+                // available into the per-worker buffer, then parse
+                // complete frames out of it. A worker that writes a
+                // partial header (or payload) and hangs leaves its
+                // deadline armed, so the sweep below reaps it — the
+                // coordinator no longer stalls past --point-timeout.
+                const bool open = drainWorker(w);
+                bool protocolError = false;
+                while (w.alive && w.inflight >= 0 &&
+                       w.rx.size() >= wire::FrameHeader::wireSize) {
+                    const wire::FrameHeader hdr =
+                        wire::FrameHeader::decode(
+                            reinterpret_cast<const unsigned char *>(
+                                w.rx.data()));
+                    if (hdr.index != std::uint64_t(w.inflight) ||
+                        hdr.payloadLen > maxFramePayload) {
+                        ++st.framesRejected; // protocol corruption
+                        protocolError = true;
+                        break;
                     }
-                } else {
-                    failMerge(std::size_t(idx), payload);
+                    const std::size_t frameLen =
+                        wire::FrameHeader::wireSize +
+                        std::size_t(hdr.payloadLen) + wire::u64Size;
+                    if (w.rx.size() < frameLen)
+                        break; // partial frame: deadline stays armed
+                    std::string payload = w.rx.substr(
+                        wire::FrameHeader::wireSize,
+                        std::size_t(hdr.payloadLen));
+                    const std::uint64_t check = wire::getU64(
+                        reinterpret_cast<const unsigned char *>(
+                            w.rx.data()) +
+                        wire::FrameHeader::wireSize +
+                        std::size_t(hdr.payloadLen));
+                    w.rx.erase(0, frameLen);
+                    if (fnv1aBytes(payload) != check) {
+                        ++st.framesRejected; // poisoned frame
+                        protocolError = true;
+                        break;
+                    }
+
+                    w.inflight = -1;
+                    w.deadline =
+                        std::numeric_limits<double>::infinity();
+                    st.perWorkerPoints[fdWorker[k]] += 1;
+                    st.perWorkerCpuSeconds[fdWorker[k]] +=
+                        hdr.cpuSeconds;
+
+                    if (hdr.status == 0) {
+                        auto decoded = ResultCache::decode(payload);
+                        if (decoded) {
+                            completeComputed(std::size_t(hdr.index),
+                                             std::move(*decoded));
+                        } else {
+                            failMerge(std::size_t(hdr.index),
+                                      "worker returned an undecodable "
+                                      "result frame");
+                        }
+                    } else {
+                        failMerge(std::size_t(hdr.index), payload);
+                    }
+                    --outstanding;
+                    deal(w);
                 }
-                --outstanding;
-                deal(w);
+                if (protocolError) {
+                    onWorkerFailure(w, false);
+                    continue;
+                }
+                if (w.alive && w.inflight < 0 && !w.rx.empty()) {
+                    // Bytes past the final expected frame — the
+                    // worker is talking out of turn.
+                    ++st.framesRejected;
+                    onWorkerFailure(w, false);
+                    continue;
+                }
+                if (!open && w.alive)
+                    onWorkerFailure(w, false); // EOF: died silently
             }
 
             // Deadline enforcement — after the frame sweep, so a
@@ -949,6 +1130,8 @@ FarmRunner::run(const std::vector<FarmPoint> &points)
         st.lengthEvictions = c.lengthEvictions;
         st.sizeEvictions = c.sizeEvictions;
     }
+    if (journal)
+        st.journalWriteErrors = journal->writeErrors();
     std::sort(st.quarantinedPoints.begin(),
               st.quarantinedPoints.end());
     st.wallSeconds = wallSeconds() - w0;

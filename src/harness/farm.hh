@@ -123,6 +123,23 @@ struct FrameHeader
 
 } // namespace wire
 
+/** Upper bound of any single poll() wait in the coordinator (and the
+ *  daemon): a deadline further out than this re-arms across several
+ *  shorter waits instead of one long sleep, so clock clamping can
+ *  never turn a long deadline into a lost wakeup. */
+constexpr int pollClampMs = 60'000;
+
+/**
+ * The poll timeout for a wakeup due at absolute wall time `wake_at`
+ * seconds, evaluated at `now`: -1 (block) when no wakeup is pending
+ * (`wake_at` infinite), otherwise the remaining time in milliseconds,
+ * rounded up and clamped to [0, pollClampMs]. A deadline beyond the
+ * clamp simply wakes early and re-arms — the caller's deadline sweep
+ * compares absolute times, so a clamped wait never fires a spurious
+ * timeout (pinned in tests/test_farm.cc).
+ */
+int computePollTimeoutMs(double wake_at, double now);
+
 /** One independent point of a campaign. */
 struct FarmPoint
 {
@@ -207,6 +224,27 @@ struct FarmOptions
     /** Base respawn backoff in milliseconds; the delay doubles with
      *  every respawn used (exponential backoff, capped at 2^10x). */
     int respawnBackoffMs = 25;
+
+    /** Keep the campaign journal (checkpoint/resume). The daemon
+     *  turns it off: concurrent clients may run the same campaign
+     *  digest, and two coordinators appending to one journal file
+     *  would interleave — the shared ResultCache (atomic publishes)
+     *  is the only cross-client state it needs. No effect when
+     *  cacheDir is empty (the journal needs the cache anyway). */
+    bool journal = true;
+
+    /**
+     * Streaming hook: called once per point, in submission order, as
+     * soon as that point's result (computed, cache hit, or
+     * quarantine placeholder) and every earlier point's result are
+     * merged. Points whose worker reported an error are skipped (the
+     * run still throws for them at the end, naming the lowest). The
+     * callback runs on the coordinator thread between merges — it
+     * must not re-enter the runner, and a slow callback stalls only
+     * its own campaign.
+     */
+    std::function<void(std::size_t, const wl::WorkloadResult &)>
+        onResult;
 };
 
 /** Observability counters of one FarmRunner::run. */
@@ -225,6 +263,11 @@ struct FarmStats
     std::uint64_t sizeEvictions = 0;
     /** Resume-path points satisfied from journal + cache. */
     std::uint64_t journalSkips = 0;
+    /** Journal appends (or opens) that failed — a short fwrite or a
+     *  failed fflush, the shape of a full disk. The results are
+     *  still correct; the *checkpoint* is unreliable, so --strict
+     *  fails on it and a one-time stderr warning names it. */
+    std::uint64_t journalWriteErrors = 0;
 
     // Supervision counters (DESIGN.md §11).
     /** Workers SIGKILLed for blowing a per-point deadline. */
@@ -249,6 +292,12 @@ struct FarmStats
     /** Simulation CPU seconds burned per worker slot. */
     std::vector<double> perWorkerCpuSeconds;
     double wallSeconds = 0.0;
+
+    /** Accumulate another run's scalar counters into this one (the
+     *  daemon aggregates per-client campaigns this way). Per-worker
+     *  and per-point vectors are per-run shapes and are not
+     *  concatenated; workersUsed and wallSeconds sum. */
+    void fold(const FarmStats &other);
 };
 
 class FarmRunner

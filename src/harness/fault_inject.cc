@@ -22,6 +22,7 @@ constexpr KindSpec kindTable[] = {
     {"corrupt", FaultKind::CorruptFrame},
     {"truncate", FaultKind::TruncateFrame},
     {"short", FaultKind::ShortFrame},
+    {"stall", FaultKind::StallFrame},
     {"tear-cache", FaultKind::TearCacheWrite},
     {"tear-journal", FaultKind::TearJournalWrite},
     {"die", FaultKind::DieCoordinator},
@@ -71,6 +72,7 @@ isWorkerFault(FaultKind kind)
     case FaultKind::CorruptFrame:
     case FaultKind::TruncateFrame:
     case FaultKind::ShortFrame:
+    case FaultKind::StallFrame:
         return true;
     default:
         return false;
@@ -129,8 +131,8 @@ FaultPlan::parse(const std::string &spec)
                 kind = k.kind;
         if (kind == FaultKind::None)
             badToken(token, "unknown fault kind (want crash, hang, "
-                            "corrupt, truncate, short, tear-cache, "
-                            "tear-journal or die)");
+                            "corrupt, truncate, short, stall, "
+                            "tear-cache, tear-journal or die)");
         std::uint64_t index = 0;
         if (!parseDecimal(token.substr(sep + 1), index))
             badToken(token, "index must be a decimal integer");
@@ -166,8 +168,8 @@ FaultPlan::materialize(std::uint64_t num_points)
 {
     if (randCount_ == 0)
         return;
-    // Hang is excluded from random draws (it needs an explicit
-    // deadline decision); everything else is fair game.
+    // Hang and stall are excluded from random draws (they need an
+    // explicit deadline decision); everything else is fair game.
     static constexpr FaultKind drawable[] = {
         FaultKind::CrashWorker,
         FaultKind::CorruptFrame,

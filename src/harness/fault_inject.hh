@@ -9,7 +9,8 @@
  * Two trigger domains:
  *
  *  - **worker faults** (`crash`, `hang`, `corrupt`, `truncate`,
- *    `short`) trigger on a *point index*: the coordinator delivers
+ *    `short`, `stall`) trigger on a *point index*: the coordinator
+ *    delivers
  *    the fault over the wire together with the dealt point, so it
  *    fires in whichever worker happens to hold that point and —
  *    because each operation is one-shot — the retry of the same
@@ -26,15 +27,15 @@
  *
  *     plan     := op (',' op)*
  *     op       := kind '@' index | 'rand:' seed ':' count
- *     kind     := crash | hang | corrupt | truncate | short
+ *     kind     := crash | hang | corrupt | truncate | short | stall
  *               | tear-cache | tear-journal | die
  *
  * `rand:S:K` expands — deterministically from seed S via SplitMix64
  * once the campaign size is known (materialize()) — into K worker
  * faults at distinct points, drawing kinds from {crash, corrupt,
- * truncate, short}. `hang` is never drawn randomly: it only makes
- * sense with a finite point deadline, so it must be placed
- * explicitly.
+ * truncate, short}. `hang` and `stall` are never drawn randomly:
+ * they only make sense with a finite point deadline, so they must be
+ * placed explicitly.
  */
 
 #ifndef CAPSULE_HARNESS_FAULT_INJECT_HH
@@ -58,6 +59,7 @@ enum class FaultKind : std::uint8_t
     CorruptFrame,  ///< response frame carries a bad payload checksum
     TruncateFrame, ///< header promises N payload bytes, EOF mid-way
     ShortFrame,    ///< header under-reports the payload length
+    StallFrame,    ///< write half a header, then hang forever
 
     // Coordinator-side (fire when the merge count reaches index).
     TearCacheWrite,   ///< truncate the just-published cache entry

@@ -1,0 +1,445 @@
+/**
+ * @file
+ * The persistent farm daemon (harness/daemon.hh, DESIGN.md §12): the
+ * pinned byte layout of the submission/response wire protocol, the
+ * incremental message parser, and the service contracts — two
+ * concurrent clients receive results byte-identical to a direct
+ * FarmRunner run of the same points, a client that disconnects
+ * mid-campaign does not disturb another client's campaign, and a
+ * client that sends half a header then hangs is reaped within the
+ * I/O deadline (the daemon twin of the coordinator's partial-frame
+ * stall fix).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "harness/daemon.hh"
+#include "harness/daemon_client.hh"
+#include "harness/farm.hh"
+#include "workloads/workload.hh"
+
+#ifdef __unix__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace capsule
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+using harness::daemonwire::JobSpec;
+using harness::daemonwire::MsgHeader;
+
+// ---------------------------------------------------------------
+// wire protocol
+// ---------------------------------------------------------------
+
+TEST(DaemonWire, MessageHeaderBytesArePinned)
+{
+    MsgHeader h;
+    h.type = harness::daemonwire::msgResult;
+    h.a = 0x0102030405060708ULL;
+    h.b = 1;
+    h.payloadLen = 5;
+    unsigned char out[MsgHeader::wireSize];
+    h.encode(out);
+    // Four LE u64s: type, a, b, payloadLen.
+    const unsigned char want[MsgHeader::wireSize] = {
+        2, 0, 0, 0, 0, 0, 0, 0, //
+        8, 7, 6, 5, 4, 3, 2, 1, //
+        1, 0, 0, 0, 0, 0, 0, 0, //
+        5, 0, 0, 0, 0, 0, 0, 0, //
+    };
+    EXPECT_EQ(std::memcmp(out, want, sizeof want), 0);
+
+    const MsgHeader back = MsgHeader::decode(out);
+    EXPECT_EQ(back.type, h.type);
+    EXPECT_EQ(back.a, h.a);
+    EXPECT_EQ(back.b, h.b);
+    EXPECT_EQ(back.payloadLen, h.payloadLen);
+}
+
+TEST(DaemonWire, JobListRoundTrip)
+{
+    const std::vector<JobSpec> jobs = {
+        {"quicksort", "smt", "quick", 1},
+        {"lzw", "func", "paper", 0xdeadbeefULL},
+        {"", "", "", 0}, // degenerate but encodable
+    };
+    const std::string payload = harness::daemonwire::encodeJobs(jobs);
+    auto back = harness::daemonwire::decodeJobs(payload);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, jobs);
+
+    // Truncation anywhere is a malformation, not a crash.
+    for (std::size_t cut = 0; cut < payload.size(); ++cut)
+        EXPECT_FALSE(harness::daemonwire::decodeJobs(
+                         payload.substr(0, cut))
+                         .has_value())
+            << "cut at " << cut;
+    // So is trailing garbage.
+    EXPECT_FALSE(
+        harness::daemonwire::decodeJobs(payload + "x").has_value());
+}
+
+TEST(DaemonWire, CampaignSummaryRoundTrip)
+{
+    harness::daemonwire::CampaignSummary s;
+    s.jobs = 27;
+    s.computed = 20;
+    s.cacheHits = 7;
+    s.cacheMisses = 20;
+    s.timeouts = 1;
+    s.respawns = 2;
+    s.framesRejected = 3;
+    s.pointRetries = 4;
+    s.quarantined = 1;
+    s.journalWriteErrors = 5;
+    s.wallSeconds = 1.25;
+    auto back =
+        harness::daemonwire::CampaignSummary::decode(s.encode());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, s);
+    EXPECT_FALSE(harness::daemonwire::CampaignSummary::decode(
+                     s.encode().substr(1))
+                     .has_value());
+}
+
+TEST(DaemonWire, MessageParseIsIncrementalAndChecksummed)
+{
+    const std::string msg = harness::daemonwire::encodeMessage(
+        harness::daemonwire::msgSubmit, 7, 0, "payload-bytes");
+
+    // Every strict prefix parses to "need more" and consumes nothing.
+    for (std::size_t cut = 0; cut < msg.size(); ++cut) {
+        std::string rx = msg.substr(0, cut);
+        MsgHeader hdr;
+        std::string payload;
+        EXPECT_EQ(
+            harness::daemonwire::parseMessage(rx, hdr, payload), 0)
+            << "cut at " << cut;
+        EXPECT_EQ(rx.size(), cut) << "a partial message must stay "
+                                     "buffered";
+    }
+
+    // The full message (plus the next message's first bytes) parses
+    // and consumes exactly itself.
+    std::string rx = msg + msg.substr(0, 3);
+    MsgHeader hdr;
+    std::string payload;
+    EXPECT_EQ(harness::daemonwire::parseMessage(rx, hdr, payload),
+              1);
+    EXPECT_EQ(hdr.type, harness::daemonwire::msgSubmit);
+    EXPECT_EQ(hdr.a, 7u);
+    EXPECT_EQ(payload, "payload-bytes");
+    EXPECT_EQ(rx.size(), 3u);
+
+    // A flipped payload bit is a protocol error (checksum).
+    std::string bad = msg;
+    bad[MsgHeader::wireSize] ^= 0x01;
+    MsgHeader h2;
+    std::string p2;
+    EXPECT_EQ(harness::daemonwire::parseMessage(bad, h2, p2), -1);
+
+    // An unknown type is rejected before any payload wait.
+    std::string unknown = harness::daemonwire::encodeMessage(
+        99, 0, 0, "x");
+    EXPECT_EQ(
+        harness::daemonwire::parseMessage(unknown, h2, p2), -1);
+}
+
+TEST(DaemonWire, MachineTableMatchesFarmCapsule)
+{
+    for (const auto &name : harness::daemonMachineNames())
+        EXPECT_NE(harness::daemonMachine(name), nullptr) << name;
+    EXPECT_EQ(harness::daemonMachine("warp-drive"), nullptr);
+    // The daemon's "smt" is the same config the direct campaign
+    // driver sweeps — shared cache keys depend on it.
+    EXPECT_EQ(harness::daemonMachine("smt")->digest(),
+              sim::MachineConfig::somt().digest());
+}
+
+// ---------------------------------------------------------------
+// the service (Unix-domain sockets)
+// ---------------------------------------------------------------
+
+#ifdef __unix__
+
+std::string
+tempDir(const char *tag)
+{
+    static int counter = 0;
+    auto d = fs::temp_directory_path() /
+             (std::string("capsule-daemon-test-") + tag + "-" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->random_seed()) +
+              "-" + std::to_string(counter++));
+    fs::remove_all(d);
+    fs::create_directories(d);
+    return d.string();
+}
+
+/** The small registry campaign the service tests submit. */
+std::vector<JobSpec>
+testJobs()
+{
+    return {
+        {"quicksort", "smt", "quick", 1},
+        {"lzw", "func", "quick", 1},
+        {"dijkstra", "cmp", "quick", 2},
+        {"quicksort", "smt", "quick", 1}, // repeat: a cache hit
+    };
+}
+
+/** What a direct (no daemon) FarmRunner makes of the same jobs. */
+std::vector<wl::WorkloadResult>
+directResults(const std::vector<JobSpec> &jobs)
+{
+    std::vector<harness::FarmPoint> points;
+    for (const auto &j : jobs) {
+        const auto *cfg = harness::daemonMachine(j.machine);
+        EXPECT_NE(cfg, nullptr) << j.machine;
+        points.push_back(harness::registryFarmPoint(
+            j.workload, *cfg, {wl::ScaleLevel::Quick, j.seed}));
+    }
+    return harness::FarmRunner({}).run(points);
+}
+
+void
+expectSameResults(const std::vector<wl::WorkloadResult> &a,
+                  const std::vector<wl::WorkloadResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].stats, b[i].stats) << i;
+        EXPECT_EQ(a[i], b[i]) << i;
+    }
+}
+
+harness::DaemonOptions
+serviceOptions(const std::string &dir)
+{
+    harness::DaemonOptions o;
+    o.socketPath = dir + "/capsuled.sock";
+    o.cacheDir = dir + "/cache";
+    o.workersPerCampaign = 2;
+    o.ioTimeoutSeconds = 5.0;
+    return o;
+}
+
+/** Raw client socket for misbehaving on the wire. */
+int
+rawConnect(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0)
+        << std::strerror(errno);
+    return fd;
+}
+
+TEST(Daemon, TwoConcurrentClientsByteIdenticalToDirectRun)
+{
+    const auto dir = tempDir("two-clients");
+    harness::FarmDaemon daemon(serviceOptions(dir));
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    const auto jobs = testJobs();
+    const auto reference = directResults(jobs);
+
+    harness::DaemonClient::Outcome out[2];
+    std::vector<std::size_t> order[2];
+    std::thread clients[2];
+    for (int c = 0; c < 2; ++c)
+        clients[c] = std::thread([&, c] {
+            harness::DaemonClient client(daemon.socketPath(), 30.0);
+            out[c] = client.run(
+                jobs, [&, c](std::size_t i,
+                             const wl::WorkloadResult &) {
+                    order[c].push_back(i);
+                });
+        });
+    for (auto &t : clients)
+        t.join();
+
+    for (int c = 0; c < 2; ++c) {
+        ASSERT_TRUE(out[c].ok) << c << ": " << out[c].error;
+        expectSameResults(out[c].results, reference);
+        ASSERT_EQ(order[c].size(), jobs.size()) << c;
+        for (std::size_t i = 0; i < order[c].size(); ++i)
+            EXPECT_EQ(order[c][i], i)
+                << "client " << c << " got results out of "
+                << "submission order";
+        EXPECT_EQ(out[c].summary.jobs, jobs.size()) << c;
+        EXPECT_EQ(out[c].summary.quarantined, 0u) << c;
+    }
+    // Both campaigns may have raced each other cold; a third client
+    // replays entirely from the now-shared cache.
+    harness::DaemonClient warm(daemon.socketPath(), 30.0);
+    auto warmOut = warm.run(jobs);
+    ASSERT_TRUE(warmOut.ok) << warmOut.error;
+    expectSameResults(warmOut.results, reference);
+    EXPECT_EQ(warmOut.summary.cacheHits, jobs.size());
+    EXPECT_EQ(warmOut.summary.computed, 0u);
+    warm.close();
+
+    daemon.stop();
+    const auto st = daemon.stats();
+    EXPECT_EQ(st.clientsAccepted, 3u);
+    EXPECT_EQ(st.campaigns, 3u);
+    EXPECT_EQ(st.jobs, 3 * jobs.size());
+    EXPECT_EQ(st.protocolErrors, 0u);
+    EXPECT_EQ(st.ioTimeouts, 0u);
+    EXPECT_EQ(st.farm.quarantined, 0u);
+    EXPECT_FALSE(fs::exists(daemon.socketPath()))
+        << "stop() must unbind the socket";
+}
+
+TEST(Daemon, ClientDisconnectMidCampaignDoesNotDisturbOthers)
+{
+    const auto dir = tempDir("disconnect");
+    harness::FarmDaemon daemon(serviceOptions(dir));
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    const auto jobs = testJobs();
+    const auto reference = directResults(jobs);
+
+    // Client A submits a campaign and vanishes without reading a
+    // single result.
+    {
+        const int fd = rawConnect(daemon.socketPath());
+        const std::string submit = harness::daemonwire::encodeMessage(
+            harness::daemonwire::msgSubmit, 0, 0,
+            harness::daemonwire::encodeJobs(jobs));
+        ASSERT_EQ(::send(fd, submit.data(), submit.size(),
+                         MSG_NOSIGNAL),
+                  ssize_t(submit.size()));
+        ::close(fd);
+    }
+
+    // Client B runs the same campaign concurrently and must be
+    // served completely and correctly.
+    harness::DaemonClient clientB(daemon.socketPath(), 30.0);
+    auto outB = clientB.run(jobs);
+    ASSERT_TRUE(outB.ok) << outB.error;
+    expectSameResults(outB.results, reference);
+    clientB.close();
+
+    // And the service keeps serving: a third client after the drop.
+    harness::DaemonClient clientC(daemon.socketPath(), 30.0);
+    auto outC = clientC.run(jobs);
+    ASSERT_TRUE(outC.ok) << outC.error;
+    expectSameResults(outC.results, reference);
+    EXPECT_GE(outC.summary.cacheHits, 3u)
+        << "the dropped client's campaign still warmed the cache";
+    clientC.close();
+
+    // The vanished client shows up as dropped, eventually (its
+    // campaign may still be finishing).
+    const auto t0 = std::chrono::steady_clock::now();
+    while (daemon.stats().clientsDropped < 1 &&
+           std::chrono::steady_clock::now() - t0 <
+               std::chrono::seconds(10))
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(20));
+    daemon.stop();
+    const auto st = daemon.stats();
+    EXPECT_GE(st.clientsDropped, 1u);
+    EXPECT_GE(st.campaigns, 3u);
+}
+
+TEST(Daemon, PartialHeaderHangIsReapedWithinDeadline)
+{
+    const auto dir = tempDir("partial-header");
+    auto opts = serviceOptions(dir);
+    opts.ioTimeoutSeconds = 0.3;
+    harness::FarmDaemon daemon(opts);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    // Half a MsgHeader, then silence with the socket held open: the
+    // daemon twin of the coordinator's partial-frame stall. The I/O
+    // deadline must reap it — a blocking read never would.
+    const int fd = rawConnect(daemon.socketPath());
+    const unsigned char half[MsgHeader::wireSize / 2] = {1, 0};
+    ASSERT_EQ(::send(fd, half, sizeof half, MSG_NOSIGNAL),
+              ssize_t(sizeof half));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    while (daemon.stats().ioTimeouts < 1 &&
+           std::chrono::steady_clock::now() - t0 <
+               std::chrono::seconds(5))
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(20));
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_GE(daemon.stats().ioTimeouts, 1u)
+        << "the half-header client was never reaped";
+    EXPECT_LT(elapsed, 5.0);
+    EXPECT_GE(daemon.stats().clientsDropped, 1u);
+
+    // The wedged client never slowed the service for anyone else.
+    harness::DaemonClient client(daemon.socketPath(), 30.0);
+    auto out = client.run(testJobs());
+    EXPECT_TRUE(out.ok) << out.error;
+    ::close(fd);
+    daemon.stop();
+}
+
+TEST(Daemon, MalformedJobIsRejectedWithError)
+{
+    const auto dir = tempDir("badjob");
+    harness::FarmDaemon daemon(serviceOptions(dir));
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    harness::DaemonClient client(daemon.socketPath(), 10.0);
+    auto out = client.run({{"no-such-workload", "smt", "quick", 1}});
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("no-such-workload"), std::string::npos)
+        << out.error;
+
+    daemon.stop();
+    EXPECT_GE(daemon.stats().protocolErrors, 1u);
+}
+
+TEST(Daemon, RestartOnSamePathAfterStop)
+{
+    const auto dir = tempDir("restart");
+    const auto opts = serviceOptions(dir);
+    {
+        harness::FarmDaemon first(opts);
+        std::string error;
+        ASSERT_TRUE(first.start(&error)) << error;
+        first.stop();
+        first.stop(); // idempotent
+    }
+    harness::FarmDaemon second(opts);
+    std::string error;
+    ASSERT_TRUE(second.start(&error)) << error;
+    harness::DaemonClient client(second.socketPath(), 10.0);
+    auto out = client.run({{"lzw", "smt", "quick", 1}});
+    EXPECT_TRUE(out.ok) << out.error;
+}
+
+#endif // __unix__
+
+} // namespace
+} // namespace capsule

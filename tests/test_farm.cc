@@ -10,9 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <stdexcept>
 
@@ -556,6 +558,66 @@ TEST(FaultPlan, CoordFaultsFireAtMergeCountWithDieLast)
 }
 
 // ---------------------------------------------------------------
+// poll wake computation (the merge loop's only blocking primitive)
+// ---------------------------------------------------------------
+
+TEST(Farm, PollTimeoutComputation)
+{
+    const double now = 1000.0;
+    // No armed deadline at all: block until a worker speaks.
+    EXPECT_EQ(harness::computePollTimeoutMs(
+                  std::numeric_limits<double>::infinity(), now),
+              -1);
+    // A near deadline rounds *up* — never a busy-wait from rounding
+    // a sub-millisecond remainder down to 0.
+    EXPECT_EQ(harness::computePollTimeoutMs(now + 0.0004, now), 1);
+    EXPECT_EQ(harness::computePollTimeoutMs(now + 0.25, now), 250);
+    // An expired (or just-due) deadline must not block.
+    EXPECT_EQ(harness::computePollTimeoutMs(now, now), 0);
+    EXPECT_EQ(harness::computePollTimeoutMs(now - 5.0, now), 0);
+    // A deadline beyond the clamp wakes *early* at the cap and
+    // re-arms: the sweep compares against the real deadline, so the
+    // clamped wake can never fire a spurious timeout. Pin that the
+    // clamp is a floor on the remaining time, not a deadline.
+    EXPECT_EQ(harness::computePollTimeoutMs(now + 120.0, now),
+              harness::pollClampMs);
+    EXPECT_EQ(harness::computePollTimeoutMs(now + 120.0, now + 60.0),
+              harness::pollClampMs);
+    EXPECT_EQ(harness::computePollTimeoutMs(now + 120.0, now + 119.9),
+              100);
+    EXPECT_EQ(harness::computePollTimeoutMs(now + 120.0, now + 120.5),
+              0);
+}
+
+TEST(Farm, StatsFoldSumsCounters)
+{
+    harness::FarmStats a;
+    a.points = 3;
+    a.computed = 2;
+    a.cacheHits = 1;
+    a.timeouts = 1;
+    a.journalWriteErrors = 2;
+    a.workersUsed = 2;
+    a.wallSeconds = 1.5;
+    harness::FarmStats b;
+    b.points = 4;
+    b.computed = 4;
+    b.framesRejected = 3;
+    b.journalWriteErrors = 1;
+    b.workersUsed = 4;
+    b.wallSeconds = 0.5;
+    a.fold(b);
+    EXPECT_EQ(a.points, 7u);
+    EXPECT_EQ(a.computed, 6u);
+    EXPECT_EQ(a.cacheHits, 1u);
+    EXPECT_EQ(a.timeouts, 1u);
+    EXPECT_EQ(a.framesRejected, 3u);
+    EXPECT_EQ(a.journalWriteErrors, 3u);
+    EXPECT_EQ(a.workersUsed, 6u);
+    EXPECT_DOUBLE_EQ(a.wallSeconds, 2.0);
+}
+
+// ---------------------------------------------------------------
 // checkpoint / resume
 // ---------------------------------------------------------------
 
@@ -741,6 +803,40 @@ TEST(FarmFault, HungWorkerIsReapedAtEveryPosition)
         EXPECT_EQ(farm.stats().timeouts, 1u) << pos;
         EXPECT_EQ(farm.stats().quarantined, 0u) << pos;
         EXPECT_EQ(farm.stats().pointRetries, 1u) << pos;
+    }
+}
+
+TEST(FarmFault, StalledPartialHeaderIsReapedWithinDeadline)
+{
+    // The coordinator-stall regression: a worker writes half a
+    // FrameHeader then hangs. The old blocking readFull() would wait
+    // on the other half forever, defeating every --point-timeout.
+    // With non-blocking drains the partial header parks in the
+    // worker's frame buffer and the deadline sweep reaps it.
+    const int n = 6;
+    auto reference = harness::FarmRunner({}).run(syntheticPoints(n));
+    for (int pos : {0, n / 2, n - 1}) {
+        harness::FarmOptions o;
+        o.workers = 2;
+        o.pointTimeoutSeconds = 0.25;
+        o.faultPlan = harness::FaultPlan::parse(
+            "stall@" + std::to_string(pos));
+        harness::FarmRunner farm(o);
+        const auto t0 = std::chrono::steady_clock::now();
+        auto results = farm.run(syntheticPoints(n));
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        expectSameResults(results, reference);
+        EXPECT_EQ(farm.stats().timeouts, 1u) << pos;
+        EXPECT_GE(farm.stats().framesRejected, 1u)
+            << pos << ": the abandoned partial frame must be counted";
+        EXPECT_EQ(farm.stats().quarantined, 0u) << pos;
+        EXPECT_EQ(farm.stats().pointRetries, 1u) << pos;
+        EXPECT_LT(elapsed, 10.0)
+            << pos << ": the stalled worker must be reaped by the "
+                      "0.25s point deadline, not block the campaign";
     }
 }
 
@@ -972,6 +1068,83 @@ TEST(FarmResume, TornJournalTailFromMidAppendKill)
     EXPECT_EQ(farm.stats().cacheHits, 5u)
         << "the torn record's payload still serves from the cache";
     EXPECT_EQ(farm.stats().computed, 5u);
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------
+// journal write-error detection and result streaming
+// ---------------------------------------------------------------
+
+TEST(Farm, JournalWriteErrorsAreCountedNotSilent)
+{
+    // /dev/full accepts the fopen but fails every flush with ENOSPC —
+    // the exact disk-full shape Journal::record() used to swallow.
+    if (!fs::exists("/dev/full"))
+        GTEST_SKIP() << "no /dev/full on this platform";
+    const auto dir = tempDir("journal-enospc");
+    const int n = 5;
+    fs::create_directories(dir);
+    const auto campaign =
+        harness::FarmRunner::campaignDigest(syntheticPoints(n));
+    const auto journalPath =
+        fs::path(dir) / ("campaign-" + toHex16(campaign) + ".journal");
+    fs::create_symlink("/dev/full", journalPath);
+
+    harness::FarmOptions o;
+    o.cacheDir = dir;
+    harness::FarmRunner farm(o);
+    auto reference = harness::FarmRunner({}).run(syntheticPoints(n));
+    auto results = farm.run(syntheticPoints(n));
+    // A torn checkpoint must not affect the merged results.
+    expectSameResults(results, reference);
+    EXPECT_GE(farm.stats().journalWriteErrors, std::uint64_t(n))
+        << "every failed append (and the header) must be counted";
+    fs::remove_all(dir);
+}
+
+TEST(Farm, HealthyRunReportsNoJournalWriteErrors)
+{
+    const auto dir = tempDir("journal-clean");
+    harness::FarmOptions o;
+    o.cacheDir = dir;
+    o.workers = 2;
+    harness::FarmRunner farm(o);
+    farm.run(syntheticPoints(6));
+    EXPECT_EQ(farm.stats().journalWriteErrors, 0u);
+    fs::remove_all(dir);
+}
+
+TEST(Farm, StreamedResultsArriveInSubmissionOrder)
+{
+    // The onResult hook is the daemon's transport: results must
+    // stream in submission order — never merge (completion) order —
+    // and byte-identical to the returned vector, at any worker count
+    // and on the pure cache-replay path.
+    const int n = 12;
+    auto reference = harness::FarmRunner({}).run(syntheticPoints(n));
+    const auto dir = tempDir("stream");
+    for (int workers : {1, 4}) {
+        harness::FarmOptions o;
+        o.workers = workers;
+        o.cacheDir = dir;
+        std::vector<std::size_t> order;
+        std::vector<wl::WorkloadResult> streamed;
+        o.onResult = [&](std::size_t i,
+                         const wl::WorkloadResult &r) {
+            order.push_back(i);
+            streamed.push_back(r);
+        };
+        harness::FarmRunner farm(o);
+        auto results = farm.run(syntheticPoints(n));
+        expectSameResults(results, reference);
+        ASSERT_EQ(order.size(), std::size_t(n)) << workers;
+        for (int i = 0; i < n; ++i)
+            EXPECT_EQ(order[std::size_t(i)], std::size_t(i))
+                << "submission order, workers=" << workers;
+        expectSameResults(streamed, results);
+    }
+    // The second loop iteration replayed everything from the warm
+    // cache — the hook must fire identically on that path too.
     fs::remove_all(dir);
 }
 
